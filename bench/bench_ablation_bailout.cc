@@ -1,0 +1,78 @@
+// Ablation for Sec. 5.3: the performance monitor's adaptation ladder and
+// bailout. A deliberately degraded configuration (noisy VGG-16 features,
+// boundaries too tight) drives query F1 below the user preference; the
+// monitor walks through (i) more clusters, (ii) exact OMD, (iii) flat SVS
+// index, then bails out to the frame-level scan, and the ladder's effect on
+// F1 is visible at each step.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/monitor.h"
+
+namespace vz::bench {
+namespace {
+
+const char* StateName(core::MonitorState state) {
+  switch (state) {
+    case core::MonitorState::kNormal:
+      return "normal";
+    case core::MonitorState::kMoreClusters:
+      return "more-clusters";
+    case core::MonitorState::kAccurateOmd:
+      return "exact-omd";
+    case core::MonitorState::kFlatSvsIndex:
+      return "flat-svs";
+    case core::MonitorState::kBailout:
+      return "BAILOUT";
+  }
+  return "?";
+}
+
+void Run() {
+  Banner("Sec 5.3 ablation: performance monitoring and bailout",
+         "VGG-16 features, boundary scale 0.8 (deliberately degraded)");
+  sim::DeploymentOptions dep_options = BenchDeploymentOptions();
+  dep_options.extractor = sim::ExtractorProfile::Vgg16();
+  core::VideoZillaOptions vz_options = BenchVzOptions();
+  vz_options.boundary_scale = 0.8;  // too tight: hierarchical recall tanks
+  EndToEndRig rig(dep_options, vz_options);
+
+  core::MonitorOptions monitor_options;
+  monitor_options.target_f1 = 0.6;
+  monitor_options.ground_truth_interval = 5;
+  monitor_options.bailout_probe_interval = 5;
+  core::PerformanceMonitor monitor(
+      &rig.system, monitor_options,
+      [&rig](const FeatureVector& feature) {
+        const int cls = rig.deployment.space().NearestPrototype(feature);
+        return rig.deployment.log().TrueSvsSet(rig.system.svs_store(), cls);
+      });
+
+  Rng rng(67);
+  core::MonitorState last_state = monitor.state();
+  std::printf("%-7s %-14s %8s %8s\n", "query", "state", "last F1",
+              "matched");
+  for (int q = 1; q <= 60; ++q) {
+    const int cls = PaperQueryClasses()[static_cast<size_t>(q) % 3];
+    auto result = monitor.Query(rig.deployment.MakeQueryFeature(cls, &rng));
+    const bool transitioned = monitor.state() != last_state;
+    if (transitioned || q % 10 == 0) {
+      std::printf("%-7d %-14s %8.2f %8zu%s\n", q, StateName(monitor.state()),
+                  monitor.last_f1(),
+                  result.ok() ? result->matched_svss.size() : 0,
+                  transitioned ? "   <- transition" : "");
+    }
+    last_state = monitor.state();
+  }
+  std::printf("ground-truth comparisons run: %llu (every %zu queries)\n",
+              static_cast<unsigned long long>(monitor.ground_truth_checks()),
+              monitor_options.ground_truth_interval);
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

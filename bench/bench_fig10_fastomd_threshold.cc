@@ -1,0 +1,76 @@
+// Reproduces Figure 10: the impact of the FastOMD threshold alpha on
+// approximation error and computation time, over random pairs of synthetic
+// SVSs. Error decreases and time grows as alpha -> 1 (where FastOMD equals
+// exact OMD); the paper settles on alpha = 0.6.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/sim_clock.h"
+#include "core/omd.h"
+
+namespace vz::bench {
+namespace {
+
+void Run() {
+  sim::SyntheticDatasetOptions data_options = BenchSyntheticOptions();
+  data_options.num_svs = 40;
+  const sim::SyntheticDataset data = sim::MakeSyntheticDataset(data_options);
+  Banner("Figure 10: impact of threshold on FastOMD",
+         "40 synthetic SVSs, 60x128-d vectors, 20 random pairs per alpha");
+
+  // Random SVS pairs.
+  Rng rng(17);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  while (pairs.size() < 20) {
+    const size_t a = rng.UniformUint64(data.svss.size());
+    const size_t b = rng.UniformUint64(data.svss.size());
+    if (a != b) pairs.emplace_back(a, b);
+  }
+
+  // Exact reference distances and time.
+  core::OmdOptions exact_options;
+  exact_options.mode = core::OmdMode::kExact;
+  exact_options.max_vectors = 60;
+  core::OmdCalculator exact(exact_options);
+  std::vector<double> reference;
+  Stopwatch exact_watch;
+  for (const auto& [a, b] : pairs) {
+    auto d = exact.Distance(data.svss[a], data.svss[b]);
+    reference.push_back(d.ok() ? *d : 0.0);
+  }
+  const double exact_time = exact_watch.ElapsedSeconds();
+
+  std::printf("%-7s %18s %18s\n", "alpha", "approx error", "normalized time");
+  for (double alpha : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    core::OmdOptions options;
+    options.mode = core::OmdMode::kThresholded;
+    options.threshold_alpha = alpha;
+    options.max_vectors = 60;
+    core::OmdCalculator approx(options);
+    double error = 0.0;
+    Stopwatch watch;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      auto d = approx.Distance(data.svss[pairs[p].first],
+                               data.svss[pairs[p].second]);
+      const double value = d.ok() ? *d : 0.0;
+      if (reference[p] > 0.0) {
+        error += (reference[p] - value) / reference[p];
+      }
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    std::printf("%-7.2f %17.2f%% %18.3f\n", alpha,
+                100.0 * error / static_cast<double>(pairs.size()),
+                exact_time > 0.0 ? elapsed / exact_time : 0.0);
+  }
+  std::printf("exact OMD wall time for %zu pairs: %.3f s\n", pairs.size(),
+              exact_time);
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Reproduces Figure 11: automatic video segmentation quality, measured as
+// the average OMD between adjacent segments (higher = better boundaries),
+// for Video-zilla's segmenter vs an oracle (true SVS boundaries) and the
+// fixed-length strawman (1/5/10-minute clips). Also prints the CDF of
+// adjacent-segment OMDs (Fig. 11b).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "core/intra_camera_index.h"
+#include "core/omd.h"
+#include "core/segmenter.h"
+
+namespace vz::bench {
+namespace {
+
+// Stream of (timestamp, feature) pairs at 1 feature/second, concatenating
+// the synthetic SVSs, plus the true boundaries.
+struct Stream {
+  std::vector<std::pair<int64_t, FeatureVector>> features;
+  std::vector<size_t> true_boundaries;  // indices where a new SVS begins
+};
+
+Stream MakeStream() {
+  sim::SyntheticDatasetOptions options = BenchSyntheticOptions();
+  options.num_svs = 10;
+  options.num_types = 10;  // each segment a distinct type (paper setup)
+  options.variable_length = true;
+  options.min_vectors = 150;
+  options.max_vectors = 450;
+  options.dim = 64;
+  const sim::SyntheticDataset data = sim::MakeSyntheticDataset(options);
+  Stream stream;
+  int64_t ts = 0;
+  for (const FeatureMap& svs : data.svss) {
+    stream.true_boundaries.push_back(stream.features.size());
+    for (size_t i = 0; i < svs.size(); ++i) {
+      stream.features.emplace_back(ts, svs.vector(i));
+      ts += 1000;
+    }
+  }
+  return stream;
+}
+
+// Average OMD between adjacent segments given boundary indices.
+std::vector<double> AdjacentOmds(const Stream& stream,
+                                 const std::vector<size_t>& boundaries,
+                                 core::OmdCalculator* calc) {
+  std::vector<FeatureMap> segments;
+  for (size_t b = 0; b < boundaries.size(); ++b) {
+    const size_t begin = boundaries[b];
+    const size_t end =
+        b + 1 < boundaries.size() ? boundaries[b + 1] : stream.features.size();
+    if (end <= begin) continue;
+    FeatureMap map;
+    for (size_t i = begin; i < end; ++i) {
+      (void)map.Add(stream.features[i].second, 1.0);
+    }
+    segments.push_back(std::move(map));
+  }
+  std::vector<double> omds;
+  for (size_t s = 0; s + 1 < segments.size(); ++s) {
+    auto d = calc->Distance(segments[s], segments[s + 1]);
+    if (d.ok()) omds.push_back(*d);
+  }
+  return omds;
+}
+
+std::vector<size_t> FixedBoundaries(size_t total, size_t clip_len) {
+  std::vector<size_t> boundaries;
+  for (size_t i = 0; i < total; i += clip_len) boundaries.push_back(i);
+  return boundaries;
+}
+
+void Run() {
+  const Stream stream = MakeStream();
+  Banner("Figure 11: OMD between adjacent SVSs (segmentation quality)",
+         "10 synthetic SVSs of 150-450 features, 1 feature/s, 64-d");
+
+  core::OmdOptions omd_options;
+  omd_options.max_vectors = 64;
+  core::OmdCalculator calc(omd_options);
+
+  // --- Video-zilla's automatic segmentation, with the real reference loop:
+  // each finished segment is indexed and the cluster representative becomes
+  // the segmenter's reference (Sec. 5.1).
+  core::SvsStore store;
+  core::SvsMetric metric(&store, &calc);
+  core::IntraIndexOptions intra_options;
+  intra_options.recluster_interval = 1;
+  core::IntraCameraIndex intra("synthetic", &store, &metric, intra_options,
+                               Rng(3));
+  core::SegmenterOptions seg_options;
+  seg_options.t_max_ms = 10LL * 60 * 1000;  // 600 features cap
+  seg_options.t_split_ms = 60'000;
+  core::VideoSegmenter segmenter(seg_options, Rng(5));
+
+  std::vector<size_t> ours_boundaries = {0};
+  size_t consumed = 0;
+  auto on_segment = [&](const core::Segment& segment) {
+    const size_t segment_len = segment.features.size();
+    consumed += segment_len;
+    ours_boundaries.push_back(consumed);
+    const core::SvsId id = store.Create(
+        "synthetic", segment.start_ms, segment.end_ms, segment.features);
+    if (intra.Insert(id).ok()) {
+      auto rep = intra.ClusterRepresentativeFor(id);
+      if (rep.ok()) segmenter.SetReference(**rep);
+    }
+  };
+  for (const auto& [ts, feature] : stream.features) {
+    auto segment = segmenter.AddFeature(ts, feature);
+    if (segment.has_value()) on_segment(*segment);
+  }
+  auto tail = segmenter.Flush();
+  if (tail.has_value()) on_segment(*tail);
+  ours_boundaries.pop_back();  // last entry == total size, not a boundary
+
+  struct Row {
+    const char* name;
+    std::vector<size_t> boundaries;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"oracle", stream.true_boundaries});
+  rows.push_back({"video-zilla", ours_boundaries});
+  rows.push_back({"fixed 1 min", FixedBoundaries(stream.features.size(), 60)});
+  rows.push_back({"fixed 5 min", FixedBoundaries(stream.features.size(), 300)});
+  rows.push_back(
+      {"fixed 10 min", FixedBoundaries(stream.features.size(), 600)});
+
+  std::printf("%-14s %10s %16s\n", "method", "segments", "avg adjacent OMD");
+  std::vector<std::pair<const char*, std::vector<double>>> cdf_series;
+  for (const Row& row : rows) {
+    const std::vector<double> omds = AdjacentOmds(stream, row.boundaries,
+                                                  &calc);
+    std::printf("%-14s %10zu %16.3f\n", row.name, row.boundaries.size(),
+                Mean(omds));
+    cdf_series.emplace_back(row.name, omds);
+  }
+
+  std::printf("\nFig 11b — CDF of adjacent-SVS OMDs:\n");
+  for (const auto& [name, omds] : cdf_series) {
+    std::printf("%-14s:", name);
+    for (const auto& [threshold, fraction] : EmpiricalCdf(omds, 6)) {
+      std::printf("  (%.2f, %.2f)", threshold, fraction);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

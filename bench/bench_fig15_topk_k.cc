@@ -1,0 +1,54 @@
+// Reproduces Figure 15: impact of the top-k index's recognized-class count K
+// on cumulative GPU time. A small K dumps many objects into the "other"
+// bucket, which every query must rescan; growing K shrinks that bucket but
+// raises ingestion cost (the trade-off of Sec. 7.4 — "identifying the right
+// K value is non-trivial", which Video-zilla sidesteps entirely).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace vz::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 15: impact of K on the top-k index's GPU time",
+         "16-camera deployment; fire_hydrant+boat+train queries");
+  const sim::DeploymentOptions dep_options = BenchDeploymentOptions();
+  sim::Deployment deployment(dep_options);
+  sim::GpuCostModel gpu;
+
+  std::printf("%-4s %20s %20s %14s\n", "K", "query GPU time (s)",
+              "ingest GPU time (s)", "other frames");
+  for (size_t recognized : {3, 5, 6, 7, 8}) {
+    baseline::TopKIndexOptions options;
+    options.recognized_classes = recognized;
+    baseline::TopKIndex index(&deployment.extractor(), options);
+    for (const core::FrameObservation& obs : deployment.observations()) {
+      index.IngestFrame(obs);
+    }
+    index.Finalize();
+    double query_gpu_ms = 0.0;
+    for (int object_class : PaperQueryClasses()) {
+      const auto result = index.Query(object_class);
+      query_gpu_ms +=
+          static_cast<double>(result.frames.size()) * gpu.heavy_ms_per_frame;
+    }
+    // "other" bucket size averaged over cameras, via a query for a class
+    // that never occurs (other frames are all that come back).
+    size_t other_frames = 0;
+    for (const auto& cam : deployment.cameras()) {
+      other_frames += index.Query(sim::kDog, {cam.camera}).frames.size();
+    }
+    std::printf("%-4zu %20.2f %20.2f %14zu\n", recognized,
+                query_gpu_ms / 1000.0, index.ingest_gpu_ms() / 1000.0,
+                other_frames);
+  }
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

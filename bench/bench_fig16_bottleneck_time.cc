@@ -1,0 +1,57 @@
+// Reproduces Figure 16: bottleneck query time — the GPU time of the slowest
+// intra-camera index — for fire hydrant / boat / train queries under
+// Video-zilla vs the per-camera top-k baseline. Because the end-to-end
+// latency is gated by the slowest camera even with perfect parallelism,
+// both systems look similar here (Video-zilla's win is the *cumulative* GPU
+// time of Fig. 17).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+namespace vz::bench {
+namespace {
+
+constexpr int kQueriesPerClass = 10;
+
+void Run() {
+  EndToEndRig rig(LargeDeploymentOptions());
+  Banner("Figure 16: bottleneck (slowest-camera) query time",
+         "28 cameras, 10 query instances per object class");
+  Rng rng(41);
+
+  std::printf("%-13s %24s %24s\n", "query", "video-zilla bottleneck (s)",
+              "top-k bottleneck (s)");
+  for (int object_class : PaperQueryClasses()) {
+    double vz_bottleneck_ms = 0.0;
+    double topk_bottleneck_ms = 0.0;
+    for (int q = 0; q < kQueriesPerClass; ++q) {
+      const FeatureVector query =
+          rig.deployment.MakeQueryFeature(object_class, &rng);
+      auto result = rig.system.DirectQuery(query);
+      if (result.ok()) {
+        vz_bottleneck_ms += result->bottleneck_camera_gpu_ms / kQueriesPerClass;
+      }
+      const auto topk = rig.topk.Query(object_class);
+      size_t worst_frames = 0;
+      for (const auto& [camera, frames] : topk.per_camera_frames) {
+        worst_frames = std::max(worst_frames, frames);
+      }
+      topk_bottleneck_ms += static_cast<double>(worst_frames) *
+                            rig.gpu_cost.heavy_ms_per_frame /
+                            kQueriesPerClass;
+    }
+    std::printf("%-13s %24.2f %24.2f\n",
+                std::string(sim::ObjectClassName(object_class)).c_str(),
+                vz_bottleneck_ms / 1000.0, topk_bottleneck_ms / 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 17: cumulative GPU time across all intra-camera indices
+// for the three query classes, Video-zilla vs the per-camera top-k index.
+// The paper's headline: Video-zilla cuts cumulative GPU time by up to 14x,
+// because the hierarchical SVS index dispatches the heavy model to a handful
+// of semantically matching streams instead of every camera's class-bucket
+// plus its "other" bucket.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace vz::bench {
+namespace {
+
+constexpr int kQueriesPerClass = 10;
+
+void Run() {
+  EndToEndRig rig(LargeDeploymentOptions());
+  Banner("Figure 17: cumulative GPU time across intra-camera indices",
+         "28 cameras, 10 query instances per object class");
+  Rng rng(43);
+
+  std::printf("%-13s %18s %18s %10s\n", "query", "video-zilla (s)",
+              "top-k index (s)", "reduction");
+  double vz_total = 0.0;
+  double topk_total = 0.0;
+  for (int object_class : PaperQueryClasses()) {
+    double vz_ms = 0.0;
+    double topk_ms = 0.0;
+    for (int q = 0; q < kQueriesPerClass; ++q) {
+      const FeatureVector query =
+          rig.deployment.MakeQueryFeature(object_class, &rng);
+      auto result = rig.system.DirectQuery(query);
+      if (result.ok()) vz_ms += result->total_gpu_ms;
+      const auto topk = rig.topk.Query(object_class);
+      topk_ms += static_cast<double>(topk.frames.size()) *
+                 rig.gpu_cost.heavy_ms_per_frame;
+    }
+    vz_total += vz_ms;
+    topk_total += topk_ms;
+    std::printf("%-13s %18.2f %18.2f %9.1fx\n",
+                std::string(sim::ObjectClassName(object_class)).c_str(),
+                vz_ms / 1000.0, topk_ms / 1000.0,
+                vz_ms > 0 ? topk_ms / vz_ms : 0.0);
+  }
+  std::printf("%-13s %18.2f %18.2f %9.1fx   (paper: up to 14x)\n", "ALL",
+              vz_total / 1000.0, topk_total / 1000.0,
+              vz_total > 0 ? topk_total / vz_total : 0.0);
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 18: feature clusters discovered in the same video —
+// Video-zilla's representative centers map to the scene's actual object
+// classes, while the top-k index additionally carries an "other" bucket
+// whose frames every query must re-examine (the source of the top-k index's
+// wasted GPU time).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+namespace vz::bench {
+namespace {
+
+void Run() {
+  EndToEndRig rig;
+  Banner("Figure 18: feature clusters in the same video",
+         "one downtown feed; VZ cluster centers vs top-k indexed classes");
+  const core::CameraId camera = "downtown-nyc-0";
+
+  // Video-zilla: classes implied by the camera's cluster representatives
+  // (each weighted center sits near one class prototype).
+  auto intra = rig.system.intra_index(camera);
+  if (!intra.ok()) {
+    std::printf("camera %s not found\n", camera.c_str());
+    return;
+  }
+  std::printf("Video-zilla clusters for %s:\n", camera.c_str());
+  size_t cluster_index = 0;
+  for (const auto& cluster : (*intra)->clusters()) {
+    std::printf("  cluster %zu (%zu SVSs):", cluster_index++,
+                cluster.members.size());
+    for (const auto& center : cluster.representative.centers()) {
+      const int cls = rig.deployment.space().NearestPrototype(center.center);
+      std::printf(" %s(w=%.2f)",
+                  std::string(sim::ObjectClassName(cls)).c_str(),
+                  center.weight);
+    }
+    std::printf("\n");
+  }
+
+  // Top-k index: classes in the inverted index, including "other".
+  std::printf("top-k index classes for %s:\n ", camera.c_str());
+  size_t count = 0;
+  bool has_other = false;
+  for (int cls : rig.topk.IndexedClasses(camera)) {
+    std::printf(" %s", std::string(sim::ObjectClassName(cls)).c_str());
+    ++count;
+    has_other |= (cls == sim::kOtherClass);
+  }
+  std::printf("\n  -> %zu classes%s\n", count,
+              has_other ? " (includes the extra \"other\" class that every "
+                          "query rescans)"
+                        : "");
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

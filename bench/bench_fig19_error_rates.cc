@@ -1,0 +1,142 @@
+// Reproduces Figure 19: frame-level false-positive and false-negative rates
+// per indexing scheme and feature extractor, for the three query classes.
+// Schemes: classifier-only (heavy model over everything), per-camera top-k,
+// spatial-temporal correlation (Spatula-like), Video-zilla, and Video-zilla
+// without the inter-camera index ("intra only").
+//
+// Expected shape (Sec. 7.4): Video-zilla cuts FPR by examining far fewer
+// negative frames at a small FNR cost; S-T prunes too aggressively (high
+// FNR); intra-only lowers FNR at higher FPR; and VGG-16's fire-hydrant
+// confusion inflates that query's FNR through inaccurate clustering.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace vz::bench {
+namespace {
+
+constexpr int kQueriesPerClass = 8;
+
+struct SchemeResult {
+  sim::QueryEvaluation eval;
+};
+
+void RunExtractor(const std::string& name,
+                  const sim::ExtractorProfile& profile) {
+  sim::DeploymentOptions dep_options = BenchDeploymentOptions();
+  dep_options.extractor = profile;
+  EndToEndRig rig(dep_options);
+  Rng rng(47);
+
+  const std::vector<int64_t> universe = rig.classifier_only.AllFrames();
+  std::printf("\n--- extractor: %s ---\n", name.c_str());
+  std::printf("%-13s %-16s %8s %8s %10s\n", "query", "scheme", "FPR", "FNR",
+              "examined");
+  for (int object_class : PaperQueryClasses()) {
+    sim::QueryEvaluation classifier_eval;
+    sim::QueryEvaluation topk_eval;
+    sim::QueryEvaluation st_eval;
+    sim::QueryEvaluation vz_eval;
+    sim::QueryEvaluation intra_eval;
+    size_t classifier_frames = 0;
+    size_t topk_frames = 0;
+    size_t st_frames = 0;
+    size_t vz_frames = 0;
+    size_t intra_frames = 0;
+
+    const core::CameraId source_camera = rig.CameraContaining(object_class);
+    const auto correlated = rig.spatula.CorrelatedCameras(source_camera);
+
+    for (int q = 0; q < kQueriesPerClass; ++q) {
+      const FeatureVector query =
+          rig.deployment.MakeQueryFeature(object_class, &rng);
+
+      // Classifier-only: every frame is examined.
+      classifier_eval += sim::EvaluateFrameQuery(
+          universe, universe, object_class, rig.deployment.log(), rig.heavy);
+      classifier_frames += universe.size();
+
+      // Per-camera top-k.
+      const auto topk = rig.topk.Query(object_class);
+      topk_eval += sim::EvaluateFrameQuery(topk.frames, universe,
+                                           object_class,
+                                           rig.deployment.log(), rig.heavy);
+      topk_frames += topk.frames.size();
+
+      // Spatial-temporal: Video-zilla's intra-camera mechanism, restricted
+      // to cameras co-located with the query's source camera (Sec. 7.4).
+      {
+        core::QueryConstraints constraints;
+        constraints.cameras = correlated;
+        const core::IndexMode saved = rig.system.index_mode();
+        rig.system.SetIndexMode(core::IndexMode::kIntraOnly);
+        auto result = rig.system.DirectQuery(query, constraints);
+        rig.system.SetIndexMode(saved);
+        if (result.ok()) {
+          const auto frames = rig.FramesOfSvss(result->candidate_svss);
+          st_eval += sim::EvaluateFrameQuery(frames, universe, object_class,
+                                             rig.deployment.log(), rig.heavy);
+          st_frames += frames.size();
+        }
+      }
+
+      // Video-zilla (full hierarchy).
+      {
+        auto result = rig.system.DirectQuery(query);
+        if (result.ok()) {
+          const auto frames = rig.FramesOfSvss(result->candidate_svss);
+          vz_eval += sim::EvaluateFrameQuery(frames, universe, object_class,
+                                             rig.deployment.log(), rig.heavy);
+          vz_frames += frames.size();
+        }
+      }
+
+      // Intra-only (no inter-camera index).
+      {
+        const core::IndexMode saved = rig.system.index_mode();
+        rig.system.SetIndexMode(core::IndexMode::kIntraOnly);
+        auto result = rig.system.DirectQuery(query);
+        rig.system.SetIndexMode(saved);
+        if (result.ok()) {
+          const auto frames = rig.FramesOfSvss(result->candidate_svss);
+          intra_eval += sim::EvaluateFrameQuery(frames, universe,
+                                                object_class,
+                                                rig.deployment.log(),
+                                                rig.heavy);
+          intra_frames += frames.size();
+        }
+      }
+    }
+
+    const std::string cls(sim::ObjectClassName(object_class));
+    auto row = [&cls](const char* scheme, const sim::QueryEvaluation& eval,
+                      size_t frames) {
+      std::printf("%-13s %-16s %7.2f%% %7.2f%% %10zu\n", cls.c_str(), scheme,
+                  100.0 * eval.Fpr(), 100.0 * eval.Fnr(),
+                  frames / kQueriesPerClass);
+    };
+    row("classifier", classifier_eval, classifier_frames);
+    row("top-k", topk_eval, topk_frames);
+    row("S-T", st_eval, st_frames);
+    row("video-zilla", vz_eval, vz_frames);
+    row("intra-only", intra_eval, intra_frames);
+  }
+}
+
+void Run() {
+  Banner("Figure 19: FPR/FNR by indexing scheme and feature extractor",
+         "16 cameras, 8 query instances per class, frame-level scoring");
+  RunExtractor("resnet50", sim::ExtractorProfile::ResNet50());
+  RunExtractor("resnet34", sim::ExtractorProfile::ResNet34());
+  RunExtractor("vgg16", sim::ExtractorProfile::Vgg16());
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

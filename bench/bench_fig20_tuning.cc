@@ -1,0 +1,98 @@
+// Reproduces Figure 20: the scalability / precision / recall trade-off as
+// the number of clusters in the inter-camera index varies, for fire-hydrant
+// queries. Few clusters = coarse groups = everything is a candidate (high
+// recall, high GPU); more clusters prune harder (precision up, recall and
+// GPU down) until over-fragmentation sets in. The dashed line in the paper
+// is the silhouette-chosen cluster count, which we also print.
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_util.h"
+
+namespace vz::bench {
+namespace {
+
+constexpr int kQueries = 8;
+
+void Run() {
+  // The paper's Fig. 20 sweeps the plain Sec. 3.3 cluster representatives
+  // (pooled k-means, no covering guarantee, no exact confirmation stage) —
+  // that is the configuration whose precision/recall/GPU actually move with
+  // the cluster count.
+  core::VideoZillaOptions vz_options = BenchVzOptions();
+  vz_options.intra.covering_cluster_representatives = false;
+  vz_options.enable_exact_stage = false;
+  EndToEndRig rig(BenchDeploymentOptions(), vz_options);
+  Banner("Figure 20: tuning the index cluster count",
+         "fire_hydrant queries, SVS-level precision/recall, pooled reps");
+  Rng rng(53);
+
+  // Silhouette-chosen cluster counts (the paper's red dashed line). In this
+  // implementation the inter-camera index's entries ARE the per-camera
+  // cluster representatives, so the cluster-count knob that gates query
+  // dispatch is the per-camera cluster count; we sweep it uniformly.
+  (void)rig.system.SetIntraClusterCount(std::nullopt);
+  size_t chosen = 0;
+  size_t cams = 0;
+  for (const auto& cam : rig.deployment.cameras()) {
+    auto intra = rig.system.intra_index(cam.camera);
+    if (intra.ok()) {
+      chosen += (*intra)->clusters().size();
+      ++cams;
+    }
+  }
+  chosen = cams > 0 ? (chosen + cams / 2) / cams : 0;  // mean, rounded
+
+  // Ground-truth SVS set.
+  const auto truth = rig.deployment.log().TrueSvsSet(
+      rig.system.svs_store(), sim::kFireHydrant);
+  std::unordered_set<core::SvsId> truth_set(truth.begin(), truth.end());
+
+  // Pre-draw the query features so every cluster setting sees them.
+  std::vector<FeatureVector> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    queries.push_back(rig.deployment.MakeQueryFeature(sim::kFireHydrant,
+                                                      &rng));
+  }
+
+  double baseline_gpu = 0.0;
+  std::printf("%-10s %10s %10s %16s\n", "clusters", "precision", "recall",
+              "norm. GPU time");
+  for (size_t k = 1; k <= 10; ++k) {
+    if (!rig.system.SetIntraClusterCount(k).ok()) continue;
+    size_t tp = 0;
+    size_t predicted = 0;
+    size_t truth_hits = 0;
+    double gpu_ms = 0.0;
+    std::unordered_set<core::SvsId> found;
+    for (const FeatureVector& query : queries) {
+      auto result = rig.system.DirectQuery(query);
+      if (!result.ok()) continue;
+      gpu_ms += result->total_gpu_ms;
+      predicted += result->matched_svss.size();
+      for (core::SvsId id : result->matched_svss) {
+        tp += truth_set.count(id);
+        if (truth_set.count(id)) found.insert(id);
+      }
+    }
+    truth_hits = found.size();
+    if (k == 1) baseline_gpu = gpu_ms;
+    const double precision =
+        predicted == 0 ? 1.0 : static_cast<double>(tp) / predicted;
+    const double recall =
+        truth.empty() ? 1.0
+                      : static_cast<double>(truth_hits) / truth.size();
+    std::printf("%-10zu %10.3f %10.3f %16.3f%s\n", k, precision, recall,
+                baseline_gpu > 0 ? gpu_ms / baseline_gpu : 0.0,
+                k == chosen ? "   <- silhouette-chosen" : "");
+  }
+  (void)rig.system.SetIntraClusterCount(std::nullopt);
+}
+
+}  // namespace
+}  // namespace vz::bench
+
+int main() {
+  vz::bench::Run();
+  return 0;
+}

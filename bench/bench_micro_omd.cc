@@ -1,0 +1,62 @@
+// Microbenchmark (google-benchmark): exact vs thresholded OMD solve time as
+// a function of SVS size — the raw cost the FastOMD approximation of
+// Sec. 3.2 attacks. The paper reports 767 ms average per thresholded OMD at
+// alpha = 0.6 on 1024-d, ~700-vector SVSs; our absolute numbers differ with
+// size but the exact/thresholded gap shape is the same.
+#include <benchmark/benchmark.h>
+
+#include "core/omd.h"
+#include "sim/dataset.h"
+
+namespace {
+
+vz::sim::SyntheticDataset MakePair(size_t vectors) {
+  vz::sim::SyntheticDatasetOptions options;
+  options.num_svs = 2;
+  options.vectors_per_svs = vectors;
+  options.dim = 128;
+  options.num_types = 2;
+  options.seed = 71;
+  return vz::sim::MakeSyntheticDataset(options);
+}
+
+void BM_ExactOmd(benchmark::State& state) {
+  const auto data = MakePair(static_cast<size_t>(state.range(0)));
+  vz::core::OmdOptions options;
+  options.mode = vz::core::OmdMode::kExact;
+  options.max_vectors = static_cast<size_t>(state.range(0));
+  vz::core::OmdCalculator calc(options);
+  for (auto _ : state) {
+    auto d = calc.Distance(data.svss[0], data.svss[1]);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_ExactOmd)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ThresholdedOmd(benchmark::State& state) {
+  const auto data = MakePair(static_cast<size_t>(state.range(0)));
+  vz::core::OmdOptions options;
+  options.mode = vz::core::OmdMode::kThresholded;
+  options.threshold_alpha = 0.6;
+  options.max_vectors = static_cast<size_t>(state.range(0));
+  vz::core::OmdCalculator calc(options);
+  for (auto _ : state) {
+    auto d = calc.Distance(data.svss[0], data.svss[1]);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_ThresholdedOmd)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_OcdLowerBound(benchmark::State& state) {
+  const auto data = MakePair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    const double d =
+        vz::ObjectCentroidDistance(data.svss[0], data.svss[1]);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_OcdLowerBound)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Microbenchmark (google-benchmark): snapshot save/load throughput for the
+// SVS store — the restart path of a deployed indexing layer. Not a paper
+// figure; an operational metric for this implementation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/representative.h"
+#include "core/svs.h"
+#include "io/svs_snapshot.h"
+#include "sim/dataset.h"
+
+namespace {
+
+void FillStore(vz::core::SvsStore* store, size_t num_svs) {
+  vz::sim::SyntheticDatasetOptions options;
+  options.num_svs = num_svs;
+  options.vectors_per_svs = 60;
+  options.dim = 64;
+  options.seed = 77;
+  vz::sim::SyntheticDataset data = vz::sim::MakeSyntheticDataset(options);
+  vz::Rng rng(5);
+  for (size_t i = 0; i < data.svss.size(); ++i) {
+    const vz::core::SvsId id =
+        store->Create("cam-" + std::to_string(i % 8),
+                      static_cast<int64_t>(i) * 1000,
+                      static_cast<int64_t>(i) * 1000 + 900,
+                      std::move(data.svss[i]));
+    auto svs = store->GetMutable(id);
+    auto rep = vz::core::BuildRepresentative(
+        (*svs)->features(), vz::core::RepresentativeOptions{}, &rng);
+    if (rep.ok()) (*svs)->set_representative(*rep);
+    (*svs)->set_frame_ids({static_cast<int64_t>(i), static_cast<int64_t>(i) + 1});
+  }
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  vz::core::SvsStore store;
+  FillStore(&store, static_cast<size_t>(state.range(0)));
+  const std::string path = "/tmp/vz_bench_snapshot.vzss";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vz::io::SaveSvsStore(store, path));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSave)->Arg(32)->Arg(128);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  vz::core::SvsStore store;
+  FillStore(&store, static_cast<size_t>(state.range(0)));
+  const std::string path = "/tmp/vz_bench_snapshot.vzss";
+  if (!vz::io::SaveSvsStore(store, path).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    vz::core::SvsStore loaded;
+    benchmark::DoNotOptimize(vz::io::LoadSvsStore(path, &loaded));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

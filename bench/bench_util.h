@@ -1,0 +1,157 @@
+#ifndef VZ_BENCH_BENCH_UTIL_H_
+#define VZ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/classifier_only.h"
+#include "baseline/spatula.h"
+#include "baseline/topk_index.h"
+#include "core/videozilla.h"
+#include "sim/dataset.h"
+#include "sim/evaluation.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace vz::bench {
+
+/// Prints a figure/table banner with the scaled-down parameters used, so the
+/// output is self-describing next to EXPERIMENTS.md.
+inline void Banner(const std::string& title, const std::string& params) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  if (!params.empty()) std::printf("params: %s\n", params.c_str());
+}
+
+/// Synthetic microbenchmark dataset at a bench-friendly scale. The paper's
+/// microbenchmarks use 1000 SVSs x 500 vectors x 1024-d; these defaults keep
+/// the same 10-type structure at a size that runs in seconds.
+inline sim::SyntheticDatasetOptions BenchSyntheticOptions() {
+  sim::SyntheticDatasetOptions options;
+  options.num_svs = 200;
+  options.vectors_per_svs = 60;
+  options.dim = 128;
+  options.num_types = 10;
+  options.seed = 2022;
+  return options;
+}
+
+/// The end-to-end deployment at bench scale: 16 cameras (2 cities x 3
+/// downtown + 6 highway + 2 stations + 2 harbors), 8 minutes per feed.
+inline sim::DeploymentOptions BenchDeploymentOptions() {
+  sim::DeploymentOptions options;
+  options.cities = 2;
+  options.downtown_per_city = 3;
+  options.highway_cameras = 6;
+  options.train_stations = 2;
+  options.harbors = 2;
+  options.feed_duration_ms = 8LL * 60 * 1000;
+  options.fps = 0.5;
+  options.feature_dim = 48;
+  options.seed = 7;
+  return options;
+}
+
+inline core::VideoZillaOptions BenchVzOptions() {
+  core::VideoZillaOptions options;
+  options.segmenter.t_max_ms = 2LL * 60 * 1000;  // scaled-down t_max
+  options.segmenter.t_split_ms = options.segmenter.t_max_ms / 10;
+  // React to scene changes quickly so SVS boundaries track scene boundaries
+  // (transition tails are the main FNR source at stream granularity).
+  options.segmenter.min_novel_features = 4;
+  options.segmenter.novelty_check_stride = 2;
+  options.omd.max_vectors = 64;
+  options.intra.recluster_interval = 3;
+  options.boundary_scale = 1.8;
+  options.enable_keyframe_selection = false;
+  options.seed = 11;
+  return options;
+}
+
+/// A larger fleet for the GPU-time comparisons (Figs. 16-17): like the
+/// paper's 44-camera deployment, most feeds do not contain any given query
+/// object, which is where hierarchical pruning pays off.
+inline sim::DeploymentOptions LargeDeploymentOptions() {
+  sim::DeploymentOptions options = BenchDeploymentOptions();
+  options.cities = 4;
+  options.downtown_per_city = 3;
+  options.highway_cameras = 12;
+  return options;
+}
+
+/// One end-to-end rig: deployment + Video-zilla + baselines, all fed the
+/// exact same frames.
+struct EndToEndRig {
+  explicit EndToEndRig(
+      const sim::DeploymentOptions& dep_options = BenchDeploymentOptions(),
+      const core::VideoZillaOptions& vz_options = BenchVzOptions(),
+      const baseline::TopKIndexOptions& topk_options =
+          baseline::TopKIndexOptions())
+      : deployment(dep_options),
+        system(vz_options),
+        heavy(0.97, 0.05, 31),
+        verifier(&deployment.space(), &deployment.log(), &heavy),
+        topk(&deployment.extractor(), topk_options) {
+    Status status = deployment.IngestAll(&system);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+    }
+    system.SetVerifier(&verifier);
+    for (const core::FrameObservation& obs : deployment.observations()) {
+      topk.IngestFrame(obs);
+      classifier_only.IngestFrame(obs);
+    }
+    topk.Finalize();
+    for (const auto& cam : deployment.cameras()) {
+      spatula.RegisterCamera(cam.camera, cam.location_tag);
+    }
+  }
+
+  /// Frames of the SVSs in `ids` (what the heavy model examines for VZ).
+  std::vector<int64_t> FramesOfSvss(const std::vector<core::SvsId>& ids) {
+    std::vector<int64_t> frames;
+    for (core::SvsId id : ids) {
+      auto svs = system.svs_store().Get(id);
+      if (!svs.ok()) continue;
+      frames.insert(frames.end(), (*svs)->frame_ids().begin(),
+                    (*svs)->frame_ids().end());
+    }
+    return frames;
+  }
+
+  /// A camera whose feed truly contains `object_class` (for Spatula's
+  /// "query captured by camera X" semantics); empty string if none.
+  core::CameraId CameraContaining(int object_class) {
+    for (const auto& cam : deployment.cameras()) {
+      for (core::SvsId id :
+           system.svs_store().IdsForCamera(cam.camera)) {
+        auto svs = system.svs_store().Get(id);
+        if (svs.ok() &&
+            deployment.log().SvsContains(**svs, object_class)) {
+          return cam.camera;
+        }
+      }
+    }
+    return "";
+  }
+
+  sim::Deployment deployment;
+  core::VideoZilla system;
+  sim::HeavyModel heavy;
+  sim::SimObjectVerifier verifier;
+  baseline::TopKIndex topk;
+  baseline::SpatulaCorrelator spatula;
+  baseline::ClassifierOnlyBaseline classifier_only;
+  sim::GpuCostModel gpu_cost;
+};
+
+/// The three paper query classes (Sec. 7.4).
+inline std::vector<int> PaperQueryClasses() {
+  return {sim::kFireHydrant, sim::kBoat, sim::kTrain};
+}
+
+}  // namespace vz::bench
+
+#endif  // VZ_BENCH_BENCH_UTIL_H_

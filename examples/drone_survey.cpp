@@ -1,0 +1,83 @@
+// Moving-camera segmentation (Sec. 5, "also useful for moving cameras like
+// dashcams or drones capturing frequent changing scenes"): a drive that
+// passes from downtown onto a highway is automatically split into SVSs whose
+// boundaries track the scene changes, without any manual annotation.
+#include <cstdio>
+#include <map>
+
+#include "core/videozilla.h"
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+
+int main() {
+  using namespace vz;
+
+  // One "drone/dashcam" feed whose schedule alternates terrains.
+  sim::DeploymentOptions dep_options;
+  dep_options.cities = 0;
+  dep_options.downtown_per_city = 0;
+  dep_options.highway_cameras = 0;
+  dep_options.train_stations = 0;
+  dep_options.harbors = 0;
+  dep_options.combined_drives = 1;
+  dep_options.feed_duration_ms = 8 * 60 * 1000;
+  dep_options.fps = 1.0;
+  sim::Deployment deployment(dep_options);
+
+  core::VideoZillaOptions options;
+  options.segmenter.t_max_ms = 100 * 1000;
+  options.segmenter.t_split_ms = options.segmenter.t_max_ms / 10;
+  options.segmenter.min_novel_features = 4;
+  options.segmenter.novelty_check_stride = 2;
+  options.enable_keyframe_selection = false;
+  core::VideoZilla vz(options);
+  if (Status s = deployment.IngestAll(&vz); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("the 8-minute drive (downtown -> highway at 4:00) was split "
+              "into %zu SVSs:\n\n",
+              vz.svs_store().size());
+  std::printf("%-5s %-13s %-9s %s\n", "svs", "window", "objects",
+              "dominant true content");
+  for (core::SvsId id : vz.svs_store().AllIds()) {
+    auto svs = vz.svs_store().Get(id);
+    if (!svs.ok()) continue;
+    // Dominant true classes from the oracle log, for illustration.
+    std::map<int, size_t> histogram;
+    size_t total = 0;
+    for (int64_t frame : (*svs)->frame_ids()) {
+      const sim::FrameTruth* truth = deployment.log().Lookup(frame);
+      if (truth == nullptr) continue;
+      for (int cls : truth->object_classes) {
+        histogram[cls]++;
+        ++total;
+      }
+    }
+    std::printf("%-5lld %4llds-%-6llds %-9zu", static_cast<long long>(id),
+                static_cast<long long>((*svs)->start_ms() / 1000),
+                static_cast<long long>((*svs)->end_ms() / 1000), total);
+    // Top-3 classes.
+    for (int rank = 0; rank < 3; ++rank) {
+      int best = -1;
+      size_t best_count = 0;
+      for (const auto& [cls, count] : histogram) {
+        if (count > best_count) {
+          best_count = count;
+          best = cls;
+        }
+      }
+      if (best < 0 || total == 0) break;
+      std::printf(" %s(%zu%%)",
+                  std::string(sim::ObjectClassName(best)).c_str(),
+                  100 * best_count / total);
+      histogram.erase(best);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nSVS boundaries near the 4:00 mark delineate the terrain "
+              "change — no labels, no shot detector, just the feature-drift "
+              "rule of Algorithm 3.\n");
+  return 0;
+}

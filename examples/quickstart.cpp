@@ -1,0 +1,98 @@
+// Quickstart: stand up a Video-zilla indexing layer over a handful of
+// simulated camera feeds, ingest them, and run the two query primitives
+// (directQuery / clusteringQuery) plus getMetaData.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/videozilla.h"
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+int main() {
+  using namespace vz;
+
+  // 1. A small simulated deployment: 2 downtown dashcams, 1 highway camera,
+  //    1 train station, 1 harbor (stand-ins for real RTSP feeds; see
+  //    DESIGN.md for the substitution rationale).
+  sim::DeploymentOptions dep_options;
+  dep_options.cities = 1;
+  dep_options.downtown_per_city = 2;
+  dep_options.highway_cameras = 1;
+  dep_options.train_stations = 1;
+  dep_options.harbors = 1;
+  dep_options.feed_duration_ms = 4 * 60 * 1000;
+  dep_options.fps = 1.0;
+  sim::Deployment deployment(dep_options);
+
+  // 2. The indexing layer. The defaults follow the paper; here we shrink
+  //    t_max to match the short feeds.
+  core::VideoZillaOptions options;
+  options.segmenter.t_max_ms = 60 * 1000;
+  options.segmenter.t_split_ms = options.segmenter.t_max_ms / 10;
+  options.boundary_scale = 1.8;
+  options.enable_keyframe_selection = false;
+  core::VideoZilla vz(options);
+
+  // 3. Register cameras and ingest every frame (cameraStart + per-frame
+  //    ingestion; Flush finalizes the trailing SVSs).
+  Status status = deployment.IngestAll(&vz);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("ingested %llu frames -> %zu semantic video streams across "
+              "%zu cameras\n",
+              static_cast<unsigned long long>(
+                  vz.ingest_stats().frames_offered),
+              vz.svs_store().size(), vz.cameras().size());
+
+  // 4. Attach the heavy ground-truth model used to verify candidates.
+  sim::HeavyModel heavy;
+  sim::SimObjectVerifier verifier(&deployment.space(), &deployment.log(),
+                                  &heavy);
+  vz.SetVerifier(&verifier);
+
+  // 5. directQuery: find streams containing a boat.
+  Rng rng(1);
+  const FeatureVector query =
+      deployment.MakeQueryFeature(sim::kBoat, &rng);
+  auto result = vz.DirectQuery(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ndirectQuery(boat): %zu candidate SVSs -> %zu matches, "
+              "%.1f ms simulated GPU time\n",
+              result->candidate_svss.size(), result->matched_svss.size(),
+              result->total_gpu_ms);
+  for (core::SvsId id : result->matched_svss) {
+    auto meta = vz.GetMetaData(id);
+    if (!meta.ok()) continue;
+    std::printf("  SVS %lld  camera=%s  window=%llds-%llds  frames=%zu\n",
+                static_cast<long long>(id), meta->camera.c_str(),
+                static_cast<long long>(meta->start_ms / 1000),
+                static_cast<long long>(meta->end_ms / 1000),
+                meta->num_frames);
+  }
+
+  // 6. clusteringQuery: everything semantically similar to the first match.
+  if (!result->matched_svss.empty()) {
+    auto svs = vz.svs_store().Get(result->matched_svss.front());
+    if (svs.ok()) {
+      auto similar = vz.ClusteringQuery((*svs)->features());
+      if (similar.ok()) {
+        std::printf("\nclusteringQuery(SVS %lld): %zu semantically similar "
+                    "streams across %zu cameras\n",
+                    static_cast<long long>(result->matched_svss.front()),
+                    similar->similar_svss.size(),
+                    similar->cameras_contributing);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// vz_cli — a small operator console for the indexing layer: build a
+// simulated deployment, ingest it, answer queries, snapshot and restore.
+//
+//   vz_cli [--downtown N] [--highway N] [--stations N] [--harbors N]
+//          [--minutes M] [--query CLASS]... [--mode hierarchical|intra|flat]
+//          [--save PATH] [--load PATH] [--seed S]
+//
+// Examples:
+//   vz_cli --downtown 4 --harbors 2 --minutes 6 --query boat --query train
+//   vz_cli --load snapshot.vzss --query fire_hydrant
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/videozilla.h"
+#include "io/svs_snapshot.h"
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace {
+
+int ClassByName(const std::string& name) {
+  for (int c = 0; c < vz::sim::kNumObjectClasses; ++c) {
+    if (vz::sim::ObjectClassName(c) == name) return c;
+  }
+  return -1;
+}
+
+struct CliOptions {
+  size_t downtown = 2;
+  size_t highway = 2;
+  size_t stations = 1;
+  size_t harbors = 1;
+  int64_t minutes = 5;
+  std::vector<int> queries;
+  std::string mode = "hierarchical";
+  std::string save_path;
+  std::string load_path;
+  uint64_t seed = 7;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  auto next_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) return nullptr;
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--downtown" && (value = next_value(&i))) {
+      options->downtown = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--highway" && (value = next_value(&i))) {
+      options->highway = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--stations" && (value = next_value(&i))) {
+      options->stations = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--harbors" && (value = next_value(&i))) {
+      options->harbors = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--minutes" && (value = next_value(&i))) {
+      options->minutes = std::atoll(value);
+    } else if (arg == "--seed" && (value = next_value(&i))) {
+      options->seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--query" && (value = next_value(&i))) {
+      const int cls = ClassByName(value);
+      if (cls < 0) {
+        std::fprintf(stderr, "unknown object class: %s\n", value);
+        return false;
+      }
+      options->queries.push_back(cls);
+    } else if (arg == "--mode" && (value = next_value(&i))) {
+      options->mode = value;
+    } else if (arg == "--save" && (value = next_value(&i))) {
+      options->save_path = value;
+    } else if (arg == "--load" && (value = next_value(&i))) {
+      options->load_path = value;
+    } else if (arg == "--help") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vz;
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    std::fprintf(stderr,
+                 "usage: vz_cli [--downtown N] [--highway N] [--stations N] "
+                 "[--harbors N] [--minutes M] [--query CLASS]... "
+                 "[--mode hierarchical|intra|flatsvs|flat] [--save PATH] "
+                 "[--load PATH] [--seed S]\n");
+    return 2;
+  }
+
+  sim::DeploymentOptions dep_options;
+  dep_options.cities = 1;
+  dep_options.downtown_per_city = cli.downtown;
+  dep_options.highway_cameras = cli.highway;
+  dep_options.train_stations = cli.stations;
+  dep_options.harbors = cli.harbors;
+  dep_options.feed_duration_ms = cli.minutes * 60 * 1000;
+  dep_options.fps = 1.0;
+  dep_options.seed = cli.seed;
+  sim::Deployment deployment(dep_options);
+
+  core::VideoZillaOptions options;
+  options.segmenter.t_max_ms = std::max<int64_t>(30'000,
+                                                 cli.minutes * 60'000 / 5);
+  options.segmenter.t_split_ms = options.segmenter.t_max_ms / 10;
+  options.boundary_scale = 1.8;
+  options.enable_keyframe_selection = false;
+  core::VideoZilla vz(options);
+
+  if (!cli.load_path.empty()) {
+    // The simulated world (and its ground-truth log, which the verifier
+    // consults) must be regenerated with the same deployment flags the
+    // snapshot was built with.
+    (void)deployment.observations();
+    core::SvsStore loaded;
+    if (Status s = io::LoadSvsStore(cli.load_path, &loaded); !s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = vz.RestoreFromSvsStore(loaded); !s.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %zu SVSs across %zu cameras from %s\n",
+                vz.svs_store().size(), vz.cameras().size(),
+                cli.load_path.c_str());
+  } else {
+    if (Status s = deployment.IngestAll(&vz); !s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto& stats = vz.ingest_stats();
+    std::printf("ingested %llu frames / %llu features -> %zu SVSs across "
+                "%zu cameras\n",
+                static_cast<unsigned long long>(stats.frames_offered),
+                static_cast<unsigned long long>(stats.features_extracted),
+                vz.svs_store().size(), vz.cameras().size());
+  }
+
+  if (cli.mode == "intra") {
+    vz.SetIndexMode(core::IndexMode::kIntraOnly);
+  } else if (cli.mode == "flatsvs") {
+    vz.SetIndexMode(core::IndexMode::kFlatSvs);
+  } else if (cli.mode == "flat") {
+    vz.SetIndexMode(core::IndexMode::kFlat);
+  }
+
+  sim::HeavyModel heavy;
+  sim::SimObjectVerifier verifier(&deployment.space(), &deployment.log(),
+                                  &heavy);
+  vz.SetVerifier(&verifier);
+
+  Rng rng(cli.seed ^ 0x51);
+  for (int object_class : cli.queries) {
+    const FeatureVector query =
+        deployment.MakeQueryFeature(object_class, &rng);
+    auto result = vz.DirectQuery(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\nquery %s [%s mode]: %zu candidates -> %zu matches, "
+                "%.0f ms GPU\n",
+                std::string(sim::ObjectClassName(object_class)).c_str(),
+                cli.mode.c_str(), result->candidate_svss.size(),
+                result->matched_svss.size(), result->total_gpu_ms);
+    for (core::SvsId id : result->matched_svss) {
+      auto meta = vz.GetMetaData(id);
+      if (!meta.ok()) continue;
+      std::printf("  %-20s %5llds - %5llds  (%zu frames)\n",
+                  meta->camera.c_str(),
+                  static_cast<long long>(meta->start_ms / 1000),
+                  static_cast<long long>(meta->end_ms / 1000),
+                  meta->num_frames);
+    }
+  }
+
+  if (!cli.save_path.empty()) {
+    if (Status s = io::SaveSvsStore(vz.svs_store(), cli.save_path); !s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nsnapshot written to %s\n", cli.save_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "baseline/spatula.h"
+
+#include <algorithm>
+
+namespace vz::baseline {
+
+void SpatulaCorrelator::RegisterCamera(const core::CameraId& camera,
+                                       const std::string& location_tag) {
+  location_of_[camera] = location_tag;
+  auto& list = by_location_[location_tag];
+  if (std::find(list.begin(), list.end(), camera) == list.end()) {
+    list.push_back(camera);
+  }
+}
+
+std::vector<core::CameraId> SpatulaCorrelator::CorrelatedCameras(
+    const core::CameraId& source) const {
+  auto it = location_of_.find(source);
+  if (it == location_of_.end()) return {source};
+  return CamerasAt(it->second);
+}
+
+std::vector<core::CameraId> SpatulaCorrelator::CamerasAt(
+    const std::string& location_tag) const {
+  auto it = by_location_.find(location_tag);
+  if (it == by_location_.end()) return {};
+  return it->second;
+}
+
+}  // namespace vz::baseline

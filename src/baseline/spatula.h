@@ -1,0 +1,44 @@
+#ifndef VZ_BASELINE_SPATULA_H_
+#define VZ_BASELINE_SPATULA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frame.h"
+
+namespace vz::baseline {
+
+/// Spatula-style spatial-temporal camera correlation (Jain et al., SEC
+/// 2020), the cross-camera comparator of Sec. 7.4: objects seen by one
+/// camera are assumed to appear only on manually-labeled nearby cameras, so
+/// a query captured in NYC searches only NYC cameras.
+///
+/// The manual location labels come from the deployment configuration —
+/// exactly the labeling burden Sec. 7.5 points out Video-zilla removes.
+class SpatulaCorrelator {
+ public:
+  SpatulaCorrelator() = default;
+
+  /// Registers a camera with its manual location label.
+  void RegisterCamera(const core::CameraId& camera,
+                      const std::string& location_tag);
+
+  /// Cameras sharing `source`'s location (including `source` itself).
+  /// Unknown cameras correlate only with themselves.
+  std::vector<core::CameraId> CorrelatedCameras(
+      const core::CameraId& source) const;
+
+  /// All cameras labeled with `location_tag`.
+  std::vector<core::CameraId> CamerasAt(const std::string& location_tag) const;
+
+  size_t num_cameras() const { return location_of_.size(); }
+
+ private:
+  std::unordered_map<core::CameraId, std::string> location_of_;
+  std::unordered_map<std::string, std::vector<core::CameraId>> by_location_;
+};
+
+}  // namespace vz::baseline
+
+#endif  // VZ_BASELINE_SPATULA_H_

@@ -1,0 +1,122 @@
+#include "baseline/topk_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/object_class.h"
+
+namespace vz::baseline {
+
+TopKIndex::TopKIndex(const sim::FeatureExtractor* extractor,
+                     const TopKIndexOptions& options)
+    : extractor_(extractor), options_(options) {
+  if (options_.k == 0) options_.k = 1;
+  if (options_.recognized_classes == 0) options_.recognized_classes = 1;
+}
+
+void TopKIndex::IngestFrame(const core::FrameObservation& frame) {
+  CameraState& state = cameras_[frame.camera];
+  state.frames.push_back(frame.frame_id);
+  ++num_frames_;
+  for (const core::DetectedObject& object : frame.objects) {
+    ++num_objects_;
+    std::vector<int> ranking =
+        extractor_->TopKClasses(object.feature, options_.k);
+    if (!ranking.empty()) state.class_counts[ranking.front()]++;
+    state.object_rankings.emplace_back(frame.frame_id, std::move(ranking));
+  }
+}
+
+void TopKIndex::Finalize() {
+  for (auto& [camera, state] : cameras_) {
+    if (state.finalized) continue;
+    state.finalized = true;
+    // The K most frequent top-1 classes are "recognized" on this camera.
+    std::vector<std::pair<size_t, int>> by_count;
+    for (const auto& [object_class, count] : state.class_counts) {
+      if (object_class == sim::kOtherClass) continue;
+      by_count.emplace_back(count, object_class);
+    }
+    std::sort(by_count.rbegin(), by_count.rend());
+    std::unordered_set<int> recognized;
+    for (size_t i = 0;
+         i < std::min(options_.recognized_classes, by_count.size()); ++i) {
+      recognized.insert(by_count[i].second);
+    }
+    // Invert: every object's recognized top-k classes point at its frame;
+    // unrecognized or rejected objects land in the "other" bucket.
+    std::map<int, std::unordered_set<int64_t>> buckets;
+    for (const auto& [frame_id, ranking] : state.object_rankings) {
+      // An object whose best guess is outside the recognition head's K
+      // classes (or rejected outright) is unknown to the ingestion model;
+      // its frame joins the "other" bucket that every query rescans.
+      if (ranking.empty() || ranking.front() == sim::kOtherClass ||
+          recognized.count(ranking.front()) == 0) {
+        buckets[sim::kOtherClass].insert(frame_id);
+      }
+      for (int object_class : ranking) {
+        if (object_class != sim::kOtherClass &&
+            recognized.count(object_class) > 0) {
+          buckets[object_class].insert(frame_id);
+        }
+      }
+    }
+    for (auto& [object_class, frames] : buckets) {
+      std::vector<int64_t> sorted(frames.begin(), frames.end());
+      std::sort(sorted.begin(), sorted.end());
+      state.inverted.emplace(object_class, std::move(sorted));
+    }
+  }
+}
+
+TopKIndex::QueryResult TopKIndex::Query(int object_class) const {
+  std::vector<core::CameraId> all;
+  all.reserve(cameras_.size());
+  for (const auto& [camera, state] : cameras_) all.push_back(camera);
+  return Query(object_class, all);
+}
+
+TopKIndex::QueryResult TopKIndex::Query(
+    int object_class, const std::vector<core::CameraId>& cameras) const {
+  QueryResult result;
+  for (const core::CameraId& camera : cameras) {
+    auto it = cameras_.find(camera);
+    if (it == cameras_.end()) continue;
+    const CameraState& state = it->second;
+    std::unordered_set<int64_t> frames;
+    auto bucket = state.inverted.find(object_class);
+    if (bucket != state.inverted.end()) {
+      frames.insert(bucket->second.begin(), bucket->second.end());
+    }
+    // The "other" bucket must always be re-examined (Fig. 18): it may hide
+    // any class.
+    auto other = state.inverted.find(sim::kOtherClass);
+    if (other != state.inverted.end()) {
+      frames.insert(other->second.begin(), other->second.end());
+    }
+    result.per_camera_frames.emplace_back(camera, frames.size());
+    for (int64_t frame : frames) result.frames.push_back(frame);
+  }
+  return result;
+}
+
+std::vector<int> TopKIndex::IndexedClasses(const core::CameraId& camera) const {
+  std::vector<int> classes;
+  auto it = cameras_.find(camera);
+  if (it == cameras_.end()) return classes;
+  for (const auto& [object_class, frames] : it->second.inverted) {
+    classes.push_back(object_class);
+  }
+  return classes;
+}
+
+double TopKIndex::ingest_gpu_ms() const {
+  const double per_object = extractor_->profile().gpu_ms_per_object;
+  // Recognition-model complexity grows with K (roughly linearly in the
+  // number of classes the head discriminates).
+  const double k_factor =
+      1.0 + 0.1 * static_cast<double>(options_.recognized_classes);
+  return static_cast<double>(num_objects_) * per_object * k_factor;
+}
+
+}  // namespace vz::baseline

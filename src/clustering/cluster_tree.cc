@@ -1,0 +1,84 @@
+#include "clustering/cluster_tree.h"
+
+#include <string>
+
+namespace vz::clustering {
+
+int ClusterTree::AddLeaf(int item) {
+  ClusterTreeNode node;
+  node.item = item;
+  nodes_.push_back(node);
+  ++num_leaves_;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int ClusterTree::AddInternal(const std::vector<int>& children) {
+  const int id = static_cast<int>(nodes_.size());
+  ClusterTreeNode node;
+  node.children = children;
+  nodes_.push_back(node);
+  for (int c : children) nodes_[c].parent = id;
+  return id;
+}
+
+std::vector<int> ClusterTree::LeafItemsUnder(int id) const {
+  std::vector<int> items;
+  std::vector<int> stack = {id};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    const ClusterTreeNode& n = nodes_[v];
+    if (n.children.empty()) {
+      if (n.item >= 0) items.push_back(n.item);
+    } else {
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return items;
+}
+
+Status ClusterTree::Validate() const {
+  if (nodes_.empty()) return Status::OK();
+  if (root_ < 0 || root_ >= static_cast<int>(nodes_.size())) {
+    return Status::FailedPrecondition("root unset or out of range");
+  }
+  if (nodes_[root_].parent != -1) {
+    return Status::FailedPrecondition("root has a parent");
+  }
+  size_t reachable = 0;
+  std::vector<int> stack = {root_};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (seen[v]) return Status::FailedPrecondition("cycle detected");
+    seen[v] = true;
+    ++reachable;
+    const ClusterTreeNode& n = nodes_[v];
+    if (n.children.empty() && n.item < 0) {
+      return Status::FailedPrecondition("leaf without item: node " +
+                                        std::to_string(v));
+    }
+    for (int c : n.children) {
+      if (c < 0 || c >= static_cast<int>(nodes_.size())) {
+        return Status::FailedPrecondition("child id out of range");
+      }
+      if (nodes_[c].parent != v) {
+        return Status::FailedPrecondition("parent link mismatch at node " +
+                                          std::to_string(c));
+      }
+      stack.push_back(c);
+    }
+  }
+  // Nodes not reachable from the root are allowed only if they are the root
+  // of nothing (e.g. detached during rotations); for a finished tree all
+  // nodes should be reachable.
+  if (reachable != nodes_.size()) {
+    return Status::FailedPrecondition("unreachable nodes present");
+  }
+  return Status::OK();
+}
+
+}  // namespace vz::clustering

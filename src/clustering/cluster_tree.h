@@ -1,0 +1,64 @@
+#ifndef VZ_CLUSTERING_CLUSTER_TREE_H_
+#define VZ_CLUSTERING_CLUSTER_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace vz::clustering {
+
+/// One node of a `ClusterTree`.
+struct ClusterTreeNode {
+  /// Parent node id, -1 for the root.
+  int parent = -1;
+  /// Child node ids; empty for leaves.
+  std::vector<int> children;
+  /// The item this leaf represents (>= 0), or -1 for internal nodes.
+  int item = -1;
+};
+
+/// A rooted tree whose leaves are items — the common output shape of both
+/// hierarchical agglomerative clustering and the PERCH index (Sec. 4.1:
+/// "we organize SVSs with a tree"). Used by dendrogram-purity evaluation.
+class ClusterTree {
+ public:
+  ClusterTree() = default;
+
+  /// Adds a leaf for `item` (caller-chosen non-negative id). Returns node id.
+  int AddLeaf(int item);
+
+  /// Adds an internal node adopting `children` (their parents are updated).
+  /// Returns node id.
+  int AddInternal(const std::vector<int>& children);
+
+  /// Declares `id` the root.
+  void SetRoot(int id) { root_ = id; }
+
+  /// The root node id, or -1 when unset.
+  int root() const { return root_; }
+
+  /// Total node count.
+  size_t size() const { return nodes_.size(); }
+
+  const ClusterTreeNode& node(int id) const { return nodes_[id]; }
+
+  /// Items at the leaves under `id`, in DFS order.
+  std::vector<int> LeafItemsUnder(int id) const;
+
+  /// Number of leaves in the whole tree.
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Validates structural invariants: a single root, parent/child links
+  /// consistent, every leaf has an item, no cycles.
+  Status Validate() const;
+
+ private:
+  std::vector<ClusterTreeNode> nodes_;
+  int root_ = -1;
+  size_t num_leaves_ = 0;
+};
+
+}  // namespace vz::clustering
+
+#endif  // VZ_CLUSTERING_CLUSTER_TREE_H_

@@ -1,0 +1,75 @@
+#include "clustering/dendrogram_purity.h"
+
+#include <algorithm>
+
+namespace vz::clustering {
+
+StatusOr<double> DendrogramPurity(const ClusterTree& tree,
+                                  const std::vector<int>& labels) {
+  VZ_RETURN_IF_ERROR(tree.Validate());
+  if (tree.size() == 0) return 1.0;
+
+  int num_classes = 0;
+  for (int label : labels) {
+    if (label < 0) return Status::InvalidArgument("labels must be >= 0");
+    num_classes = std::max(num_classes, label + 1);
+  }
+
+  const size_t n = tree.size();
+  // Per-node per-class leaf counts and per-node leaf totals.
+  std::vector<std::vector<double>> count(
+      n, std::vector<double>(static_cast<size_t>(num_classes), 0.0));
+  std::vector<double> leaves(n, 0.0);
+
+  // Iterative post-order: push node twice, process on second visit.
+  double numerator = 0.0;
+  std::vector<std::pair<int, bool>> stack = {{tree.root(), false}};
+  while (!stack.empty()) {
+    auto [v, processed] = stack.back();
+    stack.pop_back();
+    const ClusterTreeNode& node = tree.node(v);
+    if (!processed) {
+      stack.emplace_back(v, true);
+      for (int c : node.children) stack.emplace_back(c, false);
+      continue;
+    }
+    if (node.children.empty()) {
+      if (node.item < 0 || node.item >= static_cast<int>(labels.size())) {
+        return Status::InvalidArgument("leaf item has no label");
+      }
+      count[v][static_cast<size_t>(labels[node.item])] = 1.0;
+      leaves[v] = 1.0;
+      continue;
+    }
+    for (int c : node.children) {
+      leaves[v] += leaves[c];
+      for (int cls = 0; cls < num_classes; ++cls) {
+        count[v][cls] += count[c][cls];
+      }
+    }
+    // Same-class pairs whose LCA is v: total pairs within v minus pairs
+    // already internal to one child.
+    for (int cls = 0; cls < num_classes; ++cls) {
+      double pairs_here = count[v][cls] * count[v][cls];
+      for (int c : node.children) {
+        pairs_here -= count[c][cls] * count[c][cls];
+      }
+      pairs_here /= 2.0;
+      if (pairs_here > 0.0 && leaves[v] > 0.0) {
+        numerator += pairs_here * (count[v][cls] / leaves[v]);
+      }
+    }
+  }
+
+  // Total same-class pairs across the whole tree.
+  double denominator = 0.0;
+  const int root = tree.root();
+  for (int cls = 0; cls < num_classes; ++cls) {
+    const double c = count[root][cls];
+    denominator += c * (c - 1.0) / 2.0;
+  }
+  if (denominator <= 0.0) return 1.0;
+  return numerator / denominator;
+}
+
+}  // namespace vz::clustering

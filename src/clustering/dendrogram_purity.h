@@ -1,0 +1,24 @@
+#ifndef VZ_CLUSTERING_DENDROGRAM_PURITY_H_
+#define VZ_CLUSTERING_DENDROGRAM_PURITY_H_
+
+#include <vector>
+
+#include "clustering/cluster_tree.h"
+#include "common/statusor.h"
+
+namespace vz::clustering {
+
+/// Exact dendrogram purity (Heller & Ghahramani 2005; Sec. 4.1 of the paper)
+/// of `tree` with respect to ground-truth `labels`.
+///
+/// `labels[item]` is the ground-truth cluster of the item stored at each
+/// leaf. The purity is the expectation, over pairs of same-label items, of
+/// the fraction of their least-common-ancestor's leaves sharing that label.
+/// Computed exactly in O(nodes x classes) by aggregating per-class leaf
+/// counts bottom-up. Returns 1.0 when no label has two items (no pairs).
+StatusOr<double> DendrogramPurity(const ClusterTree& tree,
+                                  const std::vector<int>& labels);
+
+}  // namespace vz::clustering
+
+#endif  // VZ_CLUSTERING_DENDROGRAM_PURITY_H_

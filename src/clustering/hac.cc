@@ -1,0 +1,157 @@
+#include "clustering/hac.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace vz::clustering {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+StatusOr<HacResult> Hac(size_t n,
+                        const std::function<double(size_t, size_t)>& distance,
+                        Linkage linkage) {
+  if (n == 0) return Status::InvalidArgument("HAC requires at least one item");
+  HacResult result;
+
+  // Leaves.
+  std::vector<int> node_of(n);  // active-cluster slot -> ClusterTree node id
+  for (size_t i = 0; i < n; ++i) {
+    node_of[i] = result.tree.AddLeaf(static_cast<int>(i));
+  }
+  if (n == 1) {
+    result.tree.SetRoot(node_of[0]);
+    return result;
+  }
+
+  // Full distance matrix: the quadratic cost the paper's Fig. 12 measures.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = distance(i, j);
+      dist[i][j] = d;
+      dist[j][i] = d;
+      ++result.num_distance_evals;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<double> cluster_size(n, 1.0);
+
+  // Nearest-neighbor cache per active cluster.
+  std::vector<size_t> nn(n, 0);
+  std::vector<double> nn_dist(n, kInf);
+  auto rescan_nn = [&](size_t i) {
+    nn_dist[i] = kInf;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || !active[j]) continue;
+      if (dist[i][j] < nn_dist[i]) {
+        nn_dist[i] = dist[i][j];
+        nn[i] = j;
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) rescan_nn(i);
+
+  for (size_t merge_round = 0; merge_round + 1 < n; ++merge_round) {
+    // Global closest pair via the NN cache.
+    size_t a = n;
+    double best = kInf;
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i] && nn_dist[i] < best) {
+        best = nn_dist[i];
+        a = i;
+      }
+    }
+    const size_t b = nn[a];
+
+    // Record the merge in the tree; merged cluster reuses slot `a`.
+    const int merged_node =
+        result.tree.AddInternal({node_of[a], node_of[b]});
+    result.merges.push_back(
+        {node_of[a], node_of[b], merged_node, best});
+    node_of[a] = merged_node;
+
+    // Lance-Williams row update.
+    for (size_t x = 0; x < n; ++x) {
+      if (!active[x] || x == a || x == b) continue;
+      double d = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          d = std::min(dist[a][x], dist[b][x]);
+          break;
+        case Linkage::kComplete:
+          d = std::max(dist[a][x], dist[b][x]);
+          break;
+        case Linkage::kAverage:
+          d = (cluster_size[a] * dist[a][x] + cluster_size[b] * dist[b][x]) /
+              (cluster_size[a] + cluster_size[b]);
+          break;
+      }
+      dist[a][x] = d;
+      dist[x][a] = d;
+    }
+    cluster_size[a] += cluster_size[b];
+    active[b] = false;
+
+    // Refresh NN caches invalidated by the merge.
+    rescan_nn(a);
+    for (size_t x = 0; x < n; ++x) {
+      if (!active[x] || x == a) continue;
+      if (nn[x] == a || nn[x] == b) {
+        rescan_nn(x);
+      } else if (dist[x][a] < nn_dist[x]) {
+        nn[x] = a;
+        nn_dist[x] = dist[x][a];
+      }
+    }
+  }
+
+  // Root is the final merged node.
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i]) {
+      result.tree.SetRoot(node_of[i]);
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<size_t> HacFlatClusters(const HacResult& result, size_t n,
+                                    size_t k) {
+  k = std::max<size_t>(1, std::min(k, n));
+  // Apply the first n-k merges with union-find over items.
+  std::vector<size_t> uf(n);
+  std::iota(uf.begin(), uf.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (uf[x] != x) {
+      uf[x] = uf[uf[x]];
+      x = uf[x];
+    }
+    return x;
+  };
+  const size_t merges_to_apply = n >= k ? n - k : 0;
+  for (size_t m = 0; m < merges_to_apply && m < result.merges.size(); ++m) {
+    // Union the leaf sets of the two merged subtrees: representative items.
+    const auto left_items = result.tree.LeafItemsUnder(result.merges[m].left_node);
+    const auto right_items =
+        result.tree.LeafItemsUnder(result.merges[m].right_node);
+    if (left_items.empty() || right_items.empty()) continue;
+    uf[find(static_cast<size_t>(right_items[0]))] =
+        find(static_cast<size_t>(left_items[0]));
+  }
+  // Compact representatives into 0..k-1.
+  std::vector<size_t> labels(n);
+  std::vector<long long> remap(n, -1);
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = find(i);
+    if (remap[r] < 0) remap[r] = static_cast<long long>(next++);
+    labels[i] = static_cast<size_t>(remap[r]);
+  }
+  return labels;
+}
+
+}  // namespace vz::clustering

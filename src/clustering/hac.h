@@ -1,0 +1,51 @@
+#ifndef VZ_CLUSTERING_HAC_H_
+#define VZ_CLUSTERING_HAC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "clustering/cluster_tree.h"
+#include "common/statusor.h"
+
+namespace vz::clustering {
+
+/// Linkage criterion for hierarchical agglomerative clustering. The paper
+/// compares Video-zilla against all three (Fig. 12, "HAC algorithms with
+/// differing linkage choices").
+enum class Linkage { kSingle, kComplete, kAverage };
+
+/// Output of one HAC run.
+struct HacResult {
+  /// Binary merge tree: leaves are items 0..n-1, root covers everything.
+  ClusterTree tree;
+  /// One record per merge, in merge order.
+  struct Merge {
+    int left_node = 0;   // ClusterTree node id
+    int right_node = 0;  // ClusterTree node id
+    int merged_node = 0;
+    double height = 0.0;  // linkage distance at which the merge happened
+  };
+  std::vector<Merge> merges;
+  /// Number of calls made to the pairwise distance function — the dominant
+  /// cost when the metric is OMD (quadratic in n; Fig. 12's overhead axis).
+  uint64_t num_distance_evals = 0;
+};
+
+/// Runs bottom-up agglomerative clustering over items 0..n-1 with the given
+/// linkage, using Lance-Williams updates on a full distance matrix.
+///
+/// Calls `distance(i, j)` exactly n(n-1)/2 times. Errors on n == 0.
+StatusOr<HacResult> Hac(size_t n,
+                        const std::function<double(size_t, size_t)>& distance,
+                        Linkage linkage);
+
+/// Flat clustering with `k` clusters obtained by undoing the last k-1 merges.
+/// Returns one cluster index (0..k-1) per item. `k` is clamped to [1, n].
+std::vector<size_t> HacFlatClusters(const HacResult& result, size_t n,
+                                    size_t k);
+
+}  // namespace vz::clustering
+
+#endif  // VZ_CLUSTERING_HAC_H_

@@ -1,0 +1,151 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace vz::clustering {
+
+namespace {
+
+// k-means++ seeding: first center uniform (by weight), subsequent centers
+// sampled proportionally to weighted squared distance to the nearest chosen
+// center.
+std::vector<size_t> SeedPlusPlus(const std::vector<FeatureVector>& points,
+                                 const std::vector<double>& weights, size_t k,
+                                 Rng* rng) {
+  std::vector<size_t> centers;
+  centers.reserve(k);
+  centers.push_back(rng->WeightedIndex(weights));
+  std::vector<double> min_sq(points.size(),
+                             std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    const FeatureVector& last = points[centers.back()];
+    std::vector<double> sampling(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      min_sq[i] = std::min(min_sq[i], SquaredDistance(points[i], last));
+      sampling[i] = min_sq[i] * weights[i];
+    }
+    double total = 0.0;
+    for (double s : sampling) total += s;
+    if (total <= 0.0) {
+      // All remaining points coincide with a chosen center; pick arbitrarily.
+      centers.push_back(rng->WeightedIndex(weights));
+    } else {
+      centers.push_back(rng->WeightedIndex(sampling));
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+namespace {
+StatusOr<KMeansResult> KMeansOnce(const std::vector<FeatureVector>& points,
+                                  const std::vector<double>& weights,
+                                  const KMeansOptions& options, Rng* rng);
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
+                              const std::vector<double>& weights,
+                              const KMeansOptions& options, Rng* rng) {
+  const size_t restarts = std::max<size_t>(1, options.restarts);
+  StatusOr<KMeansResult> best = Status::Internal("no k-means run");
+  for (size_t r = 0; r < restarts; ++r) {
+    auto run = KMeansOnce(points, weights, options, rng);
+    if (!run.ok()) return run;
+    if (!best.ok() || run->inertia < best->inertia) best = std::move(run);
+  }
+  return best;
+}
+
+namespace {
+StatusOr<KMeansResult> KMeansOnce(const std::vector<FeatureVector>& points,
+                                  const std::vector<double>& weights,
+                                  const KMeansOptions& options, Rng* rng) {
+  if (points.empty()) {
+    return Status::InvalidArgument("k-means requires at least one point");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("k-means requires an Rng");
+  }
+  std::vector<double> w = weights;
+  if (w.empty()) {
+    w.assign(points.size(), 1.0);
+  } else if (w.size() != points.size()) {
+    return Status::InvalidArgument("weights size must match points size");
+  }
+  for (double x : w) {
+    if (x < 0.0) return Status::InvalidArgument("weights must be >= 0");
+  }
+
+  const size_t k = std::max<size_t>(1, std::min(options.k, points.size()));
+  const size_t dim = points[0].dim();
+
+  KMeansResult result;
+  const std::vector<size_t> seeds = SeedPlusPlus(points, w, k, rng);
+  result.centroids.reserve(k);
+  for (size_t s : seeds) result.centroids.push_back(points[s]);
+  result.assignments.assign(points.size(), 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+    }
+    // Update step (weighted means).
+    std::vector<FeatureVector> next(k, FeatureVector(dim));
+    std::vector<double> mass(k, 0.0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      next[result.assignments[i]].Axpy(w[i], points[i]);
+      mass[result.assignments[i]] += w[i];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (mass[c] > 0.0) {
+        next[c].Scale(1.0 / mass[c]);
+      } else {
+        next[c] = result.centroids[c];  // empty cluster keeps its center
+      }
+      movement += EuclideanDistance(next[c], result.centroids[c]);
+    }
+    result.centroids = std::move(next);
+    if (movement <= options.tolerance) break;
+  }
+
+  // Final assignment, sizes and inertia.
+  result.cluster_sizes.assign(k, 0);
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      const double d = SquaredDistance(points[i], result.centroids[c]);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    result.assignments[i] = best_c;
+    result.cluster_sizes[best_c]++;
+    result.inertia += best * w[i];
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
+                              const KMeansOptions& options, Rng* rng) {
+  return KMeans(points, {}, options, rng);
+}
+
+}  // namespace vz::clustering

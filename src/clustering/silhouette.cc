@@ -1,0 +1,85 @@
+#include "clustering/silhouette.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "clustering/kmeans.h"
+
+namespace vz::clustering {
+
+StatusOr<double> SilhouetteScore(size_t num_items,
+                                 const std::vector<size_t>& assignments,
+                                 const ItemDistanceFn& distance) {
+  if (assignments.size() != num_items) {
+    return Status::InvalidArgument("assignments size mismatch");
+  }
+  if (num_items == 0) return Status::InvalidArgument("no items");
+  size_t num_clusters = 0;
+  for (size_t a : assignments) num_clusters = std::max(num_clusters, a + 1);
+  std::vector<size_t> sizes(num_clusters, 0);
+  for (size_t a : assignments) sizes[a]++;
+  size_t populated = 0;
+  for (size_t s : sizes) populated += (s > 0);
+  if (populated < 2) return 0.0;
+
+  double total = 0.0;
+  for (size_t i = 0; i < num_items; ++i) {
+    const size_t ci = assignments[i];
+    if (sizes[ci] <= 1) continue;  // singleton contributes s(i) = 0
+    // Mean distance from i to every cluster.
+    std::vector<double> sum_to(num_clusters, 0.0);
+    for (size_t j = 0; j < num_items; ++j) {
+      if (j == i) continue;
+      sum_to[assignments[j]] += distance(i, j);
+    }
+    const double a = sum_to[ci] / static_cast<double>(sizes[ci] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < num_clusters; ++c) {
+      if (c == ci || sizes[c] == 0) continue;
+      b = std::min(b, sum_to[c] / static_cast<double>(sizes[c]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(num_items);
+}
+
+StatusOr<double> SilhouetteScore(const std::vector<FeatureVector>& points,
+                                 const std::vector<size_t>& assignments) {
+  return SilhouetteScore(points.size(), assignments,
+                         [&points](size_t i, size_t j) {
+                           return EuclideanDistance(points[i], points[j]);
+                         });
+}
+
+StatusOr<SilhouetteSweepResult> ChooseKBySilhouette(
+    const std::vector<FeatureVector>& points, size_t min_k, size_t max_k,
+    Rng* rng) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument("silhouette sweep needs >= 2 points");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("silhouette sweep requires an Rng");
+  }
+  min_k = std::max<size_t>(2, min_k);
+  max_k = std::min(max_k, points.size() - 1);
+  if (min_k > max_k) max_k = min_k;
+
+  SilhouetteSweepResult sweep;
+  sweep.best_score = -std::numeric_limits<double>::infinity();
+  for (size_t k = min_k; k <= max_k; ++k) {
+    KMeansOptions options;
+    options.k = k;
+    VZ_ASSIGN_OR_RETURN(KMeansResult km, KMeans(points, options, rng));
+    VZ_ASSIGN_OR_RETURN(double score,
+                        SilhouetteScore(points, km.assignments));
+    sweep.scores.emplace_back(k, score);
+    if (score > sweep.best_score) {
+      sweep.best_score = score;
+      sweep.best_k = k;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace vz::clustering

@@ -1,0 +1,51 @@
+#ifndef VZ_COMMON_LOGGING_H_
+#define VZ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vz {
+
+/// Severity of a log record. Records below the global threshold are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted (default: kWarning, so
+/// library internals stay quiet in tests and benchmarks).
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log record; formats to stderr on destruction when its
+/// severity clears the global threshold, otherwise discards everything.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace vz
+
+/// Usage: VZ_LOG(Info) << "ingested " << n << " frames";
+#define VZ_LOG(level)                                 \
+  ::vz::internal_logging::LogMessage(                 \
+      ::vz::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // VZ_COMMON_LOGGING_H_

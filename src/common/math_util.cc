@@ -1,0 +1,57 @@
+#include "common/math_util.h"
+
+namespace vz {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = Clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::vector<double> values, size_t num_points) {
+  std::vector<std::pair<double, double>> cdf;
+  if (values.empty() || num_points == 0) return cdf;
+  std::sort(values.begin(), values.end());
+  const double lo = values.front();
+  const double hi = values.back();
+  cdf.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    const double t =
+        num_points == 1
+            ? hi
+            : lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(num_points - 1);
+    const auto it = std::upper_bound(values.begin(), values.end(), t);
+    const double frac = static_cast<double>(it - values.begin()) /
+                        static_cast<double>(values.size());
+    cdf.emplace_back(t, frac);
+  }
+  return cdf;
+}
+
+}  // namespace vz

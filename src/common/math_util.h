@@ -1,0 +1,42 @@
+#ifndef VZ_COMMON_MATH_UTIL_H_
+#define VZ_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace vz {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance; 0 for fewer than two values.
+double Variance(const std::vector<double>& values);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, `p` in [0, 100]; 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Empirical CDF of `values` evaluated at `points.size()` equally spaced
+/// thresholds between min and max; returns (threshold, fraction<=threshold)
+/// pairs. Used by the Fig. 11b style CDF benches.
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::vector<double> values, size_t num_points);
+
+/// Clamps `v` to [lo, hi].
+inline double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+/// True if |a - b| <= tol * max(1, |a|, |b|).
+inline bool AlmostEqual(double a, double b, double tol = 1e-9) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace vz
+
+#endif  // VZ_COMMON_MATH_UTIL_H_

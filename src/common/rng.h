@@ -1,0 +1,75 @@
+#ifndef VZ_COMMON_RNG_H_
+#define VZ_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vz {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in Video-zilla takes an explicit `Rng` (or a
+/// seed) so that datasets, indices and benchmarks are reproducible
+/// bit-for-bit across platforms. The distribution samplers are implemented
+/// here directly because the C++ standard does not pin down
+/// `std::normal_distribution` etc. across library vendors.
+class Rng {
+ public:
+  /// Seeds the generator. Two `Rng`s with the same seed produce identical
+  /// streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via the Box-Muller transform.
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to `weights[i]`. Weights must be non-negative with a positive sum;
+  /// otherwise returns 0.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each camera
+  /// or worker its own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace vz
+
+#endif  // VZ_COMMON_RNG_H_

@@ -1,0 +1,62 @@
+#ifndef VZ_COMMON_SIM_CLOCK_H_
+#define VZ_COMMON_SIM_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace vz {
+
+/// Simulated wall clock for video time.
+///
+/// Video-zilla's ingestion pipeline is driven by *video time* (frame
+/// timestamps), not by the host's wall clock, so that a 30-hour dataset can
+/// be ingested in seconds while segmentation timeouts (`t_max`, `t_split`)
+/// and SVS metadata still behave as in a live deployment. All timestamps are
+/// milliseconds since the simulation epoch.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time in milliseconds.
+  int64_t NowMs() const { return now_ms_; }
+
+  /// Advances the clock; negative deltas are ignored.
+  void AdvanceMs(int64_t delta_ms) {
+    if (delta_ms > 0) now_ms_ += delta_ms;
+  }
+
+  /// Jumps to an absolute timestamp if it is in the future.
+  void AdvanceTo(int64_t timestamp_ms) {
+    if (timestamp_ms > now_ms_) now_ms_ = timestamp_ms;
+  }
+
+ private:
+  int64_t now_ms_ = 0;
+};
+
+/// Measures real (host) elapsed time; used by benchmarks for algorithmic
+/// overhead that the paper reports in wall-clock terms (e.g. FastOMD
+/// computation time, index build time).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last `Reset()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last `Reset()`.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vz
+
+#endif  // VZ_COMMON_SIM_CLOCK_H_

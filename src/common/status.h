@@ -1,0 +1,101 @@
+#ifndef VZ_COMMON_STATUS_H_
+#define VZ_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vz {
+
+/// Error category carried by a `Status`.
+///
+/// Video-zilla does not use exceptions across API boundaries (RocksDB /
+/// Arrow idiom); fallible operations return `Status` or `StatusOr<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus an optional message.
+///
+/// The default-constructed `Status` is OK. `Status` is cheap to copy for the
+/// OK case (no message allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers for the common codes.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace vz
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning `Status`.
+#define VZ_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::vz::Status vz_status_ = (expr);       \
+    if (!vz_status_.ok()) return vz_status_; \
+  } while (0)
+
+#endif  // VZ_COMMON_STATUS_H_

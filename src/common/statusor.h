@@ -1,0 +1,83 @@
+#ifndef VZ_COMMON_STATUSOR_H_
+#define VZ_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vz {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent.
+///
+/// Mirrors `absl::StatusOr` / `arrow::Result`. Accessing the value of an
+/// errored `StatusOr` is a programming error and asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` is a programming error.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace vz
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs`. Usable in functions returning Status or
+/// StatusOr.
+#define VZ_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  VZ_ASSIGN_OR_RETURN_IMPL_(                            \
+      VZ_STATUS_MACRO_CONCAT_(vz_statusor_, __LINE__), lhs, rexpr)
+
+#define VZ_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define VZ_STATUS_MACRO_CONCAT_(x, y) VZ_STATUS_MACRO_CONCAT_INNER_(x, y)
+#define VZ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // VZ_COMMON_STATUSOR_H_

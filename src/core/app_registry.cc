@@ -1,0 +1,99 @@
+#include "core/app_registry.h"
+
+namespace vz::core {
+
+StatusOr<AppRegistry::AppState*> AppRegistry::Find(const AppId& app) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return Status::NotFound("unknown app: " + app);
+  return &it->second;
+}
+
+StatusOr<const AppRegistry::AppState*> AppRegistry::Find(
+    const AppId& app) const {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return Status::NotFound("unknown app: " + app);
+  return &it->second;
+}
+
+Status AppRegistry::SetFeatureExtractor(const AppId& app,
+                                        const std::string& model_name,
+                                        const VideoZillaOptions* overrides) {
+  if (apps_.count(app) > 0) {
+    return Status::FailedPrecondition("app already registered: " + app);
+  }
+  AppState state;
+  state.model_name = model_name;
+  state.index = std::make_unique<VideoZilla>(
+      overrides != nullptr ? *overrides : base_options_);
+  apps_.emplace(app, std::move(state));
+  return Status::OK();
+}
+
+Status AppRegistry::RemoveApp(const AppId& app) {
+  if (apps_.erase(app) == 0) {
+    return Status::NotFound("unknown app: " + app);
+  }
+  return Status::OK();
+}
+
+Status AppRegistry::CameraStart(const CameraId& camera, const AppId& app) {
+  VZ_ASSIGN_OR_RETURN(AppState * state, Find(app));
+  return state->index->CameraStart(camera);
+}
+
+Status AppRegistry::CameraTerminate(const CameraId& camera, const AppId& app) {
+  VZ_ASSIGN_OR_RETURN(AppState * state, Find(app));
+  return state->index->CameraTerminate(camera);
+}
+
+Status AppRegistry::IngestFrame(const AppId& app,
+                                const FrameObservation& frame) {
+  VZ_ASSIGN_OR_RETURN(AppState * state, Find(app));
+  return state->index->IngestFrame(frame);
+}
+
+Status AppRegistry::FlushAll() {
+  for (auto& [app, state] : apps_) {
+    VZ_RETURN_IF_ERROR(state.index->Flush());
+  }
+  return Status::OK();
+}
+
+StatusOr<DirectQueryResult> AppRegistry::DirectQuery(
+    const FeatureVector& object_feature, const AppId& app,
+    const QueryConstraints& constraints) {
+  VZ_ASSIGN_OR_RETURN(AppState * state, Find(app));
+  return state->index->DirectQuery(object_feature, constraints);
+}
+
+StatusOr<ClusteringQueryResult> AppRegistry::ClusteringQuery(
+    const FeatureMap& target, const AppId& app,
+    const QueryConstraints& constraints) {
+  VZ_ASSIGN_OR_RETURN(AppState * state, Find(app));
+  return state->index->ClusteringQuery(target, constraints);
+}
+
+StatusOr<SvsMetadata> AppRegistry::GetMetaData(const AppId& app,
+                                               SvsId id) const {
+  VZ_ASSIGN_OR_RETURN(const AppState* state, Find(app));
+  return state->index->GetMetaData(id);
+}
+
+StatusOr<VideoZilla*> AppRegistry::Get(const AppId& app) {
+  VZ_ASSIGN_OR_RETURN(AppState * state, Find(app));
+  return state->index.get();
+}
+
+StatusOr<std::string> AppRegistry::ModelOf(const AppId& app) const {
+  VZ_ASSIGN_OR_RETURN(const AppState* state, Find(app));
+  return state->model_name;
+}
+
+std::vector<AppId> AppRegistry::Apps() const {
+  std::vector<AppId> out;
+  out.reserve(apps_.size());
+  for (const auto& [app, state] : apps_) out.push_back(app);
+  return out;
+}
+
+}  // namespace vz::core

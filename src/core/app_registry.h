@@ -1,0 +1,94 @@
+#ifndef VZ_CORE_APP_REGISTRY_H_
+#define VZ_CORE_APP_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/videozilla.h"
+
+namespace vz::core {
+
+/// Per-application index registry, implementing the paper's per-model
+/// indexing (Sec. 5.4: "Video-zilla generates an index per DNN model") and
+/// the `appID`-carrying API signatures of Sec. 6.
+///
+/// Each registered application owns one `VideoZilla` instance, configured
+/// when the app registers its feature extractor (`setFeatureExtractors`).
+/// Frames fan out to every app whose camera is started — in a deployment
+/// each app's edge stack extracts features with its own model, so
+/// `IngestFrame` takes per-app observations.
+class AppRegistry {
+ public:
+  /// `base_options` seeds each app's configuration.
+  explicit AppRegistry(VideoZillaOptions base_options)
+      : base_options_(std::move(base_options)) {}
+
+  AppRegistry(const AppRegistry&) = delete;
+  AppRegistry& operator=(const AppRegistry&) = delete;
+
+  /// `setFeatureExtractors(Model, appID)`: registers `app` with its own
+  /// index, recording the extractor model name the app uses. Errors if the
+  /// app already exists.
+  Status SetFeatureExtractor(const AppId& app, const std::string& model_name,
+                             const VideoZillaOptions* overrides = nullptr);
+
+  /// Drops an application and its index.
+  Status RemoveApp(const AppId& app);
+
+  /// `cameraStart(cameraID, historyDataTimeRange, appID)`. The history
+  /// range is accepted for API parity; live ingestion begins immediately.
+  Status CameraStart(const CameraId& camera, const AppId& app);
+
+  /// `cameraTerminate(cameraID, appID)`.
+  Status CameraTerminate(const CameraId& camera, const AppId& app);
+
+  /// Routes one frame (already run through `app`'s extractor) to that app's
+  /// index.
+  Status IngestFrame(const AppId& app, const FrameObservation& frame);
+
+  /// Flushes every app's segmenters.
+  Status FlushAll();
+
+  /// `directQuery(objectImg, appID)`.
+  StatusOr<DirectQueryResult> DirectQuery(
+      const FeatureVector& object_feature, const AppId& app,
+      const QueryConstraints& constraints = QueryConstraints());
+
+  /// `clusteringQuery(targetSVS, appID)`.
+  StatusOr<ClusteringQueryResult> ClusteringQuery(
+      const FeatureMap& target, const AppId& app,
+      const QueryConstraints& constraints = QueryConstraints());
+
+  /// `getMetaData(SVS)` within an app's index.
+  StatusOr<SvsMetadata> GetMetaData(const AppId& app, SvsId id) const;
+
+  /// Direct access to an app's index (verifier wiring, knobs, stats).
+  StatusOr<VideoZilla*> Get(const AppId& app);
+
+  /// The extractor model an app registered.
+  StatusOr<std::string> ModelOf(const AppId& app) const;
+
+  /// Registered app ids, sorted.
+  std::vector<AppId> Apps() const;
+
+  size_t size() const { return apps_.size(); }
+
+ private:
+  struct AppState {
+    std::string model_name;
+    std::unique_ptr<VideoZilla> index;
+  };
+
+  StatusOr<AppState*> Find(const AppId& app);
+  StatusOr<const AppState*> Find(const AppId& app) const;
+
+  VideoZillaOptions base_options_;
+  std::map<AppId, AppState> apps_;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_APP_REGISTRY_H_

@@ -1,0 +1,57 @@
+#include "core/archiver.h"
+
+namespace vz::core {
+
+Archiver::Archiver(VideoZilla* system, const ArchiverOptions& options)
+    : system_(system), options_(options) {}
+
+StatusOr<double> Archiver::IsArchived(const FeatureMap& target) {
+  // isArchived = mean access frequency over clusteringQuery results (Sec. 6).
+  VZ_ASSIGN_OR_RETURN(ClusteringQueryResult similar,
+                      system_->ClusteringQuery(target));
+  if (similar.similar_svss.empty()) return 0.0;
+  double sum = 0.0;
+  for (SvsId id : similar.similar_svss) {
+    VZ_ASSIGN_OR_RETURN(SvsMetadata meta, system_->GetMetaData(id));
+    sum += meta.access_frequency;
+  }
+  return sum / static_cast<double>(similar.similar_svss.size());
+}
+
+StatusOr<double> Archiver::EstimatedAccessFrequency(SvsId id) {
+  VZ_ASSIGN_OR_RETURN(const Svs* svs, system_->svs_store().Get(id));
+  auto intra = system_->intra_index(svs->camera());
+  if (intra.ok()) {
+    for (const IntraCameraIndex::Cluster& cluster : (*intra)->clusters()) {
+      bool member = false;
+      for (SvsId m : cluster.members) member |= (m == id);
+      if (!member) continue;
+      double sum = 0.0;
+      for (SvsId m : cluster.members) {
+        VZ_ASSIGN_OR_RETURN(SvsMetadata meta, system_->GetMetaData(m));
+        sum += meta.access_frequency;
+      }
+      return sum / static_cast<double>(cluster.members.size());
+    }
+  }
+  VZ_ASSIGN_OR_RETURN(SvsMetadata meta, system_->GetMetaData(id));
+  return meta.access_frequency;
+}
+
+StatusOr<ArchivePlan> Archiver::PlanArchive() {
+  ArchivePlan plan;
+  for (SvsId id : system_->svs_store().AllIds()) {
+    VZ_ASSIGN_OR_RETURN(const Svs* svs, system_->svs_store().Get(id));
+    plan.total_bytes += svs->encoded_bytes();
+    plan.total_duration_ms += svs->DurationMs();
+    VZ_ASSIGN_OR_RETURN(double estimated, EstimatedAccessFrequency(id));
+    if (estimated < options_.access_frequency_threshold) {
+      plan.to_archive.push_back(id);
+      plan.archived_bytes += svs->encoded_bytes();
+      plan.archived_duration_ms += svs->DurationMs();
+    }
+  }
+  return plan;
+}
+
+}  // namespace vz::core

@@ -1,0 +1,70 @@
+#ifndef VZ_CORE_ARCHIVER_H_
+#define VZ_CORE_ARCHIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/videozilla.h"
+
+namespace vz::core {
+
+/// Parameters of the proactive archival service (Sec. 7.6).
+struct ArchiverOptions {
+  /// SVSs whose cluster-estimated access frequency (accesses per simulated
+  /// hour) falls below this are archived to secondary storage.
+  double access_frequency_threshold = 0.1;
+};
+
+/// What the archiver would move to secondary storage.
+struct ArchivePlan {
+  std::vector<SvsId> to_archive;
+  size_t archived_bytes = 0;
+  size_t total_bytes = 0;
+  int64_t archived_duration_ms = 0;
+  int64_t total_duration_ms = 0;
+
+  /// Fraction of stored bytes freed by archiving.
+  double ByteFraction() const {
+    return total_bytes == 0
+               ? 0.0
+               : static_cast<double>(archived_bytes) / total_bytes;
+  }
+  /// Fraction of video time archived.
+  double DurationFraction() const {
+    return total_duration_ms == 0
+               ? 0.0
+               : static_cast<double>(archived_duration_ms) /
+                     static_cast<double>(total_duration_ms);
+  }
+};
+
+/// Proactive video archiving on top of the clustering query (Sec. 6's
+/// `isArchived` case study and the Sec. 7.6 evaluation): an SVS's future
+/// usefulness is estimated from the access frequencies of the SVSs in its
+/// semantic cluster, and low-information SVSs are archived aggressively.
+class Archiver {
+ public:
+  /// `system` must outlive the archiver.
+  Archiver(VideoZilla* system, const ArchiverOptions& options);
+
+  /// The paper's composed `isArchived(targetSVS)` API: mean access frequency
+  /// of the SVSs semantically similar to `target` (code snippet in Sec. 6).
+  StatusOr<double> IsArchived(const FeatureMap& target);
+
+  /// Estimated access frequency for a stored SVS, averaged over its
+  /// intra-camera cluster peers; falls back to its own frequency when the
+  /// cluster is unknown.
+  StatusOr<double> EstimatedAccessFrequency(SvsId id);
+
+  /// Sweeps the store and plans which SVSs to archive.
+  StatusOr<ArchivePlan> PlanArchive();
+
+ private:
+  VideoZilla* system_;
+  ArchiverOptions options_;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_ARCHIVER_H_

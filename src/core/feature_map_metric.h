@@ -1,0 +1,51 @@
+#ifndef VZ_CORE_FEATURE_MAP_METRIC_H_
+#define VZ_CORE_FEATURE_MAP_METRIC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/omd.h"
+#include "index/item_metric.h"
+#include "vector/feature_map.h"
+
+namespace vz::core {
+
+/// OMD metric over an externally owned list of feature maps; item ids are
+/// indices into the list. Used by the inter-camera index, whose items are
+/// representative SVSs rather than stored SVSs, and by tests/benches that
+/// operate on synthetic feature maps directly.
+class FeatureMapListMetric : public index::ItemMetric {
+ public:
+  /// `maps` and `calculator` must outlive the metric. The list may grow
+  /// (ids stay valid); it must not reorder existing entries. With `memoize`
+  /// the metric caches pair distances and `num_distance_evals` counts cache
+  /// misses only (actual OMD solves).
+  FeatureMapListMetric(const std::vector<FeatureMap>* maps,
+                       OmdCalculator* calculator, bool memoize = false)
+      : maps_(maps), calculator_(calculator), memoize_(memoize) {}
+
+  double Distance(int a, int b) override;
+  double LowerBound(int a, int b) override;
+  uint64_t num_distance_evals() const override { return num_evals_; }
+  void ResetCounters() { num_evals_ = 0; }
+
+  /// Drops the cached centroid for slot `i`; callers that replace a map at
+  /// an existing index (e.g. a popped-then-reused scratch slot) must call
+  /// this or lower bounds would read the stale centroid.
+  void InvalidateCentroid(size_t i) {
+    if (i < centroids_.size()) centroids_[i] = FeatureVector();
+  }
+
+ private:
+  const std::vector<FeatureMap>* maps_;
+  OmdCalculator* calculator_;
+  bool memoize_;
+  std::unordered_map<int64_t, double> memo_;
+  std::vector<FeatureVector> centroids_;  // lazily filled, index-aligned
+  uint64_t num_evals_ = 0;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_FEATURE_MAP_METRIC_H_

@@ -1,0 +1,64 @@
+#ifndef VZ_CORE_FRAME_H_
+#define VZ_CORE_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vector/feature_vector.h"
+
+namespace vz::core {
+
+/// Identifies a camera feed. Stable for the lifetime of the deployment.
+using CameraId = std::string;
+
+/// Identifies an application that registered with Video-zilla (`appID` in
+/// the paper's APIs, Sec. 6).
+using AppId = std::string;
+
+/// Identifier of a semantic video stream within the `SvsStore`.
+using SvsId = int64_t;
+
+/// Axis-aligned object box in frame pixel coordinates (Sec. 3.1: "Each
+/// object is represented by its four-point 2-D coordinate").
+struct BoundingBox {
+  float top = 0.0f;
+  float left = 0.0f;
+  float bottom = 0.0f;
+  float right = 0.0f;
+
+  float Width() const { return right - left; }
+  float Height() const { return bottom - top; }
+  float Area() const { return Width() * Height(); }
+};
+
+/// One clipped object after detection and feature extraction.
+struct DetectedObject {
+  BoundingBox box;
+  /// Penultimate-layer feature vector from the registered extractor.
+  FeatureVector feature;
+  /// Cheap-classifier class id (top-1), or -1 when unavailable. Used by the
+  /// FOCUS-style top-k baseline and by diagnostics; the Video-zilla index
+  /// itself never reads it.
+  int class_hint = -1;
+  /// Confidence of `class_hint` in [0, 1].
+  double class_confidence = 0.0;
+};
+
+/// Everything the indexing layer receives for one (key) frame.
+struct FrameObservation {
+  CameraId camera;
+  int64_t timestamp_ms = 0;
+  /// Globally unique frame id assigned by the ingestion pipeline.
+  int64_t frame_id = -1;
+  /// Pixel-level deviation from the previous frame in [0, 1]; input to the
+  /// adaptive key-frame selector (Sec. 5.1).
+  double deviation_from_previous = 0.0;
+  /// Encoded size, for storage/network accounting.
+  size_t encoded_bytes = 0;
+  std::vector<DetectedObject> objects;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_FRAME_H_

@@ -1,0 +1,53 @@
+#include "core/keyframe_selector.h"
+
+#include <algorithm>
+
+namespace vz::core {
+
+KeyframeSelector::KeyframeSelector(const KeyframeOptions& options)
+    : options_(options) {
+  if (options_.ladder.empty()) {
+    options_.ladder.push_back(KeyframeConfig{});
+  }
+  for (KeyframeConfig& config : options_.ladder) {
+    if (config.frame_stride == 0) config.frame_stride = 1;
+  }
+}
+
+bool KeyframeSelector::ShouldProcess(const FrameObservation& frame) {
+  ++stats_.frames_seen;
+
+  // Drain the simulated queue by the elapsed video time.
+  if (last_timestamp_ms_ >= 0 && frame.timestamp_ms > last_timestamp_ms_) {
+    const double elapsed_s =
+        static_cast<double>(frame.timestamp_ms - last_timestamp_ms_) / 1000.0;
+    queue_depth_ = std::max(
+        0.0, queue_depth_ - elapsed_s * options_.processing_capacity_fps);
+  }
+  last_timestamp_ms_ = frame.timestamp_ms;
+
+  // Adapt the configuration to the queue.
+  if (queue_depth_ > static_cast<double>(options_.queue_high_watermark) &&
+      level_ + 1 < options_.ladder.size()) {
+    ++level_;
+    ++stats_.downgrades;
+  } else if (queue_depth_ < static_cast<double>(options_.queue_low_watermark) &&
+             level_ > 0) {
+    --level_;
+    ++stats_.upgrades;
+  }
+
+  const KeyframeConfig& config = options_.ladder[level_];
+  ++frames_since_selected_;
+  const bool stride_ok = frames_since_selected_ >= config.frame_stride;
+  const bool deviation_ok =
+      frame.deviation_from_previous >= config.deviation_threshold;
+  if (!(stride_ok && deviation_ok)) return false;
+
+  frames_since_selected_ = 0;
+  ++stats_.frames_selected;
+  queue_depth_ += 1.0;  // the selected frame enters the extraction queue
+  return true;
+}
+
+}  // namespace vz::core

@@ -1,0 +1,74 @@
+#ifndef VZ_CORE_KEYFRAME_SELECTOR_H_
+#define VZ_CORE_KEYFRAME_SELECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frame.h"
+
+namespace vz::core {
+
+/// One ingestion configuration: how aggressively frames are dropped before
+/// feature extraction. Heavier configurations keep more frames.
+struct KeyframeConfig {
+  /// Keep at most every `stride`-th frame.
+  size_t frame_stride = 1;
+  /// Additionally require the inter-frame deviation to exceed this.
+  double deviation_threshold = 0.0;
+};
+
+/// Parameters of the adaptive key-frame selector (Sec. 5.1).
+struct KeyframeOptions {
+  /// Configuration ladder ordered heavyweight -> lightweight; the selector
+  /// downgrades under load and upgrades when the queue drains.
+  std::vector<KeyframeConfig> ladder = {
+      {1, 0.00}, {1, 0.05}, {2, 0.10}, {4, 0.20}, {8, 0.35}};
+  /// Simulated feature-extraction service rate in frames per second of
+  /// video time (the edge server's compute capacity).
+  double processing_capacity_fps = 20.0;
+  /// Queue thresholds (in frames) for downgrading / upgrading.
+  size_t queue_high_watermark = 32;
+  size_t queue_low_watermark = 4;
+};
+
+/// Ingestion statistics of one selector.
+struct KeyframeStats {
+  uint64_t frames_seen = 0;
+  uint64_t frames_selected = 0;
+  uint64_t downgrades = 0;
+  uint64_t upgrades = 0;
+};
+
+/// Adaptive key-frame selection: filters frames by stride and inter-frame
+/// deviation, and moves along the configuration ladder based on a simulated
+/// feature-extraction input queue ("Once a queue starts building up, we will
+/// downgrade it to a more lightweight configuration. Conversely, we will
+/// upgrade it", Sec. 5.1).
+class KeyframeSelector {
+ public:
+  explicit KeyframeSelector(const KeyframeOptions& options);
+
+  /// Decides whether `frame` becomes a key frame. Advances the simulated
+  /// queue using the frame's timestamp.
+  bool ShouldProcess(const FrameObservation& frame);
+
+  /// Current position on the ladder (0 = heaviest).
+  size_t current_level() const { return level_; }
+
+  /// Simulated queue depth in frames.
+  double queue_depth() const { return queue_depth_; }
+
+  const KeyframeStats& stats() const { return stats_; }
+
+ private:
+  KeyframeOptions options_;
+  size_t level_ = 0;
+  double queue_depth_ = 0.0;
+  int64_t last_timestamp_ms_ = -1;
+  uint64_t frames_since_selected_ = 0;
+  KeyframeStats stats_;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_KEYFRAME_SELECTOR_H_

@@ -1,0 +1,112 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vz::core {
+
+PerformanceMonitor::PerformanceMonitor(VideoZilla* system,
+                                       const MonitorOptions& options,
+                                       GroundTruthFn ground_truth)
+    : system_(system),
+      options_(options),
+      ground_truth_(std::move(ground_truth)) {
+  if (options_.ground_truth_interval == 0) options_.ground_truth_interval = 1;
+  if (options_.bailout_probe_interval == 0) options_.bailout_probe_interval = 1;
+}
+
+double PerformanceMonitor::F1(const std::vector<SvsId>& predicted,
+                              const std::vector<SvsId>& truth) {
+  if (predicted.empty() && truth.empty()) return 1.0;
+  std::unordered_set<SvsId> truth_set(truth.begin(), truth.end());
+  size_t tp = 0;
+  for (SvsId id : predicted) tp += truth_set.count(id);
+  const double precision =
+      predicted.empty() ? 0.0
+                        : static_cast<double>(tp) / predicted.size();
+  const double recall =
+      truth.empty() ? 1.0 : static_cast<double>(tp) / truth.size();
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+void PerformanceMonitor::ApplyNextAdjustment() {
+  switch (state_) {
+    case MonitorState::kNormal: {
+      // (i) Increase the cluster counts of both index levels.
+      const size_t groups = system_->inter_index().groups().size();
+      base_inter_groups_ = groups;
+      (void)system_->SetInterGroupCount(groups + options_.cluster_increase_step);
+      state_ = MonitorState::kMoreClusters;
+      VZ_LOG(Info) << "monitor: increasing cluster counts";
+      break;
+    }
+    case MonitorState::kMoreClusters:
+      // (ii) Exact OMD (threshold alpha -> 1).
+      system_->SetOmdAlpha(1.0);
+      state_ = MonitorState::kAccurateOmd;
+      VZ_LOG(Info) << "monitor: switching to exact OMD";
+      break;
+    case MonitorState::kAccurateOmd:
+      // (iii) Flat SVS index without the intra/inter distinction.
+      system_->SetIndexMode(IndexMode::kFlatSvs);
+      state_ = MonitorState::kFlatSvsIndex;
+      VZ_LOG(Info) << "monitor: downgrading to flat SVS index";
+      break;
+    case MonitorState::kFlatSvsIndex:
+      // Bailout: frame-level scan across all cameras.
+      system_->SetIndexMode(IndexMode::kFlat);
+      state_ = MonitorState::kBailout;
+      VZ_LOG(Warning) << "monitor: bailout to frame-level search";
+      break;
+    case MonitorState::kBailout:
+      break;  // nowhere further to go
+  }
+}
+
+StatusOr<DirectQueryResult> PerformanceMonitor::Query(
+    const FeatureVector& feature, const QueryConstraints& constraints) {
+  ++queries_run_;
+  VZ_ASSIGN_OR_RETURN(DirectQueryResult result,
+                      system_->DirectQuery(feature, constraints));
+
+  if (state_ == MonitorState::kBailout) {
+    // Probe the hierarchical index periodically to decide when to return
+    // (Sec. 5.3: "Video-zilla periodically runs a query on the hierarchical
+    // index to determine when to switch back").
+    if (queries_run_ % options_.bailout_probe_interval == 0 && ground_truth_) {
+      const IndexMode saved = system_->index_mode();
+      system_->SetIndexMode(IndexMode::kHierarchical);
+      auto probe = system_->DirectQuery(feature, constraints);
+      system_->SetIndexMode(saved);
+      if (probe.ok()) {
+        const double f1 = F1(probe->matched_svss, ground_truth_(feature));
+        ++ground_truth_checks_;
+        last_f1_ = f1;
+        if (f1 >= options_.target_f1) {
+          system_->SetIndexMode(IndexMode::kHierarchical);
+          state_ = MonitorState::kNormal;
+          VZ_LOG(Info) << "monitor: hierarchical index reinstated (F1=" << f1
+                       << ")";
+        }
+      }
+    }
+    return result;
+  }
+
+  // Periodic ground-truth comparison (every 50 queries by default).
+  if (queries_run_ % options_.ground_truth_interval == 0 && ground_truth_) {
+    const double f1 = F1(result.matched_svss, ground_truth_(feature));
+    ++ground_truth_checks_;
+    last_f1_ = f1;
+    if (f1 < options_.target_f1) {
+      ApplyNextAdjustment();
+    }
+  }
+  return result;
+}
+
+}  // namespace vz::core

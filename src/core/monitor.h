@@ -1,0 +1,92 @@
+#ifndef VZ_CORE_MONITOR_H_
+#define VZ_CORE_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/query.h"
+#include "core/videozilla.h"
+
+namespace vz::core {
+
+/// Parameters of the performance monitor (Sec. 5.3).
+struct MonitorOptions {
+  /// User-defined error preference: minimum acceptable query F1.
+  double target_f1 = 0.9;
+  /// Ground-truth comparison cadence ("Video-zilla only performs this
+  /// operation every 50 queries").
+  size_t ground_truth_interval = 50;
+  /// While bailed out, probe the hierarchical index this often ("every 10
+  /// queries").
+  size_t bailout_probe_interval = 10;
+  /// How many clusters adjustment (i) adds to the inter and intra indices.
+  size_t cluster_increase_step = 2;
+};
+
+/// Degradation ladder state. Each failing ground-truth check advances one
+/// step: (i) more clusters, (ii) exact OMD, (iii) flat SVS index, then
+/// bailout to the frame-level scan.
+enum class MonitorState {
+  kNormal = 0,
+  kMoreClusters = 1,
+  kAccurateOmd = 2,
+  kFlatSvsIndex = 3,
+  kBailout = 4,
+};
+
+/// Wraps a `VideoZilla` instance and adapts its parameters to keep query
+/// quality above the user's error preference (Sec. 5.3).
+///
+/// Queries flow through `Query()`. Periodically the monitor also evaluates
+/// the caller-supplied ground truth oracle (in a deployment this is the
+/// exhaustive all-frames query run in the background; in this reproduction
+/// the simulation's oracle) and compares F1 against the target. Persistent
+/// misses walk down the adjustment ladder and eventually trigger bailout;
+/// while bailed out, the hierarchical index is probed periodically and
+/// reinstated once it meets the target again.
+class PerformanceMonitor {
+ public:
+  /// Returns the ground-truth matching SVS ids for a query feature.
+  using GroundTruthFn =
+      std::function<std::vector<SvsId>(const FeatureVector&)>;
+
+  /// `system` must outlive the monitor.
+  PerformanceMonitor(VideoZilla* system, const MonitorOptions& options,
+                     GroundTruthFn ground_truth);
+
+  /// Runs a direct query, interleaving the monitoring protocol.
+  StatusOr<DirectQueryResult> Query(
+      const FeatureVector& feature,
+      const QueryConstraints& constraints = QueryConstraints());
+
+  MonitorState state() const { return state_; }
+
+  /// Adjusts the user error preference at runtime.
+  void set_target_f1(double target) { options_.target_f1 = target; }
+  uint64_t queries_run() const { return queries_run_; }
+  uint64_t ground_truth_checks() const { return ground_truth_checks_; }
+  /// F1 of the most recent ground-truth comparison; -1 before the first.
+  double last_f1() const { return last_f1_; }
+
+  /// F1 between a predicted and true SVS set (exposed for tests/benches).
+  static double F1(const std::vector<SvsId>& predicted,
+                   const std::vector<SvsId>& truth);
+
+ private:
+  void ApplyNextAdjustment();
+
+  VideoZilla* system_;
+  MonitorOptions options_;
+  GroundTruthFn ground_truth_;
+  MonitorState state_ = MonitorState::kNormal;
+  uint64_t queries_run_ = 0;
+  uint64_t ground_truth_checks_ = 0;
+  double last_f1_ = -1.0;
+  size_t base_inter_groups_ = 0;  // inter group count before adjustment (0 = auto)
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_MONITOR_H_

@@ -1,0 +1,164 @@
+#include "core/omd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "solver/emd.h"
+
+namespace vz::core {
+
+namespace {
+
+// Deterministic, evenly spaced subsample of a map's vectors.
+void Subsample(const FeatureMap& in, size_t cap,
+               std::vector<const FeatureVector*>* vectors,
+               std::vector<double>* weights) {
+  const size_t n = in.size();
+  if (n <= cap) {
+    for (size_t i = 0; i < n; ++i) {
+      vectors->push_back(&in.vector(i));
+      weights->push_back(in.weight(i));
+    }
+    return;
+  }
+  for (size_t k = 0; k < cap; ++k) {
+    const size_t i = k * n / cap;
+    vectors->push_back(&in.vector(i));
+    weights->push_back(in.weight(i));
+  }
+}
+
+}  // namespace
+
+OmdCalculator::OmdCalculator(const OmdOptions& options) : options_(options) {
+  set_threshold_alpha(options_.threshold_alpha);
+  if (options_.max_vectors < 1) options_.max_vectors = 1;
+}
+
+void OmdCalculator::set_threshold_alpha(double alpha) {
+  options_.threshold_alpha = std::min(1.0, std::max(1e-3, alpha));
+}
+
+StatusOr<double> OmdCalculator::Distance(const FeatureMap& a,
+                                         const FeatureMap& b) {
+  ++num_computations_;
+  if (a.empty() && b.empty()) return 0.0;
+  // An empty side behaves as one zero vector of the other side's dimension.
+  const FeatureVector zero(a.empty() ? b.dim() : a.dim());
+  FeatureMap zero_map;
+  (void)zero_map.Add(zero, 1.0);
+  const FeatureMap& left = a.empty() ? zero_map : a;
+  const FeatureMap& right = b.empty() ? zero_map : b;
+  if (left.dim() != right.dim()) {
+    return Status::InvalidArgument("feature map dimension mismatch");
+  }
+
+  std::vector<const FeatureVector*> av;
+  std::vector<double> aw;
+  std::vector<const FeatureVector*> bv;
+  std::vector<double> bw;
+  Subsample(left, options_.max_vectors, &av, &aw);
+  Subsample(right, options_.max_vectors, &bv, &bw);
+
+  // Dense ground-distance matrix, shared by both solver modes.
+  const size_t n = av.size();
+  const size_t m = bv.size();
+  std::vector<double> cost(n * m);
+  double max_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = EuclideanDistance(*av[i], *bv[j]);
+      cost[i * m + j] = d;
+      max_cost = std::max(max_cost, d);
+    }
+  }
+  const auto ground = [&cost, m](size_t i, size_t j) {
+    return cost[i * m + j];
+  };
+
+  if (options_.mode == OmdMode::kExact || max_cost == 0.0) {
+    VZ_ASSIGN_OR_RETURN(solver::EmdResult result,
+                        solver::ExactEmd(aw, bw, ground));
+    return result.distance;
+  }
+  const double threshold = options_.threshold_alpha * max_cost;
+  VZ_ASSIGN_OR_RETURN(solver::EmdResult result,
+                      solver::ThresholdedEmd(aw, bw, ground, threshold));
+  return result.distance;
+}
+
+SvsMetric::SvsMetric(const SvsStore* store, OmdCalculator* calculator,
+                     const SvsMetricOptions& options)
+    : store_(store), calculator_(calculator), options_(options) {}
+
+const FeatureMap* SvsMetric::Resolve(int id) const {
+  if (id < 0) {
+    auto it = temporaries_.find(id);
+    return it == temporaries_.end() ? nullptr : it->second;
+  }
+  auto svs = store_->Get(id);
+  return svs.ok() ? &(*svs)->features() : nullptr;
+}
+
+const FeatureVector& SvsMetric::CentroidOf(int id) {
+  auto it = centroids_.find(id);
+  if (it != centroids_.end()) return it->second;
+  const FeatureMap* map = Resolve(id);
+  FeatureVector centroid = map != nullptr ? map->Centroid() : FeatureVector();
+  return centroids_.emplace(id, std::move(centroid)).first->second;
+}
+
+double SvsMetric::Distance(int a, int b) {
+  if (a == b) return 0.0;
+  const bool cacheable = options_.memoize && a >= 0 && b >= 0;
+  int64_t key = 0;
+  if (cacheable) {
+    const auto lo = static_cast<uint32_t>(std::min(a, b));
+    const auto hi = static_cast<uint32_t>(std::max(a, b));
+    key = static_cast<int64_t>((static_cast<uint64_t>(lo) << 32) | hi);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  const FeatureMap* ma = Resolve(a);
+  const FeatureMap* mb = Resolve(b);
+  if (ma == nullptr || mb == nullptr) {
+    VZ_LOG(Error) << "SvsMetric: unknown item id " << (ma ? b : a);
+    return 0.0;
+  }
+  ++num_evals_;
+  auto result = calculator_->Distance(*ma, *mb);
+  if (!result.ok()) {
+    VZ_LOG(Error) << "OMD failed: " << result.status().ToString();
+    return 0.0;
+  }
+  if (cacheable) memo_.emplace(key, *result);
+  return *result;
+}
+
+double SvsMetric::LowerBound(int a, int b) {
+  if (a == b) return 0.0;
+  const FeatureVector& ca = CentroidOf(a);
+  const FeatureVector& cb = CentroidOf(b);
+  if (ca.dim() != cb.dim() || ca.empty()) return 0.0;
+  // OCD: distance between weighted centroids lower-bounds OMD (Sec. 4.3).
+  return EuclideanDistance(ca, cb);
+}
+
+int SvsMetric::RegisterTemporary(const FeatureMap* map) {
+  const int id = next_temporary_--;
+  temporaries_[id] = map;
+  return id;
+}
+
+void SvsMetric::UnregisterTemporary(int id) {
+  temporaries_.erase(id);
+  centroids_.erase(id);
+}
+
+void SvsMetric::InvalidateCache() {
+  memo_.clear();
+  centroids_.clear();
+}
+
+}  // namespace vz::core

@@ -1,0 +1,18 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace vz::core {
+
+bool QueryConstraints::AllowsCamera(const CameraId& camera) const {
+  if (!cameras.has_value()) return true;
+  return std::find(cameras->begin(), cameras->end(), camera) !=
+         cameras->end();
+}
+
+bool QueryConstraints::AllowsTime(int64_t start_ms, int64_t end_ms) const {
+  if (!time_range_ms.has_value()) return true;
+  return end_ms >= time_range_ms->first && start_ms <= time_range_ms->second;
+}
+
+}  // namespace vz::core

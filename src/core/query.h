@@ -1,0 +1,81 @@
+#ifndef VZ_CORE_QUERY_H_
+#define VZ_CORE_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/frame.h"
+#include "core/svs.h"
+#include "vector/feature_vector.h"
+
+namespace vz::core {
+
+/// Optional qualifiers accepted by both query types (Sec. 2.3: "Additional
+/// qualifiers over a subset of camera or time range can be easily
+/// supported").
+struct QueryConstraints {
+  /// Restrict to these cameras (empty optional = all cameras).
+  std::optional<std::vector<CameraId>> cameras;
+  /// Restrict to SVSs overlapping [first, second] in simulated ms.
+  std::optional<std::pair<int64_t, int64_t>> time_range_ms;
+
+  /// True when `camera` passes the camera filter.
+  bool AllowsCamera(const CameraId& camera) const;
+  /// True when [start, end] passes the time filter.
+  bool AllowsTime(int64_t start_ms, int64_t end_ms) const;
+};
+
+/// Verifies query candidates with the heavy ("ground truth") DNN, as in the
+/// FOCUS-style pipeline the paper compares against (Sec. 7.4). Video-zilla
+/// narrows the candidate set; the verifier supplies the final per-frame
+/// answer and the GPU cost of producing it. Implemented by
+/// `vz::sim::SimObjectVerifier` in this reproduction.
+class ObjectVerifier {
+ public:
+  struct Verification {
+    /// Does the SVS actually contain an object matching the query?
+    bool contains = false;
+    /// Simulated GPU milliseconds spent running the heavy model.
+    double gpu_ms = 0.0;
+    /// Frames pushed through the heavy model.
+    size_t frames_processed = 0;
+  };
+
+  virtual ~ObjectVerifier() = default;
+
+  /// Runs the heavy model over `svs`'s frames for the queried object.
+  virtual Verification Verify(const Svs& svs,
+                              const FeatureVector& query_feature) = 0;
+};
+
+/// Result of `directQuery` (Sec. 5.2 / 6).
+struct DirectQueryResult {
+  /// SVSs surviving index pruning, before verification.
+  std::vector<SvsId> candidate_svss;
+  /// SVSs confirmed by the verifier (== candidates when no verifier is set).
+  std::vector<SvsId> matched_svss;
+  /// Total simulated GPU time across all intra-camera indices (Fig. 17).
+  double total_gpu_ms = 0.0;
+  /// GPU time of the slowest camera — the bottleneck query time of Fig. 16.
+  double bottleneck_camera_gpu_ms = 0.0;
+  /// Per-camera GPU time.
+  std::vector<std::pair<CameraId, double>> per_camera_gpu_ms;
+  /// Frames pushed through the heavy model.
+  size_t frames_processed = 0;
+  /// Cameras whose intra-camera index was consulted.
+  size_t cameras_searched = 0;
+};
+
+/// Result of `clusteringQuery` (Sec. 5.2 / 6).
+struct ClusteringQueryResult {
+  /// All SVSs semantically similar to the query SVS.
+  std::vector<SvsId> similar_svss;
+  /// Cameras contributing at least one SVS.
+  size_t cameras_contributing = 0;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_QUERY_H_

@@ -1,0 +1,256 @@
+#include "core/representative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/kmeans.h"
+#include "common/math_util.h"
+#include "clustering/silhouette.h"
+
+namespace vz::core {
+
+FeatureMap Representative::AsFeatureMap() const {
+  FeatureMap map;
+  for (const WeightedCenter& c : centers_) {
+    // Weights are already normalized fractions; Add cannot fail here because
+    // all centers share the construction dimension.
+    (void)map.Add(c.center, c.weight);
+  }
+  return map;
+}
+
+int Representative::HitCenter(const FeatureVector& feature,
+                              double boundary_scale) const {
+  int best = -1;
+  double best_dist = 0.0;
+  for (size_t i = 0; i < centers_.size(); ++i) {
+    if (centers_[i].center.dim() != feature.dim()) continue;
+    const double d = EuclideanDistance(feature, centers_[i].center);
+    if (d <= centers_[i].boundary * boundary_scale) {
+      if (best < 0 || d < best_dist) {
+        best = static_cast<int>(i);
+        best_dist = d;
+      }
+    }
+  }
+  return best;
+}
+
+int Representative::RecordHit(const FeatureVector& feature,
+                              int64_t timestamp_ms, double boundary_scale) {
+  const int center = HitCenter(feature, boundary_scale);
+  if (center >= 0) {
+    centers_[static_cast<size_t>(center)].last_hit_ms =
+        std::max(centers_[static_cast<size_t>(center)].last_hit_ms,
+                 timestamp_ms);
+  }
+  return center;
+}
+
+double Representative::AverageMemberDistance() const {
+  double total = 0.0;
+  double mass = 0.0;
+  for (const WeightedCenter& c : centers_) {
+    total += c.weight * c.mean_member_distance;
+    mass += c.weight;
+  }
+  return mass > 0.0 ? total / mass : 0.0;
+}
+
+int64_t Representative::MaxTimeSinceHitMs(int64_t now_ms) const {
+  int64_t max_gap = 0;
+  for (const WeightedCenter& c : centers_) {
+    if (c.last_hit_ms < 0) continue;
+    max_gap = std::max(max_gap, now_ms - c.last_hit_ms);
+  }
+  return max_gap;
+}
+
+StatusOr<Representative> BuildRepresentative(
+    const std::vector<const FeatureMap*>& maps,
+    const RepresentativeOptions& options, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("BuildRepresentative requires an Rng");
+  }
+  // Pool all vectors (with weights) from the inputs.
+  std::vector<FeatureVector> points;
+  std::vector<double> weights;
+  for (const FeatureMap* map : maps) {
+    if (map == nullptr) continue;
+    for (size_t i = 0; i < map->size(); ++i) {
+      points.push_back(map->vector(i));
+      weights.push_back(map->weight(i));
+    }
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("no vectors to summarize");
+  }
+  // Bound the clustering cost on very long streams.
+  if (points.size() > options.max_vectors) {
+    std::vector<size_t> keep(points.size());
+    for (size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+    rng->Shuffle(&keep);
+    keep.resize(options.max_vectors);
+    std::sort(keep.begin(), keep.end());
+    std::vector<FeatureVector> sub_points;
+    std::vector<double> sub_weights;
+    sub_points.reserve(keep.size());
+    for (size_t idx : keep) {
+      sub_points.push_back(std::move(points[idx]));
+      sub_weights.push_back(weights[idx]);
+    }
+    points = std::move(sub_points);
+    weights = std::move(sub_weights);
+  }
+
+  // Choose k by silhouette (Sec. 3.3), then run the final weighted k-means.
+  size_t k = 1;
+  if (points.size() >= 3 && options.max_k >= 2) {
+    auto sweep =
+        clustering::ChooseKBySilhouette(points, options.min_k, options.max_k,
+                                        rng);
+    // A weak best silhouette means the vectors are essentially unimodal;
+    // means forcing k >= 2 would shatter one scene into tight sub-balls whose
+    // boundaries miss ordinary members. Fall back to a single center.
+    if (sweep.ok() && sweep->best_score >= options.min_silhouette) {
+      // Among near-optimal k, prefer the largest: under-segmentation merges
+      // object classes into one fat ball whose decision boundary matches
+      // everything, while mild over-segmentation is harmless (the sub-balls
+      // still sit near their class and jointly cover the members).
+      k = sweep->best_k;
+      for (const auto& [candidate_k, score] : sweep->scores) {
+        if (candidate_k > k && score >= sweep->best_score - 0.05) {
+          k = candidate_k;
+        }
+      }
+      // Silhouette confirms multimodal structure; also enforce a floor so a
+      // scene with many classes cannot be summarized by a handful of merged
+      // balls (fatal for the decision-boundary query, Sec. 3.3).
+      k = std::max(k, std::min(points.size() / 12, options.max_k));
+    }
+  }
+  clustering::KMeansOptions km_options;
+  km_options.k = k;
+  VZ_ASSIGN_OR_RETURN(clustering::KMeansResult km,
+                      clustering::KMeans(points, weights, km_options, rng));
+
+  // Assemble centers with weights, boundaries and mean member distances.
+  const size_t num_centers = km.centroids.size();
+  std::vector<WeightedCenter> centers(num_centers);
+  std::vector<double> mass(num_centers, 0.0);
+  std::vector<double> dist_sum(num_centers, 0.0);
+  std::vector<std::vector<double>> dists(num_centers);
+  double total_mass = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const size_t c = km.assignments[i];
+    const double d = EuclideanDistance(points[i], km.centroids[c]);
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    dists[c].push_back(d);
+    dist_sum[c] += w * d;
+    mass[c] += w;
+    total_mass += w;
+  }
+  for (size_t c = 0; c < num_centers; ++c) {
+    centers[c].center = km.centroids[c];
+    centers[c].weight = total_mass > 0.0 ? mass[c] / total_mass : 0.0;
+    centers[c].mean_member_distance =
+        mass[c] > 0.0 ? dist_sum[c] / mass[c] : 0.0;
+    double boundary =
+        Percentile(dists[c],
+                   100.0 * Clamp(options.boundary_quantile, 0.0, 1.0));
+    if (options.boundary_quantile < 1.0) {
+      // Robust cap: a center is typically one object class plus a few
+      // heavy-tailed outliers (hard examples); quantiles and the mean both
+      // get dragged by the contamination, while median + 3*MAD tracks the
+      // clean majority. Quantile 1.0 (the paper's farthest-point rule)
+      // disables the cap.
+      const double median = Percentile(dists[c], 50.0);
+      std::vector<double> deviations;
+      deviations.reserve(dists[c].size());
+      for (double d : dists[c]) deviations.push_back(std::fabs(d - median));
+      const double mad = Percentile(std::move(deviations), 50.0);
+      boundary =
+          std::min(boundary, median + 3.0 * std::max(mad, 0.05 * median));
+    }
+    centers[c].boundary = boundary;
+  }
+  // Drop empty centers (possible when k-means leaves a cluster unpopulated).
+  std::vector<WeightedCenter> populated;
+  for (WeightedCenter& c : centers) {
+    if (c.weight > 0.0) populated.push_back(std::move(c));
+  }
+  return Representative(std::move(populated));
+}
+
+StatusOr<Representative> BuildRepresentative(
+    const FeatureMap& map, const RepresentativeOptions& options, Rng* rng) {
+  return BuildRepresentative({&map}, options, rng);
+}
+
+StatusOr<Representative> BuildCoveringRepresentative(
+    const std::vector<const Representative*>& members,
+    const RepresentativeOptions& options, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("BuildCoveringRepresentative needs an Rng");
+  }
+  // Pool the member centers with their metadata.
+  std::vector<FeatureVector> points;
+  std::vector<double> weights;
+  std::vector<double> boundaries;
+  std::vector<double> mean_dists;
+  for (const Representative* member : members) {
+    if (member == nullptr) continue;
+    for (const WeightedCenter& c : member->centers()) {
+      points.push_back(c.center);
+      weights.push_back(c.weight);
+      boundaries.push_back(c.boundary);
+      mean_dists.push_back(c.mean_member_distance);
+    }
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("no member centers to summarize");
+  }
+
+  size_t k = 1;
+  if (points.size() >= 3 && options.max_k >= 2) {
+    auto sweep = clustering::ChooseKBySilhouette(
+        points, options.min_k, std::min(options.max_k, points.size() - 1),
+        rng);
+    if (sweep.ok() && sweep->best_score >= options.min_silhouette) {
+      k = sweep->best_k;
+    }
+  }
+  clustering::KMeansOptions km_options;
+  km_options.k = std::min(k, points.size());
+  VZ_ASSIGN_OR_RETURN(clustering::KMeansResult km,
+                      clustering::KMeans(points, weights, km_options, rng));
+
+  const size_t num_centers = km.centroids.size();
+  std::vector<WeightedCenter> centers(num_centers);
+  std::vector<double> mass(num_centers, 0.0);
+  std::vector<double> mean_sum(num_centers, 0.0);
+  double total_mass = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const size_t c = km.assignments[i];
+    const double d = EuclideanDistance(points[i], km.centroids[c]);
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    // Covering radius: the member ball must lie inside the group ball.
+    centers[c].boundary = std::max(centers[c].boundary, d + boundaries[i]);
+    mean_sum[c] += w * (d + mean_dists[i]);
+    mass[c] += w;
+    total_mass += w;
+  }
+  for (size_t c = 0; c < num_centers; ++c) {
+    centers[c].center = km.centroids[c];
+    centers[c].weight = total_mass > 0.0 ? mass[c] / total_mass : 0.0;
+    centers[c].mean_member_distance =
+        mass[c] > 0.0 ? mean_sum[c] / mass[c] : 0.0;
+  }
+  std::vector<WeightedCenter> populated;
+  for (WeightedCenter& c : centers) {
+    if (c.weight > 0.0) populated.push_back(std::move(c));
+  }
+  return Representative(std::move(populated));
+}
+
+}  // namespace vz::core

@@ -1,0 +1,139 @@
+#include "core/segmenter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "clustering/kmeans.h"
+
+namespace vz::core {
+
+VideoSegmenter::VideoSegmenter(const SegmenterOptions& options, Rng rng)
+    : options_(options), rng_(rng) {}
+
+void VideoSegmenter::SetReference(std::optional<Representative> reference) {
+  reference_ = std::move(reference);
+}
+
+Segment VideoSegmenter::CutAt(size_t split_index, Segment::Reason reason) {
+  split_index = std::min(split_index, buffer_.size());
+  if (split_index == 0) split_index = buffer_.size();
+
+  Segment segment;
+  segment.reason = reason;
+  segment.start_ms = segment_start_ms_;
+  segment.end_ms =
+      split_index > 0 ? buffer_[split_index - 1].timestamp_ms : segment_start_ms_;
+  for (size_t i = 0; i < split_index; ++i) {
+    (void)segment.features.Add(std::move(buffer_[i].feature), 1.0);
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<long>(split_index));
+
+  // Re-base the remaining buffer as the start of the next segment.
+  segment_start_ms_ =
+      buffer_.empty() ? segment.end_ms : buffer_.front().timestamp_ms;
+  novel_count_ = 0;
+  novel_since_check_ = 0;
+  first_novel_index_ = -1;
+  last_hit_index_ = -1;
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    if (buffer_[i].novel) {
+      ++novel_count_;
+      if (first_novel_index_ < 0) first_novel_index_ = static_cast<int64_t>(i);
+    } else {
+      last_hit_index_ = static_cast<int64_t>(i);
+    }
+  }
+  return segment;
+}
+
+double VideoSegmenter::NoveltyCoherence() {
+  std::vector<FeatureVector> novel;
+  novel.reserve(novel_count_);
+  for (const TimedFeature& f : buffer_) {
+    if (f.novel) novel.push_back(f.feature);
+  }
+  if (novel.size() < 2) return 0.0;
+  clustering::KMeansOptions options;
+  options.k = std::min(options_.novelty_kmeans_k, novel.size());
+  auto km = clustering::KMeans(novel, options, &rng_);
+  if (!km.ok()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < novel.size(); ++i) {
+    total += EuclideanDistance(novel[i], km->centroids[km->assignments[i]]);
+  }
+  return total / static_cast<double>(novel.size());
+}
+
+std::optional<Segment> VideoSegmenter::MaybeSplit(int64_t now_ms) {
+  if (buffer_.empty() || segment_start_ms_ < 0) return std::nullopt;
+
+  // t_max cap applies with or without a reference (bootstrap uses it to form
+  // the first SVS).
+  if (now_ms - segment_start_ms_ >= options_.t_max_ms) {
+    return CutAt(buffer_.size(), Segment::Reason::kTimeout);
+  }
+  if (!reference_.has_value()) return std::nullopt;
+
+  // Stale-center rule: some reference center unhit for more than t_split.
+  if (reference_->MaxTimeSinceHitMs(now_ms) > options_.t_split_ms &&
+      last_hit_index_ >= 0) {
+    // Divide at the last hit feature (Sec. 5.1: "the current feature buffer
+    // is divided at the point where ... the last hit feature arrives").
+    return CutAt(static_cast<size_t>(last_hit_index_) + 1,
+                 Segment::Reason::kStaleCenter);
+  }
+
+  // Novelty rule: the novel features have become as mutually coherent as the
+  // reference's own members (d_n <= d_r).
+  if (novel_count_ >= options_.min_novel_features &&
+      novel_since_check_ >= options_.novelty_check_stride) {
+    novel_since_check_ = 0;
+    const double d_n = NoveltyCoherence();
+    const double d_r = reference_->AverageMemberDistance();
+    if (d_n > 0.0 && d_n <= d_r && first_novel_index_ > 0) {
+      // Divide at the first novelty feature.
+      return CutAt(static_cast<size_t>(first_novel_index_),
+                   Segment::Reason::kNovelty);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Segment> VideoSegmenter::AddFeature(int64_t timestamp_ms,
+                                                  const FeatureVector& feature) {
+  if (segment_start_ms_ < 0) segment_start_ms_ = timestamp_ms;
+  TimedFeature tf;
+  tf.timestamp_ms = timestamp_ms;
+  tf.feature = feature;
+  tf.novel = true;
+  if (reference_.has_value()) {
+    const int hit =
+        reference_->RecordHit(feature, timestamp_ms, options_.boundary_scale);
+    tf.novel = hit < 0;
+  } else {
+    tf.novel = false;  // bootstrap: everything belongs to the first SVS
+  }
+  buffer_.push_back(std::move(tf));
+  if (buffer_.back().novel) {
+    ++novel_count_;
+    ++novel_since_check_;
+    if (first_novel_index_ < 0) {
+      first_novel_index_ = static_cast<int64_t>(buffer_.size()) - 1;
+    }
+  } else {
+    last_hit_index_ = static_cast<int64_t>(buffer_.size()) - 1;
+  }
+  return MaybeSplit(timestamp_ms);
+}
+
+std::optional<Segment> VideoSegmenter::AdvanceTime(int64_t timestamp_ms) {
+  return MaybeSplit(timestamp_ms);
+}
+
+std::optional<Segment> VideoSegmenter::Flush() {
+  if (buffer_.empty()) return std::nullopt;
+  return CutAt(buffer_.size(), Segment::Reason::kFlush);
+}
+
+}  // namespace vz::core

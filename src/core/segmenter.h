@@ -1,0 +1,109 @@
+#ifndef VZ_CORE_SEGMENTER_H_
+#define VZ_CORE_SEGMENTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "core/representative.h"
+#include "vector/feature_map.h"
+#include "vector/feature_vector.h"
+
+namespace vz::core {
+
+/// Parameters of the automatic video segmentation of Sec. 5.1 / Algorithm 3.
+struct SegmenterOptions {
+  /// Maximum SVS length; also the bootstrap length (t_max, paper default
+  /// 15 minutes).
+  int64_t t_max_ms = 15LL * 60 * 1000;
+  /// A representative center unhit for longer than this triggers a split
+  /// (t_split = t_max / 10, Sec. 5.1).
+  int64_t t_split_ms = 90LL * 1000;
+  /// Minimum novel features buffered before the d_n <= d_r test runs, and
+  /// the cadence (every N-th novel feature) of the k-means evaluation —
+  /// clustering the novelty buffer per feature would be wasteful.
+  size_t min_novel_features = 8;
+  size_t novelty_check_stride = 4;
+  /// k used when clustering the novelty buffer.
+  size_t novelty_kmeans_k = 3;
+  /// Boundary scale for the hit test against the reference representative.
+  /// Representatives default to robust (quantile-capped) boundaries, so the
+  /// segmentation hit test runs with extra margin to keep ordinary members
+  /// from registering as novel.
+  double boundary_scale = 1.25;
+};
+
+/// A finished segment produced by the segmenter.
+struct Segment {
+  int64_t start_ms = 0;
+  int64_t end_ms = 0;
+  /// Feature map of all features in [start_ms, end_ms], uniform weights.
+  FeatureMap features;
+  /// Why the segment was cut.
+  enum class Reason { kNovelty, kStaleCenter, kTimeout, kFlush } reason =
+      Reason::kTimeout;
+};
+
+/// Streaming video segmentation (Algorithm 3): tracks features that fall
+/// outside the reference representative's decision boundaries and cuts a new
+/// SVS when the novelty buffer becomes as coherent as the reference
+/// (d_n <= d_r), when a reference center goes stale (t_hit > t_split), or at
+/// the t_max cap.
+///
+/// The caller owns the reference: after each finished segment is inserted
+/// into the intra-camera index, call `SetReference` with the representative
+/// of the cluster that segment joined (Sec. 5.1, "Tracking novel features").
+class VideoSegmenter {
+ public:
+  VideoSegmenter(const SegmenterOptions& options, Rng rng);
+
+  /// Feeds one feature vector observed at `timestamp_ms` (timestamps must be
+  /// non-decreasing). Returns a finished segment when a cut triggers.
+  std::optional<Segment> AddFeature(int64_t timestamp_ms,
+                                    const FeatureVector& feature);
+
+  /// Advances time without a feature (e.g. an object-free key frame); may
+  /// trigger the timeout or stale-center cuts.
+  std::optional<Segment> AdvanceTime(int64_t timestamp_ms);
+
+  /// Flushes whatever is buffered as a final segment (end of stream).
+  std::optional<Segment> Flush();
+
+  /// Installs the reference representative (copied). Pass an empty optional
+  /// to return to bootstrap behavior.
+  void SetReference(std::optional<Representative> reference);
+
+  bool has_reference() const { return reference_.has_value(); }
+  size_t buffered_features() const { return buffer_.size(); }
+
+ private:
+  struct TimedFeature {
+    int64_t timestamp_ms;
+    FeatureVector feature;
+    bool novel;
+  };
+
+  // Cuts the buffer at `split_index` (features [0, split_index) leave as a
+  // segment; the rest remain buffered).
+  Segment CutAt(size_t split_index, Segment::Reason reason);
+  // d_n of Algorithm 3: mean member-to-center distance after k-means over
+  // the novelty buffer.
+  double NoveltyCoherence();
+  std::optional<Segment> MaybeSplit(int64_t now_ms);
+
+  SegmenterOptions options_;
+  Rng rng_;
+  std::optional<Representative> reference_;
+  std::vector<TimedFeature> buffer_;
+  size_t novel_count_ = 0;
+  size_t novel_since_check_ = 0;
+  int64_t segment_start_ms_ = -1;
+  int64_t last_hit_index_ = -1;  // buffer index of the last hitting feature
+  int64_t first_novel_index_ = -1;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_SEGMENTER_H_

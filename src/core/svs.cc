@@ -1,0 +1,59 @@
+#include "core/svs.h"
+
+#include <string>
+
+namespace vz::core {
+
+SvsMetadata Svs::Metadata(int64_t now_ms) const {
+  SvsMetadata meta;
+  meta.id = id_;
+  meta.camera = camera_;
+  meta.start_ms = start_ms_;
+  meta.end_ms = end_ms_;
+  meta.num_frames = frame_ids_.size();
+  meta.encoded_bytes = encoded_bytes_;
+  meta.access_count = access_count_;
+  meta.last_access_ms = last_access_ms_;
+  const double hours =
+      static_cast<double>(now_ms - start_ms_) / (1000.0 * 3600.0);
+  meta.access_frequency =
+      hours > 0.0 ? static_cast<double>(access_count_) / hours : 0.0;
+  return meta;
+}
+
+SvsId SvsStore::Create(CameraId camera, int64_t start_ms, int64_t end_ms,
+                       FeatureMap features) {
+  const SvsId id = static_cast<SvsId>(svss_.size());
+  by_camera_[camera].push_back(id);
+  svss_.emplace_back(id, std::move(camera), start_ms, end_ms,
+                     std::move(features));
+  return id;
+}
+
+StatusOr<const Svs*> SvsStore::Get(SvsId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= svss_.size()) {
+    return Status::NotFound("unknown SVS id " + std::to_string(id));
+  }
+  return &svss_[static_cast<size_t>(id)];
+}
+
+StatusOr<Svs*> SvsStore::GetMutable(SvsId id) {
+  if (id < 0 || static_cast<size_t>(id) >= svss_.size()) {
+    return Status::NotFound("unknown SVS id " + std::to_string(id));
+  }
+  return &svss_[static_cast<size_t>(id)];
+}
+
+std::vector<SvsId> SvsStore::AllIds() const {
+  std::vector<SvsId> ids(svss_.size());
+  for (size_t i = 0; i < svss_.size(); ++i) ids[i] = static_cast<SvsId>(i);
+  return ids;
+}
+
+std::vector<SvsId> SvsStore::IdsForCamera(const CameraId& camera) const {
+  auto it = by_camera_.find(camera);
+  if (it == by_camera_.end()) return {};
+  return it->second;
+}
+
+}  // namespace vz::core

@@ -1,0 +1,454 @@
+#include "core/videozilla.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace vz::core {
+
+/// Per-camera ingestion state: key-frame selector, segmenter, intra-camera
+/// index, and the frames awaiting assignment to an SVS.
+struct VideoZilla::CameraPipeline {
+  CameraPipeline(const CameraId& camera, SvsStore* store, SvsMetric* metric,
+                 const VideoZillaOptions& options, Rng rng)
+      : keyframe(options.keyframe),
+        segmenter(options.segmenter, rng.Fork()),
+        index(camera, store, metric, options.intra, rng.Fork()) {}
+
+  struct PendingFrame {
+    int64_t frame_id;
+    int64_t timestamp_ms;
+    size_t bytes;
+    bool keyframe;
+  };
+
+  KeyframeSelector keyframe;
+  VideoSegmenter segmenter;
+  IntraCameraIndex index;
+  std::vector<PendingFrame> pending;
+  uint64_t synced_rep_version = 0;
+};
+
+VideoZilla::VideoZilla(const VideoZillaOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      omd_(options.omd),
+      metric_(&store_, &omd_),
+      inter_(&omd_, options.inter, Rng(options.seed ^ 0x1357)) {}
+
+VideoZilla::~VideoZilla() = default;
+
+Status VideoZilla::CameraStart(const CameraId& camera) {
+  if (pipelines_.count(camera) > 0) {
+    return Status::FailedPrecondition("camera already started: " + camera);
+  }
+  pipelines_.emplace(camera,
+                     std::make_unique<CameraPipeline>(
+                         camera, &store_, &metric_, options_, rng_.Fork()));
+  return Status::OK();
+}
+
+Status VideoZilla::CameraTerminate(const CameraId& camera) {
+  auto it = pipelines_.find(camera);
+  if (it == pipelines_.end()) {
+    return Status::NotFound("camera not started: " + camera);
+  }
+  pipelines_.erase(it);
+  return inter_.RemoveCamera(camera);
+}
+
+Status VideoZilla::IngestFrame(const FrameObservation& frame) {
+  auto it = pipelines_.find(frame.camera);
+  if (it == pipelines_.end()) {
+    return Status::FailedPrecondition("camera not started: " + frame.camera);
+  }
+  CameraPipeline* pipeline = it->second.get();
+  ++ingest_stats_.frames_offered;
+  now_ms_ = std::max(now_ms_, frame.timestamp_ms);
+
+  const bool selected = options_.enable_keyframe_selection
+                            ? pipeline->keyframe.ShouldProcess(frame)
+                            : true;
+  pipeline->pending.push_back({frame.frame_id, frame.timestamp_ms,
+                               frame.encoded_bytes, selected});
+  if (!selected) return Status::OK();
+  ++ingest_stats_.keyframes_selected;
+
+  if (frame.objects.empty()) {
+    auto segment = pipeline->segmenter.AdvanceTime(frame.timestamp_ms);
+    if (segment.has_value()) {
+      VZ_RETURN_IF_ERROR(HandleSegment(pipeline, std::move(*segment)));
+    }
+    return Status::OK();
+  }
+  for (const DetectedObject& object : frame.objects) {
+    ++ingest_stats_.features_extracted;
+    ingest_stats_.raw_feature_bytes += object.feature.dim() * sizeof(float);
+    auto segment =
+        pipeline->segmenter.AddFeature(frame.timestamp_ms, object.feature);
+    if (segment.has_value()) {
+      VZ_RETURN_IF_ERROR(HandleSegment(pipeline, std::move(*segment)));
+    }
+  }
+  return Status::OK();
+}
+
+Status VideoZilla::Flush() {
+  for (auto& [camera, pipeline] : pipelines_) {
+    auto segment = pipeline->segmenter.Flush();
+    if (segment.has_value()) {
+      VZ_RETURN_IF_ERROR(HandleSegment(pipeline.get(), std::move(*segment)));
+    }
+    // Force a recluster so every SVS — including ones inserted since the
+    // last periodic recluster — is reachable through cluster membership and
+    // the inter-camera index. Without this, late arrivals are invisible to
+    // hierarchical queries until the next recluster.
+    if (pipeline->index.size() > 0) {
+      VZ_RETURN_IF_ERROR(pipeline->index.Recluster());
+      pipeline->synced_rep_version = pipeline->index.representative_version();
+      VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+    }
+  }
+  return Status::OK();
+}
+
+Status VideoZilla::RestoreFromSvsStore(const SvsStore& source) {
+  if (store_.size() != 0) {
+    return Status::FailedPrecondition(
+        "RestoreFromSvsStore requires an empty instance");
+  }
+  for (SvsId id : source.AllIds()) {
+    VZ_ASSIGN_OR_RETURN(const Svs* svs, source.Get(id));
+    if (pipelines_.count(svs->camera()) == 0) {
+      VZ_RETURN_IF_ERROR(CameraStart(svs->camera()));
+    }
+    const SvsId new_id = store_.Create(svs->camera(), svs->start_ms(),
+                                       svs->end_ms(), svs->features());
+    VZ_ASSIGN_OR_RETURN(Svs * copy, store_.GetMutable(new_id));
+    copy->set_representative(svs->representative());
+    copy->set_frame_ids(svs->frame_ids());
+    copy->set_encoded_bytes(svs->encoded_bytes());
+    copy->RestoreAccessStats(svs->access_count(), svs->last_access_ms());
+    now_ms_ = std::max(now_ms_, svs->end_ms());
+    auto it = pipelines_.find(svs->camera());
+    VZ_RETURN_IF_ERROR(it->second->index.Insert(new_id));
+    ++ingest_stats_.svs_created;
+  }
+  // Derive clusters and the inter-camera index once, after all insertions.
+  for (auto& [camera, pipeline] : pipelines_) {
+    if (pipeline->index.size() == 0) continue;
+    VZ_RETURN_IF_ERROR(pipeline->index.Recluster());
+    pipeline->synced_rep_version = pipeline->index.representative_version();
+    VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+  }
+  return Status::OK();
+}
+
+Status VideoZilla::HandleSegment(CameraPipeline* pipeline, Segment segment) {
+  // Associate pending frames up to the segment end with the new SVS.
+  std::vector<int64_t> frame_ids;
+  size_t bytes = 0;
+  size_t consumed = 0;
+  for (const CameraPipeline::PendingFrame& pf : pipeline->pending) {
+    if (pf.timestamp_ms > segment.end_ms) break;
+    // Every frame of the window belongs to the SVS: key-frame selection
+    // bounds *ingestion* compute, but the archived segment the heavy model
+    // verifies at query time contains all frames.
+    frame_ids.push_back(pf.frame_id);
+    bytes += pf.bytes;
+    ++consumed;
+  }
+  pipeline->pending.erase(pipeline->pending.begin(),
+                          pipeline->pending.begin() +
+                              static_cast<long>(consumed));
+
+  const SvsId id = store_.Create(pipeline->index.camera(), segment.start_ms,
+                                 segment.end_ms, std::move(segment.features));
+  ++ingest_stats_.svs_created;
+  {
+    VZ_ASSIGN_OR_RETURN(Svs * svs, store_.GetMutable(id));
+    svs->set_frame_ids(std::move(frame_ids));
+    svs->set_encoded_bytes(bytes);
+  }
+  VZ_RETURN_IF_ERROR(pipeline->index.Insert(id));
+
+  // The reference for further segmentation is the representative of the
+  // cluster the new SVS joined (Sec. 5.1); fall back to its own
+  // representative when clusters are not derived yet.
+  auto cluster_rep = pipeline->index.ClusterRepresentativeFor(id);
+  if (cluster_rep.ok() && !(*cluster_rep)->empty()) {
+    pipeline->segmenter.SetReference(**cluster_rep);
+  } else {
+    VZ_ASSIGN_OR_RETURN(const Svs* svs, store_.Get(id));
+    if (!svs->representative().empty()) {
+      pipeline->segmenter.SetReference(svs->representative());
+    }
+  }
+
+  // Propagate representative updates to the inter-camera index (Sec. 5.1,
+  // "Hierarchical index update").
+  if (pipeline->index.representative_version() !=
+      pipeline->synced_rep_version) {
+    pipeline->synced_rep_version = pipeline->index.representative_version();
+    VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+  }
+  return Status::OK();
+}
+
+double VideoZilla::EstimateFeatureSpread() {
+  if (spread_cache_svs_count_ == store_.size() && spread_cache_ > 0.0) {
+    return spread_cache_;
+  }
+  std::vector<double> spreads;
+  for (SvsId id : store_.AllIds()) {
+    auto svs = store_.Get(id);
+    if (!svs.ok()) continue;
+    for (const WeightedCenter& center : (*svs)->representative().centers()) {
+      if (center.mean_member_distance > 0.0) {
+        spreads.push_back(center.mean_member_distance);
+      }
+      if (spreads.size() >= 2000) break;
+    }
+    if (spreads.size() >= 2000) break;
+  }
+  spread_cache_svs_count_ = store_.size();
+  spread_cache_ = spreads.empty() ? 1.0 : Percentile(std::move(spreads), 50.0);
+  return spread_cache_;
+}
+
+std::vector<SvsId> VideoZilla::DirectCandidates(
+    const FeatureVector& feature, const QueryConstraints& constraints) {
+  std::vector<SvsId> candidates;
+  const double scale = options_.boundary_scale;
+  switch (index_mode_) {
+    case IndexMode::kHierarchical: {
+      std::unordered_set<SvsId> seen;
+      for (const InterCameraIndex::RepEntry* entry :
+           inter_.FeatureSearch(feature, scale)) {
+        if (!constraints.AllowsCamera(entry->camera)) continue;
+        auto it = pipelines_.find(entry->camera);
+        if (it == pipelines_.end()) continue;
+        const IntraCameraIndex& intra = it->second->index;
+        auto members = intra.ClusterMembers(entry->intra_cluster_index);
+        if (!members.ok()) continue;
+        for (SvsId id : *members) {
+          auto svs = store_.Get(id);
+          if (!svs.ok()) continue;
+          if (!(*svs)->representative().Hit(feature, scale)) continue;
+          if (seen.insert(id).second) candidates.push_back(id);
+        }
+      }
+      break;
+    }
+    case IndexMode::kIntraOnly: {
+      for (const auto& [camera, pipeline] : pipelines_) {
+        if (!constraints.AllowsCamera(camera)) continue;
+        for (SvsId id : pipeline->index.FeatureSearch(feature, scale)) {
+          candidates.push_back(id);
+        }
+      }
+      break;
+    }
+    case IndexMode::kFlatSvs: {
+      // Flat SVS index (Sec. 5.3 adjustment iii): every SVS's own
+      // representative is probed directly, with no cluster-level pruning.
+      for (SvsId id : store_.AllIds()) {
+        auto svs = store_.Get(id);
+        if (!svs.ok()) continue;
+        if (!constraints.AllowsCamera((*svs)->camera())) continue;
+        if ((*svs)->representative().Hit(feature, scale)) {
+          candidates.push_back(id);
+        }
+      }
+      break;
+    }
+    case IndexMode::kFlat: {
+      // Bailout: no pruning at all — every SVS of every allowed camera is a
+      // candidate (Sec. 5.3, "downgrade to a frame-level index to search
+      // through video frames across all cameras").
+      for (SvsId id : store_.AllIds()) {
+        auto svs = store_.Get(id);
+        if (!svs.ok()) continue;
+        if (!constraints.AllowsCamera((*svs)->camera())) continue;
+        candidates.push_back(id);
+      }
+      break;
+    }
+  }
+  // Time-range filtering happens per intra-camera index (Sec. 5.4).
+  std::vector<SvsId> filtered;
+  filtered.reserve(candidates.size());
+  for (SvsId id : candidates) {
+    auto svs = store_.Get(id);
+    if (!svs.ok()) continue;
+    if (constraints.AllowsTime((*svs)->start_ms(), (*svs)->end_ms())) {
+      filtered.push_back(id);
+    }
+  }
+  // Second stage of the feature search (Sec. 4.2): "searching all SVSs in
+  // candidate clusters to find the SVSs that actually meet the requirement".
+  // The stored feature map is checked directly — microseconds at the edge,
+  // versus heavy-DNN milliseconds per frame — which removes candidates whose
+  // representative ball matched only spuriously. The frame-level bailout
+  // mode scans everything by definition and skips this.
+  if (index_mode_ == IndexMode::kFlat || !options_.enable_exact_stage) {
+    return filtered;
+  }
+  std::vector<SvsId> confirmed;
+  confirmed.reserve(filtered.size());
+  for (SvsId id : filtered) {
+    auto svs = store_.Get(id);
+    if (!svs.ok()) continue;
+    // The query feature and a truly matching stored feature each carry one
+    // draw of extractor noise, so their distance runs ~sqrt(2) above the
+    // typical member-to-center spread. The spread estimate is global (the
+    // median over all representative centers): a fat merged ball in this
+    // particular SVS must not widen its own acceptance test.
+    const double threshold = scale * 2.0 * EstimateFeatureSpread();
+    const FeatureMap& map = (*svs)->features();
+    bool matched = false;
+    for (size_t i = 0; i < map.size() && !matched; ++i) {
+      matched = EuclideanDistance(feature, map.vector(i)) <= threshold;
+    }
+    if (matched) confirmed.push_back(id);
+  }
+  return confirmed;
+}
+
+StatusOr<DirectQueryResult> VideoZilla::DirectQuery(
+    const FeatureVector& object_feature, const QueryConstraints& constraints) {
+  DirectQueryResult result;
+  result.candidate_svss = DirectCandidates(object_feature, constraints);
+
+  // Count distinct cameras consulted.
+  std::unordered_set<CameraId> cameras;
+  for (SvsId id : result.candidate_svss) {
+    auto svs = store_.Get(id);
+    if (svs.ok()) cameras.insert((*svs)->camera());
+  }
+  result.cameras_searched = cameras.size();
+
+  // Verification stage: the heavy model runs only over candidate SVSs; its
+  // GPU time is what Figs. 15-17 compare.
+  std::unordered_map<CameraId, double> per_camera;
+  for (SvsId id : result.candidate_svss) {
+    auto svs = store_.GetMutable(id);
+    if (!svs.ok()) continue;
+    if (verifier_ == nullptr) {
+      result.matched_svss.push_back(id);
+      (*svs)->RecordAccess(now_ms_);
+      continue;
+    }
+    const ObjectVerifier::Verification v =
+        verifier_->Verify(**svs, object_feature);
+    result.total_gpu_ms += v.gpu_ms;
+    result.frames_processed += v.frames_processed;
+    per_camera[(*svs)->camera()] += v.gpu_ms;
+    if (v.contains) {
+      result.matched_svss.push_back(id);
+      (*svs)->RecordAccess(now_ms_);
+    }
+  }
+  for (auto& [camera, ms] : per_camera) {
+    result.per_camera_gpu_ms.emplace_back(camera, ms);
+    result.bottleneck_camera_gpu_ms =
+        std::max(result.bottleneck_camera_gpu_ms, ms);
+  }
+  return result;
+}
+
+StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQuery(
+    const FeatureMap& target, const QueryConstraints& constraints) {
+  ClusteringQueryResult result;
+  std::unordered_set<CameraId> cameras;
+  if (index_mode_ == IndexMode::kHierarchical && inter_.size() > 0) {
+    VZ_ASSIGN_OR_RETURN(const InterCameraIndex::Group* group,
+                        inter_.GroupOfNearest(target));
+    for (size_t entry_idx : group->entry_indices) {
+      const InterCameraIndex::RepEntry& entry = inter_.entries()[entry_idx];
+      if (!constraints.AllowsCamera(entry.camera)) continue;
+      auto it = pipelines_.find(entry.camera);
+      if (it == pipelines_.end()) continue;
+      auto members =
+          it->second->index.ClusterMembers(entry.intra_cluster_index);
+      if (!members.ok()) continue;
+      for (SvsId id : *members) {
+        auto svs = store_.Get(id);
+        if (!svs.ok()) continue;
+        if (!constraints.AllowsTime((*svs)->start_ms(), (*svs)->end_ms())) {
+          continue;
+        }
+        result.similar_svss.push_back(id);
+        cameras.insert(entry.camera);
+      }
+    }
+  } else {
+    // Flat fallback: scan every SVS and keep those within 1.5x of the
+    // nearest OMD — a relative similarity band standing in for the missing
+    // hierarchy.
+    std::vector<std::pair<double, SvsId>> scored;
+    for (SvsId id : store_.AllIds()) {
+      auto svs = store_.Get(id);
+      if (!svs.ok()) continue;
+      if (!constraints.AllowsCamera((*svs)->camera())) continue;
+      if (!constraints.AllowsTime((*svs)->start_ms(), (*svs)->end_ms())) {
+        continue;
+      }
+      auto d = omd_.Distance(target, (*svs)->features());
+      if (d.ok()) scored.emplace_back(*d, id);
+    }
+    if (!scored.empty()) {
+      std::sort(scored.begin(), scored.end());
+      const double band = scored.front().first * 1.5 + 1e-12;
+      for (const auto& [d, id] : scored) {
+        if (d > band) break;
+        result.similar_svss.push_back(id);
+        auto svs = store_.Get(id);
+        if (svs.ok()) cameras.insert((*svs)->camera());
+      }
+    }
+  }
+  result.cameras_contributing = cameras.size();
+  return result;
+}
+
+StatusOr<SvsMetadata> VideoZilla::GetMetaData(SvsId id) const {
+  VZ_ASSIGN_OR_RETURN(const Svs* svs, store_.Get(id));
+  return svs->Metadata(now_ms_);
+}
+
+Status VideoZilla::SetInterGroupCount(std::optional<size_t> k) {
+  return inter_.SetForcedGroupCount(k);
+}
+
+Status VideoZilla::SetIntraClusterCount(std::optional<size_t> k) {
+  for (auto& [camera, pipeline] : pipelines_) {
+    pipeline->index.SetForcedClusterCount(k);
+    VZ_RETURN_IF_ERROR(pipeline->index.Recluster());
+    pipeline->synced_rep_version = pipeline->index.representative_version();
+    VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+  }
+  return Status::OK();
+}
+
+StatusOr<const IntraCameraIndex*> VideoZilla::intra_index(
+    const CameraId& camera) const {
+  auto it = pipelines_.find(camera);
+  if (it == pipelines_.end()) {
+    return Status::NotFound("camera not started: " + camera);
+  }
+  return &it->second->index;
+}
+
+std::vector<CameraId> VideoZilla::cameras() const {
+  std::vector<CameraId> out;
+  out.reserve(pipelines_.size());
+  for (const auto& [camera, pipeline] : pipelines_) out.push_back(camera);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vz::core

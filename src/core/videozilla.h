@@ -1,0 +1,173 @@
+#ifndef VZ_CORE_VIDEOZILLA_H_
+#define VZ_CORE_VIDEOZILLA_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "core/frame.h"
+#include "core/inter_camera_index.h"
+#include "core/intra_camera_index.h"
+#include "core/keyframe_selector.h"
+#include "core/omd.h"
+#include "core/query.h"
+#include "core/segmenter.h"
+#include "core/svs.h"
+
+namespace vz::core {
+
+/// How queries traverse the index (Sec. 5.3 / Sec. 7.4): the full hierarchy;
+/// only per-camera indices ("intra only", Fig. 19); one flat index over all
+/// SVSs without the intra/inter distinction (the monitor's third
+/// adjustment); or the frame-level fallback the bailout degrades to
+/// (no pruning at all).
+enum class IndexMode { kHierarchical, kIntraOnly, kFlatSvs, kFlat };
+
+/// Top-level configuration of the indexing layer.
+struct VideoZillaOptions {
+  OmdOptions omd;
+  SegmenterOptions segmenter;
+  IntraIndexOptions intra;
+  InterIndexOptions inter;
+  KeyframeOptions keyframe;
+  /// Scales every decision boundary during query hit tests; wider boundaries
+  /// trade FNR for FPR (Sec. 7.4).
+  double boundary_scale = 1.0;
+  /// Disable to ingest every frame (microbenchmarks).
+  bool enable_keyframe_selection = true;
+  /// Run the exact second stage of the feature search (Sec. 4.2): candidate
+  /// SVSs are confirmed against their stored feature maps before the heavy
+  /// model runs. Disable to expose the raw index selectivity (Fig. 20).
+  bool enable_exact_stage = true;
+  /// Master seed; every camera pipeline forks its own deterministic stream.
+  uint64_t seed = 7;
+};
+
+/// Ingestion counters.
+struct IngestStats {
+  uint64_t frames_offered = 0;
+  uint64_t keyframes_selected = 0;
+  uint64_t features_extracted = 0;
+  uint64_t svs_created = 0;
+  /// Bytes of raw object features extracted — what a flat centralized index
+  /// would have shipped to the cloud (Sec. 7.3 traffic comparison).
+  size_t raw_feature_bytes = 0;
+};
+
+/// The Video-zilla indexing layer (Fig. 1): per-camera ingestion (key-frame
+/// selection -> segmentation -> intra-camera index) plus one inter-camera
+/// index over representative SVSs, and the query APIs of Sec. 6.
+class VideoZilla {
+ public:
+  explicit VideoZilla(const VideoZillaOptions& options);
+  ~VideoZilla();
+
+  VideoZilla(const VideoZilla&) = delete;
+  VideoZilla& operator=(const VideoZilla&) = delete;
+
+  /// `cameraStart(cameraID, ...)`: registers a feed and its pipeline.
+  Status CameraStart(const CameraId& camera);
+
+  /// `cameraTerminate(cameraID, ...)`: drops the pipeline and the camera's
+  /// representatives from the inter-camera index. Stored SVSs remain
+  /// queryable through the store but stop being indexed.
+  Status CameraTerminate(const CameraId& camera);
+
+  /// Feeds one frame through key-frame selection, feature segmentation and
+  /// index maintenance. Frames of one camera must arrive in timestamp order.
+  Status IngestFrame(const FrameObservation& frame);
+
+  /// Flushes all segmenters (end of stream); emits the final SVSs.
+  Status Flush();
+
+  /// Rebuilds the indexing layer from persisted SVSs (e.g. a snapshot loaded
+  /// with `vz::io::LoadSvsStore`): every SVS of `source` is copied into this
+  /// instance's store, its camera pipeline is started on demand, and the
+  /// intra-/inter-camera indices are re-derived. Index structures are pure
+  /// derived state, so this restores query behavior exactly. Requires an
+  /// empty store (call on a fresh instance).
+  Status RestoreFromSvsStore(const SvsStore& source);
+
+  /// Installs the heavy-model verifier used by direct queries. May be null.
+  void SetVerifier(ObjectVerifier* verifier) { verifier_ = verifier; }
+
+  /// `directQuery(objectImg, ...)`: find SVSs containing an object similar
+  /// to `object_feature` (Sec. 5.2). Matched SVSs get their access stats
+  /// bumped (for archival).
+  StatusOr<DirectQueryResult> DirectQuery(
+      const FeatureVector& object_feature,
+      const QueryConstraints& constraints = QueryConstraints());
+
+  /// `clusteringQuery(targetSVS, ...)`: all SVSs semantically similar to the
+  /// query feature map (Sec. 5.2).
+  StatusOr<ClusteringQueryResult> ClusteringQuery(
+      const FeatureMap& target,
+      const QueryConstraints& constraints = QueryConstraints());
+
+  /// `getMetaData(SVS)` (Sec. 6).
+  StatusOr<SvsMetadata> GetMetaData(SvsId id) const;
+
+  // --- Adaptation knobs driven by the performance monitor (Sec. 5.3). ---
+
+  void SetIndexMode(IndexMode mode) { index_mode_ = mode; }
+  IndexMode index_mode() const { return index_mode_; }
+
+  /// Forces the inter-camera group count (nullopt = silhouette-chosen).
+  Status SetInterGroupCount(std::optional<size_t> k);
+
+  /// Forces every intra-camera cluster count and reclusters.
+  Status SetIntraClusterCount(std::optional<size_t> k);
+
+  void SetBoundaryScale(double scale) { options_.boundary_scale = scale; }
+  double boundary_scale() const { return options_.boundary_scale; }
+
+  /// Adjusts the FastOMD threshold (1.0 = exact).
+  void SetOmdAlpha(double alpha) { omd_.set_threshold_alpha(alpha); }
+
+  // --- Introspection. ---
+
+  SvsStore& svs_store() { return store_; }
+  const SvsStore& svs_store() const { return store_; }
+  OmdCalculator& omd() { return omd_; }
+  const InterCameraIndex& inter_index() const { return inter_; }
+  StatusOr<const IntraCameraIndex*> intra_index(const CameraId& camera) const;
+  std::vector<CameraId> cameras() const;
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
+  /// Largest timestamp ingested so far.
+  int64_t now_ms() const { return now_ms_; }
+
+ private:
+  struct CameraPipeline;
+
+  // Turns a finished segment into a stored + indexed SVS.
+  Status HandleSegment(CameraPipeline* pipeline, Segment segment);
+  // Median per-center member spread across all SVS representatives — the
+  // typical intra-class feature scatter, used by the exact second-stage
+  // check of direct queries. Cached per store size.
+  double EstimateFeatureSpread();
+  // Candidate SVSs for a direct query under the current index mode.
+  std::vector<SvsId> DirectCandidates(const FeatureVector& feature,
+                                      const QueryConstraints& constraints);
+
+  VideoZillaOptions options_;
+  Rng rng_;
+  SvsStore store_;
+  OmdCalculator omd_;
+  SvsMetric metric_;
+  InterCameraIndex inter_;
+  std::unordered_map<CameraId, std::unique_ptr<CameraPipeline>> pipelines_;
+  ObjectVerifier* verifier_ = nullptr;
+  IndexMode index_mode_ = IndexMode::kHierarchical;
+  IngestStats ingest_stats_;
+  int64_t now_ms_ = 0;
+  double spread_cache_ = 0.0;
+  size_t spread_cache_svs_count_ = 0;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_VIDEOZILLA_H_

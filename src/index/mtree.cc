@@ -1,0 +1,335 @@
+#include "index/mtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace vz::index {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MTree::MTree(ItemMetric* metric, const MTreeOptions& options)
+    : metric_(metric), options_(options) {
+  if (options_.max_node_size < 2) options_.max_node_size = 2;
+}
+
+int MTree::NewNode(bool is_leaf) {
+  Node node;
+  node.is_leaf = is_leaf;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int MTree::EntryIndexInParent(int node_id) const {
+  const int parent = nodes_[node_id].parent;
+  if (parent < 0) return -1;
+  const Node& p = nodes_[parent];
+  for (size_t i = 0; i < p.entries.size(); ++i) {
+    if (p.entries[i].child == node_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status MTree::Insert(int item) {
+  if (metric_ == nullptr) {
+    return Status::FailedPrecondition("MTree has no metric");
+  }
+  ++size_;
+  if (root_ < 0) {
+    root_ = NewNode(/*is_leaf=*/true);
+    Entry e;
+    e.item = item;
+    nodes_[root_].entries.push_back(e);
+    return Status::OK();
+  }
+
+  // Descend, preferring subtrees that already cover the object; otherwise
+  // minimize the required radius enlargement.
+  int node_id = root_;
+  double dist_to_parent_routing = 0.0;
+  while (!nodes_[node_id].is_leaf) {
+    Node& node = nodes_[node_id];
+    int best_covering = -1;
+    double best_covering_dist = kInf;
+    int best_enlarge = -1;
+    double best_enlarge_amount = kInf;
+    double best_enlarge_dist = 0.0;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const double d = metric_->Distance(item, node.entries[i].item);
+      if (d <= node.entries[i].radius) {
+        if (d < best_covering_dist) {
+          best_covering_dist = d;
+          best_covering = static_cast<int>(i);
+        }
+      } else {
+        const double enlarge = d - node.entries[i].radius;
+        if (enlarge < best_enlarge_amount) {
+          best_enlarge_amount = enlarge;
+          best_enlarge = static_cast<int>(i);
+          best_enlarge_dist = d;
+        }
+      }
+    }
+    size_t chosen;
+    if (best_covering >= 0) {
+      chosen = static_cast<size_t>(best_covering);
+      dist_to_parent_routing = best_covering_dist;
+    } else {
+      chosen = static_cast<size_t>(best_enlarge);
+      nodes_[node_id].entries[chosen].radius = best_enlarge_dist;
+      dist_to_parent_routing = best_enlarge_dist;
+    }
+    node_id = nodes_[node_id].entries[chosen].child;
+  }
+
+  Entry e;
+  e.item = item;
+  e.parent_dist = nodes_[node_id].parent < 0 ? 0.0 : dist_to_parent_routing;
+  nodes_[node_id].entries.push_back(e);
+  if (nodes_[node_id].entries.size() > options_.max_node_size) {
+    SplitNode(node_id);
+  }
+  return Status::OK();
+}
+
+void MTree::SplitNode(int node_id) {
+  // mM_RAD-flavored promotion: the two entries farthest apart.
+  std::vector<Entry> entries = std::move(nodes_[node_id].entries);
+  nodes_[node_id].entries.clear();
+  const size_t m = entries.size();
+  size_t p1 = 0;
+  size_t p2 = 1;
+  double best = -1.0;
+  // Pairwise distances, reused for partitioning.
+  std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      const double d = metric_->Distance(entries[i].item, entries[j].item);
+      dist[i][j] = d;
+      dist[j][i] = d;
+      if (d > best) {
+        best = d;
+        p1 = i;
+        p2 = j;
+      }
+    }
+  }
+
+  const int sibling_id = NewNode(nodes_[node_id].is_leaf);
+  nodes_[sibling_id].parent = nodes_[node_id].parent;
+
+  // Generalized hyperplane partitioning: each entry joins its nearer
+  // promoted object; covering radii account for child radii when internal.
+  double radius1 = 0.0;
+  double radius2 = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double d1 = dist[i][p1];
+    const double d2 = dist[i][p2];
+    Entry e = entries[i];
+    const double slack = nodes_[node_id].is_leaf ? 0.0 : e.radius;
+    if (d1 <= d2) {
+      e.parent_dist = d1;
+      nodes_[node_id].entries.push_back(e);
+      radius1 = std::max(radius1, d1 + slack);
+      if (e.child >= 0) nodes_[e.child].parent = node_id;
+    } else {
+      e.parent_dist = d2;
+      nodes_[sibling_id].entries.push_back(e);
+      radius2 = std::max(radius2, d2 + slack);
+      if (e.child >= 0) nodes_[e.child].parent = sibling_id;
+    }
+  }
+
+  const int promoted1 = entries[p1].item;
+  const int promoted2 = entries[p2].item;
+  const int parent = nodes_[node_id].parent;
+  if (parent < 0) {
+    // Grow a new root above the two halves.
+    const int new_root = NewNode(/*is_leaf=*/false);
+    nodes_[node_id].parent = new_root;
+    nodes_[sibling_id].parent = new_root;
+    Entry e1;
+    e1.item = promoted1;
+    e1.radius = radius1;
+    e1.child = node_id;
+    Entry e2;
+    e2.item = promoted2;
+    e2.radius = radius2;
+    e2.child = sibling_id;
+    nodes_[new_root].entries = {e1, e2};
+    root_ = new_root;
+    return;
+  }
+
+  // Replace the parent's entry for this node and add one for the sibling.
+  const int slot = EntryIndexInParent(node_id);
+  // Distance of the promoted objects to the grandparent routing object.
+  double pd1 = 0.0;
+  double pd2 = 0.0;
+  if (nodes_[parent].parent >= 0) {
+    const int up_slot = EntryIndexInParent(parent);
+    const int up_routing =
+        nodes_[nodes_[parent].parent].entries[static_cast<size_t>(up_slot)].item;
+    pd1 = metric_->Distance(promoted1, up_routing);
+    pd2 = metric_->Distance(promoted2, up_routing);
+  }
+  Entry& replaced = nodes_[parent].entries[static_cast<size_t>(slot)];
+  replaced.item = promoted1;
+  replaced.radius = radius1;
+  replaced.parent_dist = pd1;
+  replaced.child = node_id;
+  Entry added;
+  added.item = promoted2;
+  added.radius = radius2;
+  added.parent_dist = pd2;
+  added.child = sibling_id;
+  nodes_[parent].entries.push_back(added);
+  if (nodes_[parent].entries.size() > options_.max_node_size) {
+    SplitNode(parent);
+  }
+}
+
+StatusOr<std::vector<int>> MTree::KNearestNeighbors(int target, size_t k) {
+  if (root_ < 0) return Status::NotFound("tree is empty");
+  k = std::min(k, size_);
+
+  // Branch-and-bound with a node priority queue keyed by the minimum
+  // possible distance and a max-heap of the best k results so far.
+  struct NodeEntry {
+    double bound;
+    int node;
+    double dist_to_routing;  // d(target, routing object of this node)
+    bool operator>(const NodeEntry& other) const {
+      return bound > other.bound;
+    }
+  };
+  std::priority_queue<NodeEntry, std::vector<NodeEntry>,
+                      std::greater<NodeEntry>>
+      frontier;
+  frontier.push({0.0, root_, 0.0});
+
+  std::priority_queue<std::pair<double, int>> best;  // max-heap of (d, item)
+  auto kth_bound = [&]() {
+    return best.size() < k ? kInf : best.top().first;
+  };
+
+  while (!frontier.empty()) {
+    const NodeEntry ne = frontier.top();
+    frontier.pop();
+    if (ne.bound > kth_bound()) break;
+    const Node& node = nodes_[ne.node];
+    for (const Entry& e : node.entries) {
+      // Parent-distance pruning: |d(target, parent) - d(entry, parent)| is a
+      // lower bound on d(target, entry) by the triangle inequality.
+      const double cheap_lb = std::fabs(ne.dist_to_routing - e.parent_dist);
+      if (node.is_leaf) {
+        if (cheap_lb > kth_bound()) continue;
+        const double d = metric_->Distance(target, e.item);
+        if (d < kth_bound()) {
+          best.emplace(d, e.item);
+          if (best.size() > k) best.pop();
+        }
+      } else {
+        if (cheap_lb - e.radius > kth_bound()) continue;
+        const double d = metric_->Distance(target, e.item);
+        const double bound = std::max(0.0, d - e.radius);
+        if (bound <= kth_bound()) {
+          frontier.push({bound, e.child, d});
+        }
+      }
+    }
+  }
+
+  std::vector<int> result(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top().second;
+    best.pop();
+  }
+  return result;
+}
+
+StatusOr<std::vector<int>> MTree::RangeQuery(int target, double radius) {
+  if (root_ < 0) return Status::NotFound("tree is empty");
+  std::vector<int> result;
+  struct Visit {
+    int node;
+    double dist_to_routing;
+  };
+  std::vector<Visit> stack = {{root_, 0.0}};
+  while (!stack.empty()) {
+    const Visit visit = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[visit.node];
+    for (const Entry& e : node.entries) {
+      const double cheap_lb = std::fabs(visit.dist_to_routing - e.parent_dist);
+      if (node.is_leaf) {
+        if (cheap_lb > radius) continue;
+        if (metric_->Distance(target, e.item) <= radius) {
+          result.push_back(e.item);
+        }
+      } else {
+        if (cheap_lb > radius + e.radius) continue;
+        const double d = metric_->Distance(target, e.item);
+        if (d <= radius + e.radius) stack.push_back({e.child, d});
+      }
+    }
+  }
+  return result;
+}
+
+size_t MTree::Height() const {
+  if (root_ < 0) return 0;
+  size_t h = 1;
+  int node = root_;
+  while (!nodes_[node].is_leaf) {
+    node = nodes_[node].entries.front().child;
+    ++h;
+  }
+  return h;
+}
+
+Status MTree::Validate() {
+  if (root_ < 0) return Status::OK();
+  // Every object in a subtree must lie within the covering radius of the
+  // subtree's routing entry.
+  struct Frame {
+    int node;
+    int routing_item;  // -1 at the root
+    double radius;
+  };
+  std::vector<Frame> stack = {{root_, -1, 0.0}};
+  size_t leaf_entries = 0;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.node];
+    for (const Entry& e : node.entries) {
+      if (f.routing_item >= 0) {
+        const double d = metric_->Distance(e.item, f.routing_item);
+        if (d > f.radius + 1e-6) {
+          return Status::Internal("covering radius violated");
+        }
+        if (std::fabs(d - e.parent_dist) > 1e-6) {
+          return Status::Internal("stored parent distance incorrect");
+        }
+      }
+      if (node.is_leaf) {
+        ++leaf_entries;
+      } else {
+        if (nodes_[e.child].parent != f.node) {
+          return Status::Internal("parent link mismatch");
+        }
+        stack.push_back({e.child, e.item, e.radius});
+      }
+    }
+  }
+  if (leaf_entries != size_) {
+    return Status::Internal("leaf entry count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace vz::index

@@ -1,0 +1,82 @@
+#ifndef VZ_INDEX_MTREE_H_
+#define VZ_INDEX_MTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+#include "index/item_metric.h"
+
+namespace vz::index {
+
+/// Parameters for the M-tree.
+struct MTreeOptions {
+  /// Maximum number of entries per node before it splits — the x-axis of
+  /// Fig. 14 ("maximum node size").
+  size_t max_node_size = 8;
+};
+
+/// M-tree (Ciaccia, Patella & Zezula, VLDB 1997): a dynamic, balanced access
+/// method for similarity search in generic metric spaces. The paper compares
+/// PERCH-OMD against it in Sec. 7.3 / Fig. 14.
+///
+/// Internal entries hold a routing object, a covering radius, and the
+/// distance to their parent routing object; searches prune subtrees whose
+/// covering ball cannot intersect the query ball, using the stored
+/// parent distances to avoid metric evaluations where possible.
+class MTree {
+ public:
+  /// `metric` must outlive the tree.
+  MTree(ItemMetric* metric, const MTreeOptions& options);
+
+  MTree(const MTree&) = delete;
+  MTree& operator=(const MTree&) = delete;
+
+  /// Inserts an item, splitting overflowing nodes with mM_RAD-style
+  /// promotion (the pair of entries farthest apart) and generalized
+  /// hyperplane partitioning.
+  Status Insert(int item);
+
+  /// The `k` stored items nearest to `target`, ascending by distance.
+  StatusOr<std::vector<int>> KNearestNeighbors(int target, size_t k);
+
+  /// All stored items within `radius` of `target` (unordered).
+  StatusOr<std::vector<int>> RangeQuery(int target, double radius);
+
+  /// Number of items stored.
+  size_t size() const { return size_; }
+
+  /// Height of the tree (leaf root = 1); 0 when empty.
+  size_t Height() const;
+
+  /// Checks covering-radius and parent-distance invariants.
+  Status Validate();
+
+ private:
+  struct Entry {
+    int item = -1;            // data object (leaf) or routing object
+    double parent_dist = 0.0; // distance to the parent routing object
+    double radius = 0.0;      // covering radius (internal entries only)
+    int child = -1;           // child node id (internal entries only)
+  };
+  struct Node {
+    bool is_leaf = true;
+    int parent = -1;  // parent node id
+    std::vector<Entry> entries;
+  };
+
+  int NewNode(bool is_leaf);
+  // Index of the entry in `parent` whose child is `node_id`.
+  int EntryIndexInParent(int node_id) const;
+  void SplitNode(int node_id);
+
+  ItemMetric* metric_;
+  MTreeOptions options_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace vz::index
+
+#endif  // VZ_INDEX_MTREE_H_

@@ -1,0 +1,186 @@
+#include "index/nn_descent.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace vz::index {
+
+NnDescentGraph::NnDescentGraph(ItemMetric* metric,
+                               const NnDescentOptions& options)
+    : metric_(metric), options_(options), rng_(options.seed) {
+  if (options_.graph_degree < 1) options_.graph_degree = 1;
+}
+
+bool NnDescentGraph::TryInsert(size_t u, size_t idx, double dist) {
+  if (u == idx) return false;
+  auto& list = graph_[u];
+  for (const Neighbor& nb : list) {
+    if (nb.index == idx) return false;
+  }
+  if (list.size() < options_.graph_degree) {
+    list.push_back({dist, idx, true});
+    std::push_heap(list.begin(), list.end(),
+                   [](const Neighbor& a, const Neighbor& b) {
+                     return a.dist < b.dist;  // max-heap by distance
+                   });
+    return true;
+  }
+  if (dist >= list.front().dist) return false;
+  std::pop_heap(list.begin(), list.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.dist < b.dist;
+                });
+  list.back() = {dist, idx, true};
+  std::push_heap(list.begin(), list.end(),
+                 [](const Neighbor& a, const Neighbor& b) {
+                   return a.dist < b.dist;
+                 });
+  return true;
+}
+
+Status NnDescentGraph::Build(const std::vector<int>& items) {
+  if (built_) return Status::FailedPrecondition("Build called twice");
+  if (items.empty()) return Status::InvalidArgument("no items to index");
+  built_ = true;
+  items_ = items;
+  const size_t n = items_.size();
+  for (size_t i = 0; i < n; ++i) index_of_item_[items_[i]] = i;
+  graph_.assign(n, {});
+
+  // Random initialization.
+  for (size_t u = 0; u < n; ++u) {
+    while (graph_[u].size() < std::min(options_.graph_degree, n - 1)) {
+      const size_t v = static_cast<size_t>(rng_.UniformUint64(n));
+      if (v == u) continue;
+      bool duplicate = false;
+      for (const Neighbor& nb : graph_[u]) duplicate |= (nb.index == v);
+      if (duplicate) continue;
+      TryInsert(u, v, metric_->Distance(items_[u], items_[v]));
+    }
+  }
+
+  // Local joins: new neighbors (and their reverse edges) are compared
+  // against each other and against old neighbors.
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    std::vector<std::vector<size_t>> new_of(n);
+    std::vector<std::vector<size_t>> old_of(n);
+    for (size_t u = 0; u < n; ++u) {
+      for (Neighbor& nb : graph_[u]) {
+        if (nb.is_new) {
+          new_of[u].push_back(nb.index);
+          new_of[nb.index].push_back(u);  // reverse edge
+          nb.is_new = false;
+        } else {
+          old_of[u].push_back(nb.index);
+          old_of[nb.index].push_back(u);
+        }
+      }
+    }
+    size_t updates = 0;
+    for (size_t u = 0; u < n; ++u) {
+      auto& news = new_of[u];
+      auto& olds = old_of[u];
+      std::sort(news.begin(), news.end());
+      news.erase(std::unique(news.begin(), news.end()), news.end());
+      std::sort(olds.begin(), olds.end());
+      olds.erase(std::unique(olds.begin(), olds.end()), olds.end());
+      for (size_t i = 0; i < news.size(); ++i) {
+        for (size_t j = i + 1; j < news.size(); ++j) {
+          const double d =
+              metric_->Distance(items_[news[i]], items_[news[j]]);
+          updates += TryInsert(news[i], news[j], d);
+          updates += TryInsert(news[j], news[i], d);
+        }
+        for (size_t o : olds) {
+          if (o == news[i]) continue;
+          const double d = metric_->Distance(items_[news[i]], items_[o]);
+          updates += TryInsert(news[i], o, d);
+          updates += TryInsert(o, news[i], d);
+        }
+      }
+    }
+    if (static_cast<double>(updates) <
+        options_.termination_fraction * static_cast<double>(n) *
+            static_cast<double>(options_.graph_degree)) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<int>> NnDescentGraph::KNearestNeighbors(int target,
+                                                             size_t k) {
+  if (!built_) return Status::FailedPrecondition("graph not built");
+  const size_t n = items_.size();
+  k = std::min(k, n);
+  const size_t beam = std::max(k, options_.search_beam);
+
+  // Greedy best-first beam search from random entry points.
+  struct Candidate {
+    double dist;
+    size_t index;
+    bool operator>(const Candidate& other) const {
+      return dist > other.dist;
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      frontier;
+  std::priority_queue<std::pair<double, size_t>> best;  // max-heap, size beam
+  std::unordered_set<size_t> visited;
+
+  // A stored query enters at its own node, guaranteeing the search starts
+  // in the correct graph component.
+  auto self = index_of_item_.find(target);
+  if (self != index_of_item_.end()) {
+    visited.insert(self->second);
+    frontier.push({0.0, self->second});
+    best.emplace(0.0, self->second);
+  }
+  for (size_t e = 0; e < std::min(options_.search_entries, n); ++e) {
+    const size_t start = static_cast<size_t>(rng_.UniformUint64(n));
+    if (!visited.insert(start).second) continue;
+    const double d = metric_->Distance(target, items_[start]);
+    frontier.push({d, start});
+    best.emplace(d, start);
+  }
+  while (!frontier.empty()) {
+    const Candidate c = frontier.top();
+    frontier.pop();
+    if (best.size() >= beam && c.dist > best.top().first) break;
+    for (const Neighbor& nb : graph_[c.index]) {
+      if (!visited.insert(nb.index).second) continue;
+      const double d = metric_->Distance(target, items_[nb.index]);
+      if (best.size() < beam || d < best.top().first) {
+        best.emplace(d, nb.index);
+        if (best.size() > beam) best.pop();
+        frontier.push({d, nb.index});
+      }
+    }
+  }
+
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(best.size());
+  while (!best.empty()) {
+    ranked.push_back(best.top());
+    best.pop();
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int> result;
+  result.reserve(k);
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    result.push_back(items_[ranked[i].second]);
+  }
+  return result;
+}
+
+std::vector<int> NnDescentGraph::NeighborsOf(size_t index) const {
+  std::vector<int> out;
+  if (index >= graph_.size()) return out;
+  for (const Neighbor& nb : graph_[index]) out.push_back(items_[nb.index]);
+  return out;
+}
+
+}  // namespace vz::index

@@ -1,0 +1,125 @@
+#include "io/binary_format.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace vz::io {
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::string* buffer, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buffer->append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU32(uint32_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteU64(uint64_t v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteF32(float v) { AppendRaw(&buffer_, v); }
+void BinaryWriter::WriteF64(double v) { AppendRaw(&buffer_, v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  buffer_.append(s);
+}
+
+void BinaryWriter::WriteFloats(const std::vector<float>& values) {
+  WriteU64(values.size());
+  const size_t bytes = values.size() * sizeof(float);
+  const size_t offset = buffer_.size();
+  buffer_.resize(offset + bytes);
+  if (bytes > 0) {
+    std::memcpy(buffer_.data() + offset, values.data(), bytes);
+  }
+}
+
+Status BinaryWriter::Flush(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out.flush();
+  if (!out) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::Need(size_t bytes) const {
+  if (position_ + bytes > data_.size()) {
+    return Status::OutOfRange("truncated input");
+  }
+  return Status::OK();
+}
+
+StatusOr<uint8_t> BinaryReader::ReadU8() {
+  VZ_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[position_++]);
+}
+
+StatusOr<uint32_t> BinaryReader::ReadU32() {
+  VZ_RETURN_IF_ERROR(Need(sizeof(uint32_t)));
+  uint32_t v;
+  std::memcpy(&v, data_.data() + position_, sizeof(v));
+  position_ += sizeof(v);
+  return v;
+}
+
+StatusOr<uint64_t> BinaryReader::ReadU64() {
+  VZ_RETURN_IF_ERROR(Need(sizeof(uint64_t)));
+  uint64_t v;
+  std::memcpy(&v, data_.data() + position_, sizeof(v));
+  position_ += sizeof(v);
+  return v;
+}
+
+StatusOr<int64_t> BinaryReader::ReadI64() {
+  VZ_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<float> BinaryReader::ReadF32() {
+  VZ_RETURN_IF_ERROR(Need(sizeof(float)));
+  float v;
+  std::memcpy(&v, data_.data() + position_, sizeof(v));
+  position_ += sizeof(v);
+  return v;
+}
+
+StatusOr<double> BinaryReader::ReadF64() {
+  VZ_RETURN_IF_ERROR(Need(sizeof(double)));
+  double v;
+  std::memcpy(&v, data_.data() + position_, sizeof(v));
+  position_ += sizeof(v);
+  return v;
+}
+
+StatusOr<std::string> BinaryReader::ReadString() {
+  VZ_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  VZ_RETURN_IF_ERROR(Need(size));
+  std::string s = data_.substr(position_, size);
+  position_ += size;
+  return s;
+}
+
+StatusOr<std::vector<float>> BinaryReader::ReadFloats() {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, ReadU64());
+  VZ_RETURN_IF_ERROR(Need(count * sizeof(float)));
+  std::vector<float> values(count);
+  if (count > 0) {
+    std::memcpy(values.data(), data_.data() + position_,
+                count * sizeof(float));
+  }
+  position_ += count * sizeof(float);
+  return values;
+}
+
+}  // namespace vz::io

@@ -1,0 +1,69 @@
+#ifndef VZ_IO_BINARY_FORMAT_H_
+#define VZ_IO_BINARY_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace vz::io {
+
+/// Little-endian binary writer over an in-memory buffer. All multi-byte
+/// integers are fixed-width little-endian; strings and arrays are
+/// length-prefixed with a u64. The format carries no pointers, so snapshots
+/// are portable across runs and platforms of the same endianness family.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteFloats(const std::vector<float>& values);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the buffer to `path` atomically-ish (truncate + write).
+  Status Flush(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+/// Matching reader; every accessor validates bounds and returns OutOfRange
+/// on truncated input instead of reading past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string data) : data_(std::move(data)) {}
+
+  /// Loads a file into a reader.
+  static StatusOr<BinaryReader> FromFile(const std::string& path);
+
+  StatusOr<uint8_t> ReadU8();
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<int64_t> ReadI64();
+  StatusOr<float> ReadF32();
+  StatusOr<double> ReadF64();
+  StatusOr<std::string> ReadString();
+  StatusOr<std::vector<float>> ReadFloats();
+
+  bool AtEnd() const { return position_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - position_; }
+
+ private:
+  Status Need(size_t bytes) const;
+
+  std::string data_;
+  size_t position_ = 0;
+};
+
+}  // namespace vz::io
+
+#endif  // VZ_IO_BINARY_FORMAT_H_

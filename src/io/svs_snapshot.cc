@@ -1,0 +1,130 @@
+#include "io/svs_snapshot.h"
+
+#include <utility>
+
+#include "io/binary_format.h"
+
+namespace vz::io {
+
+namespace {
+
+void WriteFeatureMap(BinaryWriter* writer, const FeatureMap& map) {
+  writer->WriteU64(map.size());
+  for (size_t i = 0; i < map.size(); ++i) {
+    writer->WriteFloats(map.vector(i).components());
+    writer->WriteF64(map.weight(i));
+  }
+}
+
+StatusOr<FeatureMap> ReadFeatureMap(BinaryReader* reader) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  FeatureMap map;
+  for (uint64_t i = 0; i < count; ++i) {
+    VZ_ASSIGN_OR_RETURN(std::vector<float> values, reader->ReadFloats());
+    VZ_ASSIGN_OR_RETURN(double weight, reader->ReadF64());
+    VZ_RETURN_IF_ERROR(map.Add(FeatureVector(std::move(values)), weight));
+  }
+  return map;
+}
+
+void WriteRepresentative(BinaryWriter* writer,
+                         const core::Representative& rep) {
+  writer->WriteU64(rep.size());
+  for (const core::WeightedCenter& center : rep.centers()) {
+    writer->WriteFloats(center.center.components());
+    writer->WriteF64(center.weight);
+    writer->WriteF64(center.boundary);
+    writer->WriteF64(center.mean_member_distance);
+    writer->WriteI64(center.last_hit_ms);
+  }
+}
+
+StatusOr<core::Representative> ReadRepresentative(BinaryReader* reader) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  std::vector<core::WeightedCenter> centers;
+  centers.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    core::WeightedCenter center;
+    VZ_ASSIGN_OR_RETURN(std::vector<float> values, reader->ReadFloats());
+    center.center = FeatureVector(std::move(values));
+    VZ_ASSIGN_OR_RETURN(center.weight, reader->ReadF64());
+    VZ_ASSIGN_OR_RETURN(center.boundary, reader->ReadF64());
+    VZ_ASSIGN_OR_RETURN(center.mean_member_distance, reader->ReadF64());
+    VZ_ASSIGN_OR_RETURN(center.last_hit_ms, reader->ReadI64());
+    centers.push_back(std::move(center));
+  }
+  return core::Representative(std::move(centers));
+}
+
+}  // namespace
+
+Status SaveSvsStore(const core::SvsStore& store, const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotVersion);
+  const auto ids = store.AllIds();
+  writer.WriteU64(ids.size());
+  for (core::SvsId id : ids) {
+    VZ_ASSIGN_OR_RETURN(const core::Svs* svs, store.Get(id));
+    writer.WriteString(svs->camera());
+    writer.WriteI64(svs->start_ms());
+    writer.WriteI64(svs->end_ms());
+    WriteFeatureMap(&writer, svs->features());
+    WriteRepresentative(&writer, svs->representative());
+    writer.WriteU64(svs->frame_ids().size());
+    for (int64_t frame : svs->frame_ids()) writer.WriteI64(frame);
+    writer.WriteU64(svs->encoded_bytes());
+    writer.WriteU64(svs->access_count());
+    writer.WriteI64(svs->last_access_ms());
+  }
+  return writer.Flush(path);
+}
+
+Status LoadSvsStore(const std::string& path, core::SvsStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("LoadSvsStore requires a store");
+  }
+  VZ_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  VZ_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a Video-zilla snapshot: " + path);
+  }
+  VZ_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    VZ_ASSIGN_OR_RETURN(std::string camera, reader.ReadString());
+    VZ_ASSIGN_OR_RETURN(int64_t start_ms, reader.ReadI64());
+    VZ_ASSIGN_OR_RETURN(int64_t end_ms, reader.ReadI64());
+    VZ_ASSIGN_OR_RETURN(FeatureMap features, ReadFeatureMap(&reader));
+    VZ_ASSIGN_OR_RETURN(core::Representative rep,
+                        ReadRepresentative(&reader));
+    VZ_ASSIGN_OR_RETURN(uint64_t frame_count, reader.ReadU64());
+    std::vector<int64_t> frames;
+    frames.reserve(frame_count);
+    for (uint64_t f = 0; f < frame_count; ++f) {
+      VZ_ASSIGN_OR_RETURN(int64_t frame, reader.ReadI64());
+      frames.push_back(frame);
+    }
+    VZ_ASSIGN_OR_RETURN(uint64_t bytes, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(uint64_t accesses, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(int64_t last_access, reader.ReadI64());
+
+    const core::SvsId id =
+        store->Create(std::move(camera), start_ms, end_ms, std::move(features));
+    VZ_ASSIGN_OR_RETURN(core::Svs * svs, store->GetMutable(id));
+    svs->set_representative(std::move(rep));
+    svs->set_frame_ids(std::move(frames));
+    svs->set_encoded_bytes(bytes);
+    svs->RestoreAccessStats(accesses, last_access);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot");
+  }
+  return Status::OK();
+}
+
+}  // namespace vz::io

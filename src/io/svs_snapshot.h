@@ -1,0 +1,35 @@
+#ifndef VZ_IO_SVS_SNAPSHOT_H_
+#define VZ_IO_SVS_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/svs.h"
+
+namespace vz::io {
+
+/// Persists and restores an `SvsStore` — every SVS with its feature map,
+/// per-SVS representative, frame ids, byte accounting and access statistics.
+///
+/// A snapshot makes the indexing layer restartable: after a crash or a
+/// planned restart, the store is reloaded and the intra-/inter-camera
+/// indices are rebuilt by re-inserting the stored SVSs (index structures are
+/// derived state; only the SVSs are ground truth). The format is versioned
+/// (`kSnapshotVersion`); loaders reject unknown versions instead of
+/// misparsing.
+
+inline constexpr uint32_t kSnapshotMagic = 0x565A5353;  // "VZSS"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Writes `store` to `path`. Overwrites any existing file.
+Status SaveSvsStore(const core::SvsStore& store, const std::string& path);
+
+/// Appends every SVS of the snapshot at `path` into `store`, preserving
+/// creation order (ids are re-assigned densely; with an empty target store
+/// they match the saved ids). Errors on magic/version mismatch or truncation
+/// without touching `store` beyond the SVSs already appended.
+Status LoadSvsStore(const std::string& path, core::SvsStore* store);
+
+}  // namespace vz::io
+
+#endif  // VZ_IO_SVS_SNAPSHOT_H_

@@ -1,0 +1,136 @@
+#ifndef VZ_SIM_DATASET_H_
+#define VZ_SIM_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "core/videozilla.h"
+#include "sim/feature_extractor.h"
+#include "sim/ground_truth.h"
+#include "sim/object_detector.h"
+#include "sim/scene.h"
+#include "sim/video_source.h"
+
+namespace vz::sim {
+
+/// Parameters of the synthetic SVS dataset used by the microbenchmarks
+/// (Sec. 7, "Datasets": "1000 SVSs. Each contains 500 1024-dimension feature
+/// vectors ... 10 different types of feature vector distributions").
+///
+/// Defaults are scaled down so tests and benches run in seconds; benches
+/// print the parameters they actually used (see EXPERIMENTS.md).
+struct SyntheticDatasetOptions {
+  size_t num_svs = 200;
+  size_t vectors_per_svs = 100;
+  size_t dim = 256;
+  size_t num_types = 10;
+  /// Norm of each type's mean vector.
+  double type_scale = 10.0;
+  /// Per-SVS jitter of the mean within its type.
+  double svs_jitter = 1.0;
+  /// Per-vector noise around the SVS mean.
+  double noise_sigma = 1.5;
+  /// When true, per-SVS vector counts are uniform in
+  /// [min_vectors, max_vectors] (the Fig. 11 segmentation workload).
+  bool variable_length = false;
+  size_t min_vectors = 50;
+  size_t max_vectors = 150;
+  uint64_t seed = 2022;
+};
+
+/// The generated synthetic dataset.
+struct SyntheticDataset {
+  std::vector<FeatureMap> svss;
+  /// Ground-truth type of each SVS.
+  std::vector<int> labels;
+};
+
+/// Generates the multivariate-normal synthetic SVS dataset.
+SyntheticDataset MakeSyntheticDataset(const SyntheticDatasetOptions& options);
+
+/// Parameters of the real-world-like multi-camera deployment (Sec. 7,
+/// "Datasets": 40 in-vehicle road-view cameras over 4 cities + highways,
+/// 2 train-station livestreams, 2 harbor feeds; ~30 h total).
+struct DeploymentOptions {
+  size_t cities = 4;
+  size_t downtown_per_city = 5;
+  size_t highway_cameras = 20;
+  size_t train_stations = 2;
+  size_t harbors = 2;
+  /// Cameras whose schedule drives downtown -> highway (the Sec. 7.1
+  /// "combined case ... emulates a car driving from a downtown area to a
+  /// highway").
+  size_t combined_drives = 0;
+  /// Per-camera feed length; scaled so the suite runs quickly. The paper's
+  /// ~30 h / 44 cameras is ~40 min per feed.
+  int64_t feed_duration_ms = 12LL * 60 * 1000;
+  /// Key-frame-candidate rate.
+  double fps = 0.5;
+  size_t feature_dim = 64;
+  ExtractorProfile extractor = ExtractorProfile::ResNet50();
+  DetectorProfile detector;
+  uint64_t seed = 7;
+};
+
+/// A fully wired simulated deployment: scenes, cameras with schedules,
+/// detector, extractor, and the oracle log. Observations are materialized
+/// once so multiple systems (Video-zilla and the baselines) replay exactly
+/// the same frames.
+class Deployment {
+ public:
+  explicit Deployment(const DeploymentOptions& options);
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// All frame observations, per camera in timestamp order (cameras
+  /// concatenated). Generated lazily on first call.
+  const std::vector<core::FrameObservation>& observations();
+
+  /// Every camera id with its manual location tag (for the Spatula-style
+  /// baseline) and style tag.
+  struct CameraInfo {
+    core::CameraId camera;
+    std::string location_tag;
+    std::string style_tag;
+    std::string kind;  // "downtown" | "highway" | "train_station" | "harbor"
+  };
+  const std::vector<CameraInfo>& cameras() const { return cameras_; }
+
+  GroundTruthLog& log() { return log_; }
+  FeatureSpace& space() { return space_; }
+  const FeatureExtractor& extractor() const { return *extractor_; }
+  const SceneLibrary& scenes() const { return scenes_; }
+
+  /// Feeds every observation into `system` (cameras must not be started
+  /// yet), then flushes.
+  Status IngestAll(core::VideoZilla* system);
+
+  /// A query feature for an object of `object_class` — "an image containing
+  /// the object of interest" (Sec. 5.2) passed through the extractor.
+  FeatureVector MakeQueryFeature(int object_class, Rng* rng) const;
+
+ private:
+  void BuildCameras();
+
+  DeploymentOptions options_;
+  SceneLibrary scenes_;
+  FeatureSpace space_;
+  std::unique_ptr<FeatureExtractor> extractor_;
+  ObjectDetector detector_;
+  GroundTruthLog log_;
+  Rng rng_;
+  int64_t next_frame_id_ = 0;
+  std::vector<CameraInfo> cameras_;
+  std::vector<VideoSourceOptions> source_options_;
+  std::vector<core::FrameObservation> observations_;
+  bool generated_ = false;
+};
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_DATASET_H_

@@ -1,0 +1,40 @@
+#include "sim/evaluation.h"
+
+#include <unordered_set>
+
+namespace vz::sim {
+
+QueryEvaluation& QueryEvaluation::operator+=(const QueryEvaluation& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  true_negatives += other.true_negatives;
+  return *this;
+}
+
+QueryEvaluation EvaluateFrameQuery(const std::vector<int64_t>& examined_frames,
+                                   const std::vector<int64_t>& universe_frames,
+                                   int object_class, const GroundTruthLog& log,
+                                   const HeavyModel& model) {
+  QueryEvaluation eval;
+  std::unordered_set<int64_t> examined(examined_frames.begin(),
+                                       examined_frames.end());
+  for (int64_t frame_id : universe_frames) {
+    const bool present = log.FrameContains(frame_id, object_class);
+    const bool predicted =
+        examined.count(frame_id) > 0 &&
+        model.DetectsInFrame(frame_id, object_class, present);
+    if (predicted && present) {
+      ++eval.true_positives;
+    } else if (predicted && !present) {
+      ++eval.false_positives;
+    } else if (!predicted && present) {
+      ++eval.false_negatives;
+    } else {
+      ++eval.true_negatives;
+    }
+  }
+  return eval;
+}
+
+}  // namespace vz::sim

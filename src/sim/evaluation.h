@@ -1,0 +1,57 @@
+#ifndef VZ_SIM_EVALUATION_H_
+#define VZ_SIM_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ground_truth.h"
+#include "sim/verifier.h"
+
+namespace vz::sim {
+
+/// Frame-level confusion counts for one query under one indexing scheme.
+/// A frame is predicted positive iff the scheme examined it AND the heavy
+/// model reported the class; unexamined frames are predicted negative —
+/// which is how index pruning turns into false negatives (Sec. 7.4).
+struct QueryEvaluation {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t true_negatives = 0;
+
+  double Precision() const {
+    const size_t denom = true_positives + false_positives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  double Recall() const {
+    const size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  /// False positive rate: FP / (FP + TN).
+  double Fpr() const {
+    const size_t denom = false_positives + true_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(false_positives) / denom;
+  }
+  /// False negative rate: FN / (FN + TP) == 1 - recall.
+  double Fnr() const { return 1.0 - Recall(); }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  /// Accumulates another query's counts.
+  QueryEvaluation& operator+=(const QueryEvaluation& other);
+};
+
+/// Scores a query: `examined_frames` is what the scheme sent to the heavy
+/// model; `universe_frames` is every frame the query could in principle
+/// return (all frames of all allowed cameras).
+QueryEvaluation EvaluateFrameQuery(const std::vector<int64_t>& examined_frames,
+                                   const std::vector<int64_t>& universe_frames,
+                                   int object_class, const GroundTruthLog& log,
+                                   const HeavyModel& model);
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_EVALUATION_H_

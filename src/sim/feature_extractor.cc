@@ -1,0 +1,127 @@
+#include "sim/feature_extractor.h"
+
+#include <cmath>
+
+namespace vz::sim {
+
+namespace {
+
+ExtractorProfile BaseProfile(std::string name, double noise_sigma) {
+  ExtractorProfile profile;
+  profile.name = std::move(name);
+  profile.noise_sigma = noise_sigma;
+  profile.confusion_prob.assign(kNumObjectClasses, 0.0);
+  profile.confusion_target.assign(kNumObjectClasses, kOtherClass);
+  // Plausible visual confusions shared by all backbones (at different
+  // strengths, scaled below).
+  auto confuse = [&profile](int a, int b, double p) {
+    profile.confusion_prob[static_cast<size_t>(a)] = p;
+    profile.confusion_target[static_cast<size_t>(a)] = b;
+  };
+  confuse(kTruck, kBus, 0.03);
+  confuse(kBus, kTruck, 0.03);
+  confuse(kMotorcycle, kBicycle, 0.04);
+  confuse(kFireHydrant, kTrafficLight, 0.03);
+  confuse(kBench, kLuggage, 0.02);
+  confuse(kStreetSign, kStopSign, 0.03);
+  return profile;
+}
+
+}  // namespace
+
+ExtractorProfile ExtractorProfile::ResNet50() {
+  ExtractorProfile profile = BaseProfile("resnet50", 0.40);
+  profile.hard_example_prob = 0.05;
+  profile.gpu_ms_per_object = 0.55;
+  return profile;
+}
+
+ExtractorProfile ExtractorProfile::ResNet34() {
+  ExtractorProfile profile = BaseProfile("resnet34", 0.50);
+  for (double& p : profile.confusion_prob) p *= 1.5;
+  profile.hard_example_prob = 0.07;
+  profile.gpu_ms_per_object = 0.35;
+  return profile;
+}
+
+ExtractorProfile ExtractorProfile::Vgg16() {
+  ExtractorProfile profile = BaseProfile("vgg16", 0.70);
+  for (double& p : profile.confusion_prob) p *= 2.0;
+  // Sec. 7.4: "VGG-16 classifies fire hydrants less accurately than it
+  // classifies boats and trains, which propagates to inaccurate clustering".
+  profile.confusion_prob[kFireHydrant] = 0.30;
+  profile.confusion_target[kFireHydrant] = kTrafficLight;
+  profile.hard_example_prob = 0.10;
+  profile.gpu_ms_per_object = 0.50;
+  return profile;
+}
+
+FeatureExtractor::FeatureExtractor(FeatureSpace* space,
+                                   const ExtractorProfile& profile)
+    : space_(space), profile_(profile) {
+  if (profile_.confusion_prob.size() < kNumObjectClasses) {
+    profile_.confusion_prob.resize(kNumObjectClasses, 0.0);
+  }
+  if (profile_.confusion_target.size() < kNumObjectClasses) {
+    profile_.confusion_target.resize(kNumObjectClasses, kOtherClass);
+  }
+}
+
+FeatureVector FeatureExtractor::ExtractClean(int true_class,
+                                             const std::string& style_tag,
+                                             Rng* rng) const {
+  ExtractorProfile clean = profile_;
+  clean.hard_example_prob = 0.0;
+  return FeatureExtractor(space_, clean).Extract(true_class, style_tag, rng);
+}
+
+FeatureVector FeatureExtractor::Extract(int true_class,
+                                        const std::string& style_tag,
+                                        Rng* rng) const {
+  int embedded_class = true_class;
+  if (true_class >= 0 && true_class < kNumObjectClasses &&
+      rng->Bernoulli(profile_.confusion_prob[static_cast<size_t>(true_class)])) {
+    const int target =
+        profile_.confusion_target[static_cast<size_t>(true_class)];
+    if (target >= 0 && target < kNumObjectClasses) embedded_class = target;
+  }
+  FeatureVector feature = space_->Prototype(embedded_class);
+  if (!style_tag.empty()) {
+    feature.Add(space_->StyleOffset(style_tag));
+  }
+  double sigma = profile_.noise_sigma;
+  if (rng->Bernoulli(profile_.hard_example_prob)) sigma *= 4.0;
+  for (size_t i = 0; i < feature.dim(); ++i) {
+    feature[i] += static_cast<float>(rng->Gaussian(0.0, sigma));
+  }
+  return feature;
+}
+
+double FeatureExtractor::OtherThreshold() const {
+  // Expected noise norm is sigma * sqrt(dim); style offsets add a fixed
+  // slack. Hard examples (4x noise) land well beyond this.
+  const double noise_norm =
+      profile_.noise_sigma * std::sqrt(static_cast<double>(space_->dim()));
+  return profile_.other_threshold_factor * noise_norm +
+         space_->options().style_scale;
+}
+
+std::vector<int> FeatureExtractor::TopKClasses(const FeatureVector& feature,
+                                               size_t k) const {
+  double nearest = 0.0;
+  (void)space_->NearestPrototype(feature, &nearest);
+  std::vector<int> ranked = space_->RankClasses(feature, k);
+  if (nearest > OtherThreshold()) {
+    // Unrecognizable object: "other" leads the ranking (Fig. 18's fourth
+    // class).
+    ranked.insert(ranked.begin(), kOtherClass);
+    if (ranked.size() > k) ranked.resize(k);
+  }
+  return ranked;
+}
+
+int FeatureExtractor::Classify(const FeatureVector& feature) const {
+  return TopKClasses(feature, 1).front();
+}
+
+}  // namespace vz::sim

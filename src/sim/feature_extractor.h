@@ -1,0 +1,84 @@
+#ifndef VZ_SIM_FEATURE_EXTRACTOR_H_
+#define VZ_SIM_FEATURE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/feature_space.h"
+#include "sim/object_class.h"
+#include "vector/feature_vector.h"
+
+namespace vz::sim {
+
+/// Error characteristics of one simulated CNN backbone. Video-zilla builds
+/// one index per extractor model (Sec. 5.4, "Per-model indexing"); Fig. 19
+/// compares ResNet-50, ResNet-34 and VGG-16.
+struct ExtractorProfile {
+  std::string name;
+  /// Per-dimension Gaussian feature noise; larger = blurrier class clusters.
+  double noise_sigma = 0.4;
+  /// Per-class probability that the extractor embeds the object near a
+  /// confusable class's prototype instead (indexed by ObjectClass).
+  std::vector<double> confusion_prob;
+  /// Per-class confusion target (indexed by ObjectClass).
+  std::vector<int> confusion_target;
+  /// Probability of a "hard example" whose noise is inflated 3x, typically
+  /// landing in the cheap classifier's "other" bucket (Fig. 18).
+  double hard_example_prob = 0.06;
+  /// Cheap-classifier rejection threshold, as a multiple of the expected
+  /// noise norm: features farther than this from every prototype classify
+  /// as kOtherClass.
+  double other_threshold_factor = 2.2;
+  /// Simulated GPU cost of embedding one object at ingestion.
+  double gpu_ms_per_object = 0.4;
+
+  /// The paper's three evaluation extractors (Sec. 7.4). VGG-16 is noisier
+  /// overall and specifically confuses fire hydrants (the FNR disparity of
+  /// Fig. 19).
+  static ExtractorProfile ResNet50();
+  static ExtractorProfile ResNet34();
+  static ExtractorProfile Vgg16();
+};
+
+/// Simulated CNN feature extractor: embeds ground-truth objects into the
+/// shared `FeatureSpace` with model-specific noise and confusion, and
+/// provides the cheap top-k classification used by the FOCUS-style baseline.
+class FeatureExtractor {
+ public:
+  /// `space` must outlive the extractor.
+  FeatureExtractor(FeatureSpace* space, const ExtractorProfile& profile);
+
+  const ExtractorProfile& profile() const { return profile_; }
+  FeatureSpace* space() const { return space_; }
+
+  /// Embeds an object of `true_class` with optional style tag (camera group
+  /// appearance). This is "running the CNN to the penultimate layer"
+  /// (Sec. 3.1).
+  FeatureVector Extract(int true_class, const std::string& style_tag,
+                        Rng* rng) const;
+
+  /// Like `Extract`, but never produces a hard example: models a clean,
+  /// well-cropped query image (model confusion still applies, which is what
+  /// degrades e.g. VGG-16 fire-hydrant queries in Fig. 19).
+  FeatureVector ExtractClean(int true_class, const std::string& style_tag,
+                             Rng* rng) const;
+
+  /// Cheap softmax-style classification of an extracted feature: the k
+  /// nearest prototypes, or {kOtherClass} first when nothing is close enough.
+  std::vector<int> TopKClasses(const FeatureVector& feature, size_t k) const;
+
+  /// Top-1 convenience (may be kOtherClass).
+  int Classify(const FeatureVector& feature) const;
+
+  /// Distance threshold that separates "recognized" from "other".
+  double OtherThreshold() const;
+
+ private:
+  FeatureSpace* space_;
+  ExtractorProfile profile_;
+};
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,85 @@
+#include "sim/feature_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vz::sim {
+
+namespace {
+
+FeatureVector RandomDirection(size_t dim, double scale, Rng* rng) {
+  FeatureVector v(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    v[i] = static_cast<float>(rng->Gaussian());
+  }
+  v.Normalize();
+  v.Scale(scale);
+  return v;
+}
+
+uint64_t HashTag(const std::string& tag) {
+  // FNV-1a.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : tag) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FeatureSpace::FeatureSpace(const FeatureSpaceOptions& options)
+    : options_(options) {
+  Rng rng(options_.seed);
+  prototypes_.reserve(kNumObjectClasses);
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    prototypes_.push_back(
+        RandomDirection(options_.dim, options_.prototype_scale, &rng));
+  }
+}
+
+const FeatureVector& FeatureSpace::StyleOffset(const std::string& tag) {
+  auto it = styles_.find(tag);
+  if (it != styles_.end()) return it->second;
+  Rng rng(options_.seed ^ HashTag(tag));
+  return styles_
+      .emplace(tag, RandomDirection(options_.dim, options_.style_scale, &rng))
+      .first->second;
+}
+
+int FeatureSpace::NearestPrototype(const FeatureVector& feature,
+                                   double* distance) const {
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    const double d =
+        SquaredDistance(feature, prototypes_[static_cast<size_t>(c)]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  if (distance != nullptr) *distance = std::sqrt(best_dist);
+  return best;
+}
+
+std::vector<int> FeatureSpace::RankClasses(const FeatureVector& feature,
+                                           size_t k) const {
+  std::vector<std::pair<double, int>> ranked;
+  ranked.reserve(kNumObjectClasses);
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    ranked.emplace_back(
+        SquaredDistance(feature, prototypes_[static_cast<size_t>(c)]), c);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int> classes;
+  classes.reserve(std::min<size_t>(k, ranked.size()));
+  for (size_t i = 0; i < std::min<size_t>(k, ranked.size()); ++i) {
+    classes.push_back(ranked[i].second);
+  }
+  return classes;
+}
+
+}  // namespace vz::sim

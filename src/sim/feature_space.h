@@ -1,0 +1,66 @@
+#ifndef VZ_SIM_FEATURE_SPACE_H_
+#define VZ_SIM_FEATURE_SPACE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/object_class.h"
+#include "vector/feature_vector.h"
+
+namespace vz::sim {
+
+/// Parameters of the synthetic CNN feature space.
+struct FeatureSpaceOptions {
+  /// Feature dimensionality (the paper's extractors emit 512-4096-d
+  /// penultimate activations; microbenchmarks use 1024-d, end-to-end runs a
+  /// smaller dim for speed — the geometry, not the dimension, carries the
+  /// behaviour).
+  size_t dim = 64;
+  /// Norm of each class prototype; controls inter-class separation.
+  double prototype_scale = 10.0;
+  /// Norm of per-style offsets (city / camera-group appearance variation),
+  /// giving visually-similar-within-cluster structure (Sec. 7.5).
+  double style_scale = 2.0;
+  /// Seed fixing the prototype geometry.
+  uint64_t seed = 99;
+};
+
+/// The latent geometry every simulated CNN shares: one prototype vector per
+/// object class, plus deterministic style offsets. A real penultimate-layer
+/// embedding clusters same-class objects around class modes with intra-class
+/// spread — exactly the structure reproduced here, which is all the OMD/OCD
+/// machinery observes.
+class FeatureSpace {
+ public:
+  explicit FeatureSpace(const FeatureSpaceOptions& options);
+
+  size_t dim() const { return options_.dim; }
+  const FeatureSpaceOptions& options() const { return options_; }
+
+  /// Prototype of `object_class` (valid for 0 <= c < kNumObjectClasses).
+  const FeatureVector& Prototype(int object_class) const {
+    return prototypes_[static_cast<size_t>(object_class)];
+  }
+
+  /// Deterministic style offset for a tag like "nyc" or "harbor-2". Cached.
+  const FeatureVector& StyleOffset(const std::string& tag);
+
+  /// Class whose prototype is nearest to `feature`, with the distance in
+  /// `*distance` when non-null.
+  int NearestPrototype(const FeatureVector& feature,
+                       double* distance = nullptr) const;
+
+  /// Classes ranked by prototype distance (ascending), truncated to `k`.
+  std::vector<int> RankClasses(const FeatureVector& feature, size_t k) const;
+
+ private:
+  FeatureSpaceOptions options_;
+  std::vector<FeatureVector> prototypes_;
+  std::unordered_map<std::string, FeatureVector> styles_;
+};
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_FEATURE_SPACE_H_

@@ -1,0 +1,45 @@
+#include "sim/object_class.h"
+
+namespace vz::sim {
+
+std::string_view ObjectClassName(int object_class) {
+  switch (object_class) {
+    case kPerson:
+      return "person";
+    case kCar:
+      return "car";
+    case kTruck:
+      return "truck";
+    case kBus:
+      return "bus";
+    case kTrain:
+      return "train";
+    case kBoat:
+      return "boat";
+    case kFireHydrant:
+      return "fire_hydrant";
+    case kTrafficLight:
+      return "traffic_light";
+    case kBicycle:
+      return "bicycle";
+    case kMotorcycle:
+      return "motorcycle";
+    case kDog:
+      return "dog";
+    case kLuggage:
+      return "luggage";
+    case kStopSign:
+      return "stop_sign";
+    case kBench:
+      return "bench";
+    case kBird:
+      return "bird";
+    case kStreetSign:
+      return "street_sign";
+    case kOtherClass:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace vz::sim

@@ -1,0 +1,40 @@
+#ifndef VZ_SIM_OBJECT_CLASS_H_
+#define VZ_SIM_OBJECT_CLASS_H_
+
+#include <string_view>
+
+namespace vz::sim {
+
+/// COCO-style object classes used across the simulated deployment. The
+/// evaluation queries (Sec. 7.4) target kFireHydrant, kBoat and kTrain —
+/// objects present in some but not all feeds.
+enum ObjectClass : int {
+  kPerson = 0,
+  kCar,
+  kTruck,
+  kBus,
+  kTrain,
+  kBoat,
+  kFireHydrant,
+  kTrafficLight,
+  kBicycle,
+  kMotorcycle,
+  kDog,
+  kLuggage,
+  kStopSign,
+  kBench,
+  kBird,
+  kStreetSign,
+  kNumObjectClasses,
+  /// Pseudo-class emitted by cheap classifiers for unrecognizable objects —
+  /// the "other" class whose frames a top-k index must always re-examine
+  /// (Fig. 18).
+  kOtherClass = kNumObjectClasses,
+};
+
+/// Human-readable class name ("fire_hydrant", ...).
+std::string_view ObjectClassName(int object_class);
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_OBJECT_CLASS_H_

@@ -1,0 +1,48 @@
+#include "sim/object_detector.h"
+
+#include <algorithm>
+
+namespace vz::sim {
+
+ObjectDetector::ObjectDetector(const DetectorProfile& profile)
+    : profile_(profile) {}
+
+core::BoundingBox ObjectDetector::RandomBox(Rng* rng) const {
+  core::BoundingBox box;
+  const float w = static_cast<float>(
+      rng->UniformDouble(0.05, 0.4) * profile_.frame_width);
+  const float h = static_cast<float>(
+      rng->UniformDouble(0.05, 0.4) * profile_.frame_height);
+  box.left = static_cast<float>(
+      rng->UniformDouble(0.0, profile_.frame_width - w));
+  box.top = static_cast<float>(
+      rng->UniformDouble(0.0, profile_.frame_height - h));
+  box.right = box.left + w;
+  box.bottom = box.top + h;
+  return box;
+}
+
+std::vector<Detection> ObjectDetector::Detect(
+    const std::vector<int>& true_classes, Rng* rng) const {
+  std::vector<Detection> detections;
+  detections.reserve(true_classes.size() + 1);
+  for (int object_class : true_classes) {
+    if (!rng->Bernoulli(profile_.recall)) continue;
+    Detection d;
+    d.object_class = object_class;
+    d.box = RandomBox(rng);
+    d.genuine = true;
+    detections.push_back(d);
+  }
+  if (rng->Bernoulli(
+          std::min(1.0, profile_.false_positives_per_frame))) {
+    Detection ghost;
+    ghost.object_class = rng->UniformInt(0, kNumObjectClasses - 1);
+    ghost.box = RandomBox(rng);
+    ghost.genuine = false;
+    detections.push_back(ghost);
+  }
+  return detections;
+}
+
+}  // namespace vz::sim

@@ -1,0 +1,56 @@
+#ifndef VZ_SIM_OBJECT_DETECTOR_H_
+#define VZ_SIM_OBJECT_DETECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/frame.h"
+#include "sim/object_class.h"
+
+namespace vz::sim {
+
+/// Error model of the simulated YOLO-style detector that clips objects from
+/// frames before feature extraction (Sec. 3.1, "Video frame clipping").
+struct DetectorProfile {
+  /// Probability a truly present object is detected.
+  double recall = 0.92;
+  /// Expected spurious detections per frame (assigned a random class).
+  double false_positives_per_frame = 0.02;
+  /// Frame dimensions for synthesized boxes.
+  float frame_width = 1280.0f;
+  float frame_height = 720.0f;
+};
+
+/// One detection: the class that will be fed to feature extraction plus its
+/// clipped bounding box.
+struct Detection {
+  int object_class = -1;
+  core::BoundingBox box;
+  /// True when this detection corresponds to a real object (false positives
+  /// carry a random class and false here).
+  bool genuine = true;
+};
+
+/// Simulated object detector: drops objects with (1 - recall), injects false
+/// positives, and synthesizes plausible boxes. Detection quality only
+/// affects *which* objects reach the index, which is exactly its role in the
+/// real pipeline.
+class ObjectDetector {
+ public:
+  explicit ObjectDetector(const DetectorProfile& profile);
+
+  /// Runs detection over the ground-truth object classes of one frame.
+  std::vector<Detection> Detect(const std::vector<int>& true_classes,
+                                Rng* rng) const;
+
+  const DetectorProfile& profile() const { return profile_; }
+
+ private:
+  core::BoundingBox RandomBox(Rng* rng) const;
+
+  DetectorProfile profile_;
+};
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_OBJECT_DETECTOR_H_

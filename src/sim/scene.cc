@@ -1,0 +1,118 @@
+#include "sim/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vz::sim {
+
+namespace {
+
+std::vector<double> MakeDistribution(
+    std::initializer_list<std::pair<int, double>> weights) {
+  std::vector<double> dist(kNumObjectClasses, 0.0);
+  for (const auto& [object_class, weight] : weights) {
+    dist[static_cast<size_t>(object_class)] = weight;
+  }
+  return dist;
+}
+
+}  // namespace
+
+int Scene::SampleClass(Rng* rng) const {
+  return static_cast<int>(rng->WeightedIndex(class_distribution));
+}
+
+size_t Scene::SampleObjectCount(Rng* rng) const {
+  if (objects_per_frame <= 0.0) return 0;
+  // Knuth Poisson sampling; rates here are small.
+  const double limit = std::exp(-objects_per_frame);
+  size_t count = 0;
+  double product = rng->UniformDouble();
+  while (product > limit && count < 64) {
+    ++count;
+    product *= rng->UniformDouble();
+  }
+  return count;
+}
+
+SceneLibrary::SceneLibrary() {
+  downtown_.name = "downtown";
+  downtown_.class_distribution = MakeDistribution({{kPerson, 0.32},
+                                                   {kCar, 0.28},
+                                                   {kTrafficLight, 0.10},
+                                                   {kFireHydrant, 0.04},
+                                                   {kBicycle, 0.07},
+                                                   {kBus, 0.07},
+                                                   {kTruck, 0.06},
+                                                   {kStopSign, 0.03},
+                                                   {kStreetSign, 0.03}});
+  downtown_.objects_per_frame = 5.0;
+  downtown_.frame_deviation = 0.45;  // moving in-vehicle camera
+
+  downtown_residential_.name = "downtown_residential";
+  downtown_residential_.class_distribution =
+      MakeDistribution({{kPerson, 0.30},
+                        {kCar, 0.28},
+                        {kFireHydrant, 0.12},
+                        {kBicycle, 0.10},
+                        {kDog, 0.06},
+                        {kTrafficLight, 0.06},
+                        {kStopSign, 0.04},
+                        {kStreetSign, 0.04}});
+  downtown_residential_.objects_per_frame = 4.0;
+  downtown_residential_.frame_deviation = 0.40;
+
+  downtown_commercial_.name = "downtown_commercial";
+  downtown_commercial_.class_distribution =
+      MakeDistribution({{kPerson, 0.34},
+                        {kCar, 0.28},
+                        {kTrafficLight, 0.12},
+                        {kBus, 0.09},
+                        {kTruck, 0.07},
+                        {kBicycle, 0.05},
+                        {kStopSign, 0.02},
+                        {kStreetSign, 0.03}});
+  downtown_commercial_.objects_per_frame = 5.0;
+  downtown_commercial_.frame_deviation = 0.45;
+
+  highway_.name = "highway";
+  highway_.class_distribution = MakeDistribution({{kCar, 0.58},
+                                                  {kTruck, 0.24},
+                                                  {kBus, 0.08},
+                                                  {kMotorcycle, 0.05},
+                                                  {kStreetSign, 0.05}});
+  highway_.objects_per_frame = 3.5;
+  highway_.frame_deviation = 0.40;
+
+  train_station_train_.name = "train_station_train";
+  train_station_train_.class_distribution =
+      MakeDistribution({{kTrain, 0.50}, {kPerson, 0.38}, {kLuggage, 0.12}});
+  train_station_train_.objects_per_frame = 4.0;
+  train_station_train_.frame_deviation = 0.30;
+
+  train_station_empty_.name = "train_station_empty";
+  train_station_empty_.class_distribution =
+      MakeDistribution({{kPerson, 0.55}, {kBench, 0.25}, {kBird, 0.20}});
+  train_station_empty_.objects_per_frame = 0.7;
+  train_station_empty_.frame_deviation = 0.05;  // static camera, still scene
+
+  harbor_busy_.name = "harbor_busy";
+  harbor_busy_.class_distribution =
+      MakeDistribution({{kBoat, 0.58}, {kPerson, 0.27}, {kBird, 0.15}});
+  harbor_busy_.objects_per_frame = 3.0;
+  harbor_busy_.frame_deviation = 0.15;
+
+  harbor_quiet_.name = "harbor_quiet";
+  harbor_quiet_.class_distribution =
+      MakeDistribution({{kBird, 0.55}, {kBoat, 0.05}, {kPerson, 0.40}});
+  harbor_quiet_.objects_per_frame = 0.9;
+  harbor_quiet_.frame_deviation = 0.06;
+
+  parking_lot_.name = "parking_lot";
+  parking_lot_.class_distribution =
+      MakeDistribution({{kCar, 0.55}, {kPerson, 0.33}, {kDog, 0.12}});
+  parking_lot_.objects_per_frame = 2.5;
+  parking_lot_.frame_deviation = 0.10;
+}
+
+}  // namespace vz::sim

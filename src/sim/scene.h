@@ -1,0 +1,67 @@
+#ifndef VZ_SIM_SCENE_H_
+#define VZ_SIM_SCENE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/object_class.h"
+
+namespace vz::sim {
+
+/// A scene type: the implicit "collective semantics" an SVS should capture
+/// (Sec. 1/2: parking lot, downtown, school, train passing, empty tracks...).
+/// A scene is a class distribution plus an object density; everything a
+/// camera sees while a scene is active is drawn from it.
+struct Scene {
+  std::string name;
+  /// P(class) for a generated object; indexed by ObjectClass, must have
+  /// kNumObjectClasses entries (zeros allowed).
+  std::vector<double> class_distribution;
+  /// Mean number of objects per generated frame (Poisson-ish).
+  double objects_per_frame = 3.0;
+  /// Mean pixel deviation between consecutive frames in [0, 1]; moving
+  /// cameras and busy scenes deviate more.
+  double frame_deviation = 0.2;
+
+  /// Samples one object class from the distribution.
+  int SampleClass(Rng* rng) const;
+  /// Samples a frame's object count.
+  size_t SampleObjectCount(Rng* rng) const;
+};
+
+/// The scene library used by the real-world-like dataset (Sec. 7,
+/// "Datasets"): downtown and highway road views (in-vehicle cameras), train
+/// stations in both states, harbors, and a parking lot (VIRAT-style, Fig. 4).
+class SceneLibrary {
+ public:
+  SceneLibrary();
+
+  const Scene& downtown() const { return downtown_; }
+  /// Residential blocks: fire hydrants present (the paper's rare query
+  /// object appears in *some* streams, not uniformly).
+  const Scene& downtown_residential() const { return downtown_residential_; }
+  /// Commercial blocks: hydrant-free downtown traffic.
+  const Scene& downtown_commercial() const { return downtown_commercial_; }
+  const Scene& highway() const { return highway_; }
+  const Scene& train_station_train() const { return train_station_train_; }
+  const Scene& train_station_empty() const { return train_station_empty_; }
+  const Scene& harbor_busy() const { return harbor_busy_; }
+  const Scene& harbor_quiet() const { return harbor_quiet_; }
+  const Scene& parking_lot() const { return parking_lot_; }
+
+ private:
+  Scene downtown_;
+  Scene downtown_residential_;
+  Scene downtown_commercial_;
+  Scene highway_;
+  Scene train_station_train_;
+  Scene train_station_empty_;
+  Scene harbor_busy_;
+  Scene harbor_quiet_;
+  Scene parking_lot_;
+};
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_SCENE_H_

@@ -1,0 +1,57 @@
+#include "sim/verifier.h"
+
+namespace vz::sim {
+
+namespace {
+
+// splitmix64 finalizer for a deterministic per-(frame, class) coin.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+HeavyModel::HeavyModel(double true_positive_rate, double false_positive_rate,
+                       uint64_t seed)
+    : tpr_(true_positive_rate), fpr_(false_positive_rate), seed_(seed) {}
+
+bool HeavyModel::DetectsInFrame(int64_t frame_id, int object_class,
+                                bool truly_present) const {
+  const uint64_t h = Mix(static_cast<uint64_t>(frame_id) * 0x9E3779B97F4A7C15ULL ^
+                         (static_cast<uint64_t>(object_class) << 32) ^ seed_);
+  const double coin =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return truly_present ? coin < tpr_ : coin < fpr_;
+}
+
+SimObjectVerifier::SimObjectVerifier(const FeatureSpace* space,
+                                     const GroundTruthLog* log,
+                                     const HeavyModel* model,
+                                     const GpuCostModel& cost)
+    : space_(space), log_(log), model_(model), cost_(cost) {}
+
+core::ObjectVerifier::Verification SimObjectVerifier::Verify(
+    const core::Svs& svs, const FeatureVector& query_feature) {
+  Verification v;
+  const int query_class = space_->NearestPrototype(query_feature);
+  v.frames_processed = svs.frame_ids().size();
+  v.gpu_ms =
+      static_cast<double>(v.frames_processed) * cost_.heavy_ms_per_frame;
+  // The heavy model scans every frame (queries want all matching frames, so
+  // no early exit — the GPU accounting reflects the full pass).
+  for (int64_t frame_id : svs.frame_ids()) {
+    const bool present = log_->FrameContains(frame_id, query_class);
+    if (model_->DetectsInFrame(frame_id, query_class, present)) {
+      v.contains = true;
+    }
+  }
+  total_gpu_ms_ += v.gpu_ms;
+  return v;
+}
+
+}  // namespace vz::sim

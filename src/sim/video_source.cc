@@ -1,0 +1,97 @@
+#include "sim/video_source.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace vz::sim {
+
+VideoSource::VideoSource(const VideoSourceOptions& options, Rng rng,
+                         int64_t* next_frame_id)
+    : options_(options),
+      rng_(rng),
+      next_frame_id_(next_frame_id),
+      now_ms_(options.start_ms) {
+  if (options_.fps <= 0.0) options_.fps = 1.0;
+}
+
+int64_t VideoSource::end_ms() const {
+  int64_t total = options_.start_ms;
+  for (const SceneSegment& s : options_.schedule) total += s.duration_ms;
+  return total;
+}
+
+std::optional<GroundTruthFrame> VideoSource::NextFrame() {
+  // Skip exhausted segments.
+  while (segment_index_ < options_.schedule.size() &&
+         segment_elapsed_ms_ >=
+             options_.schedule[segment_index_].duration_ms) {
+    segment_elapsed_ms_ -= options_.schedule[segment_index_].duration_ms;
+    ++segment_index_;
+  }
+  if (segment_index_ >= options_.schedule.size()) return std::nullopt;
+  const Scene* scene = options_.schedule[segment_index_].scene;
+
+  GroundTruthFrame frame;
+  frame.camera = options_.camera;
+  frame.frame_id = (*next_frame_id_)++;
+  frame.timestamp_ms = now_ms_;
+  frame.scene = scene;
+  frame.bytes = options_.bytes_per_frame;
+  frame.deviation =
+      Clamp(scene->frame_deviation + rng_.Gaussian(0.0, 0.08), 0.0, 1.0);
+  const size_t count = scene->SampleObjectCount(&rng_);
+  frame.object_classes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    frame.object_classes.push_back(scene->SampleClass(&rng_));
+  }
+
+  const int64_t step_ms =
+      std::max<int64_t>(1, static_cast<int64_t>(1000.0 / options_.fps));
+  now_ms_ += step_ms;
+  segment_elapsed_ms_ += step_ms;
+  return frame;
+}
+
+CameraSimulator::CameraSimulator(VideoSource source,
+                                 const ObjectDetector* detector,
+                                 const FeatureExtractor* extractor,
+                                 GroundTruthLog* log, Rng rng)
+    : source_(std::move(source)),
+      detector_(detector),
+      extractor_(extractor),
+      log_(log),
+      rng_(rng) {}
+
+std::optional<core::FrameObservation> CameraSimulator::NextObservation() {
+  std::optional<GroundTruthFrame> frame = source_.NextFrame();
+  if (!frame.has_value()) return std::nullopt;
+
+  if (log_ != nullptr) {
+    FrameTruth truth;
+    truth.camera = frame->camera;
+    truth.timestamp_ms = frame->timestamp_ms;
+    truth.object_classes = frame->object_classes;
+    log_->Record(frame->frame_id, std::move(truth));
+  }
+
+  core::FrameObservation obs;
+  obs.camera = frame->camera;
+  obs.frame_id = frame->frame_id;
+  obs.timestamp_ms = frame->timestamp_ms;
+  obs.deviation_from_previous = frame->deviation;
+  obs.encoded_bytes = frame->bytes;
+  for (const Detection& det :
+       detector_->Detect(frame->object_classes, &rng_)) {
+    core::DetectedObject object;
+    object.box = det.box;
+    object.feature = extractor_->Extract(
+        det.object_class, source_.options().style_tag, &rng_);
+    object.class_hint = extractor_->Classify(object.feature);
+    object.class_confidence = det.genuine ? 0.9 : 0.5;
+    obs.objects.push_back(std::move(object));
+  }
+  return obs;
+}
+
+}  // namespace vz::sim

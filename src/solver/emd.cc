@@ -1,0 +1,205 @@
+#include "solver/emd.h"
+
+#include <cmath>
+
+#include "solver/min_cost_flow.h"
+
+namespace vz::solver {
+
+namespace {
+
+// Normalizes `weights` to sum to 1. Errors on negative entries or zero mass.
+Status Normalize(std::vector<double>* weights) {
+  double total = 0.0;
+  for (double w : *weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("zero total weight");
+  for (double& w : *weights) w /= total;
+  return Status::OK();
+}
+
+Status ValidateInputs(const std::vector<double>& supplies,
+                      const std::vector<double>& demands) {
+  if (supplies.empty() || demands.empty()) {
+    return Status::InvalidArgument("EMD inputs must be non-empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<EmdResult> ExactEmd(const std::vector<double>& supplies,
+                             const std::vector<double>& demands,
+                             const GroundDistanceFn& distance) {
+  VZ_RETURN_IF_ERROR(ValidateInputs(supplies, demands));
+  std::vector<double> s = supplies;
+  std::vector<double> d = demands;
+  VZ_RETURN_IF_ERROR(Normalize(&s));
+  VZ_RETURN_IF_ERROR(Normalize(&d));
+
+  const size_t n = s.size();
+  const size_t m = d.size();
+  MinCostFlow flow;
+  const int source = flow.AddNode();
+  const int sink = flow.AddNode();
+  const int supply_base = flow.AddNodes(static_cast<int>(n));
+  const int demand_base = flow.AddNodes(static_cast<int>(m));
+
+  for (size_t i = 0; i < n; ++i) {
+    VZ_RETURN_IF_ERROR(
+        flow.AddArc(source, supply_base + static_cast<int>(i), s[i], 0.0)
+            .status());
+  }
+  for (size_t j = 0; j < m; ++j) {
+    VZ_RETURN_IF_ERROR(
+        flow.AddArc(demand_base + static_cast<int>(j), sink, d[j], 0.0)
+            .status());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double cost = distance(i, j);
+      if (cost < 0.0 || !std::isfinite(cost)) {
+        return Status::InvalidArgument("ground distance must be finite and >= 0");
+      }
+      VZ_RETURN_IF_ERROR(flow.AddArc(supply_base + static_cast<int>(i),
+                                     demand_base + static_cast<int>(j),
+                                     /*capacity=*/1.0, cost)
+                             .status());
+    }
+  }
+
+  EmdResult result;
+  result.num_arcs = flow.num_arcs();
+  VZ_ASSIGN_OR_RETURN(MinCostFlow::Result solved, flow.Solve(source, sink));
+  if (solved.max_flow < 1.0 - 1e-6) {
+    return Status::Internal("EMD transportation did not ship full mass");
+  }
+  result.distance = solved.min_cost;
+  return result;
+}
+
+StatusOr<EmdFlowResult> ExactEmdWithFlow(const std::vector<double>& supplies,
+                                         const std::vector<double>& demands,
+                                         const GroundDistanceFn& distance) {
+  VZ_RETURN_IF_ERROR(ValidateInputs(supplies, demands));
+  std::vector<double> s = supplies;
+  std::vector<double> d = demands;
+  VZ_RETURN_IF_ERROR(Normalize(&s));
+  VZ_RETURN_IF_ERROR(Normalize(&d));
+
+  const size_t n = s.size();
+  const size_t m = d.size();
+  MinCostFlow flow;
+  const int source = flow.AddNode();
+  const int sink = flow.AddNode();
+  const int supply_base = flow.AddNodes(static_cast<int>(n));
+  const int demand_base = flow.AddNodes(static_cast<int>(m));
+  for (size_t i = 0; i < n; ++i) {
+    VZ_RETURN_IF_ERROR(
+        flow.AddArc(source, supply_base + static_cast<int>(i), s[i], 0.0)
+            .status());
+  }
+  for (size_t j = 0; j < m; ++j) {
+    VZ_RETURN_IF_ERROR(
+        flow.AddArc(demand_base + static_cast<int>(j), sink, d[j], 0.0)
+            .status());
+  }
+  // Remember each transport arc's id so its flow can be read back.
+  std::vector<int> arc_ids(n * m, -1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double cost = distance(i, j);
+      if (cost < 0.0 || !std::isfinite(cost)) {
+        return Status::InvalidArgument("ground distance must be finite and >= 0");
+      }
+      VZ_ASSIGN_OR_RETURN(int arc,
+                          flow.AddArc(supply_base + static_cast<int>(i),
+                                      demand_base + static_cast<int>(j),
+                                      /*capacity=*/1.0, cost));
+      arc_ids[i * m + j] = arc;
+    }
+  }
+  VZ_ASSIGN_OR_RETURN(MinCostFlow::Result solved, flow.Solve(source, sink));
+  if (solved.max_flow < 1.0 - 1e-6) {
+    return Status::Internal("EMD transportation did not ship full mass");
+  }
+  EmdFlowResult result;
+  result.distance = solved.min_cost;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double amount = flow.FlowOnArc(arc_ids[i * m + j]);
+      if (amount > 1e-12) result.flows.push_back({i, j, amount});
+    }
+  }
+  return result;
+}
+
+StatusOr<EmdResult> ThresholdedEmd(const std::vector<double>& supplies,
+                                   const std::vector<double>& demands,
+                                   const GroundDistanceFn& distance,
+                                   double threshold) {
+  VZ_RETURN_IF_ERROR(ValidateInputs(supplies, demands));
+  if (!std::isfinite(threshold) || threshold < 0.0) {
+    return Status::InvalidArgument("threshold must be finite and >= 0");
+  }
+  std::vector<double> s = supplies;
+  std::vector<double> d = demands;
+  VZ_RETURN_IF_ERROR(Normalize(&s));
+  VZ_RETURN_IF_ERROR(Normalize(&d));
+
+  const size_t n = s.size();
+  const size_t m = d.size();
+  MinCostFlow flow;
+  const int source = flow.AddNode();
+  const int sink = flow.AddNode();
+  const int transship = flow.AddNode();  // the red vertex of Fig. 6b
+  const int supply_base = flow.AddNodes(static_cast<int>(n));
+  const int demand_base = flow.AddNodes(static_cast<int>(m));
+
+  for (size_t i = 0; i < n; ++i) {
+    VZ_RETURN_IF_ERROR(
+        flow.AddArc(source, supply_base + static_cast<int>(i), s[i], 0.0)
+            .status());
+    // Any supply may route through the transshipment vertex at cost
+    // `threshold` (incoming) + 0 (outgoing).
+    VZ_RETURN_IF_ERROR(flow.AddArc(supply_base + static_cast<int>(i),
+                                   transship, /*capacity=*/1.0, threshold)
+                           .status());
+  }
+  for (size_t j = 0; j < m; ++j) {
+    VZ_RETURN_IF_ERROR(
+        flow.AddArc(demand_base + static_cast<int>(j), sink, d[j], 0.0)
+            .status());
+    VZ_RETURN_IF_ERROR(
+        flow.AddArc(transship, demand_base + static_cast<int>(j),
+                    /*capacity=*/1.0, 0.0)
+            .status());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double cost = distance(i, j);
+      if (cost < 0.0 || !std::isfinite(cost)) {
+        return Status::InvalidArgument("ground distance must be finite and >= 0");
+      }
+      if (cost < threshold) {
+        VZ_RETURN_IF_ERROR(flow.AddArc(supply_base + static_cast<int>(i),
+                                       demand_base + static_cast<int>(j),
+                                       /*capacity=*/1.0, cost)
+                               .status());
+      }
+    }
+  }
+
+  EmdResult result;
+  result.num_arcs = flow.num_arcs();
+  VZ_ASSIGN_OR_RETURN(MinCostFlow::Result solved, flow.Solve(source, sink));
+  if (solved.max_flow < 1.0 - 1e-6) {
+    return Status::Internal("thresholded EMD did not ship full mass");
+  }
+  result.distance = solved.min_cost;
+  return result;
+}
+
+}  // namespace vz::solver

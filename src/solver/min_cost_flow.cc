@@ -1,0 +1,130 @@
+#include "solver/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace vz::solver {
+
+namespace {
+// Residual amounts below this are treated as zero. Supplies in Video-zilla
+// are normalized weights (>= 1/n with n at most a few thousand), so this is
+// many orders of magnitude below any meaningful flow.
+constexpr double kFlowEps = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+int MinCostFlow::AddNode() {
+  first_out_.emplace_back();
+  return static_cast<int>(first_out_.size()) - 1;
+}
+
+int MinCostFlow::AddNodes(int count) {
+  const int first = num_nodes();
+  for (int i = 0; i < count; ++i) first_out_.emplace_back();
+  return first;
+}
+
+StatusOr<int> MinCostFlow::AddArc(int from, int to, double capacity,
+                                  double cost) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    return Status::InvalidArgument("arc endpoint out of range");
+  }
+  if (capacity < 0.0) {
+    return Status::InvalidArgument("arc capacity must be non-negative");
+  }
+  if (cost < 0.0) {
+    return Status::InvalidArgument("arc cost must be non-negative");
+  }
+  const int arc = static_cast<int>(head_.size());
+  // Forward arc.
+  head_.push_back(to);
+  residual_.push_back(capacity);
+  cost_.push_back(cost);
+  // Residual twin.
+  head_.push_back(from);
+  residual_.push_back(0.0);
+  cost_.push_back(-cost);
+  capacity_.push_back(capacity);
+  first_out_[from].push_back(arc);
+  first_out_[to].push_back(arc + 1);
+  return arc / 2;
+}
+
+StatusOr<MinCostFlow::Result> MinCostFlow::Solve(int source, int sink) {
+  if (solved_) {
+    return Status::FailedPrecondition("Solve may be called once per instance");
+  }
+  if (source < 0 || source >= num_nodes() || sink < 0 || sink >= num_nodes() ||
+      source == sink) {
+    return Status::InvalidArgument("invalid source/sink");
+  }
+  solved_ = true;
+
+  const int n = num_nodes();
+  std::vector<double> potential(n, 0.0);  // valid: all costs non-negative
+  std::vector<double> dist(n);
+  std::vector<int> parent_arc(n);
+
+  Result result;
+  for (;;) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent_arc.begin(), parent_arc.end(), -1);
+    dist[source] = 0.0;
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + kFlowEps) continue;
+      for (int arc : first_out_[u]) {
+        if (residual_[arc] <= kFlowEps) continue;
+        const int v = head_[arc];
+        const double reduced = cost_[arc] + potential[u] - potential[v];
+        // Reduced costs are >= 0 up to floating-point error; clamp.
+        const double step = reduced > 0.0 ? reduced : 0.0;
+        if (dist[u] + step + kFlowEps < dist[v]) {
+          dist[v] = dist[u] + step;
+          parent_arc[v] = arc;
+          heap.emplace(dist[v], v);
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;  // no augmenting path remains
+
+    for (int v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+
+    // Bottleneck along the path.
+    double bottleneck = kInf;
+    for (int v = sink; v != source;) {
+      const int arc = parent_arc[v];
+      bottleneck = std::min(bottleneck, residual_[arc]);
+      v = head_[arc ^ 1];
+    }
+    if (bottleneck <= kFlowEps) break;
+
+    // Apply augmentation and accumulate true (non-reduced) cost.
+    for (int v = sink; v != source;) {
+      const int arc = parent_arc[v];
+      residual_[arc] -= bottleneck;
+      residual_[arc ^ 1] += bottleneck;
+      result.min_cost += bottleneck * cost_[arc];
+      v = head_[arc ^ 1];
+    }
+    result.max_flow += bottleneck;
+  }
+  return result;
+}
+
+double MinCostFlow::FlowOnArc(int arc_id) const {
+  const size_t arc = static_cast<size_t>(arc_id) * 2;
+  if (arc + 1 >= head_.size()) return 0.0;
+  // Flow equals capacity minus remaining forward residual.
+  return capacity_[arc_id] - residual_[arc];
+}
+
+}  // namespace vz::solver

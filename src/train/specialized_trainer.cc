@@ -1,0 +1,146 @@
+#include "train/specialized_trainer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/math_util.h"
+#include "sim/object_class.h"
+#include "vector/feature_vector.h"
+
+namespace vz::train {
+
+BaseModelProfile BaseModelProfile::MobileNetV2() {
+  return {"mobilenet_v2", 0.74, 0.20, 6.0};
+}
+BaseModelProfile BaseModelProfile::ResNet50() {
+  return {"resnet50", 0.82, 0.15, 20.0};
+}
+BaseModelProfile BaseModelProfile::ResNet101() {
+  return {"resnet101", 0.85, 0.13, 34.0};
+}
+BaseModelProfile BaseModelProfile::InceptionV3() {
+  return {"inception_v3", 0.83, 0.14, 26.0};
+}
+
+SpecializedTrainer::SpecializedTrainer(const sim::GroundTruthLog* log)
+    : log_(log) {}
+
+namespace {
+
+// Histogram of true object classes across the frames of the given SVSs.
+std::unordered_map<int, size_t> ClassHistogram(
+    const std::vector<const core::Svs*>& svss, const sim::GroundTruthLog* log) {
+  std::unordered_map<int, size_t> hist;
+  for (const core::Svs* svs : svss) {
+    for (int64_t frame_id : svs->frame_ids()) {
+      const sim::FrameTruth* truth = log->Lookup(frame_id);
+      if (truth == nullptr) continue;
+      for (int object_class : truth->object_classes) hist[object_class]++;
+    }
+  }
+  return hist;
+}
+
+}  // namespace
+
+TrainingSetAnalysis SpecializedTrainer::Analyze(
+    const std::vector<const core::Svs*>& training,
+    const std::vector<const core::Svs*>& target, Rng* rng) const {
+  TrainingSetAnalysis analysis;
+
+  // Trained classes: most frequent training classes covering >= 95% of
+  // training object mass (Sec. 7.5).
+  const auto train_hist = ClassHistogram(training, log_);
+  size_t total_train = 0;
+  for (const auto& [object_class, count] : train_hist) total_train += count;
+  analysis.training_objects = total_train;
+  std::vector<std::pair<size_t, int>> ranked;
+  for (const auto& [object_class, count] : train_hist) {
+    ranked.emplace_back(count, object_class);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  size_t covered = 0;
+  for (const auto& [count, object_class] : ranked) {
+    if (total_train > 0 &&
+        static_cast<double>(covered) >= 0.95 * static_cast<double>(total_train)) {
+      break;
+    }
+    analysis.trained_classes.push_back(object_class);
+    covered += count;
+  }
+
+  // Class coverage of the target workload.
+  const auto target_hist = ClassHistogram(target, log_);
+  size_t total_target = 0;
+  size_t matched = 0;
+  for (const auto& [object_class, count] : target_hist) {
+    total_target += count;
+    if (std::find(analysis.trained_classes.begin(),
+                  analysis.trained_classes.end(),
+                  object_class) != analysis.trained_classes.end()) {
+      matched += count;
+    }
+  }
+  analysis.class_coverage =
+      total_target == 0
+          ? 0.0
+          : static_cast<double>(matched) / static_cast<double>(total_target);
+
+  // Visual coherence: mean pairwise distance over a sample of training
+  // features, normalized by the sample's centroid norm. Tighter clusters
+  // (same style, same appearance) score higher.
+  std::vector<const FeatureVector*> sample;
+  for (const core::Svs* svs : training) {
+    const FeatureMap& map = svs->features();
+    for (size_t i = 0; i < map.size(); ++i) sample.push_back(&map.vector(i));
+  }
+  if (sample.size() > 200) {
+    rng->Shuffle(&sample);
+    sample.resize(200);
+  }
+  if (sample.size() >= 2) {
+    double total_dist = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      for (size_t j = i + 1; j < std::min(sample.size(), i + 20); ++j) {
+        total_dist += EuclideanDistance(*sample[i], *sample[j]);
+        ++pairs;
+      }
+    }
+    const double mean_dist =
+        pairs > 0 ? total_dist / static_cast<double>(pairs) : 0.0;
+    // Normalize by the *target* workload's intra-set spread, so a training
+    // set that is tighter than the workload it serves scores higher; scales
+    // of the training set itself must not cancel out.
+    double target_dist = 0.0;
+    size_t target_pairs = 0;
+    for (const core::Svs* svs : target) {
+      const FeatureMap& map = svs->features();
+      const size_t limit = std::min<size_t>(map.size(), 40);
+      for (size_t i = 0; i < limit; ++i) {
+        for (size_t j = i + 1; j < limit; ++j) {
+          target_dist += EuclideanDistance(map.vector(i), map.vector(j));
+          ++target_pairs;
+        }
+      }
+    }
+    const double scale =
+        target_pairs > 0 ? target_dist / static_cast<double>(target_pairs)
+                         : 1.0;
+    const double spread = scale > 0.0 ? mean_dist / scale : mean_dist;
+    analysis.visual_coherence = 1.0 / (1.0 + spread);
+  }
+  return analysis;
+}
+
+double SpecializedTrainer::PredictTop2Accuracy(
+    const BaseModelProfile& model, const TrainingSetAnalysis& analysis) const {
+  // Coverage carries most of the specialization gain; coherence the rest.
+  const double match =
+      0.7 * analysis.class_coverage + 0.3 * analysis.visual_coherence;
+  return Clamp(model.base_top2_accuracy +
+                   model.specialization_headroom * match,
+               0.0, 0.995);
+}
+
+}  // namespace vz::train

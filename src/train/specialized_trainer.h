@@ -1,0 +1,73 @@
+#ifndef VZ_TRAIN_SPECIALIZED_TRAINER_H_
+#define VZ_TRAIN_SPECIALIZED_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/svs.h"
+#include "sim/ground_truth.h"
+
+namespace vz::train {
+
+/// A pre-trained base model being specialized (Sec. 7.5 uses MobileNetV2,
+/// ResNet50, ResNet101 and InceptionV3, "which cover a range of accuracy and
+/// inference time trade-off").
+struct BaseModelProfile {
+  std::string name;
+  /// Top-2 accuracy before specialization, on the generic label space.
+  double base_top2_accuracy = 0.80;
+  /// Headroom: how much a perfectly matched training set can add.
+  double specialization_headroom = 0.16;
+  double inference_ms_per_frame = 20.0;
+
+  static BaseModelProfile MobileNetV2();
+  static BaseModelProfile ResNet50();
+  static BaseModelProfile ResNet101();
+  static BaseModelProfile InceptionV3();
+};
+
+/// How well a candidate training set matches a target workload. The paper's
+/// Sec. 7.5 credits two factors for the clustering query's win: the selected
+/// streams "share similar classes of objects and have objects within the
+/// same class visually similar to one another" — measured here as class
+/// coverage and visual coherence.
+struct TrainingSetAnalysis {
+  /// Classes that cover >= 95% of the training objects (the paper keeps only
+  /// those and folds the rest into "Other").
+  std::vector<int> trained_classes;
+  /// Fraction of the target workload's object mass within trained classes.
+  double class_coverage = 0.0;
+  /// 1 / (1 + normalized mean intra-class feature spread) over the training
+  /// features; higher when same-class objects look alike.
+  double visual_coherence = 0.0;
+  size_t training_objects = 0;
+};
+
+/// Simulates transfer-learning specialization (the paper retrains the first
+/// and last three layers, after MCDNN [31]): the specialized model's top-2
+/// accuracy is a monotone function of how well the training set covers and
+/// visually matches the target workload. The experiment's conclusion depends
+/// only on *which* SVSs were grouped together, which this preserves.
+class SpecializedTrainer {
+ public:
+  /// `log` must outlive the trainer.
+  explicit SpecializedTrainer(const sim::GroundTruthLog* log);
+
+  /// Scores a training set (SVSs picked by a clustering query or by manual
+  /// spatial labels) against a target workload.
+  TrainingSetAnalysis Analyze(const std::vector<const core::Svs*>& training,
+                              const std::vector<const core::Svs*>& target,
+                              Rng* rng) const;
+
+  /// Predicted top-2 accuracy of `model` specialized on the analyzed set.
+  double PredictTop2Accuracy(const BaseModelProfile& model,
+                             const TrainingSetAnalysis& analysis) const;
+
+ private:
+  const sim::GroundTruthLog* log_;
+};
+
+}  // namespace vz::train
+
+#endif  // VZ_TRAIN_SPECIALIZED_TRAINER_H_

@@ -1,0 +1,60 @@
+#include "vector/feature_map.h"
+
+#include <utility>
+
+namespace vz {
+
+Status FeatureMap::Add(FeatureVector vector, double weight) {
+  if (weight < 0.0) {
+    return Status::InvalidArgument("feature weight must be non-negative");
+  }
+  if (!vectors_.empty() && vector.dim() != vectors_[0].dim()) {
+    return Status::InvalidArgument("feature vector dimension mismatch");
+  }
+  vectors_.push_back(std::move(vector));
+  weights_.push_back(weight);
+  return Status::OK();
+}
+
+double FeatureMap::TotalWeight() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return total;
+}
+
+std::vector<double> FeatureMap::NormalizedWeights() const {
+  std::vector<double> normalized;
+  const double total = TotalWeight();
+  if (total <= 0.0) return normalized;
+  normalized.reserve(weights_.size());
+  for (double w : weights_) normalized.push_back(w / total);
+  return normalized;
+}
+
+FeatureVector FeatureMap::Centroid() const {
+  if (vectors_.empty()) return FeatureVector();
+  FeatureVector centroid(dim());
+  const std::vector<double> normalized = NormalizedWeights();
+  if (normalized.empty()) {
+    // All weights zero: fall back to the unweighted mean.
+    for (const FeatureVector& v : vectors_) centroid.Add(v);
+    centroid.Scale(1.0 / static_cast<double>(vectors_.size()));
+    return centroid;
+  }
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    centroid.Axpy(normalized[i], vectors_[i]);
+  }
+  return centroid;
+}
+
+void FeatureMap::Clear() {
+  vectors_.clear();
+  weights_.clear();
+}
+
+double ObjectCentroidDistance(const FeatureMap& a, const FeatureMap& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  return EuclideanDistance(a.Centroid(), b.Centroid());
+}
+
+}  // namespace vz

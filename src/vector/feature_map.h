@@ -1,0 +1,73 @@
+#ifndef VZ_VECTOR_FEATURE_MAP_H_
+#define VZ_VECTOR_FEATURE_MAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/feature_vector.h"
+
+namespace vz {
+
+/// A weighted multiset of feature vectors — the payload of a semantic video
+/// stream (Sec. 3.1: "A semantic video stream (SVS) then is the collection of
+/// these feature vectors (i.e., the feature map)").
+///
+/// Raw SVSs carry uniform weights (1/n per vector, Eq. 1); representative
+/// SVSs built by k-clustering (Sec. 3.3) carry weights proportional to
+/// member-cluster sizes. All vectors in a map share one dimension.
+class FeatureMap {
+ public:
+  FeatureMap() = default;
+
+  FeatureMap(const FeatureMap&) = default;
+  FeatureMap& operator=(const FeatureMap&) = default;
+  FeatureMap(FeatureMap&&) = default;
+  FeatureMap& operator=(FeatureMap&&) = default;
+
+  /// Appends a vector with the given (non-negative) weight. The first vector
+  /// fixes the map's dimension; later mismatching vectors are rejected.
+  Status Add(FeatureVector vector, double weight = 1.0);
+
+  /// Number of vectors.
+  size_t size() const { return vectors_.size(); }
+
+  /// True iff the map holds no vectors.
+  bool empty() const { return vectors_.empty(); }
+
+  /// Dimension of the vectors; 0 for an empty map.
+  size_t dim() const { return vectors_.empty() ? 0 : vectors_[0].dim(); }
+
+  const FeatureVector& vector(size_t i) const { return vectors_[i]; }
+  double weight(size_t i) const { return weights_[i]; }
+
+  const std::vector<FeatureVector>& vectors() const { return vectors_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Sum of raw weights.
+  double TotalWeight() const;
+
+  /// Weights scaled to sum to 1 (Eq. 1 treats each map as a distribution).
+  /// Returns an empty vector for an empty map or zero total weight.
+  std::vector<double> NormalizedWeights() const;
+
+  /// Weighted mean vector — the basis of the Object Centroid Distance lower
+  /// bound (Sec. 4.3). Returns a zero-dim vector for an empty map.
+  FeatureVector Centroid() const;
+
+  /// Removes all vectors.
+  void Clear();
+
+ private:
+  std::vector<FeatureVector> vectors_;
+  std::vector<double> weights_;
+};
+
+/// Euclidean distance between the two maps' centroids — the Object Centroid
+/// Distance (OCD), a lower bound on OMD (Sec. 4.3, following Rubner et al.).
+/// Returns 0 if either map is empty.
+double ObjectCentroidDistance(const FeatureMap& a, const FeatureMap& b);
+
+}  // namespace vz
+
+#endif  // VZ_VECTOR_FEATURE_MAP_H_

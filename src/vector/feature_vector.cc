@@ -1,0 +1,67 @@
+#include "vector/feature_vector.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vz {
+
+double FeatureVector::Norm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+void FeatureVector::Add(const FeatureVector& other) {
+  assert(dim() == other.dim());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void FeatureVector::Axpy(double scale, const FeatureVector& other) {
+  assert(dim() == other.dim());
+  const float s = static_cast<float>(scale);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+void FeatureVector::Scale(double scale) {
+  const float s = static_cast<float>(scale);
+  for (float& v : data_) v *= s;
+}
+
+void FeatureVector::Normalize() {
+  const double norm = Norm();
+  if (norm > 0.0) Scale(1.0 / norm);
+}
+
+double SquaredDistance(const FeatureVector& a, const FeatureVector& b) {
+  assert(a.dim() == b.dim());
+  double sum = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double EuclideanDistance(const FeatureVector& a, const FeatureVector& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double Dot(const FeatureVector& a, const FeatureVector& b) {
+  assert(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+double CosineDistance(const FeatureVector& a, const FeatureVector& b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  return 1.0 - Dot(a, b) / (na * nb);
+}
+
+}  // namespace vz

@@ -1,0 +1,109 @@
+#include "core/app_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace vz::core {
+namespace {
+
+VideoZillaOptions FastOptions() {
+  VideoZillaOptions options;
+  options.segmenter.t_max_ms = 20'000;
+  options.omd.max_vectors = 48;
+  options.boundary_scale = 1.6;
+  options.enable_keyframe_selection = false;
+  return options;
+}
+
+TEST(AppRegistryTest, RegisterAndRemoveApps) {
+  AppRegistry registry(FastOptions());
+  ASSERT_TRUE(registry.SetFeatureExtractor("app-a", "resnet50").ok());
+  ASSERT_TRUE(registry.SetFeatureExtractor("app-b", "vgg16").ok());
+  EXPECT_FALSE(registry.SetFeatureExtractor("app-a", "resnet50").ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Apps(), (std::vector<AppId>{"app-a", "app-b"}));
+  EXPECT_EQ(*registry.ModelOf("app-b"), "vgg16");
+  ASSERT_TRUE(registry.RemoveApp("app-b").ok());
+  EXPECT_FALSE(registry.RemoveApp("app-b").ok());
+  EXPECT_FALSE(registry.ModelOf("app-b").ok());
+}
+
+TEST(AppRegistryTest, UnknownAppIsRejectedEverywhere) {
+  AppRegistry registry(FastOptions());
+  EXPECT_FALSE(registry.CameraStart("cam", "ghost").ok());
+  EXPECT_FALSE(registry.CameraTerminate("cam", "ghost").ok());
+  EXPECT_FALSE(registry.Get("ghost").ok());
+  FrameObservation frame;
+  frame.camera = "cam";
+  EXPECT_FALSE(registry.IngestFrame("ghost", frame).ok());
+  FeatureVector q(4);
+  EXPECT_FALSE(registry.DirectQuery(q, "ghost").ok());
+  EXPECT_FALSE(registry.GetMetaData("ghost", 0).ok());
+}
+
+TEST(AppRegistryTest, PerModelIndicesAreIsolated) {
+  // Two apps, two extractor models over the SAME ground-truth frames: each
+  // app's index sees its own feature space (Sec. 5.4, per-model indexing).
+  sim::DeploymentOptions dep_options;
+  dep_options.cities = 1;
+  dep_options.downtown_per_city = 1;
+  dep_options.highway_cameras = 0;
+  dep_options.train_stations = 0;
+  dep_options.harbors = 1;
+  dep_options.feed_duration_ms = 60'000;
+  dep_options.fps = 1.0;
+  dep_options.feature_dim = 32;
+
+  sim::DeploymentOptions resnet_options = dep_options;
+  resnet_options.extractor = sim::ExtractorProfile::ResNet50();
+  sim::DeploymentOptions vgg_options = dep_options;
+  vgg_options.extractor = sim::ExtractorProfile::Vgg16();
+  sim::Deployment resnet_world(resnet_options);
+  sim::Deployment vgg_world(vgg_options);
+
+  AppRegistry registry(FastOptions());
+  ASSERT_TRUE(registry.SetFeatureExtractor("detector", "resnet50").ok());
+  ASSERT_TRUE(registry.SetFeatureExtractor("reid", "vgg16").ok());
+  for (const auto& cam : resnet_world.cameras()) {
+    ASSERT_TRUE(registry.CameraStart(cam.camera, "detector").ok());
+    ASSERT_TRUE(registry.CameraStart(cam.camera, "reid").ok());
+  }
+  for (const auto& obs : resnet_world.observations()) {
+    ASSERT_TRUE(registry.IngestFrame("detector", obs).ok());
+  }
+  for (const auto& obs : vgg_world.observations()) {
+    ASSERT_TRUE(registry.IngestFrame("reid", obs).ok());
+  }
+  ASSERT_TRUE(registry.FlushAll().ok());
+
+  auto detector = registry.Get("detector");
+  auto reid = registry.Get("reid");
+  ASSERT_TRUE(detector.ok());
+  ASSERT_TRUE(reid.ok());
+  EXPECT_GT((*detector)->svs_store().size(), 0u);
+  EXPECT_GT((*reid)->svs_store().size(), 0u);
+
+  // Queries go to the right app and are answered from its own index.
+  Rng rng(7);
+  const FeatureVector query =
+      resnet_world.MakeQueryFeature(sim::kBoat, &rng);
+  auto result = registry.DirectQuery(query, "detector");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->candidate_svss.empty());
+  auto meta =
+      registry.GetMetaData("detector", result->candidate_svss.front());
+  ASSERT_TRUE(meta.ok());
+
+  // Terminating a camera in one app leaves the other untouched.
+  ASSERT_TRUE(registry.CameraTerminate("harbor-0", "reid").ok());
+  for (const auto& entry : (*detector)->inter_index().entries()) {
+    (void)entry;  // detector still has its entries
+  }
+  EXPECT_GT((*detector)->inter_index().size(), 0u);
+}
+
+}  // namespace
+}  // namespace vz::core

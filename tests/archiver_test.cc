@@ -1,0 +1,128 @@
+#include "core/archiver.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace vz::core {
+namespace {
+
+class ArchiverTest : public ::testing::Test {
+ protected:
+  static sim::DeploymentOptions SmallDeployment() {
+    sim::DeploymentOptions options;
+    options.cities = 1;
+    options.downtown_per_city = 2;
+    options.highway_cameras = 1;
+    options.train_stations = 1;
+    options.harbors = 1;
+    options.feed_duration_ms = 60'000;
+    options.fps = 1.0;
+    options.feature_dim = 32;
+    return options;
+  }
+
+  static VideoZillaOptions VzOptions() {
+    VideoZillaOptions options;
+    options.segmenter.t_max_ms = 20'000;
+    options.omd.max_vectors = 48;
+    options.boundary_scale = 1.3;
+    options.enable_keyframe_selection = false;
+    return options;
+  }
+
+  ArchiverTest()
+      : deployment_(SmallDeployment()),
+        system_(VzOptions()),
+        heavy_(1.0, 0.0, 3),
+        verifier_(&deployment_.space(), &deployment_.log(), &heavy_) {
+    EXPECT_TRUE(deployment_.IngestAll(&system_).ok());
+    system_.SetVerifier(&verifier_);
+  }
+
+  sim::Deployment deployment_;
+  VideoZilla system_;
+  sim::HeavyModel heavy_;
+  sim::SimObjectVerifier verifier_;
+};
+
+TEST_F(ArchiverTest, UnaccessedStoreArchivesEverything) {
+  ArchiverOptions options;
+  options.access_frequency_threshold = 0.01;
+  Archiver archiver(&system_, options);
+  auto plan = archiver.PlanArchive();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->to_archive.size(), system_.svs_store().size());
+  EXPECT_DOUBLE_EQ(plan->ByteFraction(), 1.0);
+  EXPECT_DOUBLE_EQ(plan->DurationFraction(), 1.0);
+}
+
+TEST_F(ArchiverTest, AccessedClustersAreKept) {
+  // Access boat content heavily, then plan: boat-cluster SVSs should be
+  // kept while untouched clusters are archived.
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const FeatureVector query =
+        deployment_.MakeQueryFeature(sim::kBoat, &rng);
+    ASSERT_TRUE(system_.DirectQuery(query).ok());
+  }
+  ArchiverOptions options;
+  options.access_frequency_threshold = 0.5;
+  Archiver archiver(&system_, options);
+  auto plan = archiver.PlanArchive();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan->to_archive.size(), system_.svs_store().size());
+  EXPECT_GT(plan->to_archive.size(), 0u);
+  // The plan's byte and duration fractions are consistent with its content.
+  EXPECT_GT(plan->total_bytes, plan->archived_bytes);
+}
+
+TEST_F(ArchiverTest, IsArchivedReflectsAccessFrequency) {
+  Rng rng(7);
+  // Warm up accesses on boat content.
+  for (int i = 0; i < 8; ++i) {
+    const FeatureVector query =
+        deployment_.MakeQueryFeature(sim::kBoat, &rng);
+    ASSERT_TRUE(system_.DirectQuery(query).ok());
+  }
+  Archiver archiver(&system_, ArchiverOptions{});
+  // A harbor-like query SVS should report a higher cluster access frequency
+  // than a downtown-like one.
+  SvsId harbor_svs = -1;
+  SvsId downtown_svs = -1;
+  for (SvsId id : system_.svs_store().AllIds()) {
+    auto svs = system_.svs_store().Get(id);
+    if (!svs.ok()) continue;
+    if (harbor_svs < 0 && (*svs)->camera().rfind("harbor", 0) == 0 &&
+        deployment_.log().SvsContains(**svs, sim::kBoat)) {
+      harbor_svs = id;
+    }
+    if (downtown_svs < 0 && (*svs)->camera().rfind("downtown", 0) == 0) {
+      downtown_svs = id;
+    }
+  }
+  ASSERT_GE(harbor_svs, 0);
+  ASSERT_GE(downtown_svs, 0);
+  auto harbor_map = system_.svs_store().Get(harbor_svs);
+  auto downtown_map = system_.svs_store().Get(downtown_svs);
+  ASSERT_TRUE(harbor_map.ok());
+  ASSERT_TRUE(downtown_map.ok());
+  auto harbor_freq = archiver.IsArchived((*harbor_map)->features());
+  auto downtown_freq = archiver.IsArchived((*downtown_map)->features());
+  ASSERT_TRUE(harbor_freq.ok());
+  ASSERT_TRUE(downtown_freq.ok());
+  EXPECT_GT(*harbor_freq, *downtown_freq);
+}
+
+TEST_F(ArchiverTest, EstimatedFrequencyFallsBackGracefully) {
+  Archiver archiver(&system_, ArchiverOptions{});
+  auto freq = archiver.EstimatedAccessFrequency(0);
+  ASSERT_TRUE(freq.ok());
+  EXPECT_GE(*freq, 0.0);
+  EXPECT_FALSE(archiver.EstimatedAccessFrequency(999999).ok());
+}
+
+}  // namespace
+}  // namespace vz::core

@@ -1,0 +1,104 @@
+#include "clustering/cluster_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "clustering/dendrogram_purity.h"
+
+namespace vz::clustering {
+namespace {
+
+ClusterTree MakeCaterpillar(const std::vector<int>& items) {
+  // ((..((0, 1), 2), ...), n-1)
+  ClusterTree tree;
+  int current = tree.AddLeaf(items[0]);
+  for (size_t i = 1; i < items.size(); ++i) {
+    const int leaf = tree.AddLeaf(items[i]);
+    current = tree.AddInternal({current, leaf});
+  }
+  tree.SetRoot(current);
+  return tree;
+}
+
+TEST(ClusterTreeTest, LeafItemsUnderRoot) {
+  ClusterTree tree = MakeCaterpillar({5, 9, 3});
+  EXPECT_TRUE(tree.Validate().ok());
+  auto items = tree.LeafItemsUnder(tree.root());
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<int>{3, 5, 9}));
+  EXPECT_EQ(tree.num_leaves(), 3u);
+}
+
+TEST(ClusterTreeTest, ValidateCatchesMissingRoot) {
+  ClusterTree tree;
+  tree.AddLeaf(0);
+  EXPECT_FALSE(tree.Validate().ok());  // root never set
+}
+
+TEST(ClusterTreeTest, ValidateCatchesUnreachableNodes) {
+  ClusterTree tree;
+  const int a = tree.AddLeaf(0);
+  tree.AddLeaf(1);  // never attached
+  tree.SetRoot(a);
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(ClusterTreeTest, EmptyTreeIsValid) {
+  ClusterTree tree;
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(DendrogramPurityTest, PerfectTreeHasPurityOne) {
+  // ((0, 1), (2, 3)) with labels {0, 0, 1, 1}.
+  ClusterTree tree;
+  const int l0 = tree.AddLeaf(0);
+  const int l1 = tree.AddLeaf(1);
+  const int l2 = tree.AddLeaf(2);
+  const int l3 = tree.AddLeaf(3);
+  const int a = tree.AddInternal({l0, l1});
+  const int b = tree.AddInternal({l2, l3});
+  tree.SetRoot(tree.AddInternal({a, b}));
+  auto purity = DendrogramPurity(tree, {0, 0, 1, 1});
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+TEST(DendrogramPurityTest, MixedTreeScoresBelowOne) {
+  // ((0, 2), (1, 3)) with labels {0, 0, 1, 1}: same-label pairs only meet
+  // at the root, where the purity is 1/2.
+  ClusterTree tree;
+  const int l0 = tree.AddLeaf(0);
+  const int l2 = tree.AddLeaf(2);
+  const int l1 = tree.AddLeaf(1);
+  const int l3 = tree.AddLeaf(3);
+  const int a = tree.AddInternal({l0, l2});
+  const int b = tree.AddInternal({l1, l3});
+  tree.SetRoot(tree.AddInternal({a, b}));
+  auto purity = DendrogramPurity(tree, {0, 0, 1, 1});
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 0.5);
+}
+
+TEST(DendrogramPurityTest, HandCheckedCaterpillar) {
+  // Caterpillar (((0,1),2),3) with labels {0, 1, 0, 1}.
+  // Pairs: (0,2): LCA covers {0,1,2}, purity 2/3. (1,3): LCA = root covers
+  // all 4, purity 2/4. Average = (2/3 + 1/2) / 2 = 7/12.
+  ClusterTree tree = MakeCaterpillar({0, 1, 2, 3});
+  auto purity = DendrogramPurity(tree, {0, 1, 0, 1});
+  ASSERT_TRUE(purity.ok());
+  EXPECT_NEAR(*purity, 7.0 / 12.0, 1e-12);
+}
+
+TEST(DendrogramPurityTest, NoPairsMeansPurityOne) {
+  ClusterTree tree = MakeCaterpillar({0, 1, 2});
+  auto purity = DendrogramPurity(tree, {0, 1, 2});  // all distinct labels
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+TEST(DendrogramPurityTest, RejectsNegativeLabels) {
+  ClusterTree tree = MakeCaterpillar({0, 1});
+  EXPECT_FALSE(DendrogramPurity(tree, {0, -1}).ok());
+}
+
+}  // namespace
+}  // namespace vz::clustering

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/emd.h"
+
+namespace vz::solver {
+namespace {
+
+TEST(EmdFlowTest, FlowMatchesDistance) {
+  std::vector<double> a = {0.0, 1.0};
+  std::vector<double> b = {2.0, 3.0};
+  std::vector<double> w = {1.0, 1.0};
+  auto ground = [&](size_t i, size_t j) { return std::fabs(a[i] - b[j]); };
+  auto with_flow = ExactEmdWithFlow(w, w, ground);
+  auto plain = ExactEmd(w, w, ground);
+  ASSERT_TRUE(with_flow.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(with_flow->distance, plain->distance, 1e-9);
+  // Recompute the cost from the plan itself.
+  double recomputed = 0.0;
+  for (const EmdFlow& f : with_flow->flows) {
+    recomputed += f.amount * ground(f.from, f.to);
+  }
+  EXPECT_NEAR(recomputed, with_flow->distance, 1e-9);
+}
+
+TEST(EmdFlowTest, MarginalsMatchEquationOne) {
+  // Random instance: row sums must equal the supplies, column sums the
+  // demands (Eq. 1's constraints), after normalization.
+  Rng rng(11);
+  const size_t n = 6;
+  const size_t m = 4;
+  std::vector<double> points_a(n);
+  std::vector<double> points_b(m);
+  for (auto& v : points_a) v = rng.UniformDouble(0.0, 10.0);
+  for (auto& v : points_b) v = rng.UniformDouble(0.0, 10.0);
+  std::vector<double> supplies(n);
+  std::vector<double> demands(m);
+  for (auto& v : supplies) v = rng.UniformDouble(0.5, 2.0);
+  for (auto& v : demands) v = rng.UniformDouble(0.5, 2.0);
+  auto ground = [&](size_t i, size_t j) {
+    return std::fabs(points_a[i] - points_b[j]);
+  };
+  auto result = ExactEmdWithFlow(supplies, demands, ground);
+  ASSERT_TRUE(result.ok());
+
+  std::vector<double> row(n, 0.0);
+  std::vector<double> col(m, 0.0);
+  for (const EmdFlow& f : result->flows) {
+    ASSERT_LT(f.from, n);
+    ASSERT_LT(f.to, m);
+    ASSERT_GT(f.amount, 0.0);
+    row[f.from] += f.amount;
+    col[f.to] += f.amount;
+  }
+  double supply_total = 0.0;
+  double demand_total = 0.0;
+  for (double v : supplies) supply_total += v;
+  for (double v : demands) demand_total += v;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(row[i], supplies[i] / supply_total, 1e-9) << "row " << i;
+  }
+  for (size_t j = 0; j < m; ++j) {
+    EXPECT_NEAR(col[j], demands[j] / demand_total, 1e-9) << "col " << j;
+  }
+}
+
+TEST(EmdFlowTest, IdenticalPointsShipInPlace) {
+  std::vector<double> pts = {1.0, 5.0, 9.0};
+  std::vector<double> w = {1.0, 1.0, 1.0};
+  auto result = ExactEmdWithFlow(w, w, [&](size_t i, size_t j) {
+    return std::fabs(pts[i] - pts[j]);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->distance, 0.0, 1e-9);
+  for (const EmdFlow& f : result->flows) {
+    EXPECT_EQ(f.from, f.to);  // all mass stays put
+  }
+}
+
+TEST(EmdFlowTest, RejectsBadInput) {
+  EXPECT_FALSE(
+      ExactEmdWithFlow({}, {1.0}, [](size_t, size_t) { return 0.0; }).ok());
+  EXPECT_FALSE(
+      ExactEmdWithFlow({1.0}, {1.0}, [](size_t, size_t) { return -1.0; })
+          .ok());
+}
+
+}  // namespace
+}  // namespace vz::solver

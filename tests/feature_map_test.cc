@@ -1,0 +1,74 @@
+#include "vector/feature_map.h"
+
+#include <gtest/gtest.h>
+
+namespace vz {
+namespace {
+
+TEST(FeatureMapTest, AddEnforcesDimension) {
+  FeatureMap map;
+  EXPECT_TRUE(map.Add(FeatureVector({1.0f, 2.0f})).ok());
+  EXPECT_TRUE(map.Add(FeatureVector({3.0f, 4.0f})).ok());
+  EXPECT_FALSE(map.Add(FeatureVector({1.0f})).ok());
+  EXPECT_FALSE(map.Add(FeatureVector({1.0f, 1.0f}), -0.5).ok());
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.dim(), 2u);
+}
+
+TEST(FeatureMapTest, NormalizedWeightsSumToOne) {
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(FeatureVector({0.0f}), 1.0).ok());
+  ASSERT_TRUE(map.Add(FeatureVector({1.0f}), 3.0).ok());
+  const auto w = map.NormalizedWeights();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+  EXPECT_DOUBLE_EQ(map.TotalWeight(), 4.0);
+}
+
+TEST(FeatureMapTest, WeightedCentroid) {
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(FeatureVector({0.0f, 0.0f}), 1.0).ok());
+  ASSERT_TRUE(map.Add(FeatureVector({4.0f, 0.0f}), 3.0).ok());
+  const FeatureVector c = map.Centroid();
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+}
+
+TEST(FeatureMapTest, ZeroWeightsFallBackToUnweightedCentroid) {
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(FeatureVector({0.0f}), 0.0).ok());
+  ASSERT_TRUE(map.Add(FeatureVector({2.0f}), 0.0).ok());
+  EXPECT_FLOAT_EQ(map.Centroid()[0], 1.0f);
+  EXPECT_TRUE(map.NormalizedWeights().empty());
+}
+
+TEST(FeatureMapTest, EmptyMapCentroidAndOcd) {
+  FeatureMap empty;
+  EXPECT_TRUE(empty.Centroid().empty());
+  FeatureMap other;
+  ASSERT_TRUE(other.Add(FeatureVector({1.0f})).ok());
+  EXPECT_DOUBLE_EQ(ObjectCentroidDistance(empty, other), 0.0);
+}
+
+TEST(FeatureMapTest, ObjectCentroidDistance) {
+  FeatureMap a;
+  ASSERT_TRUE(a.Add(FeatureVector({0.0f, 0.0f})).ok());
+  ASSERT_TRUE(a.Add(FeatureVector({2.0f, 0.0f})).ok());
+  FeatureMap b;
+  ASSERT_TRUE(b.Add(FeatureVector({5.0f, 0.0f})).ok());
+  EXPECT_DOUBLE_EQ(ObjectCentroidDistance(a, b), 4.0);
+}
+
+TEST(FeatureMapTest, ClearResets) {
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(FeatureVector({1.0f})).ok());
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.dim(), 0u);
+  // After clearing, a different dimension is acceptable.
+  EXPECT_TRUE(map.Add(FeatureVector({1.0f, 2.0f, 3.0f})).ok());
+}
+
+}  // namespace
+}  // namespace vz

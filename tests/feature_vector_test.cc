@@ -1,0 +1,67 @@
+#include "vector/feature_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vz {
+namespace {
+
+TEST(FeatureVectorTest, ZeroConstruction) {
+  FeatureVector v(4);
+  EXPECT_EQ(v.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(v[i], 0.0f);
+  EXPECT_DOUBLE_EQ(v.Norm(), 0.0);
+}
+
+TEST(FeatureVectorTest, NormAndDistance) {
+  FeatureVector a({3.0f, 4.0f});
+  FeatureVector b({0.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+TEST(FeatureVectorTest, AddAxpyScale) {
+  FeatureVector a({1.0f, 2.0f});
+  FeatureVector b({3.0f, -1.0f});
+  a.Add(b);
+  EXPECT_FLOAT_EQ(a[0], 4.0f);
+  EXPECT_FLOAT_EQ(a[1], 1.0f);
+  a.Axpy(2.0, b);
+  EXPECT_FLOAT_EQ(a[0], 10.0f);
+  EXPECT_FLOAT_EQ(a[1], -1.0f);
+  a.Scale(0.5);
+  EXPECT_FLOAT_EQ(a[0], 5.0f);
+  EXPECT_FLOAT_EQ(a[1], -0.5f);
+}
+
+TEST(FeatureVectorTest, NormalizeUnitLength) {
+  FeatureVector v({3.0f, 4.0f});
+  v.Normalize();
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-6);
+  FeatureVector zero(3);
+  zero.Normalize();  // must not divide by zero
+  EXPECT_DOUBLE_EQ(zero.Norm(), 0.0);
+}
+
+TEST(FeatureVectorTest, DotAndCosine) {
+  FeatureVector a({1.0f, 0.0f});
+  FeatureVector b({0.0f, 1.0f});
+  FeatureVector c({2.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(a, b), 1.0);
+  EXPECT_NEAR(CosineDistance(a, c), 0.0, 1e-9);
+  FeatureVector zero(2);
+  EXPECT_DOUBLE_EQ(CosineDistance(a, zero), 1.0);
+}
+
+TEST(FeatureVectorTest, DistanceSymmetryAndIdentity) {
+  FeatureVector a({1.5f, -2.0f, 0.25f});
+  FeatureVector b({-1.0f, 0.5f, 2.0f});
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), EuclideanDistance(b, a));
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace vz

@@ -1,0 +1,109 @@
+#include "clustering/hac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/dendrogram_purity.h"
+#include "test_util.h"
+
+namespace vz::clustering {
+namespace {
+
+double PointDist(const std::vector<double>& pts, size_t i, size_t j) {
+  return std::fabs(pts[i] - pts[j]);
+}
+
+TEST(HacTest, SingleItem) {
+  auto result = Hac(1, [](size_t, size_t) { return 0.0; }, Linkage::kSingle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tree.Validate().ok());
+  EXPECT_EQ(result->merges.size(), 0u);
+}
+
+TEST(HacTest, RejectsEmpty) {
+  EXPECT_FALSE(Hac(0, [](size_t, size_t) { return 0.0; },
+                   Linkage::kAverage)
+                   .ok());
+}
+
+TEST(HacTest, MergesNearestPairFirst) {
+  std::vector<double> pts = {0.0, 0.1, 5.0, 9.0};
+  auto result = Hac(pts.size(), [&pts](size_t i, size_t j) {
+    return PointDist(pts, i, j);
+  }, Linkage::kSingle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->merges.size(), 3u);
+  EXPECT_NEAR(result->merges[0].height, 0.1, 1e-12);
+  // Full tree: n(n-1)/2 distance evaluations.
+  EXPECT_EQ(result->num_distance_evals, 6u);
+}
+
+class HacLinkageTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(HacLinkageTest, RecoversSeparatedClustersAtCut) {
+  auto data = testing::MakeClusteredPoints(3, 12, 6, 25.0, 0.5, 21);
+  auto result = Hac(data.points.size(), [&data](size_t i, size_t j) {
+    return EuclideanDistance(data.points[i], data.points[j]);
+  }, GetParam());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tree.Validate().ok());
+
+  const auto flat = HacFlatClusters(*result, data.points.size(), 3);
+  // Same label -> same flat cluster; different label -> different cluster.
+  for (size_t i = 0; i < flat.size(); ++i) {
+    for (size_t j = i + 1; j < flat.size(); ++j) {
+      if (data.labels[i] == data.labels[j]) {
+        EXPECT_EQ(flat[i], flat[j]);
+      } else {
+        EXPECT_NE(flat[i], flat[j]);
+      }
+    }
+  }
+}
+
+TEST_P(HacLinkageTest, PurityOneOnSeparatedData) {
+  auto data = testing::MakeClusteredPoints(4, 8, 6, 25.0, 0.5, 22);
+  auto result = Hac(data.points.size(), [&data](size_t i, size_t j) {
+    return EuclideanDistance(data.points[i], data.points[j]);
+  }, GetParam());
+  ASSERT_TRUE(result.ok());
+  auto purity = DendrogramPurity(result->tree, data.labels);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+TEST_P(HacLinkageTest, MergeHeightsNonDecreasing) {
+  auto data = testing::MakeClusteredPoints(2, 15, 4, 8.0, 2.0, 23);
+  auto result = Hac(data.points.size(), [&data](size_t i, size_t j) {
+    return EuclideanDistance(data.points[i], data.points[j]);
+  }, GetParam());
+  ASSERT_TRUE(result.ok());
+  // Single/complete/average linkage are all reducible, so the merge
+  // sequence is monotone.
+  for (size_t m = 1; m < result->merges.size(); ++m) {
+    EXPECT_GE(result->merges[m].height, result->merges[m - 1].height - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, HacLinkageTest,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage));
+
+TEST(HacTest, FlatClustersClampK) {
+  std::vector<double> pts = {0.0, 1.0, 2.0};
+  auto result = Hac(pts.size(), [&pts](size_t i, size_t j) {
+    return PointDist(pts, i, j);
+  }, Linkage::kAverage);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(HacFlatClusters(*result, 3, 0).size(), 3u);
+  auto one = HacFlatClusters(*result, 3, 1);
+  for (size_t label : one) EXPECT_EQ(label, 0u);
+  auto all = HacFlatClusters(*result, 3, 10);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace vz::clustering

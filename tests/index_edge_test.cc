@@ -1,0 +1,154 @@
+// Edge cases for the index structures: duplicates, degenerate sizes,
+// option extremes, and cross-structure consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clustering/dendrogram_purity.h"
+#include "index/mtree.h"
+#include "index/nn_descent.h"
+#include "index/perch_tree.h"
+#include "test_util.h"
+
+namespace vz::index {
+namespace {
+
+using ::vz::testing::EuclideanPointMetric;
+using ::vz::testing::MakeClusteredPoints;
+
+TEST(PerchEdgeTest, DuplicatePointsAreHandled) {
+  std::vector<FeatureVector> points(10, FeatureVector({1.0f, 2.0f}));
+  points.push_back(FeatureVector({9.0f, 9.0f}));
+  EuclideanPointMetric metric(points);
+  PerchTree tree(&metric, PerchOptions{});
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  // NN of the outlier among stored items is itself (already stored).
+  auto nn = tree.NearestNeighbor(10);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(*nn, 10);
+  // 2 clusters separate duplicates from the outlier.
+  const auto clusters = tree.ExtractClusters(2);
+  ASSERT_EQ(clusters.size(), 2u);
+  const bool outlier_alone =
+      (clusters[0].size() == 1 && clusters[0][0] == 10) ||
+      (clusters[1].size() == 1 && clusters[1][0] == 10);
+  EXPECT_TRUE(outlier_alone);
+}
+
+TEST(PerchEdgeTest, KnnLargerThanTreeReturnsEverything) {
+  auto data = MakeClusteredPoints(2, 4, 3, 10.0, 0.5, 3);
+  EuclideanPointMetric metric(data.points);
+  PerchTree tree(&metric, PerchOptions{});
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  auto knn = tree.KNearestNeighbors(0, 100);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->size(), data.points.size());
+}
+
+TEST(PerchEdgeTest, SingleSampleApproximationStaysValid) {
+  auto data = MakeClusteredPoints(3, 15, 4, 15.0, 1.0, 5);
+  EuclideanPointMetric metric(data.points);
+  PerchOptions options;
+  options.samples_per_node = 1;  // cheapest possible masking approximation
+  PerchTree tree(&metric, options);
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  auto purity =
+      clustering::DendrogramPurity(tree.ToClusterTree(), data.labels);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_GT(*purity, 0.8);
+}
+
+TEST(PerchEdgeTest, RotationCapPreventsRunaway) {
+  auto data = MakeClusteredPoints(2, 30, 3, 1.0, 2.0, 7);  // fully overlapped
+  EuclideanPointMetric metric(data.points);
+  PerchOptions options;
+  options.max_rotations_per_insert = 4;
+  PerchTree tree(&metric, options);
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_LE(tree.stats().masking_rotations,
+            4 * data.points.size());
+}
+
+TEST(MTreeEdgeTest, DuplicatePointsAndTinyNodes) {
+  std::vector<FeatureVector> points(12, FeatureVector({0.0f}));
+  EuclideanPointMetric metric(points);
+  MTreeOptions options;
+  options.max_node_size = 2;
+  MTree tree(&metric, options);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  auto knn = tree.KNearestNeighbors(0, 5);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->size(), 5u);
+  auto range = tree.RangeQuery(0, 0.0);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->size(), 12u);  // all coincide
+}
+
+TEST(MTreeEdgeTest, NodeSizeFloorIsEnforced) {
+  EuclideanPointMetric metric({FeatureVector({0.0f}), FeatureVector({1.0f}),
+                               FeatureVector({2.0f})});
+  MTreeOptions options;
+  options.max_node_size = 0;  // silently clamped to 2
+  MTree tree(&metric, options);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(tree.Insert(i).ok());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(NnDescentEdgeTest, TinyCollections) {
+  EuclideanPointMetric metric({FeatureVector({0.0f}), FeatureVector({1.0f})});
+  NnDescentGraph graph(&metric, NnDescentOptions{});
+  ASSERT_TRUE(graph.Build({0, 1}).ok());
+  auto knn = graph.KNearestNeighbors(0, 5);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->size(), 2u);
+  EXPECT_EQ((*knn)[0], 0);
+}
+
+TEST(NnDescentEdgeTest, SingleItemGraph) {
+  EuclideanPointMetric metric({FeatureVector({0.0f})});
+  NnDescentGraph graph(&metric, NnDescentOptions{});
+  ASSERT_TRUE(graph.Build({0}).ok());
+  auto knn = graph.KNearestNeighbors(0, 1);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(*knn, std::vector<int>{0});
+}
+
+TEST(CrossStructureTest, AllThreeAgreeOnEasyNearestNeighbor) {
+  auto data = MakeClusteredPoints(4, 10, 5, 25.0, 0.4, 9);
+  EuclideanPointMetric metric(data.points);
+  PerchTree perch(&metric, PerchOptions{});
+  MTree mtree(&metric, MTreeOptions{});
+  NnDescentGraph ann(&metric, NnDescentOptions{});
+  std::vector<int> items;
+  for (size_t i = 1; i < data.points.size(); ++i) {
+    items.push_back(static_cast<int>(i));
+    ASSERT_TRUE(perch.Insert(static_cast<int>(i)).ok());
+    ASSERT_TRUE(mtree.Insert(static_cast<int>(i)).ok());
+  }
+  ASSERT_TRUE(ann.Build(items).ok());
+  auto a = perch.NearestNeighbor(0);
+  auto b = mtree.KNearestNeighbors(0, 1);
+  auto c = ann.KNearestNeighbors(0, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*a, (*b)[0]);
+  EXPECT_EQ(*a, (*c)[0]);
+}
+
+}  // namespace
+}  // namespace vz::index

@@ -1,0 +1,138 @@
+#include "core/inter_camera_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vz::core {
+namespace {
+
+using ::vz::testing::MakeMap;
+
+class InterIndexTest : public ::testing::Test {
+ protected:
+  InterIndexTest() : metric_(&store_, &calc_) {}
+
+  // Builds an intra-camera index for `camera` with SVSs around the given
+  // centers, one SVS per center, reclustered every insert.
+  std::unique_ptr<IntraCameraIndex> MakeIntra(
+      const CameraId& camera, const std::vector<double>& centers,
+      uint64_t seed) {
+    IntraIndexOptions options;
+    options.recluster_interval = 1;
+    auto intra = std::make_unique<IntraCameraIndex>(camera, &store_, &metric_,
+                                                    options, Rng(seed));
+    for (size_t i = 0; i < centers.size(); ++i) {
+      const SvsId id = store_.Create(camera, next_time_, next_time_ += 10,
+                                     MakeMap(10, 4, centers[i], 0.3,
+                                             seed * 100 + i));
+      EXPECT_TRUE(intra->Insert(id).ok());
+    }
+    return intra;
+  }
+
+  SvsStore store_;
+  OmdCalculator calc_;
+  SvsMetric metric_;
+  int64_t next_time_ = 0;
+};
+
+TEST_F(InterIndexTest, UpdateCameraImportsRepresentatives) {
+  InterCameraIndex inter(&calc_, InterIndexOptions{}, Rng(1));
+  auto intra = MakeIntra("cam-a", {0.0, 0.0, 10.0, 10.0}, 2);
+  ASSERT_TRUE(inter.UpdateCamera(*intra).ok());
+  EXPECT_EQ(inter.size(), intra->clusters().size());
+  EXPECT_GT(inter.representative_bytes_received(), 0u);
+}
+
+TEST_F(InterIndexTest, UpdateReplacesPreviousEntries) {
+  InterCameraIndex inter(&calc_, InterIndexOptions{}, Rng(3));
+  auto intra = MakeIntra("cam-a", {0.0, 10.0}, 4);
+  ASSERT_TRUE(inter.UpdateCamera(*intra).ok());
+  const size_t first = inter.size();
+  ASSERT_TRUE(inter.UpdateCamera(*intra).ok());
+  EXPECT_EQ(inter.size(), first);  // replaced, not duplicated
+}
+
+TEST_F(InterIndexTest, RemoveCameraDropsEntries) {
+  InterCameraIndex inter(&calc_, InterIndexOptions{}, Rng(5));
+  auto a = MakeIntra("cam-a", {0.0, 10.0}, 6);
+  auto b = MakeIntra("cam-b", {0.0, 10.0}, 7);
+  ASSERT_TRUE(inter.UpdateCamera(*a).ok());
+  ASSERT_TRUE(inter.UpdateCamera(*b).ok());
+  const size_t both = inter.size();
+  ASSERT_TRUE(inter.RemoveCamera("cam-a").ok());
+  EXPECT_LT(inter.size(), both);
+  for (const auto& entry : inter.entries()) {
+    EXPECT_EQ(entry.camera, "cam-b");
+  }
+}
+
+TEST_F(InterIndexTest, GroupsClusterSimilarCamerasTogether) {
+  InterIndexOptions options;
+  options.forced_num_groups = 2;
+  InterCameraIndex inter(&calc_, options, Rng(8));
+  // Two "parking lot"-like cameras (around 0) and two "harbor"-like ones
+  // (around 10): their representatives should group by content, not camera.
+  auto a = MakeIntra("lot-a", {0.0, 0.2}, 9);
+  auto b = MakeIntra("lot-b", {0.1, 0.3}, 10);
+  auto c = MakeIntra("harbor-a", {10.0, 10.2}, 11);
+  auto d = MakeIntra("harbor-b", {10.1, 10.3}, 12);
+  for (auto* intra : {a.get(), b.get(), c.get(), d.get()}) {
+    ASSERT_TRUE(inter.UpdateCamera(*intra).ok());
+  }
+  ASSERT_EQ(inter.groups().size(), 2u);
+  for (const auto& group : inter.groups()) {
+    bool has_lot = false;
+    bool has_harbor = false;
+    for (size_t idx : group.entry_indices) {
+      const auto& camera = inter.entries()[idx].camera;
+      (camera.rfind("lot", 0) == 0 ? has_lot : has_harbor) = true;
+    }
+    EXPECT_FALSE(has_lot && has_harbor);
+  }
+}
+
+TEST_F(InterIndexTest, FeatureSearchPrunesByContent) {
+  InterIndexOptions options;
+  options.forced_num_groups = 2;
+  InterCameraIndex inter(&calc_, options, Rng(13));
+  auto a = MakeIntra("lot-a", {0.0}, 14);
+  auto c = MakeIntra("harbor-a", {10.0}, 15);
+  ASSERT_TRUE(inter.UpdateCamera(*a).ok());
+  ASSERT_TRUE(inter.UpdateCamera(*c).ok());
+  FeatureVector near_lot(4);
+  for (size_t d = 0; d < 4; ++d) near_lot[d] = 0.05f;
+  const auto hits = inter.FeatureSearch(near_lot, 1.5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->camera, "lot-a");
+}
+
+TEST_F(InterIndexTest, GroupOfNearestFindsRightGroup) {
+  InterIndexOptions options;
+  options.forced_num_groups = 2;
+  InterCameraIndex inter(&calc_, options, Rng(16));
+  auto a = MakeIntra("lot-a", {0.0}, 17);
+  auto c = MakeIntra("harbor-a", {10.0}, 18);
+  ASSERT_TRUE(inter.UpdateCamera(*a).ok());
+  ASSERT_TRUE(inter.UpdateCamera(*c).ok());
+  const FeatureMap query = MakeMap(8, 4, 9.8, 0.3, 19);
+  auto group = inter.GroupOfNearest(query);
+  ASSERT_TRUE(group.ok());
+  bool found_harbor = false;
+  for (size_t idx : (*group)->entry_indices) {
+    found_harbor |= inter.entries()[idx].camera == "harbor-a";
+  }
+  EXPECT_TRUE(found_harbor);
+}
+
+TEST_F(InterIndexTest, EmptyIndexQueriesFail) {
+  InterCameraIndex inter(&calc_, InterIndexOptions{}, Rng(20));
+  const FeatureMap query = MakeMap(4, 4, 0.0, 0.3, 21);
+  EXPECT_FALSE(inter.GroupOfNearest(query).ok());
+  FeatureVector f(4);
+  EXPECT_TRUE(inter.FeatureSearch(f).empty());
+}
+
+}  // namespace
+}  // namespace vz::core

@@ -1,0 +1,98 @@
+#include "core/keyframe_selector.h"
+
+#include <gtest/gtest.h>
+
+namespace vz::core {
+namespace {
+
+FrameObservation Frame(int64_t ts_ms, double deviation) {
+  FrameObservation frame;
+  frame.camera = "cam";
+  frame.timestamp_ms = ts_ms;
+  frame.deviation_from_previous = deviation;
+  return frame;
+}
+
+TEST(KeyframeSelectorTest, HeaviestConfigKeepsEverything) {
+  KeyframeOptions options;
+  options.ladder = {{1, 0.0}};
+  options.processing_capacity_fps = 1000.0;
+  KeyframeSelector selector(options);
+  int kept = 0;
+  for (int i = 0; i < 100; ++i) {
+    kept += selector.ShouldProcess(Frame(i * 100, 0.5));
+  }
+  EXPECT_EQ(kept, 100);
+  EXPECT_EQ(selector.stats().frames_seen, 100u);
+}
+
+TEST(KeyframeSelectorTest, StrideDropsFrames) {
+  KeyframeOptions options;
+  options.ladder = {{4, 0.0}};
+  options.processing_capacity_fps = 1000.0;
+  KeyframeSelector selector(options);
+  int kept = 0;
+  for (int i = 0; i < 100; ++i) {
+    kept += selector.ShouldProcess(Frame(i * 100, 0.5));
+  }
+  EXPECT_EQ(kept, 25);
+}
+
+TEST(KeyframeSelectorTest, DeviationThresholdFilters) {
+  KeyframeOptions options;
+  options.ladder = {{1, 0.3}};
+  options.processing_capacity_fps = 1000.0;
+  KeyframeSelector selector(options);
+  EXPECT_FALSE(selector.ShouldProcess(Frame(0, 0.1)));
+  EXPECT_TRUE(selector.ShouldProcess(Frame(100, 0.5)));
+}
+
+TEST(KeyframeSelectorTest, DowngradesUnderLoadThenRecovers) {
+  KeyframeOptions options;
+  options.ladder = {{1, 0.0}, {8, 0.0}};
+  options.processing_capacity_fps = 2.0;  // far below the offered 10 fps
+  options.queue_high_watermark = 8;
+  options.queue_low_watermark = 2;
+  KeyframeSelector selector(options);
+  // Offered load of 10 fps overwhelms a 2 fps extractor: must downgrade.
+  int64_t ts = 0;
+  for (int i = 0; i < 200; ++i) {
+    selector.ShouldProcess(Frame(ts, 1.0));
+    ts += 100;
+  }
+  EXPECT_GT(selector.stats().downgrades, 0u);
+  EXPECT_EQ(selector.current_level(), 1u);
+  // A long quiet gap drains the queue; the selector must upgrade again.
+  ts += 60'000;
+  selector.ShouldProcess(Frame(ts, 1.0));
+  EXPECT_GT(selector.stats().upgrades, 0u);
+  EXPECT_EQ(selector.current_level(), 0u);
+}
+
+TEST(KeyframeSelectorTest, SelectionRateBoundedByCapacity) {
+  KeyframeOptions options;  // default ladder
+  options.processing_capacity_fps = 2.0;
+  KeyframeSelector selector(options);
+  int kept = 0;
+  int64_t ts = 0;
+  const int frames = 1000;
+  for (int i = 0; i < frames; ++i) {
+    kept += selector.ShouldProcess(Frame(ts, 0.6));
+    ts += 100;  // 10 fps offered
+  }
+  const double offered_seconds = frames * 0.1;
+  const double kept_fps = kept / offered_seconds;
+  // The adaptive ladder keeps the sustained rate near the capacity.
+  EXPECT_LT(kept_fps, 2.0 * 2.5);
+  EXPECT_GT(kept_fps, 0.5);
+}
+
+TEST(KeyframeSelectorTest, EmptyLadderGetsDefault) {
+  KeyframeOptions options;
+  options.ladder.clear();
+  KeyframeSelector selector(options);
+  EXPECT_TRUE(selector.ShouldProcess(Frame(0, 0.9)));
+}
+
+}  // namespace
+}  // namespace vz::core

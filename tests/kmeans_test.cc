@@ -1,0 +1,106 @@
+#include "clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vz::clustering {
+namespace {
+
+TEST(KMeansTest, RejectsBadInput) {
+  Rng rng(1);
+  KMeansOptions options;
+  EXPECT_FALSE(KMeans({}, options, &rng).ok());
+  std::vector<FeatureVector> pts = {FeatureVector({1.0f})};
+  EXPECT_FALSE(KMeans(pts, options, nullptr).ok());
+  EXPECT_FALSE(KMeans(pts, {-1.0}, options, &rng).ok());
+  EXPECT_FALSE(KMeans(pts, {1.0, 2.0}, options, &rng).ok());
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(2);
+  std::vector<FeatureVector> pts = {FeatureVector({0.0f}),
+                                    FeatureVector({1.0f})};
+  KMeansOptions options;
+  options.k = 10;
+  auto result = KMeans(pts, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SeparatesWellSeparatedClusters) {
+  auto data = testing::MakeClusteredPoints(3, 30, 8, 20.0, 0.5, 42);
+  Rng rng(3);
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(data.points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  // All points sharing a ground-truth label must share a k-means cluster.
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    for (size_t j = i + 1; j < data.points.size(); ++j) {
+      if (data.labels[i] == data.labels[j]) {
+        EXPECT_EQ(result->assignments[i], result->assignments[j])
+            << "points " << i << " and " << j;
+      } else {
+        EXPECT_NE(result->assignments[i], result->assignments[j]);
+      }
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  auto data = testing::MakeClusteredPoints(4, 25, 6, 15.0, 1.0, 7);
+  Rng rng1(4);
+  Rng rng2(4);
+  KMeansOptions k2;
+  k2.k = 2;
+  KMeansOptions k4;
+  k4.k = 4;
+  auto r2 = KMeans(data.points, k2, &rng1);
+  auto r4 = KMeans(data.points, k4, &rng2);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_LT(r4->inertia, r2->inertia);
+}
+
+TEST(KMeansTest, WeightsPullCentroids) {
+  // Two points; weight dominates the single centroid's position.
+  std::vector<FeatureVector> pts = {FeatureVector({0.0f}),
+                                    FeatureVector({10.0f})};
+  Rng rng(5);
+  KMeansOptions options;
+  options.k = 1;
+  auto result = KMeans(pts, {1.0, 9.0}, options, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centroids.size(), 1u);
+  EXPECT_NEAR(result->centroids[0][0], 9.0, 1e-4);
+}
+
+TEST(KMeansTest, ClusterSizesSumToPointCount) {
+  auto data = testing::MakeClusteredPoints(3, 20, 4, 10.0, 1.0, 9);
+  Rng rng(6);
+  KMeansOptions options;
+  options.k = 3;
+  auto result = KMeans(data.points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (size_t s : result->cluster_sizes) total += s;
+  EXPECT_EQ(total, data.points.size());
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  auto data = testing::MakeClusteredPoints(3, 20, 4, 10.0, 1.0, 11);
+  KMeansOptions options;
+  options.k = 3;
+  Rng rng1(77);
+  Rng rng2(77);
+  auto r1 = KMeans(data.points, options, &rng1);
+  auto r2 = KMeans(data.points, options, &rng2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->assignments, r2->assignments);
+  EXPECT_DOUBLE_EQ(r1->inertia, r2->inertia);
+}
+
+}  // namespace
+}  // namespace vz::clustering

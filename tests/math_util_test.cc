@@ -1,0 +1,52 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vz {
+namespace {
+
+TEST(MathUtilTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2.0, 4.0, 6.0}), 8.0 / 3.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 6.0}), std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(MathUtilTest, PercentileInterpolates) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(MathUtilTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 50), 2.5);
+}
+
+TEST(MathUtilTest, EmpiricalCdfMonotone) {
+  auto cdf = EmpiricalCdf({1.0, 2.0, 2.0, 3.0, 10.0}, 6);
+  ASSERT_EQ(cdf.size(), 6u);
+  EXPECT_DOUBLE_EQ(cdf.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e9, 1e9 + 1.0, 1e-8));
+}
+
+}  // namespace
+}  // namespace vz

@@ -1,0 +1,126 @@
+#include "solver/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace vz::solver {
+namespace {
+
+TEST(MinCostFlowTest, SingleArc) {
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  ASSERT_TRUE(flow.AddArc(s, t, 2.5, 3.0).ok());
+  auto result = flow.Solve(s, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->max_flow, 2.5);
+  EXPECT_DOUBLE_EQ(result->min_cost, 7.5);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  // Two parallel paths; the cheap one saturates first.
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  const int a = flow.AddNode();
+  const int b = flow.AddNode();
+  ASSERT_TRUE(flow.AddArc(s, a, 1.0, 1.0).ok());
+  ASSERT_TRUE(flow.AddArc(a, t, 1.0, 1.0).ok());
+  ASSERT_TRUE(flow.AddArc(s, b, 1.0, 5.0).ok());
+  ASSERT_TRUE(flow.AddArc(b, t, 1.0, 5.0).ok());
+  auto result = flow.Solve(s, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->max_flow, 2.0);
+  EXPECT_DOUBLE_EQ(result->min_cost, 1.0 * 2 + 5.0 * 2);
+}
+
+TEST(MinCostFlowTest, ResidualReroutingFindsOptimum) {
+  // Classic case where the greedy first path must be partially undone via
+  // the residual arc to achieve min cost at max flow.
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  const int a = flow.AddNode();
+  const int b = flow.AddNode();
+  ASSERT_TRUE(flow.AddArc(s, a, 1.0, 0.0).ok());
+  ASSERT_TRUE(flow.AddArc(s, b, 1.0, 2.0).ok());
+  ASSERT_TRUE(flow.AddArc(a, b, 1.0, 0.0).ok());
+  ASSERT_TRUE(flow.AddArc(a, t, 1.0, 3.0).ok());
+  ASSERT_TRUE(flow.AddArc(b, t, 2.0, 1.0).ok());
+  auto result = flow.Solve(s, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->max_flow, 2.0);
+  // Optimal: s->a->b->t (cost 1) and s->b->t (cost 3) = 4.
+  EXPECT_DOUBLE_EQ(result->min_cost, 4.0);
+}
+
+TEST(MinCostFlowTest, FlowOnArcReportsShippedAmount) {
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  auto arc = flow.AddArc(s, t, 4.0, 1.0);
+  ASSERT_TRUE(arc.ok());
+  ASSERT_TRUE(flow.Solve(s, t).ok());
+  EXPECT_DOUBLE_EQ(flow.FlowOnArc(*arc), 4.0);
+}
+
+TEST(MinCostFlowTest, DisconnectedGraphShipsNothing) {
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  flow.AddNode();
+  auto result = flow.Solve(s, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->max_flow, 0.0);
+  EXPECT_DOUBLE_EQ(result->min_cost, 0.0);
+}
+
+TEST(MinCostFlowTest, RejectsInvalidInput) {
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  EXPECT_FALSE(flow.AddArc(s, 5, 1.0, 1.0).ok());
+  EXPECT_FALSE(flow.AddArc(s, t, -1.0, 1.0).ok());
+  EXPECT_FALSE(flow.AddArc(s, t, 1.0, -1.0).ok());
+  EXPECT_FALSE(flow.Solve(s, s).ok());
+}
+
+TEST(MinCostFlowTest, SolveTwiceFails) {
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  ASSERT_TRUE(flow.AddArc(s, t, 1.0, 1.0).ok());
+  ASSERT_TRUE(flow.Solve(s, t).ok());
+  EXPECT_FALSE(flow.Solve(s, t).ok());
+}
+
+TEST(MinCostFlowTest, TransportationShapedInstance) {
+  // 2 supplies x 3 demands with known optimum.
+  MinCostFlow flow;
+  const int s = flow.AddNode();
+  const int t = flow.AddNode();
+  const int s0 = flow.AddNode();
+  const int s1 = flow.AddNode();
+  const int d0 = flow.AddNode();
+  const int d1 = flow.AddNode();
+  const int d2 = flow.AddNode();
+  ASSERT_TRUE(flow.AddArc(s, s0, 0.5, 0.0).ok());
+  ASSERT_TRUE(flow.AddArc(s, s1, 0.5, 0.0).ok());
+  ASSERT_TRUE(flow.AddArc(d0, t, 0.4, 0.0).ok());
+  ASSERT_TRUE(flow.AddArc(d1, t, 0.4, 0.0).ok());
+  ASSERT_TRUE(flow.AddArc(d2, t, 0.2, 0.0).ok());
+  // Costs: s0 close to d0, s1 close to d1; d2 equally far from both.
+  ASSERT_TRUE(flow.AddArc(s0, d0, 1.0, 0.1).ok());
+  ASSERT_TRUE(flow.AddArc(s0, d1, 1.0, 1.0).ok());
+  ASSERT_TRUE(flow.AddArc(s0, d2, 1.0, 0.5).ok());
+  ASSERT_TRUE(flow.AddArc(s1, d0, 1.0, 1.0).ok());
+  ASSERT_TRUE(flow.AddArc(s1, d1, 1.0, 0.1).ok());
+  ASSERT_TRUE(flow.AddArc(s1, d2, 1.0, 0.5).ok());
+  auto result = flow.Solve(s, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->max_flow, 1.0, 1e-9);
+  // 0.4 on each cheap arc + 0.2 through d2: 0.4*0.1*2 + 0.2*0.5 = 0.18.
+  EXPECT_NEAR(result->min_cost, 0.18, 1e-9);
+}
+
+}  // namespace
+}  // namespace vz::solver

@@ -1,0 +1,125 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace vz::core {
+namespace {
+
+TEST(MonitorF1Test, ComputesF1) {
+  EXPECT_DOUBLE_EQ(PerformanceMonitor::F1({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(PerformanceMonitor::F1({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(PerformanceMonitor::F1({1}, {2}), 0.0);
+  // predicted {1,2}, truth {2,3}: precision 0.5, recall 0.5 -> F1 0.5.
+  EXPECT_DOUBLE_EQ(PerformanceMonitor::F1({1, 2}, {2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(PerformanceMonitor::F1({}, {1}), 0.0);
+}
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  static sim::DeploymentOptions SmallDeployment() {
+    sim::DeploymentOptions options;
+    options.cities = 1;
+    options.downtown_per_city = 1;
+    options.highway_cameras = 1;
+    options.train_stations = 1;
+    options.harbors = 1;
+    options.feed_duration_ms = 60'000;
+    options.fps = 1.0;
+    options.feature_dim = 32;
+    return options;
+  }
+
+  static VideoZillaOptions VzOptions() {
+    VideoZillaOptions options;
+    options.segmenter.t_max_ms = 20'000;
+    options.omd.max_vectors = 48;
+    options.boundary_scale = 1.3;
+    options.enable_keyframe_selection = false;
+    return options;
+  }
+
+  MonitorTest()
+      : deployment_(SmallDeployment()),
+        system_(VzOptions()),
+        heavy_(1.0, 0.0, 3),
+        verifier_(&deployment_.space(), &deployment_.log(), &heavy_) {
+    EXPECT_TRUE(deployment_.IngestAll(&system_).ok());
+    system_.SetVerifier(&verifier_);
+  }
+
+  PerformanceMonitor::GroundTruthFn TruthFn() {
+    return [this](const FeatureVector& feature) {
+      const int object_class = deployment_.space().NearestPrototype(feature);
+      return deployment_.log().TrueSvsSet(system_.svs_store(), object_class);
+    };
+  }
+
+  sim::Deployment deployment_;
+  VideoZilla system_;
+  sim::HeavyModel heavy_;
+  sim::SimObjectVerifier verifier_;
+};
+
+TEST_F(MonitorTest, StaysNormalWhenQualityIsGood) {
+  MonitorOptions options;
+  options.target_f1 = -0.1;  // trivially satisfied
+  options.ground_truth_interval = 2;
+  PerformanceMonitor monitor(&system_, options, TruthFn());
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const FeatureVector query =
+        deployment_.MakeQueryFeature(sim::kBoat, &rng);
+    ASSERT_TRUE(monitor.Query(query).ok());
+  }
+  EXPECT_EQ(monitor.state(), MonitorState::kNormal);
+  EXPECT_GE(monitor.ground_truth_checks(), 5u);
+  EXPECT_GE(monitor.last_f1(), 0.0);
+}
+
+TEST_F(MonitorTest, WalksAdjustmentLadderWhenTargetUnreachable) {
+  MonitorOptions options;
+  options.target_f1 = 1.01;  // unattainable -> must keep degrading
+  options.ground_truth_interval = 1;
+  PerformanceMonitor monitor(&system_, options, TruthFn());
+  Rng rng(9);
+  const FeatureVector query = deployment_.MakeQueryFeature(sim::kCar, &rng);
+  ASSERT_TRUE(monitor.Query(query).ok());
+  EXPECT_EQ(monitor.state(), MonitorState::kMoreClusters);
+  ASSERT_TRUE(monitor.Query(query).ok());
+  EXPECT_EQ(monitor.state(), MonitorState::kAccurateOmd);
+  ASSERT_TRUE(monitor.Query(query).ok());
+  EXPECT_EQ(monitor.state(), MonitorState::kFlatSvsIndex);
+  EXPECT_EQ(system_.index_mode(), IndexMode::kFlatSvs);
+  ASSERT_TRUE(monitor.Query(query).ok());
+  EXPECT_EQ(monitor.state(), MonitorState::kBailout);
+  EXPECT_EQ(system_.index_mode(), IndexMode::kFlat);
+  // Further failures stay in bailout.
+  ASSERT_TRUE(monitor.Query(query).ok());
+  EXPECT_EQ(monitor.state(), MonitorState::kBailout);
+}
+
+TEST_F(MonitorTest, RecoversFromBailoutWhenProbeSucceeds) {
+  MonitorOptions options;
+  options.target_f1 = 1.01;
+  options.ground_truth_interval = 1;
+  options.bailout_probe_interval = 1;
+  PerformanceMonitor monitor(&system_, options, TruthFn());
+  Rng rng(11);
+  const FeatureVector query = deployment_.MakeQueryFeature(sim::kBoat, &rng);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(monitor.Query(query).ok());
+  ASSERT_EQ(monitor.state(), MonitorState::kBailout);
+  ASSERT_EQ(system_.index_mode(), IndexMode::kFlat);
+  // Once the user preference is attainable again, the next bailout probe
+  // reinstates the hierarchical index (Sec. 5.3).
+  monitor.set_target_f1(0.0);
+  ASSERT_TRUE(monitor.Query(query).ok());
+  EXPECT_EQ(monitor.state(), MonitorState::kNormal);
+  EXPECT_EQ(system_.index_mode(), IndexMode::kHierarchical);
+}
+
+}  // namespace
+}  // namespace vz::core

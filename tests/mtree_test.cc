@@ -1,0 +1,114 @@
+#include "index/mtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace vz::index {
+namespace {
+
+using ::vz::testing::EuclideanPointMetric;
+using ::vz::testing::MakeClusteredPoints;
+
+std::vector<int> BruteForceKnn(const std::vector<FeatureVector>& points,
+                               const std::vector<int>& stored, int target,
+                               size_t k) {
+  std::vector<std::pair<double, int>> ranked;
+  for (int s : stored) {
+    ranked.emplace_back(EuclideanDistance(points[static_cast<size_t>(s)],
+                                          points[static_cast<size_t>(target)]),
+                        s);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int> result;
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    result.push_back(ranked[i].second);
+  }
+  return result;
+}
+
+TEST(MTreeTest, EmptyTreeQueriesFail) {
+  EuclideanPointMetric metric({FeatureVector({0.0f})});
+  MTree tree(&metric, MTreeOptions{});
+  EXPECT_FALSE(tree.KNearestNeighbors(0, 1).ok());
+  EXPECT_FALSE(tree.RangeQuery(0, 1.0).ok());
+}
+
+class MTreeNodeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MTreeNodeSizeTest, KnnMatchesBruteForceAcrossNodeSizes) {
+  auto data = MakeClusteredPoints(4, 15, 6, 15.0, 1.5, 31 + GetParam());
+  EuclideanPointMetric metric(data.points);
+  MTreeOptions options;
+  options.max_node_size = GetParam();
+  MTree tree(&metric, options);
+  std::vector<int> stored;
+  for (size_t i = 5; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+    stored.push_back(static_cast<int>(i));
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  for (int query = 0; query < 5; ++query) {
+    auto knn = tree.KNearestNeighbors(query, 7);
+    ASSERT_TRUE(knn.ok());
+    const auto expected = BruteForceKnn(data.points, stored, query, 7);
+    EXPECT_EQ(*knn, expected) << "query " << query;
+  }
+}
+
+TEST_P(MTreeNodeSizeTest, RangeQueryMatchesBruteForce) {
+  auto data = MakeClusteredPoints(3, 12, 4, 12.0, 2.0, 77 + GetParam());
+  EuclideanPointMetric metric(data.points);
+  MTreeOptions options;
+  options.max_node_size = GetParam();
+  MTree tree(&metric, options);
+  for (size_t i = 1; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  const double radius = 5.0;
+  auto result = tree.RangeQuery(0, radius);
+  ASSERT_TRUE(result.ok());
+  std::vector<int> expected;
+  for (size_t i = 1; i < data.points.size(); ++i) {
+    if (EuclideanDistance(data.points[0], data.points[i]) <= radius) {
+      expected.push_back(static_cast<int>(i));
+    }
+  }
+  std::sort(result->begin(), result->end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(*result, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeSizes, MTreeNodeSizeTest,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(MTreeTest, GrowsInHeightAndStaysValid) {
+  auto data = MakeClusteredPoints(1, 200, 3, 0.0, 5.0, 11);
+  EuclideanPointMetric metric(data.points);
+  MTreeOptions options;
+  options.max_node_size = 4;
+  MTree tree(&metric, options);
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GE(tree.Height(), 3u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(MTreeTest, SelfQueryReturnsSelfFirst) {
+  auto data = MakeClusteredPoints(2, 10, 4, 10.0, 1.0, 13);
+  EuclideanPointMetric metric(data.points);
+  MTree tree(&metric, MTreeOptions{});
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  auto knn = tree.KNearestNeighbors(3, 1);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ((*knn)[0], 3);
+}
+
+}  // namespace
+}  // namespace vz::index

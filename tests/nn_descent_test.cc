@@ -1,0 +1,112 @@
+#include "index/nn_descent.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "test_util.h"
+
+namespace vz::index {
+namespace {
+
+using ::vz::testing::EuclideanPointMetric;
+using ::vz::testing::MakeClusteredPoints;
+
+TEST(NnDescentTest, BuildRequiresItems) {
+  EuclideanPointMetric metric({FeatureVector({0.0f})});
+  NnDescentGraph graph(&metric, NnDescentOptions{});
+  EXPECT_FALSE(graph.Build({}).ok());
+}
+
+TEST(NnDescentTest, QueriesBeforeBuildFail) {
+  EuclideanPointMetric metric({FeatureVector({0.0f})});
+  NnDescentGraph graph(&metric, NnDescentOptions{});
+  EXPECT_FALSE(graph.KNearestNeighbors(0, 1).ok());
+}
+
+TEST(NnDescentTest, BuildTwiceFails) {
+  EuclideanPointMetric metric(
+      {FeatureVector({0.0f}), FeatureVector({1.0f})});
+  NnDescentGraph graph(&metric, NnDescentOptions{});
+  ASSERT_TRUE(graph.Build({0, 1}).ok());
+  EXPECT_FALSE(graph.Build({0, 1}).ok());
+}
+
+TEST(NnDescentTest, HighRecallOnClusteredData) {
+  auto data = MakeClusteredPoints(5, 40, 8, 20.0, 1.0, 51);
+  EuclideanPointMetric metric(data.points);
+  NnDescentOptions options;
+  options.graph_degree = 12;
+  options.seed = 7;
+  NnDescentGraph graph(&metric, options);
+  std::vector<int> items;
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    items.push_back(static_cast<int>(i));
+  }
+  ASSERT_TRUE(graph.Build(items).ok());
+
+  // 20-NN of a handful of queries vs brute force.
+  double total_recall = 0.0;
+  const size_t k = 20;
+  for (int query : {0, 45, 90, 135, 180}) {
+    auto approx = graph.KNearestNeighbors(query, k);
+    ASSERT_TRUE(approx.ok());
+    std::vector<std::pair<double, int>> ranked;
+    for (size_t i = 0; i < data.points.size(); ++i) {
+      ranked.emplace_back(
+          EuclideanDistance(data.points[static_cast<size_t>(query)],
+                            data.points[i]),
+          static_cast<int>(i));
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::unordered_set<int> truth;
+    for (size_t i = 0; i < k; ++i) truth.insert(ranked[i].second);
+    size_t hits = 0;
+    for (int id : *approx) hits += truth.count(id);
+    total_recall += static_cast<double>(hits) / static_cast<double>(k);
+  }
+  // ANN: high but typically not perfect recall (the Sec. 7.3 comparison).
+  EXPECT_GT(total_recall / 5.0, 0.85);
+}
+
+TEST(NnDescentTest, GraphDegreeRespected) {
+  auto data = MakeClusteredPoints(2, 20, 4, 10.0, 1.0, 61);
+  EuclideanPointMetric metric(data.points);
+  NnDescentOptions options;
+  options.graph_degree = 5;
+  NnDescentGraph graph(&metric, options);
+  std::vector<int> items;
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    items.push_back(static_cast<int>(i));
+  }
+  ASSERT_TRUE(graph.Build(items).ok());
+  for (size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_LE(graph.NeighborsOf(i).size(), 5u);
+    EXPECT_GE(graph.NeighborsOf(i).size(), 1u);
+  }
+}
+
+TEST(NnDescentTest, ResultsSortedByDistance) {
+  auto data = MakeClusteredPoints(1, 30, 4, 0.0, 3.0, 71);
+  EuclideanPointMetric metric(data.points);
+  NnDescentGraph graph(&metric, NnDescentOptions{});
+  std::vector<int> items;
+  for (size_t i = 1; i < data.points.size(); ++i) {
+    items.push_back(static_cast<int>(i));
+  }
+  ASSERT_TRUE(graph.Build(items).ok());
+  auto result = graph.KNearestNeighbors(0, 10);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_LE(
+        EuclideanDistance(data.points[0],
+                          data.points[static_cast<size_t>((*result)[i - 1])]),
+        EuclideanDistance(data.points[0],
+                          data.points[static_cast<size_t>((*result)[i])]) +
+            1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vz::index

@@ -1,0 +1,199 @@
+#include "core/omd.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vz::core {
+namespace {
+
+using ::vz::testing::MakeMap;
+
+TEST(OmdCalculatorTest, IdenticalMapsHaveZeroDistance) {
+  OmdCalculator calc;
+  const FeatureMap map = MakeMap(10, 8, 1.0, 0.5, 1);
+  auto d = calc.Distance(map, map);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-9);
+  EXPECT_EQ(calc.num_computations(), 1u);
+}
+
+TEST(OmdCalculatorTest, SingletonMapsReduceToEuclidean) {
+  OmdOptions options;
+  options.mode = OmdMode::kExact;
+  OmdCalculator calc(options);
+  FeatureMap a;
+  ASSERT_TRUE(a.Add(FeatureVector({0.0f, 0.0f})).ok());
+  FeatureMap b;
+  ASSERT_TRUE(b.Add(FeatureVector({3.0f, 4.0f})).ok());
+  auto d = calc.Distance(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 5.0, 1e-9);
+}
+
+TEST(OmdCalculatorTest, EmptyMapsAreHandled) {
+  OmdOptions options;
+  options.mode = OmdMode::kExact;
+  OmdCalculator calc(options);
+  FeatureMap empty;
+  FeatureMap one;
+  ASSERT_TRUE(one.Add(FeatureVector({3.0f, 4.0f})).ok());
+  auto both = calc.Distance(empty, empty);
+  ASSERT_TRUE(both.ok());
+  EXPECT_DOUBLE_EQ(*both, 0.0);
+  // One empty side acts as a zero vector.
+  auto single = calc.Distance(empty, one);
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(*single, 5.0, 1e-9);
+}
+
+TEST(OmdCalculatorTest, DimensionMismatchRejected) {
+  OmdCalculator calc;
+  FeatureMap a;
+  ASSERT_TRUE(a.Add(FeatureVector({0.0f})).ok());
+  FeatureMap b;
+  ASSERT_TRUE(b.Add(FeatureVector({0.0f, 0.0f})).ok());
+  EXPECT_FALSE(calc.Distance(a, b).ok());
+}
+
+TEST(OmdCalculatorTest, ThresholdedLowerBoundsExact) {
+  const FeatureMap a = MakeMap(15, 6, 0.0, 1.0, 2);
+  const FeatureMap b = MakeMap(15, 6, 3.0, 1.0, 3);
+  OmdOptions exact_options;
+  exact_options.mode = OmdMode::kExact;
+  OmdCalculator exact(exact_options);
+  for (double alpha : {0.3, 0.6, 0.9}) {
+    OmdOptions approx_options;
+    approx_options.mode = OmdMode::kThresholded;
+    approx_options.threshold_alpha = alpha;
+    OmdCalculator approx(approx_options);
+    auto de = exact.Distance(a, b);
+    auto da = approx.Distance(a, b);
+    ASSERT_TRUE(de.ok());
+    ASSERT_TRUE(da.ok());
+    EXPECT_LE(*da, *de + 1e-9) << "alpha " << alpha;
+  }
+}
+
+TEST(OmdCalculatorTest, AlphaOneMatchesExact) {
+  const FeatureMap a = MakeMap(12, 5, 0.0, 1.0, 4);
+  const FeatureMap b = MakeMap(12, 5, 2.0, 1.0, 5);
+  OmdOptions exact_options;
+  exact_options.mode = OmdMode::kExact;
+  OmdOptions one_options;
+  one_options.mode = OmdMode::kThresholded;
+  one_options.threshold_alpha = 1.0;
+  OmdCalculator exact(exact_options);
+  OmdCalculator one(one_options);
+  auto de = exact.Distance(a, b);
+  auto d1 = one.Distance(a, b);
+  ASSERT_TRUE(de.ok());
+  ASSERT_TRUE(d1.ok());
+  // At alpha = 1 only the strictly-max-distance pairs route through the
+  // transshipment vertex at exactly the max cost, so values coincide.
+  EXPECT_NEAR(*de, *d1, 1e-6);
+}
+
+TEST(OmdCalculatorTest, SubsamplingKeepsDistanceClose) {
+  const FeatureMap a = MakeMap(100, 4, 0.0, 0.5, 6);
+  const FeatureMap b = MakeMap(100, 4, 5.0, 0.5, 7);
+  OmdOptions full_options;
+  full_options.mode = OmdMode::kExact;
+  full_options.max_vectors = 100;
+  OmdOptions sub_options;
+  sub_options.mode = OmdMode::kExact;
+  sub_options.max_vectors = 20;
+  OmdCalculator full(full_options);
+  OmdCalculator sub(sub_options);
+  auto df = full.Distance(a, b);
+  auto ds = sub.Distance(a, b);
+  ASSERT_TRUE(df.ok());
+  ASSERT_TRUE(ds.ok());
+  // Two tight blobs 5*sqrt(4)=10 apart: subsampling barely moves the value.
+  EXPECT_NEAR(*df, *ds, 0.5);
+}
+
+// Property sweep: OCD is a lower bound of OMD (Sec. 4.3) on random pairs.
+class OcdLowerBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OcdLowerBoundTest, OcdNeverExceedsExactOmd) {
+  Rng rng(GetParam());
+  const FeatureMap a =
+      MakeMap(12, 6, rng.UniformDouble(-3.0, 3.0), 1.5, GetParam() * 2 + 1);
+  const FeatureMap b =
+      MakeMap(9, 6, rng.UniformDouble(-3.0, 3.0), 1.5, GetParam() * 2 + 2);
+  OmdOptions options;
+  options.mode = OmdMode::kExact;
+  OmdCalculator calc(options);
+  auto omd = calc.Distance(a, b);
+  ASSERT_TRUE(omd.ok());
+  EXPECT_LE(ObjectCentroidDistance(a, b), *omd + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OcdLowerBoundTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SvsMetricTest, DistanceAndLowerBoundOverStore) {
+  SvsStore store;
+  const SvsId a = store.Create("cam", 0, 10, MakeMap(8, 4, 0.0, 0.3, 11));
+  const SvsId b = store.Create("cam", 10, 20, MakeMap(8, 4, 4.0, 0.3, 12));
+  // OCD lower-bounds the *exact* OMD; with the thresholded approximation
+  // (which under-estimates) it is only a heuristic (see Sec. 4.3 note in
+  // DESIGN.md), so this invariant is asserted in exact mode.
+  OmdOptions options;
+  options.mode = OmdMode::kExact;
+  OmdCalculator calc(options);
+  SvsMetric metric(&store, &calc);
+  const double d = metric.Distance(static_cast<int>(a), static_cast<int>(b));
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(metric.LowerBound(static_cast<int>(a), static_cast<int>(b)),
+            d + 1e-6);
+  EXPECT_DOUBLE_EQ(metric.Distance(static_cast<int>(a), static_cast<int>(a)),
+                   0.0);
+}
+
+TEST(SvsMetricTest, MemoizationAvoidsRecomputation) {
+  SvsStore store;
+  const SvsId a = store.Create("cam", 0, 10, MakeMap(8, 4, 0.0, 0.3, 13));
+  const SvsId b = store.Create("cam", 10, 20, MakeMap(8, 4, 4.0, 0.3, 14));
+  OmdCalculator calc;
+  SvsMetric metric(&store, &calc);
+  const double d1 = metric.Distance(static_cast<int>(a), static_cast<int>(b));
+  EXPECT_EQ(metric.num_distance_evals(), 1u);
+  const double d2 = metric.Distance(static_cast<int>(b), static_cast<int>(a));
+  EXPECT_EQ(metric.num_distance_evals(), 1u);  // symmetric cache hit
+  EXPECT_DOUBLE_EQ(d1, d2);
+  metric.InvalidateCache();
+  metric.Distance(static_cast<int>(a), static_cast<int>(b));
+  EXPECT_EQ(metric.num_distance_evals(), 2u);
+}
+
+TEST(SvsMetricTest, TemporariesSupportQueryMaps) {
+  SvsStore store;
+  store.Create("cam", 0, 10, MakeMap(8, 4, 0.0, 0.3, 15));
+  OmdCalculator calc;
+  SvsMetric metric(&store, &calc);
+  const FeatureMap query = MakeMap(5, 4, 0.1, 0.3, 16);
+  const int temp = metric.RegisterTemporary(&query);
+  EXPECT_LT(temp, 0);
+  const double d = metric.Distance(temp, 0);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 2.0);  // both maps sit near the origin
+  metric.UnregisterTemporary(temp);
+}
+
+TEST(SvsMetricTest, MemoizationCanBeDisabled) {
+  SvsStore store;
+  const SvsId a = store.Create("cam", 0, 10, MakeMap(6, 4, 0.0, 0.3, 17));
+  const SvsId b = store.Create("cam", 10, 20, MakeMap(6, 4, 2.0, 0.3, 18));
+  OmdCalculator calc;
+  SvsMetricOptions options;
+  options.memoize = false;
+  SvsMetric metric(&store, &calc, options);
+  metric.Distance(static_cast<int>(a), static_cast<int>(b));
+  metric.Distance(static_cast<int>(a), static_cast<int>(b));
+  EXPECT_EQ(metric.num_distance_evals(), 2u);
+}
+
+}  // namespace
+}  // namespace vz::core

@@ -1,0 +1,249 @@
+#include "index/perch_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "clustering/dendrogram_purity.h"
+#include "test_util.h"
+
+namespace vz::index {
+namespace {
+
+using ::vz::testing::EuclideanPointMetric;
+using ::vz::testing::MakeClusteredPoints;
+
+// Euclidean metric whose lower bound is deliberately loose (half the true
+// distance) — pruning must still return exact nearest neighbors.
+class LooseBoundMetric : public EuclideanPointMetric {
+ public:
+  using EuclideanPointMetric::EuclideanPointMetric;
+  double LowerBound(int a, int b) override {
+    return 0.5 * EuclideanPointMetric::LowerBound(a, b);
+  }
+};
+
+int BruteForceNn(const std::vector<FeatureVector>& points,
+                 const std::vector<int>& stored, int target) {
+  int best = stored.front();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int s : stored) {
+    const double d = EuclideanDistance(points[static_cast<size_t>(s)],
+                                       points[static_cast<size_t>(target)]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+TEST(PerchTreeTest, EmptyTreeNearestNeighborFails) {
+  EuclideanPointMetric metric({FeatureVector({0.0f})});
+  PerchTree tree(&metric, PerchOptions{});
+  EXPECT_FALSE(tree.NearestNeighbor(0).ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(PerchTreeTest, SingleInsert) {
+  EuclideanPointMetric metric({FeatureVector({0.0f}), FeatureVector({1.0f})});
+  PerchTree tree(&metric, PerchOptions{});
+  ASSERT_TRUE(tree.Insert(0).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Validate().ok());
+  auto nn = tree.NearestNeighbor(1);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(*nn, 0);
+}
+
+class PerchRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PerchRandomTest, InvariantsHoldAndNnMatchesBruteForce) {
+  auto data = MakeClusteredPoints(4, 15, 6, 12.0, 1.5, GetParam());
+  LooseBoundMetric metric(data.points);
+  PerchTree tree(&metric, PerchOptions{});
+  std::vector<int> stored;
+  Rng rng(GetParam() ^ 0xABC);
+  std::vector<int> order(data.points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng.Shuffle(&order);
+  // Hold out the last 10 points as queries.
+  const size_t held_out = 10;
+  for (size_t i = 0; i + held_out < order.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(order[i]).ok());
+    stored.push_back(order[i]);
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  for (size_t i = order.size() - held_out; i < order.size(); ++i) {
+    auto nn = tree.NearestNeighbor(order[i]);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_EQ(*nn, BruteForceNn(data.points, stored, order[i]));
+  }
+}
+
+TEST_P(PerchRandomTest, KnnMatchesBruteForce) {
+  auto data = MakeClusteredPoints(3, 12, 5, 10.0, 2.0, GetParam());
+  LooseBoundMetric metric(data.points);
+  PerchTree tree(&metric, PerchOptions{});
+  for (size_t i = 1; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  auto knn = tree.KNearestNeighbors(0, 5);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 5u);
+  // Brute-force ranking.
+  std::vector<std::pair<double, int>> ranked;
+  for (size_t i = 1; i < data.points.size(); ++i) {
+    ranked.emplace_back(EuclideanDistance(data.points[0], data.points[i]),
+                        static_cast<int>(i));
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*knn)[i], ranked[i].second) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerchRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PerchTreeTest, PrunedSearchSavesDistanceEvals) {
+  auto data = MakeClusteredPoints(5, 30, 8, 20.0, 0.5, 99);
+  PerchOptions pruned_options;
+  pruned_options.enable_pruned_nn = true;
+  PerchOptions unpruned_options;
+  unpruned_options.enable_pruned_nn = false;
+
+  EuclideanPointMetric pruned_metric(data.points);
+  EuclideanPointMetric unpruned_metric(data.points);
+  PerchTree pruned(&pruned_metric, pruned_options);
+  PerchTree unpruned(&unpruned_metric, unpruned_options);
+  for (size_t i = 0; i + 1 < data.points.size(); ++i) {
+    ASSERT_TRUE(pruned.Insert(static_cast<int>(i)).ok());
+    ASSERT_TRUE(unpruned.Insert(static_cast<int>(i)).ok());
+  }
+  const int query = static_cast<int>(data.points.size()) - 1;
+  pruned_metric.ResetCounters();
+  unpruned_metric.ResetCounters();
+  auto a = pruned.NearestNeighbor(query);
+  auto b = unpruned.NearestNeighbor(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_LT(pruned_metric.num_distance_evals(),
+            unpruned_metric.num_distance_evals());
+}
+
+TEST(PerchTreeTest, MaskingRotationsImprovePurity) {
+  // Adversarial order: interleave clusters so greedy insertion masks.
+  auto data = MakeClusteredPoints(4, 12, 6, 18.0, 1.0, 123);
+  std::vector<int> order;
+  for (size_t k = 0; k < 12; ++k) {
+    for (size_t c = 0; c < 4; ++c) {
+      order.push_back(static_cast<int>(c * 12 + k));
+    }
+  }
+  auto run = [&data, &order](bool rotations) {
+    EuclideanPointMetric metric(data.points);
+    PerchOptions options;
+    options.enable_masking_rotations = rotations;
+    options.enable_balance_rotations = false;
+    options.exact_masking_check = true;
+    PerchTree tree(&metric, options);
+    for (int i : order) EXPECT_TRUE(tree.Insert(i).ok());
+    EXPECT_TRUE(tree.Validate().ok());
+    auto purity =
+        clustering::DendrogramPurity(tree.ToClusterTree(), data.labels);
+    EXPECT_TRUE(purity.ok());
+    return *purity;
+  };
+  const double with_rotations = run(true);
+  const double without_rotations = run(false);
+  EXPECT_GE(with_rotations, without_rotations);
+  EXPECT_GT(with_rotations, 0.95);
+}
+
+TEST(PerchTreeTest, BalanceRotationsImproveBalance) {
+  // Points on a line inserted in order create a caterpillar without balance
+  // rotations.
+  std::vector<FeatureVector> points;
+  for (int i = 0; i < 64; ++i) {
+    points.push_back(FeatureVector({static_cast<float>(i)}));
+  }
+  auto run = [&points](bool balance) {
+    EuclideanPointMetric metric(points);
+    PerchOptions options;
+    options.enable_masking_rotations = false;
+    options.enable_balance_rotations = balance;
+    PerchTree tree(&metric, options);
+    for (size_t i = 0; i < points.size(); ++i) {
+      EXPECT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+    }
+    EXPECT_TRUE(tree.Validate().ok());
+    return std::make_pair(tree.Depth(), tree.AverageBalance());
+  };
+  const auto [depth_plain, balance_plain] = run(false);
+  const auto [depth_rotated, balance_rotated] = run(true);
+  EXPECT_LE(depth_rotated, depth_plain);
+  EXPECT_GE(balance_rotated, balance_plain);
+}
+
+TEST(PerchTreeTest, ExtractClustersRecoversLabels) {
+  auto data = MakeClusteredPoints(3, 10, 6, 25.0, 0.4, 321);
+  EuclideanPointMetric metric(data.points);
+  PerchOptions options;
+  options.exact_masking_check = true;
+  PerchTree tree(&metric, options);
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  const auto clusters = tree.ExtractClusters(3);
+  ASSERT_EQ(clusters.size(), 3u);
+  for (const auto& cluster : clusters) {
+    ASSERT_FALSE(cluster.empty());
+    const int label = data.labels[static_cast<size_t>(cluster.front())];
+    for (int item : cluster) {
+      EXPECT_EQ(data.labels[static_cast<size_t>(item)], label);
+    }
+  }
+}
+
+TEST(PerchTreeTest, ExtractClustersClampsToLeafCount) {
+  EuclideanPointMetric metric(
+      {FeatureVector({0.0f}), FeatureVector({1.0f}), FeatureVector({2.0f})});
+  PerchTree tree(&metric, PerchOptions{});
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(tree.Insert(i).ok());
+  EXPECT_EQ(tree.ExtractClusters(10).size(), 3u);
+  EXPECT_EQ(tree.ExtractClusters(1).size(), 1u);
+}
+
+TEST(PerchTreeTest, ToClusterTreeIsValidAndComplete) {
+  auto data = MakeClusteredPoints(2, 10, 4, 10.0, 1.0, 555);
+  EuclideanPointMetric metric(data.points);
+  PerchTree tree(&metric, PerchOptions{});
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  auto exported = tree.ToClusterTree();
+  EXPECT_TRUE(exported.Validate().ok());
+  EXPECT_EQ(exported.num_leaves(), data.points.size());
+  auto items = exported.LeafItemsUnder(exported.root());
+  std::sort(items.begin(), items.end());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i], static_cast<int>(i));
+  }
+}
+
+TEST(PerchTreeTest, StatsAreTracked) {
+  auto data = MakeClusteredPoints(2, 8, 4, 10.0, 1.0, 777);
+  EuclideanPointMetric metric(data.points);
+  PerchTree tree(&metric, PerchOptions{});
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<int>(i)).ok());
+  }
+  EXPECT_EQ(tree.stats().insertions, data.points.size());
+  EXPECT_EQ(tree.stats().nn_searches, data.points.size() - 1);
+}
+
+}  // namespace
+}  // namespace vz::index

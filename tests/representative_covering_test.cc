@@ -1,0 +1,105 @@
+// Properties of the covering-representative construction that the
+// hierarchical index's losslessness depends on (see DESIGN.md deviation 3):
+// a feature hitting any member representative must hit the covering summary.
+#include <gtest/gtest.h>
+
+#include "core/representative.h"
+#include "test_util.h"
+
+namespace vz::core {
+namespace {
+
+using ::vz::testing::MakeMap;
+
+Representative RepOf(const FeatureMap& map, Rng* rng) {
+  auto rep = BuildRepresentative(map, RepresentativeOptions{}, rng);
+  EXPECT_TRUE(rep.ok());
+  return *rep;
+}
+
+class CoveringPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoveringPropertyTest, MemberHitsImplyCoverHits) {
+  Rng rng(GetParam());
+  // Several member representatives at random centers.
+  std::vector<Representative> members;
+  std::vector<FeatureMap> maps;
+  const size_t num_members = 2 + rng.UniformUint64(5);
+  for (size_t m = 0; m < num_members; ++m) {
+    maps.push_back(MakeMap(20, 6, rng.UniformDouble(-10.0, 10.0), 0.6,
+                           GetParam() * 10 + m));
+  }
+  for (const FeatureMap& map : maps) members.push_back(RepOf(map, &rng));
+  std::vector<const Representative*> pointers;
+  for (const Representative& rep : members) pointers.push_back(&rep);
+  auto cover =
+      BuildCoveringRepresentative(pointers, RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(cover.ok());
+
+  // Probe with random features; whenever a member's boundary contains the
+  // probe, the covering summary must as well (at the same scale).
+  for (int probe = 0; probe < 200; ++probe) {
+    FeatureVector f(6);
+    for (size_t d = 0; d < 6; ++d) {
+      f[d] = static_cast<float>(rng.UniformDouble(-14.0, 14.0));
+    }
+    bool member_hit = false;
+    for (const Representative& rep : members) {
+      member_hit |= rep.Hit(f, 1.0);
+    }
+    if (member_hit) {
+      EXPECT_TRUE(cover->Hit(f, 1.0)) << "probe " << probe;
+    }
+  }
+}
+
+TEST_P(CoveringPropertyTest, CoverWeightsSumToOne) {
+  Rng rng(GetParam() ^ 0xAA);
+  const FeatureMap a = MakeMap(15, 4, 0.0, 0.5, GetParam() + 1);
+  const FeatureMap b = MakeMap(15, 4, 6.0, 0.5, GetParam() + 2);
+  const Representative ra = RepOf(a, &rng);
+  const Representative rb = RepOf(b, &rng);
+  auto cover = BuildCoveringRepresentative({&ra, &rb},
+                                           RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(cover.ok());
+  double total = 0.0;
+  for (const WeightedCenter& c : cover->centers()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GE(cover->size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoveringPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(CoveringRepresentativeTest, RejectsEmptyInput) {
+  Rng rng(1);
+  EXPECT_FALSE(BuildCoveringRepresentative({}, RepresentativeOptions{}, &rng)
+                   .ok());
+  Representative empty;
+  EXPECT_FALSE(
+      BuildCoveringRepresentative({&empty}, RepresentativeOptions{}, &rng)
+          .ok());
+  const FeatureMap map = MakeMap(5, 4, 0.0, 0.5, 2);
+  const Representative rep = RepOf(map, &rng);
+  EXPECT_FALSE(
+      BuildCoveringRepresentative({&rep}, RepresentativeOptions{}, nullptr)
+          .ok());
+}
+
+TEST(CoveringRepresentativeTest, SingleMemberCoversItself) {
+  Rng rng(3);
+  const FeatureMap map = MakeMap(30, 5, 2.0, 0.8, 4);
+  const Representative member = RepOf(map, &rng);
+  auto cover = BuildCoveringRepresentative({&member},
+                                           RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(cover.ok());
+  // Every vector the member's boundaries admit is admitted by the cover.
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (member.Hit(map.vector(i))) {
+      EXPECT_TRUE(cover->Hit(map.vector(i))) << "vector " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vz::core

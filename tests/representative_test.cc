@@ -1,0 +1,146 @@
+#include "core/representative.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vz::core {
+namespace {
+
+using ::vz::testing::MakeMap;
+
+FeatureMap TwoBlobMap(uint64_t seed) {
+  // 20 vectors near +5 and 10 vectors near -5 (dim 4).
+  FeatureMap map;
+  Rng rng(seed);
+  for (int i = 0; i < 20; ++i) {
+    FeatureVector v(4);
+    for (size_t d = 0; d < 4; ++d) {
+      v[d] = static_cast<float>(5.0 + rng.Gaussian(0.0, 0.3));
+    }
+    (void)map.Add(std::move(v), 1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    FeatureVector v(4);
+    for (size_t d = 0; d < 4; ++d) {
+      v[d] = static_cast<float>(-5.0 + rng.Gaussian(0.0, 0.3));
+    }
+    (void)map.Add(std::move(v), 1.0);
+  }
+  return map;
+}
+
+TEST(RepresentativeTest, BuildsWeightedCenters) {
+  Rng rng(1);
+  auto rep = BuildRepresentative(TwoBlobMap(2), RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_EQ(rep->size(), 2u);
+  // Weights reflect the 20/10 split and sum to 1.
+  double total = 0.0;
+  for (const WeightedCenter& c : rep->centers()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const double w0 = rep->centers()[0].weight;
+  const double w1 = rep->centers()[1].weight;
+  EXPECT_NEAR(std::max(w0, w1), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(std::min(w0, w1), 1.0 / 3.0, 1e-9);
+}
+
+TEST(RepresentativeTest, HitInsideBoundaryMissOutside) {
+  Rng rng(3);
+  auto rep = BuildRepresentative(TwoBlobMap(4), RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(rep.ok());
+  FeatureVector near_blob(4);
+  for (size_t d = 0; d < 4; ++d) near_blob[d] = 5.0f;
+  FeatureVector far_away(4);
+  for (size_t d = 0; d < 4; ++d) far_away[d] = 100.0f;
+  EXPECT_TRUE(rep->Hit(near_blob));
+  EXPECT_FALSE(rep->Hit(far_away));
+  // A wider boundary scale can only add hits.
+  EXPECT_TRUE(rep->Hit(near_blob, 3.0));
+}
+
+TEST(RepresentativeTest, BoundaryCoversAllMembers) {
+  Rng rng(5);
+  const FeatureMap map = TwoBlobMap(6);
+  // quantile 1.0 = the paper's "farthest data point" boundary.
+  RepresentativeOptions options;
+  options.boundary_quantile = 1.0;
+  auto rep = BuildRepresentative(map, options, &rng);
+  ASSERT_TRUE(rep.ok());
+  // Every member vector must hit (boundary = farthest member, Sec. 3.3).
+  for (size_t i = 0; i < map.size(); ++i) {
+    EXPECT_TRUE(rep->Hit(map.vector(i))) << "member " << i;
+  }
+}
+
+TEST(RepresentativeTest, RecordHitTracksTime) {
+  Rng rng(7);
+  auto rep = BuildRepresentative(TwoBlobMap(8), RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->MaxTimeSinceHitMs(1000), 0);  // never hit yet
+  FeatureVector near_blob(4);
+  for (size_t d = 0; d < 4; ++d) near_blob[d] = 5.0f;
+  EXPECT_GE(rep->RecordHit(near_blob, 500), 0);
+  EXPECT_EQ(rep->MaxTimeSinceHitMs(1500), 1000);
+  // A miss does not update timestamps.
+  FeatureVector far_away(4);
+  for (size_t d = 0; d < 4; ++d) far_away[d] = 100.0f;
+  EXPECT_EQ(rep->RecordHit(far_away, 2000), -1);
+  EXPECT_EQ(rep->MaxTimeSinceHitMs(2000), 1500);
+}
+
+TEST(RepresentativeTest, AsFeatureMapRoundTrips) {
+  Rng rng(9);
+  auto rep = BuildRepresentative(TwoBlobMap(10), RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(rep.ok());
+  const FeatureMap map = rep->AsFeatureMap();
+  EXPECT_EQ(map.size(), rep->size());
+  EXPECT_NEAR(map.TotalWeight(), 1.0, 1e-9);
+}
+
+TEST(RepresentativeTest, MultiMapPooling) {
+  Rng rng(11);
+  const FeatureMap a = MakeMap(10, 4, 0.0, 0.3, 12);
+  const FeatureMap b = MakeMap(10, 4, 8.0, 0.3, 13);
+  auto rep =
+      BuildRepresentative({&a, &b}, RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->size(), 2u);
+}
+
+TEST(RepresentativeTest, RejectsEmptyInput) {
+  Rng rng(13);
+  FeatureMap empty;
+  EXPECT_FALSE(BuildRepresentative(empty, RepresentativeOptions{}, &rng).ok());
+  EXPECT_FALSE(
+      BuildRepresentative(std::vector<const FeatureMap*>{},
+                          RepresentativeOptions{}, &rng)
+          .ok());
+}
+
+TEST(RepresentativeTest, SubsamplingCapRespectsBudget) {
+  Rng rng(15);
+  RepresentativeOptions options;
+  options.max_vectors = 16;
+  const FeatureMap big = MakeMap(500, 4, 1.0, 0.5, 16);
+  auto rep = BuildRepresentative(big, options, &rng);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_GE(rep->size(), 1u);
+  EXPECT_LE(rep->size(), 8u);
+}
+
+TEST(RepresentativeTest, AverageMemberDistanceTracksSpread) {
+  Rng rng(17);
+  auto tight =
+      BuildRepresentative(MakeMap(30, 4, 0.0, 0.1, 18),
+                          RepresentativeOptions{}, &rng);
+  auto loose =
+      BuildRepresentative(MakeMap(30, 4, 0.0, 2.0, 19),
+                          RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LT(tight->AverageMemberDistance(), loose->AverageMemberDistance());
+}
+
+}  // namespace
+}  // namespace vz::core

@@ -1,0 +1,105 @@
+// End-to-end persistence: ingest a deployment, snapshot the SVS store, load
+// it into a fresh Video-zilla instance, and verify queries answer
+// identically — the restart story of a production indexing layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/videozilla.h"
+#include "io/svs_snapshot.h"
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace vz {
+namespace {
+
+sim::DeploymentOptions SmallDeployment() {
+  sim::DeploymentOptions options;
+  options.cities = 1;
+  options.downtown_per_city = 1;
+  options.highway_cameras = 1;
+  options.train_stations = 1;
+  options.harbors = 1;
+  options.feed_duration_ms = 60'000;
+  options.fps = 1.0;
+  options.feature_dim = 32;
+  return options;
+}
+
+core::VideoZillaOptions VzOptions() {
+  core::VideoZillaOptions options;
+  options.segmenter.t_max_ms = 20'000;
+  options.omd.max_vectors = 48;
+  options.boundary_scale = 1.6;
+  options.enable_keyframe_selection = false;
+  return options;
+}
+
+TEST(RestoreTest, SnapshotRestoreAnswersQueriesIdentically) {
+  sim::Deployment deployment(SmallDeployment());
+  core::VideoZilla original(VzOptions());
+  ASSERT_TRUE(deployment.IngestAll(&original).ok());
+  sim::HeavyModel heavy(1.0, 0.0, 3);
+  sim::SimObjectVerifier verifier(&deployment.space(), &deployment.log(),
+                                  &heavy);
+  original.SetVerifier(&verifier);
+
+  const std::string path = ::testing::TempDir() + "/restore.vzss";
+  ASSERT_TRUE(io::SaveSvsStore(original.svs_store(), path).ok());
+
+  // Fresh instance, restored from the snapshot.
+  core::VideoZilla restored(VzOptions());
+  {
+    core::SvsStore loaded;
+    ASSERT_TRUE(io::LoadSvsStore(path, &loaded).ok());
+    ASSERT_TRUE(restored.RestoreFromSvsStore(loaded).ok());
+  }
+  restored.SetVerifier(&verifier);
+  ASSERT_EQ(restored.svs_store().size(), original.svs_store().size());
+  ASSERT_EQ(restored.cameras(), original.cameras());
+
+  // The restored instance must reach the same content. (Cluster derivation
+  // is re-run, so candidate ordering may differ; the verified match set is
+  // what a client observes.)
+  Rng rng(9);
+  for (int object_class : {sim::kBoat, sim::kTrain, sim::kCar}) {
+    const FeatureVector query =
+        deployment.MakeQueryFeature(object_class, &rng);
+    auto a = original.DirectQuery(query);
+    auto b = restored.DirectQuery(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    std::vector<core::SvsId> matched_a = a->matched_svss;
+    std::vector<core::SvsId> matched_b = b->matched_svss;
+    std::sort(matched_a.begin(), matched_a.end());
+    std::sort(matched_b.begin(), matched_b.end());
+    EXPECT_EQ(matched_a, matched_b)
+        << "class " << sim::ObjectClassName(object_class);
+  }
+
+  // Metadata (including access stats accumulated before the snapshot)
+  // survives.
+  for (core::SvsId id : original.svs_store().AllIds()) {
+    auto ma = original.GetMetaData(id);
+    auto mb = restored.GetMetaData(id);
+    ASSERT_TRUE(ma.ok());
+    ASSERT_TRUE(mb.ok());
+    EXPECT_EQ(ma->camera, mb->camera);
+    EXPECT_EQ(ma->num_frames, mb->num_frames);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RestoreTest, RestoreRequiresEmptyInstance) {
+  sim::Deployment deployment(SmallDeployment());
+  core::VideoZilla system(VzOptions());
+  ASSERT_TRUE(deployment.IngestAll(&system).ok());
+  core::SvsStore other;
+  EXPECT_FALSE(system.RestoreFromSvsStore(other).ok());
+}
+
+}  // namespace
+}  // namespace vz

@@ -1,0 +1,152 @@
+#include "core/segmenter.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vz::core {
+namespace {
+
+FeatureVector Around(double value, Rng* rng) {
+  FeatureVector v(4);
+  for (size_t i = 0; i < 4; ++i) {
+    v[i] = static_cast<float>(value + rng->Gaussian(0.0, 0.2));
+  }
+  return v;
+}
+
+Representative RepAround(double value, uint64_t seed) {
+  Rng rng(seed);
+  FeatureMap map;
+  for (int i = 0; i < 30; ++i) (void)map.Add(Around(value, &rng), 1.0);
+  auto rep = BuildRepresentative(map, RepresentativeOptions{}, &rng);
+  EXPECT_TRUE(rep.ok());
+  return *rep;
+}
+
+SegmenterOptions FastOptions() {
+  SegmenterOptions options;
+  options.t_max_ms = 60'000;
+  options.t_split_ms = 10'000;
+  options.min_novel_features = 5;
+  options.novelty_check_stride = 1;
+  return options;
+}
+
+TEST(SegmenterTest, BootstrapCutsAtTmax) {
+  VideoSegmenter segmenter(FastOptions(), Rng(1));
+  Rng rng(2);
+  std::optional<Segment> segment;
+  int64_t ts = 0;
+  while (!segment.has_value() && ts < 300'000) {
+    segment = segmenter.AddFeature(ts, Around(0.0, &rng));
+    ts += 1000;
+  }
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->reason, Segment::Reason::kTimeout);
+  EXPECT_LE(segment->end_ms - segment->start_ms, 60'000);
+  EXPECT_GE(segment->features.size(), 50u);
+}
+
+TEST(SegmenterTest, NoveltyTriggersSplitOnSceneChange) {
+  SegmenterOptions options = FastOptions();
+  // Keep the stale-center rule out of this test's way: representatives may
+  // legitimately have a rarely-hit center even on stationary content.
+  options.t_split_ms = 600'000;
+  VideoSegmenter segmenter(options, Rng(3));
+  segmenter.SetReference(RepAround(0.0, 4));
+  Rng rng(5);
+  // Familiar features first: hits, no split.
+  int64_t ts = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto segment = segmenter.AddFeature(ts, Around(0.0, &rng));
+    EXPECT_FALSE(segment.has_value());
+    ts += 500;
+  }
+  // Scene change: far-away coherent features should trigger a novelty cut.
+  std::optional<Segment> segment;
+  for (int i = 0; i < 30 && !segment.has_value(); ++i) {
+    segment = segmenter.AddFeature(ts, Around(10.0, &rng));
+    ts += 500;
+  }
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->reason, Segment::Reason::kNovelty);
+  // The cut lands at the first novel feature: the emitted segment holds
+  // (roughly) the familiar features only. An occasional familiar outlier may
+  // shift the cut point by a little.
+  EXPECT_GE(segment->features.size(), 10u);
+  EXPECT_LE(segment->features.size(), 25u);
+  // The novel features remain buffered for the next SVS.
+  EXPECT_GT(segmenter.buffered_features(), 0u);
+}
+
+TEST(SegmenterTest, StaleCenterTriggersSplit) {
+  SegmenterOptions options = FastOptions();
+  // Isolate the stale-center rule: the novelty rule must not fire first.
+  options.min_novel_features = 1000;
+  VideoSegmenter segmenter(options, Rng(6));
+  // A reference with two far-apart centers; we only feed one of them, so
+  // the other goes stale.
+  Rng rng(7);
+  FeatureMap two_blobs;
+  for (int i = 0; i < 20; ++i) (void)two_blobs.Add(Around(0.0, &rng), 1.0);
+  for (int i = 0; i < 20; ++i) (void)two_blobs.Add(Around(10.0, &rng), 1.0);
+  auto rep = BuildRepresentative(two_blobs, RepresentativeOptions{}, &rng);
+  ASSERT_TRUE(rep.ok());
+  // Prime both centers as hit at t = 0 (wide scale so the robust,
+  // quantile-capped boundaries cannot miss the priming samples).
+  ASSERT_GE(rep->RecordHit(Around(0.0, &rng), 0, /*boundary_scale=*/3.0), 0);
+  ASSERT_GE(rep->RecordHit(Around(10.0, &rng), 0, /*boundary_scale=*/3.0), 0);
+  segmenter.SetReference(*rep);
+
+  std::optional<Segment> segment;
+  int64_t ts = 1000;
+  for (int i = 0; i < 60 && !segment.has_value(); ++i) {
+    segment = segmenter.AddFeature(ts, Around(0.0, &rng));
+    ts += 1000;
+  }
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->reason, Segment::Reason::kStaleCenter);
+}
+
+TEST(SegmenterTest, AdvanceTimeAloneCanTimeout) {
+  VideoSegmenter segmenter(FastOptions(), Rng(8));
+  Rng rng(9);
+  ASSERT_FALSE(segmenter.AddFeature(0, Around(0.0, &rng)).has_value());
+  auto segment = segmenter.AdvanceTime(100'000);
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->reason, Segment::Reason::kTimeout);
+}
+
+TEST(SegmenterTest, FlushEmitsRemainder) {
+  VideoSegmenter segmenter(FastOptions(), Rng(10));
+  Rng rng(11);
+  ASSERT_FALSE(segmenter.AddFeature(0, Around(0.0, &rng)).has_value());
+  ASSERT_FALSE(segmenter.AddFeature(1000, Around(0.0, &rng)).has_value());
+  auto segment = segmenter.Flush();
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->reason, Segment::Reason::kFlush);
+  EXPECT_EQ(segment->features.size(), 2u);
+  EXPECT_EQ(segmenter.buffered_features(), 0u);
+  EXPECT_FALSE(segmenter.Flush().has_value());
+}
+
+TEST(SegmenterTest, SegmentTimestampsAreOrdered) {
+  VideoSegmenter segmenter(FastOptions(), Rng(12));
+  Rng rng(13);
+  std::vector<Segment> segments;
+  int64_t ts = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto segment = segmenter.AddFeature(ts, Around(0.0, &rng));
+    if (segment.has_value()) segments.push_back(std::move(*segment));
+    ts += 500;
+  }
+  ASSERT_GE(segments.size(), 2u);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_LE(segments[i].start_ms, segments[i].end_ms);
+    if (i > 0) EXPECT_GE(segments[i].start_ms, segments[i - 1].end_ms);
+  }
+}
+
+}  // namespace
+}  // namespace vz::core

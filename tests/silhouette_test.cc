@@ -1,0 +1,73 @@
+#include "clustering/silhouette.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vz::clustering {
+namespace {
+
+TEST(SilhouetteTest, PerfectClusteringScoresHigh) {
+  auto data = testing::MakeClusteredPoints(2, 20, 4, 20.0, 0.3, 1);
+  std::vector<size_t> assignments;
+  for (int label : data.labels) {
+    assignments.push_back(static_cast<size_t>(label));
+  }
+  auto score = SilhouetteScore(data.points, assignments);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.9);
+}
+
+TEST(SilhouetteTest, RandomClusteringScoresLow) {
+  auto data = testing::MakeClusteredPoints(2, 20, 4, 20.0, 0.3, 2);
+  std::vector<size_t> assignments(data.points.size());
+  Rng rng(3);
+  for (auto& a : assignments) a = rng.UniformUint64(2);
+  auto score = SilhouetteScore(data.points, assignments);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(*score, 0.3);
+}
+
+TEST(SilhouetteTest, SingleClusterScoresZero) {
+  auto data = testing::MakeClusteredPoints(2, 10, 4, 20.0, 0.3, 4);
+  std::vector<size_t> assignments(data.points.size(), 0);
+  auto score = SilhouetteScore(data.points, assignments);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 0.0);
+}
+
+TEST(SilhouetteTest, RejectsMismatchedSizes) {
+  std::vector<FeatureVector> pts = {FeatureVector({0.0f})};
+  EXPECT_FALSE(SilhouetteScore(pts, {0, 1}).ok());
+}
+
+TEST(SilhouetteTest, ScoreBoundedByOne) {
+  auto data = testing::MakeClusteredPoints(3, 15, 4, 10.0, 1.0, 5);
+  std::vector<size_t> assignments;
+  for (int label : data.labels) {
+    assignments.push_back(static_cast<size_t>(label));
+  }
+  auto score = SilhouetteScore(data.points, assignments);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LE(*score, 1.0);
+  EXPECT_GE(*score, -1.0);
+}
+
+TEST(ChooseKTest, RecoversTrueClusterCount) {
+  auto data = testing::MakeClusteredPoints(4, 20, 8, 25.0, 0.5, 6);
+  Rng rng(7);
+  auto sweep = ChooseKBySilhouette(data.points, 2, 8, &rng);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->best_k, 4u);
+  EXPECT_GT(sweep->best_score, 0.8);
+  EXPECT_EQ(sweep->scores.size(), 7u);
+}
+
+TEST(ChooseKTest, RejectsTinyInput) {
+  Rng rng(8);
+  std::vector<FeatureVector> one = {FeatureVector({0.0f})};
+  EXPECT_FALSE(ChooseKBySilhouette(one, 2, 5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace vz::clustering

@@ -1,0 +1,168 @@
+// Coverage for the simulation pipeline pieces the end-to-end tests exercise
+// only implicitly: CameraSimulator's observation contract, combined-drive
+// schedules, evaluation accumulation, and detector/extractor interplay.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/dataset.h"
+#include "sim/evaluation.h"
+#include "sim/object_class.h"
+#include "sim/video_source.h"
+
+namespace vz::sim {
+namespace {
+
+TEST(CameraSimulatorTest, ObservationsCarryDetectionsAndLogTruth) {
+  SceneLibrary scenes;
+  VideoSourceOptions options;
+  options.camera = "cam";
+  options.fps = 1.0;
+  options.style_tag = "nyc";
+  options.schedule = {{&scenes.downtown(), 30'000}};
+  int64_t next_id = 0;
+  FeatureSpace space(FeatureSpaceOptions{16, 10.0, 2.0, 3});
+  FeatureExtractor extractor(&space, ExtractorProfile::ResNet50());
+  ObjectDetector detector(DetectorProfile{});
+  GroundTruthLog log;
+  CameraSimulator sim(VideoSource(options, Rng(5), &next_id), &detector,
+                      &extractor, &log, Rng(7));
+
+  size_t frames = 0;
+  size_t objects = 0;
+  std::set<int64_t> ids;
+  for (;;) {
+    auto obs = sim.NextObservation();
+    if (!obs.has_value()) break;
+    ++frames;
+    EXPECT_EQ(obs->camera, "cam");
+    EXPECT_TRUE(ids.insert(obs->frame_id).second) << "duplicate frame id";
+    EXPECT_GE(obs->deviation_from_previous, 0.0);
+    EXPECT_LE(obs->deviation_from_previous, 1.0);
+    EXPECT_GT(obs->encoded_bytes, 0u);
+    for (const core::DetectedObject& object : obs->objects) {
+      ++objects;
+      EXPECT_EQ(object.feature.dim(), 16u);
+      EXPECT_GE(object.class_hint, 0);
+      EXPECT_GT(object.box.Area(), 0.0f);
+    }
+    // Every observation has a truth record.
+    EXPECT_NE(log.Lookup(obs->frame_id), nullptr);
+  }
+  EXPECT_EQ(frames, 30u);
+  EXPECT_GT(objects, frames);  // downtown averages several objects/frame
+  EXPECT_EQ(log.size(), frames);
+}
+
+TEST(DeploymentTest, CombinedDrivesSwitchScenes) {
+  DeploymentOptions options;
+  options.cities = 0;
+  options.downtown_per_city = 0;
+  options.highway_cameras = 0;
+  options.train_stations = 0;
+  options.harbors = 0;
+  options.combined_drives = 1;
+  options.feed_duration_ms = 60'000;
+  options.fps = 1.0;
+  Deployment deployment(options);
+  ASSERT_EQ(deployment.cameras().size(), 1u);
+  EXPECT_EQ(deployment.cameras()[0].kind, "combined");
+
+  // First half is downtown-flavored (people + traffic mix), second half is
+  // highway-flavored (no pedestrians on foot in our highway scene).
+  size_t first_half_people = 0;
+  size_t second_half_people = 0;
+  for (const auto& obs : deployment.observations()) {
+    const FrameTruth* truth = deployment.log().Lookup(obs.frame_id);
+    ASSERT_NE(truth, nullptr);
+    size_t people = 0;
+    for (int cls : truth->object_classes) people += (cls == kPerson);
+    if (truth->timestamp_ms < 30'000) {
+      first_half_people += people;
+    } else {
+      second_half_people += people;
+    }
+  }
+  EXPECT_GT(first_half_people, 5u);
+  EXPECT_EQ(second_half_people, 0u);
+}
+
+TEST(DeploymentTest, DeterministicAcrossInstances) {
+  DeploymentOptions options;
+  options.cities = 1;
+  options.downtown_per_city = 1;
+  options.highway_cameras = 1;
+  options.train_stations = 0;
+  options.harbors = 0;
+  options.feed_duration_ms = 20'000;
+  options.fps = 1.0;
+  options.seed = 99;
+  Deployment a(options);
+  Deployment b(options);
+  const auto& oa = a.observations();
+  const auto& ob = b.observations();
+  ASSERT_EQ(oa.size(), ob.size());
+  for (size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa[i].frame_id, ob[i].frame_id);
+    EXPECT_EQ(oa[i].timestamp_ms, ob[i].timestamp_ms);
+    ASSERT_EQ(oa[i].objects.size(), ob[i].objects.size());
+    for (size_t o = 0; o < oa[i].objects.size(); ++o) {
+      EXPECT_EQ(oa[i].objects[o].feature, ob[i].objects[o].feature);
+    }
+  }
+}
+
+TEST(EvaluationTest, AccumulationMatchesJointEvaluation) {
+  GroundTruthLog log;
+  for (int64_t f = 0; f < 40; ++f) {
+    log.Record(f, {"cam", f, f % 3 == 0 ? std::vector<int>{kBoat}
+                                        : std::vector<int>{}});
+  }
+  HeavyModel model(0.95, 0.05, 5);
+  std::vector<int64_t> universe;
+  for (int64_t f = 0; f < 40; ++f) universe.push_back(f);
+  std::vector<int64_t> first_half(universe.begin(), universe.begin() + 20);
+
+  // Two queries accumulated vs the sum of their parts.
+  QueryEvaluation split;
+  split += EvaluateFrameQuery(first_half, universe, kBoat, log, model);
+  split += EvaluateFrameQuery(first_half, universe, kBoat, log, model);
+  const QueryEvaluation once =
+      EvaluateFrameQuery(first_half, universe, kBoat, log, model);
+  EXPECT_EQ(split.true_positives, 2 * once.true_positives);
+  EXPECT_EQ(split.false_negatives, 2 * once.false_negatives);
+  EXPECT_DOUBLE_EQ(split.Recall(), once.Recall());
+  EXPECT_DOUBLE_EQ(split.Fnr(), 1.0 - split.Recall());
+}
+
+TEST(EvaluationTest, EmptyExaminedSetIsAllNegatives) {
+  GroundTruthLog log;
+  log.Record(1, {"cam", 0, {kCar}});
+  log.Record(2, {"cam", 0, {}});
+  HeavyModel model(1.0, 0.0, 7);
+  const auto eval = EvaluateFrameQuery({}, {1, 2}, kCar, log, model);
+  EXPECT_EQ(eval.true_positives, 0u);
+  EXPECT_EQ(eval.false_negatives, 1u);
+  EXPECT_EQ(eval.true_negatives, 1u);
+  EXPECT_DOUBLE_EQ(eval.Precision(), 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(eval.Recall(), 0.0);
+}
+
+TEST(SceneLibraryTest, ResidentialIsTheOnlyHydrantSource) {
+  SceneLibrary scenes;
+  EXPECT_GT(scenes.downtown_residential()
+                .class_distribution[kFireHydrant],
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      scenes.downtown_commercial().class_distribution[kFireHydrant], 0.0);
+  EXPECT_DOUBLE_EQ(scenes.highway().class_distribution[kFireHydrant], 0.0);
+  EXPECT_DOUBLE_EQ(
+      scenes.train_station_train().class_distribution[kFireHydrant], 0.0);
+  // Trains appear only when a train is passing.
+  EXPECT_GT(scenes.train_station_train().class_distribution[kTrain], 0.0);
+  EXPECT_DOUBLE_EQ(
+      scenes.train_station_empty().class_distribution[kTrain], 0.0);
+}
+
+}  // namespace
+}  // namespace vz::sim

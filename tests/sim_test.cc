@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/dataset.h"
+#include "sim/evaluation.h"
+#include "sim/feature_extractor.h"
+#include "sim/feature_space.h"
+#include "sim/ground_truth.h"
+#include "sim/object_class.h"
+#include "sim/object_detector.h"
+#include "sim/scene.h"
+#include "sim/verifier.h"
+#include "sim/video_source.h"
+
+namespace vz::sim {
+namespace {
+
+TEST(ObjectClassTest, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    names.insert(ObjectClassName(c));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumObjectClasses));
+  EXPECT_EQ(ObjectClassName(kOtherClass), "other");
+}
+
+TEST(SceneTest, DistributionsAreNormalizedEnough) {
+  SceneLibrary scenes;
+  for (const Scene* scene :
+       {&scenes.downtown(), &scenes.highway(), &scenes.train_station_train(),
+        &scenes.train_station_empty(), &scenes.harbor_busy(),
+        &scenes.harbor_quiet(), &scenes.parking_lot()}) {
+    double total = 0.0;
+    for (double p : scene->class_distribution) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-6) << scene->name;
+  }
+}
+
+TEST(SceneTest, SamplingFollowsDistribution) {
+  SceneLibrary scenes;
+  Rng rng(1);
+  std::vector<int> counts(kNumObjectClasses, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<size_t>(scenes.highway().SampleClass(&rng))]++;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[kCar]) / n, 0.58, 0.02);
+  EXPECT_EQ(counts[kBoat], 0);
+}
+
+TEST(FeatureSpaceTest, PrototypesAreWellSeparated) {
+  FeatureSpace space(FeatureSpaceOptions{});
+  for (int a = 0; a < kNumObjectClasses; ++a) {
+    for (int b = a + 1; b < kNumObjectClasses; ++b) {
+      EXPECT_GT(EuclideanDistance(space.Prototype(a), space.Prototype(b)),
+                5.0);
+    }
+  }
+}
+
+TEST(FeatureSpaceTest, StyleOffsetsAreDeterministic) {
+  FeatureSpace space(FeatureSpaceOptions{});
+  const FeatureVector a = space.StyleOffset("nyc");
+  const FeatureVector b = space.StyleOffset("nyc");
+  const FeatureVector c = space.StyleOffset("la");
+  EXPECT_EQ(a, b);
+  EXPECT_GT(EuclideanDistance(a, c), 0.1);
+}
+
+TEST(FeatureSpaceTest, NearestPrototypeIdentity) {
+  FeatureSpace space(FeatureSpaceOptions{});
+  for (int c = 0; c < kNumObjectClasses; ++c) {
+    EXPECT_EQ(space.NearestPrototype(space.Prototype(c)), c);
+  }
+}
+
+TEST(FeatureExtractorTest, GoodExtractorClassifiesAccurately) {
+  FeatureSpace space(FeatureSpaceOptions{});
+  FeatureExtractor extractor(&space, ExtractorProfile::ResNet50());
+  Rng rng(2);
+  int correct = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const int truth = rng.UniformInt(0, kNumObjectClasses - 1);
+    const FeatureVector f = extractor.Extract(truth, "nyc", &rng);
+    correct += (extractor.Classify(f) == truth);
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.80);
+}
+
+TEST(FeatureExtractorTest, Vgg16ConfusesFireHydrants) {
+  FeatureSpace space(FeatureSpaceOptions{});
+  FeatureExtractor resnet(&space, ExtractorProfile::ResNet50());
+  FeatureExtractor vgg(&space, ExtractorProfile::Vgg16());
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const int n = 600;
+  int resnet_correct = 0;
+  int vgg_correct = 0;
+  for (int i = 0; i < n; ++i) {
+    resnet_correct +=
+        resnet.Classify(resnet.Extract(kFireHydrant, "", &rng_a)) ==
+        kFireHydrant;
+    vgg_correct +=
+        vgg.Classify(vgg.Extract(kFireHydrant, "", &rng_b)) == kFireHydrant;
+  }
+  EXPECT_GT(resnet_correct, vgg_correct + n / 10);
+}
+
+TEST(FeatureExtractorTest, TopKIncludesOtherForHardExamples) {
+  FeatureSpace space(FeatureSpaceOptions{});
+  ExtractorProfile profile = ExtractorProfile::ResNet50();
+  profile.hard_example_prob = 1.0;  // every example is hard
+  FeatureExtractor extractor(&space, profile);
+  Rng rng(4);
+  int other = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto ranking =
+        extractor.TopKClasses(extractor.Extract(kCar, "", &rng), 3);
+    other += (ranking.front() == kOtherClass);
+  }
+  EXPECT_GT(other, 100);
+}
+
+TEST(ObjectDetectorTest, RecallControlsDetections) {
+  DetectorProfile profile;
+  profile.recall = 0.5;
+  profile.false_positives_per_frame = 0.0;
+  ObjectDetector detector(profile);
+  Rng rng(5);
+  size_t detected = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    detected += detector.Detect({kCar, kPerson}, &rng).size();
+  }
+  EXPECT_NEAR(static_cast<double>(detected) / (2 * n), 0.5, 0.05);
+}
+
+TEST(ObjectDetectorTest, BoxesAreInsideFrame) {
+  ObjectDetector detector(DetectorProfile{});
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    for (const Detection& d : detector.Detect({kCar}, &rng)) {
+      EXPECT_GE(d.box.left, 0.0f);
+      EXPECT_GE(d.box.top, 0.0f);
+      EXPECT_LE(d.box.right, 1280.0f);
+      EXPECT_LE(d.box.bottom, 720.0f);
+      EXPECT_GT(d.box.Area(), 0.0f);
+    }
+  }
+}
+
+TEST(VideoSourceTest, ScheduleControlsDurationAndScenes) {
+  SceneLibrary scenes;
+  VideoSourceOptions options;
+  options.camera = "cam";
+  options.fps = 1.0;
+  options.schedule = {{&scenes.downtown(), 10'000},
+                      {&scenes.highway(), 10'000}};
+  int64_t next_id = 0;
+  VideoSource source(options, Rng(7), &next_id);
+  size_t frames = 0;
+  size_t downtown_frames = 0;
+  int64_t last_ts = -1;
+  for (;;) {
+    auto frame = source.NextFrame();
+    if (!frame.has_value()) break;
+    ++frames;
+    EXPECT_GT(frame->timestamp_ms, last_ts);
+    last_ts = frame->timestamp_ms;
+    downtown_frames += (frame->scene->name == "downtown");
+  }
+  EXPECT_EQ(frames, 20u);
+  EXPECT_EQ(downtown_frames, 10u);
+  EXPECT_EQ(next_id, 20);
+}
+
+TEST(GroundTruthLogTest, RecordsAndQueries) {
+  GroundTruthLog log;
+  log.Record(5, {"cam", 100, {kCar, kBoat}});
+  EXPECT_TRUE(log.FrameContains(5, kCar));
+  EXPECT_FALSE(log.FrameContains(5, kTrain));
+  EXPECT_FALSE(log.FrameContains(6, kCar));
+  ASSERT_NE(log.Lookup(5), nullptr);
+  EXPECT_EQ(log.Lookup(5)->camera, "cam");
+}
+
+TEST(HeavyModelTest, DeterministicVerdicts) {
+  HeavyModel model(0.97, 0.05, 1);
+  for (int64_t f = 0; f < 50; ++f) {
+    EXPECT_EQ(model.DetectsInFrame(f, kCar, true),
+              model.DetectsInFrame(f, kCar, true));
+  }
+}
+
+TEST(HeavyModelTest, RatesAreApproximatelyRespected) {
+  HeavyModel model(0.9, 0.1, 2);
+  int tp = 0;
+  int fp = 0;
+  const int n = 20000;
+  for (int64_t f = 0; f < n; ++f) {
+    tp += model.DetectsInFrame(f, kCar, true);
+    fp += model.DetectsInFrame(f, kBoat, false);
+  }
+  EXPECT_NEAR(static_cast<double>(tp) / n, 0.9, 0.02);
+  EXPECT_NEAR(static_cast<double>(fp) / n, 0.1, 0.02);
+}
+
+TEST(EvaluationTest, CountsConfusionCorrectly) {
+  GroundTruthLog log;
+  log.Record(1, {"cam", 0, {kCar}});
+  log.Record(2, {"cam", 0, {}});
+  log.Record(3, {"cam", 0, {kCar}});
+  log.Record(4, {"cam", 0, {}});
+  HeavyModel perfect(1.0, 0.0, 3);
+  // Examined: frames 1 and 2. Frame 3 (positive, unexamined) becomes FN.
+  const auto eval =
+      EvaluateFrameQuery({1, 2}, {1, 2, 3, 4}, kCar, log, perfect);
+  EXPECT_EQ(eval.true_positives, 1u);
+  EXPECT_EQ(eval.false_positives, 0u);
+  EXPECT_EQ(eval.false_negatives, 1u);
+  EXPECT_EQ(eval.true_negatives, 2u);
+  EXPECT_DOUBLE_EQ(eval.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(eval.Precision(), 1.0);
+}
+
+TEST(SyntheticDatasetTest, ShapesAndLabels) {
+  SyntheticDatasetOptions options;
+  options.num_svs = 30;
+  options.vectors_per_svs = 20;
+  options.dim = 16;
+  options.num_types = 5;
+  const SyntheticDataset data = MakeSyntheticDataset(options);
+  ASSERT_EQ(data.svss.size(), 30u);
+  ASSERT_EQ(data.labels.size(), 30u);
+  for (const FeatureMap& map : data.svss) {
+    EXPECT_EQ(map.size(), 20u);
+    EXPECT_EQ(map.dim(), 16u);
+  }
+  for (int label : data.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+}
+
+TEST(SyntheticDatasetTest, SameTypeIsCloserThanCrossType) {
+  SyntheticDatasetOptions options;
+  options.num_svs = 20;
+  options.vectors_per_svs = 15;
+  options.dim = 32;
+  options.num_types = 4;
+  const SyntheticDataset data = MakeSyntheticDataset(options);
+  // Compare centroid distances as a cheap proxy.
+  double same = 0.0;
+  double cross = 0.0;
+  size_t same_n = 0;
+  size_t cross_n = 0;
+  for (size_t i = 0; i < data.svss.size(); ++i) {
+    for (size_t j = i + 1; j < data.svss.size(); ++j) {
+      const double d = ObjectCentroidDistance(data.svss[i], data.svss[j]);
+      if (data.labels[i] == data.labels[j]) {
+        same += d;
+        ++same_n;
+      } else {
+        cross += d;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(SyntheticDatasetTest, VariableLengthsWithinBounds) {
+  SyntheticDatasetOptions options;
+  options.num_svs = 20;
+  options.variable_length = true;
+  options.min_vectors = 5;
+  options.max_vectors = 15;
+  options.dim = 8;
+  const SyntheticDataset data = MakeSyntheticDataset(options);
+  bool varied = false;
+  for (const FeatureMap& map : data.svss) {
+    EXPECT_GE(map.size(), 5u);
+    EXPECT_LE(map.size(), 15u);
+    varied |= (map.size() != data.svss.front().size());
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(DeploymentTest, BuildsExpectedCameraMix) {
+  DeploymentOptions options;
+  options.feed_duration_ms = 30'000;
+  options.fps = 1.0;
+  Deployment deployment(options);
+  size_t downtown = 0;
+  size_t highway = 0;
+  size_t station = 0;
+  size_t harbor = 0;
+  for (const auto& cam : deployment.cameras()) {
+    if (cam.kind == "downtown") ++downtown;
+    if (cam.kind == "highway") ++highway;
+    if (cam.kind == "train_station") ++station;
+    if (cam.kind == "harbor") ++harbor;
+  }
+  EXPECT_EQ(downtown, 20u);
+  EXPECT_EQ(highway, 20u);
+  EXPECT_EQ(station, 2u);
+  EXPECT_EQ(harbor, 2u);
+  EXPECT_FALSE(deployment.observations().empty());
+  EXPECT_GT(deployment.log().size(), 0u);
+}
+
+}  // namespace
+}  // namespace vz::sim

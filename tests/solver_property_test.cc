@@ -1,0 +1,141 @@
+// Deeper solver properties: exact EMD against an independent brute-force
+// oracle, scale laws, and stress shapes the basic unit tests don't touch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/emd.h"
+
+namespace vz::solver {
+namespace {
+
+// For equal-cardinality uniform weights, EMD equals the optimal assignment
+// cost / n (Birkhoff: the transportation polytope's vertices are
+// permutation matrices). Brute-force all permutations as an oracle.
+double AssignmentOracle(const std::vector<std::vector<double>>& cost) {
+  const size_t n = cost.size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 1e300;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += cost[i][perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best / static_cast<double>(n);
+}
+
+class EmdOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmdOracleTest, ExactEmdMatchesAssignmentOracle) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.UniformUint64(4);  // up to 5! = 120 permutations
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.UniformDouble(0.0, 10.0);
+  }
+  std::vector<double> w(n, 1.0);
+  auto emd = ExactEmd(w, w, [&cost](size_t i, size_t j) {
+    return cost[i][j];
+  });
+  ASSERT_TRUE(emd.ok());
+  EXPECT_NEAR(emd->distance, AssignmentOracle(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmdOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+TEST(EmdScalingTest, DistanceScalesWithGroundDistance) {
+  // EMD is linear in the ground distance: scaling every d(i,j) by c scales
+  // the result by c.
+  Rng rng(31);
+  const size_t n = 6;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.UniformDouble(0.0, 5.0);
+  }
+  std::vector<double> w(n, 1.0);
+  auto base = ExactEmd(w, w, [&](size_t i, size_t j) { return cost[i][j]; });
+  auto scaled =
+      ExactEmd(w, w, [&](size_t i, size_t j) { return 3.0 * cost[i][j]; });
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_NEAR(scaled->distance, 3.0 * base->distance, 1e-9);
+}
+
+TEST(EmdScalingTest, MassConcentrationIsEquivalentToDuplication) {
+  // One supply of weight 2 behaves like two coincident supplies of weight 1.
+  std::vector<double> b_points = {0.0, 10.0};
+  auto ground_single = [&](size_t, size_t j) {
+    return std::fabs(4.0 - b_points[j]);
+  };
+  auto single = ExactEmd({2.0}, {1.0, 1.0}, ground_single);
+  auto ground_double = [&](size_t, size_t j) {
+    return std::fabs(4.0 - b_points[j]);
+  };
+  auto doubled = ExactEmd({1.0, 1.0}, {1.0, 1.0}, ground_double);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_NEAR(single->distance, doubled->distance, 1e-9);
+}
+
+TEST(EmdStressTest, HighlyAsymmetricCardinalities) {
+  // 1 supply vs 50 demands and vice versa.
+  Rng rng(37);
+  std::vector<double> points(50);
+  for (double& p : points) p = rng.UniformDouble(0.0, 100.0);
+  std::vector<double> many(50, 1.0);
+  const double anchor = 50.0;
+  auto forward = ExactEmd({1.0}, many, [&](size_t, size_t j) {
+    return std::fabs(anchor - points[j]);
+  });
+  auto backward = ExactEmd(many, {1.0}, [&](size_t i, size_t) {
+    return std::fabs(points[i] - anchor);
+  });
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  // Both equal the mean absolute deviation from the anchor.
+  double expected = 0.0;
+  for (double p : points) expected += std::fabs(anchor - p) / 50.0;
+  EXPECT_NEAR(forward->distance, expected, 1e-9);
+  EXPECT_NEAR(backward->distance, expected, 1e-9);
+}
+
+TEST(EmdStressTest, ZeroWeightEntriesAreNeutral) {
+  // Items with zero weight must not affect the distance.
+  std::vector<double> a = {0.0, 3.0};
+  std::vector<double> b = {1.0};
+  auto with_zero = ExactEmd({1.0, 0.0}, {1.0}, [&](size_t i, size_t j) {
+    return std::fabs(a[i] - b[j]);
+  });
+  auto without = ExactEmd({1.0}, {1.0}, [&](size_t, size_t) { return 1.0; });
+  ASSERT_TRUE(with_zero.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NEAR(with_zero->distance, without->distance, 1e-9);
+}
+
+TEST(ThresholdedEmdStressTest, SparseGraphStillShipsEverything) {
+  // With a tiny threshold almost no direct arcs exist; everything routes
+  // through the transshipment vertex and the full mass still ships.
+  Rng rng(41);
+  const size_t n = 20;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& v : a) v = rng.UniformDouble(0.0, 100.0);
+  for (auto& v : b) v = rng.UniformDouble(0.0, 100.0);
+  std::vector<double> w(n, 1.0);
+  auto result = ThresholdedEmd(w, w, [&](size_t i, size_t j) {
+    return std::fabs(a[i] - b[j]);
+  }, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->distance, 0.0);
+  EXPECT_LE(result->distance, 0.5 + 1e-9);  // capped ground distance
+}
+
+}  // namespace
+}  // namespace vz::solver

@@ -1,0 +1,44 @@
+#include "baseline/spatula.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vz::baseline {
+namespace {
+
+TEST(SpatulaTest, CorrelatesByLocation) {
+  SpatulaCorrelator spatula;
+  spatula.RegisterCamera("a", "nyc");
+  spatula.RegisterCamera("b", "nyc");
+  spatula.RegisterCamera("c", "la");
+  const auto nyc = spatula.CorrelatedCameras("a");
+  EXPECT_EQ(nyc.size(), 2u);
+  EXPECT_TRUE(std::find(nyc.begin(), nyc.end(), "b") != nyc.end());
+  EXPECT_TRUE(std::find(nyc.begin(), nyc.end(), "a") != nyc.end());
+  const auto la = spatula.CorrelatedCameras("c");
+  EXPECT_EQ(la, std::vector<core::CameraId>{"c"});
+}
+
+TEST(SpatulaTest, UnknownCameraCorrelatesWithItself) {
+  SpatulaCorrelator spatula;
+  spatula.RegisterCamera("a", "nyc");
+  EXPECT_EQ(spatula.CorrelatedCameras("ghost"),
+            std::vector<core::CameraId>{"ghost"});
+}
+
+TEST(SpatulaTest, ReRegistrationIsIdempotent) {
+  SpatulaCorrelator spatula;
+  spatula.RegisterCamera("a", "nyc");
+  spatula.RegisterCamera("a", "nyc");
+  EXPECT_EQ(spatula.CamerasAt("nyc").size(), 1u);
+  EXPECT_EQ(spatula.num_cameras(), 1u);
+}
+
+TEST(SpatulaTest, CamerasAtUnknownLocationIsEmpty) {
+  SpatulaCorrelator spatula;
+  EXPECT_TRUE(spatula.CamerasAt("nowhere").empty());
+}
+
+}  // namespace
+}  // namespace vz::baseline

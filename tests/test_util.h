@@ -1,0 +1,92 @@
+#ifndef VZ_TESTS_TEST_UTIL_H_
+#define VZ_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "index/item_metric.h"
+#include "vector/feature_map.h"
+#include "vector/feature_vector.h"
+
+namespace vz::testing {
+
+/// Euclidean metric over registered points — lets the index structures be
+/// tested in a space where ground truth is trivial to brute-force.
+class EuclideanPointMetric : public index::ItemMetric {
+ public:
+  explicit EuclideanPointMetric(std::vector<FeatureVector> points)
+      : points_(std::move(points)) {}
+
+  double Distance(int a, int b) override {
+    ++num_evals_;
+    return EuclideanDistance(points_[static_cast<size_t>(a)],
+                             points_[static_cast<size_t>(b)]);
+  }
+  // Exact lower bound: the metric itself (pruning stays exact).
+  double LowerBound(int a, int b) override {
+    return EuclideanDistance(points_[static_cast<size_t>(a)],
+                             points_[static_cast<size_t>(b)]);
+  }
+  uint64_t num_distance_evals() const override { return num_evals_; }
+  void ResetCounters() { num_evals_ = 0; }
+
+  const std::vector<FeatureVector>& points() const { return points_; }
+
+ private:
+  std::vector<FeatureVector> points_;
+  uint64_t num_evals_ = 0;
+};
+
+/// `count` points per cluster around `num_clusters` well-separated centers
+/// in `dim` dimensions; labels[i] = cluster of point i.
+struct LabeledPoints {
+  std::vector<FeatureVector> points;
+  std::vector<int> labels;
+};
+
+inline LabeledPoints MakeClusteredPoints(size_t num_clusters, size_t count,
+                                         size_t dim, double separation,
+                                         double noise, uint64_t seed) {
+  LabeledPoints out;
+  Rng rng(seed);
+  std::vector<FeatureVector> centers;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    FeatureVector center(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      center[i] = static_cast<float>(rng.Gaussian());
+    }
+    center.Normalize();
+    center.Scale(separation);
+    centers.push_back(std::move(center));
+  }
+  for (size_t c = 0; c < num_clusters; ++c) {
+    for (size_t k = 0; k < count; ++k) {
+      FeatureVector p = centers[c];
+      for (size_t i = 0; i < dim; ++i) {
+        p[i] += static_cast<float>(rng.Gaussian(0.0, noise));
+      }
+      out.points.push_back(std::move(p));
+      out.labels.push_back(static_cast<int>(c));
+    }
+  }
+  return out;
+}
+
+/// A small feature map of `n` vectors near `center_value` in each dim.
+inline FeatureMap MakeMap(size_t n, size_t dim, double center_value,
+                          double noise, uint64_t seed) {
+  FeatureMap map;
+  Rng rng(seed);
+  for (size_t k = 0; k < n; ++k) {
+    FeatureVector v(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(center_value + rng.Gaussian(0.0, noise));
+    }
+    (void)map.Add(std::move(v), 1.0);
+  }
+  return map;
+}
+
+}  // namespace vz::testing
+
+#endif  // VZ_TESTS_TEST_UTIL_H_

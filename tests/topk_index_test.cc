@@ -1,0 +1,132 @@
+#include "baseline/topk_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/feature_extractor.h"
+#include "sim/feature_space.h"
+#include "sim/object_class.h"
+
+namespace vz::baseline {
+namespace {
+
+class TopKIndexTest : public ::testing::Test {
+ protected:
+  TopKIndexTest()
+      : space_(sim::FeatureSpaceOptions{32, 10.0, 2.0, 99}),
+        extractor_(&space_, sim::ExtractorProfile::ResNet50()),
+        rng_(1) {}
+
+  core::FrameObservation Frame(const core::CameraId& camera, int64_t id,
+                               const std::vector<int>& classes) {
+    core::FrameObservation frame;
+    frame.camera = camera;
+    frame.frame_id = id;
+    frame.timestamp_ms = id * 1000;
+    for (int object_class : classes) {
+      core::DetectedObject object;
+      object.feature = extractor_.Extract(object_class, "", &rng_);
+      frame.objects.push_back(std::move(object));
+    }
+    return frame;
+  }
+
+  sim::FeatureSpace space_;
+  sim::FeatureExtractor extractor_;
+  Rng rng_;
+};
+
+TEST_F(TopKIndexTest, QueryRetrievesIndexedFrames) {
+  TopKIndex index(&extractor_, TopKIndexOptions{});
+  for (int64_t f = 0; f < 30; ++f) {
+    index.IngestFrame(Frame("cam", f, {f % 2 == 0 ? sim::kCar : sim::kBoat}));
+  }
+  index.Finalize();
+  const auto result = index.Query(sim::kCar);
+  EXPECT_GT(result.frames.size(), 10u);
+  // Most car frames (even ids) are retrieved.
+  size_t even = 0;
+  for (int64_t f : result.frames) even += (f % 2 == 0);
+  EXPECT_GT(even, 12u);
+}
+
+TEST_F(TopKIndexTest, OtherBucketInflatesEveryQuery) {
+  // A profile where many objects are unrecognizable creates a big "other"
+  // bucket that every query must rescan (Fig. 18).
+  sim::ExtractorProfile hard = sim::ExtractorProfile::ResNet50();
+  hard.hard_example_prob = 0.5;
+  sim::FeatureExtractor hard_extractor(&space_, hard);
+  TopKIndex index(&hard_extractor, TopKIndexOptions{});
+  Rng rng(3);
+  for (int64_t f = 0; f < 60; ++f) {
+    core::FrameObservation frame;
+    frame.camera = "cam";
+    frame.frame_id = f;
+    core::DetectedObject object;
+    object.feature = hard_extractor.Extract(sim::kCar, "", &rng);
+    frame.objects.push_back(std::move(object));
+    index.IngestFrame(frame);
+  }
+  index.Finalize();
+  const auto classes = index.IndexedClasses("cam");
+  EXPECT_TRUE(std::find(classes.begin(), classes.end(),
+                        static_cast<int>(sim::kOtherClass)) != classes.end());
+  // Even a query for a class never present retrieves the "other" frames.
+  const auto boat = index.Query(sim::kBoat);
+  EXPECT_GT(boat.frames.size(), 10u);
+}
+
+TEST_F(TopKIndexTest, RecognizedClassCapCreatesOther) {
+  TopKIndexOptions options;
+  options.recognized_classes = 1;  // only the most common class survives
+  TopKIndex index(&extractor_, options);
+  for (int64_t f = 0; f < 40; ++f) {
+    index.IngestFrame(Frame("cam", f,
+                            {f % 4 == 0 ? sim::kBoat : sim::kCar}));
+  }
+  index.Finalize();
+  const auto classes = index.IndexedClasses("cam");
+  // car (dominant) is recognized; boat frames fall into "other".
+  EXPECT_TRUE(std::find(classes.begin(), classes.end(),
+                        static_cast<int>(sim::kOtherClass)) != classes.end());
+}
+
+TEST_F(TopKIndexTest, LargerKRecognizesMore) {
+  TopKIndexOptions small;
+  small.recognized_classes = 1;
+  TopKIndexOptions large;
+  large.recognized_classes = 8;
+  TopKIndex small_index(&extractor_, small);
+  TopKIndex large_index(&extractor_, large);
+  for (int64_t f = 0; f < 60; ++f) {
+    const int cls = (f % 3 == 0) ? sim::kBoat : ((f % 3 == 1) ? sim::kCar
+                                                              : sim::kTrain);
+    small_index.IngestFrame(Frame("cam", f, {cls}));
+    large_index.IngestFrame(Frame("cam", f, {cls}));
+  }
+  small_index.Finalize();
+  large_index.Finalize();
+  // With more recognized classes, a boat query rescans fewer frames:
+  // the small-K index dumps everything unrecognized into "other".
+  EXPECT_LE(large_index.Query(sim::kBoat).frames.size(),
+            small_index.Query(sim::kBoat).frames.size());
+  // ...but ingestion costs more (Fig. 15's trade-off).
+  EXPECT_GT(large_index.ingest_gpu_ms(), small_index.ingest_gpu_ms());
+}
+
+TEST_F(TopKIndexTest, PerCameraScoping) {
+  TopKIndex index(&extractor_, TopKIndexOptions{});
+  for (int64_t f = 0; f < 10; ++f) {
+    index.IngestFrame(Frame("cam-a", f, {sim::kCar}));
+    index.IngestFrame(Frame("cam-b", 100 + f, {sim::kCar}));
+  }
+  index.Finalize();
+  const auto scoped = index.Query(sim::kCar, {"cam-a"});
+  for (int64_t f : scoped.frames) EXPECT_LT(f, 100);
+  EXPECT_EQ(scoped.per_camera_frames.size(), 1u);
+  EXPECT_EQ(index.num_frames(), 20u);
+}
+
+}  // namespace
+}  // namespace vz::baseline

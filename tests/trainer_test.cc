@@ -1,0 +1,136 @@
+#include "train/specialized_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/object_class.h"
+#include "test_util.h"
+
+namespace vz::train {
+namespace {
+
+// Builds an SVS whose frames contain the given classes, with features near
+// `center`.
+core::SvsId MakeSvs(core::SvsStore* store, sim::GroundTruthLog* log,
+                    const std::vector<int>& classes, double center,
+                    int64_t* next_frame, uint64_t seed) {
+  FeatureMap map = testing::MakeMap(12, 8, center, 0.3, seed);
+  const core::SvsId id = store->Create("cam", 0, 1000, std::move(map));
+  std::vector<int64_t> frames;
+  for (int f = 0; f < 5; ++f) {
+    const int64_t frame_id = (*next_frame)++;
+    log->Record(frame_id, {"cam", f * 100, classes});
+    frames.push_back(frame_id);
+  }
+  auto svs = store->GetMutable(id);
+  EXPECT_TRUE(svs.ok());
+  (*svs)->set_frame_ids(frames);
+  return id;
+}
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  std::vector<const core::Svs*> Resolve(const std::vector<core::SvsId>& ids) {
+    std::vector<const core::Svs*> out;
+    for (core::SvsId id : ids) {
+      auto svs = store_.Get(id);
+      EXPECT_TRUE(svs.ok());
+      out.push_back(*svs);
+    }
+    return out;
+  }
+
+  core::SvsStore store_;
+  sim::GroundTruthLog log_;
+  int64_t next_frame_ = 0;
+};
+
+TEST_F(TrainerTest, MatchedTrainingSetScoresHigherThanMismatched) {
+  // Target workload: cars and people.
+  const auto target = Resolve({MakeSvs(&store_, &log_,
+                                       {sim::kCar, sim::kPerson}, 0.0,
+                                       &next_frame_, 1)});
+  const auto matched = Resolve(
+      {MakeSvs(&store_, &log_, {sim::kCar, sim::kPerson}, 0.1, &next_frame_, 2),
+       MakeSvs(&store_, &log_, {sim::kCar}, 0.0, &next_frame_, 3)});
+  const auto mismatched = Resolve(
+      {MakeSvs(&store_, &log_, {sim::kBoat}, 5.0, &next_frame_, 4),
+       MakeSvs(&store_, &log_, {sim::kBird}, 6.0, &next_frame_, 5)});
+
+  SpecializedTrainer trainer(&log_);
+  Rng rng(7);
+  const auto good = trainer.Analyze(matched, target, &rng);
+  const auto bad = trainer.Analyze(mismatched, target, &rng);
+  EXPECT_GT(good.class_coverage, bad.class_coverage);
+
+  const auto model = BaseModelProfile::ResNet50();
+  EXPECT_GT(trainer.PredictTop2Accuracy(model, good),
+            trainer.PredictTop2Accuracy(model, bad));
+}
+
+TEST_F(TrainerTest, CoherentFeaturesScoreHigherThanScattered) {
+  const auto target = Resolve({MakeSvs(&store_, &log_, {sim::kCar}, 0.0,
+                                       &next_frame_, 11)});
+  // Same classes, but one training set's features are tightly clustered and
+  // the other's are spread out.
+  core::SvsId tight_id =
+      MakeSvs(&store_, &log_, {sim::kCar}, 0.0, &next_frame_, 12);
+  const core::SvsId scattered_id = store_.Create(
+      "cam", 0, 1000, testing::MakeMap(12, 8, 0.0, 6.0, 13));
+  {
+    auto svs = store_.GetMutable(scattered_id);
+    ASSERT_TRUE(svs.ok());
+    std::vector<int64_t> frames;
+    for (int f = 0; f < 5; ++f) {
+      const int64_t frame_id = next_frame_++;
+      log_.Record(frame_id, {"cam", f, {sim::kCar}});
+      frames.push_back(frame_id);
+    }
+    (*svs)->set_frame_ids(frames);
+  }
+  SpecializedTrainer trainer(&log_);
+  Rng rng(17);
+  const auto tight = trainer.Analyze(Resolve({tight_id}), target, &rng);
+  const auto scattered =
+      trainer.Analyze(Resolve({scattered_id}), target, &rng);
+  EXPECT_GT(tight.visual_coherence, scattered.visual_coherence);
+}
+
+TEST_F(TrainerTest, AccuracyBoundedAndOrderedByBaseModel) {
+  SpecializedTrainer trainer(&log_);
+  TrainingSetAnalysis perfect;
+  perfect.class_coverage = 1.0;
+  perfect.visual_coherence = 1.0;
+  TrainingSetAnalysis useless;
+  for (const auto& model :
+       {BaseModelProfile::MobileNetV2(), BaseModelProfile::ResNet50(),
+        BaseModelProfile::ResNet101(), BaseModelProfile::InceptionV3()}) {
+    const double hi = trainer.PredictTop2Accuracy(model, perfect);
+    const double lo = trainer.PredictTop2Accuracy(model, useless);
+    EXPECT_GT(hi, lo);
+    EXPECT_LE(hi, 0.995);
+    EXPECT_DOUBLE_EQ(lo, model.base_top2_accuracy);
+  }
+  // Stronger base models stay stronger after specialization.
+  EXPECT_GT(trainer.PredictTop2Accuracy(BaseModelProfile::ResNet101(),
+                                        perfect),
+            trainer.PredictTop2Accuracy(BaseModelProfile::MobileNetV2(),
+                                        perfect));
+}
+
+TEST_F(TrainerTest, TrainedClassesCoverNinetyFivePercent) {
+  // 19 car frames + 1 boat frame: cars alone cover 95%.
+  std::vector<core::SvsId> ids;
+  for (int i = 0; i < 19; ++i) {
+    ids.push_back(
+        MakeSvs(&store_, &log_, {sim::kCar}, 0.0, &next_frame_, 20 + i));
+  }
+  ids.push_back(MakeSvs(&store_, &log_, {sim::kBoat}, 0.0, &next_frame_, 50));
+  SpecializedTrainer trainer(&log_);
+  Rng rng(21);
+  const auto analysis = trainer.Analyze(Resolve(ids), Resolve(ids), &rng);
+  ASSERT_FALSE(analysis.trained_classes.empty());
+  EXPECT_EQ(analysis.trained_classes.front(), sim::kCar);
+}
+
+}  // namespace
+}  // namespace vz::train

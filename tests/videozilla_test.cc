@@ -1,0 +1,223 @@
+#include "core/videozilla.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/dataset.h"
+#include "sim/evaluation.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace vz::core {
+namespace {
+
+// A small deployment: 2 downtown + 2 highway + 1 station + 1 harbor.
+sim::DeploymentOptions SmallDeployment() {
+  sim::DeploymentOptions options;
+  options.cities = 1;
+  options.downtown_per_city = 2;
+  options.highway_cameras = 2;
+  options.train_stations = 1;
+  options.harbors = 1;
+  options.feed_duration_ms = 90'000;
+  options.fps = 1.0;
+  options.feature_dim = 32;
+  options.seed = 5;
+  return options;
+}
+
+VideoZillaOptions FastVzOptions() {
+  VideoZillaOptions options;
+  options.segmenter.t_max_ms = 30'000;
+  options.segmenter.t_split_ms = 10'000;
+  options.omd.max_vectors = 64;
+  options.intra.recluster_interval = 2;
+  options.boundary_scale = 1.3;
+  options.enable_keyframe_selection = false;  // deterministic small runs
+  return options;
+}
+
+class VideoZillaTest : public ::testing::Test {
+ protected:
+  VideoZillaTest()
+      : deployment_(SmallDeployment()),
+        system_(FastVzOptions()),
+        heavy_(/*tpr=*/1.0, /*fpr=*/0.0, /*seed=*/3),
+        verifier_(&deployment_.space(), &deployment_.log(), &heavy_) {
+    EXPECT_TRUE(deployment_.IngestAll(&system_).ok());
+    system_.SetVerifier(&verifier_);
+  }
+
+  sim::Deployment deployment_;
+  VideoZilla system_;
+  sim::HeavyModel heavy_;
+  sim::SimObjectVerifier verifier_;
+};
+
+TEST_F(VideoZillaTest, IngestionCreatesIndexedSvss) {
+  EXPECT_GT(system_.ingest_stats().svs_created, 6u);
+  EXPECT_GT(system_.svs_store().size(), 6u);
+  EXPECT_EQ(system_.svs_store().size(), system_.ingest_stats().svs_created);
+  EXPECT_GT(system_.inter_index().size(), 0u);
+  // Every SVS belongs to a started camera and carries frames.
+  size_t with_frames = 0;
+  for (SvsId id : system_.svs_store().AllIds()) {
+    auto svs = system_.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    with_frames += !(*svs)->frame_ids().empty();
+  }
+  EXPECT_GT(with_frames, system_.svs_store().size() / 2);
+}
+
+TEST_F(VideoZillaTest, DirectQueryMatchesAreTruePositives) {
+  Rng rng(7);
+  const FeatureVector query =
+      deployment_.MakeQueryFeature(sim::kBoat, &rng);
+  auto result = system_.DirectQuery(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->matched_svss.empty());
+  // With a perfect heavy model, every matched SVS truly contains a boat.
+  for (SvsId id : result->matched_svss) {
+    auto svs = system_.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    EXPECT_TRUE(deployment_.log().SvsContains(**svs, sim::kBoat));
+  }
+  EXPECT_GT(result->total_gpu_ms, 0.0);
+  EXPECT_GE(result->total_gpu_ms, result->bottleneck_camera_gpu_ms);
+}
+
+TEST_F(VideoZillaTest, DirectQueryPrunesComparedToFlat) {
+  Rng rng(9);
+  const FeatureVector query =
+      deployment_.MakeQueryFeature(sim::kTrain, &rng);
+  auto hierarchical = system_.DirectQuery(query);
+  ASSERT_TRUE(hierarchical.ok());
+  system_.SetIndexMode(IndexMode::kFlat);
+  auto flat = system_.DirectQuery(query);
+  ASSERT_TRUE(flat.ok());
+  system_.SetIndexMode(IndexMode::kHierarchical);
+  EXPECT_EQ(flat->candidate_svss.size(), system_.svs_store().size());
+  EXPECT_LT(hierarchical->candidate_svss.size(),
+            flat->candidate_svss.size());
+  EXPECT_LT(hierarchical->total_gpu_ms, flat->total_gpu_ms);
+}
+
+TEST_F(VideoZillaTest, CameraConstraintRespected) {
+  Rng rng(11);
+  const FeatureVector query = deployment_.MakeQueryFeature(sim::kCar, &rng);
+  QueryConstraints constraints;
+  constraints.cameras = std::vector<CameraId>{"highway-0"};
+  auto result = system_.DirectQuery(query, constraints);
+  ASSERT_TRUE(result.ok());
+  for (SvsId id : result->candidate_svss) {
+    auto svs = system_.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    EXPECT_EQ((*svs)->camera(), "highway-0");
+  }
+}
+
+TEST_F(VideoZillaTest, TimeRangeConstraintRespected) {
+  Rng rng(13);
+  const FeatureVector query = deployment_.MakeQueryFeature(sim::kCar, &rng);
+  QueryConstraints constraints;
+  constraints.time_range_ms = {0, 20'000};
+  auto result = system_.DirectQuery(query, constraints);
+  ASSERT_TRUE(result.ok());
+  for (SvsId id : result->candidate_svss) {
+    auto svs = system_.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    EXPECT_LE((*svs)->start_ms(), 20'000);
+  }
+}
+
+TEST_F(VideoZillaTest, ClusteringQueryFindsSemanticPeers) {
+  // Use a stored harbor SVS as the query; its semantic peers should come
+  // back, and they should skew toward boat-containing content.
+  SvsId harbor_svs = -1;
+  for (SvsId id : system_.svs_store().AllIds()) {
+    auto svs = system_.svs_store().Get(id);
+    if (svs.ok() && (*svs)->camera() == "harbor-0" &&
+        deployment_.log().SvsContains(**svs, sim::kBoat)) {
+      harbor_svs = id;
+      break;
+    }
+  }
+  ASSERT_GE(harbor_svs, 0);
+  auto svs = system_.svs_store().Get(harbor_svs);
+  ASSERT_TRUE(svs.ok());
+  auto result = system_.ClusteringQuery((*svs)->features());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->similar_svss.empty());
+  size_t with_boats = 0;
+  for (SvsId id : result->similar_svss) {
+    auto peer = system_.svs_store().Get(id);
+    ASSERT_TRUE(peer.ok());
+    with_boats += deployment_.log().SvsContains(**peer, sim::kBoat);
+  }
+  EXPECT_GT(with_boats * 2, result->similar_svss.size());
+}
+
+TEST_F(VideoZillaTest, MetadataAndAccessTracking) {
+  Rng rng(17);
+  const FeatureVector query = deployment_.MakeQueryFeature(sim::kBoat, &rng);
+  auto result = system_.DirectQuery(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->matched_svss.empty());
+  auto meta = system_.GetMetaData(result->matched_svss.front());
+  ASSERT_TRUE(meta.ok());
+  EXPECT_GE(meta->access_count, 1u);
+  EXPECT_EQ(meta->camera.rfind("harbor", 0), 0u);
+  EXPECT_GT(meta->num_frames, 0u);
+  EXPECT_FALSE(system_.GetMetaData(999999).ok());
+}
+
+TEST_F(VideoZillaTest, FlatSvsModeSubsetOfFlat) {
+  Rng rng(19);
+  const FeatureVector query = deployment_.MakeQueryFeature(sim::kTrain, &rng);
+  system_.SetIndexMode(IndexMode::kFlatSvs);
+  auto flat_svs = system_.DirectQuery(query);
+  system_.SetIndexMode(IndexMode::kFlat);
+  auto flat = system_.DirectQuery(query);
+  system_.SetIndexMode(IndexMode::kHierarchical);
+  ASSERT_TRUE(flat_svs.ok());
+  ASSERT_TRUE(flat.ok());
+  EXPECT_LE(flat_svs->candidate_svss.size(), flat->candidate_svss.size());
+  std::unordered_set<SvsId> all(flat->candidate_svss.begin(),
+                                flat->candidate_svss.end());
+  for (SvsId id : flat_svs->candidate_svss) {
+    EXPECT_TRUE(all.count(id) > 0);
+  }
+}
+
+TEST_F(VideoZillaTest, CameraLifecycle) {
+  EXPECT_FALSE(system_.CameraStart("harbor-0").ok());  // already started
+  ASSERT_TRUE(system_.CameraTerminate("harbor-0").ok());
+  EXPECT_FALSE(system_.CameraTerminate("harbor-0").ok());
+  for (const auto& entry : system_.inter_index().entries()) {
+    EXPECT_NE(entry.camera, "harbor-0");
+  }
+  // Stored SVSs survive termination.
+  EXPECT_GT(system_.svs_store().IdsForCamera("harbor-0").size(), 0u);
+}
+
+TEST_F(VideoZillaTest, KnobsApplyWithoutBreakingQueries) {
+  ASSERT_TRUE(system_.SetInterGroupCount(3).ok());
+  EXPECT_EQ(system_.inter_index().groups().size(), 3u);
+  ASSERT_TRUE(system_.SetIntraClusterCount(2).ok());
+  system_.SetOmdAlpha(1.0);
+  system_.SetBoundaryScale(1.6);
+  Rng rng(23);
+  const FeatureVector query = deployment_.MakeQueryFeature(sim::kBoat, &rng);
+  EXPECT_TRUE(system_.DirectQuery(query).ok());
+}
+
+TEST(VideoZillaLifecycleTest, IngestRequiresStartedCamera) {
+  VideoZilla system(FastVzOptions());
+  FrameObservation frame;
+  frame.camera = "ghost";
+  EXPECT_FALSE(system.IngestFrame(frame).ok());
+}
+
+}  // namespace
+}  // namespace vz::core
