@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bailout.dir/bench_ablation_bailout.cc.o"
+  "CMakeFiles/bench_ablation_bailout.dir/bench_ablation_bailout.cc.o.d"
+  "bench_ablation_bailout"
+  "bench_ablation_bailout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bailout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

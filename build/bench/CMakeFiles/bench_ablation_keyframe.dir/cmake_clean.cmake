@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_keyframe.dir/bench_ablation_keyframe.cc.o"
+  "CMakeFiles/bench_ablation_keyframe.dir/bench_ablation_keyframe.cc.o.d"
+  "bench_ablation_keyframe"
+  "bench_ablation_keyframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keyframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rotations.dir/bench_ablation_rotations.cc.o"
+  "CMakeFiles/bench_ablation_rotations.dir/bench_ablation_rotations.cc.o.d"
+  "bench_ablation_rotations"
+  "bench_ablation_rotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mtree.dir/bench_fig14_mtree.cc.o"
+  "CMakeFiles/bench_fig14_mtree.dir/bench_fig14_mtree.cc.o.d"
+  "bench_fig14_mtree"
+  "bench_fig14_mtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_tuning.dir/bench_fig20_tuning.cc.o"
+  "CMakeFiles/bench_fig20_tuning.dir/bench_fig20_tuning.cc.o.d"
+  "bench_fig20_tuning"
+  "bench_fig20_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

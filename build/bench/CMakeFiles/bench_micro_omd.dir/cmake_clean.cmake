@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_omd.dir/bench_micro_omd.cc.o"
+  "CMakeFiles/bench_micro_omd.dir/bench_micro_omd.cc.o.d"
+  "bench_micro_omd"
+  "bench_micro_omd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_omd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

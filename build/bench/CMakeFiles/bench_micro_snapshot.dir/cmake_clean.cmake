@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_snapshot.dir/bench_micro_snapshot.cc.o"
+  "CMakeFiles/bench_micro_snapshot.dir/bench_micro_snapshot.cc.o.d"
+  "bench_micro_snapshot"
+  "bench_micro_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

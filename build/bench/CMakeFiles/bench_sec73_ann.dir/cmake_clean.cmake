@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_ann.dir/bench_sec73_ann.cc.o"
+  "CMakeFiles/bench_sec73_ann.dir/bench_sec73_ann.cc.o.d"
+  "bench_sec73_ann"
+  "bench_sec73_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

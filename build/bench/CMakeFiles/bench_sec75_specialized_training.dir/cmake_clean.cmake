@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec75_specialized_training.dir/bench_sec75_specialized_training.cc.o"
+  "CMakeFiles/bench_sec75_specialized_training.dir/bench_sec75_specialized_training.cc.o.d"
+  "bench_sec75_specialized_training"
+  "bench_sec75_specialized_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec75_specialized_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

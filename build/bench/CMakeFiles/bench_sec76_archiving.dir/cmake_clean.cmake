@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec76_archiving.dir/bench_sec76_archiving.cc.o"
+  "CMakeFiles/bench_sec76_archiving.dir/bench_sec76_archiving.cc.o.d"
+  "bench_sec76_archiving"
+  "bench_sec76_archiving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec76_archiving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

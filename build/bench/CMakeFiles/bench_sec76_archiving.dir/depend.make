@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec76_archiving.
+# This may be replaced when dependencies are built.

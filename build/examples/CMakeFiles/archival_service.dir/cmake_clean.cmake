@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archival_service.dir/archival_service.cpp.o"
+  "CMakeFiles/archival_service.dir/archival_service.cpp.o.d"
+  "archival_service"
+  "archival_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archival_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

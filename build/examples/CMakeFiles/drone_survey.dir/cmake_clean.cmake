@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_survey.dir/drone_survey.cpp.o"
+  "CMakeFiles/drone_survey.dir/drone_survey.cpp.o.d"
+  "drone_survey"
+  "drone_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_investigation.dir/incident_investigation.cpp.o"
+  "CMakeFiles/incident_investigation.dir/incident_investigation.cpp.o.d"
+  "incident_investigation"
+  "incident_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specialized_training.dir/specialized_training.cpp.o"
+  "CMakeFiles/specialized_training.dir/specialized_training.cpp.o.d"
+  "specialized_training"
+  "specialized_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specialized_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

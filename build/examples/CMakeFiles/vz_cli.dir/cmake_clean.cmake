@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_cli.dir/vz_cli.cpp.o"
+  "CMakeFiles/vz_cli.dir/vz_cli.cpp.o.d"
+  "vz_cli"
+  "vz_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_baseline.dir/classifier_only.cc.o"
+  "CMakeFiles/vz_baseline.dir/classifier_only.cc.o.d"
+  "CMakeFiles/vz_baseline.dir/spatula.cc.o"
+  "CMakeFiles/vz_baseline.dir/spatula.cc.o.d"
+  "CMakeFiles/vz_baseline.dir/topk_index.cc.o"
+  "CMakeFiles/vz_baseline.dir/topk_index.cc.o.d"
+  "libvz_baseline.a"
+  "libvz_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/cluster_tree.cc" "src/clustering/CMakeFiles/vz_clustering.dir/cluster_tree.cc.o" "gcc" "src/clustering/CMakeFiles/vz_clustering.dir/cluster_tree.cc.o.d"
+  "/root/repo/src/clustering/dendrogram_purity.cc" "src/clustering/CMakeFiles/vz_clustering.dir/dendrogram_purity.cc.o" "gcc" "src/clustering/CMakeFiles/vz_clustering.dir/dendrogram_purity.cc.o.d"
+  "/root/repo/src/clustering/hac.cc" "src/clustering/CMakeFiles/vz_clustering.dir/hac.cc.o" "gcc" "src/clustering/CMakeFiles/vz_clustering.dir/hac.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/clustering/CMakeFiles/vz_clustering.dir/kmeans.cc.o" "gcc" "src/clustering/CMakeFiles/vz_clustering.dir/kmeans.cc.o.d"
+  "/root/repo/src/clustering/silhouette.cc" "src/clustering/CMakeFiles/vz_clustering.dir/silhouette.cc.o" "gcc" "src/clustering/CMakeFiles/vz_clustering.dir/silhouette.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/vz_vector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_clustering.dir/cluster_tree.cc.o"
+  "CMakeFiles/vz_clustering.dir/cluster_tree.cc.o.d"
+  "CMakeFiles/vz_clustering.dir/dendrogram_purity.cc.o"
+  "CMakeFiles/vz_clustering.dir/dendrogram_purity.cc.o.d"
+  "CMakeFiles/vz_clustering.dir/hac.cc.o"
+  "CMakeFiles/vz_clustering.dir/hac.cc.o.d"
+  "CMakeFiles/vz_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/vz_clustering.dir/kmeans.cc.o.d"
+  "CMakeFiles/vz_clustering.dir/silhouette.cc.o"
+  "CMakeFiles/vz_clustering.dir/silhouette.cc.o.d"
+  "libvz_clustering.a"
+  "libvz_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_common.dir/logging.cc.o"
+  "CMakeFiles/vz_common.dir/logging.cc.o.d"
+  "CMakeFiles/vz_common.dir/math_util.cc.o"
+  "CMakeFiles/vz_common.dir/math_util.cc.o.d"
+  "CMakeFiles/vz_common.dir/rng.cc.o"
+  "CMakeFiles/vz_common.dir/rng.cc.o.d"
+  "CMakeFiles/vz_common.dir/status.cc.o"
+  "CMakeFiles/vz_common.dir/status.cc.o.d"
+  "libvz_common.a"
+  "libvz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_registry.cc" "src/core/CMakeFiles/vz_core.dir/app_registry.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/app_registry.cc.o.d"
+  "/root/repo/src/core/archiver.cc" "src/core/CMakeFiles/vz_core.dir/archiver.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/archiver.cc.o.d"
+  "/root/repo/src/core/feature_map_metric.cc" "src/core/CMakeFiles/vz_core.dir/feature_map_metric.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/feature_map_metric.cc.o.d"
+  "/root/repo/src/core/inter_camera_index.cc" "src/core/CMakeFiles/vz_core.dir/inter_camera_index.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/inter_camera_index.cc.o.d"
+  "/root/repo/src/core/intra_camera_index.cc" "src/core/CMakeFiles/vz_core.dir/intra_camera_index.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/intra_camera_index.cc.o.d"
+  "/root/repo/src/core/keyframe_selector.cc" "src/core/CMakeFiles/vz_core.dir/keyframe_selector.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/keyframe_selector.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/vz_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/omd.cc" "src/core/CMakeFiles/vz_core.dir/omd.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/omd.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/vz_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/query.cc.o.d"
+  "/root/repo/src/core/representative.cc" "src/core/CMakeFiles/vz_core.dir/representative.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/representative.cc.o.d"
+  "/root/repo/src/core/segmenter.cc" "src/core/CMakeFiles/vz_core.dir/segmenter.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/segmenter.cc.o.d"
+  "/root/repo/src/core/svs.cc" "src/core/CMakeFiles/vz_core.dir/svs.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/svs.cc.o.d"
+  "/root/repo/src/core/videozilla.cc" "src/core/CMakeFiles/vz_core.dir/videozilla.cc.o" "gcc" "src/core/CMakeFiles/vz_core.dir/videozilla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/vz_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vz_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vz_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vz_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_core.dir/app_registry.cc.o"
+  "CMakeFiles/vz_core.dir/app_registry.cc.o.d"
+  "CMakeFiles/vz_core.dir/archiver.cc.o"
+  "CMakeFiles/vz_core.dir/archiver.cc.o.d"
+  "CMakeFiles/vz_core.dir/feature_map_metric.cc.o"
+  "CMakeFiles/vz_core.dir/feature_map_metric.cc.o.d"
+  "CMakeFiles/vz_core.dir/inter_camera_index.cc.o"
+  "CMakeFiles/vz_core.dir/inter_camera_index.cc.o.d"
+  "CMakeFiles/vz_core.dir/intra_camera_index.cc.o"
+  "CMakeFiles/vz_core.dir/intra_camera_index.cc.o.d"
+  "CMakeFiles/vz_core.dir/keyframe_selector.cc.o"
+  "CMakeFiles/vz_core.dir/keyframe_selector.cc.o.d"
+  "CMakeFiles/vz_core.dir/monitor.cc.o"
+  "CMakeFiles/vz_core.dir/monitor.cc.o.d"
+  "CMakeFiles/vz_core.dir/omd.cc.o"
+  "CMakeFiles/vz_core.dir/omd.cc.o.d"
+  "CMakeFiles/vz_core.dir/query.cc.o"
+  "CMakeFiles/vz_core.dir/query.cc.o.d"
+  "CMakeFiles/vz_core.dir/representative.cc.o"
+  "CMakeFiles/vz_core.dir/representative.cc.o.d"
+  "CMakeFiles/vz_core.dir/segmenter.cc.o"
+  "CMakeFiles/vz_core.dir/segmenter.cc.o.d"
+  "CMakeFiles/vz_core.dir/svs.cc.o"
+  "CMakeFiles/vz_core.dir/svs.cc.o.d"
+  "CMakeFiles/vz_core.dir/videozilla.cc.o"
+  "CMakeFiles/vz_core.dir/videozilla.cc.o.d"
+  "libvz_core.a"
+  "libvz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

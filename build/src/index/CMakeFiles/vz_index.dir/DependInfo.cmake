@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/mtree.cc" "src/index/CMakeFiles/vz_index.dir/mtree.cc.o" "gcc" "src/index/CMakeFiles/vz_index.dir/mtree.cc.o.d"
+  "/root/repo/src/index/nn_descent.cc" "src/index/CMakeFiles/vz_index.dir/nn_descent.cc.o" "gcc" "src/index/CMakeFiles/vz_index.dir/nn_descent.cc.o.d"
+  "/root/repo/src/index/perch_tree.cc" "src/index/CMakeFiles/vz_index.dir/perch_tree.cc.o" "gcc" "src/index/CMakeFiles/vz_index.dir/perch_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/vz_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vz_clustering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_index.dir/mtree.cc.o"
+  "CMakeFiles/vz_index.dir/mtree.cc.o.d"
+  "CMakeFiles/vz_index.dir/nn_descent.cc.o"
+  "CMakeFiles/vz_index.dir/nn_descent.cc.o.d"
+  "CMakeFiles/vz_index.dir/perch_tree.cc.o"
+  "CMakeFiles/vz_index.dir/perch_tree.cc.o.d"
+  "libvz_index.a"
+  "libvz_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvz_index.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_io.dir/binary_format.cc.o"
+  "CMakeFiles/vz_io.dir/binary_format.cc.o.d"
+  "CMakeFiles/vz_io.dir/svs_snapshot.cc.o"
+  "CMakeFiles/vz_io.dir/svs_snapshot.cc.o.d"
+  "libvz_io.a"
+  "libvz_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

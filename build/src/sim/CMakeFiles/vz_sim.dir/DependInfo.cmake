@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cc" "src/sim/CMakeFiles/vz_sim.dir/dataset.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/dataset.cc.o.d"
+  "/root/repo/src/sim/evaluation.cc" "src/sim/CMakeFiles/vz_sim.dir/evaluation.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/evaluation.cc.o.d"
+  "/root/repo/src/sim/feature_extractor.cc" "src/sim/CMakeFiles/vz_sim.dir/feature_extractor.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/sim/feature_space.cc" "src/sim/CMakeFiles/vz_sim.dir/feature_space.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/feature_space.cc.o.d"
+  "/root/repo/src/sim/ground_truth.cc" "src/sim/CMakeFiles/vz_sim.dir/ground_truth.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/ground_truth.cc.o.d"
+  "/root/repo/src/sim/object_class.cc" "src/sim/CMakeFiles/vz_sim.dir/object_class.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/object_class.cc.o.d"
+  "/root/repo/src/sim/object_detector.cc" "src/sim/CMakeFiles/vz_sim.dir/object_detector.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/object_detector.cc.o.d"
+  "/root/repo/src/sim/scene.cc" "src/sim/CMakeFiles/vz_sim.dir/scene.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/scene.cc.o.d"
+  "/root/repo/src/sim/verifier.cc" "src/sim/CMakeFiles/vz_sim.dir/verifier.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/verifier.cc.o.d"
+  "/root/repo/src/sim/video_source.cc" "src/sim/CMakeFiles/vz_sim.dir/video_source.cc.o" "gcc" "src/sim/CMakeFiles/vz_sim.dir/video_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/vz_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vz_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vz_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vz_clustering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

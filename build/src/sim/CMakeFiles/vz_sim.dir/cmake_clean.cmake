@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_sim.dir/dataset.cc.o"
+  "CMakeFiles/vz_sim.dir/dataset.cc.o.d"
+  "CMakeFiles/vz_sim.dir/evaluation.cc.o"
+  "CMakeFiles/vz_sim.dir/evaluation.cc.o.d"
+  "CMakeFiles/vz_sim.dir/feature_extractor.cc.o"
+  "CMakeFiles/vz_sim.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/vz_sim.dir/feature_space.cc.o"
+  "CMakeFiles/vz_sim.dir/feature_space.cc.o.d"
+  "CMakeFiles/vz_sim.dir/ground_truth.cc.o"
+  "CMakeFiles/vz_sim.dir/ground_truth.cc.o.d"
+  "CMakeFiles/vz_sim.dir/object_class.cc.o"
+  "CMakeFiles/vz_sim.dir/object_class.cc.o.d"
+  "CMakeFiles/vz_sim.dir/object_detector.cc.o"
+  "CMakeFiles/vz_sim.dir/object_detector.cc.o.d"
+  "CMakeFiles/vz_sim.dir/scene.cc.o"
+  "CMakeFiles/vz_sim.dir/scene.cc.o.d"
+  "CMakeFiles/vz_sim.dir/verifier.cc.o"
+  "CMakeFiles/vz_sim.dir/verifier.cc.o.d"
+  "CMakeFiles/vz_sim.dir/video_source.cc.o"
+  "CMakeFiles/vz_sim.dir/video_source.cc.o.d"
+  "libvz_sim.a"
+  "libvz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_solver.dir/emd.cc.o"
+  "CMakeFiles/vz_solver.dir/emd.cc.o.d"
+  "CMakeFiles/vz_solver.dir/min_cost_flow.cc.o"
+  "CMakeFiles/vz_solver.dir/min_cost_flow.cc.o.d"
+  "libvz_solver.a"
+  "libvz_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_train.dir/specialized_trainer.cc.o"
+  "CMakeFiles/vz_train.dir/specialized_trainer.cc.o.d"
+  "libvz_train.a"
+  "libvz_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vz_vector.dir/feature_map.cc.o"
+  "CMakeFiles/vz_vector.dir/feature_map.cc.o.d"
+  "CMakeFiles/vz_vector.dir/feature_vector.cc.o"
+  "CMakeFiles/vz_vector.dir/feature_vector.cc.o.d"
+  "libvz_vector.a"
+  "libvz_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vz_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

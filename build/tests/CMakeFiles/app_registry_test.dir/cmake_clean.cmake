@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_registry_test.dir/app_registry_test.cc.o"
+  "CMakeFiles/app_registry_test.dir/app_registry_test.cc.o.d"
+  "app_registry_test"
+  "app_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

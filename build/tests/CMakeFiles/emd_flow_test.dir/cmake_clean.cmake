@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emd_flow_test.dir/emd_flow_test.cc.o"
+  "CMakeFiles/emd_flow_test.dir/emd_flow_test.cc.o.d"
+  "emd_flow_test"
+  "emd_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emd_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

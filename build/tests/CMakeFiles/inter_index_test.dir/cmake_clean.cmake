@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inter_index_test.dir/inter_index_test.cc.o"
+  "CMakeFiles/inter_index_test.dir/inter_index_test.cc.o.d"
+  "inter_index_test"
+  "inter_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inter_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intra_index_test.dir/intra_index_test.cc.o"
+  "CMakeFiles/intra_index_test.dir/intra_index_test.cc.o.d"
+  "intra_index_test"
+  "intra_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intra_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

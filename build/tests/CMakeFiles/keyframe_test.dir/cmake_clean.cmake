@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyframe_test.dir/keyframe_test.cc.o"
+  "CMakeFiles/keyframe_test.dir/keyframe_test.cc.o.d"
+  "keyframe_test"
+  "keyframe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyframe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/omd_test.cc" "tests/CMakeFiles/omd_test.dir/omd_test.cc.o" "gcc" "tests/CMakeFiles/omd_test.dir/omd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/vz_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vz_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vz_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vz_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/vz_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vz_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/vz_train.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omd_test.dir/omd_test.cc.o"
+  "CMakeFiles/omd_test.dir/omd_test.cc.o.d"
+  "omd_test"
+  "omd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perch_tree_test.dir/perch_tree_test.cc.o"
+  "CMakeFiles/perch_tree_test.dir/perch_tree_test.cc.o.d"
+  "perch_tree_test"
+  "perch_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perch_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/representative_covering_test.dir/representative_covering_test.cc.o"
+  "CMakeFiles/representative_covering_test.dir/representative_covering_test.cc.o.d"
+  "representative_covering_test"
+  "representative_covering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/representative_covering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/representative_test.dir/representative_test.cc.o"
+  "CMakeFiles/representative_test.dir/representative_test.cc.o.d"
+  "representative_test"
+  "representative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/representative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_test.dir/restore_test.cc.o"
+  "CMakeFiles/restore_test.dir/restore_test.cc.o.d"
+  "restore_test"
+  "restore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

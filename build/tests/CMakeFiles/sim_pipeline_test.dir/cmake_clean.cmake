@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pipeline_test.dir/sim_pipeline_test.cc.o"
+  "CMakeFiles/sim_pipeline_test.dir/sim_pipeline_test.cc.o.d"
+  "sim_pipeline_test"
+  "sim_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatula_test.dir/spatula_test.cc.o"
+  "CMakeFiles/spatula_test.dir/spatula_test.cc.o.d"
+  "spatula_test"
+  "spatula_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_index_test.dir/topk_index_test.cc.o"
+  "CMakeFiles/topk_index_test.dir/topk_index_test.cc.o.d"
+  "topk_index_test"
+  "topk_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videozilla_edge_test.dir/videozilla_edge_test.cc.o"
+  "CMakeFiles/videozilla_edge_test.dir/videozilla_edge_test.cc.o.d"
+  "videozilla_edge_test"
+  "videozilla_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videozilla_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videozilla_test.dir/videozilla_test.cc.o"
+  "CMakeFiles/videozilla_test.dir/videozilla_test.cc.o.d"
+  "videozilla_test"
+  "videozilla_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videozilla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
