@@ -5,6 +5,9 @@
 // size but the exact/thresholded gap shape is the same.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "common/thread_pool.h"
 #include "core/omd.h"
 #include "sim/dataset.h"
 
@@ -46,6 +49,57 @@ void BM_ThresholdedOmd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThresholdedOmd)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+// The parallel ground-distance matrix fill (the quadratic kernel inside
+// every OMD solve) across a threads axis: Args are {vectors per side,
+// threads}. threads = 1 is the serial legacy path; the parallel fills are
+// bit-identical to it. dim = 128, so a 256x256 matrix is ~8.4M FLOPs of
+// batched row kernels — the speedup axis of the PR.
+void BM_GroundDistanceMatrix(benchmark::State& state) {
+  const auto vectors = static_cast<size_t>(state.range(0));
+  const auto threads = static_cast<size_t>(state.range(1));
+  const auto data = MakePair(vectors);
+  vz::core::OmdOptions options;
+  options.max_vectors = vectors;
+  vz::core::OmdCalculator calc(options);
+  std::unique_ptr<vz::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<vz::ThreadPool>(threads);
+    calc.set_thread_pool(pool.get());
+  }
+  for (auto _ : state) {
+    auto matrix = calc.ComputeGroundMatrix(data.svss[0], data.svss[1]);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cells"] = static_cast<double>(vectors * vectors);
+}
+BENCHMARK(BM_GroundDistanceMatrix)
+    ->ArgsProduct({{64, 128, 256}, {1, 2, 4}});
+
+// Full thresholded OMD (matrix fill + solver) across the same threads axis;
+// the solver stays serial, so this shows the end-to-end Amdahl picture.
+void BM_ThresholdedOmdThreads(benchmark::State& state) {
+  const auto vectors = static_cast<size_t>(state.range(0));
+  const auto threads = static_cast<size_t>(state.range(1));
+  const auto data = MakePair(vectors);
+  vz::core::OmdOptions options;
+  options.mode = vz::core::OmdMode::kThresholded;
+  options.threshold_alpha = 0.6;
+  options.max_vectors = vectors;
+  vz::core::OmdCalculator calc(options);
+  std::unique_ptr<vz::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<vz::ThreadPool>(threads);
+    calc.set_thread_pool(pool.get());
+  }
+  for (auto _ : state) {
+    auto d = calc.Distance(data.svss[0], data.svss[1]);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ThresholdedOmdThreads)->ArgsProduct({{128, 256}, {1, 2, 4}});
 
 void BM_OcdLowerBound(benchmark::State& state) {
   const auto data = MakePair(static_cast<size_t>(state.range(0)));

@@ -1,0 +1,73 @@
+#ifndef VZ_COMMON_THREAD_POOL_H_
+#define VZ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vz {
+
+/// Fixed-size pool of worker threads shared by the parallel execution paths
+/// (OMD ground-distance matrix fill, query candidate verification).
+///
+/// Tasks are plain closures executed FIFO. `ParallelFor` is the primary entry
+/// point: the calling thread always participates in the iteration work, so
+/// nested calls (a parallel query task evaluating a parallel OMD on the same
+/// pool) cannot deadlock even when every worker is busy — the caller alone
+/// can drain its own range.
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` execution lanes: the caller of `ParallelFor`
+  /// plus `num_threads - 1` spawned workers. `num_threads == 0` means one
+  /// lane per hardware thread; values are clamped to at least 1 (no workers,
+  /// everything runs inline on the caller).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (spawned workers + the participating caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Enqueues one task. The future reports completion or rethrows the task's
+  /// exception. With a single-lane pool the task runs inline. Tasks must not
+  /// block on other submitted tasks (use `ParallelFor` for fork/join work).
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for every `i` in `[0, n)` and blocks until all started
+  /// iterations finished. Iterations are claimed dynamically by the caller
+  /// and by helper tasks on the workers. The first exception thrown by `fn`
+  /// is rethrown here and abandons the remaining iterations.
+  ///
+  /// Determinism is the caller's contract: have `fn` write only to slot `i`
+  /// of a preallocated result array and aggregate in index order afterwards —
+  /// then the outcome is identical to the serial loop regardless of thread
+  /// count or schedule.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper used by all call sites: runs on `pool` when it offers
+/// real parallelism, otherwise (including `pool == nullptr`) executes the
+/// plain serial loop in index order — the exact legacy semantics that the
+/// `num_threads = 1` configuration guarantees.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace vz
+
+#endif  // VZ_COMMON_THREAD_POOL_H_

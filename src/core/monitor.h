@@ -63,6 +63,13 @@ class PerformanceMonitor {
 
   MonitorState state() const { return state_; }
 
+  /// Hit/miss counters of the system's shared OMD distance cache. Exposed
+  /// alongside the F1 telemetry so parameter adaptation can distinguish "the
+  /// index is slow" from "the cache went cold" (e.g. after heavy ingestion
+  /// churn invalidated many pairs, or after a mode/alpha switch re-keyed
+  /// every entry).
+  OmdCacheStats omd_cache_stats() const { return system_->omd_cache().stats(); }
+
   /// Adjusts the user error preference at runtime.
   void set_target_f1(double target) { options_.target_f1 = target; }
   uint64_t queries_run() const { return queries_run_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "core/omd_cache.h"
 #include "solver/emd.h"
 
 namespace vz::core {
@@ -29,6 +30,30 @@ void Subsample(const FeatureMap& in, size_t cap,
   }
 }
 
+// Fills the dense row-major ground-distance matrix, one batched kernel call
+// per row, rows distributed over the pool. Each task writes only its own row
+// and max slot, so the result is bit-identical for any thread count (max is
+// order-independent).
+double FillGroundMatrix(ThreadPool* pool,
+                        const std::vector<const FeatureVector*>& av,
+                        const std::vector<const FeatureVector*>& bv,
+                        std::vector<double>* cost) {
+  const size_t n = av.size();
+  const size_t m = bv.size();
+  cost->resize(n * m);
+  std::vector<double> row_max(n, 0.0);
+  ParallelFor(pool, n, [&](size_t i) {
+    double* row = cost->data() + i * m;
+    EuclideanDistancesTo(*av[i], bv.data(), m, row);
+    double mx = 0.0;
+    for (size_t j = 0; j < m; ++j) mx = std::max(mx, row[j]);
+    row_max[i] = mx;
+  });
+  double max_cost = 0.0;
+  for (double mx : row_max) max_cost = std::max(max_cost, mx);
+  return max_cost;
+}
+
 }  // namespace
 
 OmdCalculator::OmdCalculator(const OmdOptions& options) : options_(options) {
@@ -42,15 +67,20 @@ void OmdCalculator::set_threshold_alpha(double alpha) {
 
 StatusOr<double> OmdCalculator::Distance(const FeatureMap& a,
                                          const FeatureMap& b) {
-  ++num_computations_;
+  num_computations_.fetch_add(1, std::memory_order_relaxed);
   if (a.empty() && b.empty()) return 0.0;
   // An empty side behaves as one zero vector of the other side's dimension.
-  const FeatureVector zero(a.empty() ? b.dim() : a.dim());
+  // The stand-in map is only materialized when a side actually is empty.
+  const FeatureMap* left = &a;
+  const FeatureMap* right = &b;
   FeatureMap zero_map;
-  (void)zero_map.Add(zero, 1.0);
-  const FeatureMap& left = a.empty() ? zero_map : a;
-  const FeatureMap& right = b.empty() ? zero_map : b;
-  if (left.dim() != right.dim()) {
+  if (a.empty() || b.empty()) {
+    const FeatureVector zero(a.empty() ? b.dim() : a.dim());
+    (void)zero_map.Add(zero, 1.0);
+    if (a.empty()) left = &zero_map;
+    if (b.empty()) right = &zero_map;
+  }
+  if (left->dim() != right->dim()) {
     return Status::InvalidArgument("feature map dimension mismatch");
   }
 
@@ -58,21 +88,13 @@ StatusOr<double> OmdCalculator::Distance(const FeatureMap& a,
   std::vector<double> aw;
   std::vector<const FeatureVector*> bv;
   std::vector<double> bw;
-  Subsample(left, options_.max_vectors, &av, &aw);
-  Subsample(right, options_.max_vectors, &bv, &bw);
+  Subsample(*left, options_.max_vectors, &av, &aw);
+  Subsample(*right, options_.max_vectors, &bv, &bw);
 
   // Dense ground-distance matrix, shared by both solver modes.
-  const size_t n = av.size();
   const size_t m = bv.size();
-  std::vector<double> cost(n * m);
-  double max_cost = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < m; ++j) {
-      const double d = EuclideanDistance(*av[i], *bv[j]);
-      cost[i * m + j] = d;
-      max_cost = std::max(max_cost, d);
-    }
-  }
+  std::vector<double> cost;
+  const double max_cost = FillGroundMatrix(pool_, av, bv, &cost);
   const auto ground = [&cost, m](size_t i, size_t j) {
     return cost[i * m + j];
   };
@@ -86,6 +108,27 @@ StatusOr<double> OmdCalculator::Distance(const FeatureMap& a,
   VZ_ASSIGN_OR_RETURN(solver::EmdResult result,
                       solver::ThresholdedEmd(aw, bw, ground, threshold));
   return result.distance;
+}
+
+StatusOr<OmdCalculator::GroundMatrix> OmdCalculator::ComputeGroundMatrix(
+    const FeatureMap& a, const FeatureMap& b) const {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("ground matrix requires non-empty maps");
+  }
+  if (a.dim() != b.dim()) {
+    return Status::InvalidArgument("feature map dimension mismatch");
+  }
+  std::vector<const FeatureVector*> av;
+  std::vector<double> aw;
+  std::vector<const FeatureVector*> bv;
+  std::vector<double> bw;
+  Subsample(a, options_.max_vectors, &av, &aw);
+  Subsample(b, options_.max_vectors, &bv, &bw);
+  GroundMatrix matrix;
+  matrix.rows = av.size();
+  matrix.cols = bv.size();
+  matrix.max_cost = FillGroundMatrix(pool_, av, bv, &matrix.cost);
+  return matrix;
 }
 
 SvsMetric::SvsMetric(const SvsStore* store, OmdCalculator* calculator,
@@ -112,13 +155,20 @@ const FeatureVector& SvsMetric::CentroidOf(int id) {
 double SvsMetric::Distance(int a, int b) {
   if (a == b) return 0.0;
   const bool cacheable = options_.memoize && a >= 0 && b >= 0;
+  const OmdOptions& omd_options = calculator_->options();
   int64_t key = 0;
   if (cacheable) {
-    const auto lo = static_cast<uint32_t>(std::min(a, b));
-    const auto hi = static_cast<uint32_t>(std::max(a, b));
-    key = static_cast<int64_t>((static_cast<uint64_t>(lo) << 32) | hi);
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    if (shared_cache_ != nullptr) {
+      auto hit = shared_cache_->Lookup(a, b, omd_options.mode,
+                                       omd_options.threshold_alpha);
+      if (hit.has_value()) return *hit;
+    } else {
+      const auto lo = static_cast<uint32_t>(std::min(a, b));
+      const auto hi = static_cast<uint32_t>(std::max(a, b));
+      key = static_cast<int64_t>((static_cast<uint64_t>(lo) << 32) | hi);
+      auto it = memo_.find(key);
+      if (it != memo_.end()) return it->second;
+    }
   }
   const FeatureMap* ma = Resolve(a);
   const FeatureMap* mb = Resolve(b);
@@ -132,7 +182,14 @@ double SvsMetric::Distance(int a, int b) {
     VZ_LOG(Error) << "OMD failed: " << result.status().ToString();
     return 0.0;
   }
-  if (cacheable) memo_.emplace(key, *result);
+  if (cacheable) {
+    if (shared_cache_ != nullptr) {
+      shared_cache_->Insert(a, b, omd_options.mode,
+                            omd_options.threshold_alpha, *result);
+    } else {
+      memo_.emplace(key, *result);
+    }
+  }
   return *result;
 }
 
@@ -159,6 +216,7 @@ void SvsMetric::UnregisterTemporary(int id) {
 void SvsMetric::InvalidateCache() {
   memo_.clear();
   centroids_.clear();
+  if (shared_cache_ != nullptr) shared_cache_->Clear();
 }
 
 }  // namespace vz::core

@@ -1,16 +1,20 @@
 #ifndef VZ_CORE_OMD_H_
 #define VZ_CORE_OMD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "core/svs.h"
 #include "index/item_metric.h"
 #include "vector/feature_map.h"
 
 namespace vz::core {
+
+class OmdDistanceCache;
 
 /// How OMD is evaluated.
 enum class OmdMode {
@@ -38,6 +42,13 @@ struct OmdOptions {
 /// follow the maps (uniform for raw SVSs, cluster masses for
 /// representatives). An empty map is treated as a single zero vector so
 /// pipeline edge cases (object-free video) stay well defined.
+///
+/// `Distance` is safe to call concurrently (the computation counter is
+/// atomic and the solver is stateless) as long as the configuration setters
+/// are not raced against it. When a thread pool is attached, the dense
+/// ground-distance matrix is filled row-parallel with the batched
+/// `EuclideanDistancesTo` kernel; results are bit-identical to the serial
+/// fill for any thread count.
 class OmdCalculator {
  public:
   explicit OmdCalculator(const OmdOptions& options = OmdOptions());
@@ -45,9 +56,24 @@ class OmdCalculator {
   /// OMD between `a` and `b` under the configured mode.
   StatusOr<double> Distance(const FeatureMap& a, const FeatureMap& b);
 
+  /// The dense ground-distance matrix between the (subsampled) maps — the
+  /// quadratic kernel `Distance` runs before solving, exposed so benchmarks
+  /// can measure the matrix-fill path in isolation.
+  struct GroundMatrix {
+    size_t rows = 0;
+    size_t cols = 0;
+    /// Row-major: cost[i * cols + j] = d(a_i, b_j).
+    std::vector<double> cost;
+    double max_cost = 0.0;
+  };
+  StatusOr<GroundMatrix> ComputeGroundMatrix(const FeatureMap& a,
+                                             const FeatureMap& b) const;
+
   /// Number of OMD solves performed (the cost metric of Figs. 13-14).
-  uint64_t num_computations() const { return num_computations_; }
-  void ResetCounter() { num_computations_ = 0; }
+  uint64_t num_computations() const {
+    return num_computations_.load(std::memory_order_relaxed);
+  }
+  void ResetCounter() { num_computations_.store(0, std::memory_order_relaxed); }
 
   const OmdOptions& options() const { return options_; }
   /// Adjusts the approximation threshold at runtime; the performance monitor
@@ -55,9 +81,15 @@ class OmdCalculator {
   void set_threshold_alpha(double alpha);
   void set_mode(OmdMode mode) { options_.mode = mode; }
 
+  /// Attaches the pool used to parallelize the ground-distance matrix fill;
+  /// nullptr (the default) keeps the serial path.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
  private:
   OmdOptions options_;
-  uint64_t num_computations_ = 0;
+  ThreadPool* pool_ = nullptr;
+  std::atomic<uint64_t> num_computations_{0};
 };
 
 /// Options for `SvsMetric`.
@@ -89,6 +121,12 @@ class SvsMetric : public index::ItemMetric {
   int RegisterTemporary(const FeatureMap* map);
   void UnregisterTemporary(int id);
 
+  /// Routes memoization through a cache shared with other consumers (keyed
+  /// by id pair *and* OMD configuration, LRU-bounded, invalidatable per
+  /// SVS). nullptr restores the private unbounded memo. The cache must
+  /// outlive the metric.
+  void set_shared_cache(OmdDistanceCache* cache) { shared_cache_ = cache; }
+
   /// Clears the memoization cache (e.g. after representatives change).
   void InvalidateCache();
 
@@ -101,6 +139,7 @@ class SvsMetric : public index::ItemMetric {
   SvsMetricOptions options_;
   std::unordered_map<int, const FeatureMap*> temporaries_;
   int next_temporary_ = -2;
+  OmdDistanceCache* shared_cache_ = nullptr;
   std::unordered_map<int64_t, double> memo_;       // packed (a, b) -> distance
   std::unordered_map<int, FeatureVector> centroids_;
   uint64_t num_evals_ = 0;

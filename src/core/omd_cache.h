@@ -1,0 +1,106 @@
+#ifndef VZ_CORE_OMD_CACHE_H_
+#define VZ_CORE_OMD_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/frame.h"
+
+namespace vz::core {
+
+enum class OmdMode;  // core/omd.h
+
+/// Counters of the shared OMD distance cache, surfaced through
+/// `PerformanceMonitor::omd_cache_stats()` so parameter adaptation can see
+/// how much of the query cost is being absorbed by memoization.
+struct OmdCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  /// Entries dropped by `InvalidateSvs` / `Clear` (not by LRU eviction).
+  uint64_t invalidations = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Thread-safe LRU memo of pairwise OMD distances between *stored* SVSs.
+///
+/// One instance is shared through `VideoZilla` by every consumer of SVS-pair
+/// distances: the per-camera intra indices (PERCH insertions and rotations
+/// re-touch the same pairs), representative selection, and
+/// `clusteringQuery`'s flat fallback when the query is itself a stored SVS.
+///
+/// The key is the unordered id pair *plus* the OMD configuration it was
+/// computed under — `(min(a,b), max(a,b), mode, threshold_alpha)` — so the
+/// performance monitor's switch to exact OMD (Sec. 5.3 adjustment ii) can
+/// never be served a stale thresholded value. Entries involving an SVS must
+/// be invalidated when that SVS is (re)ingested; `VideoZilla` does this on
+/// every store insertion.
+class OmdDistanceCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit OmdDistanceCache(size_t capacity = kDefaultCapacity);
+
+  /// Cached distance for the pair under the given configuration, bumping it
+  /// to most-recently-used; nullopt on miss. Ids must be non-negative.
+  std::optional<double> Lookup(SvsId a, SvsId b, OmdMode mode, double alpha);
+
+  /// Memoizes a computed distance (evicting the least-recently-used entry at
+  /// capacity). Overwrites an existing entry for the same key.
+  void Insert(SvsId a, SvsId b, OmdMode mode, double alpha, double distance);
+
+  /// Drops every entry involving `id`. Call whenever an SVS is (re)ingested
+  /// or its feature map could have changed.
+  void InvalidateSvs(SvsId id);
+
+  /// Drops everything (e.g. after a bulk restore).
+  void Clear();
+
+  OmdCacheStats stats() const;
+  void ResetStats();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    OmdMode mode;
+    double alpha = 0.0;
+
+    bool operator==(const Key& other) const {
+      return lo == other.lo && hi == other.hi && mode == other.mode &&
+             alpha == other.alpha;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  static Key MakeKey(SvsId a, SvsId b, OmdMode mode, double alpha);
+
+  using LruList = std::list<std::pair<Key, double>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_OMD_CACHE_H_

@@ -46,6 +46,10 @@ class ObjectVerifier {
   virtual ~ObjectVerifier() = default;
 
   /// Runs the heavy model over `svs`'s frames for the queried object.
+  ///
+  /// The parallel query path calls this concurrently for different
+  /// candidates (one call per candidate SVS), so implementations must be
+  /// thread-safe. Per-call results must not depend on call order.
   virtual Verification Verify(const Svs& svs,
                               const FeatureVector& query_feature) = 0;
 };

@@ -1,6 +1,7 @@
 #include "core/videozilla.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -36,8 +37,17 @@ VideoZilla::VideoZilla(const VideoZillaOptions& options)
     : options_(options),
       rng_(options.seed),
       omd_(options.omd),
+      omd_cache_(options.omd_cache_capacity),
       metric_(&store_, &omd_),
-      inter_(&omd_, options.inter, Rng(options.seed ^ 0x1357)) {}
+      inter_(&omd_, options.inter, Rng(options.seed ^ 0x1357)) {
+  const size_t threads =
+      options_.num_threads == 0
+          ? std::max<size_t>(1, std::thread::hardware_concurrency())
+          : options_.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  omd_.set_thread_pool(pool_.get());
+  metric_.set_shared_cache(&omd_cache_);
+}
 
 VideoZilla::~VideoZilla() = default;
 
@@ -127,6 +137,7 @@ Status VideoZilla::RestoreFromSvsStore(const SvsStore& source) {
     }
     const SvsId new_id = store_.Create(svs->camera(), svs->start_ms(),
                                        svs->end_ms(), svs->features());
+    omd_cache_.InvalidateSvs(new_id);
     VZ_ASSIGN_OR_RETURN(Svs * copy, store_.GetMutable(new_id));
     copy->set_representative(svs->representative());
     copy->set_frame_ids(svs->frame_ids());
@@ -167,6 +178,9 @@ Status VideoZilla::HandleSegment(CameraPipeline* pipeline, Segment segment) {
 
   const SvsId id = store_.Create(pipeline->index.camera(), segment.start_ms,
                                  segment.end_ms, std::move(segment.features));
+  // Ids are dense and fresh, but the invalidation contract is per store
+  // insertion: any cached distance involving this id is stale by definition.
+  omd_cache_.InvalidateSvs(id);
   ++ingest_stats_.svs_created;
   {
     VZ_ASSIGN_OR_RETURN(Svs * svs, store_.GetMutable(id));
@@ -244,11 +258,21 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       break;
     }
     case IndexMode::kIntraOnly: {
+      // The per-camera index scans are independent const reads, so they fan
+      // out over the pool — one task per intra-camera index. Per-camera
+      // results land in their own slot and are concatenated in the same
+      // pipeline order the serial loop uses, keeping the output identical.
+      std::vector<const IntraCameraIndex*> indices;
       for (const auto& [camera, pipeline] : pipelines_) {
         if (!constraints.AllowsCamera(camera)) continue;
-        for (SvsId id : pipeline->index.FeatureSearch(feature, scale)) {
-          candidates.push_back(id);
-        }
+        indices.push_back(&pipeline->index);
+      }
+      std::vector<std::vector<SvsId>> per_camera_hits(indices.size());
+      ParallelFor(pool_.get(), indices.size(), [&](size_t i) {
+        per_camera_hits[i] = indices[i]->FeatureSearch(feature, scale);
+      });
+      for (const std::vector<SvsId>& hits : per_camera_hits) {
+        candidates.insert(candidates.end(), hits.begin(), hits.end());
       }
       break;
     }
@@ -297,23 +321,29 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
   if (index_mode_ == IndexMode::kFlat || !options_.enable_exact_stage) {
     return filtered;
   }
+  // The query feature and a truly matching stored feature each carry one
+  // draw of extractor noise, so their distance runs ~sqrt(2) above the
+  // typical member-to-center spread. The spread estimate is global (the
+  // median over all representative centers): a fat merged ball in this
+  // particular SVS must not widen its own acceptance test. Computed before
+  // the fan-out — it caches into mutable state.
+  const double threshold = scale * 2.0 * EstimateFeatureSpread();
+  std::vector<char> matched(filtered.size(), 0);
+  ParallelFor(pool_.get(), filtered.size(), [&](size_t task) {
+    auto svs = store_.Get(filtered[task]);
+    if (!svs.ok()) return;
+    const FeatureMap& map = (*svs)->features();
+    for (size_t i = 0; i < map.size(); ++i) {
+      if (EuclideanDistance(feature, map.vector(i)) <= threshold) {
+        matched[task] = 1;
+        return;
+      }
+    }
+  });
   std::vector<SvsId> confirmed;
   confirmed.reserve(filtered.size());
-  for (SvsId id : filtered) {
-    auto svs = store_.Get(id);
-    if (!svs.ok()) continue;
-    // The query feature and a truly matching stored feature each carry one
-    // draw of extractor noise, so their distance runs ~sqrt(2) above the
-    // typical member-to-center spread. The spread estimate is global (the
-    // median over all representative centers): a fat merged ball in this
-    // particular SVS must not widen its own acceptance test.
-    const double threshold = scale * 2.0 * EstimateFeatureSpread();
-    const FeatureMap& map = (*svs)->features();
-    bool matched = false;
-    for (size_t i = 0; i < map.size() && !matched; ++i) {
-      matched = EuclideanDistance(feature, map.vector(i)) <= threshold;
-    }
-    if (matched) confirmed.push_back(id);
+  for (size_t task = 0; task < filtered.size(); ++task) {
+    if (matched[task]) confirmed.push_back(filtered[task]);
   }
   return confirmed;
 }
@@ -332,9 +362,25 @@ StatusOr<DirectQueryResult> VideoZilla::DirectQuery(
   result.cameras_searched = cameras.size();
 
   // Verification stage: the heavy model runs only over candidate SVSs; its
-  // GPU time is what Figs. 15-17 compare.
+  // GPU time is what Figs. 15-17 compare. The per-candidate heavy-model
+  // calls are independent, so they fan out over the pool; each task writes
+  // only its own slot. Aggregation (GPU-time sums, matched list, access
+  // stats) happens afterwards in candidate order — the serial order — so the
+  // result is bit-identical for any thread count.
+  const size_t n = result.candidate_svss.size();
+  std::vector<ObjectVerifier::Verification> verifications(n);
+  std::vector<char> resolved(n, 0);
+  if (verifier_ != nullptr) {
+    ParallelFor(pool_.get(), n, [&](size_t i) {
+      auto svs = store_.Get(result.candidate_svss[i]);
+      if (!svs.ok()) return;
+      resolved[i] = 1;
+      verifications[i] = verifier_->Verify(**svs, object_feature);
+    });
+  }
   std::unordered_map<CameraId, double> per_camera;
-  for (SvsId id : result.candidate_svss) {
+  for (size_t i = 0; i < n; ++i) {
+    const SvsId id = result.candidate_svss[i];
     auto svs = store_.GetMutable(id);
     if (!svs.ok()) continue;
     if (verifier_ == nullptr) {
@@ -342,8 +388,8 @@ StatusOr<DirectQueryResult> VideoZilla::DirectQuery(
       (*svs)->RecordAccess(now_ms_);
       continue;
     }
-    const ObjectVerifier::Verification v =
-        verifier_->Verify(**svs, object_feature);
+    if (!resolved[i]) continue;
+    const ObjectVerifier::Verification& v = verifications[i];
     result.total_gpu_ms += v.gpu_ms;
     result.frames_processed += v.frames_processed;
     per_camera[(*svs)->camera()] += v.gpu_ms;
@@ -362,6 +408,18 @@ StatusOr<DirectQueryResult> VideoZilla::DirectQuery(
 
 StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQuery(
     const FeatureMap& target, const QueryConstraints& constraints) {
+  return ClusteringQueryImpl(target, /*target_id=*/-1, constraints);
+}
+
+StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQuery(
+    SvsId target_id, const QueryConstraints& constraints) {
+  VZ_ASSIGN_OR_RETURN(const Svs* svs, store_.Get(target_id));
+  return ClusteringQueryImpl(svs->features(), target_id, constraints);
+}
+
+StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
+    const FeatureMap& target, SvsId target_id,
+    const QueryConstraints& constraints) {
   ClusteringQueryResult result;
   std::unordered_set<CameraId> cameras;
   if (index_mode_ == IndexMode::kHierarchical && inter_.size() > 0) {
@@ -388,8 +446,12 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQuery(
   } else {
     // Flat fallback: scan every SVS and keep those within 1.5x of the
     // nearest OMD — a relative similarity band standing in for the missing
-    // hierarchy.
-    std::vector<std::pair<double, SvsId>> scored;
+    // hierarchy. Candidates are filtered serially (cheap metadata reads),
+    // then the OMD evaluations — the expensive part — fan out over the
+    // pool, one slot per candidate. When the target is itself a stored SVS,
+    // each pairwise distance is served from / memoized into the shared
+    // distance cache under the (target, candidate) pair.
+    std::vector<SvsId> ids;
     for (SvsId id : store_.AllIds()) {
       auto svs = store_.Get(id);
       if (!svs.ok()) continue;
@@ -397,8 +459,34 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQuery(
       if (!constraints.AllowsTime((*svs)->start_ms(), (*svs)->end_ms())) {
         continue;
       }
+      ids.push_back(id);
+    }
+    const OmdOptions& omd_options = omd_.options();
+    std::vector<double> distances(ids.size(), -1.0);  // -1 = failed solve
+    ParallelFor(pool_.get(), ids.size(), [&](size_t i) {
+      const SvsId id = ids[i];
+      if (target_id >= 0) {
+        auto hit = omd_cache_.Lookup(target_id, id, omd_options.mode,
+                                     omd_options.threshold_alpha);
+        if (hit.has_value()) {
+          distances[i] = *hit;
+          return;
+        }
+      }
+      auto svs = store_.Get(id);
+      if (!svs.ok()) return;
       auto d = omd_.Distance(target, (*svs)->features());
-      if (d.ok()) scored.emplace_back(*d, id);
+      if (!d.ok()) return;
+      distances[i] = *d;
+      if (target_id >= 0) {
+        omd_cache_.Insert(target_id, id, omd_options.mode,
+                          omd_options.threshold_alpha, *d);
+      }
+    });
+    std::vector<std::pair<double, SvsId>> scored;
+    scored.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (distances[i] >= 0.0) scored.emplace_back(distances[i], ids[i]);
     }
     if (!scored.empty()) {
       std::sort(scored.begin(), scored.end());

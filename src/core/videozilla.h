@@ -9,11 +9,13 @@
 
 #include "common/rng.h"
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "core/frame.h"
 #include "core/inter_camera_index.h"
 #include "core/intra_camera_index.h"
 #include "core/keyframe_selector.h"
 #include "core/omd.h"
+#include "core/omd_cache.h"
 #include "core/query.h"
 #include "core/segmenter.h"
 #include "core/svs.h"
@@ -45,6 +47,15 @@ struct VideoZillaOptions {
   bool enable_exact_stage = true;
   /// Master seed; every camera pipeline forks its own deterministic stream.
   uint64_t seed = 7;
+  /// Execution lanes for the parallel query path (OMD ground-distance
+  /// matrices, candidate verification, per-camera index scans). 1 (the
+  /// default) forces the fully serial legacy behaviour; 0 means one lane per
+  /// hardware thread. Parallel results are bit-identical to `num_threads=1`
+  /// for any value: every parallel loop writes per-slot results and
+  /// aggregates them in the serial iteration order.
+  size_t num_threads = 1;
+  /// Capacity of the shared SVS-pair OMD distance cache.
+  size_t omd_cache_capacity = OmdDistanceCache::kDefaultCapacity;
 };
 
 /// Ingestion counters.
@@ -108,6 +119,14 @@ class VideoZilla {
       const FeatureMap& target,
       const QueryConstraints& constraints = QueryConstraints());
 
+  /// `clusteringQuery` with a *stored* SVS as the target — the paper's
+  /// primary form. Pairwise OMDs computed on the flat-fallback path are
+  /// memoized in the shared distance cache under the (target, candidate) id
+  /// pair, so repeated queries over an unchanged corpus are served from the
+  /// cache.
+  StatusOr<ClusteringQueryResult> ClusteringQuery(
+      SvsId target_id, const QueryConstraints& constraints = QueryConstraints());
+
   /// `getMetaData(SVS)` (Sec. 6).
   StatusOr<SvsMetadata> GetMetaData(SvsId id) const;
 
@@ -133,6 +152,13 @@ class VideoZilla {
   SvsStore& svs_store() { return store_; }
   const SvsStore& svs_store() const { return store_; }
   OmdCalculator& omd() { return omd_; }
+  /// The shared SVS-pair OMD distance cache (hit/miss counters included).
+  OmdDistanceCache& omd_cache() { return omd_cache_; }
+  const OmdDistanceCache& omd_cache() const { return omd_cache_; }
+  /// The query thread pool; nullptr when running serial (`num_threads = 1`).
+  ThreadPool* thread_pool() { return pool_.get(); }
+  /// Effective execution lanes of the query path.
+  size_t query_threads() const { return pool_ ? pool_->num_threads() : 1; }
   const InterCameraIndex& inter_index() const { return inter_; }
   StatusOr<const IntraCameraIndex*> intra_index(const CameraId& camera) const;
   std::vector<CameraId> cameras() const;
@@ -152,11 +178,18 @@ class VideoZilla {
   // Candidate SVSs for a direct query under the current index mode.
   std::vector<SvsId> DirectCandidates(const FeatureVector& feature,
                                       const QueryConstraints& constraints);
+  // Shared implementation of both ClusteringQuery overloads; `target_id < 0`
+  // means the target is not a stored SVS (no cacheable pair key).
+  StatusOr<ClusteringQueryResult> ClusteringQueryImpl(
+      const FeatureMap& target, SvsId target_id,
+      const QueryConstraints& constraints);
 
   VideoZillaOptions options_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  // before users; null when serial
   SvsStore store_;
   OmdCalculator omd_;
+  OmdDistanceCache omd_cache_;
   SvsMetric metric_;
   InterCameraIndex inter_;
   std::unordered_map<CameraId, std::unique_ptr<CameraPipeline>> pipelines_;

@@ -50,7 +50,7 @@ core::ObjectVerifier::Verification SimObjectVerifier::Verify(
       v.contains = true;
     }
   }
-  total_gpu_ms_ += v.gpu_ms;
+  total_gpu_ms_.fetch_add(v.gpu_ms, std::memory_order_relaxed);
   return v;
 }
 

@@ -1,6 +1,7 @@
 #ifndef VZ_SIM_VERIFIER_H_
 #define VZ_SIM_VERIFIER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/query.h"
@@ -55,19 +56,27 @@ class SimObjectVerifier : public core::ObjectVerifier {
                     const HeavyModel* model,
                     const GpuCostModel& cost = GpuCostModel());
 
+  /// Thread-safe: verdicts are pure functions of (frame, class, seed) and
+  /// the cumulative GPU counter is atomic, so concurrent calls from the
+  /// parallel query path are safe and per-call results are unaffected.
   Verification Verify(const core::Svs& svs,
                       const FeatureVector& query_feature) override;
 
-  /// Total GPU milliseconds charged so far across all verifications.
-  double total_gpu_ms() const { return total_gpu_ms_; }
-  void ResetTotals() { total_gpu_ms_ = 0.0; }
+  /// Total GPU milliseconds charged so far across all verifications. Under
+  /// concurrent verification the accumulation order (and hence the last
+  /// floating-point bits) may vary; per-query totals reported by
+  /// `DirectQueryResult` are aggregated deterministically instead.
+  double total_gpu_ms() const {
+    return total_gpu_ms_.load(std::memory_order_relaxed);
+  }
+  void ResetTotals() { total_gpu_ms_.store(0.0, std::memory_order_relaxed); }
 
  private:
   const FeatureSpace* space_;
   const GroundTruthLog* log_;
   const HeavyModel* model_;
   GpuCostModel cost_;
-  double total_gpu_ms_ = 0.0;
+  std::atomic<double> total_gpu_ms_{0.0};
 };
 
 }  // namespace vz::sim

@@ -48,6 +48,43 @@ double EuclideanDistance(const FeatureVector& a, const FeatureVector& b) {
   return std::sqrt(SquaredDistance(a, b));
 }
 
+namespace {
+
+// Shared inner loop of the batched kernel; same floating-point evaluation
+// order as SquaredDistance so batched and per-pair results agree bitwise.
+inline double SquaredDistanceRaw(const float* pa, const float* pb,
+                                 size_t dim) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+void EuclideanDistancesTo(const FeatureVector& a,
+                          const FeatureVector* const* bs, size_t count,
+                          double* out) {
+  const float* pa = a.data();
+  const size_t dim = a.dim();
+  for (size_t j = 0; j < count; ++j) {
+    assert(bs[j]->dim() == dim);
+    out[j] = std::sqrt(SquaredDistanceRaw(pa, bs[j]->data(), dim));
+  }
+}
+
+void EuclideanDistancesTo(const FeatureVector& a,
+                          const std::vector<FeatureVector>& bs, double* out) {
+  const float* pa = a.data();
+  const size_t dim = a.dim();
+  for (size_t j = 0; j < bs.size(); ++j) {
+    assert(bs[j].dim() == dim);
+    out[j] = std::sqrt(SquaredDistanceRaw(pa, bs[j].data(), dim));
+  }
+}
+
 double Dot(const FeatureVector& a, const FeatureVector& b) {
   assert(a.dim() == b.dim());
   double sum = 0.0;

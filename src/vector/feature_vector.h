@@ -76,6 +76,22 @@ double SquaredDistance(const FeatureVector& a, const FeatureVector& b);
 /// of Sec. 3.2.
 double EuclideanDistance(const FeatureVector& a, const FeatureVector& b);
 
+/// Batched one-vs-many Euclidean distances: writes
+/// `EuclideanDistance(a, *bs[j])` into `out[j]` for every `j < count`.
+///
+/// This is the ground-distance-matrix row kernel of the OMD path: one tight
+/// pass per pair with `a`'s buffer hoisted out of the loop and no per-pair
+/// function-call overhead, leaving the inner dimension loop free for the
+/// compiler to vectorize. The summation order matches `SquaredDistance`
+/// exactly, so results are bit-identical to `count` individual calls.
+void EuclideanDistancesTo(const FeatureVector& a,
+                          const FeatureVector* const* bs, size_t count,
+                          double* out);
+
+/// As above over a contiguous array of vectors.
+void EuclideanDistancesTo(const FeatureVector& a,
+                          const std::vector<FeatureVector>& bs, double* out);
+
 /// Inner product.
 double Dot(const FeatureVector& a, const FeatureVector& b);
 

@@ -1,0 +1,175 @@
+// Determinism contract of the parallel query path: for identical options and
+// ingestion, a system running with a thread pool must return bit-identical
+// query results to the serial (`num_threads = 1`) system — same SVS ids in
+// the same order, same GPU accounting, same camera counts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/videozilla.h"
+#include "sim/dataset.h"
+#include "sim/object_class.h"
+#include "sim/verifier.h"
+
+namespace vz::core {
+namespace {
+
+sim::DeploymentOptions SmallDeployment() {
+  sim::DeploymentOptions options;
+  options.cities = 1;
+  options.downtown_per_city = 2;
+  options.highway_cameras = 2;
+  options.train_stations = 1;
+  options.harbors = 1;
+  options.feed_duration_ms = 90'000;
+  options.fps = 1.0;
+  options.feature_dim = 32;
+  options.seed = 5;
+  return options;
+}
+
+VideoZillaOptions FastVzOptions(size_t num_threads) {
+  VideoZillaOptions options;
+  options.segmenter.t_max_ms = 30'000;
+  options.segmenter.t_split_ms = 10'000;
+  options.omd.max_vectors = 64;
+  options.intra.recluster_interval = 2;
+  options.boundary_scale = 1.3;
+  options.enable_keyframe_selection = false;
+  options.num_threads = num_threads;
+  return options;
+}
+
+// One fully built system plus its verifier, at the given thread count.
+struct Rig {
+  explicit Rig(size_t num_threads)
+      : deployment(SmallDeployment()),
+        system(FastVzOptions(num_threads)),
+        heavy(/*tpr=*/1.0, /*fpr=*/0.0, /*seed=*/3),
+        verifier(&deployment.space(), &deployment.log(), &heavy) {
+    EXPECT_TRUE(deployment.IngestAll(&system).ok());
+    system.SetVerifier(&verifier);
+  }
+
+  sim::Deployment deployment;
+  VideoZilla system;
+  sim::HeavyModel heavy;
+  sim::SimObjectVerifier verifier;
+};
+
+void ExpectIdenticalDirectResults(const DirectQueryResult& serial,
+                                  const DirectQueryResult& parallel) {
+  EXPECT_EQ(serial.candidate_svss, parallel.candidate_svss);
+  EXPECT_EQ(serial.matched_svss, parallel.matched_svss);
+  // Bit-identical by design, hence exact equality (not near-equality).
+  EXPECT_EQ(serial.total_gpu_ms, parallel.total_gpu_ms);
+  EXPECT_EQ(serial.bottleneck_camera_gpu_ms,
+            parallel.bottleneck_camera_gpu_ms);
+  EXPECT_EQ(serial.frames_processed, parallel.frames_processed);
+  EXPECT_EQ(serial.cameras_searched, parallel.cameras_searched);
+  EXPECT_EQ(serial.per_camera_gpu_ms, parallel.per_camera_gpu_ms);
+}
+
+TEST(ParallelQueryTest, DirectQueryMatchesSerialBitIdentically) {
+  Rig serial(1);
+  Rig parallel(4);
+  ASSERT_NE(parallel.system.thread_pool(), nullptr);
+  ASSERT_EQ(serial.system.thread_pool(), nullptr);
+  for (int object_class :
+       {sim::kCar, sim::kBoat, sim::kTrain, sim::kFireHydrant}) {
+    Rng serial_rng(7);
+    Rng parallel_rng(7);
+    const FeatureVector serial_query =
+        serial.deployment.MakeQueryFeature(object_class, &serial_rng);
+    const FeatureVector parallel_query =
+        parallel.deployment.MakeQueryFeature(object_class, &parallel_rng);
+    ASSERT_EQ(serial_query, parallel_query);
+    auto serial_result = serial.system.DirectQuery(serial_query);
+    auto parallel_result = parallel.system.DirectQuery(parallel_query);
+    ASSERT_TRUE(serial_result.ok());
+    ASSERT_TRUE(parallel_result.ok());
+    ExpectIdenticalDirectResults(*serial_result, *parallel_result);
+  }
+}
+
+TEST(ParallelQueryTest, DirectQueryMatchesSerialInEveryIndexMode) {
+  Rig serial(1);
+  Rig parallel(4);
+  Rng rng(13);
+  const FeatureVector query =
+      serial.deployment.MakeQueryFeature(sim::kBoat, &rng);
+  for (IndexMode mode : {IndexMode::kHierarchical, IndexMode::kIntraOnly,
+                         IndexMode::kFlatSvs, IndexMode::kFlat}) {
+    serial.system.SetIndexMode(mode);
+    parallel.system.SetIndexMode(mode);
+    auto serial_result = serial.system.DirectQuery(query);
+    auto parallel_result = parallel.system.DirectQuery(query);
+    ASSERT_TRUE(serial_result.ok());
+    ASSERT_TRUE(parallel_result.ok());
+    ExpectIdenticalDirectResults(*serial_result, *parallel_result);
+  }
+}
+
+TEST(ParallelQueryTest, ClusteringQueryMatchesSerialBitIdentically) {
+  Rig serial(1);
+  Rig parallel(4);
+  ASSERT_GT(serial.system.svs_store().size(), 0u);
+  ASSERT_EQ(serial.system.svs_store().size(),
+            parallel.system.svs_store().size());
+
+  // Hierarchical path and — via kIntraOnly — the flat OMD-scan fallback,
+  // which is the parallel + cached path.
+  for (IndexMode mode : {IndexMode::kHierarchical, IndexMode::kIntraOnly}) {
+    serial.system.SetIndexMode(mode);
+    parallel.system.SetIndexMode(mode);
+    for (SvsId target : {SvsId{0}, SvsId{1}}) {
+      auto serial_result = serial.system.ClusteringQuery(target);
+      auto parallel_result = parallel.system.ClusteringQuery(target);
+      ASSERT_TRUE(serial_result.ok());
+      ASSERT_TRUE(parallel_result.ok());
+      EXPECT_EQ(serial_result->similar_svss, parallel_result->similar_svss);
+      EXPECT_EQ(serial_result->cameras_contributing,
+                parallel_result->cameras_contributing);
+    }
+  }
+}
+
+TEST(ParallelQueryTest, ClusteringQueryByMapMatchesSerial) {
+  Rig serial(1);
+  Rig parallel(4);
+  serial.system.SetIndexMode(IndexMode::kIntraOnly);  // force flat fallback
+  parallel.system.SetIndexMode(IndexMode::kIntraOnly);
+  auto svs = serial.system.svs_store().Get(0);
+  ASSERT_TRUE(svs.ok());
+  const FeatureMap target = (*svs)->features();  // copy: not a stored id
+  auto serial_result = serial.system.ClusteringQuery(target);
+  auto parallel_result = parallel.system.ClusteringQuery(target);
+  ASSERT_TRUE(serial_result.ok());
+  ASSERT_TRUE(parallel_result.ok());
+  EXPECT_EQ(serial_result->similar_svss, parallel_result->similar_svss);
+}
+
+TEST(ParallelQueryTest, IngestionIsIdenticalAcrossThreadCounts) {
+  // Ingestion itself stays serial, but the OMD pool is attached during it;
+  // the derived state must not depend on the thread count.
+  Rig serial(1);
+  Rig parallel(4);
+  EXPECT_EQ(serial.system.svs_store().size(),
+            parallel.system.svs_store().size());
+  EXPECT_EQ(serial.system.ingest_stats().svs_created,
+            parallel.system.ingest_stats().svs_created);
+  EXPECT_EQ(serial.system.cameras(), parallel.system.cameras());
+  for (SvsId id : serial.system.svs_store().AllIds()) {
+    auto a = serial.system.svs_store().Get(id);
+    auto b = parallel.system.svs_store().Get(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ((*a)->camera(), (*b)->camera());
+    EXPECT_EQ((*a)->start_ms(), (*b)->start_ms());
+    EXPECT_EQ((*a)->end_ms(), (*b)->end_ms());
+    EXPECT_EQ((*a)->features().size(), (*b)->features().size());
+  }
+}
+
+}  // namespace
+}  // namespace vz::core

@@ -1,0 +1,126 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vz {
+namespace {
+
+TEST(ThreadPoolTest, ReportsLaneCount) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  ThreadPool single(1);
+  EXPECT_EQ(single.num_threads(), 1u);
+  ThreadPool automatic(0);
+  EXPECT_GE(automatic.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsSubmitInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  auto future = pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+  future.get();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<int> counts(kN, 0);
+  std::vector<size_t> values(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) {
+    ++counts[i];
+    values[i] = i * i;
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i], 1) << "index " << i;
+    EXPECT_EQ(values[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForResultOrderingIsDeterministic) {
+  // The per-slot write pattern gives identical aggregates for any thread
+  // count — the determinism contract the query layer relies on.
+  constexpr size_t kN = 257;
+  auto run = [](ThreadPool* pool) {
+    std::vector<double> out(kN, 0.0);
+    ParallelFor(pool, kN, [&](size_t i) { out[i] = 1.0 / (1.0 + i); });
+    return out;
+  };
+  ThreadPool parallel(4);
+  const std::vector<double> serial = run(nullptr);
+  const std::vector<double> pooled = run(&parallel);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ThreadPoolTest, SerialFallbackRunsInIndexOrder) {
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 10, [&](size_t i) { order.push_back(i); });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t i) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("task failed");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A parallel query task evaluating a parallel OMD nests ParallelFor on
+  // the same pool; the caller-participates design must drain both levels
+  // even when every worker is occupied.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForInsideSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  auto future = pool.Submit([&] {
+    pool.ParallelFor(32, [&](size_t) { ++total; });
+  });
+  future.get();
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace vz
