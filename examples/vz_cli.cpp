@@ -145,6 +145,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.frames_offered),
                 static_cast<unsigned long long>(stats.features_extracted),
                 vz.svs_store().size(), vz.cameras().size());
+    if (stats.frames_rejected > 0 || stats.objects_quarantined > 0) {
+      std::printf("quarantined: %llu frames rejected, %llu objects\n",
+                  static_cast<unsigned long long>(stats.frames_rejected),
+                  static_cast<unsigned long long>(stats.objects_quarantined));
+    }
+    for (const auto& [camera, health] : vz.CameraHealthReport()) {
+      if (health != core::CameraHealth::kHealthy) {
+        std::printf("camera %s: %s\n", camera.c_str(),
+                    std::string(core::CameraHealthToString(health)).c_str());
+      }
+    }
   }
 
   if (cli.mode == "intra") {

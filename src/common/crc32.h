@@ -1,0 +1,23 @@
+#ifndef VZ_COMMON_CRC32_H_
+#define VZ_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vz {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum used by the
+/// snapshot format to detect torn writes and bit rot. Table-driven, one pass
+/// over the input; matches zlib's `crc32()` for the same bytes.
+///
+/// `Crc32Update` lets callers fold a buffer into a running checksum
+/// (`crc = Crc32Update(crc, ...)`), so a file-level checksum can be computed
+/// incrementally over independently checksummed records.
+uint32_t Crc32(const void* data, size_t size);
+uint32_t Crc32(std::string_view data);
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace vz
+
+#endif  // VZ_COMMON_CRC32_H_

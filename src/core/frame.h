@@ -1,6 +1,7 @@
 #ifndef VZ_CORE_FRAME_H_
 #define VZ_CORE_FRAME_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,6 +47,12 @@ struct DetectedObject {
 };
 
 /// Everything the indexing layer receives for one (key) frame.
+///
+/// Contract enforced by `VideoZilla::IngestFrame` (see the "Failure model"
+/// section of DESIGN.md): frames of one camera arrive in (strictly
+/// increasing) timestamp order up to a configurable reorder-tolerance
+/// window, and every object feature is finite with a consistent dimension.
+/// Violations within tolerance are quarantined and counted, never fatal.
 struct FrameObservation {
   CameraId camera;
   int64_t timestamp_ms = 0;
@@ -58,6 +65,27 @@ struct FrameObservation {
   size_t encoded_bytes = 0;
   std::vector<DetectedObject> objects;
 };
+
+/// True iff every component of `feature` is finite (no NaN / Inf). An
+/// all-finite check is the gatekeeper for everything downstream: one NaN
+/// admitted into a feature map poisons every distance, centroid and decision
+/// boundary it touches.
+inline bool FeatureIsFinite(const FeatureVector& feature) {
+  for (size_t i = 0; i < feature.dim(); ++i) {
+    if (!std::isfinite(feature[i])) return false;
+  }
+  return true;
+}
+
+/// True iff `object` carries an ingestible feature: non-empty, finite, and
+/// matching `expected_dim` when one is known (`expected_dim == 0` accepts
+/// any dimension — used before the first valid object pins the dimension).
+inline bool ObjectIsIngestible(const DetectedObject& object,
+                               size_t expected_dim) {
+  if (object.feature.empty()) return false;
+  if (expected_dim != 0 && object.feature.dim() != expected_dim) return false;
+  return FeatureIsFinite(object.feature);
+}
 
 }  // namespace vz::core
 

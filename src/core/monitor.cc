@@ -33,6 +33,21 @@ double PerformanceMonitor::F1(const std::vector<SvsId>& predicted,
   return 2.0 * precision * recall / (precision + recall);
 }
 
+std::vector<SvsId> PerformanceMonitor::FilterTruthForDegradation(
+    std::vector<SvsId> truth, const DirectQueryResult& result) const {
+  if (!result.degraded) return truth;
+  const std::unordered_set<CameraId> excluded(result.excluded_cameras.begin(),
+                                              result.excluded_cameras.end());
+  std::vector<SvsId> kept;
+  kept.reserve(truth.size());
+  for (SvsId id : truth) {
+    auto svs = system_->svs_store().Get(id);
+    if (svs.ok() && excluded.count((*svs)->camera()) > 0) continue;
+    kept.push_back(id);
+  }
+  return kept;
+}
+
 void PerformanceMonitor::ApplyNextAdjustment() {
   switch (state_) {
     case MonitorState::kNormal: {
@@ -83,7 +98,9 @@ StatusOr<DirectQueryResult> PerformanceMonitor::Query(
       auto probe = system_->DirectQuery(feature, constraints);
       system_->SetIndexMode(saved);
       if (probe.ok()) {
-        const double f1 = F1(probe->matched_svss, ground_truth_(feature));
+        const double f1 =
+            F1(probe->matched_svss,
+               FilterTruthForDegradation(ground_truth_(feature), *probe));
         ++ground_truth_checks_;
         last_f1_ = f1;
         if (f1 >= options_.target_f1) {
@@ -99,7 +116,9 @@ StatusOr<DirectQueryResult> PerformanceMonitor::Query(
 
   // Periodic ground-truth comparison (every 50 queries by default).
   if (queries_run_ % options_.ground_truth_interval == 0 && ground_truth_) {
-    const double f1 = F1(result.matched_svss, ground_truth_(feature));
+    const double f1 =
+        F1(result.matched_svss,
+           FilterTruthForDegradation(ground_truth_(feature), result));
     ++ground_truth_checks_;
     last_f1_ = f1;
     if (f1 < options_.target_f1) {

@@ -84,6 +84,14 @@ class PerformanceMonitor {
  private:
   void ApplyNextAdjustment();
 
+  /// Drops truth ids whose SVS lives on a camera the query excluded for
+  /// health reasons. A stalled feed lowers recall by design (the partial
+  /// answer is the contract, see DESIGN.md "Failure model"); charging that
+  /// recall loss to the index would walk the degradation ladder for a
+  /// problem no adjustment can fix.
+  std::vector<SvsId> FilterTruthForDegradation(
+      std::vector<SvsId> truth, const DirectQueryResult& result) const;
+
   VideoZilla* system_;
   MonitorOptions options_;
   GroundTruthFn ground_truth_;

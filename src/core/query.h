@@ -70,6 +70,13 @@ struct DirectQueryResult {
   size_t frames_processed = 0;
   /// Cameras whose intra-camera index was consulted.
   size_t cameras_searched = 0;
+  /// True when unhealthy (stalled) cameras were excluded from the search —
+  /// the result is a partial answer, not an error (Sec. 5.3 spirit: degrade,
+  /// never poison).
+  bool degraded = false;
+  /// The cameras excluded for health reasons, sorted. Only cameras the
+  /// constraints would otherwise have allowed are listed.
+  std::vector<CameraId> excluded_cameras;
 };
 
 /// Result of `clusteringQuery` (Sec. 5.2 / 6).
@@ -78,6 +85,10 @@ struct ClusteringQueryResult {
   std::vector<SvsId> similar_svss;
   /// Cameras contributing at least one SVS.
   size_t cameras_contributing = 0;
+  /// True when unhealthy (stalled) cameras were excluded from the search.
+  bool degraded = false;
+  /// The cameras excluded for health reasons, sorted.
+  std::vector<CameraId> excluded_cameras;
 };
 
 }  // namespace vz::core

@@ -17,7 +17,8 @@ struct VideoZilla::CameraPipeline {
                  const VideoZillaOptions& options, Rng rng)
       : keyframe(options.keyframe),
         segmenter(options.segmenter, rng.Fork()),
-        index(camera, store, metric, options.intra, rng.Fork()) {}
+        index(camera, store, metric, options.intra, rng.Fork()),
+        expected_dim(options.ingest.expected_feature_dim) {}
 
   struct PendingFrame {
     int64_t frame_id;
@@ -31,7 +32,27 @@ struct VideoZilla::CameraPipeline {
   IntraCameraIndex index;
   std::vector<PendingFrame> pending;
   uint64_t synced_rep_version = 0;
+  // Ingestion-guard state (see IngestGuardOptions).
+  CameraIngestStats stats;
+  int64_t last_frame_id = -1;
+  // Health baseline before the first frame: a camera started and then never
+  // heard from counts as stalled once the threshold passes.
+  int64_t started_ms = 0;
+  // Pinned feature dimensionality; 0 until the first valid object.
+  size_t expected_dim = 0;
 };
+
+std::string_view CameraHealthToString(CameraHealth health) {
+  switch (health) {
+    case CameraHealth::kHealthy:
+      return "healthy";
+    case CameraHealth::kDegraded:
+      return "degraded";
+    case CameraHealth::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
 
 VideoZilla::VideoZilla(const VideoZillaOptions& options)
     : options_(options),
@@ -55,9 +76,10 @@ Status VideoZilla::CameraStart(const CameraId& camera) {
   if (pipelines_.count(camera) > 0) {
     return Status::FailedPrecondition("camera already started: " + camera);
   }
-  pipelines_.emplace(camera,
-                     std::make_unique<CameraPipeline>(
-                         camera, &store_, &metric_, options_, rng_.Fork()));
+  auto pipeline = std::make_unique<CameraPipeline>(camera, &store_, &metric_,
+                                                   options_, rng_.Fork());
+  pipeline->started_ms = now_ms_;
+  pipelines_.emplace(camera, std::move(pipeline));
   return Status::OK();
 }
 
@@ -77,28 +99,92 @@ Status VideoZilla::IngestFrame(const FrameObservation& frame) {
   }
   CameraPipeline* pipeline = it->second.get();
   ++ingest_stats_.frames_offered;
+  ++pipeline->stats.frames_offered;
+
+  // Timestamp-order guard: frames of one camera must arrive in increasing
+  // timestamp order. Exact re-deliveries and late arrivals within the
+  // tolerance window are quarantined (dropped + counted, OK returned) so a
+  // jittery transport cannot take down ingestion; anything older is a
+  // contract violation the caller must hear about.
+  // `frames_accepted`, not a timestamp sentinel, decides "first frame":
+  // legitimately negative timestamps must not disable the guard.
+  const int64_t last = pipeline->stats.last_frame_ms;
+  if (pipeline->stats.frames_accepted > 0 && frame.timestamp_ms <= last) {
+    if (frame.timestamp_ms == last &&
+        frame.frame_id == pipeline->last_frame_id) {
+      ++ingest_stats_.frames_rejected;
+      ++ingest_stats_.duplicates_dropped;
+      ++pipeline->stats.frames_rejected;
+      ++pipeline->stats.duplicates_dropped;
+      return Status::OK();
+    }
+    if (last - frame.timestamp_ms <= options_.ingest.reorder_tolerance_ms) {
+      ++ingest_stats_.frames_rejected;
+      ++ingest_stats_.out_of_order_dropped;
+      ++pipeline->stats.frames_rejected;
+      ++pipeline->stats.out_of_order_dropped;
+      return Status::OK();
+    }
+    return Status::FailedPrecondition(
+        "frame " + std::to_string(frame.frame_id) + " of camera " +
+        frame.camera + " is " + std::to_string(last - frame.timestamp_ms) +
+        "ms out of order (tolerance " +
+        std::to_string(options_.ingest.reorder_tolerance_ms) + "ms)");
+  }
+  pipeline->stats.last_frame_ms = frame.timestamp_ms;
+  pipeline->last_frame_id = frame.frame_id;
+  ++pipeline->stats.frames_accepted;
   now_ms_ = std::max(now_ms_, frame.timestamp_ms);
 
+  // Feature validation: quarantine objects whose vectors would poison the
+  // index (NaN/Inf, empty, or a dimension the camera's feature space does
+  // not have). The surviving objects are processed normally — a partially
+  // bad detector output degrades one frame's coverage, not the stream.
+  size_t quarantined = 0;
+  for (const DetectedObject& object : frame.objects) {
+    if (ObjectIsIngestible(object, pipeline->expected_dim)) {
+      if (pipeline->expected_dim == 0) {
+        pipeline->expected_dim = object.feature.dim();
+      }
+    } else {
+      ++quarantined;
+    }
+  }
+  FrameObservation sanitized;
+  const FrameObservation* effective = &frame;
+  if (quarantined > 0) {
+    ingest_stats_.objects_quarantined += quarantined;
+    pipeline->stats.objects_quarantined += quarantined;
+    sanitized = frame;
+    sanitized.objects.clear();
+    for (const DetectedObject& object : frame.objects) {
+      if (ObjectIsIngestible(object, pipeline->expected_dim)) {
+        sanitized.objects.push_back(object);
+      }
+    }
+    effective = &sanitized;
+  }
+
   const bool selected = options_.enable_keyframe_selection
-                            ? pipeline->keyframe.ShouldProcess(frame)
+                            ? pipeline->keyframe.ShouldProcess(*effective)
                             : true;
-  pipeline->pending.push_back({frame.frame_id, frame.timestamp_ms,
-                               frame.encoded_bytes, selected});
+  pipeline->pending.push_back({effective->frame_id, effective->timestamp_ms,
+                               effective->encoded_bytes, selected});
   if (!selected) return Status::OK();
   ++ingest_stats_.keyframes_selected;
 
-  if (frame.objects.empty()) {
-    auto segment = pipeline->segmenter.AdvanceTime(frame.timestamp_ms);
+  if (effective->objects.empty()) {
+    auto segment = pipeline->segmenter.AdvanceTime(effective->timestamp_ms);
     if (segment.has_value()) {
       VZ_RETURN_IF_ERROR(HandleSegment(pipeline, std::move(*segment)));
     }
     return Status::OK();
   }
-  for (const DetectedObject& object : frame.objects) {
+  for (const DetectedObject& object : effective->objects) {
     ++ingest_stats_.features_extracted;
     ingest_stats_.raw_feature_bytes += object.feature.dim() * sizeof(float);
     auto segment =
-        pipeline->segmenter.AddFeature(frame.timestamp_ms, object.feature);
+        pipeline->segmenter.AddFeature(effective->timestamp_ms, object.feature);
     if (segment.has_value()) {
       VZ_RETURN_IF_ERROR(HandleSegment(pipeline, std::move(*segment)));
     }
@@ -154,6 +240,13 @@ Status VideoZilla::RestoreFromSvsStore(const SvsStore& source) {
     VZ_RETURN_IF_ERROR(pipeline->index.Recluster());
     pipeline->synced_rep_version = pipeline->index.representative_version();
     VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+  }
+  // Restoring fast-forwarded `now_ms_` to the snapshot's end, but the
+  // pipelines were (re)started along the way with earlier clocks. Reset the
+  // stall reference to "now" so a freshly restored instance is healthy until
+  // real silence accumulates — not instantly stalled by historic time.
+  for (auto& [camera, pipeline] : pipelines_) {
+    pipeline->started_ms = now_ms_;
   }
   return Status::OK();
 }
@@ -212,6 +305,73 @@ Status VideoZilla::HandleSegment(CameraPipeline* pipeline, Segment segment) {
   return Status::OK();
 }
 
+CameraHealth VideoZilla::HealthOf(const CameraPipeline& pipeline) const {
+  // Silence wins over fault history: a camera that stopped sending is
+  // stalled whatever its past error rate. The reference point before the
+  // first frame is the start time, so a feed that never delivered anything
+  // also stalls out.
+  const int64_t reference = pipeline.stats.frames_accepted > 0
+                                ? pipeline.stats.last_frame_ms
+                                : pipeline.started_ms;
+  if (now_ms_ - reference > options_.ingest.stall_threshold_ms) {
+    return CameraHealth::kStalled;
+  }
+  if (pipeline.stats.frames_offered >= options_.ingest.degraded_min_frames) {
+    const double faults =
+        static_cast<double>(pipeline.stats.frames_rejected +
+                            pipeline.stats.objects_quarantined);
+    if (faults > options_.ingest.degraded_fault_fraction *
+                     static_cast<double>(pipeline.stats.frames_offered)) {
+      return CameraHealth::kDegraded;
+    }
+  }
+  return CameraHealth::kHealthy;
+}
+
+StatusOr<CameraHealth> VideoZilla::camera_health(const CameraId& camera) const {
+  auto it = pipelines_.find(camera);
+  if (it == pipelines_.end()) {
+    return Status::NotFound("camera not started: " + camera);
+  }
+  return HealthOf(*it->second);
+}
+
+StatusOr<CameraIngestStats> VideoZilla::camera_ingest_stats(
+    const CameraId& camera) const {
+  auto it = pipelines_.find(camera);
+  if (it == pipelines_.end()) {
+    return Status::NotFound("camera not started: " + camera);
+  }
+  return it->second->stats;
+}
+
+std::vector<std::pair<CameraId, CameraHealth>> VideoZilla::CameraHealthReport()
+    const {
+  std::vector<std::pair<CameraId, CameraHealth>> report;
+  report.reserve(pipelines_.size());
+  for (const auto& [camera, pipeline] : pipelines_) {
+    report.emplace_back(camera, HealthOf(*pipeline));
+  }
+  std::sort(report.begin(), report.end());
+  return report;
+}
+
+void VideoZilla::AdvanceTime(int64_t now_ms) {
+  now_ms_ = std::max(now_ms_, now_ms);
+}
+
+std::pair<std::unordered_set<CameraId>, std::vector<CameraId>>
+VideoZilla::ExcludedCameras(const QueryConstraints& constraints) const {
+  std::unordered_set<CameraId> excluded;
+  for (const auto& [camera, pipeline] : pipelines_) {
+    if (!constraints.AllowsCamera(camera)) continue;
+    if (HealthOf(*pipeline) == CameraHealth::kStalled) excluded.insert(camera);
+  }
+  std::vector<CameraId> sorted(excluded.begin(), excluded.end());
+  std::sort(sorted.begin(), sorted.end());
+  return {std::move(excluded), std::move(sorted)};
+}
+
 double VideoZilla::EstimateFeatureSpread() {
   if (spread_cache_svs_count_ == store_.size() && spread_cache_ > 0.0) {
     return spread_cache_;
@@ -234,7 +394,13 @@ double VideoZilla::EstimateFeatureSpread() {
 }
 
 std::vector<SvsId> VideoZilla::DirectCandidates(
-    const FeatureVector& feature, const QueryConstraints& constraints) {
+    const FeatureVector& feature, const QueryConstraints& constraints,
+    const std::unordered_set<CameraId>& excluded) {
+  // One predicate for every index mode: the caller's constraints plus the
+  // health exclusion set (stalled feeds serve no candidates).
+  const auto allowed = [&](const CameraId& camera) {
+    return constraints.AllowsCamera(camera) && excluded.count(camera) == 0;
+  };
   std::vector<SvsId> candidates;
   const double scale = options_.boundary_scale;
   switch (index_mode_) {
@@ -242,7 +408,7 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       std::unordered_set<SvsId> seen;
       for (const InterCameraIndex::RepEntry* entry :
            inter_.FeatureSearch(feature, scale)) {
-        if (!constraints.AllowsCamera(entry->camera)) continue;
+        if (!allowed(entry->camera)) continue;
         auto it = pipelines_.find(entry->camera);
         if (it == pipelines_.end()) continue;
         const IntraCameraIndex& intra = it->second->index;
@@ -264,7 +430,7 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       // pipeline order the serial loop uses, keeping the output identical.
       std::vector<const IntraCameraIndex*> indices;
       for (const auto& [camera, pipeline] : pipelines_) {
-        if (!constraints.AllowsCamera(camera)) continue;
+        if (!allowed(camera)) continue;
         indices.push_back(&pipeline->index);
       }
       std::vector<std::vector<SvsId>> per_camera_hits(indices.size());
@@ -282,7 +448,7 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       for (SvsId id : store_.AllIds()) {
         auto svs = store_.Get(id);
         if (!svs.ok()) continue;
-        if (!constraints.AllowsCamera((*svs)->camera())) continue;
+        if (!allowed((*svs)->camera())) continue;
         if ((*svs)->representative().Hit(feature, scale)) {
           candidates.push_back(id);
         }
@@ -296,7 +462,7 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       for (SvsId id : store_.AllIds()) {
         auto svs = store_.Get(id);
         if (!svs.ok()) continue;
-        if (!constraints.AllowsCamera((*svs)->camera())) continue;
+        if (!allowed((*svs)->camera())) continue;
         candidates.push_back(id);
       }
       break;
@@ -351,7 +517,10 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
 StatusOr<DirectQueryResult> VideoZilla::DirectQuery(
     const FeatureVector& object_feature, const QueryConstraints& constraints) {
   DirectQueryResult result;
-  result.candidate_svss = DirectCandidates(object_feature, constraints);
+  auto [excluded, excluded_sorted] = ExcludedCameras(constraints);
+  result.degraded = !excluded_sorted.empty();
+  result.excluded_cameras = std::move(excluded_sorted);
+  result.candidate_svss = DirectCandidates(object_feature, constraints, excluded);
 
   // Count distinct cameras consulted.
   std::unordered_set<CameraId> cameras;
@@ -421,13 +590,19 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
     const FeatureMap& target, SvsId target_id,
     const QueryConstraints& constraints) {
   ClusteringQueryResult result;
+  auto [excluded, excluded_sorted] = ExcludedCameras(constraints);
+  result.degraded = !excluded_sorted.empty();
+  result.excluded_cameras = std::move(excluded_sorted);
+  const auto allowed = [&](const CameraId& camera) {
+    return constraints.AllowsCamera(camera) && excluded.count(camera) == 0;
+  };
   std::unordered_set<CameraId> cameras;
   if (index_mode_ == IndexMode::kHierarchical && inter_.size() > 0) {
     VZ_ASSIGN_OR_RETURN(const InterCameraIndex::Group* group,
                         inter_.GroupOfNearest(target));
     for (size_t entry_idx : group->entry_indices) {
       const InterCameraIndex::RepEntry& entry = inter_.entries()[entry_idx];
-      if (!constraints.AllowsCamera(entry.camera)) continue;
+      if (!allowed(entry.camera)) continue;
       auto it = pipelines_.find(entry.camera);
       if (it == pipelines_.end()) continue;
       auto members =
@@ -455,7 +630,7 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
     for (SvsId id : store_.AllIds()) {
       auto svs = store_.Get(id);
       if (!svs.ok()) continue;
-      if (!constraints.AllowsCamera((*svs)->camera())) continue;
+      if (!allowed((*svs)->camera())) continue;
       if (!constraints.AllowsTime((*svs)->start_ms(), (*svs)->end_ms())) {
         continue;
       }

@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -28,6 +31,33 @@ namespace vz::core {
 /// adjustment); or the frame-level fallback the bailout degrades to
 /// (no pruning at all).
 enum class IndexMode { kHierarchical, kIntraOnly, kFlatSvs, kFlat };
+
+/// Ingestion guard rails (see DESIGN.md, "Failure model"): how far out of
+/// order a frame may arrive before it is a contract violation, when a silent
+/// camera counts as stalled, and when a fault-ridden one counts as degraded.
+struct IngestGuardOptions {
+  /// Frames whose timestamp trails the camera's newest accepted frame by at
+  /// most this much are quarantined (dropped + counted) instead of erroring;
+  /// older frames are a hard `kFailedPrecondition`. The window absorbs the
+  /// reordering real transports produce without letting a rebooted camera
+  /// silently rewrite history.
+  int64_t reorder_tolerance_ms = 2'000;
+  /// A camera whose newest accepted frame trails `now_ms()` by more than
+  /// this is `kStalled` and is excluded from queries (which then report
+  /// `degraded = true`). Stalls heal automatically when frames resume.
+  int64_t stall_threshold_ms = 60'000;
+  /// A camera is `kDegraded` once its lifetime fault fraction — rejected
+  /// frames plus quarantined objects over frames offered — exceeds this.
+  /// Degraded cameras keep serving queries; the state is a health signal
+  /// for operators and the performance monitor.
+  double degraded_fault_fraction = 0.05;
+  /// Faults are not diagnostic below this many offered frames (a single
+  /// early glitch must not mark a fresh camera degraded).
+  uint64_t degraded_min_frames = 20;
+  /// Expected feature dimensionality; 0 learns it per camera from the first
+  /// valid object. Mismatched objects are quarantined either way.
+  size_t expected_feature_dim = 0;
+};
 
 /// Top-level configuration of the indexing layer.
 struct VideoZillaOptions {
@@ -56,6 +86,9 @@ struct VideoZillaOptions {
   size_t num_threads = 1;
   /// Capacity of the shared SVS-pair OMD distance cache.
   size_t omd_cache_capacity = OmdDistanceCache::kDefaultCapacity;
+  /// Ingestion fault tolerance: reorder window, stall/degraded thresholds,
+  /// feature validation.
+  IngestGuardOptions ingest;
 };
 
 /// Ingestion counters.
@@ -67,6 +100,42 @@ struct IngestStats {
   /// Bytes of raw object features extracted — what a flat centralized index
   /// would have shipped to the cloud (Sec. 7.3 traffic comparison).
   size_t raw_feature_bytes = 0;
+  /// Frames dropped whole by the ingestion guard (out-of-order within the
+  /// tolerance window, or duplicates). Always `out_of_order_dropped +
+  /// duplicates_dropped`.
+  uint64_t frames_rejected = 0;
+  /// Frames dropped because their timestamp trailed the camera's newest
+  /// accepted frame (within the reorder-tolerance window; older is an error).
+  uint64_t out_of_order_dropped = 0;
+  /// Frames dropped as exact re-deliveries (same id and timestamp as the
+  /// camera's newest accepted frame).
+  uint64_t duplicates_dropped = 0;
+  /// Objects skipped for carrying an unusable feature vector (empty,
+  /// NaN/Inf, or dimension mismatch). The rest of the frame is processed.
+  uint64_t objects_quarantined = 0;
+};
+
+/// Health of one camera feed, derived from its ingestion history
+/// (`kHealthy` -> `kDegraded` on accumulated faults, any state -> `kStalled`
+/// on silence past the stall threshold, `kStalled` -> healthy/degraded again
+/// when frames resume). Stalled cameras are excluded from queries.
+enum class CameraHealth { kHealthy, kDegraded, kStalled };
+
+/// Human-readable name of a health state ("healthy" / "degraded" /
+/// "stalled").
+std::string_view CameraHealthToString(CameraHealth health);
+
+/// Per-camera ingestion/fault counters (introspection; also the inputs of
+/// the health classification).
+struct CameraIngestStats {
+  uint64_t frames_offered = 0;
+  uint64_t frames_accepted = 0;
+  uint64_t frames_rejected = 0;
+  uint64_t out_of_order_dropped = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t objects_quarantined = 0;
+  /// Timestamp of the newest accepted frame; -1 before the first.
+  int64_t last_frame_ms = -1;
 };
 
 /// The Video-zilla indexing layer (Fig. 1): per-camera ingestion (key-frame
@@ -88,8 +157,17 @@ class VideoZilla {
   /// queryable through the store but stop being indexed.
   Status CameraTerminate(const CameraId& camera);
 
-  /// Feeds one frame through key-frame selection, feature segmentation and
-  /// index maintenance. Frames of one camera must arrive in timestamp order.
+  /// Feeds one frame through validation, key-frame selection, feature
+  /// segmentation and index maintenance.
+  ///
+  /// Frames of one camera must arrive in timestamp order; arrivals that
+  /// trail the newest accepted frame by at most
+  /// `IngestGuardOptions::reorder_tolerance_ms` (and exact duplicates) are
+  /// quarantined — dropped, counted in `IngestStats`, `OK` returned — while
+  /// older arrivals return `kFailedPrecondition`. Objects with unusable
+  /// features (empty, NaN/Inf, dimension mismatch) are quarantined
+  /// individually; the rest of the frame is processed normally. Malformed
+  /// input therefore degrades counters and health states, never the index.
   Status IngestFrame(const FrameObservation& frame);
 
   /// Flushes all segmenters (end of stream); emits the final SVSs.
@@ -166,6 +244,18 @@ class VideoZilla {
   /// Largest timestamp ingested so far.
   int64_t now_ms() const { return now_ms_; }
 
+  // --- Camera health (consumed by queries and the Sec. 5.3 monitor). ---
+
+  /// Health of one started camera at the current `now_ms()`.
+  StatusOr<CameraHealth> camera_health(const CameraId& camera) const;
+  /// Per-camera fault counters of one started camera.
+  StatusOr<CameraIngestStats> camera_ingest_stats(const CameraId& camera) const;
+  /// Health of every started camera, sorted by camera id.
+  std::vector<std::pair<CameraId, CameraHealth>> CameraHealthReport() const;
+  /// Advances the health clock without ingesting (e.g. wall-clock ticks
+  /// while every feed is silent); `now_ms()` only moves forward.
+  void AdvanceTime(int64_t now_ms);
+
  private:
   struct CameraPipeline;
 
@@ -176,13 +266,21 @@ class VideoZilla {
   // check of direct queries. Cached per store size.
   double EstimateFeatureSpread();
   // Candidate SVSs for a direct query under the current index mode.
-  std::vector<SvsId> DirectCandidates(const FeatureVector& feature,
-                                      const QueryConstraints& constraints);
+  // `excluded` holds cameras removed for health reasons (stalled feeds).
+  std::vector<SvsId> DirectCandidates(
+      const FeatureVector& feature, const QueryConstraints& constraints,
+      const std::unordered_set<CameraId>& excluded);
   // Shared implementation of both ClusteringQuery overloads; `target_id < 0`
   // means the target is not a stored SVS (no cacheable pair key).
   StatusOr<ClusteringQueryResult> ClusteringQueryImpl(
       const FeatureMap& target, SvsId target_id,
       const QueryConstraints& constraints);
+  // Health classification of one pipeline at the current now_ms().
+  CameraHealth HealthOf(const CameraPipeline& pipeline) const;
+  // Stalled cameras the constraints would otherwise allow, as (set, sorted
+  // list) — the query-time exclusion set and the `excluded_cameras` field.
+  std::pair<std::unordered_set<CameraId>, std::vector<CameraId>>
+  ExcludedCameras(const QueryConstraints& constraints) const;
 
   VideoZillaOptions options_;
   Rng rng_;

@@ -1,7 +1,12 @@
 #include "io/binary_format.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace vz::io {
 
@@ -37,12 +42,37 @@ void BinaryWriter::WriteFloats(const std::vector<float>& values) {
 }
 
 Status BinaryWriter::Flush(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open for write: " + path);
-  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-  out.flush();
-  if (!out) return Status::Internal("short write: " + path);
-  return Status::OK();
+  // Temp-file + rename: readers never observe a half-written snapshot, and a
+  // crash mid-write leaves the previous file intact. stdio (not ofstream) so
+  // fsync/close failures are observable and propagated.
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Internal("cannot open for write: " + tmp);
+  }
+  Status status = Status::OK();
+  if (!buffer_.empty() &&
+      std::fwrite(buffer_.data(), 1, buffer_.size(), out) != buffer_.size()) {
+    status = Status::Internal("short write: " + tmp);
+  }
+  if (status.ok() && std::fflush(out) != 0) {
+    status = Status::Internal("flush failed: " + tmp);
+  }
+#ifndef _WIN32
+  // Data must be durable before the rename publishes it, or a crash could
+  // expose a renamed-but-empty file.
+  if (status.ok() && ::fsync(::fileno(out)) != 0) {
+    status = Status::Internal("fsync failed: " + tmp);
+  }
+#endif
+  if (std::fclose(out) != 0 && status.ok()) {
+    status = Status::Internal("close failed: " + tmp);
+  }
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  if (!status.ok()) std::remove(tmp.c_str());
+  return status;
 }
 
 StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
@@ -54,7 +84,10 @@ StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
 }
 
 Status BinaryReader::Need(size_t bytes) const {
-  if (position_ + bytes > data_.size()) {
+  // `data_.size() - position_` (not `position_ + bytes`): a corrupted length
+  // field near SIZE_MAX must not overflow the addition and slip past the
+  // bounds check into a wild memcpy.
+  if (bytes > data_.size() - position_) {
     return Status::OutOfRange("truncated input");
   }
   return Status::OK();
@@ -110,9 +143,20 @@ StatusOr<std::string> BinaryReader::ReadString() {
   return s;
 }
 
+Status BinaryReader::Skip(size_t bytes) {
+  VZ_RETURN_IF_ERROR(Need(bytes));
+  position_ += bytes;
+  return Status::OK();
+}
+
 StatusOr<std::vector<float>> BinaryReader::ReadFloats() {
   VZ_ASSIGN_OR_RETURN(uint64_t count, ReadU64());
-  VZ_RETURN_IF_ERROR(Need(count * sizeof(float)));
+  // Divide instead of multiplying: `count * sizeof(float)` overflows for a
+  // corrupted count near 2^64 and would both defeat the bounds check and
+  // trigger a giant allocation below.
+  if (count > remaining() / sizeof(float)) {
+    return Status::OutOfRange("truncated input");
+  }
   std::vector<float> values(count);
   if (count > 0) {
     std::memcpy(values.data(), data_.data() + position_,

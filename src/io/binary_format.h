@@ -26,10 +26,17 @@ class BinaryWriter {
   void WriteF64(double v);
   void WriteString(const std::string& s);
   void WriteFloats(const std::vector<float>& values);
+  /// Appends raw bytes with no length prefix (for pre-encoded payloads).
+  void WriteBytes(const std::string& bytes) { buffer_.append(bytes); }
 
   const std::string& buffer() const { return buffer_; }
 
-  /// Writes the buffer to `path` atomically-ish (truncate + write).
+  /// Writes the buffer to `path` atomically: the bytes go to `path + ".tmp"`
+  /// first, are fsync'd to stable storage, and the temp file is then renamed
+  /// over `path` (an atomic replacement on POSIX filesystems). A crash at any
+  /// point leaves either the old file or the new file, never a torn mix.
+  /// Write, fsync and close failures are all propagated as `Internal`; the
+  /// temp file is removed on any failure.
   Status Flush(const std::string& path) const;
 
  private:
@@ -54,8 +61,16 @@ class BinaryReader {
   StatusOr<std::string> ReadString();
   StatusOr<std::vector<float>> ReadFloats();
 
+  /// Advances past `bytes` without decoding them; OutOfRange if fewer remain.
+  Status Skip(size_t bytes);
+
   bool AtEnd() const { return position_ >= data_.size(); }
   size_t remaining() const { return data_.size() - position_; }
+  /// Current read offset — lets checksummed formats know how many bytes a
+  /// record consumed.
+  size_t position() const { return position_; }
+  /// The full underlying buffer (for whole-file checksums).
+  const std::string& data() const { return data_; }
 
  private:
   Status Need(size_t bytes) const;

@@ -1,7 +1,10 @@
 #include "io/svs_snapshot.h"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "common/crc32.h"
 #include "io/binary_format.h"
 
 namespace vz::io {
@@ -42,7 +45,11 @@ void WriteRepresentative(BinaryWriter* writer,
 StatusOr<core::Representative> ReadRepresentative(BinaryReader* reader) {
   VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
   std::vector<core::WeightedCenter> centers;
-  centers.reserve(count);
+  // Each center takes at least its float-count header plus three doubles and
+  // a timestamp; bounding the reservation by that floor keeps a corrupted
+  // count from allocating gigabytes before the reads below fail.
+  centers.reserve(static_cast<size_t>(
+      std::min<uint64_t>(count, reader->remaining() / 40 + 1)));
   for (uint64_t i = 0; i < count; ++i) {
     core::WeightedCenter center;
     VZ_ASSIGN_OR_RETURN(std::vector<float> values, reader->ReadFloats());
@@ -56,6 +63,149 @@ StatusOr<core::Representative> ReadRepresentative(BinaryReader* reader) {
   return core::Representative(std::move(centers));
 }
 
+// One SVS's fields, identical in v1 (inline) and v2 (inside a checksummed
+// record payload).
+void WriteSvsRecord(BinaryWriter* writer, const core::Svs& svs) {
+  writer->WriteString(svs.camera());
+  writer->WriteI64(svs.start_ms());
+  writer->WriteI64(svs.end_ms());
+  WriteFeatureMap(writer, svs.features());
+  WriteRepresentative(writer, svs.representative());
+  writer->WriteU64(svs.frame_ids().size());
+  for (int64_t frame : svs.frame_ids()) writer->WriteI64(frame);
+  writer->WriteU64(svs.encoded_bytes());
+  writer->WriteU64(svs.access_count());
+  writer->WriteI64(svs.last_access_ms());
+}
+
+// Decodes one SVS record and appends it to `store`.
+Status ReadSvsRecord(BinaryReader* reader, core::SvsStore* store) {
+  VZ_ASSIGN_OR_RETURN(std::string camera, reader->ReadString());
+  VZ_ASSIGN_OR_RETURN(int64_t start_ms, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(int64_t end_ms, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(FeatureMap features, ReadFeatureMap(reader));
+  VZ_ASSIGN_OR_RETURN(core::Representative rep, ReadRepresentative(reader));
+  VZ_ASSIGN_OR_RETURN(uint64_t frame_count, reader->ReadU64());
+  std::vector<int64_t> frames;
+  // Bound the reservation by what the buffer could possibly hold; a
+  // corrupted count must not trigger a giant allocation before the reads
+  // below fail.
+  frames.reserve(static_cast<size_t>(
+      std::min<uint64_t>(frame_count, reader->remaining() / sizeof(int64_t))));
+  for (uint64_t f = 0; f < frame_count; ++f) {
+    VZ_ASSIGN_OR_RETURN(int64_t frame, reader->ReadI64());
+    frames.push_back(frame);
+  }
+  VZ_ASSIGN_OR_RETURN(uint64_t bytes, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint64_t accesses, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(int64_t last_access, reader->ReadI64());
+
+  const core::SvsId id =
+      store->Create(std::move(camera), start_ms, end_ms, std::move(features));
+  VZ_ASSIGN_OR_RETURN(core::Svs * svs, store->GetMutable(id));
+  svs->set_representative(std::move(rep));
+  svs->set_frame_ids(std::move(frames));
+  svs->set_encoded_bytes(bytes);
+  svs->RestoreAccessStats(accesses, last_access);
+  return Status::OK();
+}
+
+// Copies every SVS of `src` onto the end of `dst` (ids re-assigned densely).
+Status AppendStore(const core::SvsStore& src, core::SvsStore* dst) {
+  for (core::SvsId id : src.AllIds()) {
+    VZ_ASSIGN_OR_RETURN(const core::Svs* svs, src.Get(id));
+    const core::SvsId new_id = dst->Create(svs->camera(), svs->start_ms(),
+                                           svs->end_ms(), svs->features());
+    VZ_ASSIGN_OR_RETURN(core::Svs * copy, dst->GetMutable(new_id));
+    copy->set_representative(svs->representative());
+    copy->set_frame_ids(svs->frame_ids());
+    copy->set_encoded_bytes(svs->encoded_bytes());
+    copy->RestoreAccessStats(svs->access_count(), svs->last_access_ms());
+  }
+  return Status::OK();
+}
+
+// Decodes a v1 body (records inline after the header) into `store`.
+// In salvage mode the first failing record ends the load successfully.
+Status LoadBodyV1(BinaryReader* reader, core::SvsStore* store,
+                  const SnapshotLoadOptions& options,
+                  SnapshotLoadReport* report) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  report->records_expected = count;
+  for (uint64_t i = 0; i < count; ++i) {
+    const Status record = ReadSvsRecord(reader, store);
+    if (!record.ok()) {
+      if (!options.salvage) return record;
+      report->salvaged = true;
+      return Status::OK();
+    }
+    ++report->records_loaded;
+  }
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot");
+  }
+  return Status::OK();
+}
+
+// Decodes a v2 body (length-prefixed, CRC-framed records + file checksum).
+Status LoadBodyV2(BinaryReader* reader, core::SvsStore* store,
+                  const SnapshotLoadOptions& options,
+                  SnapshotLoadReport* report) {
+  const std::string& data = reader->data();
+  // File-level checksum first: the final u32 covers every preceding byte, so
+  // any bit flip — in a payload, a length field or the header — is caught
+  // before records are trusted. A torn file (missing or short footer) fails
+  // here too; salvage mode skips straight to per-record recovery instead.
+  bool file_intact = false;
+  if (data.size() >= sizeof(uint32_t)) {
+    const size_t body = data.size() - sizeof(uint32_t);
+    uint32_t stored = 0;
+    std::memcpy(&stored, data.data() + body, sizeof(stored));
+    file_intact = Crc32(data.data(), body) == stored;
+  }
+  if (!file_intact && !options.salvage) {
+    return Status::InvalidArgument("snapshot file checksum mismatch");
+  }
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  report->records_expected = count;
+  for (uint64_t i = 0; i < count; ++i) {
+    const auto record = [&]() -> Status {
+      VZ_ASSIGN_OR_RETURN(uint64_t length, reader->ReadU64());
+      if (length > reader->remaining()) {
+        return Status::OutOfRange("truncated record");
+      }
+      const size_t payload_start = reader->position();
+      std::string payload = data.substr(payload_start, length);
+      // Advance past the payload, then check its frame CRC.
+      BinaryReader payload_reader(std::move(payload));
+      VZ_RETURN_IF_ERROR(reader->Skip(length));
+      VZ_ASSIGN_OR_RETURN(uint32_t stored_crc, reader->ReadU32());
+      if (Crc32(payload_reader.data()) != stored_crc) {
+        return Status::InvalidArgument("record checksum mismatch");
+      }
+      VZ_RETURN_IF_ERROR(ReadSvsRecord(&payload_reader, store));
+      if (!payload_reader.AtEnd()) {
+        return Status::InvalidArgument("trailing bytes in record");
+      }
+      return Status::OK();
+    }();
+    if (!record.ok()) {
+      if (!options.salvage) return record;
+      report->salvaged = true;
+      return Status::OK();
+    }
+    ++report->records_loaded;
+  }
+  if (options.salvage && !file_intact) report->salvaged = true;
+  if (!options.salvage) {
+    VZ_RETURN_IF_ERROR(reader->Skip(sizeof(uint32_t)));  // footer
+    if (!reader->AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after snapshot");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveSvsStore(const core::SvsStore& store, const std::string& path) {
@@ -66,65 +216,66 @@ Status SaveSvsStore(const core::SvsStore& store, const std::string& path) {
   writer.WriteU64(ids.size());
   for (core::SvsId id : ids) {
     VZ_ASSIGN_OR_RETURN(const core::Svs* svs, store.Get(id));
-    writer.WriteString(svs->camera());
-    writer.WriteI64(svs->start_ms());
-    writer.WriteI64(svs->end_ms());
-    WriteFeatureMap(&writer, svs->features());
-    WriteRepresentative(&writer, svs->representative());
-    writer.WriteU64(svs->frame_ids().size());
-    for (int64_t frame : svs->frame_ids()) writer.WriteI64(frame);
-    writer.WriteU64(svs->encoded_bytes());
-    writer.WriteU64(svs->access_count());
-    writer.WriteI64(svs->last_access_ms());
+    BinaryWriter record;
+    WriteSvsRecord(&record, *svs);
+    writer.WriteU64(record.buffer().size());
+    writer.WriteBytes(record.buffer());
+    writer.WriteU32(Crc32(record.buffer()));
+  }
+  writer.WriteU32(Crc32(writer.buffer()));
+  return writer.Flush(path);
+}
+
+Status SaveSvsStoreV1(const core::SvsStore& store, const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotVersionV1);
+  const auto ids = store.AllIds();
+  writer.WriteU64(ids.size());
+  for (core::SvsId id : ids) {
+    VZ_ASSIGN_OR_RETURN(const core::Svs* svs, store.Get(id));
+    WriteSvsRecord(&writer, *svs);
   }
   return writer.Flush(path);
 }
 
-Status LoadSvsStore(const std::string& path, core::SvsStore* store) {
+Status LoadSvsStore(const std::string& path, core::SvsStore* store,
+                    const SnapshotLoadOptions& options,
+                    SnapshotLoadReport* report) {
   if (store == nullptr) {
     return Status::InvalidArgument("LoadSvsStore requires a store");
   }
+  SnapshotLoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = SnapshotLoadReport();
+
   VZ_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
   VZ_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kSnapshotMagic) {
     return Status::InvalidArgument("not a Video-zilla snapshot: " + path);
   }
   VZ_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != kSnapshotVersion) {
-    return Status::InvalidArgument("unsupported snapshot version " +
-                                   std::to_string(version));
-  }
-  VZ_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
-  for (uint64_t i = 0; i < count; ++i) {
-    VZ_ASSIGN_OR_RETURN(std::string camera, reader.ReadString());
-    VZ_ASSIGN_OR_RETURN(int64_t start_ms, reader.ReadI64());
-    VZ_ASSIGN_OR_RETURN(int64_t end_ms, reader.ReadI64());
-    VZ_ASSIGN_OR_RETURN(FeatureMap features, ReadFeatureMap(&reader));
-    VZ_ASSIGN_OR_RETURN(core::Representative rep,
-                        ReadRepresentative(&reader));
-    VZ_ASSIGN_OR_RETURN(uint64_t frame_count, reader.ReadU64());
-    std::vector<int64_t> frames;
-    frames.reserve(frame_count);
-    for (uint64_t f = 0; f < frame_count; ++f) {
-      VZ_ASSIGN_OR_RETURN(int64_t frame, reader.ReadI64());
-      frames.push_back(frame);
-    }
-    VZ_ASSIGN_OR_RETURN(uint64_t bytes, reader.ReadU64());
-    VZ_ASSIGN_OR_RETURN(uint64_t accesses, reader.ReadU64());
-    VZ_ASSIGN_OR_RETURN(int64_t last_access, reader.ReadI64());
+  report->version = version;
 
-    const core::SvsId id =
-        store->Create(std::move(camera), start_ms, end_ms, std::move(features));
-    VZ_ASSIGN_OR_RETURN(core::Svs * svs, store->GetMutable(id));
-    svs->set_representative(std::move(rep));
-    svs->set_frame_ids(std::move(frames));
-    svs->set_encoded_bytes(bytes);
-    svs->RestoreAccessStats(accesses, last_access);
+  // Decode into a scratch store so a failure at any point — truncation,
+  // checksum mismatch, malformed record — leaves the caller's store exactly
+  // as it was. Only a fully successful (or deliberately salvaged) decode is
+  // appended.
+  core::SvsStore scratch;
+  Status body;
+  switch (version) {
+    case kSnapshotVersionV1:
+      body = LoadBodyV1(&reader, &scratch, options, report);
+      break;
+    case kSnapshotVersion:
+      body = LoadBodyV2(&reader, &scratch, options, report);
+      break;
+    default:
+      return Status::InvalidArgument("unsupported snapshot version " +
+                                     std::to_string(version));
   }
-  if (!reader.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after snapshot");
-  }
-  return Status::OK();
+  if (!body.ok()) return body;
+  return AppendStore(scratch, store);
 }
 
 }  // namespace vz::io

@@ -1,6 +1,7 @@
 #ifndef VZ_IO_SVS_SNAPSHOT_H_
 #define VZ_IO_SVS_SNAPSHOT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -14,21 +15,65 @@ namespace vz::io {
 /// A snapshot makes the indexing layer restartable: after a crash or a
 /// planned restart, the store is reloaded and the intra-/inter-camera
 /// indices are rebuilt by re-inserting the stored SVSs (index structures are
-/// derived state; only the SVSs are ground truth). The format is versioned
-/// (`kSnapshotVersion`); loaders reject unknown versions instead of
-/// misparsing.
+/// derived state; only the SVSs are ground truth). The format is versioned;
+/// loaders reject unknown versions instead of misparsing.
+///
+/// Version 2 (current write format) treats failure as the common case:
+///   header:     magic u32, version u32 (=2), record count u64
+///   per record: payload length u64, payload bytes, payload CRC32 u32
+///   footer:     CRC32 u32 over every preceding byte of the file
+/// Per-record checksums localize corruption to one SVS (enabling prefix
+/// salvage); the file-level checksum catches bit flips anywhere, including
+/// in lengths and counts. Saves are atomic (temp file + rename, fsync'd), so
+/// a crash during `SaveSvsStore` leaves the previous snapshot intact.
+/// Version 1 (no checksums) still loads.
 
 inline constexpr uint32_t kSnapshotMagic = 0x565A5353;  // "VZSS"
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersionV1 = 1;
 
-/// Writes `store` to `path`. Overwrites any existing file.
+/// How `LoadSvsStore` reacts to a torn or corrupted snapshot.
+struct SnapshotLoadOptions {
+  /// Default (false): all-or-nothing — any parse or checksum error leaves
+  /// the caller's store completely untouched. With salvage enabled, the
+  /// valid record prefix of a torn snapshot is recovered instead: records
+  /// are appended up to (not including) the first corrupted one and the
+  /// load reports success with `SnapshotLoadReport::salvaged = true`.
+  /// Salvage never admits a record whose own checksum fails.
+  bool salvage = false;
+};
+
+/// What a load actually did — populated when the caller passes a report.
+struct SnapshotLoadReport {
+  /// Format version of the file (0 if the header was unreadable).
+  uint32_t version = 0;
+  /// Records the header promised.
+  uint64_t records_expected = 0;
+  /// Records appended to the store.
+  uint64_t records_loaded = 0;
+  /// True when a corrupted tail was dropped in salvage mode.
+  bool salvaged = false;
+};
+
+/// Writes `store` to `path` in the current (v2, checksummed) format.
+/// Atomic: on any failure the previous file at `path` is left untouched.
 Status SaveSvsStore(const core::SvsStore& store, const std::string& path);
+
+/// Writes `store` in the legacy v1 layout (no checksums). Exists so
+/// compatibility with pre-v2 snapshots stays testable; new code should use
+/// `SaveSvsStore`. Uses the same atomic temp-file + rename write path.
+Status SaveSvsStoreV1(const core::SvsStore& store, const std::string& path);
 
 /// Appends every SVS of the snapshot at `path` into `store`, preserving
 /// creation order (ids are re-assigned densely; with an empty target store
-/// they match the saved ids). Errors on magic/version mismatch or truncation
-/// without touching `store` beyond the SVSs already appended.
-Status LoadSvsStore(const std::string& path, core::SvsStore* store);
+/// they match the saved ids). Loads v1 and v2 snapshots. All decoding
+/// happens in a temporary store: on magic/version mismatch, truncation or
+/// checksum failure the caller's `store` is left exactly as it was — no
+/// partially appended records (unless `options.salvage` asks for the valid
+/// prefix of a torn file).
+Status LoadSvsStore(const std::string& path, core::SvsStore* store,
+                    const SnapshotLoadOptions& options = SnapshotLoadOptions(),
+                    SnapshotLoadReport* report = nullptr);
 
 }  // namespace vz::io
 

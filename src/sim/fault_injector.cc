@@ -1,0 +1,254 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "common/statusor.h"
+
+namespace vz::sim {
+
+using core::FrameObservation;
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& options)
+    : options_(options), rng_(options.seed) {
+  for (const CameraRestart& restart : options_.restarts) {
+    pending_restarts_[restart.camera].push_back(restart.at_ms);
+  }
+  for (auto& [camera, times] : pending_restarts_) {
+    std::sort(times.begin(), times.end());
+  }
+}
+
+FaultInjector::Fault FaultInjector::Roll() {
+  // A single uniform sample against cumulative thresholds keeps the faults
+  // mutually exclusive per frame — the invariant the ledger accounting
+  // relies on.
+  const double u = rng_.UniformDouble();
+  double threshold = options_.drop_probability;
+  if (u < threshold) return Fault::kDrop;
+  threshold += options_.duplicate_probability;
+  if (u < threshold) return Fault::kDuplicate;
+  threshold += options_.reorder_probability;
+  if (u < threshold) return Fault::kReorder;
+  threshold += options_.nan_probability;
+  if (u < threshold) return Fault::kNan;
+  threshold += options_.inf_probability;
+  if (u < threshold) return Fault::kInf;
+  threshold += options_.dim_mismatch_probability;
+  if (u < threshold) return Fault::kDimMismatch;
+  threshold += options_.detector_dropout_probability;
+  if (u < threshold) return Fault::kDetectorDropout;
+  return Fault::kNone;
+}
+
+bool FaultInjector::InStall(const FrameObservation& frame) const {
+  for (const CameraStallWindow& window : options_.stalls) {
+    if (window.camera == frame.camera &&
+        frame.timestamp_ms >= window.start_ms &&
+        frame.timestamp_ms <= window.end_ms) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::CorruptObject(FrameObservation* frame, Fault fault) {
+  const size_t object_index = static_cast<size_t>(
+      rng_.UniformUint64(static_cast<uint64_t>(frame->objects.size())));
+  FeatureVector& feature = frame->objects[object_index].feature;
+  switch (fault) {
+    case Fault::kNan: {
+      const size_t c = static_cast<size_t>(
+          rng_.UniformUint64(static_cast<uint64_t>(feature.dim())));
+      feature[c] = std::numeric_limits<float>::quiet_NaN();
+      ++ledger_.objects_nan;
+      break;
+    }
+    case Fault::kInf: {
+      const size_t c = static_cast<size_t>(
+          rng_.UniformUint64(static_cast<uint64_t>(feature.dim())));
+      feature[c] = std::numeric_limits<float>::infinity();
+      ++ledger_.objects_inf;
+      break;
+    }
+    case Fault::kDimMismatch: {
+      // Chop the last component; a 1-d feature becomes empty, which the
+      // receiver also treats as non-ingestible.
+      std::vector<float> truncated(feature.components().begin(),
+                                   feature.components().end() -
+                                       (feature.dim() > 0 ? 1 : 0));
+      feature = FeatureVector(std::move(truncated));
+      ++ledger_.objects_dim_mismatch;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<FrameObservation> FaultInjector::Transform(
+    const FrameObservation& frame) {
+  ++ledger_.frames_seen;
+
+  // Scheduled outages come first: during a stall window the camera emits
+  // nothing, and no fault is rolled (the rng stream only advances on frames
+  // that had a chance to be delivered).
+  if (InStall(frame)) {
+    ++ledger_.frames_stalled;
+    return {};
+  }
+
+  std::vector<FrameObservation> out;
+
+  // Scheduled restarts: the recovered pipeline replays its last delivered
+  // frame before resuming. The replay matches the receiver's last accepted
+  // (timestamp, frame id) pair, so it lands in the duplicate counter.
+  auto pending = pending_restarts_.find(frame.camera);
+  if (pending != pending_restarts_.end()) {
+    auto& times = pending->second;
+    while (!times.empty() && times.front() <= frame.timestamp_ms) {
+      times.erase(times.begin());
+      auto last = last_delivered_.find(frame.camera);
+      if (last != last_delivered_.end()) {
+        out.push_back(last->second);
+        ++ledger_.restart_replays;
+      }
+    }
+  }
+
+  const Fault fault = Roll();
+  FrameObservation primary = frame;
+  bool deliver_primary = true;
+  bool duplicate = false;
+  switch (fault) {
+    case Fault::kDrop:
+      ++ledger_.frames_dropped;
+      deliver_primary = false;
+      break;
+    case Fault::kDuplicate:
+      duplicate = true;
+      break;
+    case Fault::kReorder:
+      // Hold at most one frame per camera; a reorder roll while one is
+      // already held delivers normally (and is not counted).
+      if (held_.count(frame.camera) == 0) {
+        held_.emplace(frame.camera, frame);
+        deliver_primary = false;
+      }
+      break;
+    case Fault::kNan:
+    case Fault::kInf:
+    case Fault::kDimMismatch:
+      // A feature fault on an objectless frame has nothing to corrupt;
+      // deliver unmodified and leave the ledger untouched.
+      if (!primary.objects.empty()) CorruptObject(&primary, fault);
+      break;
+    case Fault::kDetectorDropout:
+      if (!primary.objects.empty()) {
+        primary.objects.clear();
+        ++ledger_.detector_dropouts;
+      }
+      break;
+    case Fault::kNone:
+      break;
+  }
+
+  if (deliver_primary) {
+    last_delivered_[frame.camera] = primary;
+    out.push_back(primary);
+    if (duplicate) {
+      out.push_back(std::move(primary));
+      ++ledger_.frames_duplicated;
+    }
+    // A frame held for reordering is released right behind the next
+    // delivered frame of its camera — that is the moment it becomes late,
+    // so it is counted here (and exactly here), matching the receiver's
+    // out-of-order counter.
+    auto held = held_.find(frame.camera);
+    if (held != held_.end()) {
+      out.push_back(std::move(held->second));
+      held_.erase(held);
+      ++ledger_.frames_reordered;
+    }
+  }
+
+  ledger_.frames_delivered += out.size();
+  return out;
+}
+
+std::vector<FrameObservation> FaultInjector::Drain() {
+  // Leftover held frames are each the newest their camera has seen, so they
+  // arrive in order: delivered, not reordered.
+  std::vector<FrameObservation> out;
+  for (auto& [camera, frame] : held_) {
+    out.push_back(std::move(frame));
+  }
+  held_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const FrameObservation& a, const FrameObservation& b) {
+              return a.camera != b.camera ? a.camera < b.camera
+                                          : a.timestamp_ms < b.timestamp_ms;
+            });
+  ledger_.frames_delivered += out.size();
+  return out;
+}
+
+namespace {
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return Status::NotFound("cannot open " + path);
+  std::string data;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    data.append(buffer, n);
+  }
+  std::fclose(in);
+  return data;
+}
+
+Status WriteWholeFile(const std::string& path, const std::string& data) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return Status::Internal("cannot open " + path);
+  const size_t written = std::fwrite(data.data(), 1, data.size(), out);
+  if (std::fclose(out) != 0 || written != data.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjector::TruncateFile(const std::string& path,
+                                   size_t keep_bytes) {
+  VZ_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (keep_bytes > data.size()) {
+    return Status::InvalidArgument(
+        "file " + path + " has only " + std::to_string(data.size()) +
+        " bytes, cannot keep " + std::to_string(keep_bytes));
+  }
+  data.resize(keep_bytes);
+  return WriteWholeFile(path, data);
+}
+
+Status FaultInjector::FlipBits(const std::string& path, size_t num_flips,
+                               uint64_t seed) {
+  VZ_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot flip bits in empty file " + path);
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < num_flips; ++i) {
+    const size_t byte =
+        static_cast<size_t>(rng.UniformUint64(static_cast<uint64_t>(data.size())));
+    const int bit = static_cast<int>(rng.UniformUint64(8));
+    data[byte] = static_cast<char>(static_cast<unsigned char>(data[byte]) ^
+                                   (1u << bit));
+  }
+  return WriteWholeFile(path, data);
+}
+
+}  // namespace vz::sim

@@ -1,0 +1,159 @@
+#ifndef VZ_SIM_FAULT_INJECTOR_H_
+#define VZ_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/frame.h"
+
+namespace vz::sim {
+
+/// Inclusive simulated-time window during which a camera delivers nothing —
+/// an encoder hang, a network partition, a dead uplink.
+struct CameraStallWindow {
+  core::CameraId camera;
+  int64_t start_ms = 0;
+  int64_t end_ms = 0;
+};
+
+/// A camera process dying and coming back mid-stream. On the first frame at
+/// or after `at_ms` the restarted pipeline re-delivers its last pre-restart
+/// frame (recovery code replaying the tail of its upload queue) before
+/// resuming the live feed.
+struct CameraRestart {
+  core::CameraId camera;
+  int64_t at_ms = 0;
+};
+
+/// Configuration of the deterministic fault injector.
+///
+/// Per-frame faults are mutually exclusive: a single uniform roll against
+/// cumulative probability thresholds selects at most ONE fault per frame, so
+/// every ledger counter maps 1:1 onto an ingestion-side counter and tests can
+/// assert exact equality instead of bounds. The probabilities must therefore
+/// sum to at most 1.
+struct FaultInjectorOptions {
+  uint64_t seed = 42;
+  /// Frame is silently lost in transport.
+  double drop_probability = 0.0;
+  /// Frame is delivered twice (same timestamp and frame id).
+  double duplicate_probability = 0.0;
+  /// Frame is held back and delivered after the camera's next frame.
+  double reorder_probability = 0.0;
+  /// One object feature gets a NaN component.
+  double nan_probability = 0.0;
+  /// One object feature gets an Inf component.
+  double inf_probability = 0.0;
+  /// One object feature is truncated to the wrong dimension.
+  double dim_mismatch_probability = 0.0;
+  /// The detector returns nothing for this frame (objects cleared).
+  double detector_dropout_probability = 0.0;
+  /// Scheduled per-camera outage windows (checked before the fault roll).
+  std::vector<CameraStallWindow> stalls;
+  /// Scheduled mid-stream camera restarts.
+  std::vector<CameraRestart> restarts;
+};
+
+/// Deterministic fault injector for ingestion robustness tests.
+///
+/// Sits between a frame source (e.g. `Deployment::observations()`) and
+/// `VideoZilla::IngestFrame`: every observation passes through `Transform`,
+/// which returns the (possibly empty, possibly multi-element) list of frames
+/// actually delivered. The injector keeps an exact ledger of every fault it
+/// applied, so a test can compare the ledger against the system's
+/// `IngestStats` counter for counter:
+///
+///   drops/stalls     -> frames that never reach `IngestFrame`
+///   duplicates,      -> `duplicates_dropped`
+///    restart replays
+///   reorders         -> `out_of_order_dropped` (within the tolerance window)
+///   NaN/Inf/dim      -> `objects_quarantined`
+///   detector dropout -> accepted with zero objects (no counter)
+///
+/// Same seed + same input stream => bit-identical fault sequence.
+class FaultInjector {
+ public:
+  /// Exact record of every fault applied. All counters are in frames except
+  /// the `objects_*` ones, which count corrupted objects.
+  struct Ledger {
+    /// Frames offered to the injector.
+    uint64_t frames_seen = 0;
+    /// Frames emitted towards ingestion (includes duplicates and replays).
+    uint64_t frames_delivered = 0;
+    uint64_t frames_dropped = 0;
+    uint64_t frames_stalled = 0;
+    /// Extra copies emitted by the duplicate fault.
+    uint64_t frames_duplicated = 0;
+    /// Extra copies emitted by post-restart replay.
+    uint64_t restart_replays = 0;
+    /// Frames emitted behind a newer frame of the same camera. Counted at
+    /// the late emission, so this equals the receiver's out-of-order count.
+    uint64_t frames_reordered = 0;
+    uint64_t detector_dropouts = 0;
+    uint64_t objects_nan = 0;
+    uint64_t objects_inf = 0;
+    uint64_t objects_dim_mismatch = 0;
+  };
+
+  explicit FaultInjector(const FaultInjectorOptions& options);
+
+  /// Applies at most one fault to `frame` and returns the frames to deliver,
+  /// in delivery order. May return zero frames (drop/stall/held for
+  /// reordering) or more than one (duplicate, restart replay, or a
+  /// previously held frame released behind this one).
+  std::vector<core::FrameObservation> Transform(
+      const core::FrameObservation& frame);
+
+  /// Releases frames still held for reordering at end of stream. Each
+  /// camera's leftover is the newest frame it has seen, so these arrive in
+  /// order and are NOT counted as reordered.
+  std::vector<core::FrameObservation> Drain();
+
+  const Ledger& ledger() const { return ledger_; }
+
+  /// Overwrites `path` with its own first `keep_bytes` bytes — a torn write
+  /// (power loss mid-snapshot). Fails if the file is shorter than
+  /// `keep_bytes`.
+  static Status TruncateFile(const std::string& path, size_t keep_bytes);
+
+  /// Flips `num_flips` deterministically chosen bits in `path` — silent
+  /// media corruption. Fails on an empty or unreadable file.
+  static Status FlipBits(const std::string& path, size_t num_flips,
+                         uint64_t seed);
+
+ private:
+  enum class Fault {
+    kNone,
+    kDrop,
+    kDuplicate,
+    kReorder,
+    kNan,
+    kInf,
+    kDimMismatch,
+    kDetectorDropout,
+  };
+
+  /// One uniform roll mapped through the cumulative fault thresholds.
+  Fault Roll();
+  bool InStall(const core::FrameObservation& frame) const;
+  /// Corrupts one (deterministically chosen) object of `frame` in place.
+  void CorruptObject(core::FrameObservation* frame, Fault fault);
+
+  FaultInjectorOptions options_;
+  Rng rng_;
+  Ledger ledger_;
+  /// Frame held back per camera by the reorder fault.
+  std::unordered_map<core::CameraId, core::FrameObservation> held_;
+  /// Last frame delivered per camera (replayed after a restart).
+  std::unordered_map<core::CameraId, core::FrameObservation> last_delivered_;
+  /// Restarts not yet triggered, per camera.
+  std::unordered_map<core::CameraId, std::vector<int64_t>> pending_restarts_;
+};
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_FAULT_INJECTOR_H_

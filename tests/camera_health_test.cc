@@ -1,0 +1,244 @@
+// Camera health state machine and its effect on ingestion and queries:
+// stall detection and recovery, degradation via accumulated faults, the
+// reorder/duplicate guard, and graceful query degradation (partial answers
+// with the excluded cameras reported, never errors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/videozilla.h"
+
+namespace vz::core {
+namespace {
+
+VideoZillaOptions GuardedOptions() {
+  VideoZillaOptions options;
+  options.segmenter.t_max_ms = 10'000;
+  options.enable_keyframe_selection = false;
+  options.ingest.reorder_tolerance_ms = 2'000;
+  options.ingest.stall_threshold_ms = 30'000;
+  options.ingest.degraded_fault_fraction = 0.2;
+  options.ingest.degraded_min_frames = 5;
+  options.ingest.expected_feature_dim = 4;
+  return options;
+}
+
+FrameObservation MakeFrame(const CameraId& camera, int64_t ts_ms,
+                           int64_t frame_id, float value = 1.0f) {
+  FrameObservation frame;
+  frame.camera = camera;
+  frame.timestamp_ms = ts_ms;
+  frame.frame_id = frame_id;
+  DetectedObject object;
+  object.feature = FeatureVector({value, value + 1, value + 2, value + 3});
+  frame.objects.push_back(object);
+  return frame;
+}
+
+TEST(CameraHealthTest, FreshCameraIsHealthy) {
+  VideoZilla system(GuardedOptions());
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  auto health = system.camera_health("cam");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, CameraHealth::kHealthy);
+  EXPECT_FALSE(system.camera_health("unknown").ok());
+}
+
+TEST(CameraHealthTest, SilenceBeyondThresholdStallsAndRecoveryHeals) {
+  VideoZilla system(GuardedOptions());
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  ASSERT_TRUE(system.IngestFrame(MakeFrame("cam", 1'000, 1)).ok());
+  EXPECT_EQ(*system.camera_health("cam"), CameraHealth::kHealthy);
+
+  // The clock advances (other feeds, wall clock) but "cam" stays silent.
+  system.AdvanceTime(40'000);
+  EXPECT_EQ(*system.camera_health("cam"), CameraHealth::kStalled);
+
+  // Frames resume: the stall heals without intervention.
+  ASSERT_TRUE(system.IngestFrame(MakeFrame("cam", 41'000, 2)).ok());
+  EXPECT_EQ(*system.camera_health("cam"), CameraHealth::kHealthy);
+}
+
+TEST(CameraHealthTest, NeverIngestedCameraStallsFromItsStartTime) {
+  VideoZilla system(GuardedOptions());
+  ASSERT_TRUE(system.CameraStart("mute").ok());
+  system.AdvanceTime(31'000);
+  EXPECT_EQ(*system.camera_health("mute"), CameraHealth::kStalled);
+}
+
+TEST(CameraHealthTest, AccumulatedQuarantinesDegrade) {
+  VideoZilla system(GuardedOptions());
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  // 10 frames, 4 of them carrying a NaN feature: fault fraction 0.4 > 0.2.
+  for (int i = 0; i < 10; ++i) {
+    FrameObservation frame = MakeFrame("cam", 1'000 * (i + 1), i);
+    if (i % 3 == 0) {
+      frame.objects[0].feature[2] = std::numeric_limits<float>::quiet_NaN();
+    }
+    ASSERT_TRUE(system.IngestFrame(frame).ok());
+  }
+  auto stats = system.camera_ingest_stats("cam");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->frames_offered, 10u);
+  EXPECT_EQ(stats->frames_accepted, 10u);
+  EXPECT_EQ(stats->objects_quarantined, 4u);
+  EXPECT_EQ(*system.camera_health("cam"), CameraHealth::kDegraded);
+  // Degraded is a warning, not an exclusion: queries still search the feed.
+  auto result = system.DirectQuery(FeatureVector({1, 2, 3, 4}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->degraded);
+  EXPECT_TRUE(result->excluded_cameras.empty());
+}
+
+TEST(CameraHealthTest, FewEarlyFaultsDoNotDegrade) {
+  VideoZilla system(GuardedOptions());
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  FrameObservation bad = MakeFrame("cam", 1'000, 1);
+  bad.objects[0].feature[0] = std::numeric_limits<float>::infinity();
+  ASSERT_TRUE(system.IngestFrame(bad).ok());
+  // 1 fault / 1 frame is 100%, but below degraded_min_frames it is not
+  // diagnostic.
+  EXPECT_EQ(*system.camera_health("cam"), CameraHealth::kHealthy);
+}
+
+TEST(CameraHealthTest, ReorderWithinToleranceIsQuarantined) {
+  VideoZilla system(GuardedOptions());
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  ASSERT_TRUE(system.IngestFrame(MakeFrame("cam", 5'000, 1)).ok());
+  // 1.5 s late: inside the 2 s window -> dropped + counted, OK returned.
+  ASSERT_TRUE(system.IngestFrame(MakeFrame("cam", 3'500, 2)).ok());
+  // 2.5 s late: beyond the window -> contract violation.
+  EXPECT_EQ(system.IngestFrame(MakeFrame("cam", 2'500, 3)).code(),
+            StatusCode::kFailedPrecondition);
+  // Exact re-delivery of the newest frame -> duplicate.
+  ASSERT_TRUE(system.IngestFrame(MakeFrame("cam", 5'000, 1)).ok());
+
+  auto stats = system.camera_ingest_stats("cam");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->frames_offered, 4u);
+  EXPECT_EQ(stats->frames_accepted, 1u);
+  EXPECT_EQ(stats->out_of_order_dropped, 1u);
+  EXPECT_EQ(stats->duplicates_dropped, 1u);
+  EXPECT_EQ(stats->frames_rejected, 2u);
+  EXPECT_EQ(system.ingest_stats().frames_rejected, 2u);
+}
+
+TEST(CameraHealthTest, DimensionMismatchAndEmptyFeaturesAreQuarantined) {
+  VideoZilla system(GuardedOptions());  // expected_feature_dim = 4
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  FrameObservation frame = MakeFrame("cam", 1'000, 1);
+  DetectedObject wrong_dim;
+  wrong_dim.feature = FeatureVector({1.0f, 2.0f});  // dim 2 != 4
+  frame.objects.push_back(wrong_dim);
+  frame.objects.push_back(DetectedObject{});  // empty feature
+  ASSERT_TRUE(system.IngestFrame(frame).ok());
+  auto stats = system.camera_ingest_stats("cam");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->objects_quarantined, 2u);
+  EXPECT_EQ(system.ingest_stats().features_extracted, 1u);
+}
+
+TEST(CameraHealthTest, LearnedDimensionGuardsLaterMismatches) {
+  VideoZillaOptions options = GuardedOptions();
+  options.ingest.expected_feature_dim = 0;  // learn from the first object
+  VideoZilla system(options);
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  ASSERT_TRUE(system.IngestFrame(MakeFrame("cam", 1'000, 1)).ok());  // dim 4
+  FrameObservation shrunk = MakeFrame("cam", 2'000, 2);
+  shrunk.objects[0].feature = FeatureVector({1.0f});
+  ASSERT_TRUE(system.IngestFrame(shrunk).ok());
+  EXPECT_EQ(system.camera_ingest_stats("cam")->objects_quarantined, 1u);
+}
+
+TEST(CameraHealthTest, QueriesExcludeOnlyStalledCameras) {
+  VideoZillaOptions options = GuardedOptions();
+  options.segmenter.t_max_ms = 4'000;
+  VideoZilla system(options);
+  ASSERT_TRUE(system.CameraStart("live").ok());
+  ASSERT_TRUE(system.CameraStart("dead").ok());
+  // Both cameras produce SVSs early on.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        system.IngestFrame(MakeFrame("dead", 1'000 * (i + 1), i, 5.0f)).ok());
+  }
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        system
+            .IngestFrame(MakeFrame("live", 1'000 * (i + 1), 100 + i, 5.0f))
+            .ok());
+  }
+  ASSERT_TRUE(system.Flush().ok());
+  // "dead" went silent at 12 s; "live" carried the clock to 60 s.
+  EXPECT_EQ(*system.camera_health("dead"), CameraHealth::kStalled);
+  EXPECT_EQ(*system.camera_health("live"), CameraHealth::kHealthy);
+
+  auto report = system.CameraHealthReport();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].first, "dead");
+  EXPECT_EQ(report[0].second, CameraHealth::kStalled);
+  EXPECT_EQ(report[1].first, "live");
+  EXPECT_EQ(report[1].second, CameraHealth::kHealthy);
+
+  auto direct = system.DirectQuery(FeatureVector({5, 6, 7, 8}));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->degraded);
+  EXPECT_EQ(direct->excluded_cameras, std::vector<CameraId>{"dead"});
+  for (SvsId id : direct->candidate_svss) {
+    auto svs = system.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    EXPECT_EQ((*svs)->camera(), "live");
+  }
+
+  auto clustering = system.ClusteringQuery(
+      (*system.svs_store().Get(direct->candidate_svss.empty()
+                                   ? system.svs_store().AllIds().front()
+                                   : direct->candidate_svss.front()))
+          ->features());
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_TRUE(clustering->degraded);
+  EXPECT_EQ(clustering->excluded_cameras, std::vector<CameraId>{"dead"});
+  for (SvsId id : clustering->similar_svss) {
+    auto svs = system.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    EXPECT_EQ((*svs)->camera(), "live");
+  }
+}
+
+TEST(CameraHealthTest, ConstraintFilteredCamerasAreNotReportedExcluded) {
+  VideoZillaOptions options = GuardedOptions();
+  options.segmenter.t_max_ms = 4'000;
+  VideoZilla system(options);
+  ASSERT_TRUE(system.CameraStart("live").ok());
+  ASSERT_TRUE(system.CameraStart("dead").ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        system.IngestFrame(MakeFrame("dead", 1'000 * (i + 1), i)).ok());
+  }
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        system.IngestFrame(MakeFrame("live", 1'000 * (i + 1), 100 + i)).ok());
+  }
+  ASSERT_TRUE(system.Flush().ok());
+  ASSERT_EQ(*system.camera_health("dead"), CameraHealth::kStalled);
+
+  // The caller already scoped the query away from the stalled camera: the
+  // answer is complete within its constraints, not degraded.
+  QueryConstraints constraints;
+  constraints.cameras = std::vector<CameraId>{"live"};
+  auto result = system.DirectQuery(FeatureVector({1, 2, 3, 4}), constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->degraded);
+  EXPECT_TRUE(result->excluded_cameras.empty());
+}
+
+TEST(CameraHealthTest, HealthNamesAreStable) {
+  EXPECT_EQ(CameraHealthToString(CameraHealth::kHealthy), "healthy");
+  EXPECT_EQ(CameraHealthToString(CameraHealth::kDegraded), "degraded");
+  EXPECT_EQ(CameraHealthToString(CameraHealth::kStalled), "stalled");
+}
+
+}  // namespace
+}  // namespace vz::core

@@ -1,0 +1,392 @@
+// Deterministic fault injection end to end: the injector's ledger must
+// explain the system's ingestion counters exactly — drops, duplicates,
+// reorders, corrupted features, stalls, restarts — and the full drill
+// (faulty ingest -> degraded queries -> torn snapshot -> salvage ->
+// restore) must come out bit-accounted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/videozilla.h"
+#include "io/svs_snapshot.h"
+#include "sim/dataset.h"
+#include "sim/fault_injector.h"
+
+namespace vz {
+namespace {
+
+using core::CameraHealth;
+using core::CameraId;
+using core::FrameObservation;
+using core::VideoZilla;
+using core::VideoZillaOptions;
+using sim::FaultInjector;
+using sim::FaultInjectorOptions;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+FrameObservation SimpleFrame(const CameraId& camera, int64_t ts_ms,
+                             int64_t frame_id) {
+  FrameObservation frame;
+  frame.camera = camera;
+  frame.timestamp_ms = ts_ms;
+  frame.frame_id = frame_id;
+  core::DetectedObject object;
+  object.feature = FeatureVector({1.0f, 2.0f, 3.0f});
+  frame.objects.push_back(object);
+  return frame;
+}
+
+std::vector<FrameObservation> SimpleStream(size_t n) {
+  std::vector<FrameObservation> frames;
+  for (size_t i = 0; i < n; ++i) {
+    frames.push_back(
+        SimpleFrame("cam", 1'000 * static_cast<int64_t>(i + 1),
+                    static_cast<int64_t>(i)));
+  }
+  return frames;
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaults) {
+  FaultInjectorOptions options;
+  options.seed = 77;
+  options.drop_probability = 0.2;
+  options.duplicate_probability = 0.1;
+  options.reorder_probability = 0.1;
+  options.nan_probability = 0.1;
+
+  auto run = [&options] {
+    FaultInjector injector(options);
+    std::vector<std::pair<int64_t, int64_t>> delivered;  // (ts, id)
+    for (const FrameObservation& frame : SimpleStream(200)) {
+      for (const FrameObservation& out : injector.Transform(frame)) {
+        delivered.emplace_back(out.timestamp_ms, out.frame_id);
+      }
+    }
+    for (const FrameObservation& out : injector.Drain()) {
+      delivered.emplace_back(out.timestamp_ms, out.frame_id);
+    }
+    return std::make_pair(delivered, injector.ledger().frames_dropped);
+  };
+  EXPECT_EQ(run(), run());
+
+  options.seed = 78;  // a different seed produces a different fault pattern
+  FaultInjector other(options);
+  uint64_t delivered = 0;
+  for (const FrameObservation& frame : SimpleStream(200)) {
+    delivered += other.Transform(frame).size();
+  }
+  EXPECT_NE(delivered + other.ledger().frames_dropped, 0u);
+}
+
+TEST(FaultInjectorTest, DropEverything) {
+  FaultInjectorOptions options;
+  options.drop_probability = 1.0;
+  FaultInjector injector(options);
+  for (const FrameObservation& frame : SimpleStream(50)) {
+    EXPECT_TRUE(injector.Transform(frame).empty());
+  }
+  EXPECT_TRUE(injector.Drain().empty());
+  EXPECT_EQ(injector.ledger().frames_seen, 50u);
+  EXPECT_EQ(injector.ledger().frames_dropped, 50u);
+  EXPECT_EQ(injector.ledger().frames_delivered, 0u);
+}
+
+TEST(FaultInjectorTest, ConservationLawHolds) {
+  FaultInjectorOptions options;
+  options.seed = 11;
+  options.drop_probability = 0.15;
+  options.duplicate_probability = 0.15;
+  options.reorder_probability = 0.15;
+  options.detector_dropout_probability = 0.1;
+  options.stalls.push_back({"cam", 30'000, 60'000});
+  FaultInjector injector(options);
+  uint64_t emitted = 0;
+  for (const FrameObservation& frame : SimpleStream(300)) {
+    emitted += injector.Transform(frame).size();
+  }
+  emitted += injector.Drain().size();
+  const FaultInjector::Ledger& ledger = injector.ledger();
+  EXPECT_EQ(ledger.frames_seen, 300u);
+  EXPECT_EQ(ledger.frames_delivered, emitted);
+  // Every frame is delivered, dropped or stalled; duplicates and replays
+  // add extra deliveries on top.
+  EXPECT_EQ(ledger.frames_delivered,
+            ledger.frames_seen - ledger.frames_dropped -
+                ledger.frames_stalled + ledger.frames_duplicated +
+                ledger.restart_replays);
+  EXPECT_GT(ledger.frames_stalled, 0u);
+}
+
+TEST(FaultInjectorTest, DuplicatesMatchReceiverCounter) {
+  FaultInjectorOptions options;
+  options.duplicate_probability = 1.0;
+  FaultInjector injector(options);
+  VideoZillaOptions vz_options;
+  vz_options.enable_keyframe_selection = false;
+  VideoZilla system(vz_options);
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  for (const FrameObservation& frame : SimpleStream(40)) {
+    for (const FrameObservation& out : injector.Transform(frame)) {
+      ASSERT_TRUE(system.IngestFrame(out).ok());
+    }
+  }
+  EXPECT_EQ(injector.ledger().frames_duplicated, 40u);
+  EXPECT_EQ(system.ingest_stats().duplicates_dropped, 40u);
+  EXPECT_EQ(system.ingest_stats().out_of_order_dropped, 0u);
+}
+
+TEST(FaultInjectorTest, ReordersMatchReceiverCounter) {
+  FaultInjectorOptions options;
+  options.reorder_probability = 1.0;
+  FaultInjector injector(options);
+  VideoZillaOptions vz_options;
+  vz_options.enable_keyframe_selection = false;
+  vz_options.ingest.reorder_tolerance_ms = 5'000;
+  VideoZilla system(vz_options);
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  for (const FrameObservation& frame : SimpleStream(41)) {
+    for (const FrameObservation& out : injector.Transform(frame)) {
+      ASSERT_TRUE(system.IngestFrame(out).ok());
+    }
+  }
+  for (const FrameObservation& out : injector.Drain()) {
+    ASSERT_TRUE(system.IngestFrame(out).ok());
+  }
+  // With every frame rolling "reorder", frames alternate held/released:
+  // 20 late releases plus one drained leftover.
+  EXPECT_EQ(injector.ledger().frames_reordered, 20u);
+  EXPECT_EQ(system.ingest_stats().out_of_order_dropped,
+            injector.ledger().frames_reordered);
+  EXPECT_EQ(system.ingest_stats().frames_offered,
+            injector.ledger().frames_delivered);
+}
+
+TEST(FaultInjectorTest, DetectorDropoutDeliversObjectlessFrames) {
+  FaultInjectorOptions options;
+  options.detector_dropout_probability = 1.0;
+  FaultInjector injector(options);
+  VideoZillaOptions vz_options;
+  vz_options.enable_keyframe_selection = false;
+  VideoZilla system(vz_options);
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  for (const FrameObservation& frame : SimpleStream(30)) {
+    for (const FrameObservation& out : injector.Transform(frame)) {
+      EXPECT_TRUE(out.objects.empty());
+      ASSERT_TRUE(system.IngestFrame(out).ok());
+    }
+  }
+  EXPECT_EQ(injector.ledger().detector_dropouts, 30u);
+  EXPECT_EQ(system.ingest_stats().features_extracted, 0u);
+  EXPECT_EQ(system.ingest_stats().objects_quarantined, 0u);
+  EXPECT_EQ(system.camera_ingest_stats("cam")->frames_accepted, 30u);
+}
+
+TEST(FaultInjectorTest, RestartReplaysLandInDuplicateCounter) {
+  FaultInjectorOptions options;
+  options.restarts.push_back({"cam", 10'500});
+  options.restarts.push_back({"cam", 20'500});
+  FaultInjector injector(options);
+  VideoZillaOptions vz_options;
+  vz_options.enable_keyframe_selection = false;
+  VideoZilla system(vz_options);
+  ASSERT_TRUE(system.CameraStart("cam").ok());
+  for (const FrameObservation& frame : SimpleStream(30)) {
+    for (const FrameObservation& out : injector.Transform(frame)) {
+      ASSERT_TRUE(system.IngestFrame(out).ok());
+    }
+  }
+  EXPECT_EQ(injector.ledger().restart_replays, 2u);
+  EXPECT_EQ(system.ingest_stats().duplicates_dropped, 2u);
+}
+
+TEST(FaultInjectorTest, FileFaultHelpersValidateInput) {
+  const std::string path = TempPath("filefault.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0123456789", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(FaultInjector::TruncateFile(path, 11).ok());
+  ASSERT_TRUE(FaultInjector::TruncateFile(path, 4).ok());
+  ASSERT_TRUE(FaultInjector::FlipBits(path, 2, 5).ok());
+  EXPECT_FALSE(FaultInjector::TruncateFile("/no/such/file", 0).ok());
+  EXPECT_FALSE(FaultInjector::FlipBits("/no/such/file", 1, 5).ok());
+  ASSERT_TRUE(FaultInjector::TruncateFile(path, 0).ok());
+  EXPECT_FALSE(FaultInjector::FlipBits(path, 1, 5).ok());  // now empty
+  std::remove(path.c_str());
+}
+
+// The acceptance drill: a seeded multi-fault run over a simulated
+// deployment. Every counter must match the injector's ledger exactly, the
+// stalled camera must be excluded from queries (and only it), a torn
+// snapshot must salvage to a valid prefix, and a clean snapshot must
+// restore into a fresh healthy instance.
+TEST(FaultInjectionDrillTest, SeededEndToEndDrillIsExactlyAccounted) {
+  sim::DeploymentOptions dep_options;
+  dep_options.cities = 1;
+  dep_options.downtown_per_city = 1;
+  dep_options.highway_cameras = 1;
+  dep_options.train_stations = 1;
+  dep_options.harbors = 1;
+  dep_options.feed_duration_ms = 60'000;
+  dep_options.fps = 1.0;
+  dep_options.feature_dim = 32;
+  dep_options.seed = 13;
+  sim::Deployment deployment(dep_options);
+  ASSERT_GE(deployment.cameras().size(), 2u);
+  const CameraId stalled_camera = deployment.cameras()[0].camera;
+  const CameraId restarted_camera = deployment.cameras()[1].camera;
+
+  FaultInjectorOptions fault_options;
+  fault_options.seed = 2026;
+  fault_options.drop_probability = 0.05;
+  fault_options.duplicate_probability = 0.03;
+  fault_options.reorder_probability = 0.03;
+  fault_options.nan_probability = 0.02;
+  fault_options.inf_probability = 0.01;
+  fault_options.dim_mismatch_probability = 0.01;
+  fault_options.detector_dropout_probability = 0.02;
+  // One camera dies at 20 s and never comes back; another restarts mid-run.
+  fault_options.stalls.push_back({stalled_camera, 20'000, 1'000'000});
+  fault_options.restarts.push_back({restarted_camera, 30'000});
+  FaultInjector injector(fault_options);
+
+  VideoZillaOptions options;
+  options.segmenter.t_max_ms = 15'000;
+  options.enable_keyframe_selection = false;
+  options.ingest.reorder_tolerance_ms = 10'000;
+  options.ingest.stall_threshold_ms = 30'000;
+  options.ingest.expected_feature_dim = dep_options.feature_dim;
+  VideoZilla system(options);
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(system.CameraStart(info.camera).ok());
+  }
+  for (const FrameObservation& frame : deployment.observations()) {
+    for (const FrameObservation& out : injector.Transform(frame)) {
+      ASSERT_TRUE(system.IngestFrame(out).ok());
+    }
+  }
+  for (const FrameObservation& out : injector.Drain()) {
+    ASSERT_TRUE(system.IngestFrame(out).ok());
+  }
+  ASSERT_TRUE(system.Flush().ok());
+
+  // --- Ledger-exact accounting. ---
+  const FaultInjector::Ledger& ledger = injector.ledger();
+  const core::IngestStats& stats = system.ingest_stats();
+  EXPECT_EQ(ledger.frames_seen, deployment.observations().size());
+  EXPECT_GT(ledger.frames_dropped, 0u);
+  EXPECT_GT(ledger.frames_stalled, 0u);
+  EXPECT_GT(ledger.frames_reordered, 0u);
+  EXPECT_GT(ledger.objects_nan + ledger.objects_inf +
+                ledger.objects_dim_mismatch,
+            0u);
+  EXPECT_EQ(stats.frames_offered, ledger.frames_delivered);
+  EXPECT_EQ(stats.duplicates_dropped,
+            ledger.frames_duplicated + ledger.restart_replays);
+  EXPECT_EQ(stats.out_of_order_dropped, ledger.frames_reordered);
+  EXPECT_EQ(stats.frames_rejected,
+            stats.duplicates_dropped + stats.out_of_order_dropped);
+  EXPECT_EQ(stats.objects_quarantined,
+            ledger.objects_nan + ledger.objects_inf +
+                ledger.objects_dim_mismatch);
+
+  // --- No corrupted feature leaked into the store. ---
+  for (core::SvsId id : system.svs_store().AllIds()) {
+    auto svs = system.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    for (size_t i = 0; i < (*svs)->features().size(); ++i) {
+      const FeatureVector& v = (*svs)->features().vector(i);
+      EXPECT_EQ(v.dim(), dep_options.feature_dim);
+      EXPECT_TRUE(core::FeatureIsFinite(v));
+    }
+  }
+
+  // --- Health: exactly the stalled camera is stalled. ---
+  for (const auto& [camera, health] : system.CameraHealthReport()) {
+    if (camera == stalled_camera) {
+      EXPECT_EQ(health, CameraHealth::kStalled) << camera;
+    } else {
+      EXPECT_NE(health, CameraHealth::kStalled) << camera;
+    }
+  }
+
+  // --- Queries degrade gracefully, excluding only the stalled camera. ---
+  FeatureVector probe;
+  for (core::SvsId id : system.svs_store().AllIds()) {
+    auto svs = system.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    if ((*svs)->camera() != stalled_camera) {
+      probe = (*svs)->features().vector(0);
+      break;
+    }
+  }
+  ASSERT_GT(probe.dim(), 0u);
+  auto direct = system.DirectQuery(probe);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->degraded);
+  EXPECT_EQ(direct->excluded_cameras,
+            std::vector<CameraId>{stalled_camera});
+  for (core::SvsId id : direct->candidate_svss) {
+    auto svs = system.svs_store().Get(id);
+    ASSERT_TRUE(svs.ok());
+    EXPECT_NE((*svs)->camera(), stalled_camera);
+  }
+
+  // --- Crash-safe persistence: torn snapshot salvages, clean restores. ---
+  const std::string clean_path = TempPath("drill_clean.vzss");
+  const std::string torn_path = TempPath("drill_torn.vzss");
+  ASSERT_TRUE(io::SaveSvsStore(system.svs_store(), clean_path).ok());
+  ASSERT_TRUE(io::SaveSvsStore(system.svs_store(), torn_path).ok());
+  size_t snapshot_bytes = 0;
+  {
+    std::FILE* f = std::fopen(clean_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    snapshot_bytes = static_cast<size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+  ASSERT_TRUE(
+      FaultInjector::TruncateFile(torn_path, snapshot_bytes * 7 / 10).ok());
+
+  core::SvsStore strict;
+  EXPECT_FALSE(io::LoadSvsStore(torn_path, &strict).ok());
+  EXPECT_EQ(strict.size(), 0u);
+
+  core::SvsStore salvaged;
+  io::SnapshotLoadOptions salvage_options;
+  salvage_options.salvage = true;
+  io::SnapshotLoadReport report;
+  ASSERT_TRUE(
+      io::LoadSvsStore(torn_path, &salvaged, salvage_options, &report).ok());
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_GT(report.records_loaded, 0u);
+  EXPECT_LT(report.records_loaded, system.svs_store().size());
+  EXPECT_EQ(salvaged.size(), report.records_loaded);
+
+  core::SvsStore clean;
+  ASSERT_TRUE(io::LoadSvsStore(clean_path, &clean).ok());
+  VideoZilla restored(options);
+  ASSERT_TRUE(restored.RestoreFromSvsStore(clean).ok());
+  EXPECT_EQ(restored.svs_store().size(), system.svs_store().size());
+  // Restore is a restart: the stall clock resets, every camera serves again.
+  auto restored_query = restored.DirectQuery(probe);
+  ASSERT_TRUE(restored_query.ok());
+  EXPECT_FALSE(restored_query->degraded);
+  EXPECT_TRUE(restored_query->excluded_cameras.empty());
+  EXPECT_GE(restored_query->candidate_svss.size(),
+            direct->candidate_svss.size());
+
+  std::remove(clean_path.c_str());
+  std::remove(torn_path.c_str());
+}
+
+}  // namespace
+}  // namespace vz

@@ -6,12 +6,19 @@
 #include <algorithm>
 #include <numeric>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "clustering/dendrogram_purity.h"
 #include "core/omd.h"
 #include "core/segmenter.h"
+#include "core/svs.h"
 #include "index/mtree.h"
 #include "index/perch_tree.h"
+#include "io/svs_snapshot.h"
 #include "sim/dataset.h"
+#include "sim/fault_injector.h"
 #include "test_util.h"
 
 namespace vz {
@@ -182,6 +189,76 @@ TEST_P(FuzzTest, OmdSymmetryUnderRandomMaps) {
   EXPECT_NEAR(*ab, *ba, 1e-6 * (1.0 + *ab));
   EXPECT_NEAR(*aa, 0.0, 1e-6);
   EXPECT_GE(*ab, 0.0);
+}
+
+TEST_P(FuzzTest, CorruptedSnapshotsNeverCrashOrPoisonTheStore) {
+  Rng rng(GetParam() ^ 0x51AB);
+  core::SvsStore original;
+  for (int i = 0; i < 4; ++i) {
+    const core::SvsId id = original.Create(
+        "cam-" + std::to_string(i % 2), i * 100, i * 100 + 90,
+        testing::MakeMap(8, 5, i * 1.5, 0.5, GetParam() + i));
+    auto svs = original.GetMutable(id);
+    ASSERT_TRUE(svs.ok());
+    (*svs)->set_frame_ids({i * 2LL, i * 2LL + 1});
+  }
+  const std::string path = ::testing::TempDir() + "/fuzz_snap_" +
+                           std::to_string(GetParam()) + ".vzss";
+
+  for (const bool v1 : {false, true}) {
+    for (int trial = 0; trial < 12; ++trial) {
+      ASSERT_TRUE((v1 ? io::SaveSvsStoreV1(original, path)
+                      : io::SaveSvsStore(original, path))
+                      .ok());
+      size_t size = 0;
+      {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        size = static_cast<size_t>(in.tellg());
+      }
+      const bool truncated = rng.Bernoulli(0.5);
+      if (truncated) {
+        ASSERT_TRUE(sim::FaultInjector::TruncateFile(
+                        path, static_cast<size_t>(rng.UniformUint64(size)))
+                        .ok());
+      } else {
+        ASSERT_TRUE(sim::FaultInjector::FlipBits(
+                        path, 1 + static_cast<size_t>(rng.UniformUint64(8)),
+                        rng.NextUint64())
+                        .ok());
+      }
+
+      // Default (all-or-nothing) mode: a clean error leaves the target
+      // store untouched; v1 bit flips may parse (no checksums to catch
+      // them) but must never crash. v2 catches every corruption.
+      core::SvsStore strict;
+      const Status status = io::LoadSvsStore(path, &strict);
+      if (!status.ok()) {
+        EXPECT_EQ(strict.size(), 0u)
+            << "failed load appended records (v1=" << v1
+            << ", truncated=" << truncated << ", trial=" << trial << ")";
+      }
+      if (!v1) {
+        EXPECT_FALSE(status.ok())
+            << "v2 accepted corruption (truncated=" << truncated
+            << ", trial=" << trial << ")";
+      }
+
+      // Salvage mode: success or error, and on success the store holds
+      // exactly the reported prefix.
+      core::SvsStore salvaged;
+      io::SnapshotLoadOptions salvage_options;
+      salvage_options.salvage = true;
+      io::SnapshotLoadReport report;
+      const Status salvage_status =
+          io::LoadSvsStore(path, &salvaged, salvage_options, &report);
+      if (salvage_status.ok()) {
+        EXPECT_EQ(salvaged.size(), report.records_loaded);
+      } else {
+        EXPECT_EQ(salvaged.size(), 0u);
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "io/binary_format.h"
+#include "sim/fault_injector.h"
 #include "test_util.h"
 
 namespace vz::io {
@@ -166,6 +167,126 @@ TEST(SvsSnapshotTest, RejectsTruncatedSnapshot) {
   }
   core::SvsStore store;
   EXPECT_FALSE(LoadSvsStore(path, &store).ok());
+  std::remove(path.c_str());
+}
+
+void ExpectStoresEqual(const core::SvsStore& a, const core::SvsStore& b,
+                       size_t limit) {
+  size_t compared = 0;
+  for (core::SvsId id : a.AllIds()) {
+    if (compared++ == limit) break;
+    auto sa = a.Get(id);
+    auto sb = b.Get(id);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    EXPECT_EQ((*sa)->camera(), (*sb)->camera());
+    EXPECT_EQ((*sa)->start_ms(), (*sb)->start_ms());
+    EXPECT_EQ((*sa)->end_ms(), (*sb)->end_ms());
+    EXPECT_EQ((*sa)->frame_ids(), (*sb)->frame_ids());
+    ASSERT_EQ((*sa)->features().size(), (*sb)->features().size());
+    for (size_t i = 0; i < (*sa)->features().size(); ++i) {
+      EXPECT_EQ((*sa)->features().vector(i), (*sb)->features().vector(i));
+    }
+  }
+}
+
+TEST(SvsSnapshotTest, LoadsLegacyVersion1Snapshots) {
+  const std::string path = TempPath("legacy.vzss");
+  core::SvsStore original;
+  FillStore(&original);
+  ASSERT_TRUE(SaveSvsStoreV1(original, path).ok());
+
+  core::SvsStore loaded;
+  SnapshotLoadReport report;
+  ASSERT_TRUE(LoadSvsStore(path, &loaded, SnapshotLoadOptions(), &report).ok());
+  EXPECT_EQ(report.version, kSnapshotVersionV1);
+  EXPECT_EQ(report.records_loaded, original.size());
+  EXPECT_FALSE(report.salvaged);
+  ASSERT_EQ(loaded.size(), original.size());
+  ExpectStoresEqual(original, loaded, original.size());
+  std::remove(path.c_str());
+}
+
+TEST(SvsSnapshotTest, DetectsSingleBitFlipAnywhere) {
+  const std::string path = TempPath("flip.vzss");
+  core::SvsStore original;
+  FillStore(&original);
+  ASSERT_TRUE(SaveSvsStore(original, path).ok());
+  ASSERT_TRUE(sim::FaultInjector::FlipBits(path, 1, /*seed=*/99).ok());
+
+  core::SvsStore store;
+  EXPECT_FALSE(LoadSvsStore(path, &store).ok());
+  EXPECT_EQ(store.size(), 0u);  // all-or-nothing: nothing appended
+  std::remove(path.c_str());
+}
+
+TEST(SvsSnapshotTest, SalvageRecoversValidPrefixOfTornSnapshot) {
+  const std::string path = TempPath("torn.vzss");
+  core::SvsStore original;
+  FillStore(&original);
+  ASSERT_TRUE(SaveSvsStore(original, path).ok());
+  size_t full_size = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    full_size = static_cast<size_t>(in.tellg());
+  }
+  // Tear off the last ~40%: the footer, some records and likely part of one.
+  ASSERT_TRUE(sim::FaultInjector::TruncateFile(path, full_size * 6 / 10).ok());
+
+  // Default mode refuses the torn file outright.
+  core::SvsStore strict;
+  EXPECT_FALSE(LoadSvsStore(path, &strict).ok());
+  EXPECT_EQ(strict.size(), 0u);
+
+  // Salvage mode recovers the intact record prefix.
+  core::SvsStore salvage;
+  SnapshotLoadReport report;
+  SnapshotLoadOptions options;
+  options.salvage = true;
+  ASSERT_TRUE(LoadSvsStore(path, &salvage, options, &report).ok());
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records_expected, original.size());
+  EXPECT_LT(report.records_loaded, original.size());
+  EXPECT_GT(report.records_loaded, 0u);
+  EXPECT_EQ(salvage.size(), report.records_loaded);
+  // Whatever survived is bit-identical to the original prefix.
+  ExpectStoresEqual(original, salvage, static_cast<size_t>(report.records_loaded));
+  std::remove(path.c_str());
+}
+
+TEST(SvsSnapshotTest, FailedLoadLeavesExistingStoreUntouched) {
+  const std::string good_path = TempPath("good.vzss");
+  const std::string bad_path = TempPath("bad.vzss");
+  core::SvsStore original;
+  FillStore(&original);
+  ASSERT_TRUE(SaveSvsStore(original, good_path).ok());
+  ASSERT_TRUE(SaveSvsStore(original, bad_path).ok());
+  ASSERT_TRUE(sim::FaultInjector::FlipBits(bad_path, 3, /*seed=*/7).ok());
+
+  core::SvsStore store;
+  ASSERT_TRUE(LoadSvsStore(good_path, &store).ok());
+  const size_t before = store.size();
+  EXPECT_FALSE(LoadSvsStore(bad_path, &store).ok());
+  EXPECT_EQ(store.size(), before);
+  ExpectStoresEqual(original, store, before);
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(SvsSnapshotTest, AtomicSaveFailureLeavesPreviousSnapshot) {
+  const std::string path = TempPath("atomic.vzss");
+  core::SvsStore original;
+  FillStore(&original);
+  ASSERT_TRUE(SaveSvsStore(original, path).ok());
+  // A save to an unwritable location must fail without leaving debris.
+  core::SvsStore other;
+  FillStore(&other);
+  EXPECT_FALSE(
+      SaveSvsStore(other, "/nonexistent-vz-dir/snap.vzss").ok());
+  // The original file still loads cleanly.
+  core::SvsStore loaded;
+  ASSERT_TRUE(LoadSvsStore(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), original.size());
   std::remove(path.c_str());
 }
 
