@@ -10,10 +10,20 @@
 // numbers are bit-identical across lanes (the determinism guarantee of the
 // parallel query path); the wall-clock column shows how much of the *index*
 // side — candidate search plus verifier dispatch — the thread pool absorbs.
+//
+// A deadline axis rides along too: the same queries under shrinking
+// wall-clock budgets, recording the average completed fraction and the
+// timed-out count per budget — the graceful-degradation curve of the
+// best-effort timeout path. Pass a single budget
+// (`bench_fig16_bottleneck_time --deadline-ms 5`) to run only the deadline
+// axis at that budget, skipping the figure sweep.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -70,10 +80,60 @@ void Run() {
   }
 }
 
+void RunDeadlineAxis(const std::vector<int64_t>& budgets_ms) {
+  Banner("Deadline axis: completed fraction vs wall-clock budget",
+         "best-effort timeouts; 0 = no deadline");
+  core::VideoZillaOptions vz_options = BenchVzOptions();
+  vz_options.num_threads = 4;
+  EndToEndRig rig(LargeDeploymentOptions(), vz_options);
+
+  std::printf("\n%-14s %10s %14s %14s %18s\n", "deadline (ms)", "queries",
+              "timed out", "avg completed", "avg matches");
+  for (const int64_t budget_ms : budgets_ms) {
+    Rng rng(41);  // identical query set per budget
+    size_t queries = 0;
+    size_t timed_out = 0;
+    double completed_sum = 0.0;
+    double matches_sum = 0.0;
+    core::QueryConstraints constraints;
+    // 0 means unconstrained; a negative budget is already expired on entry,
+    // the floor of the graceful-degradation curve.
+    if (budget_ms != 0) constraints.deadline_ms = budget_ms;
+    for (int object_class : PaperQueryClasses()) {
+      for (int q = 0; q < kQueriesPerClass; ++q) {
+        const FeatureVector query =
+            rig.deployment.MakeQueryFeature(object_class, &rng);
+        auto result = rig.system.DirectQuery(query, constraints);
+        if (!result.ok()) continue;
+        ++queries;
+        timed_out += result->timed_out ? 1 : 0;
+        completed_sum += result->completed_fraction;
+        matches_sum += static_cast<double>(result->matched_svss.size());
+      }
+    }
+    if (queries == 0) continue;
+    std::printf("%-14lld %10zu %14zu %13.1f%% %18.1f\n",
+                static_cast<long long>(budget_ms), queries, timed_out,
+                100.0 * completed_sum / static_cast<double>(queries),
+                matches_sum / static_cast<double>(queries));
+  }
+}
+
 }  // namespace
 }  // namespace vz::bench
 
-int main() {
-  vz::bench::Run();
+int main(int argc, char** argv) {
+  // Default sweep: no deadline, then shrinking budgets down to an
+  // already-expired one (every query returns the empty best-effort result).
+  std::vector<int64_t> budgets_ms = {0, 50, 10, 2, -1};
+  bool deadline_only = false;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      budgets_ms = {std::atoll(argv[i + 1])};
+      deadline_only = true;  // probing the deadline curve, skip the sweep
+    }
+  }
+  if (!deadline_only) vz::bench::Run();
+  vz::bench::RunDeadlineAxis(budgets_ms);
   return 0;
 }

@@ -4,6 +4,7 @@
 //   vz_cli [--downtown N] [--highway N] [--stations N] [--harbors N]
 //          [--minutes M] [--query CLASS]... [--mode hierarchical|intra|flat]
 //          [--save PATH] [--load PATH] [--seed S]
+//          [--deadline-ms D] [--max-inflight N]
 //
 // Examples:
 //   vz_cli --downtown 4 --harbors 2 --minutes 6 --query boat --query train
@@ -39,6 +40,10 @@ struct CliOptions {
   std::string save_path;
   std::string load_path;
   uint64_t seed = 7;
+  // Wall-clock budget per query; <= 0 means no deadline.
+  int64_t deadline_ms = 0;
+  // Admission gate size; 0 means unlimited (no gating).
+  size_t max_inflight = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -70,6 +75,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->queries.push_back(cls);
     } else if (arg == "--mode" && (value = next_value(&i))) {
       options->mode = value;
+    } else if (arg == "--deadline-ms" && (value = next_value(&i))) {
+      options->deadline_ms = std::atoll(value);
+    } else if (arg == "--max-inflight" && (value = next_value(&i))) {
+      options->max_inflight = static_cast<size_t>(std::atoi(value));
     } else if (arg == "--save" && (value = next_value(&i))) {
       options->save_path = value;
     } else if (arg == "--load" && (value = next_value(&i))) {
@@ -94,7 +103,8 @@ int main(int argc, char** argv) {
                  "usage: vz_cli [--downtown N] [--highway N] [--stations N] "
                  "[--harbors N] [--minutes M] [--query CLASS]... "
                  "[--mode hierarchical|intra|flatsvs|flat] [--save PATH] "
-                 "[--load PATH] [--seed S]\n");
+                 "[--load PATH] [--seed S] [--deadline-ms D] "
+                 "[--max-inflight N]\n");
     return 2;
   }
 
@@ -115,6 +125,13 @@ int main(int argc, char** argv) {
   options.segmenter.t_split_ms = options.segmenter.t_max_ms / 10;
   options.boundary_scale = 1.8;
   options.enable_keyframe_selection = false;
+  // Overload protection: deadlines run on the wall clock (the default time
+  // source); the admission gate is sized by --max-inflight with a one-deep
+  // wait queue so a brief burst queues instead of shedding.
+  if (cli.max_inflight > 0) {
+    options.admission.max_in_flight = cli.max_inflight;
+    options.admission.max_queue = 1;
+  }
   core::VideoZilla vz(options);
 
   if (!cli.load_path.empty()) {
@@ -172,20 +189,29 @@ int main(int argc, char** argv) {
   vz.SetVerifier(&verifier);
 
   Rng rng(cli.seed ^ 0x51);
+  core::QueryConstraints constraints;
+  if (cli.deadline_ms > 0) constraints.deadline_ms = cli.deadline_ms;
   for (int object_class : cli.queries) {
     const FeatureVector query =
         deployment.MakeQueryFeature(object_class, &rng);
-    auto result = vz.DirectQuery(query);
+    auto result = vz.DirectQuery(query, constraints);
     if (!result.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    result.status().ToString().c_str());
       continue;
     }
     std::printf("\nquery %s [%s mode]: %zu candidates -> %zu matches, "
-                "%.0f ms GPU\n",
+                "%.0f ms GPU%s\n",
                 std::string(sim::ObjectClassName(object_class)).c_str(),
                 cli.mode.c_str(), result->candidate_svss.size(),
-                result->matched_svss.size(), result->total_gpu_ms);
+                result->matched_svss.size(), result->total_gpu_ms,
+                result->timed_out ? " [timed out: partial result]" : "");
+    if (result->timed_out) {
+      std::printf("  completed %.0f%% of planned verification before the "
+                  "%lldms deadline\n",
+                  result->completed_fraction * 100.0,
+                  static_cast<long long>(cli.deadline_ms));
+    }
     for (core::SvsId id : result->matched_svss) {
       auto meta = vz.GetMetaData(id);
       if (!meta.ok()) continue;
@@ -195,6 +221,16 @@ int main(int argc, char** argv) {
                   static_cast<long long>(meta->end_ms / 1000),
                   meta->num_frames);
     }
+  }
+
+  // Overload counters, in the same style as the ingestion quarantine line.
+  const core::QueryLoadStats load = vz.query_load_stats();
+  if (load.shed > 0 || load.timed_out > 0) {
+    std::printf("\noverload: %llu queries shed, %llu timed out "
+                "(%lldms total deadline overshoot)\n",
+                static_cast<unsigned long long>(load.shed),
+                static_cast<unsigned long long>(load.timed_out),
+                static_cast<long long>(load.timeout_overshoot_ms_total));
   }
 
   if (!cli.save_path.empty()) {

@@ -1,0 +1,151 @@
+#ifndef VZ_COMMON_DEADLINE_H_
+#define VZ_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/sim_clock.h"
+
+namespace vz {
+
+/// Monotonic millisecond time source consulted by `Deadline`.
+///
+/// Two implementations cover the two deployment contexts: `SimClockTimeSource`
+/// binds deadlines to the simulated clock so tests are fully deterministic
+/// (a deadline either is expired before a query starts or never fires during
+/// it — simulated time does not advance while a query runs), and
+/// `WallClockTimeSource` binds them to the host's steady clock for
+/// `vz_cli` / benchmark use.
+///
+/// `NowMs` must be safe to call concurrently from cancellation checkpoints on
+/// worker threads. For `SimClockTimeSource` that means the underlying
+/// `SimClock` must not be advanced while queries are in flight.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+
+  /// Current time in milliseconds. The epoch is implementation-defined; only
+  /// differences are meaningful.
+  virtual int64_t NowMs() const = 0;
+};
+
+/// Wall-clock adapter over `std::chrono::steady_clock`.
+class WallClockTimeSource : public TimeSource {
+ public:
+  int64_t NowMs() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Deterministic adapter over a `SimClock` (not owned, must outlive this).
+class SimClockTimeSource : public TimeSource {
+ public:
+  explicit SimClockTimeSource(const SimClock* clock) : clock_(clock) {}
+  int64_t NowMs() const override { return clock_->NowMs(); }
+
+ private:
+  const SimClock* clock_;
+};
+
+/// A point in time after which work should stop. Default-constructed
+/// deadlines are infinite (never expire). Cheap to copy; the time source is
+/// borrowed and must outlive the deadline.
+class Deadline {
+ public:
+  /// Infinite: `expired()` is always false.
+  Deadline() = default;
+
+  /// Expires once `clock->NowMs() >= clock->NowMs() + budget_ms` (evaluated
+  /// now). A zero or negative budget is already expired.
+  static Deadline AfterMs(const TimeSource* clock, int64_t budget_ms) {
+    return Deadline(clock, clock->NowMs() + budget_ms);
+  }
+
+  /// Expires once `clock->NowMs() >= deadline_ms`.
+  static Deadline AtMs(const TimeSource* clock, int64_t deadline_ms) {
+    return Deadline(clock, deadline_ms);
+  }
+
+  bool infinite() const { return clock_ == nullptr; }
+
+  bool expired() const {
+    return clock_ != nullptr && clock_->NowMs() >= deadline_ms_;
+  }
+
+  /// Milliseconds until expiry (<= 0 when expired); INT64_MAX when infinite.
+  int64_t remaining_ms() const {
+    if (clock_ == nullptr) return std::numeric_limits<int64_t>::max();
+    return deadline_ms_ - clock_->NowMs();
+  }
+
+  /// How far past the deadline the clock is; 0 when not yet expired.
+  int64_t overshoot_ms() const {
+    if (!expired()) return 0;
+    return clock_->NowMs() - deadline_ms_;
+  }
+
+ private:
+  Deadline(const TimeSource* clock, int64_t deadline_ms)
+      : clock_(clock), deadline_ms_(deadline_ms) {}
+
+  const TimeSource* clock_ = nullptr;
+  int64_t deadline_ms_ = 0;
+};
+
+/// Shared cooperative-cancellation handle checked at the long-running
+/// kernels' checkpoints (`ParallelFor`'s iteration cursor, OMD ground-matrix
+/// rows, the min-cost-flow pivot loop, per-camera index scans).
+///
+/// A token fires when any of three things happens: `Cancel()` is called, its
+/// deadline expires, or its parent token (if any) fires. Once observed
+/// cancelled the state latches, so every later checkpoint is a single relaxed
+/// atomic load. `cancelled()` is safe to call concurrently from any thread;
+/// the token itself is neither copyable nor movable — share it by pointer.
+class CancelToken {
+ public:
+  /// A token that only fires on explicit `Cancel()`.
+  CancelToken() = default;
+
+  /// A token that also fires when `deadline` expires or `parent` (borrowed,
+  /// may be null) fires.
+  explicit CancelToken(Deadline deadline, const CancelToken* parent = nullptr)
+      : deadline_(deadline), parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Thread-safe, idempotent.
+  void Cancel() const { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once cancellation was requested, the deadline expired, or the
+  /// parent fired. Latches: never returns to false.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if ((parent_ != nullptr && parent_->cancelled()) || deadline_.expired()) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  Deadline deadline_;
+  const CancelToken* parent_ = nullptr;
+  mutable std::atomic<bool> cancelled_{false};
+};
+
+/// Checkpoint helper: true when `token` is non-null and has fired. The
+/// null-token fast path keeps legacy call sites zero-cost.
+inline bool Cancelled(const CancelToken* token) {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace vz
+
+#endif  // VZ_COMMON_DEADLINE_H_

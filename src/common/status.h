@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +66,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the status represents success.

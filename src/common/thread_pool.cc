@@ -15,15 +15,25 @@ namespace {
 // alive by shared_ptr until the last helper releases it, so late no-op
 // helpers never touch freed caller memory.
 struct ForState {
-  ForState(size_t n, std::function<void(size_t)> fn)
-      : n(n), fn(std::move(fn)) {}
+  ForState(size_t n, std::function<void(size_t)> fn, const CancelToken* cancel)
+      : n(n), fn(std::move(fn)), cancel(cancel) {}
 
-  // Claims and runs iterations until the range is drained or a sibling
-  // failed. Called by the ParallelFor caller and by every helper.
+  // Claims and runs iterations until the range is drained, a sibling failed,
+  // or the cancel token fired. Called by the ParallelFor caller and by every
+  // helper. The cursor MUST be checked before the token: `cancel` may point
+  // at the caller's stack, which is only guaranteed alive while undrained
+  // work remains — a late helper that finds the range drained must no-op
+  // without touching it. Once the token fires, the claiming lane parks the
+  // cursor at `n`, so every other lane (including late helpers) stops at the
+  // cursor check and the loop drains promptly.
   void Drain() {
     while (true) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      if (Cancelled(cancel)) {
+        next.store(n, std::memory_order_relaxed);  // abandon the rest
+        break;
+      }
       try {
         fn(i);
       } catch (...) {
@@ -39,6 +49,7 @@ struct ForState {
 
   const size_t n;
   const std::function<void(size_t)> fn;
+  const CancelToken* const cancel;
   std::atomic<size_t> next{0};
   std::mutex mu;
   std::condition_variable cv;
@@ -99,12 +110,20 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
+  ParallelFor(n, fn, nullptr);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const CancelToken* cancel) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (Cancelled(cancel)) return;
+      fn(i);
+    }
     return;
   }
-  auto state = std::make_shared<ForState>(n, fn);
+  auto state = std::make_shared<ForState>(n, fn, cancel);
   const size_t helpers = std::min(workers_.size(), n - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -143,6 +162,19 @@ void ParallelFor(ThreadPool* pool, size_t n,
     return;
   }
   pool->ParallelFor(n, fn);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn,
+                 const CancelToken* cancel) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (Cancelled(cancel)) return;
+      fn(i);
+    }
+    return;
+  }
+  pool->ParallelFor(n, fn, cancel);
 }
 
 }  // namespace vz

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace vz {
 
 /// Fixed-size pool of worker threads shared by the parallel execution paths
@@ -51,6 +53,16 @@ class ThreadPool {
   /// count or schedule.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Cancellation-aware `ParallelFor`: `cancel` (may be null) is checked at
+  /// the iteration cursor — once it fires, no further iteration is claimed by
+  /// any lane, so all workers drain promptly; iterations already started run
+  /// to completion. Slots whose iteration never ran are left untouched, which
+  /// is how callers distinguish best-effort partial results. Under a
+  /// simulated clock the token's state is constant for the whole call, so
+  /// partial results stay bit-identical across thread counts.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const CancelToken* cancel);
+
  private:
   void WorkerLoop();
 
@@ -67,6 +79,13 @@ class ThreadPool {
 /// `num_threads = 1` configuration guarantees.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
+
+/// Cancellation-aware wrapper: the serial fallback checks `cancel` before
+/// every iteration (so a loop cancelled at iteration k executes exactly
+/// `k + 1` iterations), the pooled path at the shared iteration cursor.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn,
+                 const CancelToken* cancel);
 
 }  // namespace vz
 

@@ -1,0 +1,59 @@
+#include "core/admission.h"
+
+#include <string>
+
+namespace vz::core {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+Status AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_in_flight == 0) {
+    // Gating disabled: the gauge and counter still track load for the
+    // monitor, but nothing ever waits or sheds.
+    ++in_flight_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (in_flight_ < options_.max_in_flight) {
+    ++in_flight_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (waiting_ >= options_.max_queue) {
+    ++shed_;
+    return Status::ResourceExhausted(
+        "query shed: " + std::to_string(in_flight_) + " in flight and " +
+        std::to_string(waiting_) + " queued at capacity; retry after " +
+        std::to_string(options_.retry_after_hint_ms) + "ms");
+  }
+  ++waiting_;
+  cv_.wait(lock, [this] { return in_flight_ < options_.max_in_flight; });
+  --waiting_;
+  ++in_flight_;
+  ++admitted_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.in_flight = in_flight_;
+  stats.waiting = waiting_;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.max_in_flight = options_.max_in_flight;
+  stats.max_queue = options_.max_queue;
+  return stats;
+}
+
+}  // namespace vz::core

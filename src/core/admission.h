@@ -1,0 +1,102 @@
+#ifndef VZ_CORE_ADMISSION_H_
+#define VZ_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace vz::core {
+
+/// Overload-protection knobs of the serving path (see DESIGN.md, "Deadlines
+/// and overload"). The gate bounds how many queries execute concurrently and
+/// how many may wait behind them; beyond that, callers are shed immediately
+/// with `kResourceExhausted` — a fast, honest "try later" instead of an
+/// unbounded convoy behind a heavy query. The FastOMD routing fields extend
+/// the monitor's accuracy bailout ladder with a latency-triggered rung: a
+/// query whose estimated cost is oversized is answered with the thresholded
+/// OMD instead of queueing for seconds of exact solves.
+struct AdmissionOptions {
+  /// Queries allowed to execute at once; 0 = unlimited (the legacy
+  /// single-caller behaviour, no gating).
+  size_t max_in_flight = 0;
+  /// Callers allowed to wait for a slot once `max_in_flight` is reached;
+  /// arrivals beyond this are shed.
+  size_t max_queue = 0;
+  /// Retry-after hint embedded in the shed error message.
+  int64_t retry_after_hint_ms = 50;
+  /// Estimated query cost — candidate count x feature-map vectors — at or
+  /// above which a clustering query's flat OMD scan is routed to FastOMD
+  /// (thresholded mode) regardless of the configured mode; 0 disables.
+  size_t fast_omd_cost_threshold = 0;
+  /// Threshold alpha used for routed queries (the paper's Fig. 10 balance).
+  double fast_omd_alpha = 0.6;
+};
+
+/// Counting gate in front of the query path: at most `max_in_flight`
+/// concurrent executions, at most `max_queue` blocked waiters, immediate
+/// load shedding beyond both. Thread-safe; waiters are woken by `Release`.
+///
+/// Waiting is bounded by the queue size, not by the caller's deadline — a
+/// queued query whose deadline expires while waiting is admitted and then
+/// returns its (empty) best-effort result through the normal timeout path.
+class AdmissionController {
+ public:
+  /// Gauges and counters of the gate, surfaced through
+  /// `VideoZilla::query_load_stats()`.
+  struct Stats {
+    size_t in_flight = 0;   // gauge: queries currently executing
+    size_t waiting = 0;     // gauge: callers blocked for a slot
+    uint64_t admitted = 0;  // queries that got a slot (including after a wait)
+    uint64_t shed = 0;      // queries refused with kResourceExhausted
+    size_t max_in_flight = 0;
+    size_t max_queue = 0;
+  };
+
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Acquires an execution slot, blocking in the bounded wait queue if the
+  /// gate is saturated. Returns `kResourceExhausted` (with the retry-after
+  /// hint) when the queue is full. Every `OK` must be paired with one
+  /// `Release`.
+  Status Admit();
+
+  /// Returns an execution slot and wakes one waiter.
+  void Release();
+
+  Stats stats() const;
+
+ private:
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+  size_t waiting_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+};
+
+/// RAII pairing for `Admit`/`Release`; arm only after a successful `Admit`.
+class ScopedAdmission {
+ public:
+  explicit ScopedAdmission(AdmissionController* controller)
+      : controller_(controller) {}
+  ~ScopedAdmission() {
+    if (controller_ != nullptr) controller_->Release();
+  }
+
+  ScopedAdmission(const ScopedAdmission&) = delete;
+  ScopedAdmission& operator=(const ScopedAdmission&) = delete;
+
+ private:
+  AdmissionController* controller_;
+};
+
+}  // namespace vz::core
+
+#endif  // VZ_CORE_ADMISSION_H_

@@ -70,6 +70,14 @@ class PerformanceMonitor {
   /// every entry).
   OmdCacheStats omd_cache_stats() const { return system_->omd_cache().stats(); }
 
+  /// Load/overload gauges and counters of the system's query path (in-flight,
+  /// shed, timed-out, FastOMD reroutes, checkpoint overshoot). Exposed like
+  /// the OMD-cache stats so adaptation can tell "quality degraded" apart
+  /// from "the system is saturated and shedding/timing out".
+  QueryLoadStats query_load_stats() const {
+    return system_->query_load_stats();
+  }
+
   /// Adjusts the user error preference at runtime.
   void set_target_f1(double target) { options_.target_f1 = target; }
   uint64_t queries_run() const { return queries_run_; }

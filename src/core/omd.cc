@@ -33,14 +33,16 @@ void Subsample(const FeatureMap& in, size_t cap,
 // Fills the dense row-major ground-distance matrix, one batched kernel call
 // per row, rows distributed over the pool. Each task writes only its own row
 // and max slot, so the result is bit-identical for any thread count (max is
-// order-independent).
+// order-independent). A fired cancel token stops row claims at the iteration
+// cursor; callers must re-check the token before trusting the matrix — rows
+// skipped after cancellation are left zeroed.
 double FillGroundMatrix(ThreadPool* pool,
                         const std::vector<const FeatureVector*>& av,
                         const std::vector<const FeatureVector*>& bv,
-                        std::vector<double>* cost) {
+                        std::vector<double>* cost, const CancelToken* cancel) {
   const size_t n = av.size();
   const size_t m = bv.size();
-  cost->resize(n * m);
+  cost->assign(n * m, 0.0);
   std::vector<double> row_max(n, 0.0);
   ParallelFor(pool, n, [&](size_t i) {
     double* row = cost->data() + i * m;
@@ -48,7 +50,7 @@ double FillGroundMatrix(ThreadPool* pool,
     double mx = 0.0;
     for (size_t j = 0; j < m; ++j) mx = std::max(mx, row[j]);
     row_max[i] = mx;
-  });
+  }, cancel);
   double max_cost = 0.0;
   for (double mx : row_max) max_cost = std::max(max_cost, mx);
   return max_cost;
@@ -67,6 +69,22 @@ void OmdCalculator::set_threshold_alpha(double alpha) {
 
 StatusOr<double> OmdCalculator::Distance(const FeatureMap& a,
                                          const FeatureMap& b) {
+  return DistanceWithOptions(a, b, options_, nullptr);
+}
+
+StatusOr<double> OmdCalculator::Distance(const FeatureMap& a,
+                                         const FeatureMap& b,
+                                         const CancelToken* cancel) {
+  return DistanceWithOptions(a, b, options_, cancel);
+}
+
+StatusOr<double> OmdCalculator::DistanceWithOptions(const FeatureMap& a,
+                                                    const FeatureMap& b,
+                                                    const OmdOptions& options,
+                                                    const CancelToken* cancel) {
+  if (Cancelled(cancel)) {
+    return Status::Cancelled("OMD cancelled before ground-matrix fill");
+  }
   num_computations_.fetch_add(1, std::memory_order_relaxed);
   if (a.empty() && b.empty()) return 0.0;
   // An empty side behaves as one zero vector of the other side's dimension.
@@ -88,25 +106,34 @@ StatusOr<double> OmdCalculator::Distance(const FeatureMap& a,
   std::vector<double> aw;
   std::vector<const FeatureVector*> bv;
   std::vector<double> bw;
-  Subsample(*left, options_.max_vectors, &av, &aw);
-  Subsample(*right, options_.max_vectors, &bv, &bw);
+  const size_t cap = std::max<size_t>(1, options.max_vectors);
+  Subsample(*left, cap, &av, &aw);
+  Subsample(*right, cap, &bv, &bw);
 
   // Dense ground-distance matrix, shared by both solver modes.
   const size_t m = bv.size();
   std::vector<double> cost;
-  const double max_cost = FillGroundMatrix(pool_, av, bv, &cost);
+  const double max_cost = FillGroundMatrix(pool_, av, bv, &cost, cancel);
+  // A token that fired during the fill leaves unclaimed rows zeroed (and
+  // `max_cost` understated); solving that matrix would produce a plausible
+  // but wrong distance, so bail out before the solver ever sees it.
+  if (Cancelled(cancel)) {
+    return Status::Cancelled("OMD cancelled during ground-matrix fill");
+  }
   const auto ground = [&cost, m](size_t i, size_t j) {
     return cost[i * m + j];
   };
 
-  if (options_.mode == OmdMode::kExact || max_cost == 0.0) {
+  if (options.mode == OmdMode::kExact || max_cost == 0.0) {
     VZ_ASSIGN_OR_RETURN(solver::EmdResult result,
-                        solver::ExactEmd(aw, bw, ground));
+                        solver::ExactEmd(aw, bw, ground, cancel));
     return result.distance;
   }
-  const double threshold = options_.threshold_alpha * max_cost;
-  VZ_ASSIGN_OR_RETURN(solver::EmdResult result,
-                      solver::ThresholdedEmd(aw, bw, ground, threshold));
+  const double threshold =
+      std::min(1.0, std::max(1e-3, options.threshold_alpha)) * max_cost;
+  VZ_ASSIGN_OR_RETURN(
+      solver::EmdResult result,
+      solver::ThresholdedEmd(aw, bw, ground, threshold, cancel));
   return result.distance;
 }
 
@@ -127,7 +154,7 @@ StatusOr<OmdCalculator::GroundMatrix> OmdCalculator::ComputeGroundMatrix(
   GroundMatrix matrix;
   matrix.rows = av.size();
   matrix.cols = bv.size();
-  matrix.max_cost = FillGroundMatrix(pool_, av, bv, &matrix.cost);
+  matrix.max_cost = FillGroundMatrix(pool_, av, bv, &matrix.cost, nullptr);
   return matrix;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
 #include "core/svs.h"
@@ -55,6 +56,23 @@ class OmdCalculator {
 
   /// OMD between `a` and `b` under the configured mode.
   StatusOr<double> Distance(const FeatureMap& a, const FeatureMap& b);
+
+  /// Cancellation-aware variant: `cancel` (may be null) is checked at entry,
+  /// at every ground-matrix row (via the `ParallelFor` cursor), and at every
+  /// solver pivot. A fired token returns `kCancelled`; a partially filled
+  /// ground matrix is never solved, so cancellation can only abort a
+  /// distance, never corrupt one.
+  StatusOr<double> Distance(const FeatureMap& a, const FeatureMap& b,
+                            const CancelToken* cancel);
+
+  /// Like `Distance`, but solved under `options` instead of the calculator's
+  /// configuration — the per-query override used by the admission
+  /// controller's latency rung, which routes oversized queries to FastOMD
+  /// without perturbing the globally configured mode (the configuration
+  /// setters are not safe to race against in-flight queries).
+  StatusOr<double> DistanceWithOptions(const FeatureMap& a, const FeatureMap& b,
+                                       const OmdOptions& options,
+                                       const CancelToken* cancel);
 
   /// The dense ground-distance matrix between the (subsampled) maps — the
   /// quadratic kernel `Distance` runs before solving, exposed so benchmarks

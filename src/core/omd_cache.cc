@@ -75,6 +75,16 @@ void OmdDistanceCache::Insert(SvsId a, SvsId b, OmdMode mode, double alpha,
   ++insertions_;
 }
 
+void OmdDistanceCache::Insert(SvsId a, SvsId b, OmdMode mode, double alpha,
+                              double distance, const CancelToken* cancel) {
+  if (Cancelled(cancel)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_inserts_;
+    return;
+  }
+  Insert(a, b, mode, alpha, distance);
+}
+
 void OmdDistanceCache::InvalidateSvs(SvsId id) {
   const uint64_t uid = static_cast<uint64_t>(id);
   std::lock_guard<std::mutex> lock(mu_);
@@ -103,6 +113,7 @@ OmdCacheStats OmdDistanceCache::stats() const {
   stats.misses = misses_;
   stats.insertions = insertions_;
   stats.invalidations = invalidations_;
+  stats.rejected_inserts = rejected_inserts_;
   stats.entries = lru_.size();
   stats.capacity = capacity_;
   return stats;
@@ -110,7 +121,7 @@ OmdCacheStats OmdDistanceCache::stats() const {
 
 void OmdDistanceCache::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
-  hits_ = misses_ = insertions_ = invalidations_ = 0;
+  hits_ = misses_ = insertions_ = invalidations_ = rejected_inserts_ = 0;
 }
 
 size_t OmdDistanceCache::size() const {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/deadline.h"
 #include "core/frame.h"
 
 namespace vz::core {
@@ -23,6 +24,9 @@ struct OmdCacheStats {
   uint64_t insertions = 0;
   /// Entries dropped by `InvalidateSvs` / `Clear` (not by LRU eviction).
   uint64_t invalidations = 0;
+  /// Inserts refused because the distance was computed under a fired cancel
+  /// token (see the token-guarded `Insert` overload).
+  uint64_t rejected_inserts = 0;
   size_t entries = 0;
   size_t capacity = 0;
 
@@ -58,6 +62,14 @@ class OmdDistanceCache {
   /// Memoizes a computed distance (evicting the least-recently-used entry at
   /// capacity). Overwrites an existing entry for the same key.
   void Insert(SvsId a, SvsId b, OmdMode mode, double alpha, double distance);
+
+  /// Token-guarded insert: refuses (and counts `rejected_inserts`) when
+  /// `cancel` has fired. A distance produced under an expired deadline may
+  /// rest on a partially filled ground matrix or an aborted solve; caching it
+  /// would poison every later query for the pair, so deadline-carrying call
+  /// sites must insert through this overload.
+  void Insert(SvsId a, SvsId b, OmdMode mode, double alpha, double distance,
+              const CancelToken* cancel);
 
   /// Drops every entry involving `id`. Call whenever an SVS is (re)ingested
   /// or its feature map could have changed.
@@ -99,6 +111,7 @@ class OmdDistanceCache {
   uint64_t misses_ = 0;
   uint64_t insertions_ = 0;
   uint64_t invalidations_ = 0;
+  uint64_t rejected_inserts_ = 0;
 };
 
 }  // namespace vz::core

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/frame.h"
 #include "core/svs.h"
 #include "vector/feature_vector.h"
@@ -20,6 +21,17 @@ struct QueryConstraints {
   std::optional<std::vector<CameraId>> cameras;
   /// Restrict to SVSs overlapping [first, second] in simulated ms.
   std::optional<std::pair<int64_t, int64_t>> time_range_ms;
+  /// Time budget for this query, measured against the system's configured
+  /// `TimeSource` (wall clock by default, `SimClock` in tests). On expiry
+  /// the query stops at the next cancellation checkpoint and returns the
+  /// best-effort result accumulated so far with `timed_out = true` — never
+  /// an error. Zero or negative budgets are already expired. `nullopt` (the
+  /// default) runs to completion, exactly the legacy behaviour.
+  std::optional<int64_t> deadline_ms;
+  /// External cancellation handle (borrowed, may be null): fire it from
+  /// another thread to abandon the query cooperatively. Composes with
+  /// `deadline_ms` — either firing stops the query.
+  const CancelToken* cancel = nullptr;
 
   /// True when `camera` passes the camera filter.
   bool AllowsCamera(const CameraId& camera) const;
@@ -77,6 +89,14 @@ struct DirectQueryResult {
   /// The cameras excluded for health reasons, sorted. Only cameras the
   /// constraints would otherwise have allowed are listed.
   std::vector<CameraId> excluded_cameras;
+  /// True when the deadline (or external cancel) fired before the query
+  /// finished. The result still holds everything verified up to that point —
+  /// a ranked partial answer, never an error.
+  bool timed_out = false;
+  /// Fraction of the planned work (verification slots) actually attempted;
+  /// 1.0 for a complete query, 0.0 when the deadline was already expired on
+  /// entry.
+  double completed_fraction = 1.0;
 };
 
 /// Result of `clusteringQuery` (Sec. 5.2 / 6).
@@ -89,6 +109,15 @@ struct ClusteringQueryResult {
   bool degraded = false;
   /// The cameras excluded for health reasons, sorted.
   std::vector<CameraId> excluded_cameras;
+  /// True when the deadline (or external cancel) fired before the query
+  /// finished; `similar_svss` holds the candidates scored so far, ranked.
+  bool timed_out = false;
+  /// Fraction of the planned work (pairwise OMD distances / group entries)
+  /// actually attempted; 1.0 for a complete query.
+  double completed_fraction = 1.0;
+  /// True when the admission controller's cost estimate routed this query to
+  /// thresholded (FastOMD) distances instead of the configured mode.
+  bool fast_omd_routed = false;
 };
 
 }  // namespace vz::core

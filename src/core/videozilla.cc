@@ -57,6 +57,7 @@ std::string_view CameraHealthToString(CameraHealth health) {
 VideoZilla::VideoZilla(const VideoZillaOptions& options)
     : options_(options),
       rng_(options.seed),
+      admission_(options.admission),
       omd_(options.omd),
       omd_cache_(options.omd_cache_capacity),
       metric_(&store_, &omd_),
@@ -372,7 +373,43 @@ VideoZilla::ExcludedCameras(const QueryConstraints& constraints) const {
   return {std::move(excluded), std::move(sorted)};
 }
 
+const CancelToken* VideoZilla::MakeQueryToken(
+    const QueryConstraints& constraints, std::optional<CancelToken>* storage,
+    Deadline* deadline) const {
+  if (!constraints.deadline_ms.has_value()) return constraints.cancel;
+  const TimeSource* clock =
+      options_.time_source != nullptr ? options_.time_source : &wall_clock_;
+  *deadline = Deadline::AfterMs(clock, *constraints.deadline_ms);
+  storage->emplace(*deadline, constraints.cancel);
+  return &**storage;
+}
+
+void VideoZilla::NoteTimeout(const Deadline& deadline) {
+  timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
+  timeout_overshoot_ms_total_.fetch_add(deadline.overshoot_ms(),
+                                        std::memory_order_relaxed);
+}
+
+QueryLoadStats VideoZilla::query_load_stats() const {
+  const AdmissionController::Stats gate = admission_.stats();
+  QueryLoadStats stats;
+  stats.in_flight = gate.in_flight;
+  stats.waiting = gate.waiting;
+  stats.admitted = gate.admitted;
+  stats.shed = gate.shed;
+  stats.timed_out = timed_out_queries_.load(std::memory_order_relaxed);
+  stats.fast_omd_routed = fast_omd_routed_.load(std::memory_order_relaxed);
+  stats.timeout_overshoot_ms_total =
+      timeout_overshoot_ms_total_.load(std::memory_order_relaxed);
+  stats.max_in_flight = gate.max_in_flight;
+  stats.max_queue = gate.max_queue;
+  return stats;
+}
+
 double VideoZilla::EstimateFeatureSpread() {
+  // Concurrent admitted queries share the spread cache; serialize the
+  // compute-and-fill.
+  std::lock_guard<std::mutex> lock(query_mu_);
   if (spread_cache_svs_count_ == store_.size() && spread_cache_ > 0.0) {
     return spread_cache_;
   }
@@ -395,7 +432,7 @@ double VideoZilla::EstimateFeatureSpread() {
 
 std::vector<SvsId> VideoZilla::DirectCandidates(
     const FeatureVector& feature, const QueryConstraints& constraints,
-    const std::unordered_set<CameraId>& excluded) {
+    const std::unordered_set<CameraId>& excluded, const CancelToken* cancel) {
   // One predicate for every index mode: the caller's constraints plus the
   // health exclusion set (stalled feeds serve no candidates).
   const auto allowed = [&](const CameraId& camera) {
@@ -408,6 +445,7 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       std::unordered_set<SvsId> seen;
       for (const InterCameraIndex::RepEntry* entry :
            inter_.FeatureSearch(feature, scale)) {
+        if (Cancelled(cancel)) break;
         if (!allowed(entry->camera)) continue;
         auto it = pipelines_.find(entry->camera);
         if (it == pipelines_.end()) continue;
@@ -434,9 +472,12 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
         indices.push_back(&pipeline->index);
       }
       std::vector<std::vector<SvsId>> per_camera_hits(indices.size());
-      ParallelFor(pool_.get(), indices.size(), [&](size_t i) {
-        per_camera_hits[i] = indices[i]->FeatureSearch(feature, scale);
-      });
+      ParallelFor(
+          pool_.get(), indices.size(),
+          [&](size_t i) {
+            per_camera_hits[i] = indices[i]->FeatureSearch(feature, scale);
+          },
+          cancel);
       for (const std::vector<SvsId>& hits : per_camera_hits) {
         candidates.insert(candidates.end(), hits.begin(), hits.end());
       }
@@ -446,6 +487,7 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       // Flat SVS index (Sec. 5.3 adjustment iii): every SVS's own
       // representative is probed directly, with no cluster-level pruning.
       for (SvsId id : store_.AllIds()) {
+        if (Cancelled(cancel)) break;
         auto svs = store_.Get(id);
         if (!svs.ok()) continue;
         if (!allowed((*svs)->camera())) continue;
@@ -460,6 +502,7 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
       // candidate (Sec. 5.3, "downgrade to a frame-level index to search
       // through video frames across all cameras").
       for (SvsId id : store_.AllIds()) {
+        if (Cancelled(cancel)) break;
         auto svs = store_.Get(id);
         if (!svs.ok()) continue;
         if (!allowed((*svs)->camera())) continue;
@@ -495,17 +538,20 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
   // the fan-out — it caches into mutable state.
   const double threshold = scale * 2.0 * EstimateFeatureSpread();
   std::vector<char> matched(filtered.size(), 0);
-  ParallelFor(pool_.get(), filtered.size(), [&](size_t task) {
-    auto svs = store_.Get(filtered[task]);
-    if (!svs.ok()) return;
-    const FeatureMap& map = (*svs)->features();
-    for (size_t i = 0; i < map.size(); ++i) {
-      if (EuclideanDistance(feature, map.vector(i)) <= threshold) {
-        matched[task] = 1;
-        return;
-      }
-    }
-  });
+  ParallelFor(
+      pool_.get(), filtered.size(),
+      [&](size_t task) {
+        auto svs = store_.Get(filtered[task]);
+        if (!svs.ok()) return;
+        const FeatureMap& map = (*svs)->features();
+        for (size_t i = 0; i < map.size(); ++i) {
+          if (EuclideanDistance(feature, map.vector(i)) <= threshold) {
+            matched[task] = 1;
+            return;
+          }
+        }
+      },
+      cancel);
   std::vector<SvsId> confirmed;
   confirmed.reserve(filtered.size());
   for (size_t task = 0; task < filtered.size(); ++task) {
@@ -516,11 +562,28 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
 
 StatusOr<DirectQueryResult> VideoZilla::DirectQuery(
     const FeatureVector& object_feature, const QueryConstraints& constraints) {
+  std::optional<CancelToken> deadline_token;
+  Deadline deadline;
+  const CancelToken* cancel =
+      MakeQueryToken(constraints, &deadline_token, &deadline);
+  VZ_RETURN_IF_ERROR(admission_.Admit());
+  ScopedAdmission slot(&admission_);
+
   DirectQueryResult result;
+  if (Cancelled(cancel)) {
+    // Deadline already expired (or caller cancelled) on entry: the
+    // best-effort answer is empty, returned immediately and marked — never
+    // an error.
+    result.timed_out = true;
+    result.completed_fraction = 0.0;
+    NoteTimeout(deadline);
+    return result;
+  }
   auto [excluded, excluded_sorted] = ExcludedCameras(constraints);
   result.degraded = !excluded_sorted.empty();
   result.excluded_cameras = std::move(excluded_sorted);
-  result.candidate_svss = DirectCandidates(object_feature, constraints, excluded);
+  result.candidate_svss =
+      DirectCandidates(object_feature, constraints, excluded, cancel);
 
   // Count distinct cameras consulted.
   std::unordered_set<CameraId> cameras;
@@ -535,43 +598,69 @@ StatusOr<DirectQueryResult> VideoZilla::DirectQuery(
   // calls are independent, so they fan out over the pool; each task writes
   // only its own slot. Aggregation (GPU-time sums, matched list, access
   // stats) happens afterwards in candidate order — the serial order — so the
-  // result is bit-identical for any thread count.
+  // result is bit-identical for any thread count. On deadline expiry the
+  // fan-out drains at the iteration cursor: attempted slots aggregate
+  // normally, untouched slots are skipped, and the result is the ranked
+  // partial answer.
   const size_t n = result.candidate_svss.size();
   std::vector<ObjectVerifier::Verification> verifications(n);
+  std::vector<char> attempted(n, 0);
   std::vector<char> resolved(n, 0);
   if (verifier_ != nullptr) {
-    ParallelFor(pool_.get(), n, [&](size_t i) {
-      auto svs = store_.Get(result.candidate_svss[i]);
-      if (!svs.ok()) return;
-      resolved[i] = 1;
-      verifications[i] = verifier_->Verify(**svs, object_feature);
-    });
+    ParallelFor(
+        pool_.get(), n,
+        [&](size_t i) {
+          attempted[i] = 1;
+          auto svs = store_.Get(result.candidate_svss[i]);
+          if (!svs.ok()) return;
+          resolved[i] = 1;
+          verifications[i] = verifier_->Verify(**svs, object_feature);
+        },
+        cancel);
   }
-  std::unordered_map<CameraId, double> per_camera;
-  for (size_t i = 0; i < n; ++i) {
-    const SvsId id = result.candidate_svss[i];
-    auto svs = store_.GetMutable(id);
-    if (!svs.ok()) continue;
-    if (verifier_ == nullptr) {
-      result.matched_svss.push_back(id);
-      (*svs)->RecordAccess(now_ms_);
-      continue;
+  {
+    // Access-stat updates mutate shared SVS state; serialize against other
+    // admitted queries.
+    std::lock_guard<std::mutex> lock(query_mu_);
+    std::unordered_map<CameraId, double> per_camera;
+    for (size_t i = 0; i < n; ++i) {
+      const SvsId id = result.candidate_svss[i];
+      auto svs = store_.GetMutable(id);
+      if (!svs.ok()) continue;
+      if (verifier_ == nullptr) {
+        result.matched_svss.push_back(id);
+        (*svs)->RecordAccess(now_ms_);
+        continue;
+      }
+      if (!resolved[i]) continue;
+      const ObjectVerifier::Verification& v = verifications[i];
+      result.total_gpu_ms += v.gpu_ms;
+      result.frames_processed += v.frames_processed;
+      per_camera[(*svs)->camera()] += v.gpu_ms;
+      if (v.contains) {
+        result.matched_svss.push_back(id);
+        (*svs)->RecordAccess(now_ms_);
+      }
     }
-    if (!resolved[i]) continue;
-    const ObjectVerifier::Verification& v = verifications[i];
-    result.total_gpu_ms += v.gpu_ms;
-    result.frames_processed += v.frames_processed;
-    per_camera[(*svs)->camera()] += v.gpu_ms;
-    if (v.contains) {
-      result.matched_svss.push_back(id);
-      (*svs)->RecordAccess(now_ms_);
+    for (auto& [camera, ms] : per_camera) {
+      result.per_camera_gpu_ms.emplace_back(camera, ms);
+      result.bottleneck_camera_gpu_ms =
+          std::max(result.bottleneck_camera_gpu_ms, ms);
     }
   }
-  for (auto& [camera, ms] : per_camera) {
-    result.per_camera_gpu_ms.emplace_back(camera, ms);
-    result.bottleneck_camera_gpu_ms =
-        std::max(result.bottleneck_camera_gpu_ms, ms);
+  result.timed_out = Cancelled(cancel);
+  if (verifier_ != nullptr && n > 0) {
+    size_t attempted_count = 0;
+    for (char a : attempted) attempted_count += a != 0;
+    result.completed_fraction =
+        static_cast<double>(attempted_count) / static_cast<double>(n);
+  } else {
+    // Without a verifier the planned work is the candidate scan itself; a
+    // mid-scan expiry leaves no per-slot progress to measure, so report the
+    // conservative bound.
+    result.completed_fraction = result.timed_out ? 0.0 : 1.0;
   }
+  if (result.timed_out) NoteTimeout(deadline);
   return result;
 }
 
@@ -589,7 +678,20 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQuery(
 StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
     const FeatureMap& target, SvsId target_id,
     const QueryConstraints& constraints) {
+  std::optional<CancelToken> deadline_token;
+  Deadline deadline;
+  const CancelToken* cancel =
+      MakeQueryToken(constraints, &deadline_token, &deadline);
+  VZ_RETURN_IF_ERROR(admission_.Admit());
+  ScopedAdmission slot(&admission_);
+
   ClusteringQueryResult result;
+  if (Cancelled(cancel)) {
+    result.timed_out = true;
+    result.completed_fraction = 0.0;
+    NoteTimeout(deadline);
+    return result;
+  }
   auto [excluded, excluded_sorted] = ExcludedCameras(constraints);
   result.degraded = !excluded_sorted.empty();
   result.excluded_cameras = std::move(excluded_sorted);
@@ -600,7 +702,12 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
   if (index_mode_ == IndexMode::kHierarchical && inter_.size() > 0) {
     VZ_ASSIGN_OR_RETURN(const InterCameraIndex::Group* group,
                         inter_.GroupOfNearest(target));
+    // Cancellation checkpoint per group entry: an expired deadline keeps the
+    // entries gathered so far — a valid partial answer.
+    size_t entries_processed = 0;
     for (size_t entry_idx : group->entry_indices) {
+      if (Cancelled(cancel)) break;
+      ++entries_processed;
       const InterCameraIndex::RepEntry& entry = inter_.entries()[entry_idx];
       if (!allowed(entry.camera)) continue;
       auto it = pipelines_.find(entry.camera);
@@ -618,6 +725,11 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
         cameras.insert(entry.camera);
       }
     }
+    result.completed_fraction =
+        group->entry_indices.empty()
+            ? 1.0
+            : static_cast<double>(entries_processed) /
+                  static_cast<double>(group->entry_indices.size());
   } else {
     // Flat fallback: scan every SVS and keep those within 1.5x of the
     // nearest OMD — a relative similarity band standing in for the missing
@@ -636,28 +748,56 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
       }
       ids.push_back(id);
     }
-    const OmdOptions& omd_options = omd_.options();
+    // Cost-based routing (the admission controller's latency rung): when the
+    // estimated work — candidates x feature-map vectors — is oversized, the
+    // whole scan runs with thresholded (FastOMD) distances instead of the
+    // configured mode. A per-query options override, not a global mode
+    // switch: concurrent queries must not observe each other's routing.
+    OmdOptions effective = omd_.options();
+    const size_t cost_threshold = options_.admission.fast_omd_cost_threshold;
+    const size_t estimated_cost =
+        ids.size() * std::max<size_t>(1, target.size());
+    if (cost_threshold > 0 && estimated_cost >= cost_threshold) {
+      effective.mode = OmdMode::kThresholded;
+      effective.threshold_alpha = options_.admission.fast_omd_alpha;
+      result.fast_omd_routed = true;
+      fast_omd_routed_.fetch_add(1, std::memory_order_relaxed);
+    }
     std::vector<double> distances(ids.size(), -1.0);  // -1 = failed solve
-    ParallelFor(pool_.get(), ids.size(), [&](size_t i) {
-      const SvsId id = ids[i];
-      if (target_id >= 0) {
-        auto hit = omd_cache_.Lookup(target_id, id, omd_options.mode,
-                                     omd_options.threshold_alpha);
-        if (hit.has_value()) {
-          distances[i] = *hit;
-          return;
-        }
-      }
-      auto svs = store_.Get(id);
-      if (!svs.ok()) return;
-      auto d = omd_.Distance(target, (*svs)->features());
-      if (!d.ok()) return;
-      distances[i] = *d;
-      if (target_id >= 0) {
-        omd_cache_.Insert(target_id, id, omd_options.mode,
-                          omd_options.threshold_alpha, *d);
-      }
-    });
+    std::vector<char> attempted(ids.size(), 0);
+    ParallelFor(
+        pool_.get(), ids.size(),
+        [&](size_t i) {
+          attempted[i] = 1;
+          const SvsId id = ids[i];
+          if (target_id >= 0) {
+            auto hit = omd_cache_.Lookup(target_id, id, effective.mode,
+                                         effective.threshold_alpha);
+            if (hit.has_value()) {
+              distances[i] = *hit;
+              return;
+            }
+          }
+          auto svs = store_.Get(id);
+          if (!svs.ok()) return;
+          auto d = omd_.DistanceWithOptions(target, (*svs)->features(),
+                                            effective, cancel);
+          if (!d.ok()) return;
+          distances[i] = *d;
+          if (target_id >= 0) {
+            // Token-guarded: a distance computed under a fired token must
+            // never be memoized (see OmdDistanceCache::Insert).
+            omd_cache_.Insert(target_id, id, effective.mode,
+                              effective.threshold_alpha, *d, cancel);
+          }
+        },
+        cancel);
+    size_t attempted_count = 0;
+    for (char a : attempted) attempted_count += a != 0;
+    result.completed_fraction =
+        ids.empty() ? 1.0
+                    : static_cast<double>(attempted_count) /
+                          static_cast<double>(ids.size());
     std::vector<std::pair<double, SvsId>> scored;
     scored.reserve(ids.size());
     for (size_t i = 0; i < ids.size(); ++i) {
@@ -675,6 +815,8 @@ StatusOr<ClusteringQueryResult> VideoZilla::ClusteringQueryImpl(
     }
   }
   result.cameras_contributing = cameras.size();
+  result.timed_out = Cancelled(cancel);
+  if (result.timed_out) NoteTimeout(deadline);
   return result;
 }
 

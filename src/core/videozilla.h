@@ -1,8 +1,10 @@
 #ifndef VZ_CORE_VIDEOZILLA_H_
 #define VZ_CORE_VIDEOZILLA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -10,9 +12,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
+#include "core/admission.h"
 #include "core/frame.h"
 #include "core/inter_camera_index.h"
 #include "core/intra_camera_index.h"
@@ -89,6 +93,16 @@ struct VideoZillaOptions {
   /// Ingestion fault tolerance: reorder window, stall/degraded thresholds,
   /// feature validation.
   IngestGuardOptions ingest;
+  /// Clock that query deadlines (`QueryConstraints::deadline_ms`) are
+  /// measured against. Borrowed, must outlive the instance; nullptr (the
+  /// default) uses the host's steady clock. Tests pass a
+  /// `SimClockTimeSource` for deterministic expiry; the bound clock must not
+  /// advance while a query is in flight.
+  const TimeSource* time_source = nullptr;
+  /// Overload protection of the query path: in-flight gate, bounded wait
+  /// queue, load shedding, and cost-based FastOMD routing. Defaults disable
+  /// all gating (legacy behaviour).
+  AdmissionOptions admission;
 };
 
 /// Ingestion counters.
@@ -124,6 +138,29 @@ enum class CameraHealth { kHealthy, kDegraded, kStalled };
 /// Human-readable name of a health state ("healthy" / "degraded" /
 /// "stalled").
 std::string_view CameraHealthToString(CameraHealth health);
+
+/// Load and overload counters of the query path, surfaced through
+/// `VideoZilla::query_load_stats()` and `PerformanceMonitor` next to the OMD
+/// cache stats: the admission gate's gauges (in-flight, waiting) and
+/// counters (admitted, shed), plus the deadline outcomes (timed-out count,
+/// cumulative checkpoint latency past the deadline) and cost-based FastOMD
+/// reroutes.
+struct QueryLoadStats {
+  size_t in_flight = 0;
+  size_t waiting = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  /// Queries that returned `timed_out = true` (deadline or external cancel).
+  uint64_t timed_out = 0;
+  /// Clustering queries rerouted to thresholded OMD by the cost estimate.
+  uint64_t fast_omd_routed = 0;
+  /// Total ms queries ran past their deadline before the next checkpoint
+  /// noticed — the observed cancellation-checkpoint latency. Always 0 under
+  /// a `SimClock` (time cannot advance mid-query).
+  int64_t timeout_overshoot_ms_total = 0;
+  size_t max_in_flight = 0;
+  size_t max_queue = 0;
+};
 
 /// Per-camera ingestion/fault counters (introspection; also the inputs of
 /// the health classification).
@@ -241,6 +278,8 @@ class VideoZilla {
   StatusOr<const IntraCameraIndex*> intra_index(const CameraId& camera) const;
   std::vector<CameraId> cameras() const;
   const IngestStats& ingest_stats() const { return ingest_stats_; }
+  /// Load/overload gauges and counters of the query path (thread-safe).
+  QueryLoadStats query_load_stats() const;
   /// Largest timestamp ingested so far.
   int64_t now_ms() const { return now_ms_; }
 
@@ -266,10 +305,19 @@ class VideoZilla {
   // check of direct queries. Cached per store size.
   double EstimateFeatureSpread();
   // Candidate SVSs for a direct query under the current index mode.
-  // `excluded` holds cameras removed for health reasons (stalled feeds).
+  // `excluded` holds cameras removed for health reasons (stalled feeds);
+  // `cancel` (may be null) truncates the scan at the next checkpoint.
   std::vector<SvsId> DirectCandidates(
       const FeatureVector& feature, const QueryConstraints& constraints,
-      const std::unordered_set<CameraId>& excluded);
+      const std::unordered_set<CameraId>& excluded, const CancelToken* cancel);
+  // Effective cancel token of a query: the caller's external token chained
+  // with a deadline token when `deadline_ms` is set (kept alive in
+  // `storage`). `deadline` receives the deadline for overshoot accounting.
+  const CancelToken* MakeQueryToken(const QueryConstraints& constraints,
+                                    std::optional<CancelToken>* storage,
+                                    Deadline* deadline) const;
+  // Counts a timed-out query and its checkpoint overshoot.
+  void NoteTimeout(const Deadline& deadline);
   // Shared implementation of both ClusteringQuery overloads; `target_id < 0`
   // means the target is not a stored SVS (no cacheable pair key).
   StatusOr<ClusteringQueryResult> ClusteringQueryImpl(
@@ -285,6 +333,16 @@ class VideoZilla {
   VideoZillaOptions options_;
   Rng rng_;
   std::unique_ptr<ThreadPool> pool_;  // before users; null when serial
+  WallClockTimeSource wall_clock_;    // default deadline clock
+  AdmissionController admission_;
+  std::atomic<uint64_t> timed_out_queries_{0};
+  std::atomic<uint64_t> fast_omd_routed_{0};
+  std::atomic<int64_t> timeout_overshoot_ms_total_{0};
+  // Serializes the mutable shared state the query path touches (the feature
+  // spread cache and per-SVS access stats) across concurrently admitted
+  // queries. Ingestion stays single-caller (documented contract); queries
+  // may overlap once `admission.max_in_flight > 1`.
+  mutable std::mutex query_mu_;
   SvsStore store_;
   OmdCalculator omd_;
   OmdDistanceCache omd_cache_;

@@ -32,7 +32,8 @@ Status ValidateInputs(const std::vector<double>& supplies,
 
 StatusOr<EmdResult> ExactEmd(const std::vector<double>& supplies,
                              const std::vector<double>& demands,
-                             const GroundDistanceFn& distance) {
+                             const GroundDistanceFn& distance,
+                             const CancelToken* cancel) {
   VZ_RETURN_IF_ERROR(ValidateInputs(supplies, demands));
   std::vector<double> s = supplies;
   std::vector<double> d = demands;
@@ -72,7 +73,8 @@ StatusOr<EmdResult> ExactEmd(const std::vector<double>& supplies,
 
   EmdResult result;
   result.num_arcs = flow.num_arcs();
-  VZ_ASSIGN_OR_RETURN(MinCostFlow::Result solved, flow.Solve(source, sink));
+  VZ_ASSIGN_OR_RETURN(MinCostFlow::Result solved,
+                      flow.Solve(source, sink, cancel));
   if (solved.max_flow < 1.0 - 1e-6) {
     return Status::Internal("EMD transportation did not ship full mass");
   }
@@ -139,7 +141,8 @@ StatusOr<EmdFlowResult> ExactEmdWithFlow(const std::vector<double>& supplies,
 StatusOr<EmdResult> ThresholdedEmd(const std::vector<double>& supplies,
                                    const std::vector<double>& demands,
                                    const GroundDistanceFn& distance,
-                                   double threshold) {
+                                   double threshold,
+                                   const CancelToken* cancel) {
   VZ_RETURN_IF_ERROR(ValidateInputs(supplies, demands));
   if (!std::isfinite(threshold) || threshold < 0.0) {
     return Status::InvalidArgument("threshold must be finite and >= 0");
@@ -194,7 +197,8 @@ StatusOr<EmdResult> ThresholdedEmd(const std::vector<double>& supplies,
 
   EmdResult result;
   result.num_arcs = flow.num_arcs();
-  VZ_ASSIGN_OR_RETURN(MinCostFlow::Result solved, flow.Solve(source, sink));
+  VZ_ASSIGN_OR_RETURN(MinCostFlow::Result solved,
+                      flow.Solve(source, sink, cancel));
   if (solved.max_flow < 1.0 - 1e-6) {
     return Status::Internal("thresholded EMD did not ship full mass");
   }

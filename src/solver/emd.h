@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/statusor.h"
 
 namespace vz::solver {
@@ -28,10 +29,12 @@ struct EmdResult {
 /// Weights need not be pre-normalized; they are scaled to sum to 1 on each
 /// side, matching the uniform 1/n weighting of Eq. 1 when callers pass all
 /// ones. Errors on empty inputs, negative weights, zero-mass sides, or
-/// negative ground distances.
+/// negative ground distances. `cancel` (may be null) is forwarded to the
+/// min-cost-flow pivot loop; a fired token aborts with `kCancelled`.
 StatusOr<EmdResult> ExactEmd(const std::vector<double>& supplies,
                              const std::vector<double>& demands,
-                             const GroundDistanceFn& distance);
+                             const GroundDistanceFn& distance,
+                             const CancelToken* cancel = nullptr);
 
 /// One arc of an optimal transport plan.
 struct EmdFlow {
@@ -65,7 +68,8 @@ StatusOr<EmdFlowResult> ExactEmdWithFlow(const std::vector<double>& supplies,
 StatusOr<EmdResult> ThresholdedEmd(const std::vector<double>& supplies,
                                    const std::vector<double>& demands,
                                    const GroundDistanceFn& distance,
-                                   double threshold);
+                                   double threshold,
+                                   const CancelToken* cancel = nullptr);
 
 }  // namespace vz::solver
 

@@ -51,7 +51,8 @@ StatusOr<int> MinCostFlow::AddArc(int from, int to, double capacity,
   return arc / 2;
 }
 
-StatusOr<MinCostFlow::Result> MinCostFlow::Solve(int source, int sink) {
+StatusOr<MinCostFlow::Result> MinCostFlow::Solve(int source, int sink,
+                                                 const CancelToken* cancel) {
   if (solved_) {
     return Status::FailedPrecondition("Solve may be called once per instance");
   }
@@ -68,6 +69,9 @@ StatusOr<MinCostFlow::Result> MinCostFlow::Solve(int source, int sink) {
 
   Result result;
   for (;;) {
+    if (Cancelled(cancel)) {
+      return Status::Cancelled("min-cost-flow solve cancelled mid-pivot");
+    }
     // Dijkstra on reduced costs.
     std::fill(dist.begin(), dist.end(), kInf);
     std::fill(parent_arc.begin(), parent_arc.end(), -1);

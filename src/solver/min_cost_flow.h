@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "common/statusor.h"
 
@@ -49,7 +50,14 @@ class MinCostFlow {
 
   /// Computes the maximum flow from `source` to `sink` at minimum cost.
   /// May be called once per instance.
-  StatusOr<Result> Solve(int source, int sink);
+  ///
+  /// `cancel` (may be null) is checked at the top of every augmentation
+  /// pivot — the unit of work that bounds checkpoint latency to one Dijkstra
+  /// pass. A fired token aborts the solve with `kCancelled`; partial flow is
+  /// never reported as a result, so a cancelled solve cannot leak a wrong
+  /// distance into callers or caches.
+  StatusOr<Result> Solve(int source, int sink,
+                         const CancelToken* cancel = nullptr);
 
   /// Flow shipped on arc `arc_id` after `Solve`.
   double FlowOnArc(int arc_id) const;

@@ -1,0 +1,247 @@
+// Deadline / CancelToken semantics under the simulated clock, cancellation
+// of the long-running kernels (min-cost-flow pivots, OMD solves), and the
+// admission controller's gate/shed behaviour.
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/sim_clock.h"
+#include "core/admission.h"
+#include "core/omd.h"
+#include "solver/min_cost_flow.h"
+#include "test_util.h"
+
+namespace vz {
+namespace {
+
+using ::vz::testing::MakeMap;
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_ms(), int64_t{1} << 60);
+  EXPECT_EQ(deadline.overshoot_ms(), 0);
+}
+
+TEST(DeadlineTest, ExpiresWhenSimClockAdvances) {
+  SimClock clock;
+  SimClockTimeSource source(&clock);
+  const Deadline deadline = Deadline::AfterMs(&source, 100);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), 100);
+  clock.AdvanceMs(99);
+  EXPECT_FALSE(deadline.expired());
+  clock.AdvanceMs(1);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), 0);
+  clock.AdvanceMs(25);
+  EXPECT_EQ(deadline.overshoot_ms(), 25);
+}
+
+TEST(DeadlineTest, ZeroOrNegativeBudgetIsAlreadyExpired) {
+  SimClock clock;
+  clock.AdvanceMs(500);
+  SimClockTimeSource source(&clock);
+  EXPECT_TRUE(Deadline::AfterMs(&source, 0).expired());
+  EXPECT_TRUE(Deadline::AfterMs(&source, -10).expired());
+  EXPECT_FALSE(Deadline::AfterMs(&source, 1).expired());
+}
+
+TEST(DeadlineTest, AtMsUsesAbsoluteTime) {
+  SimClock clock;
+  SimClockTimeSource source(&clock);
+  const Deadline deadline = Deadline::AtMs(&source, 40);
+  EXPECT_FALSE(deadline.expired());
+  clock.AdvanceTo(40);
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, WallClockSourceIsMonotonic) {
+  WallClockTimeSource source;
+  const int64_t a = source.NowMs();
+  const int64_t b = source.NowMs();
+  EXPECT_LE(a, b);
+  EXPECT_FALSE(Deadline::AfterMs(&source, 60'000).expired());
+  EXPECT_TRUE(Deadline::AfterMs(&source, -1).expired());
+}
+
+TEST(CancelTokenTest, DefaultTokenOnlyFiresOnExplicitCancel) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());  // latched
+}
+
+TEST(CancelTokenTest, FiresWhenDeadlineExpires) {
+  SimClock clock;
+  SimClockTimeSource source(&clock);
+  CancelToken token(Deadline::AfterMs(&source, 10));
+  EXPECT_FALSE(token.cancelled());
+  clock.AdvanceMs(10);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, ParentCancellationPropagates) {
+  CancelToken parent;
+  CancelToken child(Deadline(), &parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  // The child latched its own state; the parent link is no longer needed.
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(CancelTokenTest, DeadlineAndParentCompose) {
+  SimClock clock;
+  SimClockTimeSource source(&clock);
+  CancelToken external;
+  CancelToken token(Deadline::AfterMs(&source, 100), &external);
+  EXPECT_FALSE(token.cancelled());
+  external.Cancel();  // fires long before the deadline would
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelledHelperHandlesNull) {
+  EXPECT_FALSE(Cancelled(nullptr));
+  CancelToken token;
+  EXPECT_FALSE(Cancelled(&token));
+  token.Cancel();
+  EXPECT_TRUE(Cancelled(&token));
+}
+
+TEST(CancelledSolveTest, MinCostFlowReturnsCancelled) {
+  solver::MinCostFlow flow;
+  const int source = flow.AddNode();
+  const int sink = flow.AddNode();
+  ASSERT_TRUE(flow.AddArc(source, sink, 1.0, 1.0).ok());
+  CancelToken token;
+  token.Cancel();
+  auto result = flow.Solve(source, sink, &token);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelledSolveTest, MinCostFlowNullTokenSolvesNormally) {
+  solver::MinCostFlow flow;
+  const int source = flow.AddNode();
+  const int sink = flow.AddNode();
+  ASSERT_TRUE(flow.AddArc(source, sink, 2.0, 3.0).ok());
+  auto result = flow.Solve(source, sink, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->max_flow, 2.0);
+  EXPECT_DOUBLE_EQ(result->min_cost, 6.0);
+}
+
+TEST(CancelledSolveTest, OmdDistanceReturnsCancelledOnFiredToken) {
+  core::OmdCalculator calc;
+  const FeatureMap a = MakeMap(10, 8, 0.0, 1.0, 1);
+  const FeatureMap b = MakeMap(10, 8, 2.0, 1.0, 2);
+  CancelToken token;
+  token.Cancel();
+  auto d = calc.Distance(a, b, &token);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelledSolveTest, OmdDistanceWithLiveTokenMatchesPlainDistance) {
+  core::OmdCalculator calc;
+  const FeatureMap a = MakeMap(10, 8, 0.0, 1.0, 1);
+  const FeatureMap b = MakeMap(10, 8, 2.0, 1.0, 2);
+  CancelToken token;  // never fires
+  auto with_token = calc.Distance(a, b, &token);
+  auto plain = calc.Distance(a, b);
+  ASSERT_TRUE(with_token.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(*with_token, *plain);
+}
+
+TEST(CancelledSolveTest, OmdDeadlineExpiryDuringSimTimeCancels) {
+  SimClock clock;
+  SimClockTimeSource source(&clock);
+  core::OmdCalculator calc;
+  const FeatureMap a = MakeMap(6, 4, 0.0, 1.0, 3);
+  const FeatureMap b = MakeMap(6, 4, 1.0, 1.0, 4);
+  CancelToken token(Deadline::AfterMs(&source, 5));
+  // Not yet expired: the solve completes.
+  ASSERT_TRUE(calc.Distance(a, b, &token).ok());
+  clock.AdvanceMs(5);
+  auto d = calc.Distance(a, b, &token);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kCancelled);
+}
+
+TEST(AdmissionTest, UnlimitedGateAdmitsAndCounts) {
+  core::AdmissionController gate(core::AdmissionOptions{});
+  ASSERT_TRUE(gate.Admit().ok());
+  ASSERT_TRUE(gate.Admit().ok());
+  auto stats = gate.stats();
+  EXPECT_EQ(stats.in_flight, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed, 0u);
+  gate.Release();
+  gate.Release();
+  EXPECT_EQ(gate.stats().in_flight, 0u);
+}
+
+TEST(AdmissionTest, ShedsWhenGateAndQueueAreFull) {
+  core::AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue = 0;
+  options.retry_after_hint_ms = 75;
+  core::AdmissionController gate(options);
+  ASSERT_TRUE(gate.Admit().ok());
+  const Status shed = gate.Admit();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.message().find("retry after 75ms"), std::string::npos);
+  auto stats = gate.stats();
+  EXPECT_EQ(stats.in_flight, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  // Releasing the slot makes the gate admit again.
+  gate.Release();
+  EXPECT_TRUE(gate.Admit().ok());
+  gate.Release();
+}
+
+TEST(AdmissionTest, QueuedCallerIsAdmittedAfterRelease) {
+  core::AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue = 1;
+  core::AdmissionController gate(options);
+  ASSERT_TRUE(gate.Admit().ok());
+  Status queued = Status::Internal("not run");
+  std::thread waiter([&] { queued = gate.Admit(); });
+  // Wait until the waiter is parked in the queue, then free the slot.
+  while (gate.stats().waiting == 0) std::this_thread::yield();
+  gate.Release();
+  waiter.join();
+  EXPECT_TRUE(queued.ok());
+  auto stats = gate.stats();
+  EXPECT_EQ(stats.in_flight, 1u);
+  EXPECT_EQ(stats.waiting, 0u);
+  EXPECT_EQ(stats.admitted, 2u);
+  gate.Release();
+}
+
+TEST(AdmissionTest, ScopedAdmissionReleasesOnDestruction) {
+  core::AdmissionOptions options;
+  options.max_in_flight = 1;
+  options.max_queue = 0;
+  core::AdmissionController gate(options);
+  {
+    ASSERT_TRUE(gate.Admit().ok());
+    core::ScopedAdmission slot(&gate);
+    EXPECT_EQ(gate.stats().in_flight, 1u);
+  }
+  EXPECT_EQ(gate.stats().in_flight, 0u);
+  EXPECT_TRUE(gate.Admit().ok());
+  gate.Release();
+}
+
+}  // namespace
+}  // namespace vz

@@ -109,6 +109,60 @@ TEST(OmdDistanceCacheTest, ClearAndResetStats) {
   EXPECT_EQ(stats.invalidations, 0u);
 }
 
+TEST(OmdDistanceCacheTest, TokenGuardedInsertRejectsFiredToken) {
+  // Regression: a distance computed under an expired deadline may rest on a
+  // partially filled ground matrix or an aborted solve. Memoizing it would
+  // poison every later query for the pair, so the guarded insert must drop
+  // it (and count the drop) instead.
+  OmdDistanceCache cache(8);
+  CancelToken fired;
+  fired.Cancel();
+  cache.Insert(1, 2, kThr, 0.6, 99.0, &fired);
+  EXPECT_FALSE(cache.Lookup(1, 2, kThr, 0.6).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  const OmdCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.rejected_inserts, 1u);
+}
+
+TEST(OmdDistanceCacheTest, TokenGuardedInsertAcceptsLiveAndNullTokens) {
+  OmdDistanceCache cache(8);
+  CancelToken live;  // never fires
+  cache.Insert(1, 2, kThr, 0.6, 3.0, &live);
+  cache.Insert(3, 4, kThr, 0.6, 4.0, /*cancel=*/nullptr);
+  EXPECT_DOUBLE_EQ(*cache.Lookup(1, 2, kThr, 0.6), 3.0);
+  EXPECT_DOUBLE_EQ(*cache.Lookup(3, 4, kThr, 0.6), 4.0);
+  const OmdCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.rejected_inserts, 0u);
+}
+
+TEST(OmdDistanceCacheTest, TokenExpiringAfterComputeStillRejects) {
+  // The race the guard exists for: the deadline fires between the solve and
+  // the insert. The guard re-checks at insert time, so the late value is
+  // still dropped.
+  SimClock clock;
+  SimClockTimeSource source(&clock);
+  OmdDistanceCache cache(8);
+  CancelToken token(Deadline::AfterMs(&source, 10));
+  cache.Insert(1, 2, kThr, 0.6, 1.0, &token);  // live: accepted
+  clock.AdvanceMs(10);                         // deadline passes
+  cache.Insert(3, 4, kThr, 0.6, 2.0, &token);  // fired: rejected
+  EXPECT_TRUE(cache.Lookup(1, 2, kThr, 0.6).has_value());
+  EXPECT_FALSE(cache.Lookup(3, 4, kThr, 0.6).has_value());
+  EXPECT_EQ(cache.stats().rejected_inserts, 1u);
+}
+
+TEST(OmdDistanceCacheTest, ResetStatsClearsRejectedInserts) {
+  OmdDistanceCache cache(8);
+  CancelToken fired;
+  fired.Cancel();
+  cache.Insert(1, 2, kThr, 0.6, 1.0, &fired);
+  EXPECT_EQ(cache.stats().rejected_inserts, 1u);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().rejected_inserts, 0u);
+}
+
 TEST(SvsMetricSharedCacheTest, SecondDistanceIsServedFromCache) {
   SvsStore store;
   const SvsId a = store.Create("cam", 0, 10, MakeMap(8, 4, 0.0, 0.3, 21));

@@ -1,11 +1,19 @@
 // Determinism contract of the parallel query path: for identical options and
 // ingestion, a system running with a thread pool must return bit-identical
 // query results to the serial (`num_threads = 1`) system — same SVS ids in
-// the same order, same GPU accounting, same camera counts.
+// the same order, same GPU accounting, same camera counts. Also the
+// deadline/admission drills: timed-out queries return ranked partial results
+// (bit-identical across thread counts under the simulated clock), and a
+// saturated admission gate sheds with kResourceExhausted.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/sim_clock.h"
 #include "core/videozilla.h"
 #include "sim/dataset.h"
 #include "sim/object_class.h"
@@ -147,6 +155,235 @@ TEST(ParallelQueryTest, ClusteringQueryByMapMatchesSerial) {
   ASSERT_TRUE(serial_result.ok());
   ASSERT_TRUE(parallel_result.ok());
   EXPECT_EQ(serial_result->similar_svss, parallel_result->similar_svss);
+}
+
+// The deadline/admission drills only need a corpus big enough to have
+// multi-camera candidates — a quarter of SmallDeployment keeps the many
+// rigs these tests build affordable under ThreadSanitizer on small CI
+// machines.
+sim::DeploymentOptions TinyDeployment() {
+  sim::DeploymentOptions options = SmallDeployment();
+  options.downtown_per_city = 1;
+  options.highway_cameras = 1;
+  options.feed_duration_ms = 45'000;
+  return options;
+}
+
+// Rig whose deadlines run on a simulated clock: expiry is fully
+// deterministic (a deadline is either expired before the query starts or
+// never fires during it).
+struct DeadlineRig {
+  explicit DeadlineRig(size_t num_threads,
+                       AdmissionOptions admission = AdmissionOptions())
+      : source(&clock),
+        deployment(TinyDeployment()),
+        system(WithClock(FastVzOptions(num_threads), &source, admission)),
+        heavy(/*tpr=*/1.0, /*fpr=*/0.0, /*seed=*/3),
+        verifier(&deployment.space(), &deployment.log(), &heavy) {
+    EXPECT_TRUE(deployment.IngestAll(&system).ok());
+    system.SetVerifier(&verifier);
+  }
+
+  static VideoZillaOptions WithClock(VideoZillaOptions options,
+                                     const TimeSource* source,
+                                     const AdmissionOptions& admission) {
+    options.time_source = source;
+    options.admission = admission;
+    return options;
+  }
+
+  SimClock clock;
+  SimClockTimeSource source;
+  sim::Deployment deployment;
+  VideoZilla system;
+  sim::HeavyModel heavy;
+  sim::SimObjectVerifier verifier;
+};
+
+TEST(DeadlineQueryTest, ExpiredDeadlineReturnsEmptyValidResultImmediately) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    DeadlineRig rig(threads);
+    const uint64_t solves_before = rig.system.omd().num_computations();
+    QueryConstraints constraints;
+    constraints.deadline_ms = 0;  // already expired on entry
+    auto result = rig.system.ClusteringQuery(SvsId{0}, constraints);
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    EXPECT_TRUE(result->timed_out);
+    EXPECT_DOUBLE_EQ(result->completed_fraction, 0.0);
+    EXPECT_TRUE(result->similar_svss.empty());
+    // Early return at the entry checkpoint: no OMD work was even attempted.
+    EXPECT_EQ(rig.system.omd().num_computations(), solves_before);
+    EXPECT_EQ(rig.system.query_load_stats().timed_out, 1u);
+    // Under a SimClock the checkpoint can never overshoot the deadline.
+    EXPECT_EQ(rig.system.query_load_stats().timeout_overshoot_ms_total, 0);
+  }
+}
+
+TEST(DeadlineQueryTest, ExpiredDeadlineDirectQueryIsEmptyAndValid) {
+  DeadlineRig rig(4);
+  Rng rng(7);
+  const FeatureVector query =
+      rig.deployment.MakeQueryFeature(sim::kCar, &rng);
+  QueryConstraints constraints;
+  constraints.deadline_ms = -5;
+  auto result = rig.system.DirectQuery(query, constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+  EXPECT_DOUBLE_EQ(result->completed_fraction, 0.0);
+  EXPECT_TRUE(result->candidate_svss.empty());
+  EXPECT_TRUE(result->matched_svss.empty());
+  EXPECT_DOUBLE_EQ(result->total_gpu_ms, 0.0);
+}
+
+TEST(DeadlineQueryTest, TimedOutResultsAreIdenticalAcrossThreadCounts) {
+  // The acceptance drill: a timed-out ClusteringQuery returns its ranked
+  // partial results bit-identically for num_threads 1 vs N. Under the
+  // simulated clock the expired-deadline partial is the deterministic empty
+  // prefix for every thread count.
+  DeadlineRig serial(1);
+  DeadlineRig parallel(4);
+  QueryConstraints constraints;
+  constraints.deadline_ms = 0;
+  auto serial_result = serial.system.ClusteringQuery(SvsId{0}, constraints);
+  auto parallel_result = parallel.system.ClusteringQuery(SvsId{0}, constraints);
+  ASSERT_TRUE(serial_result.ok());
+  ASSERT_TRUE(parallel_result.ok());
+  EXPECT_EQ(serial_result->similar_svss, parallel_result->similar_svss);
+  EXPECT_EQ(serial_result->timed_out, parallel_result->timed_out);
+  EXPECT_EQ(serial_result->completed_fraction,
+            parallel_result->completed_fraction);
+  EXPECT_EQ(serial_result->cameras_contributing,
+            parallel_result->cameras_contributing);
+}
+
+TEST(DeadlineQueryTest, GenerousDeadlineReproducesLegacyResultsBitIdentically) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    DeadlineRig rig(threads);
+    rig.system.SetIndexMode(IndexMode::kIntraOnly);  // flat OMD fallback
+    QueryConstraints generous;
+    generous.deadline_ms = 1'000'000;  // never fires under a frozen SimClock
+    auto with_deadline = rig.system.ClusteringQuery(SvsId{0}, generous);
+    auto without = rig.system.ClusteringQuery(SvsId{0});
+    ASSERT_TRUE(with_deadline.ok()) << "threads=" << threads;
+    ASSERT_TRUE(without.ok());
+    EXPECT_FALSE(with_deadline->timed_out);
+    EXPECT_DOUBLE_EQ(with_deadline->completed_fraction, 1.0);
+    EXPECT_EQ(with_deadline->similar_svss, without->similar_svss);
+
+    Rng rng(7);
+    const FeatureVector query =
+        rig.deployment.MakeQueryFeature(sim::kBoat, &rng);
+    auto direct_with = rig.system.DirectQuery(query, generous);
+    auto direct_without = rig.system.DirectQuery(query);
+    ASSERT_TRUE(direct_with.ok());
+    ASSERT_TRUE(direct_without.ok());
+    EXPECT_FALSE(direct_with->timed_out);
+    EXPECT_DOUBLE_EQ(direct_with->completed_fraction, 1.0);
+    ExpectIdenticalDirectResults(*direct_with, *direct_without);
+  }
+}
+
+TEST(DeadlineQueryTest, ExternalCancelTokenStopsTheQuery) {
+  DeadlineRig rig(1);
+  CancelToken token;
+  token.Cancel();  // fired before the query starts
+  QueryConstraints constraints;
+  constraints.cancel = &token;
+  auto result = rig.system.ClusteringQuery(SvsId{0}, constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+  EXPECT_TRUE(result->similar_svss.empty());
+}
+
+// Verifier that parks the first Verify call until released — holds a query
+// in flight so the admission gate can be observed saturated.
+class BlockingVerifier : public ObjectVerifier {
+ public:
+  Verification Verify(const Svs&, const FeatureVector&) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_ = true;
+    entered_cv_.notify_all();
+    release_cv_.wait(lock, [this] { return released_; });
+    return Verification{};
+  }
+
+  void WaitUntilEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(AdmissionQueryTest, SaturatedGateShedsWithResourceExhausted) {
+  AdmissionOptions admission;
+  admission.max_in_flight = 1;
+  admission.max_queue = 0;
+  admission.retry_after_hint_ms = 25;
+  DeadlineRig rig(1, admission);
+  // Every SVS is a candidate under the frame-level scan, so the blocking
+  // verifier is guaranteed to be entered.
+  rig.system.SetIndexMode(IndexMode::kFlat);
+  BlockingVerifier blocker;
+  rig.system.SetVerifier(&blocker);
+  Rng rng(7);
+  const FeatureVector query = rig.deployment.MakeQueryFeature(sim::kCar, &rng);
+
+  std::thread holder([&] {
+    auto held = rig.system.DirectQuery(query);
+    EXPECT_TRUE(held.ok());
+  });
+  blocker.WaitUntilEntered();  // the only slot is now held mid-verification
+
+  auto shed = rig.system.ClusteringQuery(SvsId{0});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().message().find("retry after 25ms"),
+            std::string::npos);
+
+  blocker.Release();
+  holder.join();
+  const QueryLoadStats stats = rig.system.query_load_stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.max_in_flight, 1u);
+}
+
+TEST(AdmissionQueryTest, OversizedQueriesAreRoutedToFastOmd) {
+  // An exact-mode system with a tiny cost threshold: every flat clustering
+  // scan is rerouted to thresholded OMD, matching a natively thresholded
+  // system's answers exactly.
+  AdmissionOptions routing;
+  routing.fast_omd_cost_threshold = 1;
+  routing.fast_omd_alpha = 0.6;
+  DeadlineRig routed(1, routing);
+  routed.system.omd().set_mode(OmdMode::kExact);
+  routed.system.SetIndexMode(IndexMode::kIntraOnly);
+  DeadlineRig thresholded(1);  // FastVzOptions default mode is kThresholded
+  thresholded.system.SetIndexMode(IndexMode::kIntraOnly);
+
+  auto routed_result = routed.system.ClusteringQuery(SvsId{0});
+  auto native_result = thresholded.system.ClusteringQuery(SvsId{0});
+  ASSERT_TRUE(routed_result.ok());
+  ASSERT_TRUE(native_result.ok());
+  EXPECT_TRUE(routed_result->fast_omd_routed);
+  EXPECT_FALSE(native_result->fast_omd_routed);
+  EXPECT_EQ(routed_result->similar_svss, native_result->similar_svss);
+  EXPECT_EQ(routed.system.query_load_stats().fast_omd_routed, 1u);
+  // The global configuration was not perturbed by the per-query reroute.
+  EXPECT_EQ(routed.system.omd().options().mode, OmdMode::kExact);
 }
 
 TEST(ParallelQueryTest, IngestionIsIdenticalAcrossThreadCounts) {

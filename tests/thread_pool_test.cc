@@ -122,5 +122,72 @@ TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPoolCancelTest, PreCancelledTokenRunsNoIterations) {
+  CancelToken token;
+  token.Cancel();
+  // Serial path.
+  size_t serial_runs = 0;
+  ParallelFor(nullptr, 100, [&](size_t) { ++serial_runs; }, &token);
+  EXPECT_EQ(serial_runs, 0u);
+  // Pooled path: the cursor check fires before any iteration is claimed.
+  ThreadPool pool(4);
+  std::atomic<size_t> pooled_runs{0};
+  ParallelFor(&pool, 100, [&](size_t) { ++pooled_runs; }, &token);
+  EXPECT_EQ(pooled_runs.load(), 0u);
+}
+
+TEST(ThreadPoolCancelTest, NullTokenIsLegacyBehaviour) {
+  ThreadPool pool(4);
+  std::atomic<size_t> runs{0};
+  ParallelFor(&pool, 64, [&](size_t) { ++runs; }, nullptr);
+  EXPECT_EQ(runs.load(), 64u);
+}
+
+TEST(ThreadPoolCancelTest, SerialLoopStopsAtTheCancellingIteration) {
+  CancelToken token;
+  std::vector<size_t> ran;
+  ParallelFor(
+      nullptr, 100,
+      [&](size_t i) {
+        ran.push_back(i);
+        if (i == 6) token.Cancel();
+      },
+      &token);
+  // Iteration 6 fires the token; the pre-iteration checkpoint stops 7..99.
+  std::vector<size_t> expected = {0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(ran, expected);
+}
+
+TEST(ThreadPoolCancelTest, PooledLoopDrainsPromptlyAfterCancel) {
+  // Workers check the token at the iteration cursor, so after a mid-loop
+  // cancel at most the in-flight iterations (bounded by the lane count)
+  // complete; the bulk of the range is never claimed.
+  ThreadPool pool(4);
+  constexpr size_t kN = 100'000;
+  CancelToken token;
+  std::atomic<size_t> runs{0};
+  ParallelFor(
+      &pool, kN,
+      [&](size_t) {
+        if (runs.fetch_add(1) == 10) token.Cancel();
+      },
+      &token);
+  EXPECT_GE(runs.load(), 11u);
+  EXPECT_LT(runs.load(), kN);  // drained long before the end of the range
+}
+
+TEST(ThreadPoolCancelTest, CancelledSlotsAreUntouched) {
+  // The contract the query layer relies on: a drained loop leaves
+  // unattempted slots exactly as initialized, so aggregation can tell
+  // attempted from skipped work.
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  CancelToken token;
+  token.Cancel();
+  std::vector<char> touched(kN, 0);
+  ParallelFor(&pool, kN, [&](size_t i) { touched[i] = 1; }, &token);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(touched[i], 0) << "slot " << i;
+}
+
 }  // namespace
 }  // namespace vz
