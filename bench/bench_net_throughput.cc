@@ -1,0 +1,167 @@
+// Serving-layer throughput: requests/sec and p50/p99 latency of the binary
+// RPC path over loopback TCP versus the same calls made in process, at 1, 4
+// and 16 concurrent clients. Two workloads bracket the cost spectrum: a
+// stats poll (pure framing + dispatch overhead) and a DirectQuery against a
+// pre-ingested deployment (real query compute, where the wire should all
+// but disappear). Emits one JSON object per row alongside the usual table.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace vz {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ToMs(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+struct Row {
+  std::string workload;
+  std::string transport;
+  size_t clients = 0;
+  size_t requests = 0;
+  double reqs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double q) {
+  if (sorted_ms->empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_ms->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms->size())));
+  return (*sorted_ms)[index];
+}
+
+/// Runs `requests_per_client` timed calls on `clients` threads; `call` is
+/// (client_index, request_index) -> ok.
+template <typename Fn>
+Row RunWorkload(const std::string& workload, const std::string& transport,
+                size_t clients, size_t requests_per_client, Fn&& call) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(requests_per_client);
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const Clock::time_point t0 = Clock::now();
+        if (!call(c, r)) return;  // drop this lane; row shows fewer requests
+        latencies[c].push_back(ToMs(Clock::now() - t0));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_ms = ToMs(Clock::now() - start);
+
+  std::vector<double> all;
+  for (const auto& lane : latencies) {
+    all.insert(all.end(), lane.begin(), lane.end());
+  }
+  std::sort(all.begin(), all.end());
+  Row row;
+  row.workload = workload;
+  row.transport = transport;
+  row.clients = clients;
+  row.requests = all.size();
+  row.reqs_per_sec =
+      elapsed_ms > 0 ? 1000.0 * static_cast<double>(all.size()) / elapsed_ms
+                     : 0.0;
+  row.p50_ms = Percentile(&all, 0.50);
+  row.p99_ms = Percentile(&all, 0.99);
+  return row;
+}
+
+void PrintRow(const Row& row) {
+  std::printf("%-13s %-11s %8zu %9zu %12.0f %10.3f %10.3f\n",
+              row.workload.c_str(), row.transport.c_str(), row.clients,
+              row.requests, row.reqs_per_sec, row.p50_ms, row.p99_ms);
+  std::printf("JSON {\"bench\":\"net_throughput\",\"workload\":\"%s\","
+              "\"transport\":\"%s\",\"clients\":%zu,\"requests\":%zu,"
+              "\"reqs_per_sec\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+              row.workload.c_str(), row.transport.c_str(), row.clients,
+              row.requests, row.reqs_per_sec, row.p50_ms, row.p99_ms);
+}
+
+}  // namespace
+}  // namespace vz
+
+int main() {
+  using namespace vz;
+  bench::Banner("Serving layer: loopback RPC vs in-process",
+                "deployment=16 cameras x 8 min, workloads=stats poll + "
+                "DirectQuery, clients=1/4/16");
+
+  bench::EndToEndRig rig;
+  Rng rng(3);
+  const FeatureVector query =
+      rig.deployment.MakeQueryFeature(sim::kBoat, &rng);
+
+  net::ServerOptions server_options;
+  server_options.max_connections = 16;
+  net::Server server(&rig.system, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-13s %-11s %8s %9s %12s %10s %10s\n", "workload",
+              "transport", "clients", "requests", "reqs/sec", "p50 (ms)",
+              "p99 (ms)");
+
+  const std::vector<size_t> kClientCounts = {1, 4, 16};
+  constexpr size_t kStatsRequests = 2'000;
+  constexpr size_t kQueryRequests = 20;
+
+  for (size_t clients : kClientCounts) {
+    PrintRow(RunWorkload(
+        "stats_poll", "in-process", clients, kStatsRequests,
+        [&](size_t, size_t) {
+          // The in-process equivalent of the Monitor RPC body.
+          volatile uint64_t sink = rig.system.ingest_stats().frames_offered +
+                                   rig.system.svs_store().size();
+          (void)sink;
+          return true;
+        }));
+    std::vector<net::Client> pool;
+    for (size_t c = 0; c < clients; ++c) {
+      auto client = net::Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        std::fprintf(stderr, "connect failed: %s\n",
+                     client.status().ToString().c_str());
+        return 1;
+      }
+      pool.push_back(std::move(*client));
+    }
+    PrintRow(RunWorkload("stats_poll", "loopback", clients, kStatsRequests,
+                         [&](size_t c, size_t) {
+                           return pool[c].MonitorStats().ok();
+                         }));
+    PrintRow(RunWorkload("direct_query", "in-process", clients,
+                         kQueryRequests, [&](size_t, size_t) {
+                           return rig.system.DirectQuery(query).ok();
+                         }));
+    PrintRow(RunWorkload("direct_query", "loopback", clients, kQueryRequests,
+                         [&](size_t c, size_t) {
+                           return pool[c].DirectQuery(query).ok();
+                         }));
+  }
+
+  server.Shutdown();
+  const net::ServerStats stats = server.stats();
+  std::printf("\nserver totals: %llu requests, %llu connections, %llu "
+              "request errors\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.request_errors));
+  return 0;
+}

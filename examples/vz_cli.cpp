@@ -1,14 +1,22 @@
 // vz_cli — a small operator console for the indexing layer: build a
 // simulated deployment, ingest it, answer queries, snapshot and restore.
+// With --connect the same console drives a remote vz_server over the binary
+// RPC protocol instead of an in-process instance.
 //
 //   vz_cli [--downtown N] [--highway N] [--stations N] [--harbors N]
 //          [--minutes M] [--query CLASS]... [--mode hierarchical|intra|flat]
 //          [--save PATH] [--load PATH] [--seed S]
-//          [--deadline-ms D] [--max-inflight N]
+//          [--deadline-ms D] [--max-inflight N] [--connect HOST:PORT]
 //
 // Examples:
 //   vz_cli --downtown 4 --harbors 2 --minutes 6 --query boat --query train
 //   vz_cli --load snapshot.vzss --query fire_hydrant
+//   vz_cli --connect 127.0.0.1:9400 --query boat
+//
+// In connect mode the deployment flags must match the server's (both sides
+// regenerate the same simulated world); ingestion streams over the wire
+// unless the server already holds data, and --save/--load trigger
+// server-local snapshots.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,6 +24,7 @@
 
 #include "core/videozilla.h"
 #include "io/svs_snapshot.h"
+#include "net/client.h"
 #include "sim/dataset.h"
 #include "sim/object_class.h"
 #include "sim/verifier.h"
@@ -44,6 +53,9 @@ struct CliOptions {
   int64_t deadline_ms = 0;
   // Admission gate size; 0 means unlimited (no gating).
   size_t max_inflight = 0;
+  // Remote mode: drive a vz_server at host:port instead of an in-process
+  // instance.
+  std::string connect;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -83,6 +95,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->save_path = value;
     } else if (arg == "--load" && (value = next_value(&i))) {
       options->load_path = value;
+    } else if (arg == "--connect" && (value = next_value(&i))) {
+      options->connect = value;
     } else if (arg == "--help") {
       return false;
     } else {
@@ -91,6 +105,182 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     }
   }
   return true;
+}
+
+// Remote mode: the same console flow — ingest, query, snapshot — but every
+// operation is an RPC against a vz_server. The deployment is still built
+// locally: it supplies the frames to stream (when the server is empty) and
+// the query features, and matching flags/seed guarantee both sides describe
+// the same simulated world.
+int RunConnected(vz::sim::Deployment* deployment, const CliOptions& cli) {
+  using namespace vz;
+  const size_t colon = cli.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == cli.connect.size()) {
+    std::fprintf(stderr, "--connect expects HOST:PORT, got %s\n",
+                 cli.connect.c_str());
+    return 2;
+  }
+  const std::string host = cli.connect.substr(0, colon);
+  const int port = std::atoi(cli.connect.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port in --connect %s\n", cli.connect.c_str());
+    return 2;
+  }
+  auto client_or = net::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  net::Client client = std::move(*client_or);
+  std::printf("connected to %s (protocol v%u)\n", cli.connect.c_str(),
+              client.server_protocol_version());
+  if (cli.mode != "hierarchical") {
+    std::fprintf(stderr,
+                 "--mode is server-side configuration; ignored in connect "
+                 "mode\n");
+  }
+
+  if (!cli.load_path.empty()) {
+    auto loaded = client.LoadSnapshot(cli.load_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %llu SVSs from %s (server-local)\n",
+                static_cast<unsigned long long>(*loaded),
+                cli.load_path.c_str());
+  } else {
+    auto stats = client.MonitorStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    if (stats->ingest.frames_offered == 0 && stats->svs_count == 0) {
+      // Stream the local world over the wire: the same camera-start /
+      // per-frame / flush sequence Deployment::IngestAll performs
+      // in-process.
+      for (const auto& info : deployment->cameras()) {
+        if (Status s = client.CameraStart(info.camera); !s.ok()) {
+          std::fprintf(stderr, "camera start failed: %s\n",
+                       s.ToString().c_str());
+          return 1;
+        }
+      }
+      for (const auto& observation : deployment->observations()) {
+        if (Status s = client.IngestFrame(observation); !s.ok()) {
+          std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+      if (Status s = client.Flush(); !s.ok()) {
+        std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      stats = client.MonitorStats();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "stats failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+    } else {
+      std::printf("server already holds data; skipping ingest\n");
+    }
+    std::printf("ingested %llu frames / %llu features -> %llu SVSs across "
+                "%llu cameras\n",
+                static_cast<unsigned long long>(stats->ingest.frames_offered),
+                static_cast<unsigned long long>(
+                    stats->ingest.features_extracted),
+                static_cast<unsigned long long>(stats->svs_count),
+                static_cast<unsigned long long>(stats->camera_count));
+    if (stats->ingest.frames_rejected > 0 ||
+        stats->ingest.objects_quarantined > 0) {
+      std::printf("quarantined: %llu frames rejected, %llu objects\n",
+                  static_cast<unsigned long long>(
+                      stats->ingest.frames_rejected),
+                  static_cast<unsigned long long>(
+                      stats->ingest.objects_quarantined));
+    }
+    if (auto health = client.CameraHealthReport(); health.ok()) {
+      for (const auto& entry : *health) {
+        if (entry.health != core::CameraHealth::kHealthy) {
+          std::printf(
+              "camera %s: %s\n", entry.camera.c_str(),
+              std::string(core::CameraHealthToString(entry.health)).c_str());
+        }
+      }
+    }
+  }
+
+  Rng rng(cli.seed ^ 0x51);
+  core::QueryConstraints constraints;
+  if (cli.deadline_ms > 0) constraints.deadline_ms = cli.deadline_ms;
+  for (int object_class : cli.queries) {
+    const FeatureVector query =
+        deployment->MakeQueryFeature(object_class, &rng);
+    auto result = client.DirectQuery(query, constraints);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\nquery %s [remote]: %zu candidates -> %zu matches, "
+                "%.0f ms GPU%s\n",
+                std::string(sim::ObjectClassName(object_class)).c_str(),
+                result->candidate_svss.size(), result->matched_svss.size(),
+                result->total_gpu_ms,
+                result->timed_out ? " [timed out: partial result]" : "");
+    if (result->timed_out) {
+      std::printf("  completed %.0f%% of planned verification before the "
+                  "%lldms deadline\n",
+                  result->completed_fraction * 100.0,
+                  static_cast<long long>(cli.deadline_ms));
+    }
+    for (core::SvsId id : result->matched_svss) {
+      auto meta = client.GetMetaData(id);
+      if (!meta.ok()) continue;
+      std::printf("  %-20s %5llds - %5llds  (%zu frames)\n",
+                  meta->camera.c_str(),
+                  static_cast<long long>(meta->start_ms / 1000),
+                  static_cast<long long>(meta->end_ms / 1000),
+                  meta->num_frames);
+    }
+    if (!result->matched_svss.empty()) {
+      // Pivot the best match into the other query primitive: all streams
+      // semantically similar to it, again entirely over the wire.
+      const core::SvsId pivot = result->matched_svss.front();
+      auto peers = client.ClusteringQuery(pivot, constraints);
+      if (peers.ok()) {
+        std::printf("  clusteringQuery(SVS %lld): %zu similar streams "
+                    "across %zu cameras%s\n",
+                    static_cast<long long>(pivot),
+                    peers->similar_svss.size(), peers->cameras_contributing,
+                    peers->timed_out ? " [timed out: partial result]" : "");
+      }
+    }
+  }
+
+  if (auto load = client.QueryLoadStats();
+      load.ok() && (load->shed > 0 || load->timed_out > 0)) {
+    std::printf("\noverload: %llu queries shed, %llu timed out "
+                "(%lldms total deadline overshoot)\n",
+                static_cast<unsigned long long>(load->shed),
+                static_cast<unsigned long long>(load->timed_out),
+                static_cast<long long>(load->timeout_overshoot_ms_total));
+  }
+
+  if (!cli.save_path.empty()) {
+    if (Status s = client.SaveSnapshot(cli.save_path); !s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nsnapshot written to %s (server-local)\n",
+                cli.save_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -104,7 +294,7 @@ int main(int argc, char** argv) {
                  "[--harbors N] [--minutes M] [--query CLASS]... "
                  "[--mode hierarchical|intra|flatsvs|flat] [--save PATH] "
                  "[--load PATH] [--seed S] [--deadline-ms D] "
-                 "[--max-inflight N]\n");
+                 "[--max-inflight N] [--connect HOST:PORT]\n");
     return 2;
   }
 
@@ -118,6 +308,8 @@ int main(int argc, char** argv) {
   dep_options.fps = 1.0;
   dep_options.seed = cli.seed;
   sim::Deployment deployment(dep_options);
+
+  if (!cli.connect.empty()) return RunConnected(&deployment, cli);
 
   core::VideoZillaOptions options;
   options.segmenter.t_max_ms = std::max<int64_t>(30'000,
@@ -220,6 +412,19 @@ int main(int argc, char** argv) {
                   static_cast<long long>(meta->start_ms / 1000),
                   static_cast<long long>(meta->end_ms / 1000),
                   meta->num_frames);
+    }
+    if (!result->matched_svss.empty()) {
+      // Pivot the best match into the other query primitive: all streams
+      // semantically similar to it.
+      const core::SvsId pivot = result->matched_svss.front();
+      auto peers = vz.ClusteringQuery(pivot, constraints);
+      if (peers.ok()) {
+        std::printf("  clusteringQuery(SVS %lld): %zu similar streams "
+                    "across %zu cameras%s\n",
+                    static_cast<long long>(pivot),
+                    peers->similar_svss.size(), peers->cameras_contributing,
+                    peers->timed_out ? " [timed out: partial result]" : "");
+      }
     }
   }
 

@@ -1,0 +1,194 @@
+// vz_server — the networked serving front end: builds a simulated
+// deployment (for the verifier's ground truth), wraps a VideoZilla instance
+// in the binary RPC server, and serves ingestion and queries over TCP until
+// interrupted.
+//
+//   vz_server [--port P] [--downtown N] [--highway N] [--stations N]
+//             [--harbors N] [--minutes M] [--seed S] [--ingest]
+//             [--load PATH] [--max-connections N] [--max-inflight N]
+//             [--serve-seconds T]
+//
+// The deployment flags must match the client's so both sides describe the
+// same simulated world: the server needs it for verification ground truth,
+// the client for query features and (without --ingest/--load) the frames it
+// streams in. By default the index starts empty and is populated over the
+// wire, e.g.:
+//
+//   vz_server --port 9400 --downtown 4 --harbors 2 &
+//   vz_cli --connect 127.0.0.1:9400 --downtown 4 --harbors 2 --query boat
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "core/videozilla.h"
+#include "io/svs_snapshot.h"
+#include "net/server.h"
+#include "sim/dataset.h"
+#include "sim/verifier.h"
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void HandleSignal(int) { g_interrupted.store(true); }
+
+struct ServerCliOptions {
+  uint16_t port = 0;
+  size_t downtown = 2;
+  size_t highway = 2;
+  size_t stations = 1;
+  size_t harbors = 1;
+  int64_t minutes = 5;
+  uint64_t seed = 7;
+  bool ingest = false;
+  std::string load_path;
+  size_t max_connections = 8;
+  size_t max_inflight = 0;
+  // 0 = serve until SIGINT/SIGTERM; otherwise exit after this many seconds.
+  int64_t serve_seconds = 0;
+};
+
+bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
+  auto next_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) return nullptr;
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--port" && (value = next_value(&i))) {
+      options->port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--downtown" && (value = next_value(&i))) {
+      options->downtown = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--highway" && (value = next_value(&i))) {
+      options->highway = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--stations" && (value = next_value(&i))) {
+      options->stations = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--harbors" && (value = next_value(&i))) {
+      options->harbors = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--minutes" && (value = next_value(&i))) {
+      options->minutes = std::atoll(value);
+    } else if (arg == "--seed" && (value = next_value(&i))) {
+      options->seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--ingest") {
+      options->ingest = true;
+    } else if (arg == "--load" && (value = next_value(&i))) {
+      options->load_path = value;
+    } else if (arg == "--max-connections" && (value = next_value(&i))) {
+      options->max_connections = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--max-inflight" && (value = next_value(&i))) {
+      options->max_inflight = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--serve-seconds" && (value = next_value(&i))) {
+      options->serve_seconds = std::atoll(value);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vz;
+  ServerCliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    std::fprintf(stderr,
+                 "usage: vz_server [--port P] [--downtown N] [--highway N] "
+                 "[--stations N] [--harbors N] [--minutes M] [--seed S] "
+                 "[--ingest] [--load PATH] [--max-connections N] "
+                 "[--max-inflight N] [--serve-seconds T]\n");
+    return 2;
+  }
+
+  sim::DeploymentOptions dep_options;
+  dep_options.cities = 1;
+  dep_options.downtown_per_city = cli.downtown;
+  dep_options.highway_cameras = cli.highway;
+  dep_options.train_stations = cli.stations;
+  dep_options.harbors = cli.harbors;
+  dep_options.feed_duration_ms = cli.minutes * 60 * 1000;
+  dep_options.fps = 1.0;
+  dep_options.seed = cli.seed;
+  sim::Deployment deployment(dep_options);
+  // Materialize the world (and its ground-truth log) up front so the
+  // verifier has the same view whether frames arrive locally or remotely.
+  (void)deployment.observations();
+
+  core::VideoZillaOptions options;
+  options.segmenter.t_max_ms =
+      std::max<int64_t>(30'000, cli.minutes * 60'000 / 5);
+  options.segmenter.t_split_ms = options.segmenter.t_max_ms / 10;
+  options.boundary_scale = 1.8;
+  options.enable_keyframe_selection = false;
+  if (cli.max_inflight > 0) {
+    options.admission.max_in_flight = cli.max_inflight;
+    options.admission.max_queue = 1;
+  }
+  core::VideoZilla vz(options);
+
+  if (!cli.load_path.empty()) {
+    core::SvsStore loaded;
+    if (Status s = io::LoadSvsStore(cli.load_path, &loaded); !s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = vz.RestoreFromSvsStore(loaded); !s.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %zu SVSs from %s\n", vz.svs_store().size(),
+                cli.load_path.c_str());
+  } else if (cli.ingest) {
+    if (Status s = deployment.IngestAll(&vz); !s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pre-ingested %zu SVSs across %zu cameras\n",
+                vz.svs_store().size(), vz.cameras().size());
+  }
+
+  sim::HeavyModel heavy;
+  sim::SimObjectVerifier verifier(&deployment.space(), &deployment.log(),
+                                  &heavy);
+  vz.SetVerifier(&verifier);
+
+  net::ServerOptions server_options;
+  server_options.port = cli.port;
+  server_options.max_connections = cli.max_connections;
+  net::Server server(&vz, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("vz_server listening on 127.0.0.1:%u (protocol v%u)\n",
+              server.port(), net::kProtocolVersion);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (cli.serve_seconds > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(cli.serve_seconds)) {
+      break;
+    }
+  }
+
+  std::printf("shutting down (draining in-flight requests)\n");
+  server.Shutdown();
+  const net::ServerStats stats = server.stats();
+  std::printf("served %llu requests over %llu connections "
+              "(%llu shed, %llu request errors)\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.connections_shed),
+              static_cast<unsigned long long>(stats.request_errors));
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace vz {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<UniqueFd> TcpListen(const std::string& bind_address, uint16_t port,
+                             int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal(ErrnoMessage("socket"));
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + bind_address);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Internal(ErrnoMessage("bind " + bind_address + ":" +
+                                         std::to_string(port)));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::Internal(ErrnoMessage("listen"));
+  }
+  return fd;
+}
+
+StatusOr<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Internal(ErrnoMessage("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<UniqueFd> TcpAccept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL is what a concurrent close()/shutdown() of the
+    // listening socket produces — the server's normal stop signal.
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Cancelled("listener closed");
+    }
+    return Status::Internal(ErrnoMessage("accept"));
+  }
+}
+
+StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
+                              int64_t timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &result) != 0 ||
+      result == nullptr) {
+    return Status::NotFound("cannot resolve host: " + host);
+  }
+  UniqueFd fd(::socket(result->ai_family, result->ai_socktype,
+                       result->ai_protocol));
+  if (!fd.valid()) {
+    ::freeaddrinfo(result);
+    return Status::Internal(ErrnoMessage("socket"));
+  }
+  // Non-blocking connect + poll gives the timeout; the socket is restored to
+  // blocking mode afterwards (the framing layer reads synchronously).
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  (void)::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd.get(), result->ai_addr, result->ai_addrlen);
+  ::freeaddrinfo(result);
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::Internal(ErrnoMessage("connect " + host + ":" + service));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int timeout = timeout_ms <= 0 ? -1 : static_cast<int>(timeout_ms);
+    do {
+      rc = ::poll(&pfd, 1, timeout);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      return Status::ResourceExhausted("connect timed out: " + host + ":" +
+                                       service);
+    }
+    if (rc < 0) return Status::Internal(ErrnoMessage("poll"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      errno = err;
+      return Status::Internal(ErrnoMessage("connect " + host + ":" + service));
+    }
+  }
+  (void)::fcntl(fd.get(), F_SETFL, flags);
+  (void)SetTcpNoDelay(fd.get());
+  return fd;
+}
+
+StatusOr<bool> WaitReadable(int fd, int64_t timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int timeout = timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Status::Internal(ErrnoMessage("poll"));
+  if (rc == 0) return false;
+  // POLLHUP/POLLERR still count as readable: the next recv() observes the
+  // close/reset and reports it precisely.
+  return true;
+}
+
+Status SendAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::DataLoss(ErrnoMessage("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvExact(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::DataLoss(ErrnoMessage("recv"));
+    }
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::DataLoss("connection closed mid-message");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SetTcpNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::Internal(ErrnoMessage("setsockopt TCP_NODELAY"));
+  }
+  return Status::OK();
+}
+
+}  // namespace vz

@@ -1,0 +1,89 @@
+#ifndef VZ_COMMON_SOCKET_H_
+#define VZ_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace vz {
+
+/// Owning wrapper over a POSIX file descriptor. Move-only; the descriptor is
+/// closed exactly once, on destruction or reassignment. The networking layer
+/// passes these around so no error path can leak a socket.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+  /// Closes the descriptor (if any) now.
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking TCP helpers used by the serving layer. All functions translate
+/// errno into a `Status` and never throw. Connections are loopback/LAN
+/// oriented: IPv4, Nagle disabled, SIGPIPE suppressed per call.
+
+/// Opens a listening socket bound to `bind_address:port` (port 0 lets the
+/// kernel pick a free port — read it back with `LocalPort`). SO_REUSEADDR is
+/// set so restarts do not trip over TIME_WAIT.
+StatusOr<UniqueFd> TcpListen(const std::string& bind_address, uint16_t port,
+                             int backlog = 64);
+
+/// The port a listening socket is actually bound to.
+StatusOr<uint16_t> LocalPort(int fd);
+
+/// Accepts one connection from `listen_fd` (blocking). `kCancelled` when the
+/// listening socket was shut down or closed by another thread.
+StatusOr<UniqueFd> TcpAccept(int listen_fd);
+
+/// Connects to `host:port`, failing after `timeout_ms` (<= 0 blocks
+/// indefinitely). Numeric IPv4 addresses and host names both resolve.
+StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
+                              int64_t timeout_ms);
+
+/// Waits until `fd` is readable. Returns true when readable, false on
+/// timeout (`timeout_ms < 0` waits forever), and an error status when the
+/// descriptor fails (connection reset).
+StatusOr<bool> WaitReadable(int fd, int64_t timeout_ms);
+
+/// Writes the whole buffer, looping over partial sends and EINTR. A peer
+/// that closed the connection yields `kDataLoss`.
+Status SendAll(int fd, const void* data, size_t size);
+
+/// Reads exactly `size` bytes into `data`, looping over partial receives.
+/// A clean close before the first byte is `kNotFound` (end of stream between
+/// messages — the caller decides whether that is an error); a close after a
+/// partial read is `kDataLoss` (torn message).
+Status RecvExact(int fd, void* data, size_t size);
+
+/// Disables Nagle's algorithm for request/response latency.
+Status SetTcpNoDelay(int fd);
+
+}  // namespace vz
+
+#endif  // VZ_COMMON_SOCKET_H_

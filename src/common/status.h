@@ -21,6 +21,12 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted,
   kCancelled,
+  /// Unrecoverable loss or corruption of stored/transmitted bytes: a torn
+  /// snapshot tail, a checksum mismatch on a wire frame, a connection closed
+  /// mid-message. Distinct from `kInvalidArgument` (the bytes were
+  /// well-formed but wrong) and `kOutOfRange` (a reader ran off a buffer
+  /// that may simply be shorter than requested).
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -69,6 +75,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the status represents success.

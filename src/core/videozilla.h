@@ -264,6 +264,11 @@ class VideoZilla {
 
   // --- Introspection. ---
 
+  /// The configuration this instance was built with. The serving layer reads
+  /// the admission knobs (retry-after hint) to annotate wire-level shed
+  /// responses.
+  const VideoZillaOptions& options() const { return options_; }
+
   SvsStore& svs_store() { return store_; }
   const SvsStore& svs_store() const { return store_; }
   OmdCalculator& omd() { return omd_; }

@@ -31,6 +31,11 @@ void BinaryWriter::WriteString(const std::string& s) {
   buffer_.append(s);
 }
 
+void BinaryWriter::WriteLengthPrefixedBytes(const std::string& bytes) {
+  WriteU64(bytes.size());
+  buffer_.append(bytes);
+}
+
 void BinaryWriter::WriteFloats(const std::vector<float>& values) {
   WriteU64(values.size());
   const size_t bytes = values.size() * sizeof(float);
@@ -141,6 +146,13 @@ StatusOr<std::string> BinaryReader::ReadString() {
   std::string s = data_.substr(position_, size);
   position_ += size;
   return s;
+}
+
+StatusOr<std::string> BinaryReader::ReadLengthPrefixedBytes() {
+  // Identical wire layout to ReadString (u64 length + raw bytes); the
+  // bounds check there already rejects lengths past the end of the buffer
+  // before any allocation or copy.
+  return ReadString();
 }
 
 Status BinaryReader::Skip(size_t bytes) {

@@ -28,6 +28,11 @@ class BinaryWriter {
   void WriteFloats(const std::vector<float>& values);
   /// Appends raw bytes with no length prefix (for pre-encoded payloads).
   void WriteBytes(const std::string& bytes) { buffer_.append(bytes); }
+  /// Appends `bytes` behind a u64 length prefix, so a pre-encoded payload
+  /// can be embedded in a stream and skipped or re-extracted without
+  /// decoding it — the framing used by the network wire codec. The matching
+  /// read is `BinaryReader::ReadLengthPrefixedBytes`.
+  void WriteLengthPrefixedBytes(const std::string& bytes);
 
   const std::string& buffer() const { return buffer_; }
 
@@ -60,6 +65,12 @@ class BinaryReader {
   StatusOr<double> ReadF64();
   StatusOr<std::string> ReadString();
   StatusOr<std::vector<float>> ReadFloats();
+  /// Extracts a blob written by `WriteLengthPrefixedBytes`. Overflow-safe:
+  /// a corrupted length near 2^64 fails the bounds check instead of
+  /// wrapping, so a truncated or bit-flipped stream yields OutOfRange,
+  /// never a wild read. (Same wire layout as `ReadString`; this name exists
+  /// so payload-embedding call sites read as byte-level framing.)
+  StatusOr<std::string> ReadLengthPrefixedBytes();
 
   /// Advances past `bytes` without decoding them; OutOfRange if fewer remain.
   Status Skip(size_t bytes);

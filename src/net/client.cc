@@ -1,0 +1,248 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace vz::net {
+
+namespace {
+
+/// Capped exponential backoff: the server's retry-after hint (or the floor)
+/// doubled per attempt.
+int64_t BackoffMs(const ClientOptions& options, int64_t hint_ms,
+                  size_t attempt) {
+  int64_t base = hint_ms > 0 ? hint_ms : options.backoff_floor_ms;
+  if (base <= 0) base = 1;
+  int64_t delay = base;
+  for (size_t i = 0; i < attempt && delay < options.backoff_cap_ms; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, options.backoff_cap_ms);
+}
+
+}  // namespace
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                 const ClientOptions& options) {
+  Client client(host, port, options);
+  for (size_t attempt = 0;; ++attempt) {
+    Status status = client.Handshake();
+    if (status.ok()) return client;
+    // A connection-level shed (server at capacity) is retryable exactly like
+    // a shed query; everything else is final.
+    if (status.code() != StatusCode::kResourceExhausted ||
+        attempt >= options.max_shed_retries) {
+      return status;
+    }
+    const int64_t delay =
+        BackoffMs(options, client.last_shed_hint_ms_, attempt);
+    client.call_stats_.shed_retries++;
+    client.call_stats_.backoff_ms_total += delay;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
+Status Client::Handshake() {
+  VZ_ASSIGN_OR_RETURN(fd_,
+                      TcpConnect(host_, port_, options_.connect_timeout_ms));
+  io::BinaryWriter hello;
+  hello.WriteU32(kProtocolVersion);
+  VZ_RETURN_IF_ERROR(WriteFrame(fd_.get(),
+                                static_cast<uint32_t>(MsgType::kHello),
+                                hello.buffer()));
+  auto response = ReadFrame(fd_.get());
+  if (!response.ok()) {
+    fd_.Reset();
+    return response.status();
+  }
+  io::BinaryReader reader(response->payload);
+  auto wire_status = DecodeWireStatus(&reader);
+  if (!wire_status.ok()) {
+    fd_.Reset();
+    return wire_status.status();
+  }
+  if (wire_status->status.code() == StatusCode::kResourceExhausted) {
+    last_shed_hint_ms_ = wire_status->retry_after_ms;
+  }
+  // The server reports its own version after the status, on success and on
+  // version mismatch alike (sheds carry no version).
+  if (reader.remaining() >= sizeof(uint32_t)) {
+    auto version = reader.ReadU32();
+    if (version.ok()) server_protocol_version_ = *version;
+  }
+  if (!wire_status->status.ok()) {
+    fd_.Reset();
+    return wire_status->status;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::CallOnce(MsgType type,
+                                       const std::string& payload,
+                                       WireStatus* wire_status) {
+  if (!fd_.valid()) return Status::FailedPrecondition("not connected");
+  VZ_RETURN_IF_ERROR(
+      WriteFrame(fd_.get(), static_cast<uint32_t>(type), payload));
+  auto response = ReadFrame(fd_.get());
+  if (!response.ok()) {
+    return response.status().code() == StatusCode::kNotFound
+               ? Status::DataLoss("connection closed by server")
+               : response.status();
+  }
+  const uint32_t expected = static_cast<uint32_t>(type) | kResponseFlag;
+  const uint32_t hello_error =
+      static_cast<uint32_t>(MsgType::kHello) | kResponseFlag;
+  // Frame-level failures (torn request frame) come back as a Hello-typed
+  // error response; anything else off-type means the stream desynced.
+  if (response->type != expected && response->type != hello_error) {
+    return Status::DataLoss("response type mismatch");
+  }
+  io::BinaryReader reader(response->payload);
+  VZ_ASSIGN_OR_RETURN(*wire_status, DecodeWireStatus(&reader));
+  return response->payload.substr(reader.position());
+}
+
+StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
+  size_t reconnects_used = 0;
+  for (size_t attempt = 0;; ++attempt) {
+    if (!fd_.valid()) {
+      Status status = Handshake();
+      if (!status.ok()) {
+        if (status.code() == StatusCode::kResourceExhausted &&
+            attempt < options_.max_shed_retries) {
+          const int64_t delay =
+              BackoffMs(options_, last_shed_hint_ms_, attempt);
+          call_stats_.shed_retries++;
+          call_stats_.backoff_ms_total += delay;
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          continue;
+        }
+        return status;
+      }
+      call_stats_.reconnects++;
+    }
+    WireStatus wire_status;
+    call_stats_.requests_sent++;
+    auto body = CallOnce(type, payload, &wire_status);
+    if (!body.ok()) {
+      // Transport failure: the connection is unusable; reconnect within
+      // budget. Requests are safe to replay — queries are read-only and a
+      // replayed ingest is deduplicated by the ingestion guard.
+      fd_.Reset();
+      if (reconnects_used < options_.max_reconnects) {
+        ++reconnects_used;
+        continue;
+      }
+      return body.status();
+    }
+    if (wire_status.status.ok()) return body;
+    if (wire_status.status.code() == StatusCode::kResourceExhausted &&
+        attempt < options_.max_shed_retries) {
+      const int64_t delay =
+          BackoffMs(options_, wire_status.retry_after_ms, attempt);
+      call_stats_.shed_retries++;
+      call_stats_.backoff_ms_total += delay;
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      continue;
+    }
+    return wire_status.status;
+  }
+}
+
+Status Client::CameraStart(const core::CameraId& camera) {
+  io::BinaryWriter writer;
+  writer.WriteString(camera);
+  return Call(MsgType::kCameraStart, writer.buffer()).status();
+}
+
+Status Client::CameraTerminate(const core::CameraId& camera) {
+  io::BinaryWriter writer;
+  writer.WriteString(camera);
+  return Call(MsgType::kCameraTerminate, writer.buffer()).status();
+}
+
+Status Client::IngestFrame(const core::FrameObservation& frame) {
+  io::BinaryWriter writer;
+  EncodeFrameObservation(&writer, frame);
+  return Call(MsgType::kIngestFrame, writer.buffer()).status();
+}
+
+Status Client::Flush() { return Call(MsgType::kFlush, "").status(); }
+
+StatusOr<core::DirectQueryResult> Client::DirectQuery(
+    const FeatureVector& feature, const core::QueryConstraints& constraints) {
+  io::BinaryWriter writer;
+  EncodeFeatureVector(&writer, feature);
+  EncodeQueryConstraints(&writer, constraints);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kDirectQuery, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeDirectQueryResult(&reader);
+}
+
+StatusOr<core::ClusteringQueryResult> Client::ClusteringQuery(
+    core::SvsId target_id, const core::QueryConstraints& constraints) {
+  io::BinaryWriter writer;
+  writer.WriteI64(target_id);
+  EncodeQueryConstraints(&writer, constraints);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kClusteringQueryById, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeClusteringQueryResult(&reader);
+}
+
+StatusOr<core::ClusteringQueryResult> Client::ClusteringQuery(
+    const FeatureMap& target, const core::QueryConstraints& constraints) {
+  io::BinaryWriter writer;
+  EncodeFeatureMap(&writer, target);
+  EncodeQueryConstraints(&writer, constraints);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kClusteringQueryByMap, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeClusteringQueryResult(&reader);
+}
+
+StatusOr<core::SvsMetadata> Client::GetMetaData(core::SvsId id) {
+  io::BinaryWriter writer;
+  writer.WriteI64(id);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kGetMetaData, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeSvsMetadata(&reader);
+}
+
+StatusOr<MonitorStatsReply> Client::MonitorStats() {
+  VZ_ASSIGN_OR_RETURN(std::string body, Call(MsgType::kMonitorStats, ""));
+  io::BinaryReader reader(std::move(body));
+  return DecodeMonitorStats(&reader);
+}
+
+StatusOr<std::vector<CameraHealthEntry>> Client::CameraHealthReport() {
+  VZ_ASSIGN_OR_RETURN(std::string body, Call(MsgType::kCameraHealth, ""));
+  io::BinaryReader reader(std::move(body));
+  return DecodeCameraHealthReport(&reader);
+}
+
+StatusOr<core::QueryLoadStats> Client::QueryLoadStats() {
+  VZ_ASSIGN_OR_RETURN(std::string body, Call(MsgType::kQueryLoadStats, ""));
+  io::BinaryReader reader(std::move(body));
+  return DecodeQueryLoadStats(&reader);
+}
+
+Status Client::SaveSnapshot(const std::string& path) {
+  io::BinaryWriter writer;
+  writer.WriteString(path);
+  return Call(MsgType::kSnapshotSave, writer.buffer()).status();
+}
+
+StatusOr<uint64_t> Client::LoadSnapshot(const std::string& path) {
+  io::BinaryWriter writer;
+  writer.WriteString(path);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kSnapshotLoad, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return reader.ReadU64();
+}
+
+}  // namespace vz::net

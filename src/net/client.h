@@ -1,0 +1,124 @@
+#ifndef VZ_NET_CLIENT_H_
+#define VZ_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "net/wire.h"
+
+namespace vz::net {
+
+/// Connection and retry behaviour of `Client`.
+struct ClientOptions {
+  int64_t connect_timeout_ms = 5'000;
+  /// Attempts per request when the server sheds with `kResourceExhausted`
+  /// (connection- or admission-level). 0 disables retrying.
+  size_t max_shed_retries = 4;
+  /// Backoff between shed retries: the server's retry-after hint (or this
+  /// floor when absent), doubled per attempt, capped below.
+  int64_t backoff_floor_ms = 10;
+  int64_t backoff_cap_ms = 2'000;
+  /// Reconnect attempts when the transport drops mid-conversation (server
+  /// restart, graceful-shutdown close). 0 disables reconnecting.
+  size_t max_reconnects = 1;
+};
+
+/// Per-client counters, mostly for tests and diagnostics.
+struct ClientCallStats {
+  uint64_t requests_sent = 0;
+  /// Requests that were shed at least once and retried with backoff.
+  uint64_t shed_retries = 0;
+  uint64_t reconnects = 0;
+  /// Total milliseconds slept honoring retry-after backoff.
+  int64_t backoff_ms_total = 0;
+};
+
+/// Synchronous RPC client for the Video-zilla serving layer: one TCP
+/// connection, one in-flight request at a time (run several clients for
+/// concurrency — the protocol has no interleaving). `Connect` performs the
+/// version handshake; every RPC mirrors the corresponding `VideoZilla`
+/// method, so call sites can swap between in-process and remote execution.
+///
+/// Overload handling: a `kResourceExhausted` response (a shed query or a
+/// shed connection) is retried up to `max_shed_retries` times with capped
+/// exponential backoff seeded by the server's retry-after hint. All other
+/// errors are returned as-is.
+class Client {
+ public:
+  /// Connects, negotiates the protocol version, and returns a ready client.
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port,
+                                  const ClientOptions& options = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // --- Ingestion (mirrors VideoZilla). ---
+  Status CameraStart(const core::CameraId& camera);
+  Status CameraTerminate(const core::CameraId& camera);
+  Status IngestFrame(const core::FrameObservation& frame);
+  Status Flush();
+
+  // --- Queries. Deadlines in `constraints` travel on the wire and bound
+  // --- the server-side query via its cancellation checkpoints.
+  StatusOr<core::DirectQueryResult> DirectQuery(
+      const FeatureVector& feature,
+      const core::QueryConstraints& constraints = {});
+  StatusOr<core::ClusteringQueryResult> ClusteringQuery(
+      core::SvsId target_id, const core::QueryConstraints& constraints = {});
+  StatusOr<core::ClusteringQueryResult> ClusteringQuery(
+      const FeatureMap& target,
+      const core::QueryConstraints& constraints = {});
+  StatusOr<core::SvsMetadata> GetMetaData(core::SvsId id);
+
+  // --- Stats / health. ---
+  StatusOr<MonitorStatsReply> MonitorStats();
+  StatusOr<std::vector<CameraHealthEntry>> CameraHealthReport();
+  StatusOr<core::QueryLoadStats> QueryLoadStats();
+
+  // --- Snapshot triggers (paths are server-local). ---
+  Status SaveSnapshot(const std::string& path);
+  /// Returns the number of SVSs restored on the server.
+  StatusOr<uint64_t> LoadSnapshot(const std::string& path);
+
+  /// Protocol version the server reported in the handshake.
+  uint32_t server_protocol_version() const {
+    return server_protocol_version_;
+  }
+
+  const ClientCallStats& call_stats() const { return call_stats_; }
+
+  /// Closes the connection (also done by the destructor).
+  void Close() { fd_.Reset(); }
+
+ private:
+  Client(std::string host, uint16_t port, const ClientOptions& options)
+      : host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Opens the TCP connection and runs the Hello exchange.
+  Status Handshake();
+  /// Sends one request and returns the response payload with its wire
+  /// status decoded; handles shed-backoff and reconnects.
+  StatusOr<std::string> Call(MsgType type, const std::string& payload);
+  /// One send/receive without retry logic.
+  StatusOr<std::string> CallOnce(MsgType type, const std::string& payload,
+                                 WireStatus* wire_status);
+
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
+  UniqueFd fd_;
+  uint32_t server_protocol_version_ = 0;
+  /// Retry-after hint from the most recent connection-level shed; seeds the
+  /// reconnect backoff.
+  int64_t last_shed_hint_ms_ = 0;
+  ClientCallStats call_stats_;
+};
+
+}  // namespace vz::net
+
+#endif  // VZ_NET_CLIENT_H_

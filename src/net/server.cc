@@ -1,0 +1,368 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <sys/socket.h>
+#include <utility>
+
+#include "io/svs_snapshot.h"
+
+namespace vz::net {
+
+namespace {
+
+/// Response payload: a wire status followed by nothing.
+std::string StatusOnlyResponse(const Status& status, int64_t retry_after_ms) {
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {status, retry_after_ms});
+  return writer.buffer();
+}
+
+}  // namespace
+
+Server::Server(core::VideoZilla* system, const ServerOptions& options)
+    : system_(system), options_(options) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  // Connection handlers live on pool workers for the whole connection, so
+  // the shared pool must actually have workers; a serial system gets a
+  // server-owned pool sized to the connection cap instead.
+  pool_ = system_->thread_pool();
+  if (pool_ == nullptr || pool_->num_threads() < 2) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.max_connections + 1);
+    pool_ = owned_pool_.get();
+  }
+  connection_cap_ =
+      std::min(options_.max_connections, pool_->num_threads() - 1);
+  if (connection_cap_ == 0) connection_cap_ = 1;
+
+  VZ_ASSIGN_OR_RETURN(listen_fd_,
+                      TcpListen(options_.bind_address, options_.port));
+  VZ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true);
+  // Wake the blocking accept; close happens after the thread exits so the
+  // descriptor cannot be reused mid-accept.
+  ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_.Reset();
+
+  // Drain: handlers notice `stopping_` at their next idle poll and finish
+  // the request they are serving first.
+  std::vector<std::future<void>> futures;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool drained = drained_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+        [this] { return active_fds_.empty(); });
+    if (!drained) {
+      for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    futures.swap(connection_futures_);
+  }
+  for (std::future<void>& f : futures) {
+    if (f.valid()) f.wait();
+  }
+  started_ = false;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_;
+  stats.connections_shed = connections_shed_;
+  stats.connections_active = active_fds_.size();
+  stats.requests_served = requests_served_.load();
+  stats.request_errors = request_errors_.load();
+  return stats;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = TcpAccept(listen_fd_.get());
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      continue;  // transient accept failure (e.g. EMFILE burst)
+    }
+    UniqueFd fd = std::move(*accepted);
+    (void)SetTcpNoDelay(fd.get());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++connections_accepted_;
+    if (stopping_.load() || active_fds_.size() >= connection_cap_) {
+      // Connection-level shedding: answer with the same wire status an
+      // admission shed produces, so one client backoff path covers both.
+      ++connections_shed_;
+      const Status shed = Status::ResourceExhausted(
+          "server at connection capacity (" +
+          std::to_string(connection_cap_) + "); retry later");
+      (void)WriteFrame(
+          fd.get(), static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
+          StatusOnlyResponse(shed, options_.shed_retry_after_ms));
+      continue;  // fd closes on scope exit
+    }
+    active_fds_.insert(fd.get());
+    // Completed connections leave stale ready futures behind; reap them
+    // while we hold the lock anyway.
+    std::erase_if(connection_futures_, [](std::future<void>& f) {
+      return !f.valid() ||
+             f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    });
+    connection_futures_.push_back(pool_->Submit(
+        [this, raw = fd.Release()]() mutable { HandleConnection(UniqueFd(raw)); }));
+  }
+}
+
+void Server::HandleConnection(UniqueFd fd) {
+  bool hello_done = false;
+  while (!stopping_.load()) {
+    auto readable = WaitReadable(fd.get(), options_.idle_poll_ms);
+    if (!readable.ok()) break;
+    if (!*readable) continue;  // idle; re-check the stop flag
+    if (!ServeOneRequest(fd.get(), &hello_done)) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  active_fds_.erase(fd.get());
+  if (active_fds_.empty()) drained_cv_.notify_all();
+}
+
+bool Server::ServeOneRequest(int fd, bool* hello_done) {
+  auto request = ReadFrame(fd);
+  if (!request.ok()) {
+    // Clean disconnect between frames is the normal end of a connection;
+    // everything else (torn frame, checksum mismatch, unknown type) gets a
+    // best-effort error response before the close.
+    if (request.status().code() != StatusCode::kNotFound) {
+      request_errors_.fetch_add(1);
+      (void)WriteFrame(
+          fd, static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
+          StatusOnlyResponse(request.status(), 0));
+    }
+    return false;
+  }
+  if ((request->type & kResponseFlag) != 0) {
+    request_errors_.fetch_add(1);
+    (void)WriteFrame(fd, request->type,
+                     StatusOnlyResponse(Status::InvalidArgument(
+                                            "response frame sent as request"),
+                                        0));
+    return false;
+  }
+
+  Status failure;
+  const std::string response = DispatchRequest(*request, hello_done, &failure);
+  if (failure.ok()) {
+    requests_served_.fetch_add(1);
+  } else {
+    request_errors_.fetch_add(1);
+  }
+  if (Status s = WriteFrame(fd, request->type | kResponseFlag, response);
+      !s.ok()) {
+    return false;
+  }
+  // A protocol-ordering violation (RPC before Hello, bad version) closes the
+  // connection after the error response; RPC-level failures (unknown camera,
+  // shed query) keep it open.
+  if (!failure.ok() && (failure.code() == StatusCode::kFailedPrecondition &&
+                        !*hello_done)) {
+    return false;
+  }
+  return true;
+}
+
+std::string Server::DispatchRequest(const WireFrame& request,
+                                    bool* hello_done, Status* failure) {
+  io::BinaryReader reader(request.payload);
+  const MsgType type = static_cast<MsgType>(request.type);
+  const int64_t retry_after_ms =
+      system_->options().admission.retry_after_hint_ms;
+
+  // Everything the payload decoders reject is a malformed (but
+  // CRC-consistent) payload: answer kInvalidArgument, keep the connection.
+  auto malformed = [&](const Status& status) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       status.message());
+    return StatusOnlyResponse(*failure, 0);
+  };
+
+  if (type == MsgType::kHello) {
+    auto version = reader.ReadU32();
+    if (!version.ok()) return malformed(version.status());
+    io::BinaryWriter writer;
+    if (*version != kProtocolVersion) {
+      *failure = Status::FailedPrecondition(
+          "protocol version mismatch: client speaks v" +
+          std::to_string(*version) + ", server speaks v" +
+          std::to_string(kProtocolVersion));
+      EncodeWireStatus(&writer, {*failure, 0});
+    } else {
+      *hello_done = true;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+    }
+    writer.WriteU32(kProtocolVersion);
+    return writer.buffer();
+  }
+  if (!*hello_done) {
+    *failure =
+        Status::FailedPrecondition("first message must be Hello");
+    return StatusOnlyResponse(*failure, 0);
+  }
+
+  switch (type) {
+    case MsgType::kCameraStart: {
+      auto camera = reader.ReadString();
+      if (!camera.ok()) return malformed(camera.status());
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      *failure = system_->CameraStart(*camera);
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kCameraTerminate: {
+      auto camera = reader.ReadString();
+      if (!camera.ok()) return malformed(camera.status());
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      *failure = system_->CameraTerminate(*camera);
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kIngestFrame: {
+      auto frame = DecodeFrameObservation(&reader);
+      if (!frame.ok()) return malformed(frame.status());
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      *failure = system_->IngestFrame(*frame);
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kFlush: {
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      *failure = system_->Flush();
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kDirectQuery: {
+      auto feature = DecodeFeatureVector(&reader);
+      if (!feature.ok()) return malformed(feature.status());
+      auto constraints = DecodeQueryConstraints(&reader);
+      if (!constraints.ok()) return malformed(constraints.status());
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      auto result = system_->DirectQuery(*feature, *constraints);
+      io::BinaryWriter writer;
+      if (!result.ok()) {
+        *failure = result.status();
+        EncodeWireStatus(&writer, {*failure, retry_after_ms});
+        return writer.buffer();
+      }
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeDirectQueryResult(&writer, *result);
+      return writer.buffer();
+    }
+    case MsgType::kClusteringQueryById:
+    case MsgType::kClusteringQueryByMap: {
+      StatusOr<core::ClusteringQueryResult> result =
+          Status::Internal("unreachable");
+      if (type == MsgType::kClusteringQueryById) {
+        auto id = reader.ReadI64();
+        if (!id.ok()) return malformed(id.status());
+        auto constraints = DecodeQueryConstraints(&reader);
+        if (!constraints.ok()) return malformed(constraints.status());
+        std::shared_lock<std::shared_mutex> lock(state_mu_);
+        result = system_->ClusteringQuery(*id, *constraints);
+      } else {
+        auto target = DecodeFeatureMap(&reader);
+        if (!target.ok()) return malformed(target.status());
+        auto constraints = DecodeQueryConstraints(&reader);
+        if (!constraints.ok()) return malformed(constraints.status());
+        std::shared_lock<std::shared_mutex> lock(state_mu_);
+        result = system_->ClusteringQuery(*target, *constraints);
+      }
+      io::BinaryWriter writer;
+      if (!result.ok()) {
+        *failure = result.status();
+        EncodeWireStatus(&writer, {*failure, retry_after_ms});
+        return writer.buffer();
+      }
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeClusteringQueryResult(&writer, *result);
+      return writer.buffer();
+    }
+    case MsgType::kGetMetaData: {
+      auto id = reader.ReadI64();
+      if (!id.ok()) return malformed(id.status());
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      auto meta = system_->GetMetaData(*id);
+      io::BinaryWriter writer;
+      if (!meta.ok()) {
+        *failure = meta.status();
+        EncodeWireStatus(&writer, {*failure, 0});
+        return writer.buffer();
+      }
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeSvsMetadata(&writer, *meta);
+      return writer.buffer();
+    }
+    case MsgType::kMonitorStats: {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      MonitorStatsReply stats;
+      stats.ingest = system_->ingest_stats();
+      stats.cache = system_->omd_cache().stats();
+      stats.svs_count = system_->svs_store().size();
+      stats.camera_count = system_->cameras().size();
+      stats.now_ms = system_->now_ms();
+      io::BinaryWriter writer;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeMonitorStats(&writer, stats);
+      return writer.buffer();
+    }
+    case MsgType::kCameraHealth: {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      std::vector<CameraHealthEntry> report;
+      for (const auto& [camera, health] : system_->CameraHealthReport()) {
+        report.push_back({camera, health});
+      }
+      io::BinaryWriter writer;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeCameraHealthReport(&writer, report);
+      return writer.buffer();
+    }
+    case MsgType::kQueryLoadStats: {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      io::BinaryWriter writer;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeQueryLoadStats(&writer, system_->query_load_stats());
+      return writer.buffer();
+    }
+    case MsgType::kSnapshotSave: {
+      auto path = reader.ReadString();
+      if (!path.ok()) return malformed(path.status());
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      *failure = io::SaveSvsStore(system_->svs_store(), *path);
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kSnapshotLoad: {
+      auto path = reader.ReadString();
+      if (!path.ok()) return malformed(path.status());
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      core::SvsStore loaded;
+      *failure = io::LoadSvsStore(*path, &loaded);
+      if (failure->ok()) {
+        *failure = system_->RestoreFromSvsStore(loaded);
+      }
+      io::BinaryWriter writer;
+      EncodeWireStatus(&writer, {*failure, 0});
+      writer.WriteU64(loaded.size());
+      return writer.buffer();
+    }
+    case MsgType::kHello:
+      break;  // handled above
+  }
+  *failure = Status::Unimplemented("unhandled message type " +
+                                   std::to_string(request.type));
+  return StatusOnlyResponse(*failure, 0);
+}
+
+}  // namespace vz::net

@@ -1,0 +1,130 @@
+#ifndef VZ_NET_SERVER_H_
+#define VZ_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/videozilla.h"
+#include "net/wire.h"
+
+namespace vz::net {
+
+/// Configuration of the TCP serving front end.
+struct ServerOptions {
+  /// Port to listen on; 0 lets the kernel pick (read back with `port()`).
+  uint16_t port = 0;
+  std::string bind_address = "127.0.0.1";
+  /// Concurrent connections served; arrivals beyond this are answered with a
+  /// wire-level `kResourceExhausted` (retry-after attached) and closed —
+  /// connection-level shedding mirroring the admission controller's
+  /// query-level shedding. Also capped by the worker count of the pool the
+  /// server runs on (a connection handler needs a worker for its lifetime).
+  size_t max_connections = 8;
+  /// Retry-after hint attached to connection-level sheds.
+  int64_t shed_retry_after_ms = 50;
+  /// Cadence at which idle connection handlers re-check the shutdown flag.
+  int64_t idle_poll_ms = 50;
+  /// Budget `Shutdown` grants in-flight requests before force-closing the
+  /// remaining sockets.
+  int64_t drain_timeout_ms = 10'000;
+};
+
+/// Counters of the serving layer (all lifetime totals except the gauge).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;
+  size_t connections_active = 0;  // gauge
+  uint64_t requests_served = 0;
+  uint64_t request_errors = 0;
+};
+
+/// TCP front end over one `VideoZilla` instance: an accept loop plus
+/// per-connection handlers running on the shared `ThreadPool` (the system's
+/// query pool when it has workers, otherwise a pool owned by the server).
+///
+/// Request handling preserves the library's concurrency contract: queries
+/// and stats reads from different connections run concurrently (shared
+/// lock), while ingestion, flush, camera lifecycle and snapshot restore are
+/// exclusive (unique lock) — the documented single-caller ingestion
+/// contract, enforced at the service boundary instead of trusted per
+/// client.
+///
+/// Overload and deadlines compose end to end: a client deadline travels in
+/// the query constraints and becomes the per-query `CancelToken` budget
+/// inside `VideoZilla`; admission-controller sheds surface as wire-level
+/// `kResourceExhausted` carrying the configured retry-after hint.
+///
+/// `Shutdown` is graceful: stop accepting, let every handler finish the
+/// request it is serving (responses are written before sockets close), then
+/// force-close whatever is still open after `drain_timeout_ms`.
+class Server {
+ public:
+  /// `system` is borrowed and must outlive the server.
+  Server(core::VideoZilla* system, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts the accept loop. Fails if the port is taken.
+  Status Start();
+
+  /// Graceful stop; idempotent. Safe to call concurrently with traffic.
+  void Shutdown();
+
+  /// The bound port (valid after a successful `Start`).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(UniqueFd fd);
+  /// Serves one already-readable request; false when the connection should
+  /// close (clean disconnect, torn frame, or protocol violation).
+  bool ServeOneRequest(int fd, bool* hello_done);
+  /// Builds the response payload for one decoded request.
+  std::string DispatchRequest(const WireFrame& request, bool* hello_done,
+                              Status* failure);
+
+  core::VideoZilla* system_;
+  const ServerOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // when the system runs serial
+  ThreadPool* pool_ = nullptr;
+  size_t connection_cap_ = 0;
+
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  /// Serializes mutating RPCs against concurrent queries (see class
+  /// comment).
+  std::shared_mutex state_mu_;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::condition_variable drained_cv_;
+  std::vector<std::future<void>> connection_futures_;
+  std::unordered_set<int> active_fds_;
+  uint64_t connections_accepted_ = 0;
+  uint64_t connections_shed_ = 0;
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> request_errors_{0};
+};
+
+}  // namespace vz::net
+
+#endif  // VZ_NET_SERVER_H_

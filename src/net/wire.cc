@@ -1,0 +1,568 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/socket.h"
+
+namespace vz::net {
+
+namespace {
+
+/// Sanity bound on a wire-declared element count: every element of the
+/// claimed collection needs at least `min_bytes_per_element` encoded bytes,
+/// so a count the remaining buffer cannot possibly hold is corruption (or a
+/// hostile peer) and must be rejected before any allocation sized by it.
+Status CheckCount(const io::BinaryReader& reader, uint64_t count,
+                  size_t min_bytes_per_element) {
+  if (count > reader.remaining() / min_bytes_per_element) {
+    return Status::DataLoss("implausible element count in payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeIdList(io::BinaryReader* reader, std::vector<core::SvsId>* out) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, count, sizeof(int64_t)));
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VZ_ASSIGN_OR_RETURN(int64_t id, reader->ReadI64());
+    out->push_back(id);
+  }
+  return Status::OK();
+}
+
+void EncodeIdList(io::BinaryWriter* writer,
+                  const std::vector<core::SvsId>& ids) {
+  writer->WriteU64(ids.size());
+  for (core::SvsId id : ids) writer->WriteI64(id);
+}
+
+Status DecodeStringList(io::BinaryReader* reader,
+                        std::vector<std::string>* out) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  // An empty string still costs its u64 length prefix.
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, count, sizeof(uint64_t)));
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VZ_ASSIGN_OR_RETURN(std::string s, reader->ReadString());
+    out->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+void EncodeStringList(io::BinaryWriter* writer,
+                      const std::vector<std::string>& strings) {
+  writer->WriteU64(strings.size());
+  for (const std::string& s : strings) writer->WriteString(s);
+}
+
+}  // namespace
+
+bool IsKnownMessageType(uint32_t type) {
+  switch (static_cast<MsgType>(type & ~kResponseFlag)) {
+    case MsgType::kHello:
+    case MsgType::kCameraStart:
+    case MsgType::kCameraTerminate:
+    case MsgType::kIngestFrame:
+    case MsgType::kFlush:
+    case MsgType::kDirectQuery:
+    case MsgType::kClusteringQueryById:
+    case MsgType::kClusteringQueryByMap:
+    case MsgType::kGetMetaData:
+    case MsgType::kMonitorStats:
+    case MsgType::kCameraHealth:
+    case MsgType::kQueryLoadStats:
+    case MsgType::kSnapshotSave:
+    case MsgType::kSnapshotLoad:
+      return true;
+  }
+  return false;
+}
+
+uint32_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kFailedPrecondition: return 3;
+    case StatusCode::kOutOfRange: return 4;
+    case StatusCode::kInternal: return 5;
+    case StatusCode::kUnimplemented: return 6;
+    case StatusCode::kResourceExhausted: return 7;
+    case StatusCode::kCancelled: return 8;
+    case StatusCode::kDataLoss: return 9;
+  }
+  return 5;  // kInternal
+}
+
+StatusCode StatusCodeFromWire(uint32_t wire) {
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kFailedPrecondition;
+    case 4: return StatusCode::kOutOfRange;
+    case 5: return StatusCode::kInternal;
+    case 6: return StatusCode::kUnimplemented;
+    case 7: return StatusCode::kResourceExhausted;
+    case 8: return StatusCode::kCancelled;
+    case 9: return StatusCode::kDataLoss;
+    default: return StatusCode::kInternal;
+  }
+}
+
+void EncodeWireStatus(io::BinaryWriter* writer, const WireStatus& status) {
+  writer->WriteU32(StatusCodeToWire(status.status.code()));
+  writer->WriteString(status.status.message());
+  writer->WriteI64(status.retry_after_ms);
+}
+
+StatusOr<WireStatus> DecodeWireStatus(io::BinaryReader* reader) {
+  VZ_ASSIGN_OR_RETURN(uint32_t code, reader->ReadU32());
+  VZ_ASSIGN_OR_RETURN(std::string message, reader->ReadString());
+  VZ_ASSIGN_OR_RETURN(int64_t retry_after_ms, reader->ReadI64());
+  WireStatus status;
+  status.status = Status(StatusCodeFromWire(code), std::move(message));
+  status.retry_after_ms = retry_after_ms;
+  return status;
+}
+
+std::string EncodeFrame(uint32_t type, const std::string& payload) {
+  io::BinaryWriter writer;
+  writer.WriteU32(kWireMagic);
+  writer.WriteU32(type);
+  writer.WriteLengthPrefixedBytes(payload);
+  // The CRC covers everything after the magic: type, length and payload.
+  // A flipped bit in the framing fields is then as detectable as one in the
+  // payload.
+  writer.WriteU32(
+      Crc32(writer.buffer().data() + sizeof(uint32_t),
+            writer.buffer().size() - sizeof(uint32_t)));
+  return writer.buffer();
+}
+
+StatusOr<WireFrame> DecodeFrame(io::BinaryReader* reader) {
+  auto magic = reader->ReadU32();
+  if (!magic.ok()) return Status::DataLoss("truncated frame header");
+  if (*magic != kWireMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const size_t crc_begin = reader->position();
+  auto type = reader->ReadU32();
+  if (!type.ok()) return Status::DataLoss("truncated frame header");
+  auto length = reader->ReadU64();
+  if (!length.ok()) return Status::DataLoss("truncated frame header");
+  if (*length > kMaxPayloadBytes) {
+    return Status::InvalidArgument("oversized frame payload");
+  }
+  if (*length > reader->remaining()) {
+    return Status::DataLoss("truncated frame payload");
+  }
+  const size_t payload_begin = reader->position();
+  (void)reader->Skip(*length);  // bounds just checked
+  auto expected_crc = reader->ReadU32();
+  if (!expected_crc.ok()) return Status::DataLoss("truncated frame checksum");
+  const uint32_t actual_crc =
+      Crc32(reader->data().data() + crc_begin,
+            payload_begin - crc_begin + *length);
+  if (actual_crc != *expected_crc) {
+    return Status::DataLoss("frame checksum mismatch");
+  }
+  if (!IsKnownMessageType(*type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(*type));
+  }
+  WireFrame frame;
+  frame.type = *type;
+  frame.payload = reader->data().substr(payload_begin, *length);
+  return frame;
+}
+
+Status WriteFrame(int fd, uint32_t type, const std::string& payload) {
+  const std::string bytes = EncodeFrame(type, payload);
+  return SendAll(fd, bytes.data(), bytes.size());
+}
+
+StatusOr<WireFrame> ReadFrame(int fd) {
+  // Fixed-size prologue first: magic, type, payload length.
+  char header[sizeof(uint32_t) * 2 + sizeof(uint64_t)];
+  VZ_RETURN_IF_ERROR(RecvExact(fd, header, sizeof(header)));
+  uint32_t magic, type;
+  uint64_t length;
+  std::memcpy(&magic, header, sizeof(magic));
+  std::memcpy(&type, header + 4, sizeof(type));
+  std::memcpy(&length, header + 8, sizeof(length));
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (length > kMaxPayloadBytes) {
+    return Status::InvalidArgument("oversized frame payload");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    Status s = RecvExact(fd, payload.data(), payload.size());
+    if (!s.ok()) {
+      return s.code() == StatusCode::kNotFound
+                 ? Status::DataLoss("connection closed mid-frame")
+                 : s;
+    }
+  }
+  uint32_t expected_crc;
+  Status s = RecvExact(fd, &expected_crc, sizeof(expected_crc));
+  if (!s.ok()) {
+    return s.code() == StatusCode::kNotFound
+               ? Status::DataLoss("connection closed mid-frame")
+               : s;
+  }
+  uint32_t crc = Crc32Update(0, header + 4, sizeof(header) - 4);
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  if (crc != expected_crc) {
+    return Status::DataLoss("frame checksum mismatch");
+  }
+  if (!IsKnownMessageType(type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  WireFrame frame;
+  frame.type = type;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+void EncodeFeatureVector(io::BinaryWriter* writer, const FeatureVector& v) {
+  writer->WriteFloats(v.components());
+}
+
+StatusOr<FeatureVector> DecodeFeatureVector(io::BinaryReader* reader) {
+  VZ_ASSIGN_OR_RETURN(std::vector<float> values, reader->ReadFloats());
+  return FeatureVector(std::move(values));
+}
+
+void EncodeFeatureMap(io::BinaryWriter* writer, const FeatureMap& map) {
+  writer->WriteU64(map.size());
+  for (size_t i = 0; i < map.size(); ++i) {
+    EncodeFeatureVector(writer, map.vector(i));
+    writer->WriteF64(map.weight(i));
+  }
+}
+
+StatusOr<FeatureMap> DecodeFeatureMap(io::BinaryReader* reader) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  VZ_RETURN_IF_ERROR(
+      CheckCount(*reader, count, sizeof(uint64_t) + sizeof(double)));
+  FeatureMap map;
+  for (uint64_t i = 0; i < count; ++i) {
+    VZ_ASSIGN_OR_RETURN(FeatureVector v, DecodeFeatureVector(reader));
+    VZ_ASSIGN_OR_RETURN(double weight, reader->ReadF64());
+    VZ_RETURN_IF_ERROR(map.Add(std::move(v), weight));
+  }
+  return map;
+}
+
+void EncodeFrameObservation(io::BinaryWriter* writer,
+                            const core::FrameObservation& frame) {
+  writer->WriteString(frame.camera);
+  writer->WriteI64(frame.timestamp_ms);
+  writer->WriteI64(frame.frame_id);
+  writer->WriteF64(frame.deviation_from_previous);
+  writer->WriteU64(frame.encoded_bytes);
+  writer->WriteU64(frame.objects.size());
+  for (const core::DetectedObject& object : frame.objects) {
+    writer->WriteF32(object.box.top);
+    writer->WriteF32(object.box.left);
+    writer->WriteF32(object.box.bottom);
+    writer->WriteF32(object.box.right);
+    EncodeFeatureVector(writer, object.feature);
+    writer->WriteI64(object.class_hint);
+    writer->WriteF64(object.class_confidence);
+  }
+}
+
+StatusOr<core::FrameObservation> DecodeFrameObservation(
+    io::BinaryReader* reader) {
+  core::FrameObservation frame;
+  VZ_ASSIGN_OR_RETURN(frame.camera, reader->ReadString());
+  VZ_ASSIGN_OR_RETURN(frame.timestamp_ms, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(frame.frame_id, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(frame.deviation_from_previous, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(uint64_t encoded_bytes, reader->ReadU64());
+  frame.encoded_bytes = static_cast<size_t>(encoded_bytes);
+  VZ_ASSIGN_OR_RETURN(uint64_t num_objects, reader->ReadU64());
+  // Minimum encoded object: box (4 f32) + empty feature (u64) + class
+  // (i64) + confidence (f64).
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, num_objects, 40));
+  frame.objects.reserve(num_objects);
+  for (uint64_t i = 0; i < num_objects; ++i) {
+    core::DetectedObject object;
+    VZ_ASSIGN_OR_RETURN(object.box.top, reader->ReadF32());
+    VZ_ASSIGN_OR_RETURN(object.box.left, reader->ReadF32());
+    VZ_ASSIGN_OR_RETURN(object.box.bottom, reader->ReadF32());
+    VZ_ASSIGN_OR_RETURN(object.box.right, reader->ReadF32());
+    VZ_ASSIGN_OR_RETURN(object.feature, DecodeFeatureVector(reader));
+    VZ_ASSIGN_OR_RETURN(int64_t class_hint, reader->ReadI64());
+    object.class_hint = static_cast<int>(class_hint);
+    VZ_ASSIGN_OR_RETURN(object.class_confidence, reader->ReadF64());
+    frame.objects.push_back(std::move(object));
+  }
+  return frame;
+}
+
+void EncodeQueryConstraints(io::BinaryWriter* writer,
+                            const core::QueryConstraints& constraints) {
+  writer->WriteU8(constraints.cameras.has_value() ? 1 : 0);
+  if (constraints.cameras.has_value()) {
+    EncodeStringList(writer, *constraints.cameras);
+  }
+  writer->WriteU8(constraints.time_range_ms.has_value() ? 1 : 0);
+  if (constraints.time_range_ms.has_value()) {
+    writer->WriteI64(constraints.time_range_ms->first);
+    writer->WriteI64(constraints.time_range_ms->second);
+  }
+  writer->WriteU8(constraints.deadline_ms.has_value() ? 1 : 0);
+  if (constraints.deadline_ms.has_value()) {
+    writer->WriteI64(*constraints.deadline_ms);
+  }
+}
+
+StatusOr<core::QueryConstraints> DecodeQueryConstraints(
+    io::BinaryReader* reader) {
+  core::QueryConstraints constraints;
+  VZ_ASSIGN_OR_RETURN(uint8_t has_cameras, reader->ReadU8());
+  if (has_cameras != 0) {
+    std::vector<std::string> cameras;
+    VZ_RETURN_IF_ERROR(DecodeStringList(reader, &cameras));
+    constraints.cameras = std::move(cameras);
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t has_time, reader->ReadU8());
+  if (has_time != 0) {
+    VZ_ASSIGN_OR_RETURN(int64_t start_ms, reader->ReadI64());
+    VZ_ASSIGN_OR_RETURN(int64_t end_ms, reader->ReadI64());
+    constraints.time_range_ms = std::make_pair(start_ms, end_ms);
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t has_deadline, reader->ReadU8());
+  if (has_deadline != 0) {
+    VZ_ASSIGN_OR_RETURN(int64_t deadline_ms, reader->ReadI64());
+    constraints.deadline_ms = deadline_ms;
+  }
+  return constraints;
+}
+
+void EncodeDirectQueryResult(io::BinaryWriter* writer,
+                             const core::DirectQueryResult& result) {
+  EncodeIdList(writer, result.candidate_svss);
+  EncodeIdList(writer, result.matched_svss);
+  writer->WriteF64(result.total_gpu_ms);
+  writer->WriteF64(result.bottleneck_camera_gpu_ms);
+  writer->WriteU64(result.per_camera_gpu_ms.size());
+  for (const auto& [camera, gpu_ms] : result.per_camera_gpu_ms) {
+    writer->WriteString(camera);
+    writer->WriteF64(gpu_ms);
+  }
+  writer->WriteU64(result.frames_processed);
+  writer->WriteU64(result.cameras_searched);
+  writer->WriteU8(result.degraded ? 1 : 0);
+  EncodeStringList(writer, result.excluded_cameras);
+  writer->WriteU8(result.timed_out ? 1 : 0);
+  writer->WriteF64(result.completed_fraction);
+}
+
+StatusOr<core::DirectQueryResult> DecodeDirectQueryResult(
+    io::BinaryReader* reader) {
+  core::DirectQueryResult result;
+  VZ_RETURN_IF_ERROR(DecodeIdList(reader, &result.candidate_svss));
+  VZ_RETURN_IF_ERROR(DecodeIdList(reader, &result.matched_svss));
+  VZ_ASSIGN_OR_RETURN(result.total_gpu_ms, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(result.bottleneck_camera_gpu_ms, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(uint64_t num_cameras, reader->ReadU64());
+  VZ_RETURN_IF_ERROR(
+      CheckCount(*reader, num_cameras, sizeof(uint64_t) + sizeof(double)));
+  result.per_camera_gpu_ms.reserve(num_cameras);
+  for (uint64_t i = 0; i < num_cameras; ++i) {
+    VZ_ASSIGN_OR_RETURN(std::string camera, reader->ReadString());
+    VZ_ASSIGN_OR_RETURN(double gpu_ms, reader->ReadF64());
+    result.per_camera_gpu_ms.emplace_back(std::move(camera), gpu_ms);
+  }
+  VZ_ASSIGN_OR_RETURN(uint64_t frames_processed, reader->ReadU64());
+  result.frames_processed = static_cast<size_t>(frames_processed);
+  VZ_ASSIGN_OR_RETURN(uint64_t cameras_searched, reader->ReadU64());
+  result.cameras_searched = static_cast<size_t>(cameras_searched);
+  VZ_ASSIGN_OR_RETURN(uint8_t degraded, reader->ReadU8());
+  result.degraded = degraded != 0;
+  VZ_RETURN_IF_ERROR(DecodeStringList(reader, &result.excluded_cameras));
+  VZ_ASSIGN_OR_RETURN(uint8_t timed_out, reader->ReadU8());
+  result.timed_out = timed_out != 0;
+  VZ_ASSIGN_OR_RETURN(result.completed_fraction, reader->ReadF64());
+  return result;
+}
+
+void EncodeClusteringQueryResult(io::BinaryWriter* writer,
+                                 const core::ClusteringQueryResult& result) {
+  EncodeIdList(writer, result.similar_svss);
+  writer->WriteU64(result.cameras_contributing);
+  writer->WriteU8(result.degraded ? 1 : 0);
+  EncodeStringList(writer, result.excluded_cameras);
+  writer->WriteU8(result.timed_out ? 1 : 0);
+  writer->WriteF64(result.completed_fraction);
+  writer->WriteU8(result.fast_omd_routed ? 1 : 0);
+}
+
+StatusOr<core::ClusteringQueryResult> DecodeClusteringQueryResult(
+    io::BinaryReader* reader) {
+  core::ClusteringQueryResult result;
+  VZ_RETURN_IF_ERROR(DecodeIdList(reader, &result.similar_svss));
+  VZ_ASSIGN_OR_RETURN(uint64_t cameras_contributing, reader->ReadU64());
+  result.cameras_contributing = static_cast<size_t>(cameras_contributing);
+  VZ_ASSIGN_OR_RETURN(uint8_t degraded, reader->ReadU8());
+  result.degraded = degraded != 0;
+  VZ_RETURN_IF_ERROR(DecodeStringList(reader, &result.excluded_cameras));
+  VZ_ASSIGN_OR_RETURN(uint8_t timed_out, reader->ReadU8());
+  result.timed_out = timed_out != 0;
+  VZ_ASSIGN_OR_RETURN(result.completed_fraction, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(uint8_t fast_omd_routed, reader->ReadU8());
+  result.fast_omd_routed = fast_omd_routed != 0;
+  return result;
+}
+
+void EncodeSvsMetadata(io::BinaryWriter* writer,
+                       const core::SvsMetadata& meta) {
+  writer->WriteI64(meta.id);
+  writer->WriteString(meta.camera);
+  writer->WriteI64(meta.start_ms);
+  writer->WriteI64(meta.end_ms);
+  writer->WriteU64(meta.num_frames);
+  writer->WriteU64(meta.encoded_bytes);
+  writer->WriteU64(meta.access_count);
+  writer->WriteI64(meta.last_access_ms);
+  writer->WriteF64(meta.access_frequency);
+}
+
+StatusOr<core::SvsMetadata> DecodeSvsMetadata(io::BinaryReader* reader) {
+  core::SvsMetadata meta;
+  VZ_ASSIGN_OR_RETURN(meta.id, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(meta.camera, reader->ReadString());
+  VZ_ASSIGN_OR_RETURN(meta.start_ms, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(meta.end_ms, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(uint64_t num_frames, reader->ReadU64());
+  meta.num_frames = static_cast<size_t>(num_frames);
+  VZ_ASSIGN_OR_RETURN(uint64_t encoded_bytes, reader->ReadU64());
+  meta.encoded_bytes = static_cast<size_t>(encoded_bytes);
+  VZ_ASSIGN_OR_RETURN(meta.access_count, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(meta.last_access_ms, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(meta.access_frequency, reader->ReadF64());
+  return meta;
+}
+
+void EncodeQueryLoadStats(io::BinaryWriter* writer,
+                          const core::QueryLoadStats& stats) {
+  writer->WriteU64(stats.in_flight);
+  writer->WriteU64(stats.waiting);
+  writer->WriteU64(stats.admitted);
+  writer->WriteU64(stats.shed);
+  writer->WriteU64(stats.timed_out);
+  writer->WriteU64(stats.fast_omd_routed);
+  writer->WriteI64(stats.timeout_overshoot_ms_total);
+  writer->WriteU64(stats.max_in_flight);
+  writer->WriteU64(stats.max_queue);
+}
+
+StatusOr<core::QueryLoadStats> DecodeQueryLoadStats(
+    io::BinaryReader* reader) {
+  core::QueryLoadStats stats;
+  VZ_ASSIGN_OR_RETURN(uint64_t in_flight, reader->ReadU64());
+  stats.in_flight = static_cast<size_t>(in_flight);
+  VZ_ASSIGN_OR_RETURN(uint64_t waiting, reader->ReadU64());
+  stats.waiting = static_cast<size_t>(waiting);
+  VZ_ASSIGN_OR_RETURN(stats.admitted, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.shed, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.timed_out, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.fast_omd_routed, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.timeout_overshoot_ms_total, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(uint64_t max_in_flight, reader->ReadU64());
+  stats.max_in_flight = static_cast<size_t>(max_in_flight);
+  VZ_ASSIGN_OR_RETURN(uint64_t max_queue, reader->ReadU64());
+  stats.max_queue = static_cast<size_t>(max_queue);
+  return stats;
+}
+
+void EncodeMonitorStats(io::BinaryWriter* writer,
+                        const MonitorStatsReply& stats) {
+  writer->WriteU64(stats.ingest.frames_offered);
+  writer->WriteU64(stats.ingest.keyframes_selected);
+  writer->WriteU64(stats.ingest.features_extracted);
+  writer->WriteU64(stats.ingest.svs_created);
+  writer->WriteU64(stats.ingest.raw_feature_bytes);
+  writer->WriteU64(stats.ingest.frames_rejected);
+  writer->WriteU64(stats.ingest.out_of_order_dropped);
+  writer->WriteU64(stats.ingest.duplicates_dropped);
+  writer->WriteU64(stats.ingest.objects_quarantined);
+  writer->WriteU64(stats.cache.hits);
+  writer->WriteU64(stats.cache.misses);
+  writer->WriteU64(stats.cache.insertions);
+  writer->WriteU64(stats.cache.invalidations);
+  writer->WriteU64(stats.cache.rejected_inserts);
+  writer->WriteU64(stats.cache.entries);
+  writer->WriteU64(stats.cache.capacity);
+  writer->WriteU64(stats.svs_count);
+  writer->WriteU64(stats.camera_count);
+  writer->WriteI64(stats.now_ms);
+}
+
+StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
+  MonitorStatsReply stats;
+  VZ_ASSIGN_OR_RETURN(stats.ingest.frames_offered, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.ingest.keyframes_selected, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.ingest.features_extracted, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.ingest.svs_created, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint64_t raw_feature_bytes, reader->ReadU64());
+  stats.ingest.raw_feature_bytes = static_cast<size_t>(raw_feature_bytes);
+  VZ_ASSIGN_OR_RETURN(stats.ingest.frames_rejected, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.ingest.out_of_order_dropped, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.ingest.duplicates_dropped, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.ingest.objects_quarantined, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.cache.hits, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.cache.misses, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.cache.insertions, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.cache.invalidations, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.cache.rejected_inserts, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint64_t entries, reader->ReadU64());
+  stats.cache.entries = static_cast<size_t>(entries);
+  VZ_ASSIGN_OR_RETURN(uint64_t capacity, reader->ReadU64());
+  stats.cache.capacity = static_cast<size_t>(capacity);
+  VZ_ASSIGN_OR_RETURN(stats.svs_count, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.camera_count, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.now_ms, reader->ReadI64());
+  return stats;
+}
+
+void EncodeCameraHealthReport(io::BinaryWriter* writer,
+                              const std::vector<CameraHealthEntry>& report) {
+  writer->WriteU64(report.size());
+  for (const CameraHealthEntry& entry : report) {
+    writer->WriteString(entry.camera);
+    writer->WriteU8(static_cast<uint8_t>(entry.health));
+  }
+}
+
+StatusOr<std::vector<CameraHealthEntry>> DecodeCameraHealthReport(
+    io::BinaryReader* reader) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, count, sizeof(uint64_t) + 1));
+  std::vector<CameraHealthEntry> report;
+  report.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CameraHealthEntry entry;
+    VZ_ASSIGN_OR_RETURN(entry.camera, reader->ReadString());
+    VZ_ASSIGN_OR_RETURN(uint8_t health, reader->ReadU8());
+    if (health > static_cast<uint8_t>(core::CameraHealth::kStalled)) {
+      return Status::InvalidArgument("invalid camera health value");
+    }
+    entry.health = static_cast<core::CameraHealth>(health);
+    report.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace vz::net

@@ -1,0 +1,183 @@
+#ifndef VZ_NET_WIRE_H_
+#define VZ_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/frame.h"
+#include "core/query.h"
+#include "core/svs.h"
+#include "core/videozilla.h"
+#include "io/binary_format.h"
+#include "vector/feature_map.h"
+#include "vector/feature_vector.h"
+
+namespace vz::net {
+
+/// Wire protocol of the Video-zilla serving layer (see DESIGN.md, "Network
+/// service"). Every message travels as one length-prefixed, CRC32-framed
+/// frame:
+///
+///   u32 magic ("VZRP") | u32 type | u64+bytes payload (length-prefixed) |
+///   u32 crc
+///
+/// The CRC covers type, payload length and payload bytes, so a bit flip
+/// anywhere in a frame (including in the framing fields themselves) is
+/// detected. Payloads are encoded with `io::BinaryWriter` — the same
+/// little-endian primitives as the snapshot format — and decoded by
+/// overflow-safe `io::BinaryReader` accessors, so a corrupted length can
+/// never turn into a wild read or a giant allocation.
+///
+/// Decode failure taxonomy (relied on by the frame fuzzer):
+///   kDataLoss        — the bytes are torn or corrupted (truncated frame,
+///                      CRC mismatch, connection closed mid-frame)
+///   kInvalidArgument — the bytes are whole but not a frame we understand
+///                      (bad magic, unknown type, oversized length,
+///                      malformed payload)
+/// Neither case may crash, hang, or desync subsequent frames sharing the
+/// buffer: a successful decode always consumes exactly one frame.
+
+inline constexpr uint32_t kWireMagic = 0x565A5250;  // "VZRP"
+
+/// Protocol version, negotiated by the Hello exchange: the client announces
+/// its version, the server accepts only an exact match (one version exists
+/// so far) and always reports its own version in the HelloAck so mismatched
+/// clients can print a useful error.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload; a length field beyond this is rejected
+/// before any allocation (it is either corruption the CRC would also catch
+/// or a hostile peer).
+inline constexpr uint64_t kMaxPayloadBytes = 64ull << 20;
+
+/// Request message types. A response reuses its request's type value with
+/// `kResponseFlag` set. Values are wire-stable: append, never renumber.
+enum class MsgType : uint32_t {
+  kHello = 1,
+  kCameraStart = 2,
+  kCameraTerminate = 3,
+  kIngestFrame = 4,
+  kFlush = 5,
+  kDirectQuery = 6,
+  kClusteringQueryById = 7,
+  kClusteringQueryByMap = 8,
+  kGetMetaData = 9,
+  kMonitorStats = 10,
+  kCameraHealth = 11,
+  kQueryLoadStats = 12,
+  kSnapshotSave = 13,
+  kSnapshotLoad = 14,
+};
+
+inline constexpr uint32_t kResponseFlag = 0x80000000u;
+
+/// True when `type` (with or without the response flag) names a known
+/// message type.
+bool IsKnownMessageType(uint32_t type);
+
+/// Stable numeric mapping of `StatusCode` for the wire. The in-memory enum
+/// is free to reorder; these values are part of the protocol and must not
+/// change. Unknown incoming values map to `kInternal`.
+uint32_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint32_t wire);
+
+/// Status as carried in every response payload: the code (wire-mapped), the
+/// message, and — for `kResourceExhausted` sheds — the server's retry-after
+/// hint, which clients feed into their capped exponential backoff.
+struct WireStatus {
+  Status status;
+  int64_t retry_after_ms = 0;
+};
+
+void EncodeWireStatus(io::BinaryWriter* writer, const WireStatus& status);
+StatusOr<WireStatus> DecodeWireStatus(io::BinaryReader* reader);
+
+/// One decoded frame.
+struct WireFrame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+/// Encodes one frame (header, length-prefixed payload, CRC).
+std::string EncodeFrame(uint32_t type, const std::string& payload);
+
+/// Decodes exactly one frame from `reader` (which may hold a whole stream of
+/// concatenated frames). See the failure taxonomy above.
+StatusOr<WireFrame> DecodeFrame(io::BinaryReader* reader);
+
+/// Socket-level frame I/O (blocking). `ReadFrame` returns `kNotFound` when
+/// the peer closed cleanly between frames and `kDataLoss` when it closed
+/// mid-frame.
+Status WriteFrame(int fd, uint32_t type, const std::string& payload);
+StatusOr<WireFrame> ReadFrame(int fd);
+
+// --- Payload codecs. Every request/response body used by the RPCs. ---
+
+void EncodeFeatureVector(io::BinaryWriter* writer, const FeatureVector& v);
+StatusOr<FeatureVector> DecodeFeatureVector(io::BinaryReader* reader);
+
+void EncodeFeatureMap(io::BinaryWriter* writer, const FeatureMap& map);
+StatusOr<FeatureMap> DecodeFeatureMap(io::BinaryReader* reader);
+
+void EncodeFrameObservation(io::BinaryWriter* writer,
+                            const core::FrameObservation& frame);
+StatusOr<core::FrameObservation> DecodeFrameObservation(
+    io::BinaryReader* reader);
+
+/// Camera/time/deadline qualifiers travel on the wire; the external
+/// `cancel` token does not (a remote caller cancels by deadline or by
+/// dropping the connection).
+void EncodeQueryConstraints(io::BinaryWriter* writer,
+                            const core::QueryConstraints& constraints);
+StatusOr<core::QueryConstraints> DecodeQueryConstraints(
+    io::BinaryReader* reader);
+
+void EncodeDirectQueryResult(io::BinaryWriter* writer,
+                             const core::DirectQueryResult& result);
+StatusOr<core::DirectQueryResult> DecodeDirectQueryResult(
+    io::BinaryReader* reader);
+
+void EncodeClusteringQueryResult(io::BinaryWriter* writer,
+                                 const core::ClusteringQueryResult& result);
+StatusOr<core::ClusteringQueryResult> DecodeClusteringQueryResult(
+    io::BinaryReader* reader);
+
+void EncodeSvsMetadata(io::BinaryWriter* writer,
+                       const core::SvsMetadata& meta);
+StatusOr<core::SvsMetadata> DecodeSvsMetadata(io::BinaryReader* reader);
+
+void EncodeQueryLoadStats(io::BinaryWriter* writer,
+                          const core::QueryLoadStats& stats);
+StatusOr<core::QueryLoadStats> DecodeQueryLoadStats(io::BinaryReader* reader);
+
+/// Body of the Monitor RPC: the system-wide gauges an operator dashboard
+/// polls (ingestion counters, OMD cache effectiveness, corpus size).
+struct MonitorStatsReply {
+  core::IngestStats ingest;
+  core::OmdCacheStats cache;
+  uint64_t svs_count = 0;
+  uint64_t camera_count = 0;
+  int64_t now_ms = 0;
+};
+
+void EncodeMonitorStats(io::BinaryWriter* writer,
+                        const MonitorStatsReply& stats);
+StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader);
+
+/// Body of the CameraHealth RPC.
+struct CameraHealthEntry {
+  core::CameraId camera;
+  core::CameraHealth health = core::CameraHealth::kHealthy;
+};
+
+void EncodeCameraHealthReport(io::BinaryWriter* writer,
+                              const std::vector<CameraHealthEntry>& report);
+StatusOr<std::vector<CameraHealthEntry>> DecodeCameraHealthReport(
+    io::BinaryReader* reader);
+
+}  // namespace vz::net
+
+#endif  // VZ_NET_WIRE_H_

@@ -222,31 +222,56 @@ Status WriteWholeFile(const std::string& path, const std::string& data) {
 
 }  // namespace
 
+Status FaultInjector::Truncate(std::string* data, size_t keep_bytes) {
+  if (keep_bytes > data->size()) {
+    return Status::InvalidArgument(
+        "buffer has only " + std::to_string(data->size()) +
+        " bytes, cannot keep " + std::to_string(keep_bytes));
+  }
+  data->resize(keep_bytes);
+  return Status::OK();
+}
+
+Status FaultInjector::FlipBits(std::string* data, size_t num_flips,
+                               uint64_t seed) {
+  if (data->empty()) {
+    return Status::InvalidArgument("cannot flip bits in an empty buffer");
+  }
+  Rng rng(seed);
+  // Distinct bit positions: with replacement, an even number of hits on the
+  // same bit cancels out and "corrupts" the buffer into itself — which would
+  // make corruption tests silently vacuous.
+  const size_t total_bits = data->size() * 8;
+  std::vector<size_t> flipped;
+  for (size_t i = 0; i < num_flips && flipped.size() < total_bits; ++i) {
+    size_t position;
+    do {
+      position = static_cast<size_t>(
+          rng.UniformUint64(static_cast<uint64_t>(total_bits)));
+    } while (std::find(flipped.begin(), flipped.end(), position) !=
+             flipped.end());
+    flipped.push_back(position);
+    (*data)[position / 8] = static_cast<char>(
+        static_cast<unsigned char>((*data)[position / 8]) ^
+        (1u << (position % 8)));
+  }
+  return Status::OK();
+}
+
 Status FaultInjector::TruncateFile(const std::string& path,
                                    size_t keep_bytes) {
   VZ_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
-  if (keep_bytes > data.size()) {
-    return Status::InvalidArgument(
-        "file " + path + " has only " + std::to_string(data.size()) +
-        " bytes, cannot keep " + std::to_string(keep_bytes));
+  if (Status s = Truncate(&data, keep_bytes); !s.ok()) {
+    return Status(s.code(), "file " + path + ": " + s.message());
   }
-  data.resize(keep_bytes);
   return WriteWholeFile(path, data);
 }
 
 Status FaultInjector::FlipBits(const std::string& path, size_t num_flips,
                                uint64_t seed) {
   VZ_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
-  if (data.empty()) {
-    return Status::InvalidArgument("cannot flip bits in empty file " + path);
-  }
-  Rng rng(seed);
-  for (size_t i = 0; i < num_flips; ++i) {
-    const size_t byte =
-        static_cast<size_t>(rng.UniformUint64(static_cast<uint64_t>(data.size())));
-    const int bit = static_cast<int>(rng.UniformUint64(8));
-    data[byte] = static_cast<char>(static_cast<unsigned char>(data[byte]) ^
-                                   (1u << bit));
+  if (Status s = FlipBits(&data, num_flips, seed); !s.ok()) {
+    return Status(s.code(), "file " + path + ": " + s.message());
   }
   return WriteWholeFile(path, data);
 }

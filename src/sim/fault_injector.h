@@ -115,6 +115,18 @@ class FaultInjector {
 
   const Ledger& ledger() const { return ledger_; }
 
+  /// Truncates an in-memory buffer to its first `keep_bytes` bytes — a torn
+  /// write or a connection cut mid-message. Fails if the buffer is shorter
+  /// than `keep_bytes`. The in-memory form exists so the network wire-frame
+  /// fuzzer can corrupt encoded frames without a filesystem round trip.
+  static Status Truncate(std::string* data, size_t keep_bytes);
+
+  /// Flips `num_flips` deterministically chosen distinct bits of an
+  /// in-memory buffer (capped at the buffer's bit count) — silent
+  /// corruption in transit or at rest that can never cancel itself out.
+  /// Fails on an empty buffer.
+  static Status FlipBits(std::string* data, size_t num_flips, uint64_t seed);
+
   /// Overwrites `path` with its own first `keep_bytes` bytes — a torn write
   /// (power loss mid-snapshot). Fails if the file is shorter than
   /// `keep_bytes`.

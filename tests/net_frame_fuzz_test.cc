@@ -1,0 +1,246 @@
+// Fuzzes the wire-frame decoder with the deterministic fault injector:
+// truncated frames at every prefix length, seeded bit flips, and
+// valid-CRC-but-garbage payloads against every payload codec. The contract
+// under test is the decode failure taxonomy in net/wire.h — corruption
+// yields kDataLoss, well-formed-but-alien bytes yield kInvalidArgument, and
+// nothing ever crashes, hangs, or allocates from a hostile length field.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/binary_format.h"
+#include "net/wire.h"
+#include "sim/fault_injector.h"
+
+namespace vz::net {
+namespace {
+
+using sim::FaultInjector;
+
+bool IsFuzzStatus(const Status& status) {
+  return status.code() == StatusCode::kDataLoss ||
+         status.code() == StatusCode::kInvalidArgument;
+}
+
+// A representative request frame with a structured payload.
+std::string SampleFrame() {
+  io::BinaryWriter payload;
+  EncodeFeatureVector(&payload, FeatureVector({1.5f, -2.0f, 3.25f, 0.0f}));
+  core::QueryConstraints constraints;
+  constraints.deadline_ms = 250;
+  constraints.cameras = std::vector<core::CameraId>{"cam-a", "cam-b"};
+  EncodeQueryConstraints(&payload, constraints);
+  return EncodeFrame(static_cast<uint32_t>(MsgType::kDirectQuery),
+                     payload.buffer());
+}
+
+TEST(FrameFuzzTest, IntactFrameRoundTrips) {
+  const std::string bytes = SampleFrame();
+  io::BinaryReader reader(bytes);
+  auto frame = DecodeFrame(&reader);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, static_cast<uint32_t>(MsgType::kDirectQuery));
+  EXPECT_EQ(reader.remaining(), 0u);  // exactly one frame consumed
+}
+
+// Truncation at every prefix length: always a clean kDataLoss (the bytes are
+// torn), never a crash or a success.
+TEST(FrameFuzzTest, EveryTruncationIsDataLoss) {
+  const std::string bytes = SampleFrame();
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::string torn = bytes;
+    ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+    io::BinaryReader reader(torn);
+    auto frame = DecodeFrame(&reader);
+    ASSERT_FALSE(frame.ok()) << "prefix of " << keep << " bytes decoded";
+    EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss)
+        << "prefix " << keep << ": " << frame.status().ToString();
+  }
+}
+
+// Seeded bit flips anywhere in the frame — framing fields included — must
+// be detected. Up to 3 flips on a frame this small is within CRC32's
+// guaranteed detection distance, so a quiet success would be a codec bug,
+// not fuzzer bad luck.
+TEST(FrameFuzzTest, BitFlipsNeverDecodeQuietly) {
+  const std::string bytes = SampleFrame();
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    for (size_t flips = 1; flips <= 3; ++flips) {
+      std::string corrupt = bytes;
+      ASSERT_TRUE(FaultInjector::FlipBits(&corrupt, flips, seed).ok());
+      io::BinaryReader reader(corrupt);
+      auto frame = DecodeFrame(&reader);
+      ASSERT_FALSE(frame.ok())
+          << "seed " << seed << ", " << flips << " flips decoded quietly";
+      EXPECT_TRUE(IsFuzzStatus(frame.status()))
+          << frame.status().ToString();
+    }
+  }
+}
+
+// Heavier corruption: flip bursts plus truncation combined. Here a CRC
+// collision is theoretically possible but astronomically unlikely; the
+// invariant asserted is only "returns a status, never crashes or hangs".
+TEST(FrameFuzzTest, HeavyCorruptionNeverCrashes) {
+  const std::string bytes = SampleFrame();
+  Rng rng(99);
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    std::string corrupt = bytes;
+    ASSERT_TRUE(
+        FaultInjector::FlipBits(&corrupt, 1 + seed % 64, seed).ok());
+    if (rng.Bernoulli(0.5)) {
+      const size_t keep = rng.UniformUint64(corrupt.size() + 1);
+      ASSERT_TRUE(FaultInjector::Truncate(&corrupt, keep).ok());
+    }
+    io::BinaryReader reader(corrupt);
+    auto frame = DecodeFrame(&reader);
+    if (!frame.ok()) EXPECT_TRUE(IsFuzzStatus(frame.status()));
+  }
+}
+
+// A frame whose length field claims more than kMaxPayloadBytes must be
+// rejected before any allocation happens.
+TEST(FrameFuzzTest, HostileLengthRejectedWithoutAllocation) {
+  io::BinaryWriter writer;
+  writer.WriteU32(kWireMagic);
+  writer.WriteU32(static_cast<uint32_t>(MsgType::kFlush));
+  writer.WriteU64(kMaxPayloadBytes + 1);
+  writer.WriteU32(0xDEADBEEF);  // placeholder crc; length check comes first
+  io::BinaryReader reader(writer.buffer());
+  auto frame = DecodeFrame(&reader);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameFuzzTest, BadMagicAndUnknownTypeAreInvalidArgument) {
+  {
+    std::string bytes = SampleFrame();
+    bytes[0] ^= 0xFF;  // magic is the first little-endian u32
+    io::BinaryReader reader(bytes);
+    EXPECT_EQ(DecodeFrame(&reader).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // Unknown-but-whole frame: correctly framed, CRC valid, alien type.
+    const std::string bytes = EncodeFrame(4242, "payload");
+    io::BinaryReader reader(bytes);
+    EXPECT_EQ(DecodeFrame(&reader).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+// Frames whose framing is valid (good CRC) but whose payload is random
+// garbage: every payload codec must return a status, not crash — the
+// overflow-safe reader makes giant counts fail before allocation.
+TEST(FrameFuzzTest, RandomPayloadsAgainstEveryCodec) {
+  Rng rng(2026);
+  for (int round = 0; round < 200; ++round) {
+    const size_t size = rng.UniformUint64(96);
+    std::string payload(size, '\0');
+    for (char& c : payload) {
+      c = static_cast<char>(rng.UniformUint64(256));
+    }
+    auto with_reader = [&payload](auto&& decode) {
+      io::BinaryReader reader(payload);
+      auto result = decode(&reader);
+      (void)result;  // only invariant: returns, no crash/hang
+    };
+    with_reader([](io::BinaryReader* r) { return DecodeWireStatus(r); });
+    with_reader([](io::BinaryReader* r) { return DecodeFeatureVector(r); });
+    with_reader([](io::BinaryReader* r) { return DecodeFeatureMap(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeFrameObservation(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeQueryConstraints(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeDirectQueryResult(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeClusteringQueryResult(r); });
+    with_reader([](io::BinaryReader* r) { return DecodeSvsMetadata(r); });
+    with_reader([](io::BinaryReader* r) { return DecodeQueryLoadStats(r); });
+    with_reader([](io::BinaryReader* r) { return DecodeMonitorStats(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeCameraHealthReport(r); });
+  }
+}
+
+// Corruption in one frame of a concatenated stream must not desync the
+// frames before it: each successful decode consumes exactly one frame.
+TEST(FrameFuzzTest, StreamStaysFramedUpToTheCorruption) {
+  const std::string good = SampleFrame();
+  std::string second = SampleFrame();
+  ASSERT_TRUE(FaultInjector::FlipBits(&second, 2, 7).ok());
+  const std::string stream = good + second + good;
+  io::BinaryReader reader(stream);
+  ASSERT_TRUE(DecodeFrame(&reader).ok());
+  EXPECT_EQ(reader.position(), good.size());
+  auto corrupt = DecodeFrame(&reader);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_TRUE(IsFuzzStatus(corrupt.status()));
+}
+
+// --- The length-prefixed-bytes primitives the frame codec is built on. ---
+
+TEST(LengthPrefixedBytesTest, RoundTripsIncludingEmptyAndBinary) {
+  io::BinaryWriter writer;
+  writer.WriteLengthPrefixedBytes("");
+  writer.WriteLengthPrefixedBytes(std::string("\x00\xFFmid\x00", 6));
+  io::BinaryReader reader(writer.buffer());
+  auto empty = reader.ReadLengthPrefixedBytes();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  auto binary = reader.ReadLengthPrefixedBytes();
+  ASSERT_TRUE(binary.ok());
+  EXPECT_EQ(*binary, std::string("\x00\xFFmid\x00", 6));
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(LengthPrefixedBytesTest, HostileAndTruncatedPrefixesFailSafely) {
+  {
+    // Length claims far more than the buffer holds (would overflow naive
+    // `position + length` arithmetic).
+    io::BinaryWriter writer;
+    writer.WriteU64(~0ull);
+    io::BinaryReader reader(writer.buffer());
+    EXPECT_FALSE(reader.ReadLengthPrefixedBytes().ok());
+  }
+  io::BinaryWriter writer;
+  writer.WriteLengthPrefixedBytes("0123456789");
+  const std::string bytes = writer.buffer();
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::string torn = bytes;
+    ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+    io::BinaryReader reader(torn);
+    EXPECT_FALSE(reader.ReadLengthPrefixedBytes().ok()) << keep;
+  }
+}
+
+// --- The in-memory fault helpers themselves. ---
+
+TEST(BufferFaultTest, HelpersValidateInput) {
+  std::string data = "0123456789";
+  EXPECT_FALSE(FaultInjector::Truncate(&data, 11).ok());
+  ASSERT_TRUE(FaultInjector::Truncate(&data, 4).ok());
+  EXPECT_EQ(data, "0123");
+  ASSERT_TRUE(FaultInjector::FlipBits(&data, 2, 5).ok());
+  EXPECT_NE(data, "0123");
+  ASSERT_TRUE(FaultInjector::Truncate(&data, 0).ok());
+  EXPECT_FALSE(FaultInjector::FlipBits(&data, 1, 5).ok());  // now empty
+}
+
+TEST(BufferFaultTest, FlipsAreSeedDeterministic) {
+  std::string a = "the quick brown fox";
+  std::string b = a;
+  std::string c = a;
+  ASSERT_TRUE(FaultInjector::FlipBits(&a, 4, 17).ok());
+  ASSERT_TRUE(FaultInjector::FlipBits(&b, 4, 17).ok());
+  ASSERT_TRUE(FaultInjector::FlipBits(&c, 4, 18).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace vz::net

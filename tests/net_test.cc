@@ -1,0 +1,606 @@
+// Loopback tests of the networked serving layer: a real TCP server and
+// clients on 127.0.0.1. The headline contract is transparency — a remote
+// ingest-then-query round trip must be bit-identical to the same operations
+// in process — plus the serving-specific behaviours: concurrent clients,
+// deadline expiry over the wire, connection- and admission-level shedding
+// with client backoff, protocol-version negotiation, and graceful-shutdown
+// draining of in-flight requests.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/socket.h"
+#include "core/videozilla.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "sim/dataset.h"
+#include "sim/verifier.h"
+
+namespace vz::net {
+namespace {
+
+using core::VideoZilla;
+using core::VideoZillaOptions;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+sim::DeploymentOptions SmallDeployment() {
+  sim::DeploymentOptions options;
+  options.cities = 1;
+  options.downtown_per_city = 1;
+  options.highway_cameras = 1;
+  options.train_stations = 1;
+  options.harbors = 1;
+  options.feed_duration_ms = 90'000;
+  options.fps = 1.0;
+  options.feature_dim = 32;
+  options.seed = 29;
+  return options;
+}
+
+VideoZillaOptions SmallSystemOptions() {
+  VideoZillaOptions options;
+  options.segmenter.t_max_ms = 20'000;
+  options.enable_keyframe_selection = false;
+  options.ingest.expected_feature_dim = 32;
+  return options;
+}
+
+// A rig owning one system; either ingested in process or served over TCP.
+struct Rig {
+  std::unique_ptr<sim::Deployment> deployment;
+  std::unique_ptr<VideoZilla> system;
+  std::unique_ptr<sim::HeavyModel> heavy;
+  std::unique_ptr<sim::SimObjectVerifier> verifier;
+
+  explicit Rig(const VideoZillaOptions& options = SmallSystemOptions()) {
+    deployment = std::make_unique<sim::Deployment>(SmallDeployment());
+    (void)deployment->observations();
+    system = std::make_unique<VideoZilla>(options);
+    heavy = std::make_unique<sim::HeavyModel>();
+    verifier = std::make_unique<sim::SimObjectVerifier>(
+        &deployment->space(), &deployment->log(), heavy.get());
+    system->SetVerifier(verifier.get());
+  }
+};
+
+// Streams the rig's deployment into a server through `client` — the same
+// camera-start / per-frame / flush sequence Deployment::IngestAll runs
+// in process.
+void IngestOverWire(Rig* rig, Client* client) {
+  for (const auto& info : rig->deployment->cameras()) {
+    ASSERT_TRUE(client->CameraStart(info.camera).ok());
+  }
+  for (const auto& observation : rig->deployment->observations()) {
+    ASSERT_TRUE(client->IngestFrame(observation).ok());
+  }
+  ASSERT_TRUE(client->Flush().ok());
+}
+
+// A verifier that blocks its first Verify call until released; later calls
+// pass straight through. Lets tests pin a query mid-flight
+// deterministically.
+class LatchedVerifier : public core::ObjectVerifier {
+ public:
+  explicit LatchedVerifier(core::ObjectVerifier* inner) : inner_(inner) {}
+
+  Verification Verify(const core::Svs& svs,
+                      const FeatureVector& query_feature) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_seen_) {
+        first_seen_ = true;
+        entered_ = true;
+        entered_cv_.notify_all();
+        release_cv_.wait(lock, [this] { return released_; });
+      }
+    }
+    return inner_->Verify(svs, query_feature);
+  }
+
+  void WaitEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  core::ObjectVerifier* inner_;
+  std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  bool first_seen_ = false;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(NetTest, RemoteRoundTripBitIdenticalToInProcess) {
+  // Two identical worlds: one queried in process, one ingested and queried
+  // over TCP. Every result field must match exactly.
+  Rig local;
+  ASSERT_TRUE(local.deployment->IngestAll(local.system.get()).ok());
+
+  Rig remote;
+  ServerOptions server_options;
+  server_options.idle_poll_ms = 5;
+  Server server(remote.system.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client_or = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  Client client = std::move(*client_or);
+  EXPECT_EQ(client.server_protocol_version(), kProtocolVersion);
+  IngestOverWire(&remote, &client);
+
+  // Ingestion state converged identically.
+  auto monitor = client.MonitorStats();
+  ASSERT_TRUE(monitor.ok());
+  const core::IngestStats& local_stats = local.system->ingest_stats();
+  EXPECT_EQ(monitor->ingest.frames_offered, local_stats.frames_offered);
+  EXPECT_EQ(monitor->ingest.features_extracted,
+            local_stats.features_extracted);
+  EXPECT_EQ(monitor->ingest.svs_created, local_stats.svs_created);
+  EXPECT_EQ(monitor->svs_count, local.system->svs_store().size());
+  EXPECT_EQ(monitor->camera_count, local.system->cameras().size());
+
+  // Direct queries agree bit for bit across several object classes.
+  Rng local_rng(1);
+  Rng remote_rng(1);
+  for (int object_class = 0; object_class < 4; ++object_class) {
+    const FeatureVector local_query =
+        local.deployment->MakeQueryFeature(object_class, &local_rng);
+    const FeatureVector remote_query =
+        remote.deployment->MakeQueryFeature(object_class, &remote_rng);
+    auto in_process = local.system->DirectQuery(local_query);
+    ASSERT_TRUE(in_process.ok());
+    auto over_wire = client.DirectQuery(remote_query);
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    EXPECT_EQ(over_wire->candidate_svss, in_process->candidate_svss);
+    EXPECT_EQ(over_wire->matched_svss, in_process->matched_svss);
+    EXPECT_EQ(over_wire->total_gpu_ms, in_process->total_gpu_ms);
+    EXPECT_EQ(over_wire->bottleneck_camera_gpu_ms,
+              in_process->bottleneck_camera_gpu_ms);
+    EXPECT_EQ(over_wire->per_camera_gpu_ms, in_process->per_camera_gpu_ms);
+    EXPECT_EQ(over_wire->frames_processed, in_process->frames_processed);
+    EXPECT_EQ(over_wire->cameras_searched, in_process->cameras_searched);
+    EXPECT_EQ(over_wire->degraded, in_process->degraded);
+    EXPECT_EQ(over_wire->timed_out, in_process->timed_out);
+    EXPECT_EQ(over_wire->completed_fraction, in_process->completed_fraction);
+  }
+
+  // Clustering query by id and by map agree too.
+  const auto ids = local.system->svs_store().AllIds();
+  ASSERT_FALSE(ids.empty());
+  auto in_process = local.system->ClusteringQuery(ids[0]);
+  ASSERT_TRUE(in_process.ok());
+  auto over_wire = client.ClusteringQuery(ids[0]);
+  ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+  EXPECT_EQ(over_wire->similar_svss, in_process->similar_svss);
+  EXPECT_EQ(over_wire->cameras_contributing,
+            in_process->cameras_contributing);
+  EXPECT_EQ(over_wire->fast_omd_routed, in_process->fast_omd_routed);
+  {
+    auto svs = local.system->svs_store().Get(ids[0]);
+    ASSERT_TRUE(svs.ok());
+    auto by_map_local = local.system->ClusteringQuery((*svs)->features());
+    ASSERT_TRUE(by_map_local.ok());
+    auto by_map_wire = client.ClusteringQuery((*svs)->features());
+    ASSERT_TRUE(by_map_wire.ok());
+    EXPECT_EQ(by_map_wire->similar_svss, by_map_local->similar_svss);
+  }
+
+  // Metadata agrees for every SVS.
+  for (core::SvsId id : ids) {
+    auto local_meta = local.system->GetMetaData(id);
+    ASSERT_TRUE(local_meta.ok());
+    auto wire_meta = client.GetMetaData(id);
+    ASSERT_TRUE(wire_meta.ok());
+    EXPECT_EQ(wire_meta->camera, local_meta->camera);
+    EXPECT_EQ(wire_meta->start_ms, local_meta->start_ms);
+    EXPECT_EQ(wire_meta->end_ms, local_meta->end_ms);
+    EXPECT_EQ(wire_meta->num_frames, local_meta->num_frames);
+  }
+  auto missing = client.GetMetaData(999'999);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Camera health agrees.
+  auto health = client.CameraHealthReport();
+  ASSERT_TRUE(health.ok());
+  const auto local_health = local.system->CameraHealthReport();
+  ASSERT_EQ(health->size(), local_health.size());
+  for (size_t i = 0; i < health->size(); ++i) {
+    EXPECT_EQ((*health)[i].camera, local_health[i].first);
+    EXPECT_EQ((*health)[i].health, local_health[i].second);
+  }
+
+  client.Close();
+  server.Shutdown();
+}
+
+TEST(NetTest, ConcurrentClientsGetConsistentAnswers) {
+  Rig rig;
+  ASSERT_TRUE(rig.deployment->IngestAll(rig.system.get()).ok());
+  ServerOptions server_options;
+  server_options.max_connections = 4;
+  server_options.idle_poll_ms = 5;
+  Server server(rig.system.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Rng rng(2);
+  const FeatureVector query = rig.deployment->MakeQueryFeature(0, &rng);
+  auto expected = rig.system->DirectQuery(query);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRoundsPerClient = 5;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures[c] = 1;
+        return;
+      }
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        auto result = client->DirectQuery(query);
+        if (!result.ok() ||
+            result->matched_svss != expected->matched_svss ||
+            result->total_gpu_ms != expected->total_gpu_ms) {
+          failures[c] = 2;
+          return;
+        }
+        if (!client->MonitorStats().ok() ||
+            !client->QueryLoadStats().ok()) {
+          failures[c] = 3;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures, std::vector<int>(kClients, 0));
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_GE(stats.requests_served,
+            static_cast<uint64_t>(kClients * kRoundsPerClient));
+  server.Shutdown();
+}
+
+TEST(NetTest, ExpiredDeadlineYieldsTimedOutPartialOverWire) {
+  Rig rig;
+  ASSERT_TRUE(rig.deployment->IngestAll(rig.system.get()).ok());
+  Server server(rig.system.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A zero budget is already expired on entry: the wire must carry the
+  // deadline out and the timed-out partial result back — never an error.
+  Rng rng(3);
+  core::QueryConstraints constraints;
+  constraints.deadline_ms = 0;
+  auto direct =
+      client->DirectQuery(rig.deployment->MakeQueryFeature(0, &rng),
+                          constraints);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_TRUE(direct->timed_out);
+  EXPECT_EQ(direct->completed_fraction, 0.0);
+  EXPECT_TRUE(direct->matched_svss.empty());
+
+  const auto ids = rig.system->svs_store().AllIds();
+  ASSERT_FALSE(ids.empty());
+  auto clustering = client->ClusteringQuery(ids[0], constraints);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_TRUE(clustering->timed_out);
+
+  // The server-side load counters saw both timeouts; readable over the wire.
+  auto load = client->QueryLoadStats();
+  ASSERT_TRUE(load.ok());
+  EXPECT_GE(load->timed_out, 2u);
+  server.Shutdown();
+}
+
+TEST(NetTest, AdmissionShedTravelsAsResourceExhaustedWithRetryAfter) {
+  VideoZillaOptions options = SmallSystemOptions();
+  options.admission.max_in_flight = 1;
+  options.admission.max_queue = 0;
+  options.admission.retry_after_hint_ms = 37;
+  Rig rig(options);
+  ASSERT_TRUE(rig.deployment->IngestAll(rig.system.get()).ok());
+  LatchedVerifier latched(rig.verifier.get());
+  rig.system->SetVerifier(&latched);
+
+  ServerOptions server_options;
+  server_options.max_connections = 4;
+  server_options.idle_poll_ms = 5;
+  Server server(rig.system.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A probe drawn from the store guarantees a non-empty candidate set, so
+  // the query is certain to enter the (latched) verifier.
+  const auto ids = rig.system->svs_store().AllIds();
+  ASSERT_FALSE(ids.empty());
+  auto probe_svs = rig.system->svs_store().Get(ids[0]);
+  ASSERT_TRUE(probe_svs.ok());
+  const FeatureVector query = (*probe_svs)->features().vector(0);
+
+  // Client A parks a query inside the verifier, holding the only admission
+  // slot.
+  std::thread holder([&] {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto result = client->DirectQuery(query);
+    EXPECT_TRUE(result.ok());
+  });
+  latched.WaitEntered();
+
+  // Client B without retries is shed immediately with the admission status.
+  {
+    ClientOptions no_retry;
+    no_retry.max_shed_retries = 0;
+    auto client = Client::Connect("127.0.0.1", server.port(), no_retry);
+    ASSERT_TRUE(client.ok());
+    auto shed = client->DirectQuery(query);
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  }
+
+  // Client C retries with backoff seeded by the server's 37 ms hint; once A
+  // is released its retry succeeds.
+  std::thread retrier([&] {
+    ClientOptions retry;
+    retry.max_shed_retries = 50;
+    retry.backoff_cap_ms = 50;
+    auto client = Client::Connect("127.0.0.1", server.port(), retry);
+    ASSERT_TRUE(client.ok());
+    auto result = client->DirectQuery(query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(client->call_stats().shed_retries, 1u);
+    // The first backoff already honors the wire hint.
+    EXPECT_GE(client->call_stats().backoff_ms_total, 37);
+  });
+  // Hold the latch until C has been shed at least twice (A's shed plus one
+  // of C's), then let A finish.
+  while (rig.system->query_load_stats().shed < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  latched.Release();
+  holder.join();
+  retrier.join();
+  EXPECT_GE(rig.system->query_load_stats().shed, 2u);
+  server.Shutdown();
+}
+
+TEST(NetTest, ConnectionShedIsRetryableAndHonorsRetryAfter) {
+  Rig rig;
+  ASSERT_TRUE(rig.deployment->IngestAll(rig.system.get()).ok());
+  ServerOptions server_options;
+  server_options.max_connections = 1;
+  server_options.shed_retry_after_ms = 21;
+  server_options.idle_poll_ms = 5;
+  Server server(rig.system.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(first.ok());
+  // Keep the connection demonstrably live, not just open.
+  ASSERT_TRUE(first->MonitorStats().ok());
+
+  // Without retries the second connection is shed at the Hello.
+  {
+    ClientOptions no_retry;
+    no_retry.max_shed_retries = 0;
+    auto second = Client::Connect("127.0.0.1", server.port(), no_retry);
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  }
+
+  // With retries, the shed client backs off (seeded by the 21 ms wire hint)
+  // until the first client leaves, then gets the slot and works.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    first->Close();
+  });
+  ClientOptions retry;
+  retry.max_shed_retries = 50;
+  retry.backoff_cap_ms = 40;
+  auto second = Client::Connect("127.0.0.1", server.port(), retry);
+  releaser.join();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GE(second->call_stats().shed_retries, 1u);
+  EXPECT_GE(second->call_stats().backoff_ms_total, 21);
+  EXPECT_TRUE(second->MonitorStats().ok());
+  EXPECT_GE(server.stats().connections_shed, 2u);
+  server.Shutdown();
+}
+
+TEST(NetTest, GracefulShutdownDrainsInFlightRequest) {
+  Rig rig;
+  ASSERT_TRUE(rig.deployment->IngestAll(rig.system.get()).ok());
+  LatchedVerifier latched(rig.verifier.get());
+  rig.system->SetVerifier(&latched);
+  ServerOptions server_options;
+  server_options.idle_poll_ms = 5;
+  Server server(rig.system.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Probe from the store: guarantees candidates, so the query parks in the
+  // latched verifier.
+  const auto ids = rig.system->svs_store().AllIds();
+  ASSERT_FALSE(ids.empty());
+  auto probe_svs = rig.system->svs_store().Get(ids[0]);
+  ASSERT_TRUE(probe_svs.ok());
+  const FeatureVector query = (*probe_svs)->features().vector(0);
+  auto client_or = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client_or.ok());
+  Client client = std::move(*client_or);
+
+  StatusOr<core::DirectQueryResult> in_flight =
+      Status::Internal("not yet run");
+  std::thread querier([&] { in_flight = client.DirectQuery(query); });
+  latched.WaitEntered();
+
+  // Shutdown must block until the parked query completes and its response
+  // is on the wire — not cut the connection under it.
+  std::thread shutter([&] { server.Shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  latched.Release();
+  shutter.join();
+  querier.join();
+  ASSERT_TRUE(in_flight.ok()) << in_flight.status().ToString();
+  EXPECT_FALSE(in_flight->candidate_svss.empty());
+  EXPECT_EQ(in_flight->completed_fraction, 1.0);
+  EXPECT_FALSE(in_flight->timed_out);
+
+  // The listener is gone: new connections are refused outright.
+  ClientOptions no_retry;
+  no_retry.max_shed_retries = 0;
+  no_retry.max_reconnects = 0;
+  EXPECT_FALSE(
+      Client::Connect("127.0.0.1", server.port(), no_retry).ok());
+}
+
+TEST(NetTest, HelloVersionMismatchRejectedWithServerVersion) {
+  Rig rig;
+  Server server(rig.system.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  io::BinaryWriter hello;
+  hello.WriteU32(kProtocolVersion + 7);
+  ASSERT_TRUE(WriteFrame(fd->get(), static_cast<uint32_t>(MsgType::kHello),
+                         hello.buffer())
+                  .ok());
+  auto response = ReadFrame(fd->get());
+  ASSERT_TRUE(response.ok());
+  io::BinaryReader reader(response->payload);
+  auto wire_status = DecodeWireStatus(&reader);
+  ASSERT_TRUE(wire_status.ok());
+  EXPECT_EQ(wire_status->status.code(), StatusCode::kFailedPrecondition);
+  // The refusal still reports the server's own version for diagnostics.
+  auto server_version = reader.ReadU32();
+  ASSERT_TRUE(server_version.ok());
+  EXPECT_EQ(*server_version, kProtocolVersion);
+  // The connection is closed after the refusal.
+  auto next = ReadFrame(fd->get());
+  EXPECT_FALSE(next.ok());
+  server.Shutdown();
+}
+
+TEST(NetTest, RpcBeforeHelloRejectedAndConnectionClosed) {
+  Rig rig;
+  Server server(rig.system.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(
+      WriteFrame(fd->get(), static_cast<uint32_t>(MsgType::kFlush), "").ok());
+  auto response = ReadFrame(fd->get());
+  ASSERT_TRUE(response.ok());
+  io::BinaryReader reader(response->payload);
+  auto wire_status = DecodeWireStatus(&reader);
+  ASSERT_TRUE(wire_status.ok());
+  EXPECT_EQ(wire_status->status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(ReadFrame(fd->get()).ok());
+  server.Shutdown();
+}
+
+TEST(NetTest, MalformedPayloadKeepsConnectionUsable) {
+  Rig rig;
+  ASSERT_TRUE(rig.deployment->IngestAll(rig.system.get()).ok());
+  Server server(rig.system.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  io::BinaryWriter hello;
+  hello.WriteU32(kProtocolVersion);
+  ASSERT_TRUE(WriteFrame(fd->get(), static_cast<uint32_t>(MsgType::kHello),
+                         hello.buffer())
+                  .ok());
+  ASSERT_TRUE(ReadFrame(fd->get()).ok());
+
+  // A well-framed request whose payload is garbage: answered with
+  // kInvalidArgument, connection stays open.
+  ASSERT_TRUE(WriteFrame(fd->get(),
+                         static_cast<uint32_t>(MsgType::kDirectQuery),
+                         "\x01garbage")
+                  .ok());
+  auto bad = ReadFrame(fd->get());
+  ASSERT_TRUE(bad.ok());
+  io::BinaryReader bad_reader(bad->payload);
+  auto bad_status = DecodeWireStatus(&bad_reader);
+  ASSERT_TRUE(bad_status.ok());
+  EXPECT_EQ(bad_status->status.code(), StatusCode::kInvalidArgument);
+
+  // The same connection still serves a valid request afterwards.
+  ASSERT_TRUE(
+      WriteFrame(fd->get(), static_cast<uint32_t>(MsgType::kMonitorStats), "")
+          .ok());
+  auto good = ReadFrame(fd->get());
+  ASSERT_TRUE(good.ok());
+  io::BinaryReader good_reader(good->payload);
+  auto good_status = DecodeWireStatus(&good_reader);
+  ASSERT_TRUE(good_status.ok());
+  EXPECT_TRUE(good_status->status.ok());
+  server.Shutdown();
+}
+
+TEST(NetTest, SnapshotSaveAndLoadRoundTripOverWire) {
+  const std::string path = TempPath("net_snapshot.vzss");
+  Rig source;
+  ASSERT_TRUE(source.deployment->IngestAll(source.system.get()).ok());
+  const size_t expected_svss = source.system->svs_store().size();
+  Rng rng(6);
+  const FeatureVector query = source.deployment->MakeQueryFeature(1, &rng);
+  auto expected = source.system->DirectQuery(query);
+  ASSERT_TRUE(expected.ok());
+  {
+    Server server(source.system.get(), {});
+    ASSERT_TRUE(server.Start().ok());
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SaveSnapshot(path).ok());
+    // A bogus server-local path is an RPC error, not a dead connection.
+    EXPECT_FALSE(client->SaveSnapshot("/no/such/dir/x.vzss").ok());
+    EXPECT_TRUE(client->MonitorStats().ok());
+    server.Shutdown();
+  }
+
+  // Restore into a fresh instance over the wire; queries then match the
+  // source system exactly.
+  Rig restored;
+  Server server(restored.system.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto loaded = client->LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, expected_svss);
+  EXPECT_FALSE(client->LoadSnapshot("/no/such/file.vzss").ok());
+  auto result = client->DirectQuery(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->matched_svss, expected->matched_svss);
+  EXPECT_EQ(result->total_gpu_ms, expected->total_gpu_ms);
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vz::net
