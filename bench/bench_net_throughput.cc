@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "net/chaos_proxy.h"
 #include "net/client.h"
 #include "net/server.h"
 
@@ -97,9 +98,9 @@ void PrintRow(const Row& row) {
 
 int main() {
   using namespace vz;
-  bench::Banner("Serving layer: loopback RPC vs in-process",
+  bench::Banner("Serving layer: loopback RPC vs in-process vs chaos proxy",
                 "deployment=16 cameras x 8 min, workloads=stats poll + "
-                "DirectQuery, clients=1/4/16");
+                "DirectQuery, clients=1/4/16, proxy runs fault-free");
 
   bench::EndToEndRig rig;
   Rng rng(3);
@@ -107,10 +108,21 @@ int main() {
       rig.deployment.MakeQueryFeature(sim::kBoat, &rng);
 
   net::ServerOptions server_options;
-  server_options.max_connections = 16;
+  server_options.max_connections = 32;  // loopback + proxied pools coexist
   net::Server server(&rig.system, server_options);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // A fault-free chaos proxy in the path prices the relay itself (one extra
+  // hop, two pump threads per connection, per-chunk fault rolls that all
+  // come up clean) — the baseline tax every chaos drill pays.
+  net::ChaosProxyOptions proxy_options;
+  proxy_options.upstream_port = server.port();
+  net::ChaosProxy proxy(proxy_options);
+  if (Status s = proxy.Start(); !s.ok()) {
+    std::fprintf(stderr, "proxy start failed: %s\n", s.ToString().c_str());
     return 1;
   }
 
@@ -142,9 +154,23 @@ int main() {
       }
       pool.push_back(std::move(*client));
     }
+    std::vector<net::Client> proxied;
+    for (size_t c = 0; c < clients; ++c) {
+      auto client = net::Client::Connect("127.0.0.1", proxy.port());
+      if (!client.ok()) {
+        std::fprintf(stderr, "proxied connect failed: %s\n",
+                     client.status().ToString().c_str());
+        return 1;
+      }
+      proxied.push_back(std::move(*client));
+    }
     PrintRow(RunWorkload("stats_poll", "loopback", clients, kStatsRequests,
                          [&](size_t c, size_t) {
                            return pool[c].MonitorStats().ok();
+                         }));
+    PrintRow(RunWorkload("stats_poll", "chaos-proxy", clients, kStatsRequests,
+                         [&](size_t c, size_t) {
+                           return proxied[c].MonitorStats().ok();
                          }));
     PrintRow(RunWorkload("direct_query", "in-process", clients,
                          kQueryRequests, [&](size_t, size_t) {
@@ -154,8 +180,13 @@ int main() {
                          [&](size_t c, size_t) {
                            return pool[c].DirectQuery(query).ok();
                          }));
+    PrintRow(RunWorkload("direct_query", "chaos-proxy", clients,
+                         kQueryRequests, [&](size_t c, size_t) {
+                           return proxied[c].DirectQuery(query).ok();
+                         }));
   }
 
+  proxy.Shutdown();
   server.Shutdown();
   const net::ServerStats stats = server.stats();
   std::printf("\nserver totals: %llu requests, %llu connections, %llu "

@@ -6,7 +6,8 @@
 //   vz_server [--port P] [--downtown N] [--highway N] [--stations N]
 //             [--harbors N] [--minutes M] [--seed S] [--ingest]
 //             [--load PATH] [--max-connections N] [--max-inflight N]
-//             [--serve-seconds T]
+//             [--serve-seconds T] [--io-timeout-ms T] [--idle-timeout-ms T]
+//             [--dedup-window N]
 //
 // The deployment flags must match the client's so both sides describe the
 // same simulated world: the server needs it for verification ground truth,
@@ -22,6 +23,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/videozilla.h"
 #include "io/svs_snapshot.h"
@@ -49,6 +51,10 @@ struct ServerCliOptions {
   size_t max_inflight = 0;
   // 0 = serve until SIGINT/SIGTERM; otherwise exit after this many seconds.
   int64_t serve_seconds = 0;
+  // Supervision knobs (0 keeps the ServerOptions default).
+  int64_t io_timeout_ms = 0;    // read+write frame deadlines
+  int64_t idle_timeout_ms = 0;  // idle eviction; clients Ping to stay alive
+  size_t dedup_window = 0;      // exactly-once window per client session
 };
 
 bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
@@ -83,6 +89,12 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       options->max_inflight = static_cast<size_t>(std::atoi(value));
     } else if (arg == "--serve-seconds" && (value = next_value(&i))) {
       options->serve_seconds = std::atoll(value);
+    } else if (arg == "--io-timeout-ms" && (value = next_value(&i))) {
+      options->io_timeout_ms = std::atoll(value);
+    } else if (arg == "--idle-timeout-ms" && (value = next_value(&i))) {
+      options->idle_timeout_ms = std::atoll(value);
+    } else if (arg == "--dedup-window" && (value = next_value(&i))) {
+      options->dedup_window = static_cast<size_t>(std::atoi(value));
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -101,7 +113,9 @@ int main(int argc, char** argv) {
                  "usage: vz_server [--port P] [--downtown N] [--highway N] "
                  "[--stations N] [--harbors N] [--minutes M] [--seed S] "
                  "[--ingest] [--load PATH] [--max-connections N] "
-                 "[--max-inflight N] [--serve-seconds T]\n");
+                 "[--max-inflight N] [--serve-seconds T] "
+                 "[--io-timeout-ms T] [--idle-timeout-ms T] "
+                 "[--dedup-window N]\n");
     return 2;
   }
 
@@ -160,6 +174,14 @@ int main(int argc, char** argv) {
   net::ServerOptions server_options;
   server_options.port = cli.port;
   server_options.max_connections = cli.max_connections;
+  if (cli.io_timeout_ms > 0) {
+    server_options.read_timeout_ms = cli.io_timeout_ms;
+    server_options.write_timeout_ms = cli.io_timeout_ms;
+  }
+  if (cli.idle_timeout_ms > 0) {
+    server_options.idle_timeout_ms = cli.idle_timeout_ms;
+  }
+  if (cli.dedup_window > 0) server_options.dedup_window = cli.dedup_window;
   net::Server server(&vz, server_options);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
@@ -182,6 +204,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("shutting down (draining in-flight requests)\n");
+  // Snapshot the registry before the drain empties it: on a live server
+  // this is the operator's view of who is connected and how busy they are.
+  const std::vector<net::ConnectionInfo> connections =
+      server.connection_stats();
   server.Shutdown();
   const net::ServerStats stats = server.stats();
   std::printf("served %llu requests over %llu connections "
@@ -190,5 +216,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.connections_shed),
               static_cast<unsigned long long>(stats.request_errors));
+  std::printf("supervision: %llu idle evictions, %llu slow evictions, "
+              "%llu pings; exactly-once: %llu duplicates replayed across "
+              "%llu sessions (%llu evicted)\n",
+              static_cast<unsigned long long>(stats.connections_evicted_idle),
+              static_cast<unsigned long long>(stats.connections_evicted_slow),
+              static_cast<unsigned long long>(stats.pings_served),
+              static_cast<unsigned long long>(stats.duplicates_replayed),
+              static_cast<unsigned long long>(stats.sessions_active),
+              static_cast<unsigned long long>(stats.sessions_evicted));
+  for (const net::ConnectionInfo& conn : connections) {
+    std::printf("  conn #%llu: age %llds, idle %lldms, %llu rpcs, "
+                "%llu B in / %llu B out\n",
+                static_cast<unsigned long long>(conn.id),
+                static_cast<long long>(conn.age_ms / 1000),
+                static_cast<long long>(conn.idle_ms),
+                static_cast<unsigned long long>(conn.rpcs),
+                static_cast<unsigned long long>(conn.bytes_in),
+                static_cast<unsigned long long>(conn.bytes_out));
+  }
   return 0;
 }

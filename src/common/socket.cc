@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <netdb.h>
@@ -108,8 +109,11 @@ StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
       rc = ::poll(&pfd, 1, timeout);
     } while (rc < 0 && errno == EINTR);
     if (rc == 0) {
-      return Status::ResourceExhausted("connect timed out: " + host + ":" +
-                                       service);
+      // A transport-level failure, NOT a shed: the server never answered, so
+      // it must not be conflated with an explicit kResourceExhausted
+      // backpressure signal.
+      return Status::Unavailable("connect timed out: " + host + ":" +
+                                 service);
     }
     if (rc < 0) return Status::Internal(ErrnoMessage("poll"));
     int err = 0;
@@ -139,10 +143,49 @@ StatusOr<bool> WaitReadable(int fd, int64_t timeout_ms) {
   return true;
 }
 
-Status SendAll(int fd, const void* data, size_t size) {
+namespace {
+
+/// Polls `fd` for `events` until readiness or the caller's deadline.
+/// `deadline_ms < 0` waits forever. Readiness -> OK; expiry -> kUnavailable.
+Status PollUntil(int fd, short events, int64_t deadline_ms,
+                 const std::chrono::steady_clock::time_point& start,
+                 const char* what) {
+  int timeout = -1;
+  if (deadline_ms >= 0) {
+    const int64_t elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const int64_t left = deadline_ms - elapsed_ms;
+    if (left <= 0) {
+      return Status::Unavailable(std::string(what) + " deadline expired");
+    }
+    timeout = static_cast<int>(left);
+  }
+  pollfd pfd{fd, events, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Status::Internal(ErrnoMessage("poll"));
+  if (rc == 0) {
+    return Status::Unavailable(std::string(what) + " deadline expired");
+  }
+  // POLLHUP/POLLERR count as ready: the next send/recv reports the precise
+  // error.
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendAll(int fd, const void* data, size_t size, int64_t timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
   const char* p = static_cast<const char*>(data);
   size_t sent = 0;
   while (sent < size) {
+    if (timeout_ms >= 0) {
+      VZ_RETURN_IF_ERROR(PollUntil(fd, POLLOUT, timeout_ms, start, "send"));
+    }
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
     const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
@@ -154,10 +197,14 @@ Status SendAll(int fd, const void* data, size_t size) {
   return Status::OK();
 }
 
-Status RecvExact(int fd, void* data, size_t size) {
+Status RecvExact(int fd, void* data, size_t size, int64_t timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < size) {
+    if (timeout_ms >= 0) {
+      VZ_RETURN_IF_ERROR(PollUntil(fd, POLLIN, timeout_ms, start, "recv"));
+    }
     const ssize_t n = ::recv(fd, p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;

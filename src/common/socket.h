@@ -72,14 +72,19 @@ StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
 StatusOr<bool> WaitReadable(int fd, int64_t timeout_ms);
 
 /// Writes the whole buffer, looping over partial sends and EINTR. A peer
-/// that closed the connection yields `kDataLoss`.
-Status SendAll(int fd, const void* data, size_t size);
+/// that closed the connection yields `kDataLoss`. With `timeout_ms >= 0` the
+/// WHOLE buffer must be accepted by the kernel within the deadline
+/// (measured from entry); expiry yields `kUnavailable` — a stuck reader on
+/// the other end, the serving layer's slow-client signal.
+Status SendAll(int fd, const void* data, size_t size, int64_t timeout_ms = -1);
 
 /// Reads exactly `size` bytes into `data`, looping over partial receives.
 /// A clean close before the first byte is `kNotFound` (end of stream between
 /// messages — the caller decides whether that is an error); a close after a
-/// partial read is `kDataLoss` (torn message).
-Status RecvExact(int fd, void* data, size_t size);
+/// partial read is `kDataLoss` (torn message). With `timeout_ms >= 0` all
+/// `size` bytes must arrive within the deadline (measured from entry);
+/// expiry yields `kUnavailable` — a stalled or blackholed peer.
+Status RecvExact(int fd, void* data, size_t size, int64_t timeout_ms = -1);
 
 /// Disables Nagle's algorithm for request/response latency.
 Status SetTcpNoDelay(int fd);

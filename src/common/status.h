@@ -27,6 +27,12 @@ enum class StatusCode {
   /// well-formed but wrong) and `kOutOfRange` (a reader ran off a buffer
   /// that may simply be shorter than requested).
   kDataLoss,
+  /// A transport-level failure that says nothing about the request itself:
+  /// a connect or I/O deadline expired, the peer went away mid-exchange.
+  /// Retrying against the same (or a recovered) endpoint is reasonable —
+  /// unlike `kResourceExhausted`, which is the peer explicitly shedding
+  /// load, and `kDataLoss`, which reports bytes known to be corrupt.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -78,6 +84,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status represents success.

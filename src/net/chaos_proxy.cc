@@ -1,0 +1,147 @@
+#include "net/chaos_proxy.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <sys/socket.h>
+#include <utility>
+
+namespace vz::net {
+
+void ChaosProxy::Relay::Kill() {
+  if (downstream.valid()) ::shutdown(downstream.get(), SHUT_RDWR);
+  if (upstream.valid()) ::shutdown(upstream.get(), SHUT_RDWR);
+}
+
+ChaosProxy::ChaosProxy(const ChaosProxyOptions& options)
+    : options_(options), master_injector_(options.faults) {}
+
+ChaosProxy::~ChaosProxy() { Shutdown(); }
+
+Status ChaosProxy::Start() {
+  if (started_) return Status::FailedPrecondition("proxy already started");
+  VZ_ASSIGN_OR_RETURN(
+      listen_fd_, TcpListen(options_.listen_address, options_.listen_port));
+  VZ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void ChaosProxy::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true);
+  ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_.Reset();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& relay : relays_) relay->Kill();
+    threads.swap(pump_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+ChaosProxy::Stats ChaosProxy::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.connections_relayed = connections_relayed_;
+  stats.ledger = ledger_;
+  return stats;
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = TcpAccept(listen_fd_.get());
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    auto upstream = TcpConnect(options_.upstream_host, options_.upstream_port,
+                               options_.upstream_connect_timeout_ms);
+    if (!upstream.ok()) {
+      // Upstream down (e.g. the restart drill's dead window): dropping the
+      // accepted socket is exactly what a dead server looks like.
+      continue;
+    }
+    (void)SetTcpNoDelay(accepted->get());
+    auto relay = std::make_shared<Relay>();
+    relay->downstream = std::move(*accepted);
+    relay->upstream = std::move(*upstream);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++connections_relayed_;
+    // Each direction gets its own deterministic fault stream, forked off
+    // the master in accept order.
+    sim::WireFaultInjector down_to_up = master_injector_.Fork();
+    sim::WireFaultInjector up_to_down = master_injector_.Fork();
+    const int down_fd = relay->downstream.get();
+    const int up_fd = relay->upstream.get();
+    relays_.push_back(relay);
+    pump_threads_.emplace_back(
+        [this, relay, down_fd, up_fd, injector = std::move(down_to_up)]() mutable {
+          Pump(relay, down_fd, up_fd, std::move(injector));
+        });
+    pump_threads_.emplace_back(
+        [this, relay, down_fd, up_fd, injector = std::move(up_to_down)]() mutable {
+          Pump(relay, up_fd, down_fd, std::move(injector));
+        });
+  }
+}
+
+void ChaosProxy::Pump(std::shared_ptr<Relay> relay, int src, int dst,
+                      sim::WireFaultInjector injector) {
+  std::string buffer(std::max<size_t>(options_.chunk_bytes, 1), '\0');
+  bool killed = false;
+  while (!stopping_.load()) {
+    auto readable = WaitReadable(src, options_.idle_poll_ms);
+    if (!readable.ok()) break;
+    if (!*readable) continue;  // idle; re-check the stop flag
+    ssize_t n;
+    do {
+      n = ::recv(src, buffer.data(), buffer.size(), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) break;  // EOF or error: tear the relay down
+
+    std::string chunk = buffer.substr(0, static_cast<size_t>(n));
+    const sim::WireFaultInjector::Action action = injector.Apply(&chunk);
+    if (action.blackhole) {
+      // Swallow but keep draining `src`, so the sender stays unblocked and
+      // only its response deadline can save it.
+      continue;
+    }
+    if (action.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+    }
+    bool write_failed = false;
+    if (!chunk.empty()) {
+      if (action.split_at > 0 && action.split_at < chunk.size()) {
+        write_failed =
+            !SendAll(dst, chunk.data(), action.split_at).ok() ||
+            !SendAll(dst, chunk.data() + action.split_at,
+                     chunk.size() - action.split_at)
+                 .ok();
+      } else {
+        write_failed = !SendAll(dst, chunk.data(), chunk.size()).ok();
+      }
+    }
+    if (action.reset) {
+      relay->Kill();
+      killed = true;
+      break;
+    }
+    if (write_failed) break;
+  }
+  if (!killed) relay->Kill();  // propagate the close to the other side
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_ += injector.ledger();
+  relays_.erase(std::remove(relays_.begin(), relays_.end(), relay),
+                relays_.end());
+}
+
+}  // namespace vz::net

@@ -1,60 +1,137 @@
 #include "net/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <unistd.h>
 
 namespace vz::net {
 
 namespace {
 
-/// Capped exponential backoff: the server's retry-after hint (or the floor)
-/// doubled per attempt.
-int64_t BackoffMs(const ClientOptions& options, int64_t hint_ms,
-                  size_t attempt) {
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Process-unique session id: a counter mixed with the clock and pid.
+/// Uniqueness across client instances is what matters (two clients sharing
+/// a session id would share a dedup window); determinism is not — tests pin
+/// `ClientOptions::session_id` instead.
+uint64_t GenerateSessionId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t nonce = counter.fetch_add(1) + 1;
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const uint64_t pid = static_cast<uint64_t>(::getpid());
+  const uint64_t id = SplitMix64(now ^ (pid << 32) ^ (nonce * 0x9E3779B9ULL));
+  return id == 0 ? 1 : id;  // 0 is reserved as "no token"
+}
+
+/// True for status codes that mean "the connection is unusable but the
+/// server may well be fine": worth a reconnect. `kInternal` is included
+/// because a refused connect (server mid-restart) surfaces as such.
+bool IsTransportFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kDataLoss ||
+         code == StatusCode::kNotFound || code == StatusCode::kInternal;
+}
+
+}  // namespace
+
+int64_t BackoffDelayMs(const ClientOptions& options, int64_t hint_ms,
+                       size_t attempt, Rng* rng) {
   int64_t base = hint_ms > 0 ? hint_ms : options.backoff_floor_ms;
   if (base <= 0) base = 1;
   int64_t delay = base;
   for (size_t i = 0; i < attempt && delay < options.backoff_cap_ms; ++i) {
     delay *= 2;
   }
-  return std::min(delay, options.backoff_cap_ms);
+  delay = std::min(delay, options.backoff_cap_ms);
+  // Subtractive jitter: uniform in [delay * (1 - jitter), delay]. Shrinking
+  // only (never growing) keeps the cap an honest upper bound.
+  if (rng != nullptr && options.backoff_jitter > 0 && delay > 0) {
+    const double jitter = std::min(1.0, options.backoff_jitter);
+    const int64_t jittered = static_cast<int64_t>(
+        static_cast<double>(delay) * (1.0 - jitter * rng->UniformDouble()));
+    delay = std::max<int64_t>(1, jittered);
+  }
+  return delay;
 }
 
-}  // namespace
+Client::Client(std::string host, uint16_t port, const ClientOptions& options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      session_id_(options.session_id != 0 ? options.session_id
+                                          : GenerateSessionId()),
+      backoff_rng_(options.backoff_seed != 0 ? options.backoff_seed
+                                             : SplitMix64(session_id_)) {}
+
+void Client::SleepBackoff(int64_t hint_ms, size_t attempt) {
+  const int64_t delay =
+      BackoffDelayMs(options_, hint_ms, attempt, &backoff_rng_);
+  call_stats_.backoff_ms_total += delay;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
 
 StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
                                  const ClientOptions& options) {
   Client client(host, port, options);
-  for (size_t attempt = 0;; ++attempt) {
+  size_t shed_attempt = 0;
+  size_t reconnects_used = 0;
+  for (;;) {
     Status status = client.Handshake();
     if (status.ok()) return client;
     // A connection-level shed (server at capacity) is retryable exactly like
-    // a shed query; everything else is final.
-    if (status.code() != StatusCode::kResourceExhausted ||
-        attempt >= options.max_shed_retries) {
-      return status;
+    // a shed query; a transport failure (flaky link, server mid-restart)
+    // consumes the same per-call reconnect budget `Call` uses. Everything
+    // else is final.
+    if (status.code() == StatusCode::kResourceExhausted) {
+      if (shed_attempt >= options.max_shed_retries) return status;
+      client.call_stats_.shed_retries++;
+      client.SleepBackoff(client.last_shed_hint_ms_, shed_attempt++);
+      continue;
     }
-    const int64_t delay =
-        BackoffMs(options, client.last_shed_hint_ms_, attempt);
-    client.call_stats_.shed_retries++;
-    client.call_stats_.backoff_ms_total += delay;
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    if (IsTransportFailure(status.code())) {
+      client.call_stats_.transport_failures++;
+      if (reconnects_used >= options.max_reconnects) return status;
+      client.SleepBackoff(0, reconnects_used++);
+      continue;
+    }
+    return status;
   }
 }
 
 Status Client::Handshake() {
-  VZ_ASSIGN_OR_RETURN(fd_,
-                      TcpConnect(host_, port_, options_.connect_timeout_ms));
+  const int64_t io_timeout =
+      options_.io_timeout_ms > 0 ? options_.io_timeout_ms : -1;
+  auto connected = TcpConnect(host_, port_, options_.connect_timeout_ms);
+  if (!connected.ok()) {
+    fd_.Reset();
+    return connected.status();
+  }
+  fd_ = std::move(*connected);
   io::BinaryWriter hello;
   hello.WriteU32(kProtocolVersion);
-  VZ_RETURN_IF_ERROR(WriteFrame(fd_.get(),
-                                static_cast<uint32_t>(MsgType::kHello),
-                                hello.buffer()));
-  auto response = ReadFrame(fd_.get());
+  if (Status s = WriteFrame(fd_.get(),
+                            static_cast<uint32_t>(MsgType::kHello),
+                            hello.buffer(), io_timeout);
+      !s.ok()) {
+    fd_.Reset();
+    return s;
+  }
+  auto response = ReadFrame(fd_.get(), io_timeout);
   if (!response.ok()) {
     fd_.Reset();
-    return response.status();
+    // As on the Call path: an unreadable response frame is stream
+    // corruption, whatever decode error it produced — retryable transport.
+    return response.status().code() == StatusCode::kInvalidArgument
+               ? Status::DataLoss("hello response corrupted: " +
+                                  response.status().message())
+               : response.status();
   }
   io::BinaryReader reader(response->payload);
   auto wire_status = DecodeWireStatus(&reader);
@@ -73,6 +150,18 @@ Status Client::Handshake() {
   }
   if (!wire_status->status.ok()) {
     fd_.Reset();
+    // The server answers an unreadable request frame with a hello-typed
+    // error carrying the decode status: on the hello path that surfaces
+    // here. kDataLoss/kInvalidArgument therefore mean our hello got
+    // corrupted in transit — retryable — while genuine refusals (version
+    // mismatch = kFailedPrecondition, shed = kResourceExhausted) keep
+    // their codes.
+    const StatusCode code = wire_status->status.code();
+    if (code == StatusCode::kDataLoss ||
+        code == StatusCode::kInvalidArgument) {
+      return Status::DataLoss("server could not read our hello: " +
+                              wire_status->status.message());
+    }
     return wire_status->status;
   }
   return Status::OK();
@@ -82,20 +171,40 @@ StatusOr<std::string> Client::CallOnce(MsgType type,
                                        const std::string& payload,
                                        WireStatus* wire_status) {
   if (!fd_.valid()) return Status::FailedPrecondition("not connected");
+  const int64_t io_timeout =
+      options_.io_timeout_ms > 0 ? options_.io_timeout_ms : -1;
   VZ_RETURN_IF_ERROR(
-      WriteFrame(fd_.get(), static_cast<uint32_t>(type), payload));
-  auto response = ReadFrame(fd_.get());
+      WriteFrame(fd_.get(), static_cast<uint32_t>(type), payload, io_timeout));
+  auto response = ReadFrame(fd_.get(), io_timeout);
   if (!response.ok()) {
-    return response.status().code() == StatusCode::kNotFound
-               ? Status::DataLoss("connection closed by server")
-               : response.status();
+    if (response.status().code() == StatusCode::kNotFound) {
+      return Status::DataLoss("connection closed by server");
+    }
+    if (response.status().code() == StatusCode::kInvalidArgument) {
+      // Bad magic, hostile length, alien type: on the response path these
+      // all mean the stream got corrupted in transit, not that we argued
+      // badly — reclassify so the reconnect-retry machinery kicks in.
+      return Status::DataLoss("response stream corrupted: " +
+                              response.status().message());
+    }
+    return response.status();
   }
   const uint32_t expected = static_cast<uint32_t>(type) | kResponseFlag;
   const uint32_t hello_error =
       static_cast<uint32_t>(MsgType::kHello) | kResponseFlag;
-  // Frame-level failures (torn request frame) come back as a Hello-typed
-  // error response; anything else off-type means the stream desynced.
-  if (response->type != expected && response->type != hello_error) {
+  if (response->type == hello_error && type != MsgType::kHello) {
+    // The server could not read our request frame (torn or corrupted in
+    // transit) and is about to close the connection. It never processed the
+    // request, so a reconnect-retry is safe even without a token.
+    io::BinaryReader error_reader(response->payload);
+    auto error_status = DecodeWireStatus(&error_reader);
+    return Status::Unavailable(
+        "server rejected the request frame: " +
+        (error_status.ok() ? error_status->status.message()
+                           : "unreadable error response"));
+  }
+  // Anything else off-type means the stream desynced.
+  if (response->type != expected) {
     return Status::DataLoss("response type mismatch");
   }
   io::BinaryReader reader(response->payload);
@@ -104,18 +213,37 @@ StatusOr<std::string> Client::CallOnce(MsgType type,
 }
 
 StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
+  // One token per logical call: retries re-send the same (session, sequence)
+  // pair, which is what lets the server recognise and deduplicate them.
+  std::string wire_payload;
+  if (IsMutatingType(static_cast<uint32_t>(type))) {
+    io::BinaryWriter writer;
+    EncodeIdempotencyToken(&writer, {session_id_, next_sequence_++});
+    wire_payload = writer.buffer() + payload;
+  } else {
+    wire_payload = payload;
+  }
+
+  // The reconnect budget is per call and covers both mid-call transport
+  // drops and failed re-handshakes (a server mid-restart refuses connects
+  // for a while).
   size_t reconnects_used = 0;
-  for (size_t attempt = 0;; ++attempt) {
+  size_t shed_attempt = 0;
+  for (;;) {
     if (!fd_.valid()) {
       Status status = Handshake();
       if (!status.ok()) {
         if (status.code() == StatusCode::kResourceExhausted &&
-            attempt < options_.max_shed_retries) {
-          const int64_t delay =
-              BackoffMs(options_, last_shed_hint_ms_, attempt);
+            shed_attempt < options_.max_shed_retries) {
           call_stats_.shed_retries++;
-          call_stats_.backoff_ms_total += delay;
-          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          SleepBackoff(last_shed_hint_ms_, shed_attempt++);
+          continue;
+        }
+        if (IsTransportFailure(status.code()) &&
+            reconnects_used < options_.max_reconnects) {
+          call_stats_.transport_failures++;
+          SleepBackoff(0, reconnects_used);
+          ++reconnects_used;
           continue;
         }
         return status;
@@ -124,11 +252,12 @@ StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
     }
     WireStatus wire_status;
     call_stats_.requests_sent++;
-    auto body = CallOnce(type, payload, &wire_status);
+    auto body = CallOnce(type, wire_payload, &wire_status);
     if (!body.ok()) {
       // Transport failure: the connection is unusable; reconnect within
-      // budget. Requests are safe to replay — queries are read-only and a
-      // replayed ingest is deduplicated by the ingestion guard.
+      // budget. The retry is exactly-once for mutating requests (same
+      // token) and inherently safe for read-only ones.
+      call_stats_.transport_failures++;
       fd_.Reset();
       if (reconnects_used < options_.max_reconnects) {
         ++reconnects_used;
@@ -138,12 +267,9 @@ StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
     }
     if (wire_status.status.ok()) return body;
     if (wire_status.status.code() == StatusCode::kResourceExhausted &&
-        attempt < options_.max_shed_retries) {
-      const int64_t delay =
-          BackoffMs(options_, wire_status.retry_after_ms, attempt);
+        shed_attempt < options_.max_shed_retries) {
       call_stats_.shed_retries++;
-      call_stats_.backoff_ms_total += delay;
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      SleepBackoff(wire_status.retry_after_ms, shed_attempt++);
       continue;
     }
     return wire_status.status;
@@ -169,6 +295,12 @@ Status Client::IngestFrame(const core::FrameObservation& frame) {
 }
 
 Status Client::Flush() { return Call(MsgType::kFlush, "").status(); }
+
+Status Client::Ping() {
+  Status status = Call(MsgType::kPing, "").status();
+  if (status.ok()) call_stats_.pings_sent++;
+  return status;
+}
 
 StatusOr<core::DirectQueryResult> Client::DirectQuery(
     const FeatureVector& feature, const core::QueryConstraints& constraints) {

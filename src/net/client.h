@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/socket.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -16,6 +17,11 @@ namespace vz::net {
 /// Connection and retry behaviour of `Client`.
 struct ClientOptions {
   int64_t connect_timeout_ms = 5'000;
+  /// Per-frame I/O deadline: every request write and response read must
+  /// complete within this budget, so a stalled or blackholed server surfaces
+  /// as `kUnavailable` (and a reconnect-retry) instead of a hang. <= 0
+  /// blocks indefinitely.
+  int64_t io_timeout_ms = 10'000;
   /// Attempts per request when the server sheds with `kResourceExhausted`
   /// (connection- or admission-level). 0 disables retrying.
   size_t max_shed_retries = 4;
@@ -23,9 +29,25 @@ struct ClientOptions {
   /// floor when absent), doubled per attempt, capped below.
   int64_t backoff_floor_ms = 10;
   int64_t backoff_cap_ms = 2'000;
-  /// Reconnect attempts when the transport drops mid-conversation (server
-  /// restart, graceful-shutdown close). 0 disables reconnecting.
+  /// Fraction of each backoff delay randomised away (subtractive jitter):
+  /// the actual sleep is uniform in [delay * (1 - jitter), delay], which
+  /// de-synchronises a herd of clients all shed at the same instant while
+  /// never exceeding the cap. 0 disables jitter.
+  double backoff_jitter = 0.25;
+  /// Seed of the jitter stream; 0 derives one from the session id so two
+  /// clients never share a jitter sequence. Pin it in tests.
+  uint64_t backoff_seed = 0;
+  /// Reconnect attempts PER CALL when the transport drops mid-conversation
+  /// (server restart, graceful-shutdown close, I/O deadline expiry). The
+  /// budget resets at the start of every RPC; 0 disables reconnecting.
+  /// Reconnect-retries of mutating RPCs are exactly-once: the retry carries
+  /// the same idempotency token, so a server that already applied the first
+  /// attempt replays its cached response instead of re-applying.
   size_t max_reconnects = 1;
+  /// Session id stamped into idempotency tokens; 0 auto-generates a
+  /// process-unique id. Pin it in tests (or to resume a session's dedup
+  /// window across client restarts).
+  uint64_t session_id = 0;
 };
 
 /// Per-client counters, mostly for tests and diagnostics.
@@ -33,10 +55,24 @@ struct ClientCallStats {
   uint64_t requests_sent = 0;
   /// Requests that were shed at least once and retried with backoff.
   uint64_t shed_retries = 0;
+  /// Transport drops observed mid-call (connection reset, torn frame, I/O
+  /// deadline expiry) — each one either consumes reconnect budget or fails
+  /// the call.
+  uint64_t transport_failures = 0;
+  /// Successful re-handshakes after a transport drop.
   uint64_t reconnects = 0;
-  /// Total milliseconds slept honoring retry-after backoff.
+  /// Total milliseconds slept honoring retry-after backoff (post-jitter).
   int64_t backoff_ms_total = 0;
+  /// Keepalive pings answered by the server.
+  uint64_t pings_sent = 0;
 };
+
+/// Backoff delay for retry `attempt` (0-based): the server's retry-after
+/// hint (or the options floor) doubled per attempt and capped, then jittered
+/// subtractively by up to `options.backoff_jitter` of itself using `rng`
+/// (`nullptr` disables jitter). Exposed for the backoff unit tests.
+int64_t BackoffDelayMs(const ClientOptions& options, int64_t hint_ms,
+                       size_t attempt, Rng* rng);
 
 /// Synchronous RPC client for the Video-zilla serving layer: one TCP
 /// connection, one in-flight request at a time (run several clients for
@@ -45,9 +81,15 @@ struct ClientCallStats {
 /// method, so call sites can swap between in-process and remote execution.
 ///
 /// Overload handling: a `kResourceExhausted` response (a shed query or a
-/// shed connection) is retried up to `max_shed_retries` times with capped
-/// exponential backoff seeded by the server's retry-after hint. All other
-/// errors are returned as-is.
+/// shed connection) is retried up to `max_shed_retries` times with capped,
+/// jittered exponential backoff seeded by the server's retry-after hint.
+///
+/// Transport failures (`kUnavailable`, `kDataLoss`, a server that closed
+/// the connection) trigger reconnect-retries within the per-call
+/// `max_reconnects` budget. Mutating RPCs stamp an idempotency token
+/// (session id + per-call sequence) so those retries are exactly-once: the
+/// server deduplicates and replays instead of re-applying. All other errors
+/// are returned as-is.
 class Client {
  public:
   /// Connects, negotiates the protocol version, and returns a ready client.
@@ -80,6 +122,10 @@ class Client {
   StatusOr<std::vector<CameraHealthEntry>> CameraHealthReport();
   StatusOr<core::QueryLoadStats> QueryLoadStats();
 
+  /// Keepalive: resets the server's idle clock. Cheap (empty payload, no
+  /// state touched); call between requests to fend off idle eviction.
+  Status Ping();
+
   // --- Snapshot triggers (paths are server-local). ---
   Status SaveSnapshot(const std::string& path);
   /// Returns the number of SVSs restored on the server.
@@ -90,23 +136,29 @@ class Client {
     return server_protocol_version_;
   }
 
+  /// Session id stamped into idempotency tokens (auto-generated unless
+  /// pinned via options).
+  uint64_t session_id() const { return session_id_; }
+
   const ClientCallStats& call_stats() const { return call_stats_; }
 
   /// Closes the connection (also done by the destructor).
   void Close() { fd_.Reset(); }
 
  private:
-  Client(std::string host, uint16_t port, const ClientOptions& options)
-      : host_(std::move(host)), port_(port), options_(options) {}
+  Client(std::string host, uint16_t port, const ClientOptions& options);
 
   /// Opens the TCP connection and runs the Hello exchange.
   Status Handshake();
   /// Sends one request and returns the response payload with its wire
-  /// status decoded; handles shed-backoff and reconnects.
+  /// status decoded; handles shed-backoff and reconnects. Mutating requests
+  /// get an idempotency token prepended (the same token across retries of
+  /// one call).
   StatusOr<std::string> Call(MsgType type, const std::string& payload);
   /// One send/receive without retry logic.
   StatusOr<std::string> CallOnce(MsgType type, const std::string& payload,
                                  WireStatus* wire_status);
+  void SleepBackoff(int64_t hint_ms, size_t attempt);
 
   std::string host_;
   uint16_t port_ = 0;
@@ -116,6 +168,11 @@ class Client {
   /// Retry-after hint from the most recent connection-level shed; seeds the
   /// reconnect backoff.
   int64_t last_shed_hint_ms_ = 0;
+  uint64_t session_id_ = 0;
+  /// Sequence of the next mutating call. Bumped once per logical call;
+  /// retries re-send the same value.
+  uint64_t next_sequence_ = 1;
+  Rng backoff_rng_;
   ClientCallStats call_stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sys/socket.h>
 #include <utility>
@@ -15,6 +16,12 @@ std::string StatusOnlyResponse(const Status& status, int64_t retry_after_ms) {
   io::BinaryWriter writer;
   EncodeWireStatus(&writer, {status, retry_after_ms});
   return writer.buffer();
+}
+
+int64_t ElapsedMs(const std::chrono::steady_clock::time_point& since,
+                  const std::chrono::steady_clock::time_point& now) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
+      .count();
 }
 
 }  // namespace
@@ -63,9 +70,9 @@ void Server::Shutdown() {
     std::unique_lock<std::mutex> lock(mu_);
     const bool drained = drained_cv_.wait_for(
         lock, std::chrono::milliseconds(options_.drain_timeout_ms),
-        [this] { return active_fds_.empty(); });
+        [this] { return active_conns_.empty(); });
     if (!drained) {
-      for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+      for (const auto& [fd, conn] : active_conns_) ::shutdown(fd, SHUT_RDWR);
     }
     futures.swap(connection_futures_);
   }
@@ -80,10 +87,41 @@ ServerStats Server::stats() const {
   ServerStats stats;
   stats.connections_accepted = connections_accepted_;
   stats.connections_shed = connections_shed_;
-  stats.connections_active = active_fds_.size();
+  stats.connections_active = active_conns_.size();
   stats.requests_served = requests_served_.load();
   stats.request_errors = request_errors_.load();
+  stats.connections_evicted_idle = evicted_idle_.load();
+  stats.connections_evicted_slow = evicted_slow_.load();
+  stats.duplicates_replayed = duplicates_replayed_.load();
+  stats.pings_served = pings_served_.load();
+  stats.sessions_evicted = sessions_evicted_.load();
+  {
+    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    stats.sessions_active = sessions_.size();
+  }
   return stats;
+}
+
+std::vector<ConnectionInfo> Server::connection_stats() const {
+  const auto now = SteadyClock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ConnectionInfo> infos;
+  infos.reserve(active_conns_.size());
+  for (const auto& [fd, conn] : active_conns_) {
+    ConnectionInfo info;
+    info.id = conn.id;
+    info.age_ms = ElapsedMs(conn.connected_at, now);
+    info.idle_ms = ElapsedMs(conn.last_activity, now);
+    info.bytes_in = conn.bytes_in;
+    info.bytes_out = conn.bytes_out;
+    info.rpcs = conn.rpcs;
+    infos.push_back(info);
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const ConnectionInfo& a, const ConnectionInfo& b) {
+              return a.id < b.id;
+            });
+  return infos;
 }
 
 void Server::AcceptLoop() {
@@ -98,7 +136,7 @@ void Server::AcceptLoop() {
 
     std::lock_guard<std::mutex> lock(mu_);
     ++connections_accepted_;
-    if (stopping_.load() || active_fds_.size() >= connection_cap_) {
+    if (stopping_.load() || active_conns_.size() >= connection_cap_) {
       // Connection-level shedding: answer with the same wire status an
       // admission shed produces, so one client backoff path covers both.
       ++connections_shed_;
@@ -107,10 +145,15 @@ void Server::AcceptLoop() {
           std::to_string(connection_cap_) + "); retry later");
       (void)WriteFrame(
           fd.get(), static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
-          StatusOnlyResponse(shed, options_.shed_retry_after_ms));
+          StatusOnlyResponse(shed, options_.shed_retry_after_ms),
+          options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1);
       continue;  // fd closes on scope exit
     }
-    active_fds_.insert(fd.get());
+    ConnState conn;
+    conn.id = ++next_connection_id_;
+    conn.connected_at = SteadyClock::now();
+    conn.last_activity = conn.connected_at;
+    active_conns_.emplace(fd.get(), conn);
     // Completed connections leave stale ready futures behind; reap them
     // while we hold the lock anyway.
     std::erase_if(connection_futures_, [](std::future<void>& f) {
@@ -122,22 +165,55 @@ void Server::AcceptLoop() {
   }
 }
 
+void Server::TouchConnection(int fd, uint64_t bytes_in, uint64_t bytes_out,
+                             bool completed_rpc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_conns_.find(fd);
+  if (it == active_conns_.end()) return;
+  it->second.last_activity = SteadyClock::now();
+  it->second.bytes_in += bytes_in;
+  it->second.bytes_out += bytes_out;
+  if (completed_rpc) ++it->second.rpcs;
+}
+
 void Server::HandleConnection(UniqueFd fd) {
   bool hello_done = false;
+  // The idle clock: any completed request (including kPing) resets it.
+  auto last_activity = SteadyClock::now();
   while (!stopping_.load()) {
     auto readable = WaitReadable(fd.get(), options_.idle_poll_ms);
     if (!readable.ok()) break;
-    if (!*readable) continue;  // idle; re-check the stop flag
+    if (!*readable) {
+      if (options_.idle_timeout_ms > 0 &&
+          ElapsedMs(last_activity, SteadyClock::now()) >
+              options_.idle_timeout_ms + options_.eviction_grace_ms) {
+        evicted_idle_.fetch_add(1);
+        break;
+      }
+      continue;  // idle; re-check the stop flag
+    }
     if (!ServeOneRequest(fd.get(), &hello_done)) break;
+    last_activity = SteadyClock::now();
   }
   std::lock_guard<std::mutex> lock(mu_);
-  active_fds_.erase(fd.get());
-  if (active_fds_.empty()) drained_cv_.notify_all();
+  active_conns_.erase(fd.get());
+  if (active_conns_.empty()) drained_cv_.notify_all();
 }
 
 bool Server::ServeOneRequest(int fd, bool* hello_done) {
-  auto request = ReadFrame(fd);
+  const int64_t read_timeout =
+      options_.read_timeout_ms > 0 ? options_.read_timeout_ms : -1;
+  const int64_t write_timeout =
+      options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
+
+  // The caller saw the first byte, so the whole frame now has to arrive
+  // within the read deadline — a sender trickling bytes is a slow client.
+  auto request = ReadFrame(fd, read_timeout);
   if (!request.ok()) {
+    if (request.status().code() == StatusCode::kUnavailable) {
+      evicted_slow_.fetch_add(1);
+      return false;  // no response: the peer is not keeping up anyway
+    }
     // Clean disconnect between frames is the normal end of a connection;
     // everything else (torn frame, checksum mismatch, unknown type) gets a
     // best-effort error response before the close.
@@ -145,7 +221,7 @@ bool Server::ServeOneRequest(int fd, bool* hello_done) {
       request_errors_.fetch_add(1);
       (void)WriteFrame(
           fd, static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
-          StatusOnlyResponse(request.status(), 0));
+          StatusOnlyResponse(request.status(), 0), write_timeout);
     }
     return false;
   }
@@ -154,7 +230,8 @@ bool Server::ServeOneRequest(int fd, bool* hello_done) {
     (void)WriteFrame(fd, request->type,
                      StatusOnlyResponse(Status::InvalidArgument(
                                             "response frame sent as request"),
-                                        0));
+                                        0),
+                     write_timeout);
     return false;
   }
 
@@ -165,8 +242,14 @@ bool Server::ServeOneRequest(int fd, bool* hello_done) {
   } else {
     request_errors_.fetch_add(1);
   }
-  if (Status s = WriteFrame(fd, request->type | kResponseFlag, response);
+  TouchConnection(fd, WireFrameBytes(request->payload.size()),
+                  WireFrameBytes(response.size()), failure.ok());
+  if (Status s = WriteFrame(fd, request->type | kResponseFlag, response,
+                            write_timeout);
       !s.ok()) {
+    // A reader that stopped draining its responses is as stuck as a writer
+    // that stopped sending.
+    if (s.code() == StatusCode::kUnavailable) evicted_slow_.fetch_add(1);
     return false;
   }
   // A protocol-ordering violation (RPC before Hello, bad version) closes the
@@ -183,20 +266,14 @@ std::string Server::DispatchRequest(const WireFrame& request,
                                     bool* hello_done, Status* failure) {
   io::BinaryReader reader(request.payload);
   const MsgType type = static_cast<MsgType>(request.type);
-  const int64_t retry_after_ms =
-      system_->options().admission.retry_after_hint_ms;
-
-  // Everything the payload decoders reject is a malformed (but
-  // CRC-consistent) payload: answer kInvalidArgument, keep the connection.
-  auto malformed = [&](const Status& status) {
-    *failure = Status::InvalidArgument("malformed payload: " +
-                                       status.message());
-    return StatusOnlyResponse(*failure, 0);
-  };
 
   if (type == MsgType::kHello) {
     auto version = reader.ReadU32();
-    if (!version.ok()) return malformed(version.status());
+    if (!version.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         version.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
     io::BinaryWriter writer;
     if (*version != kProtocolVersion) {
       *failure = Status::FailedPrecondition(
@@ -216,6 +293,111 @@ std::string Server::DispatchRequest(const WireFrame& request,
         Status::FailedPrecondition("first message must be Hello");
     return StatusOnlyResponse(*failure, 0);
   }
+
+  if (IsMutatingType(request.type)) {
+    auto token = DecodeIdempotencyToken(&reader);
+    if (!token.ok()) {
+      *failure = Status::InvalidArgument("malformed idempotency token: " +
+                                         token.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    return DispatchMutating(type, *token, &reader, failure);
+  }
+  return ExecuteRequest(type, &reader, failure);
+}
+
+std::string Server::DispatchMutating(MsgType type,
+                                     const IdempotencyToken& token,
+                                     io::BinaryReader* reader,
+                                     Status* failure) {
+  std::shared_ptr<Session> session = GetSession(token.session_id);
+  {
+    std::unique_lock<std::mutex> lock(session->mu);
+    for (;;) {
+      auto it = session->done.find(token.sequence);
+      if (it != session->done.end()) {
+        // Exactly-once in action: the client re-sent after an ambiguous
+        // transport failure; answer byte-identically without re-applying.
+        duplicates_replayed_.fetch_add(1);
+        return it->second;
+      }
+      if (token.sequence <= session->evicted_up_to) {
+        // Trimmed out of the window: replaying is impossible and
+        // re-executing could double-apply, so refuse loudly.
+        *failure = Status::FailedPrecondition(
+            "duplicate sequence " + std::to_string(token.sequence) +
+            " is older than the dedup window; exactly-once cannot be "
+            "guaranteed");
+        return StatusOnlyResponse(*failure, 0);
+      }
+      if (session->executing.count(token.sequence) != 0) {
+        // The original is still running (the client timed out and retried
+        // over a new connection); wait for its response instead of racing.
+        session->cv.wait(lock);
+        continue;
+      }
+      break;  // fresh sequence
+    }
+    session->executing.insert(token.sequence);
+  }
+
+  const std::string response = ExecuteRequest(type, reader, failure);
+
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->executing.erase(token.sequence);
+    session->done[token.sequence] = response;
+    while (session->done.size() > options_.dedup_window) {
+      auto oldest = session->done.begin();
+      session->evicted_up_to =
+          std::max(session->evicted_up_to, oldest->first);
+      session->done.erase(oldest);
+    }
+    session->cv.notify_all();
+  }
+  return response;
+}
+
+std::shared_ptr<Server::Session> Server::GetSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const uint64_t tick = ++session_tick_;
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    it->second->last_used_tick = tick;
+    return it->second;
+  }
+  if (sessions_.size() >= std::max<size_t>(options_.max_sessions, 1)) {
+    // LRU eviction: drop the session idle the longest. Its dedup window is
+    // lost, so a late duplicate from that client gets the loud
+    // kFailedPrecondition refusal rather than a silent double-apply.
+    auto lru = sessions_.begin();
+    for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
+      if (cand->second->last_used_tick < lru->second->last_used_tick) {
+        lru = cand;
+      }
+    }
+    sessions_.erase(lru);
+    sessions_evicted_.fetch_add(1);
+  }
+  auto session = std::make_shared<Session>();
+  session->last_used_tick = tick;
+  sessions_.emplace(id, session);
+  return session;
+}
+
+std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
+                                   Status* failure) {
+  io::BinaryReader& reader = *reader_ptr;
+  const int64_t retry_after_ms =
+      system_->options().admission.retry_after_hint_ms;
+
+  // Everything the payload decoders reject is a malformed (but
+  // CRC-consistent) payload: answer kInvalidArgument, keep the connection.
+  auto malformed = [&](const Status& status) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       status.message());
+    return StatusOnlyResponse(*failure, 0);
+  };
 
   switch (type) {
     case MsgType::kCameraStart: {
@@ -243,6 +425,10 @@ std::string Server::DispatchRequest(const WireFrame& request,
       std::unique_lock<std::shared_mutex> lock(state_mu_);
       *failure = system_->Flush();
       return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kPing: {
+      pings_served_.fetch_add(1);
+      return StatusOnlyResponse(Status::OK(), 0);
     }
     case MsgType::kDirectQuery: {
       auto feature = DecodeFeatureVector(&reader);
@@ -313,6 +499,18 @@ std::string Server::DispatchRequest(const WireFrame& request,
       stats.svs_count = system_->svs_store().size();
       stats.camera_count = system_->cameras().size();
       stats.now_ms = system_->now_ms();
+      const ServerStats serving = this->stats();
+      stats.serving.connections_accepted = serving.connections_accepted;
+      stats.serving.connections_shed = serving.connections_shed;
+      stats.serving.connections_evicted_idle =
+          serving.connections_evicted_idle;
+      stats.serving.connections_evicted_slow =
+          serving.connections_evicted_slow;
+      stats.serving.duplicates_replayed = serving.duplicates_replayed;
+      stats.serving.pings_served = serving.pings_served;
+      stats.serving.sessions_active = serving.sessions_active;
+      stats.serving.sessions_evicted = serving.sessions_evicted;
+      stats.serving.connections = connection_stats();
       io::BinaryWriter writer;
       EncodeWireStatus(&writer, {Status::OK(), 0});
       EncodeMonitorStats(&writer, stats);
@@ -358,10 +556,10 @@ std::string Server::DispatchRequest(const WireFrame& request,
       return writer.buffer();
     }
     case MsgType::kHello:
-      break;  // handled above
+      break;  // handled before dispatch
   }
   *failure = Status::Unimplemented("unhandled message type " +
-                                   std::to_string(request.type));
+                                   std::to_string(static_cast<uint32_t>(type)));
   return StatusOnlyResponse(*failure, 0);
 }
 

@@ -2,15 +2,18 @@
 #define VZ_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/socket.h"
@@ -39,15 +42,56 @@ struct ServerOptions {
   /// Budget `Shutdown` grants in-flight requests before force-closing the
   /// remaining sockets.
   int64_t drain_timeout_ms = 10'000;
+
+  // --- Connection supervision (see DESIGN.md, "Exactly-once and connection
+  // --- supervision"). ---
+
+  /// Once the first byte of a request frame is readable, the whole frame
+  /// must arrive within this budget; a sender trickling bytes past it is
+  /// evicted as a slow client. <= 0 disables the read deadline.
+  int64_t read_timeout_ms = 10'000;
+  /// A response must be accepted by the peer's receive window within this
+  /// budget; a reader that stops draining is evicted as a slow client.
+  /// <= 0 disables the write deadline.
+  int64_t write_timeout_ms = 10'000;
+  /// A connection with no completed request for longer than
+  /// `idle_timeout_ms + eviction_grace_ms` is evicted. `kPing` resets the
+  /// idle clock without touching any state. <= 0 disables idle eviction.
+  int64_t idle_timeout_ms = 0;
+  /// Grace granted past the idle deadline before the connection is closed.
+  int64_t eviction_grace_ms = 100;
+
+  // --- Exactly-once dedup (idempotency tokens). ---
+
+  /// Cached responses retained per client session. A mutating RPC re-sent
+  /// after an ambiguous transport failure is answered from this window
+  /// instead of being re-applied; a duplicate older than the window is
+  /// refused with `kFailedPrecondition` (exactly-once can no longer be
+  /// proven). One in-flight request per client means even a window of 1 is
+  /// safe; the default leaves room for future pipelining.
+  size_t dedup_window = 64;
+  /// Bound on distinct client sessions tracked; least-recently-used
+  /// sessions are evicted beyond it.
+  size_t max_sessions = 1024;
 };
 
-/// Counters of the serving layer (all lifetime totals except the gauge).
+/// Counters of the serving layer (all lifetime totals except the gauges).
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_shed = 0;
   size_t connections_active = 0;  // gauge
   uint64_t requests_served = 0;
   uint64_t request_errors = 0;
+  /// Supervision evictions: no completed request past the idle deadline
+  /// plus grace / a frame read or write that overran its deadline.
+  uint64_t connections_evicted_idle = 0;
+  uint64_t connections_evicted_slow = 0;
+  /// Mutating RPCs answered from a session's dedup window instead of being
+  /// re-applied (exactly-once in action).
+  uint64_t duplicates_replayed = 0;
+  uint64_t pings_served = 0;
+  size_t sessions_active = 0;  // gauge
+  uint64_t sessions_evicted = 0;
 };
 
 /// TCP front end over one `VideoZilla` instance: an accept loop plus
@@ -60,6 +104,18 @@ struct ServerStats {
 /// exclusive (unique lock) — the documented single-caller ingestion
 /// contract, enforced at the service boundary instead of trusted per
 /// client.
+///
+/// Exactly-once: every mutating request carries an idempotency token
+/// (session id + sequence). The server keeps a bounded per-session window of
+/// cached responses; a duplicate sequence is answered byte-identically from
+/// the window without re-executing, and a sequence already executing (the
+/// client timed out and retried while the original is still running) waits
+/// for the original instead of racing it.
+///
+/// Supervision: per-connection read/write deadlines plus idle eviction with
+/// a grace period bound every connection's lifetime; `kPing` is the
+/// keepalive. A registry tracks per-connection bytes/RPCs/age, surfaced
+/// through `stats()`, the Monitor RPC and `vz_server`.
 ///
 /// Overload and deadlines compose end to end: a client deadline travels in
 /// the query constraints and becomes the per-query `CancelToken` budget
@@ -89,15 +145,62 @@ class Server {
 
   ServerStats stats() const;
 
+  /// Snapshot of the per-connection registry (age/idle/bytes/RPCs).
+  std::vector<ConnectionInfo> connection_stats() const;
+
  private:
+  using SteadyClock = std::chrono::steady_clock;
+
+  /// Registry entry of one live connection.
+  struct ConnState {
+    uint64_t id = 0;
+    SteadyClock::time_point connected_at;
+    SteadyClock::time_point last_activity;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t rpcs = 0;
+  };
+
+  /// Exactly-once state of one client session. Sessions are shared across
+  /// reconnects (the token's session id, not the connection, is the key),
+  /// so entries hold their own lock independent of the registry map.
+  struct Session {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Sequences currently executing. A duplicate of one waits on `cv` for
+    /// the cached response instead of double-applying (the client timed out
+    /// and retried over a new connection while the original still runs).
+    std::set<uint64_t> executing;
+    /// Completed sequence -> cached response payload, trimmed to the window.
+    std::map<uint64_t, std::string> done;
+    /// Highest sequence trimmed out of `done`; duplicates at or below it
+    /// can no longer be replayed and are refused.
+    uint64_t evicted_up_to = 0;
+    uint64_t last_used_tick = 0;
+  };
+
   void AcceptLoop();
   void HandleConnection(UniqueFd fd);
   /// Serves one already-readable request; false when the connection should
-  /// close (clean disconnect, torn frame, or protocol violation).
+  /// close (clean disconnect, torn frame, protocol violation, eviction).
   bool ServeOneRequest(int fd, bool* hello_done);
   /// Builds the response payload for one decoded request.
   std::string DispatchRequest(const WireFrame& request, bool* hello_done,
                               Status* failure);
+  /// Runs a tokened mutating request exactly once: replays from the session
+  /// window, waits out a concurrent execution of the same sequence, or
+  /// executes and caches the response. `reader` is positioned past the
+  /// token.
+  std::string DispatchMutating(MsgType type, const IdempotencyToken& token,
+                               io::BinaryReader* reader, Status* failure);
+  /// The RPC switch proper, shared by the tokened and token-free paths.
+  std::string ExecuteRequest(MsgType type, io::BinaryReader* reader,
+                             Status* failure);
+  /// The session for `id`, creating it (and LRU-evicting beyond
+  /// `max_sessions`) as needed.
+  std::shared_ptr<Session> GetSession(uint64_t id);
+  void TouchConnection(int fd, uint64_t bytes_in, uint64_t bytes_out,
+                       bool completed_rpc);
 
   core::VideoZilla* system_;
   const ServerOptions options_;
@@ -115,14 +218,26 @@ class Server {
   /// comment).
   std::shared_mutex state_mu_;
 
+  /// Guards the session registry. Never held while executing an RPC — the
+  /// per-session lock takes over.
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t session_tick_ = 0;
+
   mutable std::mutex mu_;  // guards everything below
   std::condition_variable drained_cv_;
   std::vector<std::future<void>> connection_futures_;
-  std::unordered_set<int> active_fds_;
+  std::unordered_map<int, ConnState> active_conns_;
+  uint64_t next_connection_id_ = 0;
   uint64_t connections_accepted_ = 0;
   uint64_t connections_shed_ = 0;
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> request_errors_{0};
+  std::atomic<uint64_t> evicted_idle_{0};
+  std::atomic<uint64_t> evicted_slow_{0};
+  std::atomic<uint64_t> duplicates_replayed_{0};
+  std::atomic<uint64_t> pings_served_{0};
+  std::atomic<uint64_t> sessions_evicted_{0};
 };
 
 }  // namespace vz::net

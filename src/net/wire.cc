@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -77,9 +79,40 @@ bool IsKnownMessageType(uint32_t type) {
     case MsgType::kQueryLoadStats:
     case MsgType::kSnapshotSave:
     case MsgType::kSnapshotLoad:
+    case MsgType::kPing:
       return true;
   }
   return false;
+}
+
+bool IsMutatingType(uint32_t type) {
+  switch (static_cast<MsgType>(type & ~kResponseFlag)) {
+    case MsgType::kCameraStart:
+    case MsgType::kCameraTerminate:
+    case MsgType::kIngestFrame:
+    case MsgType::kFlush:
+    case MsgType::kSnapshotSave:
+    case MsgType::kSnapshotLoad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void EncodeIdempotencyToken(io::BinaryWriter* writer,
+                            const IdempotencyToken& token) {
+  writer->WriteU64(token.session_id);
+  writer->WriteU64(token.sequence);
+}
+
+StatusOr<IdempotencyToken> DecodeIdempotencyToken(io::BinaryReader* reader) {
+  IdempotencyToken token;
+  VZ_ASSIGN_OR_RETURN(token.session_id, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(token.sequence, reader->ReadU64());
+  if (token.session_id == 0) {
+    return Status::InvalidArgument("idempotency token with zero session id");
+  }
+  return token;
 }
 
 uint32_t StatusCodeToWire(StatusCode code) {
@@ -94,6 +127,7 @@ uint32_t StatusCodeToWire(StatusCode code) {
     case StatusCode::kResourceExhausted: return 7;
     case StatusCode::kCancelled: return 8;
     case StatusCode::kDataLoss: return 9;
+    case StatusCode::kUnavailable: return 10;
   }
   return 5;  // kInternal
 }
@@ -110,6 +144,7 @@ StatusCode StatusCodeFromWire(uint32_t wire) {
     case 7: return StatusCode::kResourceExhausted;
     case 8: return StatusCode::kCancelled;
     case 9: return StatusCode::kDataLoss;
+    case 10: return StatusCode::kUnavailable;
     default: return StatusCode::kInternal;
   }
 }
@@ -181,15 +216,27 @@ StatusOr<WireFrame> DecodeFrame(io::BinaryReader* reader) {
   return frame;
 }
 
-Status WriteFrame(int fd, uint32_t type, const std::string& payload) {
+Status WriteFrame(int fd, uint32_t type, const std::string& payload,
+                  int64_t timeout_ms) {
   const std::string bytes = EncodeFrame(type, payload);
-  return SendAll(fd, bytes.data(), bytes.size());
+  return SendAll(fd, bytes.data(), bytes.size(), timeout_ms);
 }
 
-StatusOr<WireFrame> ReadFrame(int fd) {
+StatusOr<WireFrame> ReadFrame(int fd, int64_t timeout_ms) {
+  // One deadline for the whole frame: header, payload and CRC share the
+  // budget, so trickling any part of it counts as a slow peer.
+  const auto start = std::chrono::steady_clock::now();
+  auto remaining = [&]() -> int64_t {
+    if (timeout_ms < 0) return -1;
+    const int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return std::max<int64_t>(0, timeout_ms - elapsed);
+  };
   // Fixed-size prologue first: magic, type, payload length.
   char header[sizeof(uint32_t) * 2 + sizeof(uint64_t)];
-  VZ_RETURN_IF_ERROR(RecvExact(fd, header, sizeof(header)));
+  VZ_RETURN_IF_ERROR(RecvExact(fd, header, sizeof(header), remaining()));
   uint32_t magic, type;
   uint64_t length;
   std::memcpy(&magic, header, sizeof(magic));
@@ -203,7 +250,7 @@ StatusOr<WireFrame> ReadFrame(int fd) {
   }
   std::string payload(length, '\0');
   if (length > 0) {
-    Status s = RecvExact(fd, payload.data(), payload.size());
+    Status s = RecvExact(fd, payload.data(), payload.size(), remaining());
     if (!s.ok()) {
       return s.code() == StatusCode::kNotFound
                  ? Status::DataLoss("connection closed mid-frame")
@@ -211,7 +258,7 @@ StatusOr<WireFrame> ReadFrame(int fd) {
     }
   }
   uint32_t expected_crc;
-  Status s = RecvExact(fd, &expected_crc, sizeof(expected_crc));
+  Status s = RecvExact(fd, &expected_crc, sizeof(expected_crc), remaining());
   if (!s.ok()) {
     return s.code() == StatusCode::kNotFound
                ? Status::DataLoss("connection closed mid-frame")
@@ -508,6 +555,23 @@ void EncodeMonitorStats(io::BinaryWriter* writer,
   writer->WriteU64(stats.svs_count);
   writer->WriteU64(stats.camera_count);
   writer->WriteI64(stats.now_ms);
+  writer->WriteU64(stats.serving.connections_accepted);
+  writer->WriteU64(stats.serving.connections_shed);
+  writer->WriteU64(stats.serving.connections_evicted_idle);
+  writer->WriteU64(stats.serving.connections_evicted_slow);
+  writer->WriteU64(stats.serving.duplicates_replayed);
+  writer->WriteU64(stats.serving.pings_served);
+  writer->WriteU64(stats.serving.sessions_active);
+  writer->WriteU64(stats.serving.sessions_evicted);
+  writer->WriteU64(stats.serving.connections.size());
+  for (const ConnectionInfo& conn : stats.serving.connections) {
+    writer->WriteU64(conn.id);
+    writer->WriteI64(conn.age_ms);
+    writer->WriteI64(conn.idle_ms);
+    writer->WriteU64(conn.bytes_in);
+    writer->WriteU64(conn.bytes_out);
+    writer->WriteU64(conn.rpcs);
+  }
 }
 
 StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
@@ -534,6 +598,30 @@ StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
   VZ_ASSIGN_OR_RETURN(stats.svs_count, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(stats.camera_count, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(stats.now_ms, reader->ReadI64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.connections_accepted, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.connections_shed, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.connections_evicted_idle,
+                      reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.connections_evicted_slow,
+                      reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.duplicates_replayed, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.pings_served, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.sessions_active, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.sessions_evicted, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint64_t num_connections, reader->ReadU64());
+  // Six fixed-width fields per registry entry.
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, num_connections, 6 * sizeof(uint64_t)));
+  stats.serving.connections.reserve(num_connections);
+  for (uint64_t i = 0; i < num_connections; ++i) {
+    ConnectionInfo conn;
+    VZ_ASSIGN_OR_RETURN(conn.id, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(conn.age_ms, reader->ReadI64());
+    VZ_ASSIGN_OR_RETURN(conn.idle_ms, reader->ReadI64());
+    VZ_ASSIGN_OR_RETURN(conn.bytes_in, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(conn.bytes_out, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(conn.rpcs, reader->ReadU64());
+    stats.serving.connections.push_back(conn);
+  }
   return stats;
 }
 

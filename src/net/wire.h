@@ -43,10 +43,14 @@ namespace vz::net {
 inline constexpr uint32_t kWireMagic = 0x565A5250;  // "VZRP"
 
 /// Protocol version, negotiated by the Hello exchange: the client announces
-/// its version, the server accepts only an exact match (one version exists
-/// so far) and always reports its own version in the HelloAck so mismatched
-/// clients can print a useful error.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// its version, the server accepts only an exact match and always reports
+/// its own version in the HelloAck so mismatched clients can print a useful
+/// error.
+///
+/// v2: mutating request payloads start with an idempotency token
+/// (session id + sequence number), the Monitor reply carries the serving
+/// layer's connection registry, and `kPing` exists as a keepalive.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Upper bound on a frame payload; a length field beyond this is rejected
 /// before any allocation (it is either corruption the CRC would also catch
@@ -70,6 +74,10 @@ enum class MsgType : uint32_t {
   kQueryLoadStats = 12,
   kSnapshotSave = 13,
   kSnapshotLoad = 14,
+  /// Keepalive: an empty request answered with an OK status. Resets the
+  /// server's idle clock without touching any state, so a client that is
+  /// between requests can fend off idle eviction.
+  kPing = 15,
 };
 
 inline constexpr uint32_t kResponseFlag = 0x80000000u;
@@ -77,6 +85,27 @@ inline constexpr uint32_t kResponseFlag = 0x80000000u;
 /// True when `type` (with or without the response flag) names a known
 /// message type.
 bool IsKnownMessageType(uint32_t type);
+
+/// True for RPCs that change server state (camera lifecycle, ingest, flush,
+/// snapshot save/load). Exactly these carry an idempotency token at the
+/// start of their request payload; queries and stats reads stay token-free
+/// (re-executing them is harmless).
+bool IsMutatingType(uint32_t type);
+
+/// Idempotency token stamped by `net::Client` on every mutating request:
+/// a session id unique to the client instance plus a sequence number that
+/// increases by one per logical call (retries of the same call re-send the
+/// same sequence). The server deduplicates on (session, sequence) within a
+/// bounded window and replays the cached response for duplicates, making
+/// reconnect-retries exactly-once.
+struct IdempotencyToken {
+  uint64_t session_id = 0;
+  uint64_t sequence = 0;
+};
+
+void EncodeIdempotencyToken(io::BinaryWriter* writer,
+                            const IdempotencyToken& token);
+StatusOr<IdempotencyToken> DecodeIdempotencyToken(io::BinaryReader* reader);
 
 /// Stable numeric mapping of `StatusCode` for the wire. The in-memory enum
 /// is free to reorder; these values are part of the protocol and must not
@@ -110,9 +139,22 @@ StatusOr<WireFrame> DecodeFrame(io::BinaryReader* reader);
 
 /// Socket-level frame I/O (blocking). `ReadFrame` returns `kNotFound` when
 /// the peer closed cleanly between frames and `kDataLoss` when it closed
-/// mid-frame.
-Status WriteFrame(int fd, uint32_t type, const std::string& payload);
-StatusOr<WireFrame> ReadFrame(int fd);
+/// mid-frame. With `timeout_ms >= 0` the whole frame must be written/read
+/// within that budget (measured from entry); expiry yields `kUnavailable` —
+/// the supervision signal for slow, stalled or blackholed peers. A trickled
+/// header counts against the same budget as the payload, so a slow-loris
+/// sender cannot hold a connection open indefinitely.
+Status WriteFrame(int fd, uint32_t type, const std::string& payload,
+                  int64_t timeout_ms = -1);
+StatusOr<WireFrame> ReadFrame(int fd, int64_t timeout_ms = -1);
+
+/// Bytes `EncodeFrame` produces for a payload of `payload_bytes`: magic,
+/// type, length prefix, payload, CRC. Used by the serving layer's
+/// per-connection byte accounting.
+inline constexpr uint64_t WireFrameBytes(uint64_t payload_bytes) {
+  return sizeof(uint32_t) * 2 + sizeof(uint64_t) + payload_bytes +
+         sizeof(uint32_t);
+}
 
 // --- Payload codecs. Every request/response body used by the RPCs. ---
 
@@ -153,14 +195,43 @@ void EncodeQueryLoadStats(io::BinaryWriter* writer,
                           const core::QueryLoadStats& stats);
 StatusOr<core::QueryLoadStats> DecodeQueryLoadStats(io::BinaryReader* reader);
 
+/// One live connection as reported by the serving layer's registry: its
+/// lifetime, recency and traffic counters, for operator dashboards and the
+/// supervision tests.
+struct ConnectionInfo {
+  uint64_t id = 0;
+  int64_t age_ms = 0;
+  int64_t idle_ms = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t rpcs = 0;
+};
+
+/// Serving-layer counters carried in the Monitor reply (v2): connection
+/// lifecycle totals, supervision evictions, exactly-once replays, and the
+/// per-connection registry snapshot.
+struct ServingStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;
+  uint64_t connections_evicted_idle = 0;
+  uint64_t connections_evicted_slow = 0;
+  uint64_t duplicates_replayed = 0;
+  uint64_t pings_served = 0;
+  uint64_t sessions_active = 0;
+  uint64_t sessions_evicted = 0;
+  std::vector<ConnectionInfo> connections;
+};
+
 /// Body of the Monitor RPC: the system-wide gauges an operator dashboard
-/// polls (ingestion counters, OMD cache effectiveness, corpus size).
+/// polls (ingestion counters, OMD cache effectiveness, corpus size) plus
+/// the serving layer's supervision stats.
 struct MonitorStatsReply {
   core::IngestStats ingest;
   core::OmdCacheStats cache;
   uint64_t svs_count = 0;
   uint64_t camera_count = 0;
   int64_t now_ms = 0;
+  ServingStats serving;
 };
 
 void EncodeMonitorStats(io::BinaryWriter* writer,

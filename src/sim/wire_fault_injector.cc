@@ -1,0 +1,89 @@
+#include "sim/wire_fault_injector.h"
+
+#include "sim/fault_injector.h"
+
+namespace vz::sim {
+
+WireFaultInjector::Ledger& WireFaultInjector::Ledger::operator+=(
+    const Ledger& other) {
+  chunks_seen += other.chunks_seen;
+  chunks_clean += other.chunks_clean;
+  delays += other.delays;
+  splits += other.splits;
+  truncations += other.truncations;
+  bitflips += other.bitflips;
+  blackholes += other.blackholes;
+  resets += other.resets;
+  blackholed_chunks += other.blackholed_chunks;
+  return *this;
+}
+
+WireFaultInjector::WireFaultInjector(const WireFaultInjectorOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+WireFaultInjector WireFaultInjector::Fork() {
+  WireFaultInjector child(options_);
+  child.rng_ = rng_.Fork();
+  return child;
+}
+
+WireFaultInjector::Action WireFaultInjector::Apply(std::string* chunk) {
+  ++ledger_.chunks_seen;
+  Action action;
+  if (blackholed_) {
+    ++ledger_.blackholed_chunks;
+    action.blackhole = true;
+    return action;
+  }
+
+  // One roll, cumulative thresholds: at most one fault per chunk, exact
+  // ledger counts (mirrors FaultInjector::Roll).
+  const double roll = rng_.UniformDouble();
+  double threshold = options_.delay_probability;
+  if (roll < threshold) {
+    ++ledger_.delays;
+    action.delay_ms = options_.delay_ms;
+    return action;
+  }
+  threshold += options_.split_probability;
+  if (roll < threshold && chunk->size() >= 2) {
+    ++ledger_.splits;
+    action.split_at =
+        1 + static_cast<size_t>(rng_.UniformUint64(chunk->size() - 1));
+    return action;
+  }
+  threshold += options_.truncate_probability;
+  if (roll < threshold && !chunk->empty()) {
+    ++ledger_.truncations;
+    // Keep a strict prefix (possibly empty), then die: a torn frame
+    // followed by disconnect, the classic kDataLoss producer.
+    chunk->resize(static_cast<size_t>(rng_.UniformUint64(chunk->size())));
+    action.reset = true;
+    return action;
+  }
+  threshold += options_.bitflip_probability;
+  if (roll < threshold && !chunk->empty()) {
+    ++ledger_.bitflips;
+    (void)FaultInjector::FlipBits(chunk, options_.bitflip_count,
+                                  rng_.NextUint64());
+    return action;
+  }
+  threshold += options_.blackhole_probability;
+  if (roll < threshold) {
+    ++ledger_.blackholes;
+    blackholed_ = true;
+    action.blackhole = true;
+    return action;
+  }
+  threshold += options_.reset_probability;
+  if (roll < threshold) {
+    ++ledger_.resets;
+    chunk->clear();
+    action.reset = true;
+    return action;
+  }
+  ++ledger_.chunks_clean;
+  return action;
+}
+
+}  // namespace vz::sim

@@ -1,0 +1,108 @@
+#ifndef VZ_SIM_WIRE_FAULT_INJECTOR_H_
+#define VZ_SIM_WIRE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace vz::sim {
+
+/// Configuration of the deterministic byte-stream fault injector that powers
+/// the chaos proxy (`net::ChaosProxy`).
+///
+/// Like `FaultInjectorOptions`, per-chunk faults are mutually exclusive: a
+/// single uniform roll against cumulative probability thresholds picks at
+/// most ONE fault per relayed chunk, so every ledger counter is exact and
+/// chaos tests can reason about fault totals instead of bounds. The
+/// probabilities must sum to at most 1.
+struct WireFaultInjectorOptions {
+  uint64_t seed = 42;
+  /// Chunk is forwarded after a pause — transient congestion. Stacks with
+  /// nothing else (it is its own roll outcome).
+  double delay_probability = 0.0;
+  int64_t delay_ms = 2;
+  /// Chunk is forwarded in two separate writes — TCP segmentation. The
+  /// receiver must reassemble; a correct framing layer never notices.
+  double split_probability = 0.0;
+  /// Chunk loses its tail and the connection is reset right after — a torn
+  /// frame followed by disconnect. The receiver sees kDataLoss.
+  double truncate_probability = 0.0;
+  /// A few bits of the chunk flip in transit — the CRC must catch it.
+  double bitflip_probability = 0.0;
+  size_t bitflip_count = 1;
+  /// This chunk and everything after it in this direction is silently
+  /// swallowed while the connection stays open — a mute peer. Only an I/O
+  /// deadline gets the receiver out.
+  double blackhole_probability = 0.0;
+  /// The connection is hard-closed without forwarding the chunk.
+  double reset_probability = 0.0;
+};
+
+/// Deterministic byte-level fault injector for a single relay direction.
+///
+/// `Apply` takes one chunk about to be forwarded, may corrupt it in place,
+/// and describes what the relay should do with it. Not thread-safe: each
+/// relay direction owns its own injector (seeded via `Fork` off a master
+/// generator), which keeps multi-connection chaos runs deterministic per
+/// direction regardless of thread scheduling.
+///
+/// Same seed + same chunk sequence => bit-identical fault sequence.
+class WireFaultInjector {
+ public:
+  /// What the relay must do with the (possibly modified) chunk.
+  struct Action {
+    /// Sleep this long before forwarding.
+    int64_t delay_ms = 0;
+    /// Forward [0, split_at) and [split_at, size) as two writes; 0 = one
+    /// write.
+    size_t split_at = 0;
+    /// Swallow the chunk (and, because the fault is sticky, every later
+    /// chunk in this direction).
+    bool blackhole = false;
+    /// Hard-close the connection after forwarding whatever is left of the
+    /// chunk (which a truncation may have emptied of its tail).
+    bool reset = false;
+  };
+
+  /// Exact record of every fault applied (chunks, not bytes).
+  struct Ledger {
+    uint64_t chunks_seen = 0;
+    uint64_t chunks_clean = 0;
+    uint64_t delays = 0;
+    uint64_t splits = 0;
+    uint64_t truncations = 0;
+    uint64_t bitflips = 0;
+    uint64_t blackholes = 0;
+    uint64_t resets = 0;
+    /// Chunks swallowed because the direction was already blackholed
+    /// (not new faults; excluded from the roll).
+    uint64_t blackholed_chunks = 0;
+
+    Ledger& operator+=(const Ledger& other);
+  };
+
+  explicit WireFaultInjector(const WireFaultInjectorOptions& options);
+
+  /// Rolls at most one fault for `chunk`, corrupting it in place when the
+  /// fault calls for it. Once a blackhole triggered, every later call
+  /// reports `blackhole` without rolling.
+  Action Apply(std::string* chunk);
+
+  /// Child injector with an independent deterministic stream — one per
+  /// relay direction.
+  WireFaultInjector Fork();
+
+  const Ledger& ledger() const { return ledger_; }
+
+ private:
+  WireFaultInjectorOptions options_;
+  Rng rng_;
+  Ledger ledger_;
+  bool blackholed_ = false;
+};
+
+}  // namespace vz::sim
+
+#endif  // VZ_SIM_WIRE_FAULT_INJECTOR_H_

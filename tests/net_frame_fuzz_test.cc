@@ -164,6 +164,131 @@ TEST(FrameFuzzTest, RandomPayloadsAgainstEveryCodec) {
     with_reader([](io::BinaryReader* r) { return DecodeMonitorStats(r); });
     with_reader(
         [](io::BinaryReader* r) { return DecodeCameraHealthReport(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeIdempotencyToken(r); });
+  }
+}
+
+// --- Protocol-v2 wire fields: tokens, ping, supervision stats. ---
+
+TEST(FrameFuzzTest, IdempotencyTokenRoundTripsAndRejectsReservedSession) {
+  io::BinaryWriter writer;
+  EncodeIdempotencyToken(&writer, {0x1122334455667788ULL, 42});
+  io::BinaryReader reader(writer.buffer());
+  auto token = DecodeIdempotencyToken(&reader);
+  ASSERT_TRUE(token.ok());
+  EXPECT_EQ(token->session_id, 0x1122334455667788ULL);
+  EXPECT_EQ(token->sequence, 42u);
+  EXPECT_EQ(reader.remaining(), 0u);
+
+  // Session id 0 is reserved as "no token": a frame carrying it is
+  // well-formed but alien — kInvalidArgument, not kDataLoss.
+  io::BinaryWriter reserved;
+  EncodeIdempotencyToken(&reserved, {0, 7});
+  io::BinaryReader reserved_reader(reserved.buffer());
+  auto rejected = DecodeIdempotencyToken(&reserved_reader);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameFuzzTest, TruncatedTokenIsAlwaysAnError) {
+  io::BinaryWriter writer;
+  EncodeIdempotencyToken(&writer, {99, 3});
+  const std::string bytes = writer.buffer();
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::string torn = bytes;
+    ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+    io::BinaryReader reader(torn);
+    EXPECT_FALSE(DecodeIdempotencyToken(&reader).ok()) << keep;
+  }
+}
+
+// kPing is a known frame type introduced in v2: an empty-payload ping frame
+// must pass the framing layer's known-type check, and a mutating frame's
+// token prefix survives the same truncation/flip treatment as everything
+// else.
+TEST(FrameFuzzTest, PingAndTokenedFramesSurviveTheFuzzSweep) {
+  const std::string ping =
+      EncodeFrame(static_cast<uint32_t>(MsgType::kPing), "");
+  {
+    io::BinaryReader reader(ping);
+    auto frame = DecodeFrame(&reader);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, static_cast<uint32_t>(MsgType::kPing));
+    EXPECT_TRUE(frame->payload.empty());
+  }
+  // A tokened mutating frame, as the client builds it: token then body.
+  ASSERT_TRUE(IsMutatingType(static_cast<uint32_t>(MsgType::kFlush)));
+  ASSERT_FALSE(IsMutatingType(static_cast<uint32_t>(MsgType::kDirectQuery)));
+  ASSERT_FALSE(IsMutatingType(static_cast<uint32_t>(MsgType::kPing)));
+  io::BinaryWriter tokened;
+  EncodeIdempotencyToken(&tokened, {77, 8});
+  const std::string frame_bytes =
+      EncodeFrame(static_cast<uint32_t>(MsgType::kFlush), tokened.buffer());
+  for (size_t keep = 0; keep < frame_bytes.size(); ++keep) {
+    std::string torn = frame_bytes;
+    ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+    io::BinaryReader reader(torn);
+    EXPECT_EQ(DecodeFrame(&reader).status().code(), StatusCode::kDataLoss)
+        << keep;
+  }
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    std::string corrupt = frame_bytes;
+    ASSERT_TRUE(FaultInjector::FlipBits(&corrupt, 2, seed).ok());
+    io::BinaryReader reader(corrupt);
+    auto frame = DecodeFrame(&reader);
+    ASSERT_FALSE(frame.ok()) << "seed " << seed;
+    EXPECT_TRUE(IsFuzzStatus(frame.status()));
+  }
+}
+
+// The v2 MonitorStats payload (serving counters + connection registry)
+// round-trips exactly and fails cleanly under truncation.
+TEST(FrameFuzzTest, MonitorStatsV2RoundTripsAndFailsCleanlyWhenTorn) {
+  MonitorStatsReply stats;
+  stats.ingest.frames_offered = 123;
+  stats.svs_count = 9;
+  stats.camera_count = 4;
+  stats.now_ms = 77'000;
+  stats.serving.connections_accepted = 6;
+  stats.serving.connections_shed = 1;
+  stats.serving.connections_evicted_idle = 2;
+  stats.serving.connections_evicted_slow = 3;
+  stats.serving.duplicates_replayed = 4;
+  stats.serving.pings_served = 5;
+  stats.serving.sessions_active = 2;
+  stats.serving.sessions_evicted = 1;
+  stats.serving.connections.push_back({11, 5'000, 40, 1'024, 2'048, 17});
+  stats.serving.connections.push_back({12, 100, 0, 64, 96, 1});
+  io::BinaryWriter writer;
+  EncodeMonitorStats(&writer, stats);
+
+  io::BinaryReader reader(writer.buffer());
+  auto decoded = DecodeMonitorStats(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(decoded->ingest.frames_offered, 123u);
+  EXPECT_EQ(decoded->serving.connections_evicted_idle, 2u);
+  EXPECT_EQ(decoded->serving.connections_evicted_slow, 3u);
+  EXPECT_EQ(decoded->serving.duplicates_replayed, 4u);
+  EXPECT_EQ(decoded->serving.pings_served, 5u);
+  EXPECT_EQ(decoded->serving.sessions_active, 2u);
+  EXPECT_EQ(decoded->serving.sessions_evicted, 1u);
+  ASSERT_EQ(decoded->serving.connections.size(), 2u);
+  EXPECT_EQ(decoded->serving.connections[0].id, 11u);
+  EXPECT_EQ(decoded->serving.connections[0].age_ms, 5'000);
+  EXPECT_EQ(decoded->serving.connections[0].idle_ms, 40);
+  EXPECT_EQ(decoded->serving.connections[0].bytes_in, 1'024u);
+  EXPECT_EQ(decoded->serving.connections[0].bytes_out, 2'048u);
+  EXPECT_EQ(decoded->serving.connections[0].rpcs, 17u);
+  EXPECT_EQ(decoded->serving.connections[1].id, 12u);
+
+  const std::string bytes = writer.buffer();
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::string torn = bytes;
+    ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+    io::BinaryReader torn_reader(torn);
+    EXPECT_FALSE(DecodeMonitorStats(&torn_reader).ok()) << keep;
   }
 }
 

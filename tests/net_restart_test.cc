@@ -1,0 +1,175 @@
+// End-to-end restart drill: a server dies mid-ingest, a fresh process
+// restores the last v2 snapshot on the same port, and the surviving client
+// reconnects and resumes — with no frame lost and none double-applied.
+// This is the serving-layer complement to restore_test's in-process
+// crash-recovery coverage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/videozilla.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sim/dataset.h"
+
+namespace vz::net {
+namespace {
+
+using core::VideoZilla;
+using core::VideoZillaOptions;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+sim::DeploymentOptions SmallDeployment() {
+  sim::DeploymentOptions options;
+  options.cities = 1;
+  options.downtown_per_city = 1;
+  options.highway_cameras = 1;
+  options.train_stations = 1;
+  options.harbors = 1;
+  options.feed_duration_ms = 90'000;
+  options.fps = 1.0;
+  options.feature_dim = 32;
+  options.seed = 29;
+  return options;
+}
+
+VideoZillaOptions SmallSystemOptions() {
+  VideoZillaOptions options;
+  options.segmenter.t_max_ms = 20'000;
+  options.enable_keyframe_selection = false;
+  options.ingest.expected_feature_dim = 32;
+  return options;
+}
+
+TEST(NetRestartTest, ServerRestartFromSnapshotLosesNoFrameAppliesNoneTwice) {
+  const std::string snapshot_path = TempPath("net_restart.vzss");
+  sim::Deployment deployment(SmallDeployment());
+  const auto& observations = deployment.observations();
+  ASSERT_GE(observations.size(), 8u);
+  const size_t midpoint = observations.size() / 2;
+
+  // The client outlives both server incarnations: pinned session, generous
+  // reconnect budget, tight backoff so the drill stays fast.
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = 1'000;
+  client_options.io_timeout_ms = 2'000;
+  client_options.max_reconnects = 100;
+  client_options.backoff_floor_ms = 5;
+  client_options.backoff_cap_ms = 50;
+  client_options.session_id = 4242;
+  client_options.backoff_seed = 7;
+
+  uint16_t port = 0;
+  std::unique_ptr<Client> client;
+  {
+    // --- Incarnation #1: ingest the first half, snapshot, die. ---
+    VideoZilla system(SmallSystemOptions());
+    Server server(&system, {});
+    ASSERT_TRUE(server.Start().ok());
+    port = server.port();
+    auto connected = Client::Connect("127.0.0.1", port, client_options);
+    ASSERT_TRUE(connected.ok());
+    client = std::make_unique<Client>(std::move(*connected));
+    for (const auto& info : deployment.cameras()) {
+      ASSERT_TRUE(client->CameraStart(info.camera).ok());
+    }
+    for (size_t i = 0; i < midpoint; ++i) {
+      ASSERT_TRUE(client->IngestFrame(observations[i]).ok());
+    }
+    ASSERT_TRUE(client->Flush().ok());
+    ASSERT_TRUE(client->SaveSnapshot(snapshot_path).ok());
+    server.Shutdown();  // the "crash": every connection drops
+  }
+
+  // --- Incarnation #2: fresh process, same port, restore over the wire. ---
+  VideoZilla restored(SmallSystemOptions());
+  Server server(&restored, [&] {
+    ServerOptions options;
+    options.port = port;
+    return options;
+  }());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.port(), port);
+
+  // The old client auto-reconnects on its next call: LoadSnapshot restores
+  // the pre-crash corpus and restarts its pipelines on demand.
+  auto loaded = client->LoadSnapshot(snapshot_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(client->call_stats().reconnects, 0u);
+  EXPECT_GT(client->call_stats().transport_failures, 0u);
+
+  // Re-issuing CameraStart is the client's crash-agnostic resume protocol:
+  // cameras the snapshot restored answer "already started", cameras that
+  // never produced an SVS before the crash start fresh. Both are fine.
+  for (const auto& info : deployment.cameras()) {
+    Status status = client->CameraStart(info.camera);
+    EXPECT_TRUE(status.ok() ||
+                status.code() == StatusCode::kFailedPrecondition)
+        << status.ToString();
+  }
+  for (size_t i = midpoint; i < observations.size(); ++i) {
+    Status status = client->IngestFrame(observations[i]);
+    ASSERT_TRUE(status.ok()) << "frame " << i << ": " << status.ToString();
+  }
+  ASSERT_TRUE(client->Flush().ok());
+
+  // Exactly-once across the restart: incarnation #2 saw the second half
+  // only — no frame re-applied, none lost, none rejected as a duplicate.
+  EXPECT_EQ(restored.ingest_stats().frames_offered,
+            observations.size() - midpoint);
+  EXPECT_EQ(restored.ingest_stats().duplicates_dropped, 0u);
+  EXPECT_EQ(restored.ingest_stats().out_of_order_dropped, 0u);
+
+  // Per-camera ledger: count the second-half frames each camera sent and
+  // compare against the restored system's own accounting.
+  for (const auto& info : deployment.cameras()) {
+    uint64_t sent = 0;
+    for (size_t i = midpoint; i < observations.size(); ++i) {
+      if (observations[i].camera == info.camera) ++sent;
+    }
+    auto stats = restored.camera_ingest_stats(info.camera);
+    ASSERT_TRUE(stats.ok()) << info.camera;
+    EXPECT_EQ(stats->frames_offered, sent) << info.camera;
+    EXPECT_EQ(stats->duplicates_dropped, 0u) << info.camera;
+  }
+
+  // Control: the same stream ingested into one uninterrupted system, with a
+  // Flush at the same midpoint boundary, yields bit-identical query results.
+  VideoZilla control(SmallSystemOptions());
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(control.CameraStart(info.camera).ok());
+  }
+  for (size_t i = 0; i < midpoint; ++i) {
+    ASSERT_TRUE(control.IngestFrame(observations[i]).ok());
+  }
+  ASSERT_TRUE(control.Flush().ok());
+  for (size_t i = midpoint; i < observations.size(); ++i) {
+    ASSERT_TRUE(control.IngestFrame(observations[i]).ok());
+  }
+  ASSERT_TRUE(control.Flush().ok());
+
+  EXPECT_EQ(restored.svs_store().size(), control.svs_store().size());
+  Rng rng(11);
+  const FeatureVector query = deployment.MakeQueryFeature(0, &rng);
+  auto expected = control.DirectQuery(query);
+  ASSERT_TRUE(expected.ok());
+  auto remote = client->DirectQuery(query);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(remote->candidate_svss, expected->candidate_svss);
+  EXPECT_EQ(remote->matched_svss, expected->matched_svss);
+  EXPECT_EQ(remote->total_gpu_ms, expected->total_gpu_ms);
+
+  client->Close();
+  server.Shutdown();
+  std::remove(snapshot_path.c_str());
+}
+
+}  // namespace
+}  // namespace vz::net

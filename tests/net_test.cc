@@ -366,6 +366,7 @@ TEST(NetTest, AdmissionShedTravelsAsResourceExhaustedWithRetryAfter) {
     ClientOptions retry;
     retry.max_shed_retries = 50;
     retry.backoff_cap_ms = 50;
+    retry.backoff_jitter = 0;  // exact backoff arithmetic below
     auto client = Client::Connect("127.0.0.1", server.port(), retry);
     ASSERT_TRUE(client.ok());
     auto result = client->DirectQuery(query);
@@ -419,6 +420,7 @@ TEST(NetTest, ConnectionShedIsRetryableAndHonorsRetryAfter) {
   ClientOptions retry;
   retry.max_shed_retries = 50;
   retry.backoff_cap_ms = 40;
+  retry.backoff_jitter = 0;  // exact backoff arithmetic below
   auto second = Client::Connect("127.0.0.1", server.port(), retry);
   releaser.join();
   ASSERT_TRUE(second.ok()) << second.status().ToString();
@@ -600,6 +602,293 @@ TEST(NetTest, SnapshotSaveAndLoadRoundTripOverWire) {
   EXPECT_EQ(result->total_gpu_ms, expected->total_gpu_ms);
   server.Shutdown();
   std::remove(path.c_str());
+}
+
+// --- Backoff arithmetic (pure function, no sockets). ---
+
+TEST(BackoffTest, NoJitterMatchesDoublingWithCap) {
+  ClientOptions options;
+  options.backoff_floor_ms = 10;
+  options.backoff_cap_ms = 100;
+  options.backoff_jitter = 0;
+  EXPECT_EQ(BackoffDelayMs(options, 0, 0, nullptr), 10);
+  EXPECT_EQ(BackoffDelayMs(options, 0, 1, nullptr), 20);
+  EXPECT_EQ(BackoffDelayMs(options, 0, 2, nullptr), 40);
+  EXPECT_EQ(BackoffDelayMs(options, 0, 3, nullptr), 80);
+  EXPECT_EQ(BackoffDelayMs(options, 0, 4, nullptr), 100);  // capped
+  EXPECT_EQ(BackoffDelayMs(options, 0, 20, nullptr), 100);
+  // A server hint overrides the floor as the base.
+  EXPECT_EQ(BackoffDelayMs(options, 37, 0, nullptr), 37);
+  EXPECT_EQ(BackoffDelayMs(options, 37, 1, nullptr), 74);
+}
+
+TEST(BackoffTest, JitterShrinksWithinBoundsAndIsSeedDeterministic) {
+  ClientOptions options;
+  options.backoff_floor_ms = 100;
+  options.backoff_cap_ms = 1'000;
+  options.backoff_jitter = 0.25;
+  Rng a(11), b(11), c(12);
+  bool saw_difference_between_seeds = false;
+  for (size_t attempt = 0; attempt < 8; ++attempt) {
+    const int64_t unjittered = BackoffDelayMs(options, 0, attempt, nullptr);
+    const int64_t da = BackoffDelayMs(options, 0, attempt, &a);
+    const int64_t db = BackoffDelayMs(options, 0, attempt, &b);
+    const int64_t dc = BackoffDelayMs(options, 0, attempt, &c);
+    // Subtractive: never above the deterministic delay, never below the
+    // jitter floor, and the cap stays an honest bound.
+    EXPECT_LE(da, unjittered);
+    EXPECT_GE(da, static_cast<int64_t>(unjittered * 0.75) - 1);
+    EXPECT_LE(da, options.backoff_cap_ms);
+    EXPECT_EQ(da, db);  // same seed, same stream
+    if (da != dc) saw_difference_between_seeds = true;
+  }
+  // Two clients with different seeds must desynchronise — that is the whole
+  // point of jitter.
+  EXPECT_TRUE(saw_difference_between_seeds);
+}
+
+// --- Idempotency tokens: exactly-once over raw sockets. ---
+
+// Performs the client side of the Hello exchange on a raw socket.
+void RawHello(int fd) {
+  io::BinaryWriter hello;
+  hello.WriteU32(kProtocolVersion);
+  ASSERT_TRUE(WriteFrame(fd, static_cast<uint32_t>(MsgType::kHello),
+                         hello.buffer())
+                  .ok());
+  auto ack = ReadFrame(fd);
+  ASSERT_TRUE(ack.ok());
+  io::BinaryReader reader(ack->payload);
+  auto status = DecodeWireStatus(&reader);
+  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(status->status.ok());
+}
+
+// Sends one tokened request and returns (decoded status, raw payload).
+StatusOr<WireFrame> RawTokenedCall(int fd, MsgType type, uint64_t session,
+                                   uint64_t sequence,
+                                   const std::string& body = "") {
+  io::BinaryWriter payload;
+  EncodeIdempotencyToken(&payload, {session, sequence});
+  VZ_RETURN_IF_ERROR(WriteFrame(fd, static_cast<uint32_t>(type),
+                                payload.buffer() + body));
+  return ReadFrame(fd);
+}
+
+Status RawStatusOf(const WireFrame& frame) {
+  io::BinaryReader reader(frame.payload);
+  auto status = DecodeWireStatus(&reader);
+  if (!status.ok()) return status.status();
+  return status->status;
+}
+
+TEST(NetTest, DuplicateMutatingRpcReplayedNotReapplied) {
+  Rig rig;
+  Server server(rig.system.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  RawHello(fd->get());
+
+  io::BinaryWriter body;
+  body.WriteString("cam-x");
+  auto first = RawTokenedCall(fd->get(), MsgType::kCameraStart, 77, 1,
+                              body.buffer());
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(RawStatusOf(*first).ok());
+
+  // The duplicate gets the cached response, byte for byte — NOT the
+  // "camera already started" error a re-execution would produce.
+  auto duplicate = RawTokenedCall(fd->get(), MsgType::kCameraStart, 77, 1,
+                                  body.buffer());
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_TRUE(RawStatusOf(*duplicate).ok());
+  EXPECT_EQ(duplicate->payload, first->payload);
+  EXPECT_EQ(server.stats().duplicates_replayed, 1u);
+
+  // A FRESH sequence for the same camera does re-execute — and correctly
+  // fails, proving the duplicate above never reached the system.
+  auto fresh = RawTokenedCall(fd->get(), MsgType::kCameraStart, 77, 2,
+                              body.buffer());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(RawStatusOf(*fresh).code(), StatusCode::kFailedPrecondition);
+
+  // Same story for ingest: a duplicated frame RPC is absorbed at the wire,
+  // before the ingestion guard ever sees it.
+  const auto& observation = rig.deployment->observations().front();
+  ASSERT_TRUE(
+      RawStatusOf(*RawTokenedCall(fd->get(), MsgType::kCameraStart, 77, 3,
+                                  [&] {
+                                    io::BinaryWriter w;
+                                    w.WriteString(observation.camera);
+                                    return w.buffer();
+                                  }()))
+          .ok());
+  io::BinaryWriter frame_body;
+  EncodeFrameObservation(&frame_body, observation);
+  for (int send = 0; send < 3; ++send) {
+    auto response = RawTokenedCall(fd->get(), MsgType::kIngestFrame, 77, 4,
+                                   frame_body.buffer());
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(RawStatusOf(*response).ok());
+  }
+  EXPECT_EQ(rig.system->ingest_stats().frames_offered, 1u);
+  EXPECT_EQ(server.stats().duplicates_replayed, 3u);
+  EXPECT_EQ(server.stats().sessions_active, 1u);
+  server.Shutdown();
+}
+
+TEST(NetTest, DuplicateOlderThanDedupWindowRefused) {
+  Rig rig;
+  ServerOptions options;
+  options.dedup_window = 2;
+  Server server(rig.system.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  RawHello(fd->get());
+
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    auto response = RawTokenedCall(fd->get(), MsgType::kFlush, 9, seq);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(RawStatusOf(*response).ok());
+  }
+  // Sequence 1 was trimmed out of the 2-deep window: the server can no
+  // longer prove exactly-once, so it refuses loudly instead of re-applying.
+  auto stale = RawTokenedCall(fd->get(), MsgType::kFlush, 9, 1);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(RawStatusOf(*stale).code(), StatusCode::kFailedPrecondition);
+  // Sequence 3 is still inside the window and replays fine.
+  auto recent = RawTokenedCall(fd->get(), MsgType::kFlush, 9, 3);
+  ASSERT_TRUE(recent.ok());
+  EXPECT_TRUE(RawStatusOf(*recent).ok());
+  server.Shutdown();
+}
+
+TEST(NetTest, MutatingRpcWithoutTokenRejectedButConnectionSurvives) {
+  Rig rig;
+  Server server(rig.system.get(), {});
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  RawHello(fd->get());
+
+  // v2 requires a token on every mutating request; a bare payload decodes
+  // as a malformed token.
+  ASSERT_TRUE(
+      WriteFrame(fd->get(), static_cast<uint32_t>(MsgType::kFlush), "").ok());
+  auto bare = ReadFrame(fd->get());
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(RawStatusOf(*bare).code(), StatusCode::kInvalidArgument);
+
+  // Session id 0 is reserved ("no token") and rejected too.
+  auto zero = RawTokenedCall(fd->get(), MsgType::kFlush, 0, 1);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(RawStatusOf(*zero).code(), StatusCode::kInvalidArgument);
+
+  // The connection is still usable afterwards.
+  auto good = RawTokenedCall(fd->get(), MsgType::kFlush, 5, 1);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(RawStatusOf(*good).ok());
+  server.Shutdown();
+}
+
+// --- Connection supervision. ---
+
+TEST(NetTest, PingKeepsIdleConnectionAliveAndIdleOnesGetEvicted) {
+  Rig rig;
+  ServerOptions options;
+  options.idle_timeout_ms = 60;
+  options.eviction_grace_ms = 20;
+  options.idle_poll_ms = 5;
+  Server server(rig.system.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A client that pings through a quiet stretch 4x the idle timeout stays
+  // connected — no eviction, no reconnect.
+  {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 12; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ASSERT_TRUE(client->Ping().ok());
+    }
+    EXPECT_TRUE(client->MonitorStats().ok());
+    EXPECT_EQ(client->call_stats().reconnects, 0u);
+    EXPECT_EQ(client->call_stats().transport_failures, 0u);
+    EXPECT_GE(client->call_stats().pings_sent, 12u);
+  }
+  EXPECT_GE(server.stats().pings_served, 12u);
+  EXPECT_EQ(server.stats().connections_evicted_idle, 0u);
+
+  // A silent client is evicted after idle timeout + grace; its next call
+  // rides the reconnect path transparently.
+  auto idler = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(idler.ok());
+  ASSERT_TRUE(idler->MonitorStats().ok());
+  while (server.stats().connections_evicted_idle == 0 &&
+         server.stats().connections_active > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().connections_evicted_idle, 1u);
+  EXPECT_TRUE(idler->MonitorStats().ok());  // reconnected under the hood
+  EXPECT_GE(idler->call_stats().reconnects, 1u);
+  EXPECT_GE(idler->call_stats().transport_failures, 1u);
+  server.Shutdown();
+}
+
+TEST(NetTest, SlowClientTricklingAFrameIsEvicted) {
+  Rig rig;
+  ServerOptions options;
+  options.read_timeout_ms = 60;
+  options.idle_poll_ms = 5;
+  Server server(rig.system.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
+  ASSERT_TRUE(fd.ok());
+  RawHello(fd->get());
+
+  // Send only the first bytes of a valid frame, then stall. Once the first
+  // byte arrived, the whole frame must land within read_timeout_ms; a
+  // slow-loris trickle must not hold the connection open.
+  const std::string frame =
+      EncodeFrame(static_cast<uint32_t>(MsgType::kMonitorStats), "");
+  ASSERT_TRUE(SendAll(fd->get(), frame.data(), 6).ok());
+  auto next = ReadFrame(fd->get(), 2'000);
+  EXPECT_FALSE(next.ok());  // server hung up on us without a response
+  EXPECT_GE(server.stats().connections_evicted_slow, 1u);
+  server.Shutdown();
+}
+
+TEST(NetTest, ConnectionRegistryTracksTrafficAndTravelsInMonitorStats) {
+  Rig rig;
+  ServerOptions options;
+  options.idle_poll_ms = 5;
+  Server server(rig.system.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Flush().ok());  // mutating: creates a session
+  ASSERT_TRUE(client->Ping().ok());
+
+  const std::vector<ConnectionInfo> registry = server.connection_stats();
+  ASSERT_EQ(registry.size(), 1u);
+  EXPECT_GE(registry[0].rpcs, 3u);  // hello + flush + ping
+  EXPECT_GT(registry[0].bytes_in, 0u);
+  EXPECT_GT(registry[0].bytes_out, 0u);
+  EXPECT_GE(registry[0].age_ms, registry[0].idle_ms);
+
+  // The same registry travels inside MonitorStats for remote operators.
+  auto monitor = client->MonitorStats();
+  ASSERT_TRUE(monitor.ok());
+  EXPECT_GE(monitor->serving.connections_accepted, 1u);
+  EXPECT_GE(monitor->serving.pings_served, 1u);
+  EXPECT_EQ(monitor->serving.sessions_active, 1u);
+  ASSERT_EQ(monitor->serving.connections.size(), 1u);
+  EXPECT_GE(monitor->serving.connections[0].rpcs, 3u);
+  EXPECT_GT(monitor->serving.connections[0].bytes_in, 0u);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().connections_active, 0u);
 }
 
 }  // namespace
