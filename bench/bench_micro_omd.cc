@@ -10,14 +10,15 @@
 #include "common/thread_pool.h"
 #include "core/omd.h"
 #include "sim/dataset.h"
+#include "vector/simd_kernels.h"
 
 namespace {
 
-vz::sim::SyntheticDataset MakePair(size_t vectors) {
+vz::sim::SyntheticDataset MakePair(size_t vectors, size_t dim = 128) {
   vz::sim::SyntheticDatasetOptions options;
   options.num_svs = 2;
   options.vectors_per_svs = vectors;
-  options.dim = 128;
+  options.dim = dim;
   options.num_types = 2;
   options.seed = 71;
   return vz::sim::MakeSyntheticDataset(options);
@@ -51,14 +52,17 @@ void BM_ThresholdedOmd(benchmark::State& state) {
 BENCHMARK(BM_ThresholdedOmd)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 // The parallel ground-distance matrix fill (the quadratic kernel inside
-// every OMD solve) across a threads axis: Args are {vectors per side,
-// threads}. threads = 1 is the serial legacy path; the parallel fills are
-// bit-identical to it. dim = 128, so a 256x256 matrix is ~8.4M FLOPs of
-// batched row kernels — the speedup axis of the PR.
+// every OMD solve) across threads and dim axes: Args are {vectors per side,
+// threads, dim}. threads = 1 is the serial legacy path; the parallel and
+// vectorized fills are bit-identical to it. The `simd` counter records
+// whether the AVX2 kernel table is active (set VZ_SIMD=scalar to force the
+// scalar table and A/B on the same machine); dim = 512 single-threaded is
+// the PR's headline speedup cell.
 void BM_GroundDistanceMatrix(benchmark::State& state) {
   const auto vectors = static_cast<size_t>(state.range(0));
   const auto threads = static_cast<size_t>(state.range(1));
-  const auto data = MakePair(vectors);
+  const auto dim = static_cast<size_t>(state.range(2));
+  const auto data = MakePair(vectors, dim);
   vz::core::OmdOptions options;
   options.max_vectors = vectors;
   vz::core::OmdCalculator calc(options);
@@ -72,10 +76,12 @@ void BM_GroundDistanceMatrix(benchmark::State& state) {
     benchmark::DoNotOptimize(matrix);
   }
   state.counters["threads"] = static_cast<double>(threads);
+  state.counters["dim"] = static_cast<double>(dim);
   state.counters["cells"] = static_cast<double>(vectors * vectors);
+  state.counters["simd"] = vz::simd::Avx2Active() ? 1.0 : 0.0;
 }
 BENCHMARK(BM_GroundDistanceMatrix)
-    ->ArgsProduct({{64, 128, 256}, {1, 2, 4}});
+    ->ArgsProduct({{64, 128, 256}, {1, 2, 4}, {128, 512}});
 
 // Full thresholded OMD (matrix fill + solver) across the same threads axis;
 // the solver stays serial, so this shows the end-to-end Amdahl picture.
@@ -110,6 +116,25 @@ void BM_OcdLowerBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OcdLowerBound)->Arg(64)->Arg(128);
+
+// The int8 shadow tier (Args: {vectors per side, dim}): an n*m pass over
+// quantized codes that must stay orders of magnitude below the float
+// ground-matrix fill it short-circuits.
+void BM_QuantizedLowerBound(benchmark::State& state) {
+  const auto vectors = static_cast<size_t>(state.range(0));
+  const auto dim = static_cast<size_t>(state.range(1));
+  const auto data = MakePair(vectors, dim);
+  vz::core::OmdOptions options;
+  options.max_vectors = vectors;
+  for (auto _ : state) {
+    const double d = vz::core::QuantizedOmdLowerBound(data.svss[0],
+                                                      data.svss[1], options);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["dim"] = static_cast<double>(dim);
+  state.counters["simd"] = vz::simd::Avx2Active() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_QuantizedLowerBound)->ArgsProduct({{64, 128, 256}, {128, 512}});
 
 }  // namespace
 

@@ -54,7 +54,7 @@ void Run() {
     truth.push_back(std::move(set));
   }
 
-  auto report = [&](const char* name, auto&& knn_fn) {
+  auto report = [&](const char* name, const char* key, auto&& knn_fn) {
     double recall = 0.0;
     const uint64_t before = metric.num_distance_evals();
     for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -63,17 +63,21 @@ void Run() {
       for (int id : result) hits += truth[qi].count(id);
       recall += static_cast<double>(hits) / kNeighbors / kQueries;
     }
+    const unsigned long long solves = static_cast<unsigned long long>(
+        metric.num_distance_evals() - before);
     std::printf("%-22s recall %.3f (distinct OMD solves this phase: %llu)\n",
-                name, recall,
-                static_cast<unsigned long long>(metric.num_distance_evals() -
-                                                before));
+                name, recall, solves);
+    std::printf("JSON {\"bench\":\"sec73_ann\",\"index\":\"%s\","
+                "\"neighbors\":%zu,\"queries\":%zu,\"recall\":%.4f,"
+                "\"omd_solves\":%llu}\n",
+                key, kNeighbors, kQueries, recall, solves);
   };
 
   index::PerchTree perch(&metric, index::PerchOptions{});
   for (size_t i = 0; i < data.svss.size(); ++i) {
     (void)perch.Insert(static_cast<int>(i));
   }
-  report("PERCH-OMD (exact NN)", [&perch](int q) {
+  report("PERCH-OMD (exact NN)", "perch", [&perch](int q) {
     auto knn = perch.KNearestNeighbors(q, kNeighbors);
     return knn.ok() ? *knn : std::vector<int>{};
   });
@@ -87,7 +91,7 @@ void Run() {
     items.push_back(static_cast<int>(i));
   }
   (void)ann.Build(items);
-  report("NN-descent (ANN)", [&ann](int q) {
+  report("NN-descent (ANN)", "nn_descent", [&ann](int q) {
     auto knn = ann.KNearestNeighbors(q, kNeighbors);
     return knn.ok() ? *knn : std::vector<int>{};
   });

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in benchmark baselines (BENCH_*.json) from a built
+# tree.
+#
+#   scripts/bench_baseline.sh [build_dir]     # default: build
+#
+# BENCH_micro_omd.json is google-benchmark's native JSON for the kernel-layer
+# microbenchmarks (ground-matrix fill and quantized lower bound, with
+# threads/dim/simd counters). BENCH_sec73_ann.json holds one JSON object per
+# line, scraped from the bench's "JSON {...}" rows. Rerun on AVX2 hardware
+# with VZ_SIMD=scalar to capture a scalar baseline for comparison.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${ROOT}"
+
+"${BUILD_DIR}/bench/bench_micro_omd" \
+  --benchmark_filter='BM_GroundDistanceMatrix|BM_QuantizedLowerBound' \
+  --benchmark_format=json > BENCH_micro_omd.json
+
+"${BUILD_DIR}/bench/bench_sec73_ann" | sed -n 's/^JSON //p' \
+  > BENCH_sec73_ann.json
+
+echo "wrote BENCH_micro_omd.json and BENCH_sec73_ann.json"

@@ -1,6 +1,7 @@
 #include "core/feature_map_metric.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -8,10 +9,13 @@ namespace vz::core {
 
 double FeatureMapListMetric::Distance(int a, int b) {
   if (a == b) return 0.0;
+  // Failures poison the pair with +inf instead of reading as "identical";
+  // see SvsMetric::Distance for the rationale.
   if (a < 0 || b < 0 || static_cast<size_t>(a) >= maps_->size() ||
       static_cast<size_t>(b) >= maps_->size()) {
     VZ_LOG(Error) << "FeatureMapListMetric: id out of range";
-    return 0.0;
+    failed_distances_.fetch_add(1, std::memory_order_relaxed);
+    return std::numeric_limits<double>::infinity();
   }
   int64_t key = 0;
   if (memoize_) {
@@ -26,7 +30,8 @@ double FeatureMapListMetric::Distance(int a, int b) {
                                       (*maps_)[static_cast<size_t>(b)]);
   if (!result.ok()) {
     VZ_LOG(Error) << "OMD failed: " << result.status().ToString();
-    return 0.0;
+    failed_distances_.fetch_add(1, std::memory_order_relaxed);
+    return std::numeric_limits<double>::infinity();
   }
   if (memoize_) memo_.emplace(key, *result);
   return *result;
@@ -47,8 +52,17 @@ double FeatureMapListMetric::LowerBound(int a, int b) {
   };
   const FeatureVector& ca = centroid_of(static_cast<size_t>(a));
   const FeatureVector& cb = centroid_of(static_cast<size_t>(b));
-  if (ca.dim() != cb.dim() || ca.empty()) return 0.0;
-  return EuclideanDistance(ca, cb);
+  double bound = 0.0;
+  if (ca.dim() == cb.dim() && !ca.empty()) {
+    bound = EuclideanDistance(ca, cb);
+  }
+  if (quantized_prune_) {
+    bound = std::max(
+        bound, QuantizedOmdLowerBound((*maps_)[static_cast<size_t>(a)],
+                                      (*maps_)[static_cast<size_t>(b)],
+                                      calculator_->options()));
+  }
+  return bound;
 }
 
 }  // namespace vz::core

@@ -1,6 +1,7 @@
 #ifndef VZ_CORE_FEATURE_MAP_METRIC_H_
 #define VZ_CORE_FEATURE_MAP_METRIC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -20,14 +21,26 @@ class FeatureMapListMetric : public index::ItemMetric {
   /// `maps` and `calculator` must outlive the metric. The list may grow
   /// (ids stay valid); it must not reorder existing entries. With `memoize`
   /// the metric caches pair distances and `num_distance_evals` counts cache
-  /// misses only (actual OMD solves).
+  /// misses only (actual OMD solves). With `quantized_prune`, `LowerBound`
+  /// tightens OCD with the maps' quantized shadows (pruning-only — results
+  /// of the search never change, only how many solves it needs).
   FeatureMapListMetric(const std::vector<FeatureMap>* maps,
-                       OmdCalculator* calculator, bool memoize = false)
-      : maps_(maps), calculator_(calculator), memoize_(memoize) {}
+                       OmdCalculator* calculator, bool memoize = false,
+                       bool quantized_prune = true)
+      : maps_(maps),
+        calculator_(calculator),
+        memoize_(memoize),
+        quantized_prune_(quantized_prune) {}
 
+  /// OMD between the two maps; +inf (poison) on out-of-range ids or solver
+  /// failure, counted in `failed_distances`.
   double Distance(int a, int b) override;
   double LowerBound(int a, int b) override;
   uint64_t num_distance_evals() const override { return num_evals_; }
+  /// Number of Distance calls that failed and returned the +inf poison.
+  uint64_t failed_distances() const {
+    return failed_distances_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() { num_evals_ = 0; }
 
   /// Drops the cached centroid for slot `i`; callers that replace a map at
@@ -41,9 +54,11 @@ class FeatureMapListMetric : public index::ItemMetric {
   const std::vector<FeatureMap>* maps_;
   OmdCalculator* calculator_;
   bool memoize_;
+  bool quantized_prune_;
   std::unordered_map<int64_t, double> memo_;
   std::vector<FeatureVector> centroids_;  // lazily filled, index-aligned
   uint64_t num_evals_ = 0;
+  std::atomic<uint64_t> failed_distances_{0};
 };
 
 }  // namespace vz::core

@@ -12,11 +12,7 @@ namespace {
 // Wire size of a representative feature map: floats per vector plus one
 // double weight each (the Sec. 7.3 traffic accounting).
 size_t WireBytes(const FeatureMap& map) {
-  size_t bytes = 0;
-  for (size_t i = 0; i < map.size(); ++i) {
-    bytes += map.vector(i).dim() * sizeof(float) + sizeof(double);
-  }
-  return bytes;
+  return map.size() * (map.dim() * sizeof(float) + sizeof(double));
 }
 
 }  // namespace
@@ -62,8 +58,11 @@ Status InterCameraIndex::Rebuild() {
   entry_maps_.clear();
   entry_maps_.reserve(entries_.size() + 1);
   for (const RepEntry& e : entries_) entry_maps_.push_back(e.map);
-  metric_ =
-      std::make_unique<FeatureMapListMetric>(&entry_maps_, calculator_);
+  if (metric_ != nullptr) {
+    failed_distances_accum_ += metric_->failed_distances();
+  }
+  metric_ = std::make_unique<FeatureMapListMetric>(
+      &entry_maps_, calculator_, /*memoize=*/false, options_.quantized_prune);
   tree_ = std::make_unique<index::PerchTree>(metric_.get(), options_.perch);
   for (size_t i = 0; i < entries_.size(); ++i) {
     VZ_RETURN_IF_ERROR(tree_->Insert(static_cast<int>(i)));

@@ -26,6 +26,9 @@ struct InterIndexOptions {
   std::optional<size_t> forced_num_groups;
   RepresentativeOptions representative;
   index::PerchOptions perch;
+  /// Tighten the tree's lower bounds with the representatives' quantized
+  /// shadows (see `QuantizedOmdLowerBound`); pruning-only.
+  bool quantized_prune = true;
 };
 
 /// The inter-camera index: indexes the representative SVSs exported by every
@@ -93,6 +96,13 @@ class InterCameraIndex {
   /// Read access to the underlying tree.
   const index::PerchTree& tree() const { return *tree_; }
 
+  /// Cumulative poisoned (+inf) OMD evaluations across all rebuilds of the
+  /// internal metric; folded into `QueryLoadStats::omd_failures`.
+  uint64_t omd_failures() const {
+    return failed_distances_accum_ +
+           (metric_ != nullptr ? metric_->failed_distances() : 0);
+  }
+
  private:
   Status Rebuild();
   Status Regroup();
@@ -107,6 +117,7 @@ class InterCameraIndex {
   std::unique_ptr<index::PerchTree> tree_;
   std::vector<Group> groups_;
   size_t rep_bytes_received_ = 0;
+  uint64_t failed_distances_accum_ = 0;  // from metrics replaced by Rebuild
 };
 
 }  // namespace vz::core

@@ -2,30 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "core/omd_cache.h"
 #include "solver/emd.h"
+#include "vector/simd_kernels.h"
 
 namespace vz::core {
 
 namespace {
 
-// Deterministic, evenly spaced subsample of a map's vectors.
+// Deterministic, evenly spaced subsample of a map's vectors, as raw SoA row
+// pointers into the map's contiguous buffer.
 void Subsample(const FeatureMap& in, size_t cap,
-               std::vector<const FeatureVector*>* vectors,
-               std::vector<double>* weights) {
+               std::vector<const float*>* rows, std::vector<double>* weights) {
   const size_t n = in.size();
   if (n <= cap) {
     for (size_t i = 0; i < n; ++i) {
-      vectors->push_back(&in.vector(i));
+      rows->push_back(in.row(i));
       weights->push_back(in.weight(i));
     }
     return;
   }
   for (size_t k = 0; k < cap; ++k) {
     const size_t i = k * n / cap;
-    vectors->push_back(&in.vector(i));
+    rows->push_back(in.row(i));
     weights->push_back(in.weight(i));
   }
 }
@@ -36,17 +38,32 @@ void Subsample(const FeatureMap& in, size_t cap,
 // order-independent). A fired cancel token stops row claims at the iteration
 // cursor; callers must re-check the token before trusting the matrix — rows
 // skipped after cancellation are left zeroed.
-double FillGroundMatrix(ThreadPool* pool,
-                        const std::vector<const FeatureVector*>& av,
-                        const std::vector<const FeatureVector*>& bv,
+//
+// When the AVX2 table is active the B side is transposed once into a
+// column-major tile so the kernel vectorizes across output columns; every
+// per-pair sum keeps the scalar accumulation order, so the filled matrix is
+// bit-identical to the row-kernel (and to the seed's per-pair) fill.
+double FillGroundMatrix(ThreadPool* pool, const std::vector<const float*>& av,
+                        const std::vector<const float*>& bv, size_t dim,
                         std::vector<double>* cost, const CancelToken* cancel) {
   const size_t n = av.size();
   const size_t m = bv.size();
   cost->assign(n * m, 0.0);
   std::vector<double> row_max(n, 0.0);
+  const simd::KernelTable& kernels = simd::Active();
+  std::vector<float, simd::AlignedAllocator<float>> tile;
+  const bool use_cols = simd::Avx2Active() && m >= 8 && dim > 0;
+  if (use_cols) {
+    tile.resize(m * dim);
+    simd::TransposeRows(bv.data(), m, dim, tile.data());
+  }
   ParallelFor(pool, n, [&](size_t i) {
     double* row = cost->data() + i * m;
-    EuclideanDistancesTo(*av[i], bv.data(), m, row);
+    if (use_cols) {
+      kernels.euclidean_cols(av[i], tile.data(), m, dim, row);
+    } else {
+      kernels.euclidean_rows(av[i], bv.data(), m, dim, row);
+    }
     double mx = 0.0;
     for (size_t j = 0; j < m; ++j) mx = std::max(mx, row[j]);
     row_max[i] = mx;
@@ -102,9 +119,9 @@ StatusOr<double> OmdCalculator::DistanceWithOptions(const FeatureMap& a,
     return Status::InvalidArgument("feature map dimension mismatch");
   }
 
-  std::vector<const FeatureVector*> av;
+  std::vector<const float*> av;
   std::vector<double> aw;
-  std::vector<const FeatureVector*> bv;
+  std::vector<const float*> bv;
   std::vector<double> bw;
   const size_t cap = std::max<size_t>(1, options.max_vectors);
   Subsample(*left, cap, &av, &aw);
@@ -113,7 +130,8 @@ StatusOr<double> OmdCalculator::DistanceWithOptions(const FeatureMap& a,
   // Dense ground-distance matrix, shared by both solver modes.
   const size_t m = bv.size();
   std::vector<double> cost;
-  const double max_cost = FillGroundMatrix(pool_, av, bv, &cost, cancel);
+  const double max_cost =
+      FillGroundMatrix(pool_, av, bv, left->dim(), &cost, cancel);
   // A token that fired during the fill leaves unclaimed rows zeroed (and
   // `max_cost` understated); solving that matrix would produce a plausible
   // but wrong distance, so bail out before the solver ever sees it.
@@ -145,17 +163,88 @@ StatusOr<OmdCalculator::GroundMatrix> OmdCalculator::ComputeGroundMatrix(
   if (a.dim() != b.dim()) {
     return Status::InvalidArgument("feature map dimension mismatch");
   }
-  std::vector<const FeatureVector*> av;
+  std::vector<const float*> av;
   std::vector<double> aw;
-  std::vector<const FeatureVector*> bv;
+  std::vector<const float*> bv;
   std::vector<double> bw;
   Subsample(a, options_.max_vectors, &av, &aw);
   Subsample(b, options_.max_vectors, &bv, &bw);
   GroundMatrix matrix;
   matrix.rows = av.size();
   matrix.cols = bv.size();
-  matrix.max_cost = FillGroundMatrix(pool_, av, bv, &matrix.cost, nullptr);
+  matrix.max_cost =
+      FillGroundMatrix(pool_, av, bv, a.dim(), &matrix.cost, nullptr);
   return matrix;
+}
+
+double QuantizedOmdLowerBound(const FeatureMap& a, const FeatureMap& b,
+                              const OmdOptions& options) {
+  if (a.empty() || b.empty() || a.dim() == 0 || a.dim() != b.dim()) {
+    return 0.0;
+  }
+  // The solver subsamples oversized maps; a bound over the full vector set
+  // would take the min over *more* candidates than the solver sees, which is
+  // not a lower bound on the subsampled distance. Only certify when the
+  // quantized set equals the solver's set.
+  if (a.size() > options.max_vectors || b.size() > options.max_vectors) {
+    return 0.0;
+  }
+  const auto qa = a.quantized();
+  const auto qb = b.quantized();
+  if (!qa.has_value() || !qb.has_value()) return 0.0;
+  const double total_a = a.TotalWeight();
+  const double total_b = b.TotalWeight();
+  if (total_a <= 0.0 || total_b <= 0.0) return 0.0;
+
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t dim = a.dim();
+  const double sa = qa->scale;
+  const double sb = qb->scale;
+  // Componentwise |value - code * scale| <= scale / 2, so the Euclidean
+  // distance between a pair differs from its quantized reconstruction by at
+  // most (sa + sb) / 2 * sqrt(dim).
+  const double margin =
+      0.5 * (sa + sb) * std::sqrt(static_cast<double>(dim));
+  const double kInf = std::numeric_limits<double>::infinity();
+  const simd::KernelTable& kernels = simd::Active();
+
+  std::vector<double> row_min(n, kInf);
+  std::vector<double> col_min(m, kInf);
+  double qmax = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int8_t* ca = qa->codes + i * dim;
+    const double na = sa * sa * qa->norms[i];
+    for (size_t j = 0; j < m; ++j) {
+      const int64_t dot = kernels.dot_i8(ca, qb->codes + j * dim, dim);
+      const double d2 = na + sb * sb * qb->norms[j] -
+                        2.0 * sa * sb * static_cast<double>(dot);
+      const double d = std::sqrt(std::max(0.0, d2));
+      row_min[i] = std::min(row_min[i], d);
+      col_min[j] = std::min(col_min[j], d);
+      qmax = std::max(qmax, d);
+    }
+  }
+
+  // Thresholded mode clips the ground metric at t = alpha * max_cost, and
+  // max_cost is only known to be >= qmax - margin; exact mode has no clip.
+  double cap = kInf;
+  if (options.mode == OmdMode::kThresholded) {
+    const double alpha =
+        std::min(1.0, std::max(1e-3, options.threshold_alpha));
+    cap = alpha * std::max(0.0, qmax - margin);
+  }
+  double bound_a = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    bound_a += a.weight(i) / total_a *
+               std::min(std::max(0.0, row_min[i] - margin), cap);
+  }
+  double bound_b = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    bound_b += b.weight(j) / total_b *
+               std::min(std::max(0.0, col_min[j] - margin), cap);
+  }
+  return std::max(bound_a, bound_b);
 }
 
 SvsMetric::SvsMetric(const SvsStore* store, OmdCalculator* calculator,
@@ -197,17 +286,23 @@ double SvsMetric::Distance(int a, int b) {
       if (it != memo_.end()) return it->second;
     }
   }
+  // Failures poison the pair with +inf: a broken distance must read as
+  // "maximally far", never as 0.0 ("identical"), or clustering and NN
+  // search silently fold unrelated items together. The counter surfaces
+  // through Monitor as QueryLoadStats::omd_failures.
   const FeatureMap* ma = Resolve(a);
   const FeatureMap* mb = Resolve(b);
   if (ma == nullptr || mb == nullptr) {
     VZ_LOG(Error) << "SvsMetric: unknown item id " << (ma ? b : a);
-    return 0.0;
+    failed_distances_.fetch_add(1, std::memory_order_relaxed);
+    return std::numeric_limits<double>::infinity();
   }
   ++num_evals_;
   auto result = calculator_->Distance(*ma, *mb);
   if (!result.ok()) {
     VZ_LOG(Error) << "OMD failed: " << result.status().ToString();
-    return 0.0;
+    failed_distances_.fetch_add(1, std::memory_order_relaxed);
+    return std::numeric_limits<double>::infinity();
   }
   if (cacheable) {
     if (shared_cache_ != nullptr) {
@@ -222,11 +317,22 @@ double SvsMetric::Distance(int a, int b) {
 
 double SvsMetric::LowerBound(int a, int b) {
   if (a == b) return 0.0;
+  // OCD: distance between weighted centroids lower-bounds OMD (Sec. 4.3).
+  double bound = 0.0;
   const FeatureVector& ca = CentroidOf(a);
   const FeatureVector& cb = CentroidOf(b);
-  if (ca.dim() != cb.dim() || ca.empty()) return 0.0;
-  // OCD: distance between weighted centroids lower-bounds OMD (Sec. 4.3).
-  return EuclideanDistance(ca, cb);
+  if (ca.dim() == cb.dim() && !ca.empty()) {
+    bound = EuclideanDistance(ca, cb);
+  }
+  if (options_.quantized_prune) {
+    const FeatureMap* ma = Resolve(a);
+    const FeatureMap* mb = Resolve(b);
+    if (ma != nullptr && mb != nullptr) {
+      bound = std::max(
+          bound, QuantizedOmdLowerBound(*ma, *mb, calculator_->options()));
+    }
+  }
+  return bound;
 }
 
 int SvsMetric::RegisterTemporary(const FeatureMap* map) {

@@ -110,11 +110,38 @@ class OmdCalculator {
   std::atomic<uint64_t> num_computations_{0};
 };
 
+/// A certified lower bound on `OmdCalculator::DistanceWithOptions(a, b,
+/// options, ...)` computed purely from the maps' 8-bit quantized shadows
+/// (`FeatureMap::quantized()`), without touching the float buffers or the
+/// solver.
+///
+/// For every pair the quantized distance q(i, j) satisfies
+/// `|d(i, j) - q(i, j)| <= margin` with `margin = (scale_a + scale_b) / 2 *
+/// sqrt(dim)` (each component is off by at most scale/2). Every unit of
+/// supply mass from row i therefore pays at least
+/// `min(max(0, min_j q(i, j) - margin), cap)` under the solver's effective
+/// ground metric — `cap` accounts for the thresholded mode's `min(d, t)`
+/// ground distance and is +inf in exact mode. The bound is the max of the
+/// supply-side and demand-side sums.
+///
+/// Returns 0 (no information) whenever the tier cannot certify a bound:
+/// empty or mismatched maps, a missing shadow (non-finite values), or a map
+/// larger than `options.max_vectors` — the solver would subsample such a map,
+/// and a bound over a superset of the solver's vectors is not a bound on the
+/// subsampled distance.
+double QuantizedOmdLowerBound(const FeatureMap& a, const FeatureMap& b,
+                              const OmdOptions& options);
+
 /// Options for `SvsMetric`.
 struct SvsMetricOptions {
   /// Cache pairwise distances by SVS-id pair. Keep off when counting OMD
   /// computations for benchmarks that model cold queries.
   bool memoize = true;
+  /// Tighten `LowerBound` with the quantized shadow tier
+  /// (`QuantizedOmdLowerBound`) on top of OCD. Pruning-only: a larger valid
+  /// lower bound lets the best-first search skip OMD solves but can never
+  /// change which neighbors are returned or their distances.
+  bool quantized_prune = true;
 };
 
 /// Binds the OMD metric and OCD lower bound over stored SVSs to the integer
@@ -129,9 +156,18 @@ class SvsMetric : public index::ItemMetric {
   SvsMetric(const SvsStore* store, OmdCalculator* calculator,
             const SvsMetricOptions& options = SvsMetricOptions());
 
+  /// OMD between the two items. A failed solve (solver error, dimension
+  /// mismatch, unknown id) returns +inf — a poison value that keeps the pair
+  /// maximally far apart instead of silently reading as "identical" — and
+  /// bumps `failed_distances`.
   double Distance(int a, int b) override;
   double LowerBound(int a, int b) override;
   uint64_t num_distance_evals() const override { return num_evals_; }
+  /// Number of Distance calls that failed and returned the +inf poison.
+  /// Surfaced through Monitor as `QueryLoadStats::omd_failures`.
+  uint64_t failed_distances() const {
+    return failed_distances_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() { num_evals_ = 0; }
 
   /// Registers a query-time feature map and returns a temporary (negative)
@@ -161,6 +197,7 @@ class SvsMetric : public index::ItemMetric {
   std::unordered_map<int64_t, double> memo_;       // packed (a, b) -> distance
   std::unordered_map<int, FeatureVector> centroids_;
   uint64_t num_evals_ = 0;
+  std::atomic<uint64_t> failed_distances_{0};
 };
 
 }  // namespace vz::core

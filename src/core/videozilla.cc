@@ -60,8 +60,16 @@ VideoZilla::VideoZilla(const VideoZillaOptions& options)
       admission_(options.admission),
       omd_(options.omd),
       omd_cache_(options.omd_cache_capacity),
-      metric_(&store_, &omd_),
-      inter_(&omd_, options.inter, Rng(options.seed ^ 0x1357)) {
+      metric_(&store_, &omd_,
+              SvsMetricOptions{.memoize = true,
+                               .quantized_prune = options.quantized_prune}),
+      inter_(&omd_,
+             [&options] {
+               InterIndexOptions inter = options.inter;
+               inter.quantized_prune = options.quantized_prune;
+               return inter;
+             }(),
+             Rng(options.seed ^ 0x1357)) {
   const size_t threads =
       options_.num_threads == 0
           ? std::max<size_t>(1, std::thread::hardware_concurrency())
@@ -403,6 +411,7 @@ QueryLoadStats VideoZilla::query_load_stats() const {
       timeout_overshoot_ms_total_.load(std::memory_order_relaxed);
   stats.max_in_flight = gate.max_in_flight;
   stats.max_queue = gate.max_queue;
+  stats.omd_failures = metric_.failed_distances() + inter_.omd_failures();
   return stats;
 }
 
@@ -544,8 +553,10 @@ std::vector<SvsId> VideoZilla::DirectCandidates(
         auto svs = store_.Get(filtered[task]);
         if (!svs.ok()) return;
         const FeatureMap& map = (*svs)->features();
+        if (map.dim() != feature.dim()) return;
         for (size_t i = 0; i < map.size(); ++i) {
-          if (EuclideanDistance(feature, map.vector(i)) <= threshold) {
+          if (EuclideanDistance(feature.data(), map.row(i), map.dim()) <=
+              threshold) {
             matched[task] = 1;
             return;
           }

@@ -90,6 +90,11 @@ struct VideoZillaOptions {
   size_t num_threads = 1;
   /// Capacity of the shared SVS-pair OMD distance cache.
   size_t omd_cache_capacity = OmdDistanceCache::kDefaultCapacity;
+  /// Tighten index lower bounds with the 8-bit quantized shadow tier
+  /// (`QuantizedOmdLowerBound`) on top of OCD, in both the per-camera and
+  /// inter-camera indexes. Pruning-only: query results are identical with
+  /// the tier on or off; only the number of OMD solves changes.
+  bool quantized_prune = true;
   /// Ingestion fault tolerance: reorder window, stall/degraded thresholds,
   /// feature validation.
   IngestGuardOptions ingest;
@@ -160,6 +165,10 @@ struct QueryLoadStats {
   int64_t timeout_overshoot_ms_total = 0;
   size_t max_in_flight = 0;
   size_t max_queue = 0;
+  /// OMD distance evaluations that failed and were poisoned to +inf instead
+  /// of silently reading as 0.0 ("identical"). Anything nonzero deserves
+  /// investigation: it means clustering/search quality is degraded.
+  uint64_t omd_failures = 0;
 };
 
 /// Per-camera ingestion/fault counters (introspection; also the inputs of

@@ -37,12 +37,16 @@ void BinaryWriter::WriteLengthPrefixedBytes(const std::string& bytes) {
 }
 
 void BinaryWriter::WriteFloats(const std::vector<float>& values) {
-  WriteU64(values.size());
-  const size_t bytes = values.size() * sizeof(float);
+  WriteFloats(values.data(), values.size());
+}
+
+void BinaryWriter::WriteFloats(const float* values, size_t count) {
+  WriteU64(count);
+  const size_t bytes = count * sizeof(float);
   const size_t offset = buffer_.size();
   buffer_.resize(offset + bytes);
   if (bytes > 0) {
-    std::memcpy(buffer_.data() + offset, values.data(), bytes);
+    std::memcpy(buffer_.data() + offset, values, bytes);
   }
 }
 

@@ -26,6 +26,9 @@ class BinaryWriter {
   void WriteF64(double v);
   void WriteString(const std::string& s);
   void WriteFloats(const std::vector<float>& values);
+  /// As above from a raw buffer (e.g. an SoA FeatureMap row); identical wire
+  /// format.
+  void WriteFloats(const float* values, size_t count);
   /// Appends raw bytes with no length prefix (for pre-encoded payloads).
   void WriteBytes(const std::string& bytes) { buffer_.append(bytes); }
   /// Appends `bytes` behind a u64 length prefix, so a pre-encoded payload

@@ -14,7 +14,7 @@ namespace {
 void WriteFeatureMap(BinaryWriter* writer, const FeatureMap& map) {
   writer->WriteU64(map.size());
   for (size_t i = 0; i < map.size(); ++i) {
-    writer->WriteFloats(map.vector(i).components());
+    writer->WriteFloats(map.row(i), map.dim());
     writer->WriteF64(map.weight(i));
   }
 }
@@ -25,7 +25,7 @@ StatusOr<FeatureMap> ReadFeatureMap(BinaryReader* reader) {
   for (uint64_t i = 0; i < count; ++i) {
     VZ_ASSIGN_OR_RETURN(std::vector<float> values, reader->ReadFloats());
     VZ_ASSIGN_OR_RETURN(double weight, reader->ReadF64());
-    VZ_RETURN_IF_ERROR(map.Add(FeatureVector(std::move(values)), weight));
+    VZ_RETURN_IF_ERROR(map.Add(values.data(), values.size(), weight));
   }
   return map;
 }

@@ -291,7 +291,7 @@ StatusOr<FeatureVector> DecodeFeatureVector(io::BinaryReader* reader) {
 void EncodeFeatureMap(io::BinaryWriter* writer, const FeatureMap& map) {
   writer->WriteU64(map.size());
   for (size_t i = 0; i < map.size(); ++i) {
-    EncodeFeatureVector(writer, map.vector(i));
+    writer->WriteFloats(map.row(i), map.dim());
     writer->WriteF64(map.weight(i));
   }
 }
@@ -302,9 +302,9 @@ StatusOr<FeatureMap> DecodeFeatureMap(io::BinaryReader* reader) {
       CheckCount(*reader, count, sizeof(uint64_t) + sizeof(double)));
   FeatureMap map;
   for (uint64_t i = 0; i < count; ++i) {
-    VZ_ASSIGN_OR_RETURN(FeatureVector v, DecodeFeatureVector(reader));
+    VZ_ASSIGN_OR_RETURN(std::vector<float> values, reader->ReadFloats());
     VZ_ASSIGN_OR_RETURN(double weight, reader->ReadF64());
-    VZ_RETURN_IF_ERROR(map.Add(std::move(v), weight));
+    VZ_RETURN_IF_ERROR(map.Add(values.data(), values.size(), weight));
   }
   return map;
 }
@@ -513,6 +513,7 @@ void EncodeQueryLoadStats(io::BinaryWriter* writer,
   writer->WriteI64(stats.timeout_overshoot_ms_total);
   writer->WriteU64(stats.max_in_flight);
   writer->WriteU64(stats.max_queue);
+  writer->WriteU64(stats.omd_failures);
 }
 
 StatusOr<core::QueryLoadStats> DecodeQueryLoadStats(
@@ -531,6 +532,7 @@ StatusOr<core::QueryLoadStats> DecodeQueryLoadStats(
   stats.max_in_flight = static_cast<size_t>(max_in_flight);
   VZ_ASSIGN_OR_RETURN(uint64_t max_queue, reader->ReadU64());
   stats.max_queue = static_cast<size_t>(max_queue);
+  VZ_ASSIGN_OR_RETURN(stats.omd_failures, reader->ReadU64());
   return stats;
 }
 

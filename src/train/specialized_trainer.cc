@@ -88,11 +88,17 @@ TrainingSetAnalysis SpecializedTrainer::Analyze(
 
   // Visual coherence: mean pairwise distance over a sample of training
   // features, normalized by the sample's centroid norm. Tighter clusters
-  // (same style, same appearance) score higher.
-  std::vector<const FeatureVector*> sample;
+  // (same style, same appearance) score higher. Rows are raw pointers into
+  // the maps' SoA buffers; all training SVSs of one application share the
+  // extractor's dimension.
+  std::vector<const float*> sample;
+  size_t sample_dim = 0;
   for (const core::Svs* svs : training) {
     const FeatureMap& map = svs->features();
-    for (size_t i = 0; i < map.size(); ++i) sample.push_back(&map.vector(i));
+    if (map.empty()) continue;
+    if (sample_dim == 0) sample_dim = map.dim();
+    if (map.dim() != sample_dim) continue;
+    for (size_t i = 0; i < map.size(); ++i) sample.push_back(map.row(i));
   }
   if (sample.size() > 200) {
     rng->Shuffle(&sample);
@@ -103,7 +109,7 @@ TrainingSetAnalysis SpecializedTrainer::Analyze(
     size_t pairs = 0;
     for (size_t i = 0; i < sample.size(); ++i) {
       for (size_t j = i + 1; j < std::min(sample.size(), i + 20); ++j) {
-        total_dist += EuclideanDistance(*sample[i], *sample[j]);
+        total_dist += EuclideanDistance(sample[i], sample[j], sample_dim);
         ++pairs;
       }
     }
@@ -119,7 +125,7 @@ TrainingSetAnalysis SpecializedTrainer::Analyze(
       const size_t limit = std::min<size_t>(map.size(), 40);
       for (size_t i = 0; i < limit; ++i) {
         for (size_t j = i + 1; j < limit; ++j) {
-          target_dist += EuclideanDistance(map.vector(i), map.vector(j));
+          target_dist += EuclideanDistance(map.row(i), map.row(j), map.dim());
           ++target_pairs;
         }
       }

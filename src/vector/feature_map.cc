@@ -1,19 +1,94 @@
 #include "vector/feature_map.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace vz {
 
+namespace {
+
+// Largest dimension for which per-row code norms provably fit int32:
+// dim * 127^2 <= 32768 * 16129 < 2^31.
+constexpr size_t kQuantMaxDim = 32768;
+
+// Growth factor for the quantizer cap: when a new row's max |value| exceeds
+// the current cap, the cap jumps geometrically so an adversarially creeping
+// max re-encodes the map O(log range) times, not O(n) times.
+constexpr float kQuantCapGrowth = 1.5f;
+
+}  // namespace
+
 Status FeatureMap::Add(FeatureVector vector, double weight) {
+  return Add(vector.data(), vector.dim(), weight);
+}
+
+Status FeatureMap::Add(const float* values, size_t dim, double weight) {
   if (weight < 0.0) {
     return Status::InvalidArgument("feature weight must be non-negative");
   }
-  if (!vectors_.empty() && vector.dim() != vectors_[0].dim()) {
+  if (!empty() && dim != dim_) {
     return Status::InvalidArgument("feature vector dimension mismatch");
   }
-  vectors_.push_back(std::move(vector));
+  if (empty()) dim_ = dim;
+  data_.insert(data_.end(), values, values + dim);
   weights_.push_back(weight);
+  UpdateShadowForAppendedRow();
   return Status::OK();
+}
+
+void FeatureMap::QuantizeRow(size_t i) {
+  const float* src = row(i);
+  int8_t* dst = qcodes_.data() + i * dim_;
+  int32_t norm = 0;
+  if (qscale_ == 0.0f) {
+    // Cap 0 means every value seen so far is exactly zero.
+    std::fill(dst, dst + dim_, static_cast<int8_t>(0));
+  } else {
+    for (size_t k = 0; k < dim_; ++k) {
+      long code = std::lround(src[k] / qscale_);
+      code = std::clamp<long>(code, -127, 127);
+      dst[k] = static_cast<int8_t>(code);
+      norm += static_cast<int32_t>(code) * static_cast<int32_t>(code);
+    }
+  }
+  qnorms_[i] = norm;
+}
+
+void FeatureMap::UpdateShadowForAppendedRow() {
+  if (!qvalid_) return;
+  if (dim_ > kQuantMaxDim) {
+    qvalid_ = false;
+    qcodes_.clear();
+    qnorms_.clear();
+    return;
+  }
+  const size_t i = size() - 1;
+  const float* src = row(i);
+  float mx = 0.0f;
+  for (size_t k = 0; k < dim_; ++k) {
+    if (!std::isfinite(src[k])) {
+      qvalid_ = false;
+      qcodes_.clear();
+      qnorms_.clear();
+      return;
+    }
+    mx = std::max(mx, std::fabs(src[k]));
+  }
+  qcodes_.resize(size() * dim_);
+  qnorms_.resize(size());
+  if (mx > qcap_) {
+    qcap_ = std::max(mx, qcap_ * kQuantCapGrowth);
+    qscale_ = qcap_ / 127.0f;
+    for (size_t r = 0; r < size(); ++r) QuantizeRow(r);
+  } else {
+    QuantizeRow(i);
+  }
+}
+
+std::optional<FeatureMap::QuantizedShadow> FeatureMap::quantized() const {
+  if (!qvalid_ || empty()) return std::nullopt;
+  return QuantizedShadow{qcodes_.data(), qnorms_.data(), qscale_};
 }
 
 double FeatureMap::TotalWeight() const {
@@ -32,24 +107,35 @@ std::vector<double> FeatureMap::NormalizedWeights() const {
 }
 
 FeatureVector FeatureMap::Centroid() const {
-  if (vectors_.empty()) return FeatureVector();
-  FeatureVector centroid(dim());
+  if (empty()) return FeatureVector();
+  FeatureVector centroid(dim_);
+  float* acc = centroid.data();
+  const simd::KernelTable& kernels = simd::Active();
   const std::vector<double> normalized = NormalizedWeights();
   if (normalized.empty()) {
     // All weights zero: fall back to the unweighted mean.
-    for (const FeatureVector& v : vectors_) centroid.Add(v);
-    centroid.Scale(1.0 / static_cast<double>(vectors_.size()));
+    for (size_t i = 0; i < size(); ++i) {
+      kernels.add_in_place(acc, row(i), dim_);
+    }
+    kernels.scale_in_place(
+        acc, static_cast<float>(1.0 / static_cast<double>(size())), dim_);
     return centroid;
   }
-  for (size_t i = 0; i < vectors_.size(); ++i) {
-    centroid.Axpy(normalized[i], vectors_[i]);
+  for (size_t i = 0; i < size(); ++i) {
+    kernels.axpy(acc, static_cast<float>(normalized[i]), row(i), dim_);
   }
   return centroid;
 }
 
 void FeatureMap::Clear() {
-  vectors_.clear();
+  dim_ = 0;
+  data_.clear();
   weights_.clear();
+  qvalid_ = true;
+  qscale_ = 0.0f;
+  qcap_ = 0.0f;
+  qcodes_.clear();
+  qnorms_.clear();
 }
 
 double ObjectCentroidDistance(const FeatureMap& a, const FeatureMap& b) {

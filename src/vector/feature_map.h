@@ -2,10 +2,13 @@
 #define VZ_VECTOR_FEATURE_MAP_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "vector/feature_vector.h"
+#include "vector/simd_kernels.h"
 
 namespace vz {
 
@@ -16,6 +19,19 @@ namespace vz {
 /// Raw SVSs carry uniform weights (1/n per vector, Eq. 1); representative
 /// SVSs built by k-clustering (Sec. 3.3) carry weights proportional to
 /// member-cluster sizes. All vectors in a map share one dimension.
+///
+/// Storage is structure-of-arrays: one contiguous, 32-byte-aligned
+/// `size() * dim()` float buffer (row i at `row(i)`) plus a parallel weight
+/// array, so the OMD ground-matrix kernels stream rows without per-vector
+/// pointer chasing. The dimension is fixed by the first `Add` and cached.
+///
+/// Alongside the float rows the map maintains an 8-bit symmetric-quantized
+/// shadow (one shared scale, int8 codes, per-row code norms), kept up to
+/// date incrementally by `Add`. The shadow feeds the quantized OCD pruning
+/// tier in `SvsMetric::LowerBound`: every code satisfies
+/// `|value - code * scale| <= scale / 2`, which certifies a distance lower
+/// bound (see `QuantizedOmdLowerBound`). Maps containing non-finite values
+/// have no shadow (`quantized()` is nullopt) and simply skip that tier.
 class FeatureMap {
  public:
   FeatureMap() = default;
@@ -29,19 +45,32 @@ class FeatureMap {
   /// fixes the map's dimension; later mismatching vectors are rejected.
   Status Add(FeatureVector vector, double weight = 1.0);
 
+  /// As above from a raw buffer of `dim` floats (no FeatureVector needed).
+  Status Add(const float* values, size_t dim, double weight = 1.0);
+
   /// Number of vectors.
-  size_t size() const { return vectors_.size(); }
+  size_t size() const { return weights_.size(); }
 
   /// True iff the map holds no vectors.
-  bool empty() const { return vectors_.empty(); }
+  bool empty() const { return weights_.empty(); }
 
-  /// Dimension of the vectors; 0 for an empty map.
-  size_t dim() const { return vectors_.empty() ? 0 : vectors_[0].dim(); }
+  /// Dimension of the vectors; 0 for an empty map. Cached at the first Add —
+  /// never derived from a stored vector on the hot path.
+  size_t dim() const { return dim_; }
 
-  const FeatureVector& vector(size_t i) const { return vectors_[i]; }
+  /// Row i of the SoA buffer: `dim()` contiguous floats.
+  const float* row(size_t i) const { return data_.data() + i * dim_; }
+
+  /// The whole `size() * dim()` buffer, row-major, 32-byte aligned.
+  const float* data() const { return data_.data(); }
+
+  /// Copy of vector i. Returned by value: the map stores a flat buffer, not
+  /// FeatureVector objects. Use `row(i)` on hot paths.
+  FeatureVector vector(size_t i) const {
+    return FeatureVector(std::vector<float>(row(i), row(i) + dim_));
+  }
+
   double weight(size_t i) const { return weights_[i]; }
-
-  const std::vector<FeatureVector>& vectors() const { return vectors_; }
   const std::vector<double>& weights() const { return weights_; }
 
   /// Sum of raw weights.
@@ -55,12 +84,41 @@ class FeatureMap {
   /// bound (Sec. 4.3). Returns a zero-dim vector for an empty map.
   FeatureVector Centroid() const;
 
-  /// Removes all vectors.
+  /// Removes all vectors (and resets the dimension and quantized shadow).
   void Clear();
 
+  /// View of the quantized shadow. `codes` is row-major `size() * dim()`
+  /// int8; `norms[i]` is the exact int32 sum of squared codes of row i;
+  /// `scale` maps codes back to floats (`value ~ code * scale`, absolute
+  /// error at most `scale / 2` per component). nullopt when the map is
+  /// empty, contains non-finite values, or the dimension is too large for
+  /// exact int32 norms.
+  struct QuantizedShadow {
+    const int8_t* codes;
+    const int32_t* norms;
+    float scale;
+  };
+  std::optional<QuantizedShadow> quantized() const;
+
  private:
-  std::vector<FeatureVector> vectors_;
+  // Re-encodes row i (row(i)) into qcodes_/qnorms_[i] with qscale_.
+  void QuantizeRow(size_t i);
+  // Folds the freshly appended row into the shadow, rescaling if needed.
+  void UpdateShadowForAppendedRow();
+
+  size_t dim_ = 0;
+  std::vector<float, simd::AlignedAllocator<float>> data_;  // size() * dim_
   std::vector<double> weights_;
+
+  // Quantized shadow. Codes live in [-127, 127]; qscale_ == qcap_ / 127
+  // where qcap_ >= max |value| seen so far (grown geometrically so a slowly
+  // increasing max does not trigger quadratic re-encoding). qvalid_ drops to
+  // false — until Clear — on the first non-finite input.
+  bool qvalid_ = true;
+  float qscale_ = 0.0f;
+  float qcap_ = 0.0f;
+  std::vector<int8_t> qcodes_;   // size() * dim_, row-major
+  std::vector<int32_t> qnorms_;  // per-row sum of squared codes
 };
 
 /// Euclidean distance between the two maps' centroids — the Object Centroid

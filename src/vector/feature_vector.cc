@@ -3,28 +3,32 @@
 #include <cassert>
 #include <cmath>
 
+#include "vector/simd_kernels.h"
+
 namespace vz {
 
+// All arithmetic routes through the runtime-dispatched kernel table; every
+// table is bit-identical to the scalar reference (see simd_kernels.h), so
+// results do not depend on which CPU features are present.
+
 double FeatureVector::Norm() const {
-  double sum = 0.0;
-  for (float v : data_) sum += static_cast<double>(v) * v;
-  return std::sqrt(sum);
+  return std::sqrt(simd::Active().sum_squares(data_.data(), data_.size()));
 }
 
 void FeatureVector::Add(const FeatureVector& other) {
   assert(dim() == other.dim());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::Active().add_in_place(data_.data(), other.data_.data(), data_.size());
 }
 
 void FeatureVector::Axpy(double scale, const FeatureVector& other) {
   assert(dim() == other.dim());
-  const float s = static_cast<float>(scale);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  simd::Active().axpy(data_.data(), static_cast<float>(scale),
+                      other.data_.data(), data_.size());
 }
 
 void FeatureVector::Scale(double scale) {
-  const float s = static_cast<float>(scale);
-  for (float& v : data_) v *= s;
+  simd::Active().scale_in_place(data_.data(), static_cast<float>(scale),
+                                data_.size());
 }
 
 void FeatureVector::Normalize() {
@@ -34,44 +38,30 @@ void FeatureVector::Normalize() {
 
 double SquaredDistance(const FeatureVector& a, const FeatureVector& b) {
   assert(a.dim() == b.dim());
-  double sum = 0.0;
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (size_t i = 0; i < a.dim(); ++i) {
-    const double d = static_cast<double>(pa[i]) - pb[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::Active().squared_distance(a.data(), b.data(), a.dim());
 }
 
 double EuclideanDistance(const FeatureVector& a, const FeatureVector& b) {
   return std::sqrt(SquaredDistance(a, b));
 }
 
-namespace {
-
-// Shared inner loop of the batched kernel; same floating-point evaluation
-// order as SquaredDistance so batched and per-pair results agree bitwise.
-inline double SquaredDistanceRaw(const float* pa, const float* pb,
-                                 size_t dim) {
-  double sum = 0.0;
-  for (size_t i = 0; i < dim; ++i) {
-    const double d = static_cast<double>(pa[i]) - pb[i];
-    sum += d * d;
-  }
-  return sum;
+double SquaredDistance(const float* a, const float* b, size_t dim) {
+  return simd::Active().squared_distance(a, b, dim);
 }
 
-}  // namespace
+double EuclideanDistance(const float* a, const float* b, size_t dim) {
+  return std::sqrt(simd::Active().squared_distance(a, b, dim));
+}
 
 void EuclideanDistancesTo(const FeatureVector& a,
                           const FeatureVector* const* bs, size_t count,
                           double* out) {
   const float* pa = a.data();
   const size_t dim = a.dim();
+  const simd::KernelTable& kernels = simd::Active();
   for (size_t j = 0; j < count; ++j) {
     assert(bs[j]->dim() == dim);
-    out[j] = std::sqrt(SquaredDistanceRaw(pa, bs[j]->data(), dim));
+    out[j] = std::sqrt(kernels.squared_distance(pa, bs[j]->data(), dim));
   }
 }
 
@@ -79,19 +69,21 @@ void EuclideanDistancesTo(const FeatureVector& a,
                           const std::vector<FeatureVector>& bs, double* out) {
   const float* pa = a.data();
   const size_t dim = a.dim();
+  const simd::KernelTable& kernels = simd::Active();
   for (size_t j = 0; j < bs.size(); ++j) {
     assert(bs[j].dim() == dim);
-    out[j] = std::sqrt(SquaredDistanceRaw(pa, bs[j].data(), dim));
+    out[j] = std::sqrt(kernels.squared_distance(pa, bs[j].data(), dim));
   }
+}
+
+void EuclideanDistancesTo(const float* a, const float* const* rows,
+                          size_t count, size_t dim, double* out) {
+  simd::Active().euclidean_rows(a, rows, count, dim, out);
 }
 
 double Dot(const FeatureVector& a, const FeatureVector& b) {
   assert(a.dim() == b.dim());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) {
-    sum += static_cast<double>(a[i]) * b[i];
-  }
-  return sum;
+  return simd::Active().dot(a.data(), b.data(), a.dim());
 }
 
 double CosineDistance(const FeatureVector& a, const FeatureVector& b) {

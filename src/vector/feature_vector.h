@@ -76,6 +76,12 @@ double SquaredDistance(const FeatureVector& a, const FeatureVector& b);
 /// of Sec. 3.2.
 double EuclideanDistance(const FeatureVector& a, const FeatureVector& b);
 
+/// Raw-buffer variants for callers holding SoA rows (`FeatureMap::row`).
+/// Same numeric spec as the FeatureVector overloads — results are
+/// bit-identical.
+double SquaredDistance(const float* a, const float* b, size_t dim);
+double EuclideanDistance(const float* a, const float* b, size_t dim);
+
 /// Batched one-vs-many Euclidean distances: writes
 /// `EuclideanDistance(a, *bs[j])` into `out[j]` for every `j < count`.
 ///
@@ -91,6 +97,12 @@ void EuclideanDistancesTo(const FeatureVector& a,
 /// As above over a contiguous array of vectors.
 void EuclideanDistancesTo(const FeatureVector& a,
                           const std::vector<FeatureVector>& bs, double* out);
+
+/// Raw-row variant: `rows[j]` points at `dim` contiguous floats (an SoA row
+/// from `FeatureMap`). This is the form `FillGroundMatrix` feeds the
+/// runtime-dispatched kernels.
+void EuclideanDistancesTo(const float* a, const float* const* rows,
+                          size_t count, size_t dim, double* out);
 
 /// Inner product.
 double Dot(const FeatureVector& a, const FeatureVector& b);

@@ -1,0 +1,137 @@
+#include "vector/simd_kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace vz::simd {
+
+#ifdef VZ_HAVE_AVX2_TU
+namespace internal {
+// Defined in simd_kernels_avx2.cc (compiled with -mavx2).
+const KernelTable& Avx2Table();
+}  // namespace internal
+#endif
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference table. These loops ARE the numeric spec: every other table
+// must match them bit for bit (see the KernelTable contract in the header).
+// ---------------------------------------------------------------------------
+
+double ScalarSquaredDistance(const float* a, const float* b, size_t dim) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double ScalarDot(const float* a, const float* b, size_t dim) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+double ScalarSumSquares(const float* v, size_t dim) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    sum += static_cast<double>(v[i]) * v[i];
+  }
+  return sum;
+}
+
+void ScalarEuclideanRows(const float* a, const float* const* rows,
+                         size_t count, size_t dim, double* out) {
+  for (size_t j = 0; j < count; ++j) {
+    out[j] = std::sqrt(ScalarSquaredDistance(a, rows[j], dim));
+  }
+}
+
+void ScalarEuclideanCols(const float* a, const float* bt, size_t count,
+                         size_t dim, double* out) {
+  for (size_t j = 0; j < count; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = static_cast<double>(a[i]) - bt[i * count + j];
+      sum += d * d;
+    }
+    out[j] = std::sqrt(sum);
+  }
+}
+
+void ScalarAxpy(float* acc, float scale, const float* v, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) acc[i] += scale * v[i];
+}
+
+void ScalarAddInPlace(float* acc, const float* v, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) acc[i] += v[i];
+}
+
+void ScalarScaleInPlace(float* v, float scale, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) v[i] *= scale;
+}
+
+int64_t ScalarDotI8(const int8_t* a, const int8_t* b, size_t dim) {
+  int64_t sum = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",          ScalarSquaredDistance, ScalarDot,
+    ScalarSumSquares,  ScalarEuclideanRows,   ScalarEuclideanCols,
+    ScalarAxpy,        ScalarAddInPlace,      ScalarScaleInPlace,
+    ScalarDotI8,
+};
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<bool> g_force_scalar{false};
+
+const KernelTable* Dispatch() {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return &kScalarTable;
+  const char* env = std::getenv("VZ_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) return &kScalarTable;
+#ifdef VZ_HAVE_AVX2_TU
+  if (__builtin_cpu_supports("avx2")) return &internal::Avx2Table();
+#endif
+  return &kScalarTable;
+}
+
+}  // namespace
+
+const KernelTable& Scalar() { return kScalarTable; }
+
+const KernelTable& Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = Dispatch();
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+bool Avx2Active() { return &Active() != &kScalarTable; }
+
+void ForceScalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+  g_active.store(force ? &kScalarTable : Dispatch(),
+                 std::memory_order_release);
+}
+
+void TransposeRows(const float* const* rows, size_t count, size_t dim,
+                   float* out) {
+  for (size_t j = 0; j < count; ++j) {
+    const float* row = rows[j];
+    for (size_t i = 0; i < dim; ++i) out[i * count + j] = row[i];
+  }
+}
+
+}  // namespace vz::simd

@@ -1,0 +1,217 @@
+// AVX2 kernel table. This translation unit is compiled with -mavx2 (see
+// src/vector/CMakeLists.txt) and is only linked when VZ_ENABLE_AVX2 is ON;
+// the dispatcher in simd_kernels.cc never calls into it unless cpuid reports
+// AVX2 at runtime.
+//
+// Bit-exactness with the scalar reference is the hard requirement here, and
+// it shapes every kernel:
+//
+//  - No FMA anywhere in the float paths. The scalar spec rounds the multiply
+//    and the add separately; a fused multiply-add would skip the
+//    intermediate rounding and drift by ulps.
+//  - Reductions keep the scalar's ascending-index, one-term-at-a-time
+//    summation per output. Single-output kernels (squared_distance, dot,
+//    sum_squares) vectorize only the element-wise term computation — IEEE
+//    sub/mul are deterministic per lane — then drain the four lane terms
+//    into the accumulator in index order with scalar adds.
+//  - The batched kernel gets its parallelism across *outputs* instead:
+//    euclidean_cols reads a column-major tile so one register holds the same
+//    dimension i of eight different targets, and each lane's running sum
+//    still sees dimensions in ascending order. That is where the 2x+ win on
+//    the ground-matrix fill comes from.
+//  - Integer math (dot_i8) is exact in any order, so it uses the classic
+//    unsigned*signed maddubs reduction freely.
+
+#ifdef VZ_HAVE_AVX2_TU
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "vector/simd_kernels.h"
+
+namespace vz::simd {
+namespace {
+
+// Converts the low/high float quads of one 8-float load into two double
+// quads: out_lo = (double)v[0..3], out_hi = (double)v[4..7].
+inline void CvtPsPd8(__m256 v, __m256d* lo, __m256d* hi) {
+  *lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  *hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+}
+
+// Drains a 4-lane double vector of per-element terms into `sum` with scalar
+// adds in lane (= index) order, preserving the reference summation order.
+inline void DrainTerms(__m256d terms, double* sum) {
+  alignas(32) double t[4];
+  _mm256_store_pd(t, terms);
+  *sum += t[0];
+  *sum += t[1];
+  *sum += t[2];
+  *sum += t[3];
+}
+
+double Avx2SquaredDistance(const float* a, const float* b, size_t dim) {
+  double sum = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d da = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d db = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    const __m256d d = _mm256_sub_pd(da, db);
+    DrainTerms(_mm256_mul_pd(d, d), &sum);
+  }
+  for (; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Avx2Dot(const float* a, const float* b, size_t dim) {
+  double sum = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d da = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d db = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    DrainTerms(_mm256_mul_pd(da, db), &sum);
+  }
+  for (; i < dim; ++i) sum += static_cast<double>(a[i]) * b[i];
+  return sum;
+}
+
+double Avx2SumSquares(const float* v, size_t dim) {
+  double sum = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d d = _mm256_cvtps_pd(_mm_loadu_ps(v + i));
+    DrainTerms(_mm256_mul_pd(d, d), &sum);
+  }
+  for (; i < dim; ++i) sum += static_cast<double>(v[i]) * v[i];
+  return sum;
+}
+
+void Avx2EuclideanRows(const float* a, const float* const* rows, size_t count,
+                       size_t dim, double* out) {
+  for (size_t j = 0; j < count; ++j) {
+    out[j] = std::sqrt(Avx2SquaredDistance(a, rows[j], dim));
+  }
+}
+
+// The workhorse: 8 outputs per tile, accumulated in registers across the
+// whole dimension loop. Lane j's sum is built one dimension at a time in
+// ascending order — the same order as the scalar per-pair loop — with
+// separate sub/mul/add (no FMA), so each output is bit-identical to
+// ScalarSquaredDistance on (a, column j).
+void Avx2EuclideanCols(const float* a, const float* bt, size_t count,
+                       size_t dim, double* out) {
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    for (size_t i = 0; i < dim; ++i) {
+      const __m256d ai = _mm256_set1_pd(static_cast<double>(a[i]));
+      __m256d b_lo, b_hi;
+      CvtPsPd8(_mm256_loadu_ps(bt + i * count + j), &b_lo, &b_hi);
+      const __m256d d_lo = _mm256_sub_pd(ai, b_lo);
+      const __m256d d_hi = _mm256_sub_pd(ai, b_hi);
+      acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(d_lo, d_lo));
+      acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(d_hi, d_hi));
+    }
+    alignas(32) double sums[8];
+    _mm256_store_pd(sums, acc_lo);
+    _mm256_store_pd(sums + 4, acc_hi);
+    for (size_t k = 0; k < 8; ++k) out[j + k] = std::sqrt(sums[k]);
+  }
+  // Tail columns: plain scalar loop per output, same order as above.
+  for (; j < count; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = static_cast<double>(a[i]) - bt[i * count + j];
+      sum += d * d;
+    }
+    out[j] = std::sqrt(sum);
+  }
+}
+
+void Avx2Axpy(float* acc, float scale, const float* v, size_t dim) {
+  const __m256 s = _mm256_set1_ps(scale);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 cur = _mm256_loadu_ps(acc + i);
+    const __m256 term = _mm256_mul_ps(s, _mm256_loadu_ps(v + i));
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(cur, term));
+  }
+  for (; i < dim; ++i) acc[i] += scale * v[i];
+}
+
+void Avx2AddInPlace(float* acc, const float* v, size_t dim) {
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    _mm256_storeu_ps(
+        acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                               _mm256_loadu_ps(v + i)));
+  }
+  for (; i < dim; ++i) acc[i] += v[i];
+}
+
+void Avx2ScaleInPlace(float* v, float scale, size_t dim) {
+  const __m256 s = _mm256_set1_ps(scale);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    _mm256_storeu_ps(v + i, _mm256_mul_ps(_mm256_loadu_ps(v + i), s));
+  }
+  for (; i < dim; ++i) v[i] *= scale;
+}
+
+int64_t Avx2DotI8(const int8_t* a, const int8_t* b, size_t dim) {
+  // maddubs multiplies unsigned |a| lanes by signed sign(b, a) lanes and adds
+  // adjacent pairs into int16: with inputs in [-127, 127] each pair is at
+  // most 2 * 127 * 127 = 32258 < 32767, so no saturation. madd_epi16 against
+  // ones widens to int32. Lane accumulators are drained to the int64 total
+  // every kBlock elements, far before any int32 overflow.
+  constexpr size_t kBlock = 8192;
+  const __m256i ones = _mm256_set1_epi16(1);
+  int64_t total = 0;
+  size_t i = 0;
+  while (i + 32 <= dim) {
+    const size_t block_end = std::min(i + ((dim - i) / 32) * 32, i + kBlock);
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 32 <= block_end; i += 32) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      const __m256i abs_a = _mm256_sign_epi8(va, va);
+      const __m256i signed_b = _mm256_sign_epi8(vb, va);
+      const __m256i p16 = _mm256_maddubs_epi16(abs_a, signed_b);
+      acc = _mm256_add_epi32(acc, _mm256_madd_epi16(p16, ones));
+    }
+    alignas(32) int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (int32_t lane : lanes) total += lane;
+  }
+  for (; i < dim; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2",          Avx2SquaredDistance, Avx2Dot,
+    Avx2SumSquares,  Avx2EuclideanRows,   Avx2EuclideanCols,
+    Avx2Axpy,        Avx2AddInPlace,      Avx2ScaleInPlace,
+    Avx2DotI8,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelTable& Avx2Table() { return kAvx2Table; }
+}  // namespace internal
+
+}  // namespace vz::simd
+
+#endif  // VZ_HAVE_AVX2_TU

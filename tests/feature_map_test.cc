@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace vz {
 namespace {
 
@@ -68,6 +75,113 @@ TEST(FeatureMapTest, ClearResets) {
   EXPECT_EQ(map.dim(), 0u);
   // After clearing, a different dimension is acceptable.
   EXPECT_TRUE(map.Add(FeatureVector({1.0f, 2.0f, 3.0f})).ok());
+}
+
+TEST(FeatureMapTest, SoAStorageIsContiguousAndAligned) {
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(FeatureVector({1.0f, 2.0f, 3.0f})).ok());
+  ASSERT_TRUE(map.Add(FeatureVector({4.0f, 5.0f, 6.0f})).ok());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(map.data()) % simd::kSoAAlignment, 0u);
+  EXPECT_EQ(map.row(1), map.data() + map.dim());
+  EXPECT_FLOAT_EQ(map.row(0)[2], 3.0f);
+  EXPECT_FLOAT_EQ(map.row(1)[0], 4.0f);
+  const FeatureVector copy = map.vector(1);
+  ASSERT_EQ(copy.dim(), 3u);
+  EXPECT_FLOAT_EQ(copy[1], 5.0f);
+}
+
+TEST(FeatureMapTest, RawAddMatchesVectorAddAndEnforcesDimension) {
+  const float values[] = {7.0f, 8.0f};
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(values, 2, 2.0).ok());
+  EXPECT_EQ(map.dim(), 2u);
+  EXPECT_DOUBLE_EQ(map.weight(0), 2.0);
+  EXPECT_FLOAT_EQ(map.row(0)[1], 8.0f);
+  const float wrong[] = {1.0f};
+  EXPECT_FALSE(map.Add(wrong, 1).ok());
+  EXPECT_FALSE(map.Add(values, 2, -1.0).ok());
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FeatureMapQuantizedTest, ShadowRoundTripsWithinHalfScale) {
+  Rng rng(91);
+  FeatureMap map;
+  const size_t dim = 17;
+  for (size_t n = 0; n < 30; ++n) {
+    std::vector<float> values(dim);
+    for (float& v : values) {
+      v = static_cast<float>(rng.Gaussian(0.0, std::pow(10.0, n % 4)));
+    }
+    ASSERT_TRUE(map.Add(values.data(), dim).ok());
+  }
+  auto shadow = map.quantized();
+  ASSERT_TRUE(shadow.has_value());
+  ASSERT_GT(shadow->scale, 0.0f);
+  for (size_t i = 0; i < map.size(); ++i) {
+    const float* row = map.row(i);
+    const int8_t* codes = shadow->codes + i * dim;
+    int32_t norm = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_GE(codes[j], -127);
+      EXPECT_LE(codes[j], 127);
+      EXPECT_LE(std::abs(static_cast<double>(row[j]) -
+                         static_cast<double>(codes[j]) * shadow->scale),
+                shadow->scale / 2.0 + 1e-6)
+          << "row " << i << " component " << j;
+      norm += static_cast<int32_t>(codes[j]) * static_cast<int32_t>(codes[j]);
+    }
+    EXPECT_EQ(shadow->norms[i], norm) << "row " << i;
+  }
+}
+
+TEST(FeatureMapQuantizedTest, GrowingMagnitudesRescaleAllRows) {
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(FeatureVector({0.5f, -0.5f})).ok());
+  // A much larger row forces the cap (and scale) to grow; the earlier row
+  // must be re-encoded under the new scale or its codes would overflow their
+  // meaning.
+  ASSERT_TRUE(map.Add(FeatureVector({100.0f, -50.0f})).ok());
+  auto shadow = map.quantized();
+  ASSERT_TRUE(shadow.has_value());
+  EXPECT_GE(shadow->scale * 127.0f, 100.0f - 1e-3f);
+  for (size_t i = 0; i < map.size(); ++i) {
+    for (size_t j = 0; j < map.dim(); ++j) {
+      const float value = map.row(i)[j];
+      const float decoded = shadow->codes[i * map.dim() + j] * shadow->scale;
+      EXPECT_LE(std::abs(value - decoded), shadow->scale / 2.0f + 1e-6f);
+    }
+  }
+}
+
+TEST(FeatureMapQuantizedTest, NonFiniteInputDropsShadowUntilClear) {
+  FeatureMap map;
+  ASSERT_TRUE(map.Add(FeatureVector({1.0f, 2.0f})).ok());
+  EXPECT_TRUE(map.quantized().has_value());
+  ASSERT_TRUE(
+      map.Add(FeatureVector({std::numeric_limits<float>::infinity(), 0.0f}))
+          .ok());
+  EXPECT_FALSE(map.quantized().has_value());
+  // Later clean rows do not resurrect it — the poisoned row is still there.
+  ASSERT_TRUE(map.Add(FeatureVector({3.0f, 4.0f})).ok());
+  EXPECT_FALSE(map.quantized().has_value());
+  map.Clear();
+  ASSERT_TRUE(map.Add(FeatureVector({3.0f, 4.0f})).ok());
+  EXPECT_TRUE(map.quantized().has_value());
+}
+
+TEST(FeatureMapQuantizedTest, EmptyAndAllZeroMaps) {
+  FeatureMap empty;
+  EXPECT_FALSE(empty.quantized().has_value());
+  FeatureMap zeros;
+  ASSERT_TRUE(zeros.Add(FeatureVector({0.0f, 0.0f})).ok());
+  auto shadow = zeros.quantized();
+  // An all-zero map either has no shadow or a degenerate exact one; if
+  // present, codes and norms must be zero.
+  if (shadow.has_value()) {
+    EXPECT_EQ(shadow->codes[0], 0);
+    EXPECT_EQ(shadow->codes[1], 0);
+    EXPECT_EQ(shadow->norms[0], 0);
+  }
 }
 
 }  // namespace
