@@ -7,7 +7,8 @@
 //             [--harbors N] [--minutes M] [--seed S] [--ingest]
 //             [--load PATH] [--max-connections N] [--max-inflight N]
 //             [--serve-seconds T] [--io-timeout-ms T] [--idle-timeout-ms T]
-//             [--dedup-window N]
+//             [--dedup-window N] [--wal-dir PATH] [--wal-fsync-ms T]
+//             [--sync-replication] [--standby-of HOST:PORT]
 //
 // The deployment flags must match the client's so both sides describe the
 // same simulated world: the server needs it for verification ground truth,
@@ -17,6 +18,14 @@
 //
 //   vz_server --port 9400 --downtown 4 --harbors 2 &
 //   vz_cli --connect 127.0.0.1:9400 --downtown 4 --harbors 2 --query boat
+//
+// Durability: --wal-dir makes every ingest ack durable (logged + fsynced,
+// replayed on restart from the same directory). A warm standby tails a
+// WAL-backed primary and promotes itself onto its own --port when the
+// primary stays unreachable:
+//
+//   vz_server --port 9400 --wal-dir /tmp/vz-a --sync-replication &
+//   vz_server --port 9400 --wal-dir /tmp/vz-b --standby-of 127.0.0.1:9400 &
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -55,6 +64,11 @@ struct ServerCliOptions {
   int64_t io_timeout_ms = 0;    // read+write frame deadlines
   int64_t idle_timeout_ms = 0;  // idle eviction; clients Ping to stay alive
   size_t dedup_window = 0;      // exactly-once window per client session
+  // Durability + replication.
+  std::string wal_dir;          // empty = no WAL (acks are memory-only)
+  int64_t wal_fsync_ms = -1;    // group-commit window; <0 keeps the default
+  bool sync_replication = false;
+  std::string standby_of;       // "host:port" of the primary to tail
 };
 
 bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
@@ -95,6 +109,14 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       options->idle_timeout_ms = std::atoll(value);
     } else if (arg == "--dedup-window" && (value = next_value(&i))) {
       options->dedup_window = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--wal-dir" && (value = next_value(&i))) {
+      options->wal_dir = value;
+    } else if (arg == "--wal-fsync-ms" && (value = next_value(&i))) {
+      options->wal_fsync_ms = std::atoll(value);
+    } else if (arg == "--sync-replication") {
+      options->sync_replication = true;
+    } else if (arg == "--standby-of" && (value = next_value(&i))) {
+      options->standby_of = value;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -182,20 +204,70 @@ int main(int argc, char** argv) {
     server_options.idle_timeout_ms = cli.idle_timeout_ms;
   }
   if (cli.dedup_window > 0) server_options.dedup_window = cli.dedup_window;
+  server_options.wal_dir = cli.wal_dir;
+  if (cli.wal_fsync_ms >= 0) {
+    server_options.wal_fsync_interval_ms = cli.wal_fsync_ms;
+  }
+  server_options.sync_replication = cli.sync_replication;
+  if (!cli.standby_of.empty()) {
+    const size_t colon = cli.standby_of.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--standby-of wants HOST:PORT, got %s\n",
+                   cli.standby_of.c_str());
+      return 2;
+    }
+    server_options.standby_of_host = cli.standby_of.substr(0, colon);
+    server_options.standby_of_port = static_cast<uint16_t>(
+        std::atoi(cli.standby_of.c_str() + colon + 1));
+  }
   net::Server server(&vz, server_options);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("vz_server listening on 127.0.0.1:%u (protocol v%u)\n",
-              server.port(), net::kProtocolVersion);
+  if (server.role() == net::ServerRole::kStandby) {
+    std::printf("vz_server standby tailing %s (wal: %s); will promote onto "
+                "port %u if the primary stays unreachable\n",
+                cli.standby_of.c_str(), cli.wal_dir.c_str(), cli.port);
+  } else {
+    std::printf("vz_server listening on 127.0.0.1:%u (protocol v%u%s)\n",
+                server.port(), net::kProtocolVersion,
+                cli.wal_dir.empty() ? ""
+                                    : (", wal: " + cli.wal_dir).c_str());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   const auto started = std::chrono::steady_clock::now();
+  // Auto-promotion is driven from here, never from inside the replication
+  // thread: consecutive 100ms polls that each saw new WalShip failures mean
+  // the primary is gone (not one flaky exchange), so the standby takes over
+  // its serving duties on the configured port.
+  uint64_t last_replication_errors = 0;
+  int failing_polls = 0;
+  constexpr int kPromoteAfterFailingPolls = 20;  // ~2s of sustained failure
   while (!g_interrupted.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (server.role() == net::ServerRole::kStandby) {
+      const uint64_t errors = server.stats().replication_errors;
+      failing_polls = errors > last_replication_errors ? failing_polls + 1 : 0;
+      last_replication_errors = errors;
+      if (failing_polls >= kPromoteAfterFailingPolls) {
+        if (Status s = server.Promote(); s.ok()) {
+          std::printf("primary unreachable for %d polls: promoted, now "
+                      "listening on 127.0.0.1:%u\n",
+                      failing_polls, server.port());
+          std::fflush(stdout);
+        } else {
+          // Likely the old primary still holds the port (split-brain
+          // guard): keep tailing and try again later.
+          std::fprintf(stderr, "promotion failed: %s\n",
+                       s.ToString().c_str());
+          failing_polls = 0;
+        }
+      }
+    }
     if (cli.serve_seconds > 0 &&
         std::chrono::steady_clock::now() - started >=
             std::chrono::seconds(cli.serve_seconds)) {
@@ -225,6 +297,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.duplicates_replayed),
               static_cast<unsigned long long>(stats.sessions_active),
               static_cast<unsigned long long>(stats.sessions_evicted));
+  if (!cli.wal_dir.empty()) {
+    const char* role = stats.role == net::ServerRole::kPrimary ? "primary"
+                       : stats.role == net::ServerRole::kStandby
+                           ? "standby"
+                           : "promoted";
+    std::printf("durability (%s): %llu appends, %llu fsyncs, lsn %llu "
+                "(%llu durable), %llu replayed on recovery, %llu B "
+                "salvaged, %llu checkpoints\n",
+                role, static_cast<unsigned long long>(stats.wal_appends),
+                static_cast<unsigned long long>(stats.wal_fsyncs),
+                static_cast<unsigned long long>(stats.wal_last_lsn),
+                static_cast<unsigned long long>(stats.wal_durable_lsn),
+                static_cast<unsigned long long>(stats.wal_replayed_records),
+                static_cast<unsigned long long>(stats.wal_salvaged_bytes),
+                static_cast<unsigned long long>(stats.wal_checkpoints));
+    if (!cli.standby_of.empty()) {
+      std::printf("replication: lag %llu records, %llu ship errors\n",
+                  static_cast<unsigned long long>(
+                      stats.replication_lag_records),
+                  static_cast<unsigned long long>(stats.replication_errors));
+    }
+  }
   for (const net::ConnectionInfo& conn : connections) {
     std::printf("  conn #%llu: age %llds, idle %lldms, %llu rpcs, "
                 "%llu B in / %llu B out\n",

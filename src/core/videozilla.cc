@@ -369,6 +369,32 @@ void VideoZilla::AdvanceTime(int64_t now_ms) {
   now_ms_ = std::max(now_ms_, now_ms);
 }
 
+StatusOr<CameraGuardState> VideoZilla::ExportCameraGuardState(
+    const CameraId& camera) const {
+  auto it = pipelines_.find(camera);
+  if (it == pipelines_.end()) {
+    return Status::NotFound("camera not started: " + camera);
+  }
+  CameraGuardState state;
+  state.stats = it->second->stats;
+  state.last_frame_id = it->second->last_frame_id;
+  state.expected_dim = it->second->expected_dim;
+  return state;
+}
+
+Status VideoZilla::RestoreCameraGuardState(const CameraId& camera,
+                                           const CameraGuardState& state) {
+  auto it = pipelines_.find(camera);
+  if (it == pipelines_.end()) {
+    return Status::NotFound("camera not started: " + camera);
+  }
+  it->second->stats = state.stats;
+  it->second->last_frame_id = state.last_frame_id;
+  it->second->expected_dim = static_cast<size_t>(state.expected_dim);
+  it->second->started_ms = now_ms_;
+  return Status::OK();
+}
+
 std::pair<std::unordered_set<CameraId>, std::vector<CameraId>>
 VideoZilla::ExcludedCameras(const QueryConstraints& constraints) const {
   std::unordered_set<CameraId> excluded;

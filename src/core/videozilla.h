@@ -184,6 +184,17 @@ struct CameraIngestStats {
   int64_t last_frame_ms = -1;
 };
 
+/// One camera's complete ingestion-guard state (counters, duplicate
+/// detector, pinned feature dimensionality), as captured into a WAL
+/// checkpoint. Replaying a WAL tail over a restored snapshot must resume
+/// from the exact guard state at the cut, or quarantine decisions — and with
+/// them the applied frame set — diverge from the original run.
+struct CameraGuardState {
+  CameraIngestStats stats;
+  int64_t last_frame_id = -1;
+  uint64_t expected_dim = 0;
+};
+
 /// The Video-zilla indexing layer (Fig. 1): per-camera ingestion (key-frame
 /// selection -> segmentation -> intra-camera index) plus one inter-camera
 /// index over representative SVSs, and the query APIs of Sec. 6.
@@ -308,6 +319,22 @@ class VideoZilla {
   /// Advances the health clock without ingesting (e.g. wall-clock ticks
   /// while every feed is silent); `now_ms()` only moves forward.
   void AdvanceTime(int64_t now_ms);
+
+  // --- Durability hooks (WAL checkpoints; see DESIGN.md, "Durability and
+  // --- replication"). ---
+
+  /// Guard state of one started camera, for checkpoint capture.
+  StatusOr<CameraGuardState> ExportCameraGuardState(
+      const CameraId& camera) const;
+  /// Restores guard state onto a started camera and resets its health
+  /// baseline to the current clock (a freshly recovered feed is healthy
+  /// until real silence accumulates).
+  Status RestoreCameraGuardState(const CameraId& camera,
+                                 const CameraGuardState& state);
+  /// Overwrites the global ingest counters with the checkpoint's capture.
+  /// (`RestoreFromSvsStore` re-counts restored SVSs; the checkpoint cut is
+  /// the authority over every counter.)
+  void RestoreIngestStats(const IngestStats& stats) { ingest_stats_ = stats; }
 
  private:
   struct CameraPipeline;

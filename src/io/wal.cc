@@ -1,0 +1,778 @@
+#include "io/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "common/crc32.h"
+#include "io/binary_format.h"
+
+namespace vz::io {
+
+namespace {
+
+std::string SegmentPath(const std::string& dir, uint64_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%010" PRIu64 ".vzwal", seq);
+  return dir + "/" + name;
+}
+
+/// Parses `wal-<seq>.vzwal`; nullopt for anything else in the directory.
+std::optional<uint64_t> ParseSegmentName(const std::string& name) {
+  if (name.size() != 4 + 10 + 6 || name.rfind("wal-", 0) != 0 ||
+      name.substr(14) != ".vzwal") {
+    return std::nullopt;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 4; i < 14; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open WAL directory for fsync: " + dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync of WAL directory failed: " + dir);
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("WAL write failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+constexpr size_t kSegmentHeaderBytes =
+    2 * sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint32_t);
+
+std::string EncodeSegmentHeader(uint64_t start_lsn) {
+  BinaryWriter writer;
+  writer.WriteU32(kWalMagic);
+  writer.WriteU32(kWalFormatVersion);
+  writer.WriteU64(start_lsn);
+  writer.WriteU32(Crc32(writer.buffer()));
+  return writer.buffer();
+}
+
+/// Frames one record: u32 len | payload | u32 crc32(payload).
+std::string EncodeRecord(const WalRecord& record, uint64_t lsn) {
+  BinaryWriter payload;
+  payload.WriteU64(lsn);
+  payload.WriteU64(record.session_id);
+  payload.WriteU64(record.sequence);
+  payload.WriteU32(record.op);
+  payload.WriteLengthPrefixedBytes(record.payload);
+
+  BinaryWriter framed;
+  framed.WriteU32(static_cast<uint32_t>(payload.buffer().size()));
+  framed.WriteBytes(payload.buffer());
+  framed.WriteU32(Crc32(payload.buffer()));
+  return framed.buffer();
+}
+
+/// Decodes the record at the reader's position. `expected_lsn` enforces the
+/// dense LSN chain; any violation (bounds, CRC, chain break) returns an
+/// error — which during a salvage scan means "the valid prefix ends here".
+StatusOr<WalRecord> DecodeRecord(BinaryReader* reader,
+                                 uint64_t expected_lsn) {
+  VZ_ASSIGN_OR_RETURN(uint32_t len, reader->ReadU32());
+  if (len < kWalMinPayloadBytes || len > kWalMaxPayloadBytes) {
+    return Status::DataLoss("implausible WAL record length");
+  }
+  if (reader->remaining() < len + sizeof(uint32_t)) {
+    return Status::DataLoss("torn WAL record");
+  }
+  const std::string_view payload(reader->data().data() + reader->position(),
+                                 len);
+  VZ_RETURN_IF_ERROR(reader->Skip(len));
+  VZ_ASSIGN_OR_RETURN(uint32_t crc, reader->ReadU32());
+  if (crc != Crc32(payload)) {
+    return Status::DataLoss("WAL record checksum mismatch");
+  }
+  BinaryReader body{std::string(payload)};
+  WalRecord record;
+  VZ_ASSIGN_OR_RETURN(record.lsn, body.ReadU64());
+  VZ_ASSIGN_OR_RETURN(record.session_id, body.ReadU64());
+  VZ_ASSIGN_OR_RETURN(record.sequence, body.ReadU64());
+  VZ_ASSIGN_OR_RETURN(record.op, body.ReadU32());
+  VZ_ASSIGN_OR_RETURN(record.payload, body.ReadLengthPrefixedBytes());
+  if (!body.AtEnd()) {
+    return Status::DataLoss("trailing bytes inside WAL record payload");
+  }
+  if (record.lsn != expected_lsn) {
+    return Status::DataLoss("WAL LSN chain broken");
+  }
+  return record;
+}
+
+}  // namespace
+
+Wal::Wal(const WalOptions& options) : options_(options) {}
+
+Wal::~Wal() {
+  // Final flush first, so any WaitDurable waiter is released by genuine
+  // durability rather than by the shutdown flag.
+  (void)Sync();
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    stop_ = true;
+    sync_cv_.notify_all();
+  }
+  if (sync_thread_.joinable()) sync_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Segment& segment : segments_) {
+    if (segment.fd >= 0) {
+      ::close(segment.fd);
+      segment.fd = -1;
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("WAL directory must not be empty");
+  }
+  std::unique_ptr<Wal> wal(new Wal(options));
+  VZ_RETURN_IF_ERROR(wal->OpenDir());
+  VZ_RETURN_IF_ERROR(wal->ScanAndSalvage());
+  {
+    std::lock_guard<std::mutex> lock(wal->sync_mu_);
+    wal->appended_lsn_ = wal->last_lsn_;
+    wal->durable_lsn_ = wal->last_lsn_;  // recovered bytes came from disk
+  }
+  wal->sync_thread_ = std::thread([w = wal.get()] { w->SyncLoop(); });
+  return wal;
+}
+
+Status Wal::OpenDir() {
+  struct stat st;
+  if (::stat(options_.dir.c_str(), &st) != 0) {
+    if (::mkdir(options_.dir.c_str(), 0777) != 0) {
+      return Status::Internal("cannot create WAL directory: " + options_.dir);
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("WAL path is not a directory: " +
+                                   options_.dir);
+  }
+  return Status::OK();
+}
+
+Status Wal::ScanAndSalvage() {
+  std::vector<uint64_t> seqs;
+  {
+    DIR* dir = ::opendir(options_.dir.c_str());
+    if (dir == nullptr) {
+      return Status::Internal("cannot list WAL directory: " + options_.dir);
+    }
+    while (struct dirent* entry = ::readdir(dir)) {
+      if (auto seq = ParseSegmentName(entry->d_name)) seqs.push_back(*seq);
+    }
+    ::closedir(dir);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  last_lsn_ = options_.start_lsn;
+  base_lsn_ = options_.start_lsn;
+  uint64_t expected_start = options_.start_lsn;
+  bool first = true;
+  bool tail_found = false;  // everything after the torn point is dropped
+
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const std::string path = SegmentPath(options_.dir, seqs[i]);
+    auto reader_or = BinaryReader::FromFile(path);
+    if (!reader_or.ok()) {
+      return Status::Internal("cannot read WAL segment " + path + ": " +
+                              reader_or.status().message());
+    }
+    BinaryReader reader = std::move(*reader_or);
+    const uint64_t file_bytes = reader.data().size();
+
+    Segment segment;
+    segment.seq = seqs[i];
+    segment.path = path;
+
+    bool header_ok = !tail_found;
+    if (header_ok) {
+      auto magic = reader.ReadU32();
+      auto version = reader.ReadU32();
+      auto start = reader.ReadU64();
+      auto crc = reader.ReadU32();
+      header_ok = magic.ok() && version.ok() && start.ok() && crc.ok() &&
+                  *magic == kWalMagic && *version == kWalFormatVersion;
+      if (header_ok) {
+        BinaryWriter check;
+        check.WriteU32(*magic);
+        check.WriteU32(*version);
+        check.WriteU64(*start);
+        header_ok = *crc == Crc32(check.buffer());
+      }
+      if (header_ok && !first && *start != expected_start) {
+        header_ok = false;  // hole between segments: stranded data
+      }
+      if (header_ok && first) {
+        // The first retained segment defines the log's base; a checkpoint
+        // below it is fine (those records were compacted), above it is the
+        // caller's gap to detect.
+        base_lsn_ = *start;
+        last_lsn_ = *start;
+        expected_start = *start;
+      }
+      if (header_ok) segment.start_lsn = *start;
+    }
+    if (!header_ok) {
+      // Torn header or a segment stranded past a torn tail: drop the file.
+      stats_.salvaged_bytes += file_bytes;
+      tail_found = true;
+      ::remove(path.c_str());
+      continue;
+    }
+    first = false;
+
+    // Decode records until the chain breaks; that offset is the valid
+    // extent.
+    uint64_t lsn = segment.start_lsn;
+    size_t valid_end = reader.position();
+    while (!reader.AtEnd()) {
+      auto record = DecodeRecord(&reader, lsn + 1);
+      if (!record.ok()) break;
+      ++lsn;
+      valid_end = reader.position();
+    }
+    segment.last_lsn = lsn;
+    segment.record_bytes = valid_end - kSegmentHeaderBytes;
+    if (valid_end < file_bytes) {
+      stats_.salvaged_bytes += file_bytes - valid_end;
+      if (::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
+        return Status::Internal("cannot truncate torn WAL tail: " + path);
+      }
+      tail_found = true;  // later segments are stranded past this tear
+    }
+    expected_start = lsn;
+    last_lsn_ = lsn;
+    next_segment_seq_ = segment.seq + 1;
+    segments_.push_back(std::move(segment));
+  }
+
+  if (!segments_.empty() && last_lsn_ < options_.start_lsn) {
+    // Everything recovered predates the checkpoint cut (a torn tail ate
+    // records the checkpoint already folded in). Those bytes are superseded:
+    // drop them and restart numbering at the cut, or new appends would
+    // collide with LSNs the checkpoint owns.
+    for (Segment& segment : segments_) {
+      stats_.salvaged_bytes += kSegmentHeaderBytes + segment.record_bytes;
+      ::remove(segment.path.c_str());
+    }
+    segments_.clear();
+    last_lsn_ = options_.start_lsn;
+    base_lsn_ = options_.start_lsn;
+  }
+  if (segments_.empty()) {
+    VZ_ASSIGN_OR_RETURN(Segment segment,
+                        CreateSegment(next_segment_seq_++, last_lsn_));
+    segments_.push_back(std::move(segment));
+  } else {
+    // Reopen the tail segment for appends.
+    Segment& tail = segments_.back();
+    tail.fd = ::open(tail.path.c_str(), O_WRONLY);
+    if (tail.fd < 0) {
+      return Status::Internal("cannot reopen WAL tail segment: " + tail.path);
+    }
+    if (::lseek(tail.fd, 0, SEEK_END) < 0) {
+      return Status::Internal("cannot seek WAL tail segment: " + tail.path);
+    }
+    // Persist the salvage truncation before accepting new appends.
+    if (::fsync(tail.fd) != 0) {
+      return Status::Internal("cannot fsync WAL tail segment: " + tail.path);
+    }
+  }
+  stats_.base_lsn = base_lsn_;
+  return Status::OK();
+}
+
+StatusOr<Wal::Segment> Wal::CreateSegment(uint64_t seq, uint64_t start_lsn) {
+  Segment segment;
+  segment.seq = seq;
+  segment.path = SegmentPath(options_.dir, seq);
+  segment.start_lsn = start_lsn;
+  segment.last_lsn = start_lsn;
+  segment.fd = ::open(segment.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                      0666);
+  if (segment.fd < 0) {
+    return Status::Internal("cannot create WAL segment: " + segment.path);
+  }
+  const std::string header = EncodeSegmentHeader(start_lsn);
+  if (Status s = WriteAll(segment.fd, header.data(), header.size());
+      !s.ok()) {
+    ::close(segment.fd);
+    return s;
+  }
+  if (::fsync(segment.fd) != 0) {
+    ::close(segment.fd);
+    return Status::Internal("cannot fsync new WAL segment: " + segment.path);
+  }
+  // The file name itself must survive a crash.
+  VZ_RETURN_IF_ERROR(FsyncDir(options_.dir));
+  ++stats_.segments_created;
+  return segment;
+}
+
+Status Wal::RotateLocked() {
+  Segment& tail = segments_.back();
+  // Seal: flush the old segment completely so the sync loop only ever has
+  // to fsync the open one, then advance the durability frontier over it.
+  if (tail.fd >= 0) {
+    if (::fsync(tail.fd) != 0) {
+      return Status::Internal("cannot fsync sealed WAL segment: " +
+                              tail.path);
+    }
+    ::close(tail.fd);
+    tail.fd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    if (tail.last_lsn > durable_lsn_) {
+      durable_lsn_ = tail.last_lsn;
+      ++stats_.fsyncs;
+      sync_cv_.notify_all();
+    }
+  }
+  VZ_ASSIGN_OR_RETURN(Segment fresh,
+                      CreateSegment(next_segment_seq_++, tail.last_lsn));
+  segments_.push_back(std::move(fresh));
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Wal::Append(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lsn = record.lsn == 0 ? last_lsn_ + 1 : record.lsn;
+  if (lsn != last_lsn_ + 1) {
+    return Status::InvalidArgument(
+        "WAL append breaks the LSN chain: got " + std::to_string(lsn) +
+        ", expected " + std::to_string(last_lsn_ + 1));
+  }
+  if (record.payload.size() > kWalMaxPayloadBytes) {
+    return Status::InvalidArgument("WAL record payload too large");
+  }
+  const std::string framed = EncodeRecord(record, lsn);
+  if (segments_.back().record_bytes + framed.size() >
+          options_.segment_bytes &&
+      segments_.back().record_bytes > 0) {
+    VZ_RETURN_IF_ERROR(RotateLocked());
+  }
+  Segment& tail = segments_.back();
+  VZ_RETURN_IF_ERROR(WriteAll(tail.fd, framed.data(), framed.size()));
+  tail.record_bytes += framed.size();
+  tail.last_lsn = lsn;
+  last_lsn_ = lsn;
+  ++stats_.appends;
+  stats_.appended_bytes += framed.size();
+  {
+    std::lock_guard<std::mutex> sync_lock(sync_mu_);
+    appended_lsn_ = lsn;
+    sync_cv_.notify_all();  // wake the sync loop (and long-poll waiters)
+  }
+  return lsn;
+}
+
+Status Wal::SyncOpenSegmentLocked(uint64_t target_lsn) {
+  // `mu_` held. Everything up to `target_lsn` was fully written before the
+  // caller sampled it, so one fsync of the open segment covers it (sealed
+  // segments were flushed at rotation).
+  Segment& tail = segments_.back();
+  if (options_.fsync_interval_ms >= 0 && tail.fd >= 0) {
+    if (::fsync(tail.fd) != 0) {
+      return Status::Internal("WAL fsync failed: " + tail.path);
+    }
+  }
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  if (target_lsn > durable_lsn_) {
+    durable_lsn_ = target_lsn;
+    ++stats_.fsyncs;
+    sync_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+void Wal::SyncLoop() {
+  for (;;) {
+    uint64_t target = 0;
+    {
+      std::unique_lock<std::mutex> lock(sync_mu_);
+      sync_cv_.wait(lock,
+                    [this] { return stop_ || appended_lsn_ > durable_lsn_; });
+      if (stop_) return;  // destructor does the final flush
+      target = appended_lsn_;
+    }
+    // Group-commit gather window: appends racing this sleep share the fsync.
+    if (options_.fsync_interval_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.fsync_interval_ms));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> sync_lock(sync_mu_);
+      target = std::max(target, appended_lsn_);
+    }
+    (void)SyncOpenSegmentLocked(target);  // failure leaves waiters blocked
+                                          // until the next attempt
+  }
+}
+
+Status Wal::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  sync_cv_.wait(lock, [this, lsn] { return stop_ || durable_lsn_ >= lsn; });
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> sync_lock(sync_mu_);
+    target = appended_lsn_;
+  }
+  return SyncOpenSegmentLocked(target);
+}
+
+bool Wal::WaitDurablePast(uint64_t lsn, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  return sync_cv_.wait_for(
+      lock, std::chrono::milliseconds(std::max<int64_t>(timeout_ms, 0)),
+      [this, lsn] { return stop_ || durable_lsn_ > lsn; });
+}
+
+StatusOr<std::vector<WalRecord>> Wal::ReadSegment(const Segment& segment,
+                                                  uint64_t from_lsn,
+                                                  uint64_t upto_lsn,
+                                                  size_t max_records) const {
+  VZ_ASSIGN_OR_RETURN(BinaryReader reader,
+                      BinaryReader::FromFile(segment.path));
+  VZ_RETURN_IF_ERROR(reader.Skip(kSegmentHeaderBytes));
+  std::vector<WalRecord> records;
+  uint64_t lsn = segment.start_lsn;
+  const size_t valid_end = kSegmentHeaderBytes + segment.record_bytes;
+  while (reader.position() < valid_end && lsn < segment.last_lsn &&
+         records.size() < max_records) {
+    VZ_ASSIGN_OR_RETURN(WalRecord record, DecodeRecord(&reader, lsn + 1));
+    ++lsn;
+    if (record.lsn > upto_lsn) break;
+    if (record.lsn > from_lsn) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+StatusOr<std::vector<WalRecord>> Wal::ReadFrom(uint64_t from_lsn,
+                                               size_t max_records) {
+  uint64_t durable = 0;
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    durable = durable_lsn_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from_lsn < base_lsn_) {
+    return Status::OutOfRange(
+        "WAL records up to " + std::to_string(base_lsn_) +
+        " were compacted into a checkpoint; cannot ship from " +
+        std::to_string(from_lsn));
+  }
+  std::vector<WalRecord> records;
+  for (const Segment& segment : segments_) {
+    if (records.size() >= max_records) break;
+    if (segment.last_lsn <= from_lsn) continue;
+    VZ_ASSIGN_OR_RETURN(
+        std::vector<WalRecord> chunk,
+        ReadSegment(segment, from_lsn, durable,
+                    max_records - records.size()));
+    for (WalRecord& record : chunk) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status Wal::Replay(uint64_t from_lsn,
+                   const std::function<Status(const WalRecord&)>& fn) {
+  std::vector<Segment> segments;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    segments = segments_;
+    for (Segment& segment : segments) segment.fd = -1;  // read-only copies
+  }
+  for (const Segment& segment : segments) {
+    if (segment.last_lsn <= from_lsn) continue;
+    VZ_ASSIGN_OR_RETURN(std::vector<WalRecord> chunk,
+                        ReadSegment(segment, from_lsn, last_lsn(),
+                                    segment.last_lsn - segment.start_lsn));
+    for (const WalRecord& record : chunk) {
+      VZ_RETURN_IF_ERROR(fn(record));
+    }
+  }
+  return Status::OK();
+}
+
+Status Wal::Compact(uint64_t upto_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (upto_lsn > last_lsn_) {
+    return Status::InvalidArgument("cannot compact past the log end");
+  }
+  if (segments_.back().last_lsn <= upto_lsn &&
+      segments_.back().record_bytes > 0) {
+    VZ_RETURN_IF_ERROR(RotateLocked());
+  }
+  size_t removed = 0;
+  while (segments_.size() > 1 && segments_[0].last_lsn <= upto_lsn) {
+    ::remove(segments_[0].path.c_str());
+    ++removed;
+    ++stats_.segments_deleted;
+    segments_.erase(segments_.begin());
+  }
+  if (removed > 0) {
+    VZ_RETURN_IF_ERROR(FsyncDir(options_.dir));
+  }
+  base_lsn_ = segments_.front().start_lsn;
+  stats_.base_lsn = base_lsn_;
+  // The checkpoint supersedes the compacted records: they are durable by
+  // definition even if their segment fsync never ran.
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  if (upto_lsn > durable_lsn_) {
+    durable_lsn_ = upto_lsn;
+    sync_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+uint64_t Wal::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_lsn_;
+}
+
+uint64_t Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  return durable_lsn_;
+}
+
+uint64_t Wal::base_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_;
+}
+
+uint64_t Wal::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = 0;
+  for (const Segment& segment : segments_) bytes += segment.record_bytes;
+  return bytes;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats stats = stats_;
+  stats.last_lsn = last_lsn_;
+  stats.base_lsn = base_lsn_;
+  stats.live_bytes = 0;
+  for (const Segment& segment : segments_) {
+    stats.live_bytes += segment.record_bytes;
+  }
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  stats.durable_lsn = durable_lsn_;
+  return stats;
+}
+
+// --- Checkpoint manifest -------------------------------------------------
+
+std::string WalCheckpointMetaPath(const std::string& dir, uint64_t lsn) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "checkpoint-%016" PRIx64 ".meta", lsn);
+  return dir + "/" + name;
+}
+
+std::string WalCheckpointSnapshotPath(const std::string& dir, uint64_t lsn) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "checkpoint-%016" PRIx64 ".vzss", lsn);
+  return dir + "/" + name;
+}
+
+Status SaveWalCheckpointMeta(const WalCheckpoint& checkpoint,
+                             const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteU32(kWalCheckpointMagic);
+  writer.WriteU32(kWalCheckpointVersion);
+  writer.WriteU64(checkpoint.lsn);
+  writer.WriteI64(checkpoint.now_ms);
+  writer.WriteU64(checkpoint.ingest.frames_offered);
+  writer.WriteU64(checkpoint.ingest.keyframes_selected);
+  writer.WriteU64(checkpoint.ingest.features_extracted);
+  writer.WriteU64(checkpoint.ingest.svs_created);
+  writer.WriteU64(checkpoint.ingest.raw_feature_bytes);
+  writer.WriteU64(checkpoint.ingest.frames_rejected);
+  writer.WriteU64(checkpoint.ingest.out_of_order_dropped);
+  writer.WriteU64(checkpoint.ingest.duplicates_dropped);
+  writer.WriteU64(checkpoint.ingest.objects_quarantined);
+  writer.WriteU64(checkpoint.cameras.size());
+  for (const WalCheckpoint::Camera& camera : checkpoint.cameras) {
+    writer.WriteString(camera.camera);
+    writer.WriteU64(camera.stats.frames_offered);
+    writer.WriteU64(camera.stats.frames_accepted);
+    writer.WriteU64(camera.stats.frames_rejected);
+    writer.WriteU64(camera.stats.out_of_order_dropped);
+    writer.WriteU64(camera.stats.duplicates_dropped);
+    writer.WriteU64(camera.stats.objects_quarantined);
+    writer.WriteI64(camera.stats.last_frame_ms);
+    writer.WriteI64(camera.last_frame_id);
+    writer.WriteU64(camera.expected_dim);
+  }
+  writer.WriteU64(checkpoint.sessions.size());
+  for (const WalCheckpoint::Session& session : checkpoint.sessions) {
+    writer.WriteU64(session.session_id);
+    writer.WriteU64(session.evicted_up_to);
+    writer.WriteU64(session.responses.size());
+    for (const auto& [sequence, response] : session.responses) {
+      writer.WriteU64(sequence);
+      writer.WriteLengthPrefixedBytes(response);
+    }
+  }
+  writer.WriteU32(Crc32(writer.buffer()));
+  return writer.Flush(path);
+}
+
+StatusOr<WalCheckpoint> LoadWalCheckpointMeta(const std::string& path) {
+  VZ_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  if (reader.data().size() < sizeof(uint32_t)) {
+    return Status::DataLoss("checkpoint manifest truncated: " + path);
+  }
+  const std::string_view sealed(reader.data().data(),
+                                reader.data().size() - sizeof(uint32_t));
+  {
+    BinaryReader crc_reader{std::string(
+        reader.data().data() + sealed.size(), sizeof(uint32_t))};
+    VZ_ASSIGN_OR_RETURN(uint32_t crc, crc_reader.ReadU32());
+    if (crc != Crc32(sealed)) {
+      return Status::DataLoss("checkpoint manifest checksum mismatch: " +
+                              path);
+    }
+  }
+  WalCheckpoint checkpoint;
+  VZ_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  VZ_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (magic != kWalCheckpointMagic) {
+    return Status::DataLoss("not a checkpoint manifest: " + path);
+  }
+  if (version != kWalCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  VZ_ASSIGN_OR_RETURN(checkpoint.lsn, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.now_ms, reader.ReadI64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.frames_offered, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.keyframes_selected, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.features_extracted, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.svs_created, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint64_t raw_bytes, reader.ReadU64());
+  checkpoint.ingest.raw_feature_bytes = static_cast<size_t>(raw_bytes);
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.frames_rejected, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.out_of_order_dropped,
+                      reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.duplicates_dropped, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.ingest.objects_quarantined,
+                      reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint64_t camera_count, reader.ReadU64());
+  for (uint64_t i = 0; i < camera_count; ++i) {
+    WalCheckpoint::Camera camera;
+    VZ_ASSIGN_OR_RETURN(camera.camera, reader.ReadString());
+    VZ_ASSIGN_OR_RETURN(camera.stats.frames_offered, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(camera.stats.frames_accepted, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(camera.stats.frames_rejected, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(camera.stats.out_of_order_dropped, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(camera.stats.duplicates_dropped, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(camera.stats.objects_quarantined, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(camera.stats.last_frame_ms, reader.ReadI64());
+    VZ_ASSIGN_OR_RETURN(camera.last_frame_id, reader.ReadI64());
+    VZ_ASSIGN_OR_RETURN(camera.expected_dim, reader.ReadU64());
+    checkpoint.cameras.push_back(std::move(camera));
+  }
+  VZ_ASSIGN_OR_RETURN(uint64_t session_count, reader.ReadU64());
+  for (uint64_t i = 0; i < session_count; ++i) {
+    WalCheckpoint::Session session;
+    VZ_ASSIGN_OR_RETURN(session.session_id, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(session.evicted_up_to, reader.ReadU64());
+    VZ_ASSIGN_OR_RETURN(uint64_t response_count, reader.ReadU64());
+    for (uint64_t j = 0; j < response_count; ++j) {
+      VZ_ASSIGN_OR_RETURN(uint64_t sequence, reader.ReadU64());
+      VZ_ASSIGN_OR_RETURN(std::string response,
+                          reader.ReadLengthPrefixedBytes());
+      session.responses.emplace_back(sequence, std::move(response));
+    }
+    checkpoint.sessions.push_back(std::move(session));
+  }
+  return checkpoint;
+}
+
+StatusOr<std::vector<uint64_t>> ListWalCheckpointLsns(
+    const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return Status::Internal("cannot list WAL directory: " + dir);
+  }
+  std::vector<uint64_t> lsns;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() != 11 + 16 + 5 || name.rfind("checkpoint-", 0) != 0 ||
+        name.substr(27) != ".meta") {
+      continue;
+    }
+    uint64_t lsn = 0;
+    bool valid = true;
+    for (size_t i = 11; i < 27; ++i) {
+      const char c = name[i];
+      uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a') + 10;
+      } else {
+        valid = false;
+        break;
+      }
+      lsn = (lsn << 4) | digit;
+    }
+    if (valid) lsns.push_back(lsn);
+  }
+  ::closedir(handle);
+  std::sort(lsns.begin(), lsns.end());
+  return lsns;
+}
+
+void RemoveWalCheckpointsBelow(const std::string& dir, uint64_t keep_lsn) {
+  auto lsns = ListWalCheckpointLsns(dir);
+  if (!lsns.ok()) return;
+  for (uint64_t lsn : *lsns) {
+    if (lsn >= keep_lsn) continue;
+    ::remove(WalCheckpointMetaPath(dir, lsn).c_str());
+    ::remove(WalCheckpointSnapshotPath(dir, lsn).c_str());
+  }
+}
+
+}  // namespace vz::io

@@ -272,6 +272,19 @@ StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
       SleepBackoff(wire_status.retry_after_ms, shed_attempt++);
       continue;
     }
+    if (wire_status.status.code() == StatusCode::kUnavailable &&
+        reconnects_used < options_.max_reconnects) {
+      // A response-carried kUnavailable (a server stopping while the call
+      // waited on durability or a standby ack) is as retryable as a dropped
+      // connection, and never an ack: the op may or may not have applied,
+      // and the resend carries the same token, so it is exactly-once either
+      // way. Reconnect — the endpoint may come back as a promoted standby.
+      call_stats_.transport_failures++;
+      fd_.Reset();
+      SleepBackoff(0, reconnects_used);
+      ++reconnects_used;
+      continue;
+    }
     return wire_status.status;
   }
 }
@@ -360,6 +373,17 @@ StatusOr<core::QueryLoadStats> Client::QueryLoadStats() {
   VZ_ASSIGN_OR_RETURN(std::string body, Call(MsgType::kQueryLoadStats, ""));
   io::BinaryReader reader(std::move(body));
   return DecodeQueryLoadStats(&reader);
+}
+
+StatusOr<WalShipReply> Client::WalShip(uint64_t from_lsn,
+                                       uint32_t max_records,
+                                       uint32_t wait_ms) {
+  io::BinaryWriter writer;
+  EncodeWalShipRequest(&writer, {from_lsn, max_records, wait_ms});
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kWalShip, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeWalShipReply(&reader);
 }
 
 Status Client::SaveSnapshot(const std::string& path) {

@@ -122,6 +122,13 @@ class Client {
   StatusOr<std::vector<CameraHealthEntry>> CameraHealthReport();
   StatusOr<core::QueryLoadStats> QueryLoadStats();
 
+  /// Log shipping (standby side): fetches up to `max_records` WAL records
+  /// with LSNs strictly above `from_lsn`, acknowledging everything at or
+  /// below it as durably applied. `wait_ms` long-polls when the log has
+  /// nothing new (must fit inside `io_timeout_ms`).
+  StatusOr<WalShipReply> WalShip(uint64_t from_lsn, uint32_t max_records,
+                                 uint32_t wait_ms);
+
   /// Keepalive: resets the server's idle clock. Cheap (empty payload, no
   /// state touched); call between requests to fend off idle eviction.
   Status Ping();

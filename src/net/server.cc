@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <sys/socket.h>
+#include <thread>
 #include <utility>
 
 #include "io/svs_snapshot.h"
+#include "net/client.h"
 
 namespace vz::net {
 
@@ -24,6 +27,15 @@ int64_t ElapsedMs(const std::chrono::steady_clock::time_point& since,
       .count();
 }
 
+/// True for mutating RPCs whose request bytes go into the WAL. Exactly the
+/// state-changing ones: SnapshotSave carries a token (retrying it is
+/// ambiguous) but only reads state, so logging it would replay side-effect
+/// writes to operator-chosen paths for nothing.
+bool IsWalLoggedType(MsgType type) {
+  return IsMutatingType(static_cast<uint32_t>(type)) &&
+         type != MsgType::kSnapshotSave;
+}
+
 }  // namespace
 
 Server::Server(core::VideoZilla* system, const ServerOptions& options)
@@ -33,6 +45,12 @@ Server::~Server() { Shutdown(); }
 
 Status Server::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
+  standby_ = !options_.standby_of_host.empty();
+  if (standby_ && options_.wal_dir.empty()) {
+    return Status::InvalidArgument(
+        "a standby needs its own wal_dir: it mirrors the primary's log and "
+        "must survive its own crashes");
+  }
   // Connection handlers live on pool workers for the whole connection, so
   // the shared pool must actually have workers; a serial system gets a
   // server-owned pool sized to the connection cap instead.
@@ -45,21 +63,52 @@ Status Server::Start() {
       std::min(options_.max_connections, pool_->num_threads() - 1);
   if (connection_cap_ == 0) connection_cap_ = 1;
 
-  VZ_ASSIGN_OR_RETURN(listen_fd_,
-                      TcpListen(options_.bind_address, options_.port));
-  VZ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+  if (!options_.wal_dir.empty()) {
+    VZ_RETURN_IF_ERROR(RecoverFromWal());
+  }
+
   stopping_.store(false);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (standby_) {
+    // A standby serves nobody until promoted; it only tails the primary.
+    promoted_.store(false);
+    replication_stop_.store(false);
+    replication_thread_ = std::thread([this] { ReplicationLoop(); });
+    started_ = true;
+    return Status::OK();
+  }
+  VZ_RETURN_IF_ERROR(StartListener());
   started_ = true;
   return Status::OK();
 }
 
+Status Server::StartListener() {
+  VZ_ASSIGN_OR_RETURN(listen_fd_,
+                      TcpListen(options_.bind_address, options_.port));
+  VZ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::StopReplication() {
+  replication_stop_.store(true);
+  if (replication_thread_.joinable()) replication_thread_.join();
+}
+
 void Server::Shutdown() {
   if (!started_) return;
+  StopReplication();
   stopping_.store(true);
-  // Wake the blocking accept; close happens after the thread exits so the
-  // descriptor cannot be reused mid-accept.
-  ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  // Wake sync-replication acks stuck waiting for a standby that will now
+  // never catch up; they fail over to an error response before the close.
+  {
+    std::lock_guard<std::mutex> lock(ship_mu_);
+  }
+  ship_cv_.notify_all();
+  if (listen_fd_.valid()) {
+    // Wake the blocking accept; close happens after the thread exits so the
+    // descriptor cannot be reused mid-accept.
+    ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_.Reset();
 
@@ -82,6 +131,56 @@ void Server::Shutdown() {
   started_ = false;
 }
 
+void Server::Kill() {
+  if (!started_) return;
+  StopReplication();
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(ship_mu_);
+  }
+  ship_cv_.notify_all();
+  if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_.Reset();
+  // No drain and no grace: sockets are torn down under the handlers, so
+  // in-flight requests die with unsent responses — exactly the ambiguity
+  // the idempotency tokens exist for. Only already-fsynced records (i.e.
+  // everything acked) are guaranteed to survive.
+  std::vector<std::future<void>> futures;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fd, conn] : active_conns_) ::shutdown(fd, SHUT_RDWR);
+    futures.swap(connection_futures_);
+  }
+  for (std::future<void>& f : futures) {
+    if (f.valid()) f.wait();
+  }
+  started_ = false;
+}
+
+Status Server::Promote() {
+  if (!started_ || !standby_) {
+    return Status::FailedPrecondition("only a running standby can promote");
+  }
+  if (promoted_.load()) {
+    return Status::FailedPrecondition("standby already promoted");
+  }
+  StopReplication();
+  // Everything tailed so far becomes this server's own durable history.
+  VZ_RETURN_IF_ERROR(wal_->Sync());
+  // Binding the (former) primary's port is the split-brain guard: as long
+  // as the old primary still holds it, promotion fails instead of serving
+  // two divergent histories.
+  VZ_RETURN_IF_ERROR(StartListener());
+  promoted_.store(true);
+  return Status::OK();
+}
+
+ServerRole Server::role() const {
+  if (!standby_) return ServerRole::kPrimary;
+  return promoted_.load() ? ServerRole::kPromoted : ServerRole::kStandby;
+}
+
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServerStats stats;
@@ -99,6 +198,23 @@ ServerStats Server::stats() const {
     std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
     stats.sessions_active = sessions_.size();
   }
+  stats.role = role();
+  if (wal_ != nullptr) {
+    const io::WalStats wal_stats = wal_->stats();
+    stats.wal_appends = wal_stats.appends;
+    stats.wal_fsyncs = wal_stats.fsyncs;
+    stats.wal_salvaged_bytes = wal_stats.salvaged_bytes;
+    stats.wal_last_lsn = wal_stats.last_lsn;
+    stats.wal_durable_lsn = wal_stats.durable_lsn;
+    if (standby_ && !promoted_.load()) {
+      const uint64_t primary = replication_primary_durable_.load();
+      stats.replication_lag_records =
+          primary > wal_stats.last_lsn ? primary - wal_stats.last_lsn : 0;
+    }
+  }
+  stats.wal_replayed_records = wal_replayed_records_.load();
+  stats.wal_checkpoints = wal_checkpoints_.load();
+  stats.replication_errors = replication_errors_.load();
   return stats;
 }
 
@@ -319,7 +435,26 @@ std::string Server::DispatchMutating(MsgType type,
         // Exactly-once in action: the client re-sent after an ambiguous
         // transport failure; answer byte-identically without re-applying.
         duplicates_replayed_.fetch_add(1);
-        return it->second;
+        const CachedResponse cached = it->second;
+        lock.unlock();
+        // The replayed ack honors the same durability contract the
+        // original would have: its record may still be riding a group
+        // commit. (lsn 0 = no WAL, or an entry rebuilt during recovery —
+        // the log already holds it.)
+        if (wal_ != nullptr && cached.lsn != 0) {
+          if (Status durable = wal_->WaitDurable(cached.lsn);
+              !durable.ok()) {
+            *failure = durable;
+            return StatusOnlyResponse(*failure, 0);
+          }
+          if (options_.sync_replication) {
+            if (Status shipped = WaitShipped(cached.lsn); !shipped.ok()) {
+              *failure = shipped;
+              return StatusOnlyResponse(*failure, 0);
+            }
+          }
+        }
+        return cached.bytes;
       }
       if (token.sequence <= session->evicted_up_to) {
         // Trimmed out of the window: replaying is impossible and
@@ -341,21 +476,84 @@ std::string Server::DispatchMutating(MsgType type,
     session->executing.insert(token.sequence);
   }
 
-  const std::string response = ExecuteRequest(type, reader, failure);
+  // The log carries the verbatim post-token request bytes: replaying them
+  // through the same dispatch regenerates byte-identical state AND a
+  // byte-identical response, so recovery can rebuild the dedup window.
+  const std::string body(reader->data().substr(reader->position()));
 
+  uint64_t lsn = 0;
+  std::string response;
   {
-    std::lock_guard<std::mutex> lock(session->mu);
-    session->executing.erase(token.sequence);
-    session->done[token.sequence] = response;
-    while (session->done.size() > options_.dedup_window) {
-      auto oldest = session->done.begin();
-      session->evicted_up_to =
-          std::max(session->evicted_up_to, oldest->first);
-      session->done.erase(oldest);
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    response = ExecuteMutating(type, reader, failure);
+    if (wal_ != nullptr && failure->ok() && IsWalLoggedType(type)) {
+      io::WalRecord record;
+      record.session_id = token.session_id;
+      record.sequence = token.sequence;
+      record.op = static_cast<uint32_t>(type);
+      record.payload = body;
+      auto appended = wal_->Append(record);
+      if (!appended.ok()) {
+        // Applied in memory but not loggable: acking would break the
+        // zero-loss contract, so the client sees the append failure (and
+        // its retry will be deduplicated against this cached error).
+        *failure = appended.status();
+        response = StatusOnlyResponse(*failure, 0);
+      } else {
+        lsn = *appended;
+      }
     }
-    session->cv.notify_all();
+    // Cache INSIDE the state lock: a checkpoint capturing the dedup
+    // windows holds this lock exclusively, so it can never miss an op it
+    // already covers.
+    CacheSessionResponse(session.get(), token.sequence, response, lsn);
+    if (lsn != 0 && type == MsgType::kFlush &&
+        options_.wal_compact_bytes > 0 &&
+        wal_->live_bytes() >= options_.wal_compact_bytes) {
+      // Flush is the natural checkpoint cut: segment state is sealed and
+      // the log is at its least interesting.
+      CheckpointLocked(lsn);
+    }
+  }
+
+  // The durability wait happens OUTSIDE the state lock: queries and other
+  // sessions proceed while this ack rides the group commit.
+  if (lsn != 0) {
+    if (Status durable = wal_->WaitDurable(lsn); !durable.ok()) {
+      *failure = durable;
+      return StatusOnlyResponse(*failure, 0);
+    }
+    if (options_.sync_replication) {
+      if (Status shipped = WaitShipped(lsn); !shipped.ok()) {
+        *failure = shipped;
+        return StatusOnlyResponse(*failure, 0);
+      }
+    }
   }
   return response;
+}
+
+void Server::CacheSessionResponse(Session* session, uint64_t sequence,
+                                  const std::string& response, uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(session->mu);
+  session->executing.erase(sequence);
+  session->done[sequence] = {response, lsn};
+  while (session->done.size() > options_.dedup_window) {
+    auto oldest = session->done.begin();
+    session->evicted_up_to = std::max(session->evicted_up_to, oldest->first);
+    session->done.erase(oldest);
+  }
+  session->cv.notify_all();
+}
+
+Status Server::WaitShipped(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(ship_mu_);
+  ship_cv_.wait(lock,
+                [&] { return stopping_.load() || shipped_acked_ >= lsn; });
+  if (shipped_acked_ >= lsn) return Status::OK();
+  return Status::Unavailable(
+      "server stopping before a standby acknowledged lsn " +
+      std::to_string(lsn));
 }
 
 std::shared_ptr<Server::Session> Server::GetSession(uint64_t id) {
@@ -400,31 +598,17 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
   };
 
   switch (type) {
-    case MsgType::kCameraStart: {
-      auto camera = reader.ReadString();
-      if (!camera.ok()) return malformed(camera.status());
+    case MsgType::kCameraStart:
+    case MsgType::kCameraTerminate:
+    case MsgType::kIngestFrame:
+    case MsgType::kFlush:
+    case MsgType::kSnapshotSave:
+    case MsgType::kSnapshotLoad: {
+      // Mutating RPCs normally arrive through DispatchMutating (which
+      // holds the state lock across execute + log); this path only serves
+      // callers that bypass the token preamble.
       std::unique_lock<std::shared_mutex> lock(state_mu_);
-      *failure = system_->CameraStart(*camera);
-      return StatusOnlyResponse(*failure, 0);
-    }
-    case MsgType::kCameraTerminate: {
-      auto camera = reader.ReadString();
-      if (!camera.ok()) return malformed(camera.status());
-      std::unique_lock<std::shared_mutex> lock(state_mu_);
-      *failure = system_->CameraTerminate(*camera);
-      return StatusOnlyResponse(*failure, 0);
-    }
-    case MsgType::kIngestFrame: {
-      auto frame = DecodeFrameObservation(&reader);
-      if (!frame.ok()) return malformed(frame.status());
-      std::unique_lock<std::shared_mutex> lock(state_mu_);
-      *failure = system_->IngestFrame(*frame);
-      return StatusOnlyResponse(*failure, 0);
-    }
-    case MsgType::kFlush: {
-      std::unique_lock<std::shared_mutex> lock(state_mu_);
-      *failure = system_->Flush();
-      return StatusOnlyResponse(*failure, 0);
+      return ExecuteMutating(type, &reader, failure);
     }
     case MsgType::kPing: {
       pings_served_.fetch_add(1);
@@ -510,6 +694,16 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       stats.serving.pings_served = serving.pings_served;
       stats.serving.sessions_active = serving.sessions_active;
       stats.serving.sessions_evicted = serving.sessions_evicted;
+      stats.serving.role = serving.role;
+      stats.serving.wal_appends = serving.wal_appends;
+      stats.serving.wal_fsyncs = serving.wal_fsyncs;
+      stats.serving.wal_replayed_records = serving.wal_replayed_records;
+      stats.serving.wal_salvaged_bytes = serving.wal_salvaged_bytes;
+      stats.serving.wal_checkpoints = serving.wal_checkpoints;
+      stats.serving.wal_last_lsn = serving.wal_last_lsn;
+      stats.serving.wal_durable_lsn = serving.wal_durable_lsn;
+      stats.serving.replication_lag_records =
+          serving.replication_lag_records;
       stats.serving.connections = connection_stats();
       io::BinaryWriter writer;
       EncodeWireStatus(&writer, {Status::OK(), 0});
@@ -534,17 +728,99 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       EncodeQueryLoadStats(&writer, system_->query_load_stats());
       return writer.buffer();
     }
+    case MsgType::kWalShip: {
+      auto request = DecodeWalShipRequest(&reader);
+      if (!request.ok()) return malformed(request.status());
+      if (wal_ == nullptr) {
+        *failure = Status::FailedPrecondition(
+            "server runs without a WAL; nothing to ship");
+        return StatusOnlyResponse(*failure, 0);
+      }
+      // The from LSN is a windowed ack: the caller has durably applied
+      // everything at or below it. Release sync-replication waiters.
+      {
+        std::lock_guard<std::mutex> lock(ship_mu_);
+        if (request->from_lsn > shipped_acked_) {
+          shipped_acked_ = request->from_lsn;
+          ship_cv_.notify_all();
+        }
+      }
+      const uint64_t max_records = std::min<uint64_t>(
+          request->max_records == 0 ? 1 : request->max_records, 4096);
+      const int64_t wait_ms = std::min<uint32_t>(request->wait_ms, 10'000);
+      // No state lock: shipping reads only the (internally synchronized)
+      // log, so ingest proceeds while a standby tails.
+      auto records = wal_->ReadFrom(request->from_lsn, max_records);
+      if (records.ok() && records->empty() && wait_ms > 0 &&
+          !stopping_.load()) {
+        // Long poll: wait for new durable records instead of busy-polling.
+        (void)wal_->WaitDurablePast(request->from_lsn, wait_ms);
+        records = wal_->ReadFrom(request->from_lsn, max_records);
+      }
+      io::BinaryWriter writer;
+      if (!records.ok()) {
+        // kOutOfRange = the log was compacted past from_lsn: the standby
+        // missed its window and must re-seed from a checkpoint.
+        *failure = records.status();
+        EncodeWireStatus(&writer, {*failure, 0});
+        return writer.buffer();
+      }
+      WalShipReply reply;
+      reply.durable_lsn = wal_->durable_lsn();
+      reply.records = std::move(*records);
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeWalShipReply(&writer, reply);
+      return writer.buffer();
+    }
+    case MsgType::kHello:
+      break;  // handled before dispatch
+  }
+  *failure = Status::Unimplemented("unhandled message type " +
+                                   std::to_string(static_cast<uint32_t>(type)));
+  return StatusOnlyResponse(*failure, 0);
+}
+
+std::string Server::ExecuteMutating(MsgType type, io::BinaryReader* reader_ptr,
+                                    Status* failure) {
+  io::BinaryReader& reader = *reader_ptr;
+  auto malformed = [&](const Status& status) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       status.message());
+    return StatusOnlyResponse(*failure, 0);
+  };
+
+  switch (type) {
+    case MsgType::kCameraStart: {
+      auto camera = reader.ReadString();
+      if (!camera.ok()) return malformed(camera.status());
+      *failure = system_->CameraStart(*camera);
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kCameraTerminate: {
+      auto camera = reader.ReadString();
+      if (!camera.ok()) return malformed(camera.status());
+      *failure = system_->CameraTerminate(*camera);
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kIngestFrame: {
+      auto frame = DecodeFrameObservation(&reader);
+      if (!frame.ok()) return malformed(frame.status());
+      *failure = system_->IngestFrame(*frame);
+      return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kFlush: {
+      *failure = system_->Flush();
+      return StatusOnlyResponse(*failure, 0);
+    }
     case MsgType::kSnapshotSave: {
       auto path = reader.ReadString();
       if (!path.ok()) return malformed(path.status());
-      std::shared_lock<std::shared_mutex> lock(state_mu_);
       *failure = io::SaveSvsStore(system_->svs_store(), *path);
       return StatusOnlyResponse(*failure, 0);
     }
     case MsgType::kSnapshotLoad: {
       auto path = reader.ReadString();
       if (!path.ok()) return malformed(path.status());
-      std::unique_lock<std::shared_mutex> lock(state_mu_);
       core::SvsStore loaded;
       *failure = io::LoadSvsStore(*path, &loaded);
       if (failure->ok()) {
@@ -555,12 +831,270 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       writer.WriteU64(loaded.size());
       return writer.buffer();
     }
-    case MsgType::kHello:
-      break;  // handled before dispatch
+    default:
+      break;
   }
-  *failure = Status::Unimplemented("unhandled message type " +
-                                   std::to_string(static_cast<uint32_t>(type)));
+  *failure = Status::Unimplemented(
+      "not a mutating message type " +
+      std::to_string(static_cast<uint32_t>(type)));
   return StatusOnlyResponse(*failure, 0);
+}
+
+// --- Durability: recovery, checkpointing, replication. ---
+
+Status Server::RecoverFromWal() {
+  // Probe checkpoints newest-first: a crash between the snapshot and
+  // manifest writes leaves a half-pair, which simply fails validation and
+  // falls through to the previous complete one.
+  uint64_t checkpoint_lsn = 0;
+  io::WalCheckpoint checkpoint;
+  bool have_checkpoint = false;
+  if (auto lsns = io::ListWalCheckpointLsns(options_.wal_dir); lsns.ok()) {
+    for (auto it = lsns->rbegin(); it != lsns->rend(); ++it) {
+      auto meta = io::LoadWalCheckpointMeta(
+          io::WalCheckpointMetaPath(options_.wal_dir, *it));
+      if (!meta.ok()) continue;
+      core::SvsStore store;
+      if (!io::LoadSvsStore(
+               io::WalCheckpointSnapshotPath(options_.wal_dir, *it), &store)
+               .ok()) {
+        continue;
+      }
+      // The pair is fully valid; from here on, failures are terminal (a
+      // half-restored system must not serve).
+      VZ_RETURN_IF_ERROR(system_->RestoreFromSvsStore(store));
+      checkpoint = std::move(*meta);
+      checkpoint_lsn = *it;
+      have_checkpoint = true;
+      break;
+    }
+  }
+
+  if (have_checkpoint) {
+    // The manifest's camera list is the authority: RestoreFromSvsStore
+    // auto-starts every camera that owns an SVS, resurrecting cameras that
+    // were terminated after their last flush — terminate those again.
+    std::set<core::CameraId> recorded;
+    for (const io::WalCheckpoint::Camera& entry : checkpoint.cameras) {
+      recorded.insert(entry.camera);
+    }
+    for (const core::CameraId& camera : system_->cameras()) {
+      if (recorded.count(camera) == 0) {
+        VZ_RETURN_IF_ERROR(system_->CameraTerminate(camera));
+      }
+    }
+    std::set<core::CameraId> started;
+    for (const core::CameraId& camera : system_->cameras()) {
+      started.insert(camera);
+    }
+    for (const io::WalCheckpoint::Camera& entry : checkpoint.cameras) {
+      if (started.count(entry.camera) == 0) {
+        // Started but never flushed an SVS before the checkpoint.
+        VZ_RETURN_IF_ERROR(system_->CameraStart(entry.camera));
+      }
+      core::CameraGuardState guard;
+      guard.stats = entry.stats;
+      guard.last_frame_id = entry.last_frame_id;
+      guard.expected_dim = entry.expected_dim;
+      VZ_RETURN_IF_ERROR(
+          system_->RestoreCameraGuardState(entry.camera, guard));
+    }
+    system_->RestoreIngestStats(checkpoint.ingest);
+    system_->AdvanceTime(checkpoint.now_ms);
+    // Rebuild the dedup windows: a duplicate retry that straddles the
+    // crash must be replayed from here, not re-applied. LSN 0 = already
+    // durable (the checkpoint holds it).
+    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    for (const io::WalCheckpoint::Session& entry : checkpoint.sessions) {
+      auto session = std::make_shared<Session>();
+      session->evicted_up_to = entry.evicted_up_to;
+      for (const auto& [sequence, bytes] : entry.responses) {
+        session->done[sequence] = {bytes, 0};
+      }
+      session->last_used_tick = ++session_tick_;
+      sessions_[entry.session_id] = session;
+    }
+  }
+
+  io::WalOptions wal_options;
+  wal_options.dir = options_.wal_dir;
+  wal_options.fsync_interval_ms = options_.wal_fsync_interval_ms;
+  wal_options.segment_bytes = options_.wal_segment_bytes;
+  wal_options.start_lsn = checkpoint_lsn;
+  VZ_ASSIGN_OR_RETURN(wal_, io::Wal::Open(wal_options));
+
+  if (wal_->base_lsn() > checkpoint_lsn &&
+      wal_->last_lsn() > wal_->base_lsn()) {
+    // The log was compacted past the newest restorable checkpoint (e.g.
+    // its snapshot was damaged): records in (checkpoint_lsn, base] are
+    // unrecoverable, so refuse to serve a silently holey history.
+    return Status::DataLoss(
+        "WAL starts at lsn " + std::to_string(wal_->base_lsn()) +
+        " but the newest valid checkpoint covers only up to " +
+        std::to_string(checkpoint_lsn));
+  }
+
+  in_recovery_ = true;
+  Status replayed = wal_->Replay(
+      checkpoint_lsn, [this](const io::WalRecord& record) {
+        return ApplyWalRecord(record, /*from_replication=*/false);
+      });
+  in_recovery_ = false;
+  return replayed;
+}
+
+Status Server::ApplyWalRecord(const io::WalRecord& record,
+                              bool from_replication) {
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  io::BinaryReader reader(record.payload);
+  Status failure;
+  const MsgType type = static_cast<MsgType>(record.op);
+  const std::string response = ExecuteMutating(type, &reader, &failure);
+  if (!failure.ok()) {
+    // Only successful ops are logged, so a logged op must re-apply
+    // cleanly; anything else is divergence, not a tolerable error.
+    return Status(failure.code(),
+                  "WAL replay diverged at lsn " + std::to_string(record.lsn) +
+                      " (op " + std::to_string(record.op) +
+                      "): " + failure.message());
+  }
+  uint64_t cached_lsn = 0;
+  if (from_replication) {
+    // Mirror under the primary's LSN so the standby's log IS the
+    // primary's log (same numbering, same compaction arithmetic).
+    io::WalRecord mirrored = record;
+    auto appended = wal_->Append(mirrored);
+    VZ_RETURN_IF_ERROR(appended.status());
+    if (*appended != record.lsn) {
+      return Status::Internal("replication lsn skew: applied " +
+                              std::to_string(record.lsn) + " as " +
+                              std::to_string(*appended));
+    }
+    cached_lsn = record.lsn;
+  } else {
+    wal_replayed_records_.fetch_add(1);
+  }
+  if (record.session_id != 0) {
+    std::shared_ptr<Session> session = GetSession(record.session_id);
+    CacheSessionResponse(session.get(), record.sequence, response,
+                         cached_lsn);
+  }
+  if (from_replication && !in_recovery_ && type == MsgType::kFlush &&
+      options_.wal_compact_bytes > 0 &&
+      wal_->live_bytes() >= options_.wal_compact_bytes) {
+    // The standby checkpoints on the same cadence as its primary.
+    CheckpointLocked(record.lsn);
+  }
+  return Status::OK();
+}
+
+void Server::CheckpointLocked(uint64_t lsn) {
+  io::WalCheckpoint checkpoint;
+  checkpoint.lsn = lsn;
+  checkpoint.now_ms = system_->now_ms();
+  checkpoint.ingest = system_->ingest_stats();
+  for (const core::CameraId& camera : system_->cameras()) {
+    auto guard = system_->ExportCameraGuardState(camera);
+    if (!guard.ok()) return;  // non-fatal: the WAL still covers everything
+    io::WalCheckpoint::Camera entry;
+    entry.camera = camera;
+    entry.stats = guard->stats;
+    entry.last_frame_id = guard->last_frame_id;
+    entry.expected_dim = guard->expected_dim;
+    checkpoint.cameras.push_back(std::move(entry));
+  }
+  {
+    // state_mu_ (held by the caller) -> sessions_mu_ -> session->mu, the
+    // same order DispatchMutating uses, so capture cannot deadlock or
+    // miss an in-flight op.
+    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    for (const auto& [id, session] : sessions_) {
+      std::lock_guard<std::mutex> session_lock(session->mu);
+      io::WalCheckpoint::Session entry;
+      entry.session_id = id;
+      entry.evicted_up_to = session->evicted_up_to;
+      for (const auto& [sequence, cached] : session->done) {
+        entry.responses.emplace_back(sequence, cached.bytes);
+      }
+      checkpoint.sessions.push_back(std::move(entry));
+    }
+  }
+  // Snapshot before manifest: recovery treats a checkpoint as valid only
+  // when BOTH load, so a crash between the writes (or inside either) just
+  // wastes the pair. Compaction comes last — the log is never shortened
+  // before its replacement is fully durable.
+  const std::string snapshot_path =
+      io::WalCheckpointSnapshotPath(options_.wal_dir, lsn);
+  if (!io::SaveSvsStore(system_->svs_store(), snapshot_path).ok()) return;
+  if (!io::SaveWalCheckpointMeta(
+           checkpoint, io::WalCheckpointMetaPath(options_.wal_dir, lsn))
+           .ok()) {
+    return;
+  }
+  if (!wal_->Compact(lsn).ok()) return;
+  wal_checkpoints_.fetch_add(1);
+  io::RemoveWalCheckpointsBelow(options_.wal_dir, lsn);
+}
+
+void Server::ReplicationLoop() {
+  std::unique_ptr<Client> client;
+  while (!replication_stop_.load()) {
+    if (client == nullptr) {
+      ClientOptions client_options;
+      // The long poll rides inside the I/O deadline.
+      client_options.io_timeout_ms = options_.replication_poll_ms + 5'000;
+      client_options.max_reconnects = 0;
+      client_options.max_shed_retries = 0;
+      auto connected =
+          Client::Connect(options_.standby_of_host, options_.standby_of_port,
+                          client_options);
+      if (!connected.ok()) {
+        replication_errors_.fetch_add(1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.replication_poll_ms));
+        continue;
+      }
+      client = std::make_unique<Client>(std::move(*connected));
+    }
+    // The applied frontier doubles as the windowed ack.
+    const uint64_t applied = wal_->last_lsn();
+    auto reply = client->WalShip(
+        applied, options_.replication_batch,
+        static_cast<uint32_t>(options_.replication_poll_ms));
+    if (!reply.ok()) {
+      // Dead or restarting primary: drop the connection and retry; the
+      // next WalShip re-asks from the same applied frontier, so nothing
+      // is skipped or doubled.
+      replication_errors_.fetch_add(1);
+      client.reset();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.replication_poll_ms));
+      continue;
+    }
+    replication_primary_durable_.store(reply->durable_lsn);
+    bool advanced = false;
+    Status apply_status;
+    for (const io::WalRecord& record : reply->records) {
+      if (record.lsn <= wal_->last_lsn()) continue;  // already mirrored
+      apply_status = ApplyWalRecord(record, /*from_replication=*/true);
+      if (!apply_status.ok()) break;
+      advanced = true;
+    }
+    if (!apply_status.ok()) {
+      // Divergence is not retryable; stop tailing so the lag gauge (and
+      // the error counter) make the operator look.
+      replication_errors_.fetch_add(1);
+      return;
+    }
+    if (advanced) {
+      // Group-commit the batch before the next WalShip acks it upstream:
+      // the ack promises durable application.
+      if (!wal_->Sync().ok()) {
+        replication_errors_.fetch_add(1);
+        return;
+      }
+    }
+  }
 }
 
 }  // namespace vz::net

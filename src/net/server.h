@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/videozilla.h"
+#include "io/wal.h"
 #include "net/wire.h"
 
 namespace vz::net {
@@ -73,6 +74,44 @@ struct ServerOptions {
   /// Bound on distinct client sessions tracked; least-recently-used
   /// sessions are evicted beyond it.
   size_t max_sessions = 1024;
+
+  // --- Durability (write-ahead log; see DESIGN.md, "Durability and
+  // --- replication"). ---
+
+  /// Directory of the write-ahead log. Non-empty enables durability: every
+  /// successful mutating RPC is acked only after its WAL record (with its
+  /// idempotency token) is fsynced, and `Start` replays the newest valid
+  /// checkpoint plus the log tail. Empty = in-memory only (the pre-WAL
+  /// behaviour).
+  std::string wal_dir;
+  /// Group-commit gather window (see `io::WalOptions::fsync_interval_ms`).
+  int64_t wal_fsync_interval_ms = 2;
+  /// WAL segment rotation threshold.
+  uint64_t wal_segment_bytes = 4ull << 20;
+  /// Live log bytes that trigger a checkpoint (snapshot + manifest, then
+  /// log compaction) at the next Flush. 0 disables checkpointing — the log
+  /// grows without bound and recovery replays from the beginning.
+  uint64_t wal_compact_bytes = 8ull << 20;
+  /// When true, a mutating ack additionally waits until a standby has
+  /// acknowledged (via its WalShip `from_lsn`) everything up to the
+  /// record's LSN — semi-synchronous replication: an acked write survives
+  /// the loss of the whole primary, not just a crash.
+  bool sync_replication = false;
+
+  // --- Warm standby. ---
+
+  /// Non-empty makes this server a warm standby: it does not listen for
+  /// clients; instead it tails `standby_of_host:standby_of_port`'s WAL via
+  /// the WalShip RPC, applying records as they arrive. `Promote` turns it
+  /// into a primary listening on `port`. A standby requires its own
+  /// `wal_dir` (it mirrors the primary's log, preserving LSN numbering).
+  std::string standby_of_host;
+  uint16_t standby_of_port = 0;
+  /// Long-poll budget per WalShip request (also the reconnect backoff when
+  /// the primary is unreachable).
+  int64_t replication_poll_ms = 50;
+  /// Records fetched per WalShip request.
+  uint32_t replication_batch = 256;
 };
 
 /// Counters of the serving layer (all lifetime totals except the gauges).
@@ -92,6 +131,19 @@ struct ServerStats {
   uint64_t pings_served = 0;
   size_t sessions_active = 0;  // gauge
   uint64_t sessions_evicted = 0;
+  /// Durability counters (all zero without a WAL).
+  ServerRole role = ServerRole::kPrimary;
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_replayed_records = 0;
+  uint64_t wal_salvaged_bytes = 0;
+  uint64_t wal_checkpoints = 0;
+  uint64_t wal_last_lsn = 0;
+  uint64_t wal_durable_lsn = 0;  // gauge
+  /// Standby gauge: durable primary records not yet applied locally.
+  uint64_t replication_lag_records = 0;
+  /// WalShip errors observed by the standby's replication loop (reconnects).
+  uint64_t replication_errors = 0;
 };
 
 /// TCP front end over one `VideoZilla` instance: an accept loop plus
@@ -125,6 +177,15 @@ struct ServerStats {
 /// `Shutdown` is graceful: stop accepting, let every handler finish the
 /// request it is serving (responses are written before sockets close), then
 /// force-close whatever is still open after `drain_timeout_ms`.
+///
+/// Durability (opt-in via `wal_dir`): the commit rule is apply -> log (the
+/// verbatim post-token request bytes, inside the state lock) -> ack only
+/// after the record is fsynced. Recovery restores the newest valid
+/// checkpoint, replays the log tail through the same dispatch that served
+/// the originals, and rebuilds the dedup windows from the logged tokens —
+/// so a retry that straddles a crash is still replayed, not re-applied. A
+/// warm standby tails the log over WalShip and can take over the primary's
+/// port via `Promote`. See DESIGN.md, "Durability and replication".
 class Server {
  public:
   /// `system` is borrowed and must outlive the server.
@@ -134,11 +195,29 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and starts the accept loop. Fails if the port is taken.
+  /// Binds and starts the accept loop (after WAL recovery when `wal_dir`
+  /// is set). A standby (`standby_of_host` set) instead starts the
+  /// replication loop and does not listen until `Promote`. Fails if the
+  /// port is taken, or if recovery finds an unreplayable log.
   Status Start();
 
   /// Graceful stop; idempotent. Safe to call concurrently with traffic.
   void Shutdown();
+
+  /// Abrupt stop: no drain, no responses, in-flight requests dropped on the
+  /// floor — the in-process stand-in for `kill -9` in failover drills.
+  /// Everything fsynced (i.e. everything acked) survives; nothing else is
+  /// guaranteed to.
+  void Kill();
+
+  /// Turns a standby into a primary: stops tailing the old primary, makes
+  /// the mirrored log durable, and starts listening on `options().port`.
+  /// Binding fails while the old primary still holds the port — the
+  /// split-brain guard.
+  Status Promote();
+
+  /// The serving role (primary / standby / promoted standby).
+  ServerRole role() const;
 
   /// The bound port (valid after a successful `Start`).
   uint16_t port() const { return port_; }
@@ -161,6 +240,16 @@ class Server {
     uint64_t rpcs = 0;
   };
 
+  /// A cached mutating response plus the WAL LSN that made it durable (0
+  /// when the server runs without a WAL, or when the entry was rebuilt
+  /// during recovery — then the log already holds it). A duplicate replayed
+  /// from the window must wait out the same durability its original ack
+  /// waited for.
+  struct CachedResponse {
+    std::string bytes;
+    uint64_t lsn = 0;
+  };
+
   /// Exactly-once state of one client session. Sessions are shared across
   /// reconnects (the token's session id, not the connection, is the key),
   /// so entries hold their own lock independent of the registry map.
@@ -171,14 +260,16 @@ class Server {
     /// the cached response instead of double-applying (the client timed out
     /// and retried over a new connection while the original still runs).
     std::set<uint64_t> executing;
-    /// Completed sequence -> cached response payload, trimmed to the window.
-    std::map<uint64_t, std::string> done;
+    /// Completed sequence -> cached response, trimmed to the window.
+    std::map<uint64_t, CachedResponse> done;
     /// Highest sequence trimmed out of `done`; duplicates at or below it
     /// can no longer be replayed and are refused.
     uint64_t evicted_up_to = 0;
     uint64_t last_used_tick = 0;
   };
 
+  /// Binds `options().port` and spawns the accept thread.
+  Status StartListener();
   void AcceptLoop();
   void HandleConnection(UniqueFd fd);
   /// Serves one already-readable request; false when the connection should
@@ -189,18 +280,52 @@ class Server {
                               Status* failure);
   /// Runs a tokened mutating request exactly once: replays from the session
   /// window, waits out a concurrent execution of the same sequence, or
-  /// executes and caches the response. `reader` is positioned past the
-  /// token.
+  /// executes, logs, caches the response, and waits for durability (and,
+  /// under sync replication, the standby's ack) before returning. `reader`
+  /// is positioned past the token.
   std::string DispatchMutating(MsgType type, const IdempotencyToken& token,
                                io::BinaryReader* reader, Status* failure);
-  /// The RPC switch proper, shared by the tokened and token-free paths.
+  /// The RPC switch for token-free requests (queries, stats, ping, ship).
   std::string ExecuteRequest(MsgType type, io::BinaryReader* reader,
                              Status* failure);
+  /// The mutating RPC switch proper. Caller holds `state_mu_` exclusively;
+  /// shared by the client path, WAL replay and replication apply — the one
+  /// dispatch that regenerates byte-identical state from logged bytes.
+  std::string ExecuteMutating(MsgType type, io::BinaryReader* reader,
+                              Status* failure);
   /// The session for `id`, creating it (and LRU-evicting beyond
   /// `max_sessions`) as needed.
   std::shared_ptr<Session> GetSession(uint64_t id);
+  /// Completes `sequence`: caches the response (window-trimmed) and wakes
+  /// duplicate waiters.
+  void CacheSessionResponse(Session* session, uint64_t sequence,
+                            const std::string& response, uint64_t lsn);
   void TouchConnection(int fd, uint64_t bytes_in, uint64_t bytes_out,
                        bool completed_rpc);
+
+  // --- Durability. ---
+
+  /// Restores the newest fully-valid checkpoint (snapshot + manifest),
+  /// rebuilds the per-session dedup windows it recorded, opens the WAL
+  /// (salvaging any torn tail), and replays the tail through
+  /// `ApplyWalRecord`.
+  Status RecoverFromWal();
+  /// Re-applies one logged op through `ExecuteMutating` and rebuilds its
+  /// dedup-window entry. With `from_replication` the record is also
+  /// mirrored into this server's own WAL under the primary's LSN.
+  Status ApplyWalRecord(const io::WalRecord& record, bool from_replication);
+  /// Takes a checkpoint at `lsn` (snapshot, then manifest, then log
+  /// compaction — crash-safe in that order) and prunes older checkpoints.
+  /// Caller holds `state_mu_` exclusively. Failures are non-fatal: the WAL
+  /// still covers everything.
+  void CheckpointLocked(uint64_t lsn);
+  /// Blocks until a standby has acknowledged `lsn` (sync replication) or
+  /// the server is stopping.
+  Status WaitShipped(uint64_t lsn);
+  /// The standby's tailing loop: WalShip long-polls against the primary,
+  /// applying and mirroring each batch.
+  void ReplicationLoop();
+  void StopReplication();
 
   core::VideoZilla* system_;
   const ServerOptions options_;
@@ -238,6 +363,33 @@ class Server {
   std::atomic<uint64_t> duplicates_replayed_{0};
   std::atomic<uint64_t> pings_served_{0};
   std::atomic<uint64_t> sessions_evicted_{0};
+
+  // --- Durability state. ---
+
+  /// The write-ahead log (null without `wal_dir`). Internally synchronized.
+  std::unique_ptr<io::Wal> wal_;
+  /// True while `RecoverFromWal` replays the tail — checkpointing is
+  /// suppressed (compaction would delete segments mid-replay).
+  bool in_recovery_ = false;
+  std::atomic<uint64_t> wal_replayed_records_{0};
+  std::atomic<uint64_t> wal_checkpoints_{0};
+
+  /// Highest LSN a standby has acknowledged as durably applied (via its
+  /// WalShip `from_lsn`). Sync-replication acks wait on this frontier.
+  std::mutex ship_mu_;
+  std::condition_variable ship_cv_;
+  uint64_t shipped_acked_ = 0;
+
+  // --- Standby state. ---
+
+  bool standby_ = false;
+  std::atomic<bool> promoted_{false};
+  std::thread replication_thread_;
+  std::atomic<bool> replication_stop_{false};
+  /// The primary's durable frontier as of the last WalShip reply (lag
+  /// gauge numerator).
+  std::atomic<uint64_t> replication_primary_durable_{0};
+  std::atomic<uint64_t> replication_errors_{0};
 };
 
 }  // namespace vz::net

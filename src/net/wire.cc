@@ -80,6 +80,7 @@ bool IsKnownMessageType(uint32_t type) {
     case MsgType::kSnapshotSave:
     case MsgType::kSnapshotLoad:
     case MsgType::kPing:
+    case MsgType::kWalShip:
       return true;
   }
   return false;
@@ -565,6 +566,15 @@ void EncodeMonitorStats(io::BinaryWriter* writer,
   writer->WriteU64(stats.serving.pings_served);
   writer->WriteU64(stats.serving.sessions_active);
   writer->WriteU64(stats.serving.sessions_evicted);
+  writer->WriteU32(static_cast<uint32_t>(stats.serving.role));
+  writer->WriteU64(stats.serving.wal_appends);
+  writer->WriteU64(stats.serving.wal_fsyncs);
+  writer->WriteU64(stats.serving.wal_replayed_records);
+  writer->WriteU64(stats.serving.wal_salvaged_bytes);
+  writer->WriteU64(stats.serving.wal_checkpoints);
+  writer->WriteU64(stats.serving.wal_last_lsn);
+  writer->WriteU64(stats.serving.wal_durable_lsn);
+  writer->WriteU64(stats.serving.replication_lag_records);
   writer->WriteU64(stats.serving.connections.size());
   for (const ConnectionInfo& conn : stats.serving.connections) {
     writer->WriteU64(conn.id);
@@ -610,6 +620,20 @@ StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
   VZ_ASSIGN_OR_RETURN(stats.serving.pings_served, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(stats.serving.sessions_active, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(stats.serving.sessions_evicted, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint32_t role, reader->ReadU32());
+  if (role > static_cast<uint32_t>(ServerRole::kPromoted)) {
+    return Status::InvalidArgument("invalid server role value");
+  }
+  stats.serving.role = static_cast<ServerRole>(role);
+  VZ_ASSIGN_OR_RETURN(stats.serving.wal_appends, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.wal_fsyncs, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.wal_replayed_records, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.wal_salvaged_bytes, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.wal_checkpoints, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.wal_last_lsn, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.wal_durable_lsn, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.replication_lag_records,
+                      reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(uint64_t num_connections, reader->ReadU64());
   // Six fixed-width fields per registry entry.
   VZ_RETURN_IF_ERROR(CheckCount(*reader, num_connections, 6 * sizeof(uint64_t)));
@@ -653,6 +677,60 @@ StatusOr<std::vector<CameraHealthEntry>> DecodeCameraHealthReport(
     report.push_back(std::move(entry));
   }
   return report;
+}
+
+void EncodeWalShipRequest(io::BinaryWriter* writer,
+                          const WalShipRequest& request) {
+  writer->WriteU64(request.from_lsn);
+  writer->WriteU32(request.max_records);
+  writer->WriteU32(request.wait_ms);
+}
+
+StatusOr<WalShipRequest> DecodeWalShipRequest(io::BinaryReader* reader) {
+  WalShipRequest request;
+  VZ_ASSIGN_OR_RETURN(request.from_lsn, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(request.max_records, reader->ReadU32());
+  VZ_ASSIGN_OR_RETURN(request.wait_ms, reader->ReadU32());
+  return request;
+}
+
+void EncodeWalShipReply(io::BinaryWriter* writer, const WalShipReply& reply) {
+  writer->WriteU64(reply.durable_lsn);
+  writer->WriteU64(reply.records.size());
+  for (const io::WalRecord& record : reply.records) {
+    writer->WriteU64(record.lsn);
+    writer->WriteU64(record.session_id);
+    writer->WriteU64(record.sequence);
+    writer->WriteU32(record.op);
+    writer->WriteLengthPrefixedBytes(record.payload);
+  }
+}
+
+StatusOr<WalShipReply> DecodeWalShipReply(io::BinaryReader* reader) {
+  WalShipReply reply;
+  VZ_ASSIGN_OR_RETURN(reply.durable_lsn, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  // Three u64s, a u32 op, and the payload's own u64 length prefix.
+  VZ_RETURN_IF_ERROR(
+      CheckCount(*reader, count, 4 * sizeof(uint64_t) + sizeof(uint32_t)));
+  reply.records.reserve(count);
+  uint64_t previous_lsn = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    io::WalRecord record;
+    VZ_ASSIGN_OR_RETURN(record.lsn, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(record.session_id, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(record.sequence, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(record.op, reader->ReadU32());
+    VZ_ASSIGN_OR_RETURN(record.payload, reader->ReadLengthPrefixedBytes());
+    // The shipped batch must be a dense ascending LSN run — a gap here
+    // would silently drop records on the standby.
+    if (i > 0 && record.lsn != previous_lsn + 1) {
+      return Status::InvalidArgument("WAL ship batch has an LSN gap");
+    }
+    previous_lsn = record.lsn;
+    reply.records.push_back(std::move(record));
+  }
+  return reply;
 }
 
 }  // namespace vz::net

@@ -12,6 +12,7 @@
 #include "core/svs.h"
 #include "core/videozilla.h"
 #include "io/binary_format.h"
+#include "io/wal.h"
 #include "vector/feature_map.h"
 #include "vector/feature_vector.h"
 
@@ -50,7 +51,12 @@ inline constexpr uint32_t kWireMagic = 0x565A5250;  // "VZRP"
 /// v2: mutating request payloads start with an idempotency token
 /// (session id + sequence number), the Monitor reply carries the serving
 /// layer's connection registry, and `kPing` exists as a keepalive.
-inline constexpr uint32_t kProtocolVersion = 2;
+///
+/// v3: `kWalShip` exists (warm standbys tail the primary's write-ahead log),
+/// and the Monitor reply's serving stats carry the durability counters
+/// (WAL appends/fsyncs/replays/salvage, checkpoint count, LSN frontiers,
+/// replication lag, server role).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Upper bound on a frame payload; a length field beyond this is rejected
 /// before any allocation (it is either corruption the CRC would also catch
@@ -78,6 +84,12 @@ enum class MsgType : uint32_t {
   /// server's idle clock without touching any state, so a client that is
   /// between requests can fend off idle eviction.
   kPing = 15,
+  /// Log shipping (v3): a standby asks for WAL records starting after a
+  /// given LSN. The `from` LSN doubles as a windowed ack — everything at or
+  /// below it is durably applied on the standby, which lets a semi-sync
+  /// primary release acks waiting on replication. Token-free: re-reading a
+  /// log window is harmless.
+  kWalShip = 16,
 };
 
 inline constexpr uint32_t kResponseFlag = 0x80000000u;
@@ -207,9 +219,20 @@ struct ConnectionInfo {
   uint64_t rpcs = 0;
 };
 
+/// The serving role a server reports in its Monitor reply (v3).
+enum class ServerRole : uint32_t {
+  /// Accepting client traffic; the authority for its WAL.
+  kPrimary = 0,
+  /// Tailing a primary's WAL; not listening for clients.
+  kStandby = 1,
+  /// A standby that took over the primary's port after a failover.
+  kPromoted = 2,
+};
+
 /// Serving-layer counters carried in the Monitor reply (v2): connection
 /// lifecycle totals, supervision evictions, exactly-once replays, and the
-/// per-connection registry snapshot.
+/// per-connection registry snapshot. v3 appends the durability counters;
+/// they are all zero when the server runs without a WAL.
 struct ServingStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_shed = 0;
@@ -219,6 +242,20 @@ struct ServingStats {
   uint64_t pings_served = 0;
   uint64_t sessions_active = 0;
   uint64_t sessions_evicted = 0;
+  // v3 durability counters.
+  ServerRole role = ServerRole::kPrimary;
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  /// Records re-applied from the log during crash recovery.
+  uint64_t wal_replayed_records = 0;
+  /// Bytes of torn/corrupt log tail discarded during recovery.
+  uint64_t wal_salvaged_bytes = 0;
+  /// Checkpoints (snapshot + manifest) taken since start.
+  uint64_t wal_checkpoints = 0;
+  uint64_t wal_last_lsn = 0;
+  uint64_t wal_durable_lsn = 0;
+  /// Standby only: durable primary records not yet applied locally.
+  uint64_t replication_lag_records = 0;
   std::vector<ConnectionInfo> connections;
 };
 
@@ -248,6 +285,31 @@ void EncodeCameraHealthReport(io::BinaryWriter* writer,
                               const std::vector<CameraHealthEntry>& report);
 StatusOr<std::vector<CameraHealthEntry>> DecodeCameraHealthReport(
     io::BinaryReader* reader);
+
+/// Body of the WalShip RPC (v3). The request is `from_lsn` (records strictly
+/// after it are returned, and everything at or below it is acknowledged as
+/// durably applied by the caller), `max_records`, and `wait_ms` — a long-poll
+/// budget: when no records are available past `from_lsn` the server may hold
+/// the request until new ones become durable or the budget expires.
+struct WalShipRequest {
+  uint64_t from_lsn = 0;
+  uint32_t max_records = 0;
+  uint32_t wait_ms = 0;
+};
+
+void EncodeWalShipRequest(io::BinaryWriter* writer,
+                          const WalShipRequest& request);
+StatusOr<WalShipRequest> DecodeWalShipRequest(io::BinaryReader* reader);
+
+/// The reply: the primary's durable frontier (so a caught-up standby can
+/// report zero lag) plus the shipped records in LSN order.
+struct WalShipReply {
+  uint64_t durable_lsn = 0;
+  std::vector<io::WalRecord> records;
+};
+
+void EncodeWalShipReply(io::BinaryWriter* writer, const WalShipReply& reply);
+StatusOr<WalShipReply> DecodeWalShipReply(io::BinaryReader* reader);
 
 }  // namespace vz::net
 

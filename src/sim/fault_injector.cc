@@ -276,4 +276,31 @@ Status FaultInjector::FlipBits(const std::string& path, size_t num_flips,
   return WriteWholeFile(path, data);
 }
 
+Status FaultInjector::TruncateTail(const std::string& path,
+                                   size_t drop_bytes) {
+  VZ_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (drop_bytes > data.size()) {
+    return Status::InvalidArgument(
+        "file " + path + " holds " + std::to_string(data.size()) +
+        " bytes, cannot drop " + std::to_string(drop_bytes));
+  }
+  if (Status s = Truncate(&data, data.size() - drop_bytes); !s.ok()) {
+    return Status(s.code(), "file " + path + ": " + s.message());
+  }
+  return WriteWholeFile(path, data);
+}
+
+Status FaultInjector::ShortWriteTail(const std::string& path,
+                                     size_t zero_bytes) {
+  VZ_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (zero_bytes > data.size()) {
+    return Status::InvalidArgument(
+        "file " + path + " holds " + std::to_string(data.size()) +
+        " bytes, cannot zero " + std::to_string(zero_bytes));
+  }
+  std::fill(data.end() - static_cast<ptrdiff_t>(zero_bytes), data.end(),
+            '\0');
+  return WriteWholeFile(path, data);
+}
+
 }  // namespace vz::sim

@@ -137,6 +137,20 @@ class FaultInjector {
   static Status FlipBits(const std::string& path, size_t num_flips,
                          uint64_t seed);
 
+  /// Drops the last `drop_bytes` bytes of `path` — a torn tail: the crash
+  /// landed mid-append and the file ends inside a record. Fails if the file
+  /// is shorter than `drop_bytes`. (Equivalent to `TruncateFile(path,
+  /// size - drop_bytes)` but phrased the way WAL salvage tests reason:
+  /// damage is measured from the tail.)
+  static Status TruncateTail(const std::string& path, size_t drop_bytes);
+
+  /// Emulates a partial fsync (short write): the file keeps its length but
+  /// its last `zero_bytes` bytes are replaced with zeros — blocks the
+  /// filesystem allocated whose data never reached the platter. Unlike a
+  /// torn tail, the reader sees a full-length file whose suffix is garbage,
+  /// so salvage must reject the zeroed region structurally, not by EOF.
+  static Status ShortWriteTail(const std::string& path, size_t zero_bytes);
+
  private:
   enum class Fault {
     kNone,

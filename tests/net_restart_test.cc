@@ -1,13 +1,25 @@
-// End-to-end restart drill: a server dies mid-ingest, a fresh process
-// restores the last v2 snapshot on the same port, and the surviving client
-// reconnects and resumes — with no frame lost and none double-applied.
-// This is the serving-layer complement to restore_test's in-process
-// crash-recovery coverage.
+// End-to-end restart and failover drills:
+//   1. a server dies mid-ingest and a fresh process restores the last v2
+//      snapshot on the same port (the operator-driven recovery path);
+//   2. a WAL-backed server is killed mid-ingest and recovers on its own —
+//      checkpoint + log-tail replay, no operator snapshot needed;
+//   3. a duplicate retry that straddles the restart is replayed from the
+//      rebuilt dedup window, not re-applied (the exactly-once gap a
+//      snapshot-only restart left open);
+//   4. a seeded kill -9 of the primary mid-ingest fails over to a warm
+//      standby promoted onto the same port — zero loss, no double-apply,
+//      byte-identical state versus a fault-free control run, across many
+//      kill points (VZ_FAILOVER_SEEDS, default 20).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +36,28 @@ using core::VideoZillaOptions;
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+/// Deletes a WAL directory (segments + checkpoint pairs) and the directory
+/// itself. Fresh ground per incarnation/seed.
+void RemoveDirAll(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle != nullptr) {
+    while (struct dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(handle);
+  }
+  ::rmdir(dir.c_str());
+}
+
+size_t EnvSeedCount(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
 
 sim::DeploymentOptions SmallDeployment() {
@@ -169,6 +203,331 @@ TEST(NetRestartTest, ServerRestartFromSnapshotLosesNoFrameAppliesNoneTwice) {
   client->Close();
   server.Shutdown();
   std::remove(snapshot_path.c_str());
+}
+
+// Drill 2: no operator snapshot at all — the WAL alone carries the state
+// across a kill -9. The surviving client resumes mid-stream and the final
+// store is bit-identical to an uninterrupted run.
+TEST(NetRestartTest, WalRecoveryRestoresStateWithoutASnapshot) {
+  const std::string wal_dir = TempPath("net_restart_wal");
+  RemoveDirAll(wal_dir);
+  sim::Deployment deployment(SmallDeployment());
+  const auto& observations = deployment.observations();
+  ASSERT_GE(observations.size(), 8u);
+  const size_t midpoint = observations.size() / 2;
+
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = 1'000;
+  client_options.io_timeout_ms = 2'000;
+  client_options.max_reconnects = 100;
+  client_options.backoff_floor_ms = 5;
+  client_options.backoff_cap_ms = 50;
+  client_options.session_id = 4243;
+  client_options.backoff_seed = 7;
+
+  ServerOptions server_options;
+  server_options.wal_dir = wal_dir;
+  // Fsync on every append: every ack the client saw is durable, so the
+  // kill below can lose nothing the test counts on.
+  server_options.wal_fsync_interval_ms = 0;
+
+  uint16_t port = 0;
+  std::unique_ptr<Client> client;
+  {
+    // --- Incarnation #1: ingest the first half, then die abruptly. No
+    // --- Flush, no snapshot — recovery has only the log to work with.
+    VideoZilla system(SmallSystemOptions());
+    Server server(&system, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    port = server.port();
+    auto connected = Client::Connect("127.0.0.1", port, client_options);
+    ASSERT_TRUE(connected.ok());
+    client = std::make_unique<Client>(std::move(*connected));
+    for (const auto& info : deployment.cameras()) {
+      ASSERT_TRUE(client->CameraStart(info.camera).ok());
+    }
+    for (size_t i = 0; i < midpoint; ++i) {
+      ASSERT_TRUE(client->IngestFrame(observations[i]).ok());
+    }
+    server.Kill();  // kill -9: no drain, no checkpoint, connections torn
+  }
+
+  // --- Incarnation #2: same WAL dir, same port. Start() replays the log
+  // --- before accepting connections; the client just keeps ingesting.
+  const uint64_t logged_ops = deployment.cameras().size() + midpoint;
+  VideoZilla restored(SmallSystemOptions());
+  Server server(&restored, [&] {
+    ServerOptions options = server_options;
+    options.port = port;
+    return options;
+  }());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.stats().wal_replayed_records, logged_ops);
+
+  for (size_t i = midpoint; i < observations.size(); ++i) {
+    Status status = client->IngestFrame(observations[i]);
+    ASSERT_TRUE(status.ok()) << "frame " << i << ": " << status.ToString();
+  }
+  ASSERT_TRUE(client->Flush().ok());
+  EXPECT_GT(client->call_stats().reconnects, 0u);
+
+  // Replay re-offered the first half, the client the second: every frame
+  // exactly once, none dropped as a duplicate or out of order.
+  EXPECT_EQ(restored.ingest_stats().frames_offered, observations.size());
+  EXPECT_EQ(restored.ingest_stats().duplicates_dropped, 0u);
+  EXPECT_EQ(restored.ingest_stats().out_of_order_dropped, 0u);
+
+  // Control: one uninterrupted system fed the same op order.
+  VideoZilla control(SmallSystemOptions());
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(control.CameraStart(info.camera).ok());
+  }
+  for (const auto& obs : observations) {
+    ASSERT_TRUE(control.IngestFrame(obs).ok());
+  }
+  ASSERT_TRUE(control.Flush().ok());
+
+  EXPECT_EQ(restored.svs_store().size(), control.svs_store().size());
+  Rng rng(11);
+  const FeatureVector query = deployment.MakeQueryFeature(0, &rng);
+  auto expected = control.DirectQuery(query);
+  ASSERT_TRUE(expected.ok());
+  auto remote = client->DirectQuery(query);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(remote->candidate_svss, expected->candidate_svss);
+  EXPECT_EQ(remote->matched_svss, expected->matched_svss);
+  EXPECT_EQ(remote->total_gpu_ms, expected->total_gpu_ms);
+
+  // Durability counters travel the wire too.
+  auto monitor = client->MonitorStats();
+  ASSERT_TRUE(monitor.ok());
+  EXPECT_EQ(monitor->serving.role, ServerRole::kPrimary);
+  EXPECT_EQ(monitor->serving.wal_replayed_records, logged_ops);
+  EXPECT_GT(monitor->serving.wal_appends, 0u);
+  EXPECT_GT(monitor->serving.wal_durable_lsn, logged_ops);
+
+  client->Close();
+  server.Shutdown();
+  RemoveDirAll(wal_dir);
+}
+
+// Drill 3 (regression): a duplicate retry that straddles the restart. A
+// fresh client process reuses the dead one's session id and re-issues the
+// exact same calls — every one must be answered from the dedup window that
+// recovery rebuilt from the log, not re-applied. Re-applying would turn the
+// CameraStarts into kFailedPrecondition and the frames into duplicates.
+TEST(NetRestartTest, DuplicateRetryAcrossRestartIsReplayedNotReapplied) {
+  const std::string wal_dir = TempPath("net_restart_dedup_wal");
+  RemoveDirAll(wal_dir);
+  sim::Deployment deployment(SmallDeployment());
+  const auto& observations = deployment.observations();
+  ASSERT_GE(observations.size(), 16u);
+  const size_t resend_frames = 8;
+
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = 1'000;
+  client_options.io_timeout_ms = 2'000;
+  client_options.max_reconnects = 100;
+  client_options.backoff_floor_ms = 5;
+  client_options.backoff_cap_ms = 50;
+  client_options.session_id = 777;  // both incarnations pin the same session
+  client_options.backoff_seed = 3;
+
+  ServerOptions server_options;
+  server_options.wal_dir = wal_dir;
+  server_options.wal_fsync_interval_ms = 0;
+
+  {
+    // --- Incarnation #1: client A issues 5 starts + 8 frames, server dies.
+    VideoZilla system(SmallSystemOptions());
+    Server server(&system, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    auto connected =
+        Client::Connect("127.0.0.1", server.port(), client_options);
+    ASSERT_TRUE(connected.ok());
+    Client client_a = std::move(*connected);
+    for (const auto& info : deployment.cameras()) {
+      ASSERT_TRUE(client_a.CameraStart(info.camera).ok());
+    }
+    for (size_t i = 0; i < resend_frames; ++i) {
+      ASSERT_TRUE(client_a.IngestFrame(observations[i]).ok());
+    }
+    server.Kill();
+  }
+
+  const uint64_t logged_ops = deployment.cameras().size() + resend_frames;
+  VideoZilla restored(SmallSystemOptions());
+  Server server(&restored, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // --- Client B: same session id, fresh sequence counter starting at 1 —
+  // --- so re-issuing the identical call order reproduces client A's
+  // --- idempotency tokens exactly (the retry-straddles-restart shape).
+  auto connected =
+      Client::Connect("127.0.0.1", server.port(), client_options);
+  ASSERT_TRUE(connected.ok());
+  Client client_b = std::move(*connected);
+  for (const auto& info : deployment.cameras()) {
+    Status status = client_b.CameraStart(info.camera);
+    EXPECT_TRUE(status.ok()) << info.camera << ": " << status.ToString();
+  }
+  for (size_t i = 0; i < resend_frames; ++i) {
+    Status status = client_b.IngestFrame(observations[i]);
+    ASSERT_TRUE(status.ok()) << "frame " << i << ": " << status.ToString();
+  }
+
+  // Every re-issued call hit the rebuilt window; nothing was re-executed.
+  EXPECT_EQ(server.stats().duplicates_replayed, logged_ops);
+  EXPECT_EQ(server.stats().wal_replayed_records, logged_ops);
+  EXPECT_EQ(restored.ingest_stats().frames_offered, resend_frames);
+  EXPECT_EQ(restored.ingest_stats().duplicates_dropped, 0u);
+
+  // The session keeps working past the replayed prefix: new sequences are
+  // applied fresh.
+  for (size_t i = resend_frames; i < 2 * resend_frames; ++i) {
+    ASSERT_TRUE(client_b.IngestFrame(observations[i]).ok());
+  }
+  ASSERT_TRUE(client_b.Flush().ok());
+  EXPECT_EQ(restored.ingest_stats().frames_offered, 2 * resend_frames);
+  EXPECT_EQ(restored.ingest_stats().duplicates_dropped, 0u);
+
+  client_b.Close();
+  server.Shutdown();
+  RemoveDirAll(wal_dir);
+}
+
+// Drill 4: seeded kill -9 of the primary mid-ingest, warm standby promoted
+// onto the same port. With synchronous replication every acked op is
+// already on the standby, and the client's token-carrying retries cover the
+// in-flight one — so across many kill points the surviving system must be
+// byte-identical to a fault-free control run.
+TEST(NetFailoverTest, SeededKillMidIngestFailsOverWithZeroLossNoDoubleApply) {
+  sim::Deployment deployment(SmallDeployment());
+  const auto& observations = deployment.observations();
+  const size_t total_ops =
+      deployment.cameras().size() + observations.size() + 1;
+  ASSERT_GE(total_ops, 12u);
+
+  // Fault-free control, computed once: every seed must converge to this.
+  VideoZilla control(SmallSystemOptions());
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(control.CameraStart(info.camera).ok());
+  }
+  for (const auto& obs : observations) {
+    ASSERT_TRUE(control.IngestFrame(obs).ok());
+  }
+  ASSERT_TRUE(control.Flush().ok());
+  Rng query_rng(11);
+  const FeatureVector query = deployment.MakeQueryFeature(0, &query_rng);
+  auto expected = control.DirectQuery(query);
+  ASSERT_TRUE(expected.ok());
+
+  const size_t seeds = EnvSeedCount("VZ_FAILOVER_SEEDS", 20);
+  for (size_t seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string primary_dir =
+        TempPath("failover_primary_" + std::to_string(seed));
+    const std::string standby_dir =
+        TempPath("failover_standby_" + std::to_string(seed));
+    RemoveDirAll(primary_dir);
+    RemoveDirAll(standby_dir);
+
+    VideoZilla primary_system(SmallSystemOptions());
+    ServerOptions primary_options;
+    primary_options.wal_dir = primary_dir;
+    primary_options.wal_fsync_interval_ms = 0;
+    primary_options.sync_replication = true;
+    Server primary(&primary_system, primary_options);
+    ASSERT_TRUE(primary.Start().ok());
+
+    VideoZilla standby_system(SmallSystemOptions());
+    ServerOptions standby_options;
+    standby_options.port = primary.port();  // promotion target: same endpoint
+    standby_options.wal_dir = standby_dir;
+    standby_options.wal_fsync_interval_ms = 0;
+    standby_options.standby_of_host = "127.0.0.1";
+    standby_options.standby_of_port = primary.port();
+    standby_options.replication_poll_ms = 50;
+    Server standby(&standby_system, standby_options);
+    ASSERT_TRUE(standby.Start().ok());
+    ASSERT_EQ(standby.role(), ServerRole::kStandby);
+
+    ClientOptions client_options;
+    client_options.connect_timeout_ms = 2'000;
+    client_options.io_timeout_ms = 5'000;
+    client_options.max_reconnects = 200;
+    client_options.backoff_floor_ms = 2;
+    client_options.backoff_cap_ms = 20;
+    client_options.session_id = 9000 + seed;
+    client_options.backoff_seed = 13 + seed;
+    auto connected =
+        Client::Connect("127.0.0.1", primary.port(), client_options);
+    ASSERT_TRUE(connected.ok());
+    Client client = std::move(*connected);
+
+    // Kill point: seed-varied position within the op stream (served
+    // requests include the handshake, so this is approximate by design).
+    const uint64_t kill_after = 3 + (seed * 17) % (total_ops - 6);
+
+    std::vector<Status> results;
+    std::atomic<bool> ingest_done{false};
+    std::thread ingest([&] {
+      for (const auto& info : deployment.cameras()) {
+        results.push_back(client.CameraStart(info.camera));
+      }
+      for (const auto& obs : observations) {
+        results.push_back(client.IngestFrame(obs));
+      }
+      results.push_back(client.Flush());
+      ingest_done.store(true);
+    });
+
+    while (!ingest_done.load() &&
+           primary.stats().requests_served < kill_after) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    primary.Kill();
+    Status promoted = standby.Promote();
+    ASSERT_TRUE(promoted.ok()) << promoted.ToString();
+    ASSERT_EQ(standby.role(), ServerRole::kPromoted);
+    ingest.join();
+
+    // Zero loss: every op in the stream was eventually acked, riding the
+    // client's reconnect-retry across the failover window.
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << "op " << i << ": " << results[i].ToString();
+    }
+
+    // No double-apply: the standby saw every frame exactly once.
+    EXPECT_EQ(standby_system.ingest_stats().frames_offered,
+              observations.size());
+    EXPECT_EQ(standby_system.ingest_stats().duplicates_dropped, 0u);
+    EXPECT_EQ(standby_system.ingest_stats().out_of_order_dropped, 0u);
+    for (const auto& info : deployment.cameras()) {
+      uint64_t sent = 0;
+      for (const auto& obs : observations) {
+        if (obs.camera == info.camera) ++sent;
+      }
+      auto stats = standby_system.camera_ingest_stats(info.camera);
+      ASSERT_TRUE(stats.ok()) << info.camera;
+      EXPECT_EQ(stats->frames_offered, sent) << info.camera;
+      EXPECT_EQ(stats->duplicates_dropped, 0u) << info.camera;
+    }
+
+    // Byte-identical to the fault-free control.
+    EXPECT_EQ(standby_system.svs_store().size(), control.svs_store().size());
+    auto remote = client.DirectQuery(query);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_EQ(remote->candidate_svss, expected->candidate_svss);
+    EXPECT_EQ(remote->matched_svss, expected->matched_svss);
+    EXPECT_EQ(remote->total_gpu_ms, expected->total_gpu_ms);
+
+    client.Close();
+    standby.Shutdown();
+    RemoveDirAll(primary_dir);
+    RemoveDirAll(standby_dir);
+  }
 }
 
 }  // namespace
