@@ -3,10 +3,15 @@
 // and 16 concurrent clients. Two workloads bracket the cost spectrum: a
 // stats poll (pure framing + dispatch overhead) and a DirectQuery against a
 // pre-ingested deployment (real query compute, where the wire should all
-// but disappear). Emits one JSON object per row alongside the usual table.
+// but disappear). A fourth transport prices the sharded topology: the same
+// deployment split over 2 edge servers behind a coordinator (one extra hop
+// plus scatter-gather fan-out and merge per query —
+// scripts/run_cluster.sh boots the multi-process equivalent). Emits one
+// JSON object per row alongside the usual table.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +19,7 @@
 #include "bench_util.h"
 #include "net/chaos_proxy.h"
 #include "net/client.h"
+#include "net/coordinator.h"
 #include "net/server.h"
 
 namespace vz {
@@ -98,9 +104,11 @@ void PrintRow(const Row& row) {
 
 int main() {
   using namespace vz;
-  bench::Banner("Serving layer: loopback RPC vs in-process vs chaos proxy",
+  bench::Banner("Serving layer: loopback RPC vs in-process vs chaos proxy "
+                "vs 2-edge coordinator",
                 "deployment=16 cameras x 8 min, workloads=stats poll + "
-                "DirectQuery, clients=1/4/16, proxy runs fault-free");
+                "DirectQuery, clients=1/4/16, proxy runs fault-free, "
+                "coordinator fans out over 2 edge shards");
 
   bench::EndToEndRig rig;
   Rng rng(3);
@@ -123,6 +131,46 @@ int main() {
   net::ChaosProxy proxy(proxy_options);
   if (Status s = proxy.Start(); !s.ok()) {
     std::fprintf(stderr, "proxy start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // The sharded topology: the same deployment split round-robin over 2 edge
+  // shards behind a coordinator. Prices scatter-gather fan-out + merge (and
+  // the rep-sync-pruned fan-out on direct queries) against the single-node
+  // rows above. Background sync is off so rows time queries, not sync churn.
+  const auto edge_shards = rig.deployment.PartitionCameras(2);
+  std::vector<std::unique_ptr<core::VideoZilla>> edge_systems;
+  std::vector<std::unique_ptr<net::Server>> edge_servers;
+  net::CoordinatorOptions coord_options;
+  coord_options.sync_interval_ms = 0;
+  coord_options.max_connections = 32;
+  coord_options.omd = bench::BenchVzOptions().omd;
+  coord_options.inter = bench::BenchVzOptions().inter;
+  coord_options.boundary_scale = bench::BenchVzOptions().boundary_scale;
+  for (const auto& shard : edge_shards) {
+    edge_systems.push_back(
+        std::make_unique<core::VideoZilla>(bench::BenchVzOptions()));
+    if (Status s = rig.deployment.IngestShard(edge_systems.back().get(),
+                                              shard);
+        !s.ok()) {
+      std::fprintf(stderr, "shard ingest failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    net::ServerOptions edge_options;
+    edge_options.max_connections = 32;
+    edge_servers.push_back(std::make_unique<net::Server>(
+        edge_systems.back().get(), edge_options));
+    if (Status s = edge_servers.back()->Start(); !s.ok()) {
+      std::fprintf(stderr, "edge start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    coord_options.edges.push_back({"127.0.0.1", edge_servers.back()->port()});
+  }
+  net::Coordinator coordinator(coord_options);
+  if (Status s = coordinator.Start(); !s.ok()) {
+    std::fprintf(stderr, "coordinator start failed: %s\n",
+                 s.ToString().c_str());
     return 1;
   }
 
@@ -164,6 +212,16 @@ int main() {
       }
       proxied.push_back(std::move(*client));
     }
+    std::vector<net::Client> sharded;
+    for (size_t c = 0; c < clients; ++c) {
+      auto client = net::Client::Connect("127.0.0.1", coordinator.port());
+      if (!client.ok()) {
+        std::fprintf(stderr, "coordinator connect failed: %s\n",
+                     client.status().ToString().c_str());
+        return 1;
+      }
+      sharded.push_back(std::move(*client));
+    }
     PrintRow(RunWorkload("stats_poll", "loopback", clients, kStatsRequests,
                          [&](size_t c, size_t) {
                            return pool[c].MonitorStats().ok();
@@ -171,6 +229,10 @@ int main() {
     PrintRow(RunWorkload("stats_poll", "chaos-proxy", clients, kStatsRequests,
                          [&](size_t c, size_t) {
                            return proxied[c].MonitorStats().ok();
+                         }));
+    PrintRow(RunWorkload("stats_poll", "coordinator", clients, kStatsRequests,
+                         [&](size_t c, size_t) {
+                           return sharded[c].MonitorStats().ok();
                          }));
     PrintRow(RunWorkload("direct_query", "in-process", clients,
                          kQueryRequests, [&](size_t, size_t) {
@@ -184,8 +246,22 @@ int main() {
                          kQueryRequests, [&](size_t c, size_t) {
                            return proxied[c].DirectQuery(query).ok();
                          }));
+    PrintRow(RunWorkload("direct_query", "coordinator", clients,
+                         kQueryRequests, [&](size_t c, size_t) {
+                           return sharded[c].DirectQuery(query).ok();
+                         }));
   }
 
+  const net::CoordinatorStats coord_stats = coordinator.stats();
+  coordinator.Shutdown();
+  for (auto& edge : edge_servers) edge->Shutdown();
+  std::printf("\ncoordinator totals: %llu requests, %llu fan-out legs "
+              "(%llu failed, %llu pruned), %llu degraded answers\n",
+              static_cast<unsigned long long>(coord_stats.requests_served),
+              static_cast<unsigned long long>(coord_stats.fanout_legs),
+              static_cast<unsigned long long>(coord_stats.fanout_failures),
+              static_cast<unsigned long long>(coord_stats.pruned_legs),
+              static_cast<unsigned long long>(coord_stats.degraded_answers));
   proxy.Shutdown();
   server.Shutdown();
   const net::ServerStats stats = server.stats();

@@ -5,6 +5,7 @@
 //
 //   vz_server [--port P] [--downtown N] [--highway N] [--stations N]
 //             [--harbors N] [--minutes M] [--seed S] [--ingest]
+//             [--shard-index I --shard-count N]
 //             [--load PATH] [--max-connections N] [--max-inflight N]
 //             [--serve-seconds T] [--io-timeout-ms T] [--idle-timeout-ms T]
 //             [--dedup-window N] [--wal-dir PATH] [--wal-fsync-ms T]
@@ -26,6 +27,11 @@
 //
 //   vz_server --port 9400 --wal-dir /tmp/vz-a --sync-replication &
 //   vz_server --port 9400 --wal-dir /tmp/vz-b --standby-of 127.0.0.1:9400 &
+//
+// Sharding: with --ingest, --shard-index I --shard-count N pre-ingests only
+// shard I of the deployment's round-robin camera split — one vz_server per
+// shard plus a vz_coordinator over them is the sharded topology
+// (scripts/run_cluster.sh boots it end to end).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -55,6 +61,10 @@ struct ServerCliOptions {
   int64_t minutes = 5;
   uint64_t seed = 7;
   bool ingest = false;
+  // With --ingest: pre-ingest only shard `shard_index` of the deployment's
+  // round-robin camera split into `shard_count` shards (0 = unsharded).
+  size_t shard_index = 0;
+  size_t shard_count = 0;
   std::string load_path;
   size_t max_connections = 8;
   size_t max_inflight = 0;
@@ -95,6 +105,10 @@ bool ParseArgs(int argc, char** argv, ServerCliOptions* options) {
       options->seed = static_cast<uint64_t>(std::atoll(value));
     } else if (arg == "--ingest") {
       options->ingest = true;
+    } else if (arg == "--shard-index" && (value = next_value(&i))) {
+      options->shard_index = static_cast<size_t>(std::atoi(value));
+    } else if (arg == "--shard-count" && (value = next_value(&i))) {
+      options->shard_count = static_cast<size_t>(std::atoi(value));
     } else if (arg == "--load" && (value = next_value(&i))) {
       options->load_path = value;
     } else if (arg == "--max-connections" && (value = next_value(&i))) {
@@ -134,7 +148,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: vz_server [--port P] [--downtown N] [--highway N] "
                  "[--stations N] [--harbors N] [--minutes M] [--seed S] "
-                 "[--ingest] [--load PATH] [--max-connections N] "
+                 "[--ingest] [--shard-index I --shard-count N] "
+                 "[--load PATH] [--max-connections N] "
                  "[--max-inflight N] [--serve-seconds T] "
                  "[--io-timeout-ms T] [--idle-timeout-ms T] "
                  "[--dedup-window N]\n");
@@ -180,12 +195,32 @@ int main(int argc, char** argv) {
     std::printf("restored %zu SVSs from %s\n", vz.svs_store().size(),
                 cli.load_path.c_str());
   } else if (cli.ingest) {
-    if (Status s = deployment.IngestAll(&vz); !s.ok()) {
-      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
-      return 1;
+    if (cli.shard_count > 0) {
+      if (cli.shard_index >= cli.shard_count) {
+        std::fprintf(stderr, "--shard-index %zu out of range for "
+                     "--shard-count %zu\n",
+                     cli.shard_index, cli.shard_count);
+        return 2;
+      }
+      const auto shards = deployment.PartitionCameras(cli.shard_count);
+      if (Status s = deployment.IngestShard(&vz, shards[cli.shard_index]);
+          !s.ok()) {
+        std::fprintf(stderr, "shard ingest failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("pre-ingested shard %zu/%zu: %zu SVSs across %zu "
+                  "cameras\n",
+                  cli.shard_index, cli.shard_count, vz.svs_store().size(),
+                  vz.cameras().size());
+    } else {
+      if (Status s = deployment.IngestAll(&vz); !s.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("pre-ingested %zu SVSs across %zu cameras\n",
+                  vz.svs_store().size(), vz.cameras().size());
     }
-    std::printf("pre-ingested %zu SVSs across %zu cameras\n",
-                vz.svs_store().size(), vz.cameras().size());
   }
 
   sim::HeavyModel heavy;

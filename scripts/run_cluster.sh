@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Boots the 2-edge sharded topology end to end from a built tree and runs
+# one operator-console session against the coordinator:
+#
+#   edge 0 (vz_server, shard 0/2) ─┐
+#                                  ├─ vz_coordinator ── vz_cli --connect
+#   edge 1 (vz_server, shard 1/2) ─┘
+#
+#   scripts/run_cluster.sh [build_dir]     # default: build
+#
+# Each edge pre-ingests its round-robin camera shard of the same simulated
+# deployment (flags below must match across all four processes — they are
+# the deployment contract). The in-process equivalent of this topology is
+# the "coordinator" transport row of bench_net_throughput
+# (ctest -C bench -L bench).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${ROOT}"
+
+EDGE0_PORT=9401
+EDGE1_PORT=9402
+COORD_PORT=9400
+# One simulated world, described identically on every process.
+DEPLOY_FLAGS=(--downtown 2 --highway 2 --stations 1 --harbors 1 --minutes 3)
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_for_listen() {
+  local name="$1" pattern="$2" log="$3"
+  for _ in $(seq 1 100); do
+    if grep -q "${pattern}" "${log}" 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "${name} did not come up; log follows:" >&2
+  cat "${log}" >&2
+  return 1
+}
+
+LOG_DIR="$(mktemp -d)"
+
+"${BUILD_DIR}/examples/vz_server" --port "${EDGE0_PORT}" \
+  "${DEPLOY_FLAGS[@]}" --ingest --shard-index 0 --shard-count 2 \
+  > "${LOG_DIR}/edge0.log" 2>&1 &
+PIDS+=($!)
+"${BUILD_DIR}/examples/vz_server" --port "${EDGE1_PORT}" \
+  "${DEPLOY_FLAGS[@]}" --ingest --shard-index 1 --shard-count 2 \
+  > "${LOG_DIR}/edge1.log" 2>&1 &
+PIDS+=($!)
+wait_for_listen "edge 0" "listening" "${LOG_DIR}/edge0.log"
+wait_for_listen "edge 1" "listening" "${LOG_DIR}/edge1.log"
+
+"${BUILD_DIR}/examples/vz_coordinator" --port "${COORD_PORT}" \
+  --edge "127.0.0.1:${EDGE0_PORT}" --edge "127.0.0.1:${EDGE1_PORT}" \
+  > "${LOG_DIR}/coordinator.log" 2>&1 &
+PIDS+=($!)
+wait_for_listen "coordinator" "listening" "${LOG_DIR}/coordinator.log"
+
+echo "cluster up (logs in ${LOG_DIR}):"
+sed 's/^/  /' "${LOG_DIR}/coordinator.log"
+
+"${BUILD_DIR}/examples/vz_cli" --connect "127.0.0.1:${COORD_PORT}" \
+  "${DEPLOY_FLAGS[@]}" --query boat --query train
+
+echo "shutting the cluster down"

@@ -44,6 +44,18 @@ Status InterCameraIndex::UpdateCamera(const IntraCameraIndex& intra) {
   return Rebuild();
 }
 
+Status InterCameraIndex::SetEntries(std::vector<RepEntry> entries) {
+  entries_ = std::move(entries);
+  return Rebuild();
+}
+
+Status InterCameraIndex::Reset(Rng rng) {
+  rng_ = std::move(rng);
+  entries_.clear();
+  rep_bytes_received_ = 0;
+  return Rebuild();
+}
+
 Status InterCameraIndex::RemoveCamera(const CameraId& camera) {
   std::vector<RepEntry> kept;
   kept.reserve(entries_.size());
@@ -64,6 +76,7 @@ Status InterCameraIndex::Rebuild() {
   metric_ = std::make_unique<FeatureMapListMetric>(
       &entry_maps_, calculator_, /*memoize=*/false, options_.quantized_prune);
   tree_ = std::make_unique<index::PerchTree>(metric_.get(), options_.perch);
+  tree_->Reserve(entries_.size());
   for (size_t i = 0; i < entries_.size(); ++i) {
     VZ_RETURN_IF_ERROR(tree_->Insert(static_cast<int>(i)));
   }

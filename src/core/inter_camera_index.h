@@ -73,6 +73,19 @@ class InterCameraIndex {
   /// Drops a camera's representatives (cameraTerminate support).
   Status RemoveCamera(const CameraId& camera);
 
+  /// Replaces the whole entry set and rebuilds — how a coordinator installs
+  /// the representatives its edges shipped over RepSync. Unlike
+  /// `UpdateCamera` this takes entries directly (there is no local intra
+  /// index behind them) and does not count traffic bytes; the caller owns
+  /// that accounting.
+  Status SetEntries(std::vector<RepEntry> entries);
+
+  /// Drops every entry AND restores the random stream to `rng` — the full
+  /// reset used when the owning system is re-seeded from a checkpoint, so
+  /// the rebuilt index consumes the same stream as a freshly constructed
+  /// instance restoring the same store (bit-identical recovery).
+  Status Reset(Rng rng);
+
   size_t size() const { return entries_.size(); }
   const std::vector<RepEntry>& entries() const { return entries_; }
   const std::vector<Group>& groups() const { return groups_; }

@@ -113,6 +113,13 @@ class SvsStore {
 
   size_t size() const { return svss_.size(); }
 
+  /// Drops every stored SVS and restarts id numbering at 0 — the standby
+  /// re-seed path, which replaces the whole store with a fetched checkpoint.
+  void Clear() {
+    svss_.clear();
+    by_camera_.clear();
+  }
+
   /// All ids in creation order.
   std::vector<SvsId> AllIds() const;
 

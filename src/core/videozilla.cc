@@ -98,7 +98,29 @@ Status VideoZilla::CameraTerminate(const CameraId& camera) {
     return Status::NotFound("camera not started: " + camera);
   }
   pipelines_.erase(it);
-  return inter_.RemoveCamera(camera);
+  VZ_RETURN_IF_ERROR(inter_.RemoveCamera(camera));
+  index_version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status VideoZilla::Reset() {
+  pipelines_.clear();
+  store_.Clear();
+  // Ids restart at 0 after the store clears, so every id-keyed memo entry
+  // (private and shared) is stale.
+  metric_.InvalidateCache();
+  omd_cache_.Clear();
+  ingest_stats_ = IngestStats();
+  now_ms_ = 0;
+  spread_cache_ = 0.0;
+  spread_cache_svs_count_ = 0;
+  index_mode_ = IndexMode::kHierarchical;
+  // Rewind every seeded stream to its construction state: derived state
+  // rebuilt after this reset must be bit-identical to a fresh instance's.
+  rng_ = Rng(options_.seed);
+  VZ_RETURN_IF_ERROR(inter_.Reset(Rng(options_.seed ^ 0x1357)));
+  index_version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
 }
 
 Status VideoZilla::IngestFrame(const FrameObservation& frame) {
@@ -215,6 +237,7 @@ Status VideoZilla::Flush() {
       VZ_RETURN_IF_ERROR(pipeline->index.Recluster());
       pipeline->synced_rep_version = pipeline->index.representative_version();
       VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+      index_version_.fetch_add(1, std::memory_order_acq_rel);
     }
   }
   return Status::OK();
@@ -249,6 +272,7 @@ Status VideoZilla::RestoreFromSvsStore(const SvsStore& source) {
     VZ_RETURN_IF_ERROR(pipeline->index.Recluster());
     pipeline->synced_rep_version = pipeline->index.representative_version();
     VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
   }
   // Restoring fast-forwarded `now_ms_` to the snapshot's end, but the
   // pipelines were (re)started along the way with earlier clocks. Reset the
@@ -310,6 +334,7 @@ Status VideoZilla::HandleSegment(CameraPipeline* pipeline, Segment segment) {
       pipeline->synced_rep_version) {
     pipeline->synced_rep_version = pipeline->index.representative_version();
     VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
   }
   return Status::OK();
 }
@@ -872,6 +897,7 @@ Status VideoZilla::SetIntraClusterCount(std::optional<size_t> k) {
     VZ_RETURN_IF_ERROR(pipeline->index.Recluster());
     pipeline->synced_rep_version = pipeline->index.representative_version();
     VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
   }
   return Status::OK();
 }

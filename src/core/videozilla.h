@@ -235,8 +235,18 @@ class VideoZilla {
   /// instance's store, its camera pipeline is started on demand, and the
   /// intra-/inter-camera indices are re-derived. Index structures are pure
   /// derived state, so this restores query behavior exactly. Requires an
-  /// empty store (call on a fresh instance).
+  /// empty store (call on a fresh instance, or after `Reset`).
   Status RestoreFromSvsStore(const SvsStore& source);
+
+  /// Returns the instance to its freshly-constructed emptiness: store,
+  /// pipelines, indexes, caches, ingest counters and clock are dropped, and
+  /// every seeded random stream is rewound to its initial state — so a
+  /// `Reset` + `RestoreFromSvsStore` regenerates bit-identical derived state
+  /// to a brand-new instance restoring the same store. The standby re-seed
+  /// path runs this before installing a fetched checkpoint. Must not run
+  /// concurrently with ingestion or queries (the serving layer holds its
+  /// state lock exclusively).
+  Status Reset();
 
   /// Installs the heavy-model verifier used by direct queries. May be null.
   void SetVerifier(ObjectVerifier* verifier) { verifier_ = verifier; }
@@ -300,6 +310,14 @@ class VideoZilla {
   /// Effective execution lanes of the query path.
   size_t query_threads() const { return pool_ ? pool_->num_threads() : 1; }
   const InterCameraIndex& inter_index() const { return inter_; }
+  /// Monotone version of the inter-camera index's entry set, bumped on every
+  /// representative change (segment emission, flush, recluster, camera
+  /// terminate, restore, reset). A coordinator's RepSync round compares it
+  /// against the version of its last sync to skip re-shipping an unchanged
+  /// index. Safe to read concurrently with queries.
+  uint64_t index_version() const {
+    return index_version_.load(std::memory_order_acquire);
+  }
   StatusOr<const IntraCameraIndex*> intra_index(const CameraId& camera) const;
   std::vector<CameraId> cameras() const;
   const IngestStats& ingest_stats() const { return ingest_stats_; }
@@ -396,6 +414,7 @@ class VideoZilla {
   int64_t now_ms_ = 0;
   double spread_cache_ = 0.0;
   size_t spread_cache_svs_count_ = 0;
+  std::atomic<uint64_t> index_version_{0};
 };
 
 }  // namespace vz::core

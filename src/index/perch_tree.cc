@@ -15,6 +15,13 @@ constexpr double kCostEps = 1e-12;
 PerchTree::PerchTree(ItemMetric* metric, const PerchOptions& options)
     : metric_(metric), options_(options) {}
 
+void PerchTree::Reserve(size_t expected_items) {
+  if (expected_items == 0) return;
+  nodes_.reserve(std::max(nodes_.size(), 2 * expected_items - 1));
+  leaves_.reserve(std::max(leaves_.size(), expected_items));
+  inserted_items_.reserve(std::max(inserted_items_.size(), expected_items));
+}
+
 int PerchTree::NewLeaf(int item) {
   Node node;
   node.item = item;

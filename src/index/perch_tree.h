@@ -61,6 +61,13 @@ class PerchTree {
   PerchTree(const PerchTree&) = delete;
   PerchTree& operator=(const PerchTree&) = delete;
 
+  /// Pre-sizes internal storage for `expected_items` leaves (a binary tree
+  /// over n leaves has 2n-1 nodes). Bulk rebuilds — e.g. an
+  /// `InterCameraIndex` re-indexing after a representative sync — insert
+  /// one item at a time; reserving up front avoids the vector regrowth
+  /// copies on that path. Never shrinks.
+  void Reserve(size_t expected_items);
+
   /// Inserts an item: finds its nearest leaf, splits it, updates ancestor
   /// summaries, then runs masking- and balance-triggered rotations
   /// (Algorithm 2).

@@ -87,6 +87,7 @@ std::string EncodeRecord(const WalRecord& record, uint64_t lsn) {
   payload.WriteU64(record.session_id);
   payload.WriteU64(record.sequence);
   payload.WriteU32(record.op);
+  payload.WriteU64(record.epoch);
   payload.WriteLengthPrefixedBytes(record.payload);
 
   BinaryWriter framed;
@@ -121,6 +122,7 @@ StatusOr<WalRecord> DecodeRecord(BinaryReader* reader,
   VZ_ASSIGN_OR_RETURN(record.session_id, body.ReadU64());
   VZ_ASSIGN_OR_RETURN(record.sequence, body.ReadU64());
   VZ_ASSIGN_OR_RETURN(record.op, body.ReadU32());
+  VZ_ASSIGN_OR_RETURN(record.epoch, body.ReadU64());
   VZ_ASSIGN_OR_RETURN(record.payload, body.ReadLengthPrefixedBytes());
   if (!body.AtEnd()) {
     return Status::DataLoss("trailing bytes inside WAL record payload");
@@ -621,6 +623,7 @@ Status SaveWalCheckpointMeta(const WalCheckpoint& checkpoint,
   writer.WriteU32(kWalCheckpointMagic);
   writer.WriteU32(kWalCheckpointVersion);
   writer.WriteU64(checkpoint.lsn);
+  writer.WriteU64(checkpoint.epoch);
   writer.WriteI64(checkpoint.now_ms);
   writer.WriteU64(checkpoint.ingest.frames_offered);
   writer.WriteU64(checkpoint.ingest.keyframes_selected);
@@ -685,6 +688,7 @@ StatusOr<WalCheckpoint> LoadWalCheckpointMeta(const std::string& path) {
                                    std::to_string(version));
   }
   VZ_ASSIGN_OR_RETURN(checkpoint.lsn, reader.ReadU64());
+  VZ_ASSIGN_OR_RETURN(checkpoint.epoch, reader.ReadU64());
   VZ_ASSIGN_OR_RETURN(checkpoint.now_ms, reader.ReadI64());
   VZ_ASSIGN_OR_RETURN(checkpoint.ingest.frames_offered, reader.ReadU64());
   VZ_ASSIGN_OR_RETURN(checkpoint.ingest.keyframes_selected, reader.ReadU64());

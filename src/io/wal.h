@@ -30,8 +30,11 @@ namespace vz::io {
 ///   u32 payload_len | payload | u32 crc32(payload)
 ///
 /// and the payload itself carries `u64 lsn | u64 session_id | u64 sequence |
-/// u32 op | u64+bytes body` — the idempotency token travels inside the log,
-/// which is what lets a restarted server rebuild its dedup windows.
+/// u32 op | u64 epoch | u64+bytes body` — the idempotency token travels
+/// inside the log, which is what lets a restarted server rebuild its dedup
+/// windows, and the promotion epoch travels with every record, which is what
+/// lets a failed-over cluster fence a demoted primary (format v2; a v1 log
+/// is no longer readable — recreate from a checkpoint).
 ///
 /// LSNs are assigned densely (last + 1) and validated on read: a record
 /// whose CRC fails, whose length is implausible, or whose LSN breaks the
@@ -48,16 +51,22 @@ namespace vz::io {
 /// by `bench_wal_append`.
 
 inline constexpr uint32_t kWalMagic = 0x565A574C;  // "VZWL"
-inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr uint32_t kWalFormatVersion = 2;  // v2: per-record epoch
 /// Frame overhead of one record: length prefix + trailing CRC.
 inline constexpr size_t kWalRecordOverhead = 2 * sizeof(uint32_t);
-/// Fixed part of a record payload (lsn, session, sequence, op, body length).
-/// A length field below this is structurally impossible — in particular a
-/// zeroed tail (len 0) can never masquerade as an empty record.
+/// Fixed part of a record payload (lsn, session, sequence, op, epoch, body
+/// length). A length field below this is structurally impossible — in
+/// particular a zeroed tail (len 0) can never masquerade as an empty record.
 inline constexpr size_t kWalMinPayloadBytes =
-    3 * sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t);
+    4 * sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t);
 /// Upper bound on one record payload (matches the wire's frame cap).
 inline constexpr uint64_t kWalMaxPayloadBytes = 64ull << 20;
+
+/// Reserved `WalRecord::op` value (far outside the wire MsgType range) for
+/// the durable promotion marker `net::Server::Promote` appends: the record
+/// carries no state change, only its `epoch`, so the bump itself survives
+/// restarts and ships to any tailing standby.
+inline constexpr uint32_t kWalOpEpochMarker = 0xFFFF0001u;
 
 struct WalOptions {
   std::string dir;
@@ -81,6 +90,9 @@ struct WalRecord {
   uint64_t session_id = 0;  // 0 = untokened op
   uint64_t sequence = 0;
   uint32_t op = 0;  // wire MsgType value, opaque to the log
+  /// Promotion epoch under which the record was written (see DESIGN.md,
+  /// "Sharded deployment" — fencing). Opaque to the log itself.
+  uint64_t epoch = 0;
   std::string payload;
 };
 
@@ -208,10 +220,13 @@ class Wal {
 // back to the previous checkpoint (whose WAL segments still exist).
 
 inline constexpr uint32_t kWalCheckpointMagic = 0x565A574D;  // "VZWM"
-inline constexpr uint32_t kWalCheckpointVersion = 1;
+inline constexpr uint32_t kWalCheckpointVersion = 2;  // v2: promotion epoch
 
 struct WalCheckpoint {
   uint64_t lsn = 0;
+  /// Promotion epoch at the cut — restored so a recovering server knows the
+  /// newest epoch it ever served under even after compaction ate the log.
+  uint64_t epoch = 0;
   int64_t now_ms = 0;
   core::IngestStats ingest;
   struct Camera {

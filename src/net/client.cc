@@ -377,13 +377,37 @@ StatusOr<core::QueryLoadStats> Client::QueryLoadStats() {
 
 StatusOr<WalShipReply> Client::WalShip(uint64_t from_lsn,
                                        uint32_t max_records,
-                                       uint32_t wait_ms) {
+                                       uint32_t wait_ms, uint64_t epoch) {
   io::BinaryWriter writer;
-  EncodeWalShipRequest(&writer, {from_lsn, max_records, wait_ms});
+  EncodeWalShipRequest(&writer, {from_lsn, max_records, wait_ms, epoch});
   VZ_ASSIGN_OR_RETURN(std::string body,
                       Call(MsgType::kWalShip, writer.buffer()));
   io::BinaryReader reader(std::move(body));
   return DecodeWalShipReply(&reader);
+}
+
+StatusOr<RepSyncReply> Client::RepSync(uint64_t since_version) {
+  io::BinaryWriter writer;
+  EncodeRepSyncRequest(&writer, {since_version});
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kRepSync, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeRepSyncReply(&reader);
+}
+
+StatusOr<FeatureMap> Client::SvsFeatureMap(core::SvsId id) {
+  io::BinaryWriter writer;
+  writer.WriteI64(id);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kSvsFeatureMap, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeFeatureMap(&reader);
+}
+
+StatusOr<CheckpointFetchReply> Client::CheckpointFetch() {
+  VZ_ASSIGN_OR_RETURN(std::string body, Call(MsgType::kCheckpointFetch, ""));
+  io::BinaryReader reader(std::move(body));
+  return DecodeCheckpointFetchReply(&reader);
 }
 
 Status Client::SaveSnapshot(const std::string& path) {

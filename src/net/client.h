@@ -125,9 +125,25 @@ class Client {
   /// Log shipping (standby side): fetches up to `max_records` WAL records
   /// with LSNs strictly above `from_lsn`, acknowledging everything at or
   /// below it as durably applied. `wait_ms` long-polls when the log has
-  /// nothing new (must fit inside `io_timeout_ms`).
+  /// nothing new (must fit inside `io_timeout_ms`). `epoch` is the caller's
+  /// promotion epoch (v4): a server at an older epoch answers
+  /// `kFailedPrecondition` — it was demoted by a failover the caller
+  /// already knows about. 0 = unknown, always passes.
   StatusOr<WalShipReply> WalShip(uint64_t from_lsn, uint32_t max_records,
-                                 uint32_t wait_ms);
+                                 uint32_t wait_ms, uint64_t epoch = 0);
+
+  /// Representative sync (v4, coordinator side): the edge's inter-camera
+  /// representative entries, or a small "unchanged" reply when its index
+  /// version still equals `since_version` (0 = never synced: always ships).
+  StatusOr<RepSyncReply> RepSync(uint64_t since_version);
+
+  /// One stored SVS's feature map by id (v4) — how a coordinator resolves
+  /// the target of a by-id clustering query owned by another shard.
+  StatusOr<FeatureMap> SvsFeatureMap(core::SvsId id);
+
+  /// The newest valid checkpoint pair as raw file bytes (v4) — the standby
+  /// re-seed path once compaction outran its replication cursor.
+  StatusOr<CheckpointFetchReply> CheckpointFetch();
 
   /// Keepalive: resets the server's idle clock. Cheap (empty payload, no
   /// state touched); call between requests to fend off idle eviction.

@@ -1,0 +1,938 @@
+#include "net/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sys/socket.h>
+#include <thread>
+#include <utility>
+
+#include "net/client.h"
+
+namespace vz::net {
+
+namespace {
+
+/// Response payload: a wire status followed by nothing.
+std::string StatusOnlyResponse(const Status& status, int64_t retry_after_ms) {
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {status, retry_after_ms});
+  return writer.buffer();
+}
+
+/// True for statuses that mean the edge could not be talked to, as opposed
+/// to an edge that answered with an error. Mirrors the client's reconnect
+/// classification: `kInternal` is included because a refused connect (edge
+/// dead or mid-restart) surfaces as such once the reconnect budget runs out.
+/// RPC-level answers (kNotFound, kInvalidArgument...) never count against
+/// shard health — the shard is alive and responding.
+bool IsEdgeTransportFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kDataLoss ||
+         code == StatusCode::kInternal;
+}
+
+/// Sorts and dedups a merged `excluded_cameras` list so the answer does not
+/// depend on which legs contributed exclusions in which order.
+void CanonicalizeExcluded(std::vector<core::CameraId>* excluded) {
+  std::sort(excluded->begin(), excluded->end());
+  excluded->erase(std::unique(excluded->begin(), excluded->end()),
+                  excluded->end());
+}
+
+}  // namespace
+
+int64_t Coordinator::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Coordinator::Coordinator(const CoordinatorOptions& options)
+    : options_(options),
+      registry_(options.edges, options.registry),
+      omd_(options.omd),
+      inter_(&omd_, options.inter, Rng(options.seed ^ 0x1357)),
+      edge_entries_(options.edges.size()),
+      idle_clients_(options.edges.size()) {}
+
+Coordinator::~Coordinator() { Shutdown(); }
+
+Status Coordinator::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("coordinator already started");
+  }
+  if (options_.edges.empty()) {
+    return Status::InvalidArgument("a coordinator needs at least one edge");
+  }
+  // One worker per connection plus the accept loop's headroom, like Server's
+  // owned-pool fallback.
+  pool_ = std::make_unique<ThreadPool>(options_.max_connections + 1);
+  VZ_ASSIGN_OR_RETURN(listen_fd_,
+                      TcpListen(options_.bind_address, options_.port));
+  VZ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  // Prime the registry and the representative index before the first query
+  // can arrive; edges that are down simply start their ladder early.
+  (void)SyncPass(/*respect_backoff=*/false);
+  if (options_.sync_interval_ms > 0) {
+    sync_thread_ = std::thread([this] { SyncLoop(); });
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void Coordinator::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+  }
+  sync_cv_.notify_all();
+  if (sync_thread_.joinable()) sync_thread_.join();
+  if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_.Reset();
+  std::vector<std::future<void>> futures;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool drained = drained_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+        [this] { return active_connections_ == 0; });
+    if (!drained) {
+      for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    futures.swap(connection_futures_);
+  }
+  for (std::future<void>& f : futures) {
+    if (f.valid()) f.wait();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (auto& pool : idle_clients_) pool.clear();
+  }
+  started_ = false;
+}
+
+std::vector<ShardHealthInfo> Coordinator::shard_health() const {
+  return registry_.HealthTable(NowMs());
+}
+
+CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.connections_accepted = connections_accepted_;
+    stats.connections_shed = connections_shed_;
+    stats.connections_active = active_connections_;
+  }
+  stats.requests_served = requests_served_.load();
+  stats.request_errors = request_errors_.load();
+  stats.fanout_legs = fanout_legs_.load();
+  stats.fanout_failures = fanout_failures_.load();
+  stats.degraded_answers = degraded_answers_.load();
+  stats.pruned_legs = pruned_legs_.load();
+  stats.rep_sync_updates = rep_sync_updates_.load();
+  stats.probes_sent = probes_sent_.load();
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    stats.rep_entries = inter_.size();
+  }
+  return stats;
+}
+
+// --- Client-facing front end (a read-only sibling of Server's loop). ---
+
+void Coordinator::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = TcpAccept(listen_fd_.get());
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    UniqueFd fd = std::move(*accepted);
+    (void)SetTcpNoDelay(fd.get());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++connections_accepted_;
+    if (stopping_.load() || active_connections_ >= options_.max_connections) {
+      ++connections_shed_;
+      const Status shed = Status::ResourceExhausted(
+          "coordinator at connection capacity (" +
+          std::to_string(options_.max_connections) + "); retry later");
+      (void)WriteFrame(
+          fd.get(), static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
+          StatusOnlyResponse(shed, options_.shed_retry_after_ms),
+          options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1);
+      continue;  // fd closes on scope exit
+    }
+    ++active_connections_;
+    active_fds_.push_back(fd.get());
+    std::erase_if(connection_futures_, [](std::future<void>& f) {
+      return !f.valid() ||
+             f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    });
+    connection_futures_.push_back(pool_->Submit(
+        [this, raw = fd.Release()]() mutable { HandleConnection(UniqueFd(raw)); }));
+  }
+}
+
+void Coordinator::HandleConnection(UniqueFd fd) {
+  bool hello_done = false;
+  while (!stopping_.load()) {
+    auto readable = WaitReadable(fd.get(), options_.idle_poll_ms);
+    if (!readable.ok()) break;
+    if (!*readable) continue;  // idle; re-check the stop flag
+    if (!ServeOneRequest(fd.get(), &hello_done)) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(active_fds_, fd.get());
+  if (active_connections_ > 0) --active_connections_;
+  if (active_connections_ == 0) drained_cv_.notify_all();
+}
+
+bool Coordinator::ServeOneRequest(int fd, bool* hello_done) {
+  const int64_t read_timeout =
+      options_.read_timeout_ms > 0 ? options_.read_timeout_ms : -1;
+  const int64_t write_timeout =
+      options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
+
+  auto request = ReadFrame(fd, read_timeout);
+  if (!request.ok()) {
+    if (request.status().code() != StatusCode::kNotFound &&
+        request.status().code() != StatusCode::kUnavailable) {
+      request_errors_.fetch_add(1);
+      (void)WriteFrame(
+          fd, static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
+          StatusOnlyResponse(request.status(), 0), write_timeout);
+    }
+    return false;
+  }
+  if ((request->type & kResponseFlag) != 0) {
+    request_errors_.fetch_add(1);
+    (void)WriteFrame(fd, request->type,
+                     StatusOnlyResponse(Status::InvalidArgument(
+                                            "response frame sent as request"),
+                                        0),
+                     write_timeout);
+    return false;
+  }
+
+  Status failure;
+  const std::string response = DispatchRequest(*request, hello_done, &failure);
+  if (failure.ok()) {
+    requests_served_.fetch_add(1);
+  } else {
+    request_errors_.fetch_add(1);
+  }
+  if (!WriteFrame(fd, request->type | kResponseFlag, response, write_timeout)
+           .ok()) {
+    return false;
+  }
+  // Like Server: a protocol-ordering violation closes the connection after
+  // the error response; RPC-level failures keep it open.
+  if (!failure.ok() && failure.code() == StatusCode::kFailedPrecondition &&
+      !*hello_done) {
+    return false;
+  }
+  return true;
+}
+
+std::string Coordinator::DispatchRequest(const WireFrame& request,
+                                         bool* hello_done, Status* failure) {
+  io::BinaryReader reader(request.payload);
+  const MsgType type = static_cast<MsgType>(request.type);
+
+  if (type == MsgType::kHello) {
+    auto version = reader.ReadU32();
+    if (!version.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         version.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    io::BinaryWriter writer;
+    if (*version != kProtocolVersion) {
+      *failure = Status::FailedPrecondition(
+          "protocol version mismatch: client speaks v" +
+          std::to_string(*version) + ", coordinator speaks v" +
+          std::to_string(kProtocolVersion));
+      EncodeWireStatus(&writer, {*failure, 0});
+    } else {
+      *hello_done = true;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+    }
+    writer.WriteU32(kProtocolVersion);
+    return writer.buffer();
+  }
+  if (!*hello_done) {
+    *failure = Status::FailedPrecondition("first message must be Hello");
+    return StatusOnlyResponse(*failure, 0);
+  }
+  if (IsMutatingType(request.type)) {
+    // The coordinator holds no video state: ingest, camera lifecycle and
+    // snapshots belong to the edges.
+    *failure = Status::FailedPrecondition(
+        "coordinator is read-only: send mutating RPCs to an edge server");
+    return StatusOnlyResponse(*failure, 0);
+  }
+  return ExecuteRequest(type, &reader, failure);
+}
+
+std::string Coordinator::ExecuteRequest(MsgType type,
+                                        io::BinaryReader* reader,
+                                        Status* failure) {
+  switch (type) {
+    case MsgType::kPing:
+      return StatusOnlyResponse(Status::OK(), 0);
+    case MsgType::kDirectQuery:
+      return HandleDirectQuery(reader, failure);
+    case MsgType::kClusteringQueryById:
+    case MsgType::kClusteringQueryByMap:
+      return HandleClusteringQuery(type, reader, failure);
+    case MsgType::kGetMetaData:
+      return HandleGetMetaData(reader, failure);
+    case MsgType::kSvsFeatureMap:
+      return HandleSvsFeatureMap(reader, failure);
+    case MsgType::kMonitorStats:
+      return HandleMonitorStats(failure);
+    case MsgType::kCameraHealth:
+      return HandleCameraHealth(failure);
+    case MsgType::kQueryLoadStats:
+      return HandleQueryLoadStats(failure);
+    case MsgType::kWalShip:
+    case MsgType::kRepSync:
+    case MsgType::kCheckpointFetch:
+      *failure = Status::FailedPrecondition(
+          "replication RPCs are edge-to-edge; the coordinator serves none");
+      return StatusOnlyResponse(*failure, 0);
+    default:
+      break;
+  }
+  *failure = Status::Unimplemented(
+      "unhandled message type " +
+      std::to_string(static_cast<uint32_t>(type)));
+  return StatusOnlyResponse(*failure, 0);
+}
+
+// --- Edge connection pool. ---
+
+StatusOr<std::unique_ptr<Client>> Coordinator::CheckoutClient(size_t edge) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!idle_clients_[edge].empty()) {
+      std::unique_ptr<Client> client =
+          std::move(idle_clients_[edge].back());
+      idle_clients_[edge].pop_back();
+      return client;
+    }
+  }
+  const EdgeEndpoint endpoint = registry_.endpoint(edge);
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = options_.edge_connect_timeout_ms;
+  client_options.io_timeout_ms = options_.edge_io_timeout_ms;
+  client_options.max_shed_retries = 1;
+  client_options.max_reconnects = 1;
+  auto connected = Client::Connect(endpoint.host, endpoint.port,
+                                   client_options);
+  VZ_RETURN_IF_ERROR(connected.status());
+  return std::make_unique<Client>(std::move(*connected));
+}
+
+void Coordinator::CheckinClient(size_t edge, std::unique_ptr<Client> client) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  // Bound the pool to a handful per edge; extras just close.
+  if (idle_clients_[edge].size() < 4) {
+    idle_clients_[edge].push_back(std::move(client));
+  }
+}
+
+// --- Fan-out plumbing. ---
+
+core::QueryConstraints Coordinator::ShardConstraints(
+    const core::QueryConstraints& constraints) const {
+  core::QueryConstraints shard = constraints;
+  shard.cancel = nullptr;  // does not travel
+  if (shard.deadline_ms.has_value()) {
+    shard.deadline_ms =
+        std::max<int64_t>(1, *shard.deadline_ms - options_.merge_reserve_ms);
+  }
+  return shard;
+}
+
+template <typename Result>
+std::vector<Coordinator::Leg<Result>> Coordinator::FanOut(
+    const std::vector<bool>& consult,
+    const std::function<StatusOr<Result>(Client*)>& call) {
+  const size_t n = registry_.size();
+  std::vector<Leg<Result>> legs(n);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < n; ++i) {
+    if (!consult[i]) continue;
+    legs[i].consulted = true;
+    threads.emplace_back([this, i, &legs, &call] {
+      fanout_legs_.fetch_add(1);
+      auto checkout = CheckoutClient(i);
+      if (!checkout.ok()) {
+        fanout_failures_.fetch_add(1);
+        registry_.RecordFailure(i, NowMs());
+        legs[i].status = checkout.status();
+        return;
+      }
+      std::unique_ptr<Client> client = std::move(*checkout);
+      auto result = call(client.get());
+      if (!result.ok()) {
+        if (IsEdgeTransportFailure(result.status().code())) {
+          fanout_failures_.fetch_add(1);
+          registry_.RecordFailure(i, NowMs());
+        } else {
+          registry_.RecordSuccess(i, NowMs());
+          CheckinClient(i, std::move(client));
+        }
+        legs[i].status = result.status();
+        return;
+      }
+      registry_.RecordSuccess(i, NowMs());
+      legs[i].status = Status::OK();
+      legs[i].result = std::move(*result);
+      CheckinClient(i, std::move(client));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return legs;
+}
+
+std::vector<bool> Coordinator::EligibleSet() const {
+  std::vector<bool> consult(registry_.size(), false);
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    consult[i] = registry_.Eligible(i);
+  }
+  return consult;
+}
+
+std::vector<bool> Coordinator::DirectQueryConsultSet(
+    const FeatureVector& feature) {
+  std::vector<bool> consult = EligibleSet();
+  if (!options_.prune_direct_fanout) return consult;
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  if (inter_.size() == 0) return consult;  // nothing synced yet anywhere
+  // Shards with at least one representative passing the hit test stay in;
+  // a synced shard with zero hits is pruned (its own edge index would
+  // reject the same representatives). A never-synced shard must stay in:
+  // there is nothing to prune with.
+  std::vector<bool> has_hit(registry_.size(), false);
+  const core::InterCameraIndex::RepEntry* base = inter_.entries().data();
+  for (const core::InterCameraIndex::RepEntry* entry :
+       inter_.FeatureSearch(feature, options_.boundary_scale)) {
+    has_hit[entry_owner_[static_cast<size_t>(entry - base)]] = true;
+  }
+  for (size_t i = 0; i < consult.size(); ++i) {
+    if (!consult[i]) continue;
+    if (registry_.synced_version(i) == 0) continue;  // never synced
+    if (!has_hit[i]) {
+      consult[i] = false;
+      pruned_legs_.fetch_add(1);
+    }
+  }
+  return consult;
+}
+
+void Coordinator::ExcludeShard(size_t edge,
+                               const core::QueryConstraints& constraints,
+                               bool* degraded,
+                               std::vector<core::CameraId>* excluded) const {
+  *degraded = true;
+  for (core::CameraId& camera : registry_.CamerasOf(edge)) {
+    if (constraints.AllowsCamera(camera)) {
+      excluded->push_back(std::move(camera));
+    }
+  }
+}
+
+// --- Query handlers. ---
+
+std::string Coordinator::HandleDirectQuery(io::BinaryReader* reader,
+                                           Status* failure) {
+  auto feature = DecodeFeatureVector(reader);
+  if (!feature.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       feature.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+  auto constraints = DecodeQueryConstraints(reader);
+  if (!constraints.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       constraints.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+
+  const std::vector<bool> consult = DirectQueryConsultSet(*feature);
+  const core::QueryConstraints shard_constraints =
+      ShardConstraints(*constraints);
+  auto legs = FanOut<core::DirectQueryResult>(
+      consult, [&](Client* client) {
+        return client->DirectQuery(*feature, shard_constraints);
+      });
+
+  // Merge strictly in shard-index order: the answer is a pure function of
+  // the per-shard results, never of their completion order.
+  core::DirectQueryResult merged;
+  merged.completed_fraction = 0.0;
+  size_t consulted = 0;
+  double fraction_sum = 0.0;
+  for (size_t i = 0; i < legs.size(); ++i) {
+    if (!legs[i].consulted) {
+      // Evicted shards degrade the answer (their cameras went unsearched);
+      // pruned shards do not (no representative could have matched).
+      if (registry_.Eligible(i)) continue;
+      ExcludeShard(i, *constraints, &merged.degraded,
+                   &merged.excluded_cameras);
+      continue;
+    }
+    ++consulted;
+    if (!legs[i].status.ok()) {
+      // Best-effort partial: the failed shard contributes nothing and zero
+      // completed fraction, never an error.
+      ExcludeShard(i, *constraints, &merged.degraded,
+                   &merged.excluded_cameras);
+      continue;
+    }
+    const core::DirectQueryResult& leg = legs[i].result;
+    for (core::SvsId id : leg.candidate_svss) {
+      merged.candidate_svss.push_back(GlobalSvsId(i, id));
+    }
+    for (core::SvsId id : leg.matched_svss) {
+      merged.matched_svss.push_back(GlobalSvsId(i, id));
+    }
+    merged.total_gpu_ms += leg.total_gpu_ms;
+    merged.bottleneck_camera_gpu_ms = std::max(
+        merged.bottleneck_camera_gpu_ms, leg.bottleneck_camera_gpu_ms);
+    merged.per_camera_gpu_ms.insert(merged.per_camera_gpu_ms.end(),
+                                    leg.per_camera_gpu_ms.begin(),
+                                    leg.per_camera_gpu_ms.end());
+    merged.frames_processed += leg.frames_processed;
+    merged.cameras_searched += leg.cameras_searched;
+    merged.degraded = merged.degraded || leg.degraded;
+    merged.timed_out = merged.timed_out || leg.timed_out;
+    merged.excluded_cameras.insert(merged.excluded_cameras.end(),
+                                   leg.excluded_cameras.begin(),
+                                   leg.excluded_cameras.end());
+    fraction_sum += leg.completed_fraction;
+  }
+  merged.completed_fraction =
+      consulted == 0 ? (merged.degraded ? 0.0 : 1.0)
+                     : fraction_sum / static_cast<double>(consulted);
+  CanonicalizeExcluded(&merged.excluded_cameras);
+  if (merged.degraded) degraded_answers_.fetch_add(1);
+
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeDirectQueryResult(&writer, merged);
+  return writer.buffer();
+}
+
+std::string Coordinator::HandleClusteringQuery(MsgType type,
+                                               io::BinaryReader* reader,
+                                               Status* failure) {
+  core::QueryConstraints constraints;
+  FeatureMap target;
+  bool target_shard_down = false;
+  size_t owner = 0;
+  if (type == MsgType::kClusteringQueryById) {
+    auto id = reader->ReadI64();
+    if (!id.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         id.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    auto decoded = DecodeQueryConstraints(reader);
+    if (!decoded.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         decoded.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    constraints = *decoded;
+    owner = ShardOfSvsId(*id);
+    if (owner >= registry_.size()) {
+      *failure = Status::NotFound("SVS " + std::to_string(*id) +
+                                  " names shard " + std::to_string(owner) +
+                                  " which does not exist");
+      return StatusOnlyResponse(*failure, 0);
+    }
+    // Resolve the target's feature map on its owning shard, then run the
+    // same by-map query everywhere (the owner included) — which is also
+    // exactly what a fault-free control does, so answers stay comparable.
+    if (!registry_.Eligible(owner)) {
+      target_shard_down = true;
+    } else {
+      auto checkout = CheckoutClient(owner);
+      if (!checkout.ok()) {
+        registry_.RecordFailure(owner, NowMs());
+        target_shard_down = true;
+      } else {
+        std::unique_ptr<Client> client = std::move(*checkout);
+        auto map = client->SvsFeatureMap(LocalSvsId(*id));
+        if (map.ok()) {
+          registry_.RecordSuccess(owner, NowMs());
+          CheckinClient(owner, std::move(client));
+          target = std::move(*map);
+        } else if (IsEdgeTransportFailure(map.status().code())) {
+          registry_.RecordFailure(owner, NowMs());
+          target_shard_down = true;
+        } else {
+          // The shard answered: the id genuinely does not resolve.
+          registry_.RecordSuccess(owner, NowMs());
+          CheckinClient(owner, std::move(client));
+          *failure = map.status();
+          return StatusOnlyResponse(*failure, 0);
+        }
+      }
+    }
+  } else {
+    auto decoded_target = DecodeFeatureMap(reader);
+    if (!decoded_target.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         decoded_target.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    auto decoded = DecodeQueryConstraints(reader);
+    if (!decoded.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         decoded.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    target = std::move(*decoded_target);
+    constraints = *decoded;
+  }
+
+  core::ClusteringQueryResult merged;
+  if (target_shard_down) {
+    // The query target itself is unreachable: the best best-effort answer is
+    // an empty, fully degraded partial — still not an error, matching the
+    // stalled-camera contract.
+    merged.degraded = true;
+    merged.completed_fraction = 0.0;
+    ExcludeShard(owner, constraints, &merged.degraded,
+                 &merged.excluded_cameras);
+    for (size_t i = 0; i < registry_.size(); ++i) {
+      if (i != owner && !registry_.Eligible(i)) {
+        ExcludeShard(i, constraints, &merged.degraded,
+                     &merged.excluded_cameras);
+      }
+    }
+    CanonicalizeExcluded(&merged.excluded_cameras);
+    degraded_answers_.fetch_add(1);
+    io::BinaryWriter writer;
+    EncodeWireStatus(&writer, {Status::OK(), 0});
+    EncodeClusteringQueryResult(&writer, merged);
+    return writer.buffer();
+  }
+
+  const std::vector<bool> consult = EligibleSet();
+  const core::QueryConstraints shard_constraints =
+      ShardConstraints(constraints);
+  auto legs = FanOut<core::ClusteringQueryResult>(
+      consult, [&](Client* client) {
+        return client->ClusteringQuery(target, shard_constraints);
+      });
+
+  merged.completed_fraction = 0.0;
+  size_t consulted = 0;
+  double fraction_sum = 0.0;
+  for (size_t i = 0; i < legs.size(); ++i) {
+    if (!legs[i].consulted) {
+      ExcludeShard(i, constraints, &merged.degraded,
+                   &merged.excluded_cameras);
+      continue;
+    }
+    ++consulted;
+    if (!legs[i].status.ok()) {
+      ExcludeShard(i, constraints, &merged.degraded,
+                   &merged.excluded_cameras);
+      continue;
+    }
+    const core::ClusteringQueryResult& leg = legs[i].result;
+    for (core::SvsId id : leg.similar_svss) {
+      merged.similar_svss.push_back(GlobalSvsId(i, id));
+    }
+    merged.cameras_contributing += leg.cameras_contributing;
+    merged.degraded = merged.degraded || leg.degraded;
+    merged.timed_out = merged.timed_out || leg.timed_out;
+    merged.fast_omd_routed = merged.fast_omd_routed || leg.fast_omd_routed;
+    merged.excluded_cameras.insert(merged.excluded_cameras.end(),
+                                   leg.excluded_cameras.begin(),
+                                   leg.excluded_cameras.end());
+    fraction_sum += leg.completed_fraction;
+  }
+  merged.completed_fraction =
+      consulted == 0 ? (merged.degraded ? 0.0 : 1.0)
+                     : fraction_sum / static_cast<double>(consulted);
+  CanonicalizeExcluded(&merged.excluded_cameras);
+  if (merged.degraded) degraded_answers_.fetch_add(1);
+
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeClusteringQueryResult(&writer, merged);
+  return writer.buffer();
+}
+
+std::string Coordinator::HandleGetMetaData(io::BinaryReader* reader,
+                                           Status* failure) {
+  auto id = reader->ReadI64();
+  if (!id.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       id.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+  const size_t owner = ShardOfSvsId(*id);
+  if (owner >= registry_.size()) {
+    *failure = Status::NotFound("SVS " + std::to_string(*id) +
+                                " names shard " + std::to_string(owner) +
+                                " which does not exist");
+    return StatusOnlyResponse(*failure, 0);
+  }
+  if (!registry_.Eligible(owner)) {
+    *failure = Status::Unavailable("shard " + std::to_string(owner) +
+                                   " owning SVS " + std::to_string(*id) +
+                                   " is unreachable");
+    return StatusOnlyResponse(*failure, 0);
+  }
+  auto checkout = CheckoutClient(owner);
+  if (!checkout.ok()) {
+    registry_.RecordFailure(owner, NowMs());
+    *failure = checkout.status();
+    return StatusOnlyResponse(*failure, 0);
+  }
+  std::unique_ptr<Client> client = std::move(*checkout);
+  auto meta = client->GetMetaData(LocalSvsId(*id));
+  if (!meta.ok()) {
+    if (IsEdgeTransportFailure(meta.status().code())) {
+      registry_.RecordFailure(owner, NowMs());
+    } else {
+      registry_.RecordSuccess(owner, NowMs());
+      CheckinClient(owner, std::move(client));
+    }
+    *failure = meta.status();
+    return StatusOnlyResponse(*failure, 0);
+  }
+  registry_.RecordSuccess(owner, NowMs());
+  CheckinClient(owner, std::move(client));
+  meta->id = *id;  // back to the global id space
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeSvsMetadata(&writer, *meta);
+  return writer.buffer();
+}
+
+std::string Coordinator::HandleSvsFeatureMap(io::BinaryReader* reader,
+                                             Status* failure) {
+  auto id = reader->ReadI64();
+  if (!id.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       id.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+  const size_t owner = ShardOfSvsId(*id);
+  if (owner >= registry_.size() || !registry_.Eligible(owner)) {
+    *failure = Status::Unavailable("shard " + std::to_string(owner) +
+                                   " owning SVS " + std::to_string(*id) +
+                                   " is unreachable");
+    return StatusOnlyResponse(*failure, 0);
+  }
+  auto checkout = CheckoutClient(owner);
+  if (!checkout.ok()) {
+    registry_.RecordFailure(owner, NowMs());
+    *failure = checkout.status();
+    return StatusOnlyResponse(*failure, 0);
+  }
+  std::unique_ptr<Client> client = std::move(*checkout);
+  auto map = client->SvsFeatureMap(LocalSvsId(*id));
+  if (!map.ok()) {
+    if (IsEdgeTransportFailure(map.status().code())) {
+      registry_.RecordFailure(owner, NowMs());
+    } else {
+      registry_.RecordSuccess(owner, NowMs());
+      CheckinClient(owner, std::move(client));
+    }
+    *failure = map.status();
+    return StatusOnlyResponse(*failure, 0);
+  }
+  registry_.RecordSuccess(owner, NowMs());
+  CheckinClient(owner, std::move(client));
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeFeatureMap(&writer, *map);
+  return writer.buffer();
+}
+
+std::string Coordinator::HandleMonitorStats(Status* failure) {
+  (void)failure;
+  auto legs = FanOut<MonitorStatsReply>(
+      EligibleSet(), [](Client* client) { return client->MonitorStats(); });
+
+  MonitorStatsReply merged;
+  for (const auto& leg : legs) {
+    if (!leg.consulted || !leg.status.ok()) continue;
+    const MonitorStatsReply& edge = leg.result;
+    merged.ingest.frames_offered += edge.ingest.frames_offered;
+    merged.ingest.keyframes_selected += edge.ingest.keyframes_selected;
+    merged.ingest.features_extracted += edge.ingest.features_extracted;
+    merged.ingest.svs_created += edge.ingest.svs_created;
+    merged.ingest.raw_feature_bytes += edge.ingest.raw_feature_bytes;
+    merged.ingest.frames_rejected += edge.ingest.frames_rejected;
+    merged.ingest.out_of_order_dropped += edge.ingest.out_of_order_dropped;
+    merged.ingest.duplicates_dropped += edge.ingest.duplicates_dropped;
+    merged.ingest.objects_quarantined += edge.ingest.objects_quarantined;
+    merged.cache.hits += edge.cache.hits;
+    merged.cache.misses += edge.cache.misses;
+    merged.cache.insertions += edge.cache.insertions;
+    merged.cache.invalidations += edge.cache.invalidations;
+    merged.cache.rejected_inserts += edge.cache.rejected_inserts;
+    merged.cache.entries += edge.cache.entries;
+    merged.cache.capacity += edge.cache.capacity;
+    merged.svs_count += edge.svs_count;
+    merged.camera_count += edge.camera_count;
+    merged.now_ms = std::max(merged.now_ms, edge.now_ms);
+  }
+  const CoordinatorStats own = stats();
+  merged.serving.connections_accepted = own.connections_accepted;
+  merged.serving.connections_shed = own.connections_shed;
+  merged.serving.pings_served = 0;
+  merged.serving.shards = registry_.HealthTable(NowMs());
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeMonitorStats(&writer, merged);
+  return writer.buffer();
+}
+
+std::string Coordinator::HandleCameraHealth(Status* failure) {
+  (void)failure;
+  auto legs = FanOut<std::vector<CameraHealthEntry>>(
+      EligibleSet(),
+      [](Client* client) { return client->CameraHealthReport(); });
+  std::vector<CameraHealthEntry> merged;
+  for (const auto& leg : legs) {
+    if (!leg.consulted || !leg.status.ok()) continue;
+    merged.insert(merged.end(), leg.result.begin(), leg.result.end());
+  }
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeCameraHealthReport(&writer, merged);
+  return writer.buffer();
+}
+
+std::string Coordinator::HandleQueryLoadStats(Status* failure) {
+  (void)failure;
+  auto legs = FanOut<core::QueryLoadStats>(
+      EligibleSet(), [](Client* client) { return client->QueryLoadStats(); });
+  core::QueryLoadStats merged;
+  for (const auto& leg : legs) {
+    if (!leg.consulted || !leg.status.ok()) continue;
+    const core::QueryLoadStats& edge = leg.result;
+    merged.in_flight += edge.in_flight;
+    merged.waiting += edge.waiting;
+    merged.admitted += edge.admitted;
+    merged.shed += edge.shed;
+    merged.timed_out += edge.timed_out;
+    merged.fast_omd_routed += edge.fast_omd_routed;
+    merged.timeout_overshoot_ms_total += edge.timeout_overshoot_ms_total;
+    merged.max_in_flight += edge.max_in_flight;
+    merged.max_queue += edge.max_queue;
+    merged.omd_failures += edge.omd_failures;
+  }
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeQueryLoadStats(&writer, merged);
+  return writer.buffer();
+}
+
+// --- Representative sync and probing. ---
+
+size_t Coordinator::PollEdgesNow() { return SyncPass(false); }
+
+void Coordinator::SyncLoop() {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  while (!stopping_.load()) {
+    sync_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.sync_interval_ms),
+                      [this] { return stopping_.load(); });
+    if (stopping_.load()) return;
+    lock.unlock();
+    (void)SyncPass(/*respect_backoff=*/true);
+    lock.lock();
+  }
+}
+
+size_t Coordinator::SyncPass(bool respect_backoff) {
+  // One pass at a time: the background thread and PollEdgesNow must not
+  // interleave their registry updates and index rebuilds.
+  std::lock_guard<std::mutex> pass_lock(pass_mu_);
+  bool changed = false;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    const int64_t now = NowMs();
+    const bool probing = !registry_.Eligible(i);
+    if (probing) {
+      if (respect_backoff && !registry_.ProbeDue(i, now)) continue;
+      probes_sent_.fetch_add(1);
+    }
+    auto checkout = CheckoutClient(i);
+    if (!checkout.ok()) {
+      registry_.RecordFailure(i, NowMs());
+      continue;
+    }
+    std::unique_ptr<Client> client = std::move(*checkout);
+    auto reply = client->RepSync(registry_.synced_version(i));
+    if (!reply.ok()) {
+      registry_.RecordFailure(i, NowMs());
+      continue;
+    }
+    uint64_t entry_count = 0;
+    if (reply->unchanged) {
+      std::shared_lock<std::shared_mutex> lock(index_mu_);
+      entry_count = edge_entries_[i].size();
+    } else {
+      entry_count = reply->entries.size();
+      std::unique_lock<std::shared_mutex> lock(index_mu_);
+      edge_entries_[i] = std::move(reply->entries);
+      changed = true;
+      rep_sync_updates_.fetch_add(1);
+    }
+    registry_.RecordRepSync(i, reply->version, entry_count, NowMs());
+    // Refresh the shard's camera inventory while the connection is warm —
+    // this is what a degraded answer lists as excluded when the shard dies.
+    auto report = client->CameraHealthReport();
+    if (report.ok()) {
+      std::vector<core::CameraId> cameras;
+      cameras.reserve(report->size());
+      for (CameraHealthEntry& entry : *report) {
+        cameras.push_back(std::move(entry.camera));
+      }
+      registry_.RecordCameras(i, std::move(cameras));
+    }
+    CheckinClient(i, std::move(client));
+  }
+  if (changed) {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    RebuildIndexLocked();
+  }
+  size_t eligible = 0;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    if (registry_.Eligible(i)) ++eligible;
+  }
+  return eligible;
+}
+
+void Coordinator::RebuildIndexLocked() {
+  std::vector<core::InterCameraIndex::RepEntry> combined;
+  entry_owner_.clear();
+  for (size_t i = 0; i < edge_entries_.size(); ++i) {
+    for (const auto& entry : edge_entries_[i]) {
+      combined.push_back(entry);
+      entry_owner_.push_back(i);
+    }
+  }
+  // SetEntries installs the entry list before rebuilding tree and groups,
+  // so `entry_owner_` stays aligned with `entries()` even if the rebuild
+  // fails (poisoned distances) — and pruning only needs the entry list.
+  (void)inter_.SetEntries(std::move(combined));
+}
+
+}  // namespace vz::net

@@ -1,0 +1,313 @@
+#ifndef VZ_NET_COORDINATOR_H_
+#define VZ_NET_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/inter_camera_index.h"
+#include "core/omd.h"
+#include "core/query.h"
+#include "net/edge_registry.h"
+#include "net/wire.h"
+
+namespace vz::net {
+
+class Client;
+
+/// Shard-qualified SVS ids. Every edge numbers its SVSs locally from 0; the
+/// coordinator exposes a single id space by packing the shard index into the
+/// high bits. 40 bits of local id leaves room for 2^23 shards — both far
+/// beyond anything a deployment reaches before other limits bite.
+inline constexpr int kShardIdBits = 40;
+
+inline constexpr core::SvsId GlobalSvsId(size_t shard, core::SvsId local) {
+  return (static_cast<core::SvsId>(shard) << kShardIdBits) | local;
+}
+inline constexpr size_t ShardOfSvsId(core::SvsId global) {
+  return static_cast<size_t>(global >> kShardIdBits);
+}
+inline constexpr core::SvsId LocalSvsId(core::SvsId global) {
+  return global & ((core::SvsId{1} << kShardIdBits) - 1);
+}
+
+/// Configuration of the coordinator front end.
+struct CoordinatorOptions {
+  /// Port to listen on; 0 lets the kernel pick (read back with `port()`).
+  uint16_t port = 0;
+  std::string bind_address = "127.0.0.1";
+  /// The edge shards, in shard-index order. The order is part of the
+  /// deployment contract: it defines the global id space and the merge
+  /// order, so every coordinator of one deployment must list the same edges
+  /// in the same order.
+  std::vector<EdgeEndpoint> edges;
+
+  // --- Client-facing connection handling (mirrors ServerOptions). ---
+  size_t max_connections = 8;
+  int64_t shed_retry_after_ms = 50;
+  int64_t idle_poll_ms = 50;
+  int64_t drain_timeout_ms = 10'000;
+  int64_t read_timeout_ms = 10'000;
+  int64_t write_timeout_ms = 10'000;
+
+  // --- Fan-out. ---
+
+  /// Transport budget per edge RPC (connect and per-frame I/O) — the hard
+  /// backstop bounding how long a stalled or blackholed shard can hold a
+  /// fan-out leg. A killed edge fails much faster (connection refused /
+  /// reset).
+  int64_t edge_connect_timeout_ms = 2'000;
+  int64_t edge_io_timeout_ms = 5'000;
+  /// Reserved from a client deadline for the coordinator-side merge: each
+  /// shard leg travels with `deadline_ms - merge_reserve_ms` (floored at
+  /// 1 ms) so partial per-shard answers are back before the client's own
+  /// budget expires.
+  int64_t merge_reserve_ms = 20;
+  /// Prune direct-query fan-out through the local representative index:
+  /// shards none of whose synced representatives pass the hit test are not
+  /// consulted (never-synced shards always are — there is nothing to prune
+  /// with). Pruning-only at the shard granularity: an edge would reject the
+  /// same representatives itself.
+  bool prune_direct_fanout = true;
+  /// Boundary scale of the coordinator-side hit tests; must match the
+  /// edges' `VideoZillaOptions::boundary_scale`.
+  double boundary_scale = 1.0;
+
+  // --- Representative sync / probing. ---
+
+  /// Cadence of the background rep-sync/probe thread. <= 0 disables the
+  /// thread entirely; tests then drive `PollEdgesNow()` by hand for
+  /// deterministic transitions.
+  int64_t sync_interval_ms = 250;
+  EdgeRegistryOptions registry;
+
+  /// Configuration of the local representative index (OMD + inter options);
+  /// must match the edges' so group summaries and hit tests agree.
+  core::OmdOptions omd;
+  core::InterIndexOptions inter;
+  /// Seed of the local index's stream (group-count sweeps); pruning results
+  /// never depend on it.
+  uint64_t seed = 0xC0CA;
+};
+
+/// Lifetime counters of the coordinator.
+struct CoordinatorStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed = 0;
+  size_t connections_active = 0;  // gauge
+  uint64_t requests_served = 0;
+  uint64_t request_errors = 0;
+  /// Fan-out legs attempted / failed at the transport level.
+  uint64_t fanout_legs = 0;
+  uint64_t fanout_failures = 0;
+  /// Answers returned with `degraded = true` (a shard was down, slow, or
+  /// already evicted).
+  uint64_t degraded_answers = 0;
+  /// Query legs pruned by the representative index.
+  uint64_t pruned_legs = 0;
+  /// Rep-sync rounds that shipped a changed entry set.
+  uint64_t rep_sync_updates = 0;
+  /// Probes sent to unreachable edges.
+  uint64_t probes_sent = 0;
+  /// Representative entries currently indexed (gauge).
+  uint64_t rep_entries = 0;
+};
+
+/// The coordinator of a sharded deployment (see DESIGN.md, "Sharded
+/// deployment"): speaks the same wire protocol as `Server`, but answers
+/// queries by scattering them over the edge shards and merging the partial
+/// results, never holding video state of its own. What it does hold — fed by
+/// the `kRepSync` RPC — is the inter-camera representative index, which lets
+/// it prune direct-query fan-out exactly like a single-node deployment
+/// prunes camera scans.
+///
+/// Robustness contract: a query never fails because a shard is down or slow.
+/// Each leg travels with a deadline carved from the client's budget; a leg
+/// that fails (or a shard already evicted by the health ladder) contributes
+/// nothing, flips `degraded`, lists the shard's known cameras in
+/// `excluded_cameras`, and lowers `completed_fraction` — the same partial-
+/// answer shape a single node produces for a stalled camera. Merging is by
+/// shard index, never by completion order, so answers are bit-identical
+/// across thread interleavings.
+///
+/// Shard health is the `EdgeRegistry` ladder, driven by every RPC outcome
+/// (query legs and sync rounds alike) and surfaced through `MonitorStats`.
+/// A background thread rep-syncs reachable edges on `sync_interval_ms` and
+/// probes unreachable ones with seeded backoff; `PollEdgesNow()` runs one
+/// such pass synchronously (ignoring backoff), which is how tests and drills
+/// make transitions deterministic.
+///
+/// Mutating RPCs are refused (`kFailedPrecondition`): ingest goes to the
+/// edges, the coordinator is a read-only query plane.
+class Coordinator {
+ public:
+  explicit Coordinator(const CoordinatorOptions& options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds, starts the accept loop and (unless disabled) the sync/probe
+  /// thread, and runs one initial synchronous edge poll so the first query
+  /// does not race an empty registry.
+  Status Start();
+
+  /// Graceful stop; idempotent.
+  void Shutdown();
+
+  /// The bound port (valid after a successful `Start`).
+  uint16_t port() const { return port_; }
+
+  /// One synchronous sync/probe pass over every edge, ignoring probe
+  /// backoff: reachable edges are rep-synced (and their camera inventory
+  /// refreshed), unreachable ones probed and re-admitted if they answer.
+  /// Returns the number of edges eligible for fan-out afterwards.
+  size_t PollEdgesNow();
+
+  /// The registry (tests drive and inspect the ladder through it).
+  EdgeRegistry& registry() { return registry_; }
+
+  /// The Monitor reply's per-shard health table, as of now.
+  std::vector<ShardHealthInfo> shard_health() const;
+
+  CoordinatorStats stats() const;
+
+ private:
+  /// The outcome of one fan-out leg, slotted by shard index before merging.
+  template <typename Result>
+  struct Leg {
+    /// False when the shard was not consulted (evicted or pruned).
+    bool consulted = false;
+    /// Meaningful only when consulted; a failed leg carries the transport
+    /// (or RPC) error.
+    Status status;
+    Result result;
+  };
+
+  static int64_t NowMs();
+
+  void AcceptLoop();
+  void HandleConnection(UniqueFd fd);
+  bool ServeOneRequest(int fd, bool* hello_done);
+  std::string DispatchRequest(const WireFrame& request, bool* hello_done,
+                              Status* failure);
+  std::string ExecuteRequest(MsgType type, io::BinaryReader* reader,
+                             Status* failure);
+
+  std::string HandleDirectQuery(io::BinaryReader* reader, Status* failure);
+  std::string HandleClusteringQuery(MsgType type, io::BinaryReader* reader,
+                                    Status* failure);
+  std::string HandleGetMetaData(io::BinaryReader* reader, Status* failure);
+  std::string HandleSvsFeatureMap(io::BinaryReader* reader, Status* failure);
+  std::string HandleMonitorStats(Status* failure);
+  std::string HandleCameraHealth(Status* failure);
+  std::string HandleQueryLoadStats(Status* failure);
+
+  /// Carves the per-shard deadline out of a client deadline (see
+  /// `merge_reserve_ms`); identity when no deadline travels.
+  core::QueryConstraints ShardConstraints(
+      const core::QueryConstraints& constraints) const;
+
+  /// Runs `call` against every shard whose slot in `consult` is true, one
+  /// thread per consulted shard, recording each outcome into the registry.
+  /// Results come back slotted by shard index — merge order never depends
+  /// on completion order.
+  template <typename Result>
+  std::vector<Leg<Result>> FanOut(
+      const std::vector<bool>& consult,
+      const std::function<StatusOr<Result>(Client*)>& call);
+
+  /// Pops a pooled connection to `edge` or dials a new one.
+  StatusOr<std::unique_ptr<Client>> CheckoutClient(size_t edge);
+  void CheckinClient(size_t edge, std::unique_ptr<Client> client);
+
+  /// One sync/probe pass (the body of `PollEdgesNow` and the background
+  /// thread). With `respect_backoff`, unreachable edges whose probe is not
+  /// yet due are skipped.
+  size_t SyncPass(bool respect_backoff);
+  /// Rebuilds the local representative index from the per-edge entry sets
+  /// (in shard-index order).
+  void RebuildIndexLocked();
+  void SyncLoop();
+
+  /// The shards a direct query must consult: eligible edges, minus those
+  /// whose synced representatives all fail the hit test (when pruning is
+  /// on). Never-synced eligible edges are always consulted.
+  std::vector<bool> DirectQueryConsultSet(const FeatureVector& feature);
+  /// The shards a clustering query (or stats fan-out) consults: every
+  /// eligible edge.
+  std::vector<bool> EligibleSet() const;
+
+  /// Folds one unconsulted (evicted) or failed shard into a partial answer:
+  /// flips `degraded` and excludes the shard's known cameras (filtered by
+  /// the query's camera constraint).
+  void ExcludeShard(size_t edge, const core::QueryConstraints& constraints,
+                    bool* degraded,
+                    std::vector<core::CameraId>* excluded) const;
+
+  const CoordinatorOptions options_;
+  EdgeRegistry registry_;
+
+  // --- Local representative index (fed by rep-sync). ---
+  core::OmdCalculator omd_;
+  /// Guards the index and the per-edge entry sets below. Shared by query
+  /// pruning, exclusive for sync installs.
+  mutable std::shared_mutex index_mu_;
+  core::InterCameraIndex inter_;
+  /// Entry sets as shipped per edge; concatenated in shard order into
+  /// `inter_` (`entry_owner_` maps a combined entry index back to its
+  /// shard).
+  std::vector<std::vector<core::InterCameraIndex::RepEntry>> edge_entries_;
+  std::vector<size_t> entry_owner_;
+
+  // --- Edge connection pool. ---
+  std::mutex pool_mu_;
+  std::vector<std::vector<std::unique_ptr<Client>>> idle_clients_;
+
+  // --- Client-facing front end. ---
+  std::unique_ptr<ThreadPool> pool_;
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread sync_thread_;
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  /// Serializes sync passes (the background thread vs `PollEdgesNow`).
+  std::mutex pass_mu_;
+
+  mutable std::mutex mu_;  // guards the connection bookkeeping below
+  std::condition_variable drained_cv_;
+  std::vector<std::future<void>> connection_futures_;
+  size_t active_connections_ = 0;
+  std::vector<int> active_fds_;
+  uint64_t connections_accepted_ = 0;
+  uint64_t connections_shed_ = 0;
+
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> request_errors_{0};
+  std::atomic<uint64_t> fanout_legs_{0};
+  std::atomic<uint64_t> fanout_failures_{0};
+  std::atomic<uint64_t> degraded_answers_{0};
+  std::atomic<uint64_t> pruned_legs_{0};
+  std::atomic<uint64_t> rep_sync_updates_{0};
+  std::atomic<uint64_t> probes_sent_{0};
+};
+
+}  // namespace vz::net
+
+#endif  // VZ_NET_COORDINATOR_H_

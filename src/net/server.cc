@@ -1,10 +1,16 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
 #include <set>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <thread>
+#include <unistd.h>
 #include <utility>
 
 #include "io/svs_snapshot.h"
@@ -34,6 +40,84 @@ int64_t ElapsedMs(const std::chrono::steady_clock::time_point& since,
 bool IsWalLoggedType(MsgType type) {
   return IsMutatingType(static_cast<uint32_t>(type)) &&
          type != MsgType::kSnapshotSave;
+}
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string data;
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status failed = Status::Unavailable("read " + path + " failed: " +
+                                                std::strerror(errno));
+      ::close(fd);
+      return failed;
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+/// Writes `data` to `path` and fsyncs before returning — the re-seed path's
+/// crash-safety hinges on the checkpoint pair being durable before the old
+/// log is dropped.
+Status WriteFileDurable(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot create " + path + ": " +
+                               std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status failed = Status::Unavailable("write " + path + " failed: " +
+                                                std::strerror(errno));
+      ::close(fd);
+      return failed;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status failed = Status::Unavailable("fsync " + path + " failed: " +
+                                              std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+/// Deletes every `wal-*.vzwal` segment in `dir` (the re-seed path replaces
+/// the whole mirrored log with a fetched checkpoint). The Wal must be closed.
+Status RemoveWalSegments(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return Status::Unavailable("cannot open WAL dir " + dir + ": " +
+                               std::strerror(errno));
+  }
+  std::vector<std::string> victims;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("wal-", 0) == 0 &&
+        name.size() > 10 && name.substr(name.size() - 6) == ".vzwal") {
+      victims.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(handle);
+  for (const std::string& path : victims) ::remove(path.c_str());
+  return Status::OK();
 }
 
 }  // namespace
@@ -172,8 +256,27 @@ Status Server::Promote() {
   // as the old primary still holds it, promotion fails instead of serving
   // two divergent histories.
   VZ_RETURN_IF_ERROR(StartListener());
+  // The epoch bump happens only after the bind succeeded (a failed
+  // promotion must not leave this standby fenced off from its primary),
+  // and is made durable by a marker record so it survives restarts and
+  // ships to anyone tailing us in turn.
+  const uint64_t new_epoch = wal_epoch_.load() + 1;
+  wal_epoch_.store(new_epoch);
+  io::WalRecord marker;
+  marker.op = io::kWalOpEpochMarker;
+  marker.epoch = new_epoch;
+  auto appended = wal_->Append(marker);
+  VZ_RETURN_IF_ERROR(appended.status());
+  VZ_RETURN_IF_ERROR(wal_->WaitDurable(*appended));
   promoted_.store(true);
   return Status::OK();
+}
+
+void Server::AdoptEpoch(uint64_t epoch) {
+  uint64_t current = wal_epoch_.load();
+  while (epoch > current &&
+         !wal_epoch_.compare_exchange_weak(current, epoch)) {
+  }
 }
 
 ServerRole Server::role() const {
@@ -215,6 +318,8 @@ ServerStats Server::stats() const {
   stats.wal_replayed_records = wal_replayed_records_.load();
   stats.wal_checkpoints = wal_checkpoints_.load();
   stats.replication_errors = replication_errors_.load();
+  stats.replication_reseeds = replication_reseeds_.load();
+  stats.wal_epoch = wal_epoch_.load();
   return stats;
 }
 
@@ -491,6 +596,7 @@ std::string Server::DispatchMutating(MsgType type,
       record.session_id = token.session_id;
       record.sequence = token.sequence;
       record.op = static_cast<uint32_t>(type);
+      record.epoch = wal_epoch_.load();
       record.payload = body;
       auto appended = wal_->Append(record);
       if (!appended.ok()) {
@@ -704,6 +810,7 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       stats.serving.wal_durable_lsn = serving.wal_durable_lsn;
       stats.serving.replication_lag_records =
           serving.replication_lag_records;
+      stats.serving.replication_reseeds = serving.replication_reseeds;
       stats.serving.connections = connection_stats();
       io::BinaryWriter writer;
       EncodeWireStatus(&writer, {Status::OK(), 0});
@@ -734,6 +841,20 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       if (wal_ == nullptr) {
         *failure = Status::FailedPrecondition(
             "server runs without a WAL; nothing to ship");
+        return StatusOnlyResponse(*failure, 0);
+      }
+      // Fencing: a caller announcing a NEWER epoch proves a failover
+      // happened that this server never saw — it has been demoted, and
+      // advancing the ack (or shipping its stale history) would double-
+      // apply records the new primary already owns. Refuse before touching
+      // the ack frontier. Epoch 0 = the caller does not know yet; passes.
+      const uint64_t server_epoch = wal_epoch_.load();
+      if (request->epoch > server_epoch) {
+        *failure = Status::FailedPrecondition(
+            "fenced: caller is at promotion epoch " +
+            std::to_string(request->epoch) + " but this server is at " +
+            std::to_string(server_epoch) +
+            " — it was demoted by a failover it never saw");
         return StatusOnlyResponse(*failure, 0);
       }
       // The from LSN is a windowed ack: the caller has durably applied
@@ -767,10 +888,87 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       }
       WalShipReply reply;
       reply.durable_lsn = wal_->durable_lsn();
+      reply.epoch = server_epoch;
       reply.records = std::move(*records);
       EncodeWireStatus(&writer, {Status::OK(), 0});
       EncodeWalShipReply(&writer, reply);
       return writer.buffer();
+    }
+    case MsgType::kRepSync: {
+      auto request = DecodeRepSyncRequest(&reader);
+      if (!request.ok()) return malformed(request.status());
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      RepSyncReply reply;
+      reply.version = system_->index_version();
+      // since_version 0 = the caller never synced: always ship, even when
+      // this edge's version is still 0 (its entry set is empty anyway).
+      if (request->since_version == reply.version && reply.version != 0) {
+        reply.unchanged = true;
+      } else {
+        reply.entries = system_->inter_index().entries();
+      }
+      io::BinaryWriter writer;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeRepSyncReply(&writer, reply);
+      return writer.buffer();
+    }
+    case MsgType::kSvsFeatureMap: {
+      auto id = reader.ReadI64();
+      if (!id.ok()) return malformed(id.status());
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      auto svs = system_->svs_store().Get(*id);
+      io::BinaryWriter writer;
+      if (!svs.ok()) {
+        *failure = svs.status();
+        EncodeWireStatus(&writer, {*failure, 0});
+        return writer.buffer();
+      }
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeFeatureMap(&writer, (*svs)->features());
+      return writer.buffer();
+    }
+    case MsgType::kCheckpointFetch: {
+      if (wal_ == nullptr) {
+        *failure = Status::FailedPrecondition(
+            "server runs without a WAL; no checkpoints to fetch");
+        return StatusOnlyResponse(*failure, 0);
+      }
+      // The shared state lock excludes a concurrent CheckpointLocked (which
+      // runs under the exclusive lock), so the pair we validate cannot be
+      // replaced or pruned mid-read.
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      auto lsns = io::ListWalCheckpointLsns(options_.wal_dir);
+      if (!lsns.ok()) {
+        *failure = lsns.status();
+        return StatusOnlyResponse(*failure, 0);
+      }
+      for (auto it = lsns->rbegin(); it != lsns->rend(); ++it) {
+        // Validate through the same loaders recovery uses: only a pair the
+        // caller will actually be able to restore is worth shipping.
+        const std::string meta_path =
+            io::WalCheckpointMetaPath(options_.wal_dir, *it);
+        const std::string snapshot_path =
+            io::WalCheckpointSnapshotPath(options_.wal_dir, *it);
+        auto meta = io::LoadWalCheckpointMeta(meta_path);
+        if (!meta.ok()) continue;
+        core::SvsStore probe;
+        if (!io::LoadSvsStore(snapshot_path, &probe).ok()) continue;
+        auto snapshot_bytes = ReadWholeFile(snapshot_path);
+        if (!snapshot_bytes.ok()) continue;
+        auto meta_bytes = ReadWholeFile(meta_path);
+        if (!meta_bytes.ok()) continue;
+        CheckpointFetchReply reply;
+        reply.lsn = *it;
+        reply.epoch = meta->epoch;
+        reply.snapshot_bytes = std::move(*snapshot_bytes);
+        reply.meta_bytes = std::move(*meta_bytes);
+        io::BinaryWriter writer;
+        EncodeWireStatus(&writer, {Status::OK(), 0});
+        EncodeCheckpointFetchReply(&writer, reply);
+        return writer.buffer();
+      }
+      *failure = Status::NotFound("no valid checkpoint pair to fetch");
+      return StatusOnlyResponse(*failure, 0);
     }
     case MsgType::kHello:
       break;  // handled before dispatch
@@ -842,13 +1040,63 @@ std::string Server::ExecuteMutating(MsgType type, io::BinaryReader* reader_ptr,
 
 // --- Durability: recovery, checkpointing, replication. ---
 
+Status Server::RestoreCheckpointState(const io::WalCheckpoint& checkpoint,
+                                      const core::SvsStore& store) {
+  VZ_RETURN_IF_ERROR(system_->RestoreFromSvsStore(store));
+  // The manifest's camera list is the authority: RestoreFromSvsStore
+  // auto-starts every camera that owns an SVS, resurrecting cameras that
+  // were terminated after their last flush — terminate those again.
+  std::set<core::CameraId> recorded;
+  for (const io::WalCheckpoint::Camera& entry : checkpoint.cameras) {
+    recorded.insert(entry.camera);
+  }
+  for (const core::CameraId& camera : system_->cameras()) {
+    if (recorded.count(camera) == 0) {
+      VZ_RETURN_IF_ERROR(system_->CameraTerminate(camera));
+    }
+  }
+  std::set<core::CameraId> started;
+  for (const core::CameraId& camera : system_->cameras()) {
+    started.insert(camera);
+  }
+  for (const io::WalCheckpoint::Camera& entry : checkpoint.cameras) {
+    if (started.count(entry.camera) == 0) {
+      // Started but never flushed an SVS before the checkpoint.
+      VZ_RETURN_IF_ERROR(system_->CameraStart(entry.camera));
+    }
+    core::CameraGuardState guard;
+    guard.stats = entry.stats;
+    guard.last_frame_id = entry.last_frame_id;
+    guard.expected_dim = entry.expected_dim;
+    VZ_RETURN_IF_ERROR(system_->RestoreCameraGuardState(entry.camera, guard));
+  }
+  system_->RestoreIngestStats(checkpoint.ingest);
+  system_->AdvanceTime(checkpoint.now_ms);
+  AdoptEpoch(checkpoint.epoch);
+  // Rebuild the dedup windows: a duplicate retry that straddles the
+  // crash must be replayed from here, not re-applied. LSN 0 = already
+  // durable (the checkpoint holds it). Whatever sessions existed before
+  // (the re-seed path replaces a live standby's state) are superseded by
+  // the checkpoint's capture.
+  std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+  sessions_.clear();
+  for (const io::WalCheckpoint::Session& entry : checkpoint.sessions) {
+    auto session = std::make_shared<Session>();
+    session->evicted_up_to = entry.evicted_up_to;
+    for (const auto& [sequence, bytes] : entry.responses) {
+      session->done[sequence] = {bytes, 0};
+    }
+    session->last_used_tick = ++session_tick_;
+    sessions_[entry.session_id] = session;
+  }
+  return Status::OK();
+}
+
 Status Server::RecoverFromWal() {
   // Probe checkpoints newest-first: a crash between the snapshot and
   // manifest writes leaves a half-pair, which simply fails validation and
   // falls through to the previous complete one.
   uint64_t checkpoint_lsn = 0;
-  io::WalCheckpoint checkpoint;
-  bool have_checkpoint = false;
   if (auto lsns = io::ListWalCheckpointLsns(options_.wal_dir); lsns.ok()) {
     for (auto it = lsns->rbegin(); it != lsns->rend(); ++it) {
       auto meta = io::LoadWalCheckpointMeta(
@@ -862,57 +1110,9 @@ Status Server::RecoverFromWal() {
       }
       // The pair is fully valid; from here on, failures are terminal (a
       // half-restored system must not serve).
-      VZ_RETURN_IF_ERROR(system_->RestoreFromSvsStore(store));
-      checkpoint = std::move(*meta);
+      VZ_RETURN_IF_ERROR(RestoreCheckpointState(*meta, store));
       checkpoint_lsn = *it;
-      have_checkpoint = true;
       break;
-    }
-  }
-
-  if (have_checkpoint) {
-    // The manifest's camera list is the authority: RestoreFromSvsStore
-    // auto-starts every camera that owns an SVS, resurrecting cameras that
-    // were terminated after their last flush — terminate those again.
-    std::set<core::CameraId> recorded;
-    for (const io::WalCheckpoint::Camera& entry : checkpoint.cameras) {
-      recorded.insert(entry.camera);
-    }
-    for (const core::CameraId& camera : system_->cameras()) {
-      if (recorded.count(camera) == 0) {
-        VZ_RETURN_IF_ERROR(system_->CameraTerminate(camera));
-      }
-    }
-    std::set<core::CameraId> started;
-    for (const core::CameraId& camera : system_->cameras()) {
-      started.insert(camera);
-    }
-    for (const io::WalCheckpoint::Camera& entry : checkpoint.cameras) {
-      if (started.count(entry.camera) == 0) {
-        // Started but never flushed an SVS before the checkpoint.
-        VZ_RETURN_IF_ERROR(system_->CameraStart(entry.camera));
-      }
-      core::CameraGuardState guard;
-      guard.stats = entry.stats;
-      guard.last_frame_id = entry.last_frame_id;
-      guard.expected_dim = entry.expected_dim;
-      VZ_RETURN_IF_ERROR(
-          system_->RestoreCameraGuardState(entry.camera, guard));
-    }
-    system_->RestoreIngestStats(checkpoint.ingest);
-    system_->AdvanceTime(checkpoint.now_ms);
-    // Rebuild the dedup windows: a duplicate retry that straddles the
-    // crash must be replayed from here, not re-applied. LSN 0 = already
-    // durable (the checkpoint holds it).
-    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
-    for (const io::WalCheckpoint::Session& entry : checkpoint.sessions) {
-      auto session = std::make_shared<Session>();
-      session->evicted_up_to = entry.evicted_up_to;
-      for (const auto& [sequence, bytes] : entry.responses) {
-        session->done[sequence] = {bytes, 0};
-      }
-      session->last_used_tick = ++session_tick_;
-      sessions_[entry.session_id] = session;
     }
   }
 
@@ -945,6 +1145,25 @@ Status Server::RecoverFromWal() {
 
 Status Server::ApplyWalRecord(const io::WalRecord& record,
                               bool from_replication) {
+  // Every record carries the epoch it was written under; the running
+  // maximum is what fences a demoted primary even after its own restart.
+  AdoptEpoch(record.epoch);
+  if (record.op == io::kWalOpEpochMarker) {
+    // A promotion marker changes no state — only the epoch above. It still
+    // mirrors (or counts as replayed) so the LSN chain stays dense.
+    if (from_replication) {
+      auto appended = wal_->Append(record);
+      VZ_RETURN_IF_ERROR(appended.status());
+      if (*appended != record.lsn) {
+        return Status::Internal("replication lsn skew: applied " +
+                                std::to_string(record.lsn) + " as " +
+                                std::to_string(*appended));
+      }
+    } else {
+      wal_replayed_records_.fetch_add(1);
+    }
+    return Status::OK();
+  }
   std::unique_lock<std::shared_mutex> state_lock(state_mu_);
   io::BinaryReader reader(record.payload);
   Status failure;
@@ -991,6 +1210,7 @@ Status Server::ApplyWalRecord(const io::WalRecord& record,
 void Server::CheckpointLocked(uint64_t lsn) {
   io::WalCheckpoint checkpoint;
   checkpoint.lsn = lsn;
+  checkpoint.epoch = wal_epoch_.load();
   checkpoint.now_ms = system_->now_ms();
   checkpoint.ingest = system_->ingest_stats();
   for (const core::CameraId& camera : system_->cameras()) {
@@ -1060,8 +1280,30 @@ void Server::ReplicationLoop() {
     const uint64_t applied = wal_->last_lsn();
     auto reply = client->WalShip(
         applied, options_.replication_batch,
-        static_cast<uint32_t>(options_.replication_poll_ms));
+        static_cast<uint32_t>(options_.replication_poll_ms),
+        wal_epoch_.load());
     if (!reply.ok()) {
+      if (reply.status().code() == StatusCode::kFailedPrecondition) {
+        // Fenced: the server we are tailing is at an older epoch than we
+        // are — a demoted primary that woke up after a failover we
+        // already know about. Not retryable; tailing it would re-apply
+        // history the new primary owns.
+        replication_errors_.fetch_add(1);
+        return;
+      }
+      if (reply.status().code() == StatusCode::kOutOfRange) {
+        // Compaction outran our cursor: the records we need were folded
+        // into a checkpoint. Fetch it and resume tailing from its LSN
+        // instead of terminating replication.
+        if (Status reseeded = ReseedFromPrimary(client.get());
+            !reseeded.ok()) {
+          replication_errors_.fetch_add(1);
+          client.reset();
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options_.replication_poll_ms));
+        }
+        continue;
+      }
       // Dead or restarting primary: drop the connection and retry; the
       // next WalShip re-asks from the same applied frontier, so nothing
       // is skipped or doubled.
@@ -1071,6 +1313,7 @@ void Server::ReplicationLoop() {
           std::chrono::milliseconds(options_.replication_poll_ms));
       continue;
     }
+    AdoptEpoch(reply->epoch);
     replication_primary_durable_.store(reply->durable_lsn);
     bool advanced = false;
     Status apply_status;
@@ -1095,6 +1338,49 @@ void Server::ReplicationLoop() {
       }
     }
   }
+}
+
+Status Server::ReseedFromPrimary(Client* client) {
+  auto fetched = client->CheckpointFetch();
+  VZ_RETURN_IF_ERROR(fetched.status());
+  // The pair lands in our own wal_dir FIRST, fully durable, before any
+  // local state is touched: a crash anywhere past this point recovers from
+  // the fetched checkpoint through the normal path (recovery validates
+  // pairs, so a torn write just falls back to tailing state — which will
+  // hit kOutOfRange and re-seed again).
+  const std::string snapshot_path =
+      io::WalCheckpointSnapshotPath(options_.wal_dir, fetched->lsn);
+  const std::string meta_path =
+      io::WalCheckpointMetaPath(options_.wal_dir, fetched->lsn);
+  VZ_RETURN_IF_ERROR(WriteFileDurable(snapshot_path, fetched->snapshot_bytes));
+  VZ_RETURN_IF_ERROR(WriteFileDurable(meta_path, fetched->meta_bytes));
+  // Validate through the same loaders recovery uses before dropping
+  // anything local.
+  auto checkpoint = io::LoadWalCheckpointMeta(meta_path);
+  VZ_RETURN_IF_ERROR(checkpoint.status());
+  core::SvsStore store;
+  VZ_RETURN_IF_ERROR(io::LoadSvsStore(snapshot_path, &store));
+
+  std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+  // Reset rewinds every seeded random stream, so the derived indexes
+  // rebuilt from the fetched store are bit-identical to the primary's own
+  // recovery of the same checkpoint.
+  VZ_RETURN_IF_ERROR(system_->Reset());
+  VZ_RETURN_IF_ERROR(RestoreCheckpointState(*checkpoint, store));
+  // Replace the mirrored log wholesale: everything at or below the
+  // checkpoint's LSN is covered by it, and everything above will be
+  // re-tailed from the primary starting at the checkpoint cut.
+  wal_.reset();
+  VZ_RETURN_IF_ERROR(RemoveWalSegments(options_.wal_dir));
+  io::WalOptions wal_options;
+  wal_options.dir = options_.wal_dir;
+  wal_options.fsync_interval_ms = options_.wal_fsync_interval_ms;
+  wal_options.segment_bytes = options_.wal_segment_bytes;
+  wal_options.start_lsn = checkpoint->lsn;
+  VZ_ASSIGN_OR_RETURN(wal_, io::Wal::Open(wal_options));
+  io::RemoveWalCheckpointsBelow(options_.wal_dir, checkpoint->lsn);
+  replication_reseeds_.fetch_add(1);
+  return Status::OK();
 }
 
 }  // namespace vz::net

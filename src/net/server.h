@@ -25,6 +25,8 @@
 
 namespace vz::net {
 
+class Client;
+
 /// Configuration of the TCP serving front end.
 struct ServerOptions {
   /// Port to listen on; 0 lets the kernel pick (read back with `port()`).
@@ -144,6 +146,12 @@ struct ServerStats {
   uint64_t replication_lag_records = 0;
   /// WalShip errors observed by the standby's replication loop (reconnects).
   uint64_t replication_errors = 0;
+  /// Standby: automatic checkpoint re-seeds after the primary's compaction
+  /// outran the replication cursor (each one re-fetches the newest
+  /// checkpoint pair and resumes tailing from its LSN).
+  uint64_t replication_reseeds = 0;
+  /// The promotion epoch this server serves under (1 = never failed over).
+  uint64_t wal_epoch = 0;
 };
 
 /// TCP front end over one `VideoZilla` instance: an accept loop plus
@@ -310,6 +318,22 @@ class Server {
   /// (salvaging any torn tail), and replays the tail through
   /// `ApplyWalRecord`.
   Status RecoverFromWal();
+  /// Installs one already-validated checkpoint: restores the store into
+  /// `system_`, reconciles started cameras and their guard state against
+  /// the manifest, and rebuilds the dedup windows (replacing any existing
+  /// sessions). Shared by crash recovery and the standby re-seed path; the
+  /// re-seed caller holds `state_mu_` exclusively.
+  Status RestoreCheckpointState(const io::WalCheckpoint& checkpoint,
+                                const core::SvsStore& store);
+  /// The standby re-seed path, entered when the primary compacted past our
+  /// replication cursor (`WalShip` -> `kOutOfRange`): fetches the newest
+  /// checkpoint pair over `client`, writes it into our own `wal_dir` first
+  /// (crash-safe — recovery validates pairs), resets `system_`, restores
+  /// through `RestoreCheckpointState`, and reopens the mirrored log at the
+  /// checkpoint's LSN so tailing resumes from there.
+  Status ReseedFromPrimary(Client* client);
+  /// Raises `wal_epoch_` to `epoch` if newer (never lowers it).
+  void AdoptEpoch(uint64_t epoch);
   /// Re-applies one logged op through `ExecuteMutating` and rebuilds its
   /// dedup-window entry. With `from_replication` the record is also
   /// mirrored into this server's own WAL under the primary's LSN.
@@ -390,6 +414,15 @@ class Server {
   /// gauge numerator).
   std::atomic<uint64_t> replication_primary_durable_{0};
   std::atomic<uint64_t> replication_errors_{0};
+  std::atomic<uint64_t> replication_reseeds_{0};
+  /// Promotion epoch (fencing; see DESIGN.md, "Durability and
+  /// replication"). Starts
+  /// at 1, raised by recovery/replication to the max epoch ever seen, and
+  /// bumped by `Promote` (which also appends a durable epoch-marker record).
+  /// A WalShip caller announcing a *newer* epoch proves this server was
+  /// demoted by a failover it never saw: the request is refused instead of
+  /// acked.
+  std::atomic<uint64_t> wal_epoch_{1};
 };
 
 }  // namespace vz::net

@@ -81,6 +81,9 @@ bool IsKnownMessageType(uint32_t type) {
     case MsgType::kSnapshotLoad:
     case MsgType::kPing:
     case MsgType::kWalShip:
+    case MsgType::kRepSync:
+    case MsgType::kSvsFeatureMap:
+    case MsgType::kCheckpointFetch:
       return true;
   }
   return false;
@@ -575,6 +578,7 @@ void EncodeMonitorStats(io::BinaryWriter* writer,
   writer->WriteU64(stats.serving.wal_last_lsn);
   writer->WriteU64(stats.serving.wal_durable_lsn);
   writer->WriteU64(stats.serving.replication_lag_records);
+  writer->WriteU64(stats.serving.replication_reseeds);
   writer->WriteU64(stats.serving.connections.size());
   for (const ConnectionInfo& conn : stats.serving.connections) {
     writer->WriteU64(conn.id);
@@ -583,6 +587,16 @@ void EncodeMonitorStats(io::BinaryWriter* writer,
     writer->WriteU64(conn.bytes_in);
     writer->WriteU64(conn.bytes_out);
     writer->WriteU64(conn.rpcs);
+  }
+  writer->WriteU64(stats.serving.shards.size());
+  for (const ShardHealthInfo& shard : stats.serving.shards) {
+    writer->WriteString(shard.host);
+    writer->WriteU32(shard.port);
+    writer->WriteU32(static_cast<uint32_t>(shard.state));
+    writer->WriteU64(shard.consecutive_failures);
+    writer->WriteI64(shard.rep_staleness_ms);
+    writer->WriteU64(shard.rep_entries);
+    writer->WriteU64(shard.cameras);
   }
 }
 
@@ -634,6 +648,7 @@ StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
   VZ_ASSIGN_OR_RETURN(stats.serving.wal_durable_lsn, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(stats.serving.replication_lag_records,
                       reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(stats.serving.replication_reseeds, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(uint64_t num_connections, reader->ReadU64());
   // Six fixed-width fields per registry entry.
   VZ_RETURN_IF_ERROR(CheckCount(*reader, num_connections, 6 * sizeof(uint64_t)));
@@ -647,6 +662,26 @@ StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
     VZ_ASSIGN_OR_RETURN(conn.bytes_out, reader->ReadU64());
     VZ_ASSIGN_OR_RETURN(conn.rpcs, reader->ReadU64());
     stats.serving.connections.push_back(conn);
+  }
+  VZ_ASSIGN_OR_RETURN(uint64_t num_shards, reader->ReadU64());
+  // Host string prefix, two u32s and four u64s per shard row.
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, num_shards,
+                                5 * sizeof(uint64_t) + 2 * sizeof(uint32_t)));
+  stats.serving.shards.reserve(num_shards);
+  for (uint64_t i = 0; i < num_shards; ++i) {
+    ShardHealthInfo shard;
+    VZ_ASSIGN_OR_RETURN(shard.host, reader->ReadString());
+    VZ_ASSIGN_OR_RETURN(shard.port, reader->ReadU32());
+    VZ_ASSIGN_OR_RETURN(uint32_t state, reader->ReadU32());
+    if (state > static_cast<uint32_t>(ShardState::kUnreachable)) {
+      return Status::InvalidArgument("invalid shard state value");
+    }
+    shard.state = static_cast<ShardState>(state);
+    VZ_ASSIGN_OR_RETURN(shard.consecutive_failures, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(shard.rep_staleness_ms, reader->ReadI64());
+    VZ_ASSIGN_OR_RETURN(shard.rep_entries, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(shard.cameras, reader->ReadU64());
+    stats.serving.shards.push_back(std::move(shard));
   }
   return stats;
 }
@@ -684,6 +719,7 @@ void EncodeWalShipRequest(io::BinaryWriter* writer,
   writer->WriteU64(request.from_lsn);
   writer->WriteU32(request.max_records);
   writer->WriteU32(request.wait_ms);
+  writer->WriteU64(request.epoch);
 }
 
 StatusOr<WalShipRequest> DecodeWalShipRequest(io::BinaryReader* reader) {
@@ -691,17 +727,20 @@ StatusOr<WalShipRequest> DecodeWalShipRequest(io::BinaryReader* reader) {
   VZ_ASSIGN_OR_RETURN(request.from_lsn, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(request.max_records, reader->ReadU32());
   VZ_ASSIGN_OR_RETURN(request.wait_ms, reader->ReadU32());
+  VZ_ASSIGN_OR_RETURN(request.epoch, reader->ReadU64());
   return request;
 }
 
 void EncodeWalShipReply(io::BinaryWriter* writer, const WalShipReply& reply) {
   writer->WriteU64(reply.durable_lsn);
+  writer->WriteU64(reply.epoch);
   writer->WriteU64(reply.records.size());
   for (const io::WalRecord& record : reply.records) {
     writer->WriteU64(record.lsn);
     writer->WriteU64(record.session_id);
     writer->WriteU64(record.sequence);
     writer->WriteU32(record.op);
+    writer->WriteU64(record.epoch);
     writer->WriteLengthPrefixedBytes(record.payload);
   }
 }
@@ -709,10 +748,11 @@ void EncodeWalShipReply(io::BinaryWriter* writer, const WalShipReply& reply) {
 StatusOr<WalShipReply> DecodeWalShipReply(io::BinaryReader* reader) {
   WalShipReply reply;
   VZ_ASSIGN_OR_RETURN(reply.durable_lsn, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(reply.epoch, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
-  // Three u64s, a u32 op, and the payload's own u64 length prefix.
+  // Four u64s, a u32 op, and the payload's own u64 length prefix.
   VZ_RETURN_IF_ERROR(
-      CheckCount(*reader, count, 4 * sizeof(uint64_t) + sizeof(uint32_t)));
+      CheckCount(*reader, count, 5 * sizeof(uint64_t) + sizeof(uint32_t)));
   reply.records.reserve(count);
   uint64_t previous_lsn = 0;
   for (uint64_t i = 0; i < count; ++i) {
@@ -721,6 +761,7 @@ StatusOr<WalShipReply> DecodeWalShipReply(io::BinaryReader* reader) {
     VZ_ASSIGN_OR_RETURN(record.session_id, reader->ReadU64());
     VZ_ASSIGN_OR_RETURN(record.sequence, reader->ReadU64());
     VZ_ASSIGN_OR_RETURN(record.op, reader->ReadU32());
+    VZ_ASSIGN_OR_RETURN(record.epoch, reader->ReadU64());
     VZ_ASSIGN_OR_RETURN(record.payload, reader->ReadLengthPrefixedBytes());
     // The shipped batch must be a dense ascending LSN run — a gap here
     // would silently drop records on the standby.
@@ -730,6 +771,125 @@ StatusOr<WalShipReply> DecodeWalShipReply(io::BinaryReader* reader) {
     previous_lsn = record.lsn;
     reply.records.push_back(std::move(record));
   }
+  return reply;
+}
+
+void EncodeWeightedCenter(io::BinaryWriter* writer,
+                          const core::WeightedCenter& center) {
+  EncodeFeatureVector(writer, center.center);
+  writer->WriteF64(center.weight);
+  writer->WriteF64(center.boundary);
+  writer->WriteF64(center.mean_member_distance);
+  writer->WriteI64(center.last_hit_ms);
+}
+
+StatusOr<core::WeightedCenter> DecodeWeightedCenter(io::BinaryReader* reader) {
+  core::WeightedCenter center;
+  VZ_ASSIGN_OR_RETURN(center.center, DecodeFeatureVector(reader));
+  VZ_ASSIGN_OR_RETURN(center.weight, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(center.boundary, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(center.mean_member_distance, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(center.last_hit_ms, reader->ReadI64());
+  return center;
+}
+
+void EncodeRepresentative(io::BinaryWriter* writer,
+                          const core::Representative& rep) {
+  writer->WriteU64(rep.centers().size());
+  for (const core::WeightedCenter& center : rep.centers()) {
+    EncodeWeightedCenter(writer, center);
+  }
+}
+
+StatusOr<core::Representative> DecodeRepresentative(io::BinaryReader* reader) {
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  // An empty center still costs its vector length prefix plus three f64s
+  // and an i64.
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, count, 5 * sizeof(uint64_t)));
+  std::vector<core::WeightedCenter> centers;
+  centers.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VZ_ASSIGN_OR_RETURN(core::WeightedCenter center,
+                        DecodeWeightedCenter(reader));
+    centers.push_back(std::move(center));
+  }
+  return core::Representative(std::move(centers));
+}
+
+void EncodeRepEntry(io::BinaryWriter* writer,
+                    const core::InterCameraIndex::RepEntry& entry) {
+  writer->WriteString(entry.camera);
+  writer->WriteU64(entry.intra_cluster_index);
+  EncodeFeatureMap(writer, entry.map);
+  EncodeRepresentative(writer, entry.rep);
+}
+
+StatusOr<core::InterCameraIndex::RepEntry> DecodeRepEntry(
+    io::BinaryReader* reader) {
+  core::InterCameraIndex::RepEntry entry;
+  VZ_ASSIGN_OR_RETURN(entry.camera, reader->ReadString());
+  VZ_ASSIGN_OR_RETURN(uint64_t intra_cluster_index, reader->ReadU64());
+  entry.intra_cluster_index = static_cast<size_t>(intra_cluster_index);
+  VZ_ASSIGN_OR_RETURN(entry.map, DecodeFeatureMap(reader));
+  VZ_ASSIGN_OR_RETURN(entry.rep, DecodeRepresentative(reader));
+  return entry;
+}
+
+void EncodeRepSyncRequest(io::BinaryWriter* writer,
+                          const RepSyncRequest& request) {
+  writer->WriteU64(request.since_version);
+}
+
+StatusOr<RepSyncRequest> DecodeRepSyncRequest(io::BinaryReader* reader) {
+  RepSyncRequest request;
+  VZ_ASSIGN_OR_RETURN(request.since_version, reader->ReadU64());
+  return request;
+}
+
+void EncodeRepSyncReply(io::BinaryWriter* writer, const RepSyncReply& reply) {
+  writer->WriteU64(reply.version);
+  writer->WriteU8(reply.unchanged ? 1 : 0);
+  writer->WriteU64(reply.entries.size());
+  for (const core::InterCameraIndex::RepEntry& entry : reply.entries) {
+    EncodeRepEntry(writer, entry);
+  }
+}
+
+StatusOr<RepSyncReply> DecodeRepSyncReply(io::BinaryReader* reader) {
+  RepSyncReply reply;
+  VZ_ASSIGN_OR_RETURN(reply.version, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint8_t unchanged, reader->ReadU8());
+  reply.unchanged = unchanged != 0;
+  VZ_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  // Camera string prefix + cluster index + map count + center count.
+  VZ_RETURN_IF_ERROR(CheckCount(*reader, count, 4 * sizeof(uint64_t)));
+  reply.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VZ_ASSIGN_OR_RETURN(core::InterCameraIndex::RepEntry entry,
+                        DecodeRepEntry(reader));
+    reply.entries.push_back(std::move(entry));
+  }
+  if (reply.unchanged && !reply.entries.empty()) {
+    return Status::InvalidArgument("unchanged RepSync reply carries entries");
+  }
+  return reply;
+}
+
+void EncodeCheckpointFetchReply(io::BinaryWriter* writer,
+                                const CheckpointFetchReply& reply) {
+  writer->WriteU64(reply.lsn);
+  writer->WriteU64(reply.epoch);
+  writer->WriteLengthPrefixedBytes(reply.snapshot_bytes);
+  writer->WriteLengthPrefixedBytes(reply.meta_bytes);
+}
+
+StatusOr<CheckpointFetchReply> DecodeCheckpointFetchReply(
+    io::BinaryReader* reader) {
+  CheckpointFetchReply reply;
+  VZ_ASSIGN_OR_RETURN(reply.lsn, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(reply.epoch, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(reply.snapshot_bytes, reader->ReadLengthPrefixedBytes());
+  VZ_ASSIGN_OR_RETURN(reply.meta_bytes, reader->ReadLengthPrefixedBytes());
   return reply;
 }
 

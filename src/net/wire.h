@@ -8,7 +8,9 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "core/frame.h"
+#include "core/inter_camera_index.h"
 #include "core/query.h"
+#include "core/representative.h"
 #include "core/svs.h"
 #include "core/videozilla.h"
 #include "io/binary_format.h"
@@ -56,7 +58,16 @@ inline constexpr uint32_t kWireMagic = 0x565A5250;  // "VZRP"
 /// and the Monitor reply's serving stats carry the durability counters
 /// (WAL appends/fsyncs/replays/salvage, checkpoint count, LSN frontiers,
 /// replication lag, server role).
-inline constexpr uint32_t kProtocolVersion = 3;
+///
+/// v4: sharded deployment. `kRepSync` ships an edge's inter-camera
+/// representative entries to a coordinator, `kSvsFeatureMap` fetches one
+/// stored SVS's feature map (cross-shard clustering queries), and
+/// `kCheckpointFetch` ships the newest checkpoint pair (standby re-seed
+/// after compaction outran its cursor). `kWalShip` carries a promotion
+/// epoch in both directions — the fencing token that refuses a demoted
+/// primary — and the Monitor reply's serving stats carry a coordinator's
+/// per-shard health table.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// Upper bound on a frame payload; a length field beyond this is rejected
 /// before any allocation (it is either corruption the CRC would also catch
@@ -90,6 +101,19 @@ enum class MsgType : uint32_t {
   /// primary release acks waiting on replication. Token-free: re-reading a
   /// log window is harmless.
   kWalShip = 16,
+  /// Representative sync (v4): a coordinator asks an edge for its
+  /// inter-camera representative entries. The request carries the index
+  /// version of the last sync; an unchanged index answers with a small
+  /// "unchanged" reply instead of re-shipping every entry. Token-free.
+  kRepSync = 17,
+  /// Fetch one stored SVS's feature map by id (v4) — how a coordinator
+  /// resolves the target of a by-id clustering query that lives on another
+  /// shard. Token-free.
+  kSvsFeatureMap = 18,
+  /// Fetch the newest valid checkpoint pair (snapshot + manifest bytes) of
+  /// a WAL-backed server (v4) — the standby re-seed path once compaction
+  /// has outrun its replication cursor. Token-free.
+  kCheckpointFetch = 19,
 };
 
 inline constexpr uint32_t kResponseFlag = 0x80000000u;
@@ -219,6 +243,34 @@ struct ConnectionInfo {
   uint64_t rpcs = 0;
 };
 
+/// Shard health ladder (v4), as maintained by a coordinator's EdgeRegistry
+/// and surfaced through its Monitor reply. Values are wire-stable.
+enum class ShardState : uint32_t {
+  /// Answering RPCs, representatives fresh: full fan-out member.
+  kHealthy = 0,
+  /// Answering RPCs but representatives stale past the staleness bound
+  /// (or first errors seen): still fanned out, flagged for operators.
+  kDegraded = 1,
+  /// Consecutive failures crossed the threshold: evicted from fan-out,
+  /// probed with seeded backoff until it answers again.
+  kUnreachable = 2,
+};
+
+/// One edge shard's row in the coordinator's Monitor reply.
+struct ShardHealthInfo {
+  std::string host;
+  uint32_t port = 0;
+  ShardState state = ShardState::kHealthy;
+  /// Consecutive RPC failures (resets on any success).
+  uint64_t consecutive_failures = 0;
+  /// Milliseconds since the last successful rep-sync; -1 = never synced.
+  int64_t rep_staleness_ms = -1;
+  /// Representative entries currently held for this shard.
+  uint64_t rep_entries = 0;
+  /// Cameras known to live on this shard (from its CameraHealth report).
+  uint64_t cameras = 0;
+};
+
 /// The serving role a server reports in its Monitor reply (v3).
 enum class ServerRole : uint32_t {
   /// Accepting client traffic; the authority for its WAL.
@@ -256,7 +308,12 @@ struct ServingStats {
   uint64_t wal_durable_lsn = 0;
   /// Standby only: durable primary records not yet applied locally.
   uint64_t replication_lag_records = 0;
+  /// Standby only (v4): automatic checkpoint re-seeds after compaction
+  /// outran the replication cursor.
+  uint64_t replication_reseeds = 0;
   std::vector<ConnectionInfo> connections;
+  /// Coordinator only (v4): the per-shard health table (empty on edges).
+  std::vector<ShardHealthInfo> shards;
 };
 
 /// Body of the Monitor RPC: the system-wide gauges an operator dashboard
@@ -295,6 +352,12 @@ struct WalShipRequest {
   uint64_t from_lsn = 0;
   uint32_t max_records = 0;
   uint32_t wait_ms = 0;
+  /// The caller's promotion epoch (v4). A primary refuses requests from a
+  /// caller with a *newer* epoch (`kFailedPrecondition`): it has been
+  /// demoted by a failover it never saw, and acking the request would
+  /// double-apply history the new primary already owns. 0 = unknown (a
+  /// fresh standby that has not yet learned an epoch) and always passes.
+  uint64_t epoch = 0;
 };
 
 void EncodeWalShipRequest(io::BinaryWriter* writer,
@@ -305,11 +368,67 @@ StatusOr<WalShipRequest> DecodeWalShipRequest(io::BinaryReader* reader);
 /// report zero lag) plus the shipped records in LSN order.
 struct WalShipReply {
   uint64_t durable_lsn = 0;
+  /// The server's promotion epoch (v4); a standby adopts the max of its own
+  /// and every reply's, so fencing survives standby restarts.
+  uint64_t epoch = 0;
   std::vector<io::WalRecord> records;
 };
 
 void EncodeWalShipReply(io::BinaryWriter* writer, const WalShipReply& reply);
 StatusOr<WalShipReply> DecodeWalShipReply(io::BinaryReader* reader);
+
+// --- Sharded deployment (v4). See DESIGN.md, "Sharded deployment". ---
+
+void EncodeWeightedCenter(io::BinaryWriter* writer,
+                          const core::WeightedCenter& center);
+StatusOr<core::WeightedCenter> DecodeWeightedCenter(io::BinaryReader* reader);
+
+void EncodeRepresentative(io::BinaryWriter* writer,
+                          const core::Representative& rep);
+StatusOr<core::Representative> DecodeRepresentative(io::BinaryReader* reader);
+
+void EncodeRepEntry(io::BinaryWriter* writer,
+                    const core::InterCameraIndex::RepEntry& entry);
+StatusOr<core::InterCameraIndex::RepEntry> DecodeRepEntry(
+    io::BinaryReader* reader);
+
+/// Body of the RepSync RPC (v4). `since_version` is the edge's
+/// `index_version()` at the caller's last successful sync (0 = never
+/// synced: always ship).
+struct RepSyncRequest {
+  uint64_t since_version = 0;
+};
+
+void EncodeRepSyncRequest(io::BinaryWriter* writer,
+                          const RepSyncRequest& request);
+StatusOr<RepSyncRequest> DecodeRepSyncRequest(io::BinaryReader* reader);
+
+/// The reply: the edge's current index version and — unless the version
+/// still equals `since_version` — the full representative entry set (edges
+/// ship state, not deltas: replacement is idempotent and self-healing).
+struct RepSyncReply {
+  uint64_t version = 0;
+  bool unchanged = false;
+  std::vector<core::InterCameraIndex::RepEntry> entries;
+};
+
+void EncodeRepSyncReply(io::BinaryWriter* writer, const RepSyncReply& reply);
+StatusOr<RepSyncReply> DecodeRepSyncReply(io::BinaryReader* reader);
+
+/// Body of the CheckpointFetch RPC (v4): the newest valid checkpoint pair,
+/// shipped as raw file bytes (the caller writes them into its own WAL
+/// directory and restores through the normal recovery path).
+struct CheckpointFetchReply {
+  uint64_t lsn = 0;
+  uint64_t epoch = 0;
+  std::string snapshot_bytes;  // checkpoint-<lsn>.vzss
+  std::string meta_bytes;      // checkpoint-<lsn>.meta
+};
+
+void EncodeCheckpointFetchReply(io::BinaryWriter* writer,
+                                const CheckpointFetchReply& reply);
+StatusOr<CheckpointFetchReply> DecodeCheckpointFetchReply(
+    io::BinaryReader* reader);
 
 }  // namespace vz::net
 

@@ -174,6 +174,30 @@ Status Deployment::IngestAll(core::VideoZilla* system) {
   return system->Flush();
 }
 
+std::vector<std::vector<core::CameraId>> Deployment::PartitionCameras(
+    size_t shards) const {
+  std::vector<std::vector<core::CameraId>> parts(std::max<size_t>(1, shards));
+  for (size_t i = 0; i < cameras_.size(); ++i) {
+    parts[i % parts.size()].push_back(cameras_[i].camera);
+  }
+  return parts;
+}
+
+Status Deployment::IngestShard(core::VideoZilla* system,
+                               const std::vector<core::CameraId>& cameras) {
+  for (const core::CameraId& camera : cameras) {
+    VZ_RETURN_IF_ERROR(system->CameraStart(camera));
+  }
+  for (const core::FrameObservation& obs : observations()) {
+    if (std::find(cameras.begin(), cameras.end(), obs.camera) ==
+        cameras.end()) {
+      continue;
+    }
+    VZ_RETURN_IF_ERROR(system->IngestFrame(obs));
+  }
+  return system->Flush();
+}
+
 FeatureVector Deployment::MakeQueryFeature(int object_class, Rng* rng) const {
   // Query images are deliberate, well-cropped examples of the object of
   // interest; extractor confusion still applies (Sec. 7.4's fire-hydrant /

@@ -110,6 +110,19 @@ class Deployment {
   /// yet), then flushes.
   Status IngestAll(core::VideoZilla* system);
 
+  /// Splits the camera fleet over `shards` edges, round-robin in camera
+  /// order, so a sharded deployment covers every camera exactly once and
+  /// the assignment is a pure function of the deployment (every process —
+  /// edges, coordinator, tests — derives the same split independently).
+  std::vector<std::vector<core::CameraId>> PartitionCameras(
+      size_t shards) const;
+
+  /// `IngestAll` restricted to `cameras` (one shard of `PartitionCameras`):
+  /// starts only those cameras, replays only their observations in the
+  /// global timestamp order, then flushes.
+  Status IngestShard(core::VideoZilla* system,
+                     const std::vector<core::CameraId>& cameras);
+
   /// A query feature for an object of `object_class` — "an image containing
   /// the object of interest" (Sec. 5.2) passed through the extractor.
   FeatureVector MakeQueryFeature(int object_class, Rng* rng) const;

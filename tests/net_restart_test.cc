@@ -530,5 +530,197 @@ TEST(NetFailoverTest, SeededKillMidIngestFailsOverWithZeroLossNoDoubleApply) {
   }
 }
 
+// Drill 5 (regression, fencing): after a failover the demoted primary may
+// come back unaware it lost. Promotion bumped the epoch to 2; the moment
+// anything at epoch 2 talks to the revived epoch-1 server over WalShip it
+// must be refused with kFailedPrecondition — the zombie cannot serve a
+// replication stream the cluster has moved past.
+TEST(NetRestartTest, DemotedPrimaryIsFencedByPromotionEpoch) {
+  const std::string primary_dir = TempPath("fencing_primary_wal");
+  const std::string standby_dir = TempPath("fencing_standby_wal");
+  RemoveDirAll(primary_dir);
+  RemoveDirAll(standby_dir);
+  sim::Deployment deployment(SmallDeployment());
+  const auto& observations = deployment.observations();
+  ASSERT_GE(observations.size(), 8u);
+
+  VideoZilla primary_system(SmallSystemOptions());
+  ServerOptions primary_options;
+  primary_options.wal_dir = primary_dir;
+  primary_options.wal_fsync_interval_ms = 0;
+  Server primary(&primary_system, primary_options);
+  ASSERT_TRUE(primary.Start().ok());
+  EXPECT_EQ(primary.stats().wal_epoch, 1u);
+
+  VideoZilla standby_system(SmallSystemOptions());
+  ServerOptions standby_options;
+  standby_options.wal_dir = standby_dir;
+  standby_options.wal_fsync_interval_ms = 0;
+  standby_options.standby_of_host = "127.0.0.1";
+  standby_options.standby_of_port = primary.port();
+  standby_options.replication_poll_ms = 25;
+  Server standby(&standby_system, standby_options);
+  ASSERT_TRUE(standby.Start().ok());
+
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = 1'000;
+  client_options.io_timeout_ms = 2'000;
+  client_options.session_id = 5151;
+  client_options.backoff_seed = 7;
+  auto connected =
+      Client::Connect("127.0.0.1", primary.port(), client_options);
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(*connected);
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(client.CameraStart(info.camera).ok());
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.IngestFrame(observations[i]).ok());
+  }
+  ASSERT_TRUE(client.Flush().ok());
+  const uint64_t primary_last = primary.stats().wal_last_lsn;
+  while (standby.stats().wal_last_lsn < primary_last) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // --- Failover: the primary dies, the standby takes over at epoch 2. ---
+  primary.Kill();
+  ASSERT_TRUE(standby.Promote().ok());
+  EXPECT_EQ(standby.role(), ServerRole::kPromoted);
+  EXPECT_EQ(standby.stats().wal_epoch, 2u);
+
+  // --- The demoted primary restarts from its own WAL, still at epoch 1,
+  // --- on a fresh port (its old one may be contested). ---
+  VideoZilla revived_system(SmallSystemOptions());
+  Server revived(&revived_system, primary_options);
+  ASSERT_TRUE(revived.Start().ok());
+  EXPECT_EQ(revived.stats().wal_epoch, 1u);
+
+  auto fencing_connected =
+      Client::Connect("127.0.0.1", revived.port(), client_options);
+  ASSERT_TRUE(fencing_connected.ok());
+  Client fencing_client = std::move(*fencing_connected);
+
+  // Epoch 2 (what a post-failover standby would announce): fenced.
+  auto fenced = fencing_client.WalShip(0, 16, 0, /*epoch=*/2);
+  ASSERT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.status().code(), StatusCode::kFailedPrecondition);
+
+  // At or below the server's own epoch (and the 0 = unknown wildcard):
+  // the pre-failover flow still works.
+  EXPECT_TRUE(fencing_client.WalShip(0, 16, 0, /*epoch=*/1).ok());
+  EXPECT_TRUE(fencing_client.WalShip(0, 16, 0, /*epoch=*/0).ok());
+
+  fencing_client.Close();
+  client.Close();
+  revived.Shutdown();
+  standby.Shutdown();
+  RemoveDirAll(primary_dir);
+  RemoveDirAll(standby_dir);
+}
+
+// Drill 6 (regression, re-seed): a standby that starts tailing after the
+// primary's compaction already discarded the log prefix gets kOutOfRange
+// from WalShip. It must recover on its own — fetch the newest checkpoint
+// pair over the snapshot RPC, restore it, resume tailing from its LSN —
+// and still converge to the primary's exact state.
+TEST(NetRestartTest, LateStandbyReseedsFromCheckpointAfterCompaction) {
+  const std::string primary_dir = TempPath("reseed_primary_wal");
+  const std::string standby_dir = TempPath("reseed_standby_wal");
+  RemoveDirAll(primary_dir);
+  RemoveDirAll(standby_dir);
+  sim::Deployment deployment(SmallDeployment());
+  const auto& observations = deployment.observations();
+  ASSERT_GE(observations.size(), 16u);
+  const size_t midpoint = observations.size() / 2;
+
+  VideoZilla primary_system(SmallSystemOptions());
+  ServerOptions primary_options;
+  primary_options.wal_dir = primary_dir;
+  primary_options.wal_fsync_interval_ms = 0;
+  // Tiny thresholds: the first-half ingest triggers checkpoint + compaction,
+  // so the log no longer reaches back to LSN 0 by the time the standby
+  // appears.
+  primary_options.wal_segment_bytes = 4'096;
+  primary_options.wal_compact_bytes = 8'192;
+  Server primary(&primary_system, primary_options);
+  ASSERT_TRUE(primary.Start().ok());
+
+  ClientOptions client_options;
+  client_options.connect_timeout_ms = 2'000;
+  client_options.io_timeout_ms = 5'000;
+  client_options.max_reconnects = 100;
+  client_options.backoff_floor_ms = 5;
+  client_options.backoff_cap_ms = 50;
+  client_options.session_id = 6161;
+  client_options.backoff_seed = 9;
+  auto connected =
+      Client::Connect("127.0.0.1", primary.port(), client_options);
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(*connected);
+
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(client.CameraStart(info.camera).ok());
+  }
+  for (size_t i = 0; i < midpoint; ++i) {
+    ASSERT_TRUE(client.IngestFrame(observations[i]).ok());
+    // Periodic flushes give the compaction trigger its chance to fire.
+    if (i % 16 == 15) {
+      ASSERT_TRUE(client.Flush().ok());
+    }
+  }
+  ASSERT_TRUE(client.Flush().ok());
+  ASSERT_GE(primary.stats().wal_checkpoints, 1u)
+      << "compaction never ran; thresholds too large for this deployment";
+
+  // --- The standby starts late: its replication cursor (LSN 0) predates
+  // --- the compaction horizon. ---
+  VideoZilla standby_system(SmallSystemOptions());
+  ServerOptions standby_options;
+  standby_options.port = primary.port();  // promotion target: same endpoint
+  standby_options.wal_dir = standby_dir;
+  standby_options.wal_fsync_interval_ms = 0;
+  standby_options.standby_of_host = "127.0.0.1";
+  standby_options.standby_of_port = primary.port();
+  standby_options.replication_poll_ms = 25;
+  Server standby(&standby_system, standby_options);
+  ASSERT_TRUE(standby.Start().ok());
+
+  for (size_t i = midpoint; i < observations.size(); ++i) {
+    ASSERT_TRUE(client.IngestFrame(observations[i]).ok());
+  }
+  ASSERT_TRUE(client.Flush().ok());
+
+  Rng rng(11);
+  const FeatureVector query = deployment.MakeQueryFeature(0, &rng);
+  auto expected = client.DirectQuery(query);
+  ASSERT_TRUE(expected.ok());
+
+  const uint64_t primary_last = primary.stats().wal_last_lsn;
+  while (standby.stats().wal_last_lsn < primary_last) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(standby.stats().replication_reseeds, 1u);
+
+  // The re-seeded standby is a faithful replica: promote it onto the
+  // primary's endpoint and the same client sees the same answers.
+  primary.Kill();
+  ASSERT_TRUE(standby.Promote().ok());
+  EXPECT_EQ(standby_system.ingest_stats().duplicates_dropped, 0u);
+  EXPECT_EQ(standby_system.ingest_stats().out_of_order_dropped, 0u);
+  EXPECT_EQ(standby_system.svs_store().size(),
+            primary_system.svs_store().size());
+  auto replica = client.DirectQuery(query);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+  EXPECT_EQ(replica->candidate_svss, expected->candidate_svss);
+  EXPECT_EQ(replica->matched_svss, expected->matched_svss);
+  EXPECT_EQ(replica->total_gpu_ms, expected->total_gpu_ms);
+
+  client.Close();
+  standby.Shutdown();
+  RemoveDirAll(primary_dir);
+  RemoveDirAll(standby_dir);
+}
+
 }  // namespace
 }  // namespace vz::net
