@@ -10,8 +10,10 @@
 // JSON object per row alongside the usual table.
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -250,6 +252,165 @@ int main() {
                          kQueryRequests, [&](size_t c, size_t) {
                            return sharded[c].DirectQuery(query).ok();
                          }));
+  }
+
+  // --- Protocol v5: per-frame vs batched ingest, and push delivery. ---
+  // Fresh systems per row: the rig's system is already populated and its
+  // per-camera monotone-timestamp guard would reject replayed frames. The
+  // frames carry no detections, so both rows pay identical (near-zero)
+  // ingest compute and the comparison isolates the per-RPC wire overhead —
+  // the thing kIngestBatch amortizes. (With real detection-laden frames the
+  // wire all but disappears behind segment-finalization compute, which the
+  // core benches price.)
+  const core::CameraId ingest_camera = rig.deployment.cameras().front().camera;
+  const size_t ingest_frames = 4'096;
+  constexpr size_t kIngestBatch = 16;
+  std::vector<core::FrameObservation> wire_frames;
+  wire_frames.reserve(ingest_frames);
+  for (size_t i = 0; i < ingest_frames; ++i) {
+    core::FrameObservation frame;
+    frame.camera = ingest_camera;
+    frame.timestamp_ms = static_cast<int64_t>(i) * 1'000;
+    frame.frame_id = static_cast<int64_t>(i);
+    wire_frames.push_back(frame);
+  }
+  double per_frame_fps = 0.0;
+  double batched_fps = 0.0;
+  for (int batched = 0; batched < 2; ++batched) {
+    core::VideoZilla ingest_system(bench::BenchVzOptions());
+    net::Server ingest_server(&ingest_system, net::ServerOptions{});
+    if (Status s = ingest_server.Start(); !s.ok()) {
+      std::fprintf(stderr, "ingest server start failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    auto ingest_client_or =
+        net::Client::Connect("127.0.0.1", ingest_server.port());
+    if (!ingest_client_or.ok()) {
+      std::fprintf(stderr, "ingest connect failed: %s\n",
+                   ingest_client_or.status().ToString().c_str());
+      return 1;
+    }
+    net::Client ingest_client = std::move(*ingest_client_or);
+    if (Status s = ingest_client.CameraStart(ingest_camera); !s.ok()) {
+      std::fprintf(stderr, "camera start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    Row row;
+    if (batched == 0) {
+      row = RunWorkload("ingest_frame", "loopback", 1, ingest_frames,
+                        [&](size_t, size_t r) {
+                          return ingest_client.IngestFrame(wire_frames[r])
+                              .ok();
+                        });
+      per_frame_fps = row.reqs_per_sec;
+    } else {
+      row = RunWorkload(
+          "ingest_batch16", "loopback", 1, ingest_frames / kIngestBatch,
+          [&](size_t, size_t r) {
+            std::vector<core::FrameObservation> batch(
+                wire_frames.begin() + static_cast<long>(r * kIngestBatch),
+                wire_frames.begin() +
+                    static_cast<long>((r + 1) * kIngestBatch));
+            auto reply = ingest_client.IngestBatch(batch);
+            return reply.ok() && reply->rejected == 0;
+          });
+      batched_fps = row.reqs_per_sec * static_cast<double>(kIngestBatch);
+    }
+    PrintRow(row);
+    ingest_client.Close();
+    ingest_server.Shutdown();
+  }
+  std::printf("\nbatched ingest: %.2fx frames/sec over per-frame "
+              "(%.0f vs %.0f)\n",
+              per_frame_fps > 0 ? batched_fps / per_frame_fps : 0.0,
+              batched_fps, per_frame_fps);
+
+  // Subscribe delivery latency: time from the segment-finalizing ingest RPC
+  // leaving one client to the match push arriving on another client's
+  // connection. Each round ingests a single frame far past t_max so the
+  // open segment finalizes immediately; push_poll_ms=1 so the row prices
+  // the engine + wire rather than the drain poll. reqs/sec is left 0 — this
+  // is an event-latency row, not a throughput row.
+  {
+    core::VideoZilla push_system(bench::BenchVzOptions());
+    net::ServerOptions push_options;
+    push_options.push_poll_ms = 1;
+    net::Server push_server(&push_system, push_options);
+    if (Status s = push_server.Start(); !s.ok()) {
+      std::fprintf(stderr, "push server start failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    auto subscriber_or = net::Client::Connect("127.0.0.1", push_server.port());
+    auto ingester_or = net::Client::Connect("127.0.0.1", push_server.port());
+    if (!subscriber_or.ok() || !ingester_or.ok()) {
+      std::fprintf(stderr, "push bench connect failed\n");
+      return 1;
+    }
+    net::Client subscriber = std::move(*subscriber_or);
+    net::Client ingester = std::move(*ingester_or);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Clock::time_point> arrivals;
+    net::SubscribeRequest request;
+    request.query = query;
+    request.threshold = 1e12;  // match-all: the row times delivery, not eval
+    auto sub_id =
+        subscriber.Subscribe(request, [&](const net::PushEvent&) {
+          std::lock_guard<std::mutex> lock(mu);
+          arrivals.push_back(Clock::now());
+          cv.notify_all();
+        });
+    if (!sub_id.ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   sub_id.status().ToString().c_str());
+      return 1;
+    }
+    const core::CameraId camera = rig.deployment.cameras().front().camera;
+    if (Status s = ingester.CameraStart(camera); !s.ok()) {
+      std::fprintf(stderr, "camera start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    constexpr size_t kPushRounds = 64;
+    std::vector<double> push_latencies;
+    int64_t ts = 0;
+    for (size_t r = 0; r <= kPushRounds; ++r, ts += 300'000) {
+      size_t before = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        before = arrivals.size();
+      }
+      core::FrameObservation frame;
+      frame.camera = camera;
+      frame.timestamp_ms = ts;
+      frame.frame_id = 10'000'000 + static_cast<int64_t>(r);
+      core::DetectedObject object;
+      object.feature = query;
+      frame.objects.push_back(object);
+      const Clock::time_point t0 = Clock::now();
+      if (!ingester.IngestFrame(frame).ok()) break;
+      if (r == 0) continue;  // the first frame only opens the segment
+      std::unique_lock<std::mutex> lock(mu);
+      if (!cv.wait_for(lock, std::chrono::seconds(5),
+                       [&] { return arrivals.size() > before; })) {
+        break;
+      }
+      push_latencies.push_back(ToMs(arrivals[before] - t0));
+    }
+    std::sort(push_latencies.begin(), push_latencies.end());
+    Row row;
+    row.workload = "push_latency";
+    row.transport = "loopback";
+    row.clients = 1;
+    row.requests = push_latencies.size();
+    row.p50_ms = Percentile(&push_latencies, 0.50);
+    row.p99_ms = Percentile(&push_latencies, 0.99);
+    PrintRow(row);
+    subscriber.Close();
+    ingester.Close();
+    push_server.Shutdown();
   }
 
   const net::CoordinatorStats coord_stats = coordinator.stats();

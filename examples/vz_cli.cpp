@@ -7,19 +7,31 @@
 //          [--minutes M] [--query CLASS]... [--mode hierarchical|intra|flat]
 //          [--save PATH] [--load PATH] [--seed S]
 //          [--deadline-ms D] [--max-inflight N] [--connect HOST:PORT]
+//          [--subscribe CLASS|all] [--sub-threshold T] [--sub-camera NAME]...
+//          [--watch-seconds S] [--tune-boundary-scale X] [--tune-omd-alpha A]
+//          [--tune-index-mode MODE] [--tune-keyframe on|off]
 //
 // Examples:
 //   vz_cli --downtown 4 --harbors 2 --minutes 6 --query boat --query train
 //   vz_cli --load snapshot.vzss --query fire_hydrant
 //   vz_cli --connect 127.0.0.1:9400 --query boat
+//   vz_cli --connect 127.0.0.1:9400 --subscribe boat --watch-seconds 60
+//   vz_cli --connect 127.0.0.1:9400 --tune-boundary-scale 1.5
 //
 // In connect mode the deployment flags must match the server's (both sides
 // regenerate the same simulated world); ingestion streams over the wire
 // unless the server already holds data, and --save/--load trigger
-// server-local snapshots.
+// server-local snapshots. --subscribe registers a standing query over
+// protocol v5 and prints match pushes as the server finalizes segments —
+// run it in one terminal while another vz_cli (or any ingest source) feeds
+// the server. --tune-* sends a kAdminTune RPC and prints the echoed
+// settings.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/videozilla.h"
@@ -56,6 +68,15 @@ struct CliOptions {
   // Remote mode: drive a vz_server at host:port instead of an in-process
   // instance.
   std::string connect;
+  // Standing query (connect mode only): object class name, or "all".
+  std::string subscribe_class;
+  double sub_threshold = 1e12;
+  std::vector<std::string> sub_cameras;
+  int64_t watch_seconds = 30;
+  // kAdminTune knobs (connect mode only); unset fields are left untouched
+  // server-side.
+  vz::net::AdminTuneRequest tune;
+  bool has_tune = false;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -97,6 +118,42 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->load_path = value;
     } else if (arg == "--connect" && (value = next_value(&i))) {
       options->connect = value;
+    } else if (arg == "--subscribe" && (value = next_value(&i))) {
+      if (std::string(value) != "all" && ClassByName(value) < 0) {
+        std::fprintf(stderr, "unknown object class: %s\n", value);
+        return false;
+      }
+      options->subscribe_class = value;
+    } else if (arg == "--sub-threshold" && (value = next_value(&i))) {
+      options->sub_threshold = std::atof(value);
+    } else if (arg == "--sub-camera" && (value = next_value(&i))) {
+      options->sub_cameras.push_back(value);
+    } else if (arg == "--watch-seconds" && (value = next_value(&i))) {
+      options->watch_seconds = std::atoll(value);
+    } else if (arg == "--tune-boundary-scale" && (value = next_value(&i))) {
+      options->tune.boundary_scale = std::atof(value);
+      options->has_tune = true;
+    } else if (arg == "--tune-omd-alpha" && (value = next_value(&i))) {
+      options->tune.omd_alpha = std::atof(value);
+      options->has_tune = true;
+    } else if (arg == "--tune-index-mode" && (value = next_value(&i))) {
+      const std::string mode = value;
+      if (mode == "hierarchical") {
+        options->tune.index_mode = 0;
+      } else if (mode == "intra") {
+        options->tune.index_mode = 1;
+      } else if (mode == "flatsvs") {
+        options->tune.index_mode = 2;
+      } else if (mode == "flat") {
+        options->tune.index_mode = 3;
+      } else {
+        std::fprintf(stderr, "unknown index mode: %s\n", value);
+        return false;
+      }
+      options->has_tune = true;
+    } else if (arg == "--tune-keyframe" && (value = next_value(&i))) {
+      options->tune.keyframe_selection = std::strcmp(value, "on") == 0;
+      options->has_tune = true;
     } else if (arg == "--help") {
       return false;
     } else {
@@ -140,6 +197,88 @@ int RunConnected(vz::sim::Deployment* deployment, const CliOptions& cli) {
     std::fprintf(stderr,
                  "--mode is server-side configuration; ignored in connect "
                  "mode\n");
+  }
+
+  if (cli.has_tune) {
+    auto tuned = client.AdminTune(cli.tune);
+    if (!tuned.ok()) {
+      std::fprintf(stderr, "admin tune failed: %s\n",
+                   tuned.status().ToString().c_str());
+      return 1;
+    }
+    static const char* kModeNames[] = {"hierarchical", "intra", "flatsvs",
+                                       "flat"};
+    std::printf("tuned: index_mode=%s boundary_scale=%.3f omd_alpha=%.3f "
+                "keyframe=%s inter_groups=%llu intra_clusters=%llu\n",
+                tuned->index_mode < 4 ? kModeNames[tuned->index_mode] : "?",
+                tuned->boundary_scale, tuned->omd_alpha,
+                tuned->keyframe_selection ? "on" : "off",
+                static_cast<unsigned long long>(tuned->inter_group_count),
+                static_cast<unsigned long long>(tuned->intra_cluster_count));
+  }
+
+  if (!cli.subscribe_class.empty()) {
+    // Standing-query mode: no ingest, no one-shot queries — register the
+    // subscription and print pushes as the server finalizes segments.
+    Rng sub_rng(cli.seed ^ 0x5B);
+    net::SubscribeRequest request;
+    const bool match_all = cli.subscribe_class == "all";
+    request.query = deployment->MakeQueryFeature(
+        match_all ? 0 : ClassByName(cli.subscribe_class), &sub_rng);
+    request.threshold = match_all ? 1e12 : cli.sub_threshold;
+    if (!cli.sub_cameras.empty()) {
+      request.has_camera_filter = true;
+      request.cameras = cli.sub_cameras;
+    }
+    request.want_stats = true;  // index-version updates ride along
+    std::atomic<uint64_t> pushes{0};
+    auto sub_id = client.Subscribe(request, [&](const net::PushEvent& event) {
+      switch (event.kind) {
+        case net::PushKind::kMatch:
+          std::printf("push #%llu: match svs %lld  %-20s %5llds - %5llds  "
+                      "distance %.3f\n",
+                      static_cast<unsigned long long>(event.sequence),
+                      static_cast<long long>(event.svs_id),
+                      event.camera.c_str(),
+                      static_cast<long long>(event.start_ms / 1000),
+                      static_cast<long long>(event.end_ms / 1000),
+                      event.distance);
+          break;
+        case net::PushKind::kIndexUpdate:
+          std::printf("push #%llu: index version %llu\n",
+                      static_cast<unsigned long long>(event.sequence),
+                      static_cast<unsigned long long>(event.index_version));
+          break;
+        case net::PushKind::kGap:
+          std::printf("push #%llu: GAP — %llu events dropped (slow "
+                      "consumer)\n",
+                      static_cast<unsigned long long>(event.sequence),
+                      static_cast<unsigned long long>(event.dropped));
+          break;
+      }
+      std::fflush(stdout);
+      pushes.fetch_add(1);
+    });
+    if (!sub_id.ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   sub_id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("subscribed (id %llu): standing query '%s', threshold %g%s; "
+                "watching %llds (feed the server from another terminal)\n",
+                static_cast<unsigned long long>(*sub_id),
+                cli.subscribe_class.c_str(), request.threshold,
+                cli.sub_cameras.empty() ? "" : ", camera-filtered",
+                static_cast<long long>(cli.watch_seconds));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(cli.watch_seconds));
+    if (Status s = client.Unsubscribe(*sub_id); !s.ok()) {
+      std::fprintf(stderr, "unsubscribe failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("unsubscribed after %llu pushes\n",
+                static_cast<unsigned long long>(pushes.load()));
+    return 0;
   }
 
   if (!cli.load_path.empty()) {
@@ -294,7 +433,17 @@ int main(int argc, char** argv) {
                  "[--harbors N] [--minutes M] [--query CLASS]... "
                  "[--mode hierarchical|intra|flatsvs|flat] [--save PATH] "
                  "[--load PATH] [--seed S] [--deadline-ms D] "
-                 "[--max-inflight N] [--connect HOST:PORT]\n");
+                 "[--max-inflight N] [--connect HOST:PORT] "
+                 "[--subscribe CLASS|all] [--sub-threshold T] "
+                 "[--sub-camera NAME]... [--watch-seconds S] "
+                 "[--tune-boundary-scale X] [--tune-omd-alpha A] "
+                 "[--tune-index-mode MODE] [--tune-keyframe on|off]\n");
+    return 2;
+  }
+  if (cli.connect.empty() && (!cli.subscribe_class.empty() || cli.has_tune)) {
+    std::fprintf(stderr,
+                 "--subscribe and --tune-* require --connect: standing "
+                 "queries and admin tuning are server-side features\n");
     return 2;
   }
 

@@ -197,6 +197,72 @@ Status SendAll(int fd, const void* data, size_t size, int64_t timeout_ms) {
   return Status::OK();
 }
 
+Status SendAllV(int fd, const ConstBuffer* buffers, size_t count,
+                int64_t timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  // A local iovec copy: sendmsg may accept a partial byte count, after which
+  // the consumed prefix must be advanced without mutating the caller's view.
+  constexpr size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  size_t next = 0;  // first caller buffer not yet loaded into iov
+  size_t live = 0;  // iov entries still carrying unsent bytes
+  while (next < count || live > 0) {
+    // Top up the iovec window from the caller's buffer list.
+    while (live < kMaxIov && next < count) {
+      if (buffers[next].size > 0) {
+        iov[live].iov_base =
+            const_cast<void*>(buffers[next].data);
+        iov[live].iov_len = buffers[next].size;
+        ++live;
+      }
+      ++next;
+    }
+    if (live == 0) break;  // remaining buffers were all empty
+    if (timeout_ms >= 0) {
+      VZ_RETURN_IF_ERROR(PollUntil(fd, POLLOUT, timeout_ms, start, "send"));
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = live;
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::DataLoss(ErrnoMessage("sendmsg"));
+    }
+    // Advance past the accepted prefix, compacting the iovec window.
+    size_t accepted = static_cast<size_t>(n);
+    size_t drop = 0;
+    while (drop < live && accepted >= iov[drop].iov_len) {
+      accepted -= iov[drop].iov_len;
+      ++drop;
+    }
+    if (drop < live && accepted > 0) {
+      iov[drop].iov_base = static_cast<char*>(iov[drop].iov_base) + accepted;
+      iov[drop].iov_len -= accepted;
+    }
+    if (drop > 0) {
+      for (size_t i = drop; i < live; ++i) iov[i - drop] = iov[i];
+      live -= drop;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> WaitWritable(int fd, int64_t timeout_ms) {
+  pollfd pfd{fd, POLLOUT, 0};
+  const int timeout = timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Status::Internal(ErrnoMessage("poll"));
+  if (rc == 0) return false;
+  // POLLHUP/POLLERR count as writable: the next send() observes the
+  // close/reset and reports it precisely.
+  return true;
+}
+
 Status RecvExact(int fd, void* data, size_t size, int64_t timeout_ms) {
   const auto start = std::chrono::steady_clock::now();
   char* p = static_cast<char*>(data);

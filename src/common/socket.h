@@ -78,6 +78,26 @@ StatusOr<bool> WaitReadable(int fd, int64_t timeout_ms);
 /// the other end, the serving layer's slow-client signal.
 Status SendAll(int fd, const void* data, size_t size, int64_t timeout_ms = -1);
 
+/// One buffer of a gathered send.
+struct ConstBuffer {
+  const void* data = nullptr;
+  size_t size = 0;
+};
+
+/// Gathered (writev-style) send: writes every buffer, in order, as one
+/// kernel-visible byte stream, looping over partial sends and EINTR. One
+/// sendmsg syscall per kernel acceptance instead of one per buffer — the
+/// framing layer uses this to push a batch of frames without concatenating
+/// them first. Timeout and error semantics match `SendAll`.
+Status SendAllV(int fd, const ConstBuffer* buffers, size_t count,
+                int64_t timeout_ms = -1);
+
+/// Waits until `fd` is writable (or `timeout_ms` expires; 0 polls without
+/// blocking). True when writable. The push-delivery path uses a zero-timeout
+/// probe so a subscriber with a full receive window is skipped, never
+/// waited on.
+StatusOr<bool> WaitWritable(int fd, int64_t timeout_ms);
+
 /// Reads exactly `size` bytes into `data`, looping over partial receives.
 /// A clean close before the first byte is `kNotFound` (end of stream between
 /// messages — the caller decides whether that is an error); a close after a

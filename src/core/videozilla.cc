@@ -336,6 +336,15 @@ Status VideoZilla::HandleSegment(CameraPipeline* pipeline, Segment segment) {
     VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
     index_version_.fetch_add(1, std::memory_order_acq_rel);
   }
+
+  // Standing queries see the segment only once it is fully stored and
+  // indexed. The observer must be non-blocking (it runs on the ingest path);
+  // it also fires during WAL replay, which is harmless — no subscriptions
+  // exist before serving starts.
+  if (segment_observer_) {
+    VZ_ASSIGN_OR_RETURN(const Svs* stored, store_.Get(id));
+    segment_observer_(*stored);
+  }
   return Status::OK();
 }
 
@@ -888,7 +897,9 @@ StatusOr<SvsMetadata> VideoZilla::GetMetaData(SvsId id) const {
 }
 
 Status VideoZilla::SetInterGroupCount(std::optional<size_t> k) {
-  return inter_.SetForcedGroupCount(k);
+  VZ_RETURN_IF_ERROR(inter_.SetForcedGroupCount(k));
+  forced_inter_groups_ = k;
+  return Status::OK();
 }
 
 Status VideoZilla::SetIntraClusterCount(std::optional<size_t> k) {
@@ -899,6 +910,7 @@ Status VideoZilla::SetIntraClusterCount(std::optional<size_t> k) {
     VZ_RETURN_IF_ERROR(inter_.UpdateCamera(pipeline->index));
     index_version_.fetch_add(1, std::memory_order_acq_rel);
   }
+  forced_intra_clusters_ = k;
   return Status::OK();
 }
 

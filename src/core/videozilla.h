@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -282,15 +283,43 @@ class VideoZilla {
 
   /// Forces the inter-camera group count (nullopt = silhouette-chosen).
   Status SetInterGroupCount(std::optional<size_t> k);
+  std::optional<size_t> forced_inter_group_count() const {
+    return forced_inter_groups_;
+  }
 
   /// Forces every intra-camera cluster count and reclusters.
   Status SetIntraClusterCount(std::optional<size_t> k);
+  std::optional<size_t> forced_intra_cluster_count() const {
+    return forced_intra_clusters_;
+  }
 
   void SetBoundaryScale(double scale) { options_.boundary_scale = scale; }
   double boundary_scale() const { return options_.boundary_scale; }
 
   /// Adjusts the FastOMD threshold (1.0 = exact).
   void SetOmdAlpha(double alpha) { omd_.set_threshold_alpha(alpha); }
+  double omd_alpha() const { return omd_.options().threshold_alpha; }
+
+  /// Toggles ingestion-time key-frame selection (the live-tuning face of
+  /// `VideoZillaOptions::enable_keyframe_selection`). Takes effect on the
+  /// next ingested frame; already-buffered frames are unaffected.
+  void SetKeyframeSelection(bool enabled) {
+    options_.enable_keyframe_selection = enabled;
+  }
+  bool keyframe_selection() const {
+    return options_.enable_keyframe_selection;
+  }
+
+  /// Called with every newly finalized segment's SVS, after it is stored and
+  /// indexed — the subscription engine's incremental-evaluation hook. Runs
+  /// on the ingest path (under the serving layer's exclusive state lock when
+  /// driven over the wire), so the observer must be fast and non-blocking:
+  /// enqueue and return. Pass nullptr to clear. Not thread-safe against
+  /// concurrent ingest; set before serving starts or while quiesced.
+  using SegmentObserver = std::function<void(const Svs&)>;
+  void SetSegmentObserver(SegmentObserver observer) {
+    segment_observer_ = std::move(observer);
+  }
 
   // --- Introspection. ---
 
@@ -415,6 +444,11 @@ class VideoZilla {
   double spread_cache_ = 0.0;
   size_t spread_cache_svs_count_ = 0;
   std::atomic<uint64_t> index_version_{0};
+  SegmentObserver segment_observer_;
+  /// Last forced counts applied through the Set*Count knobs (nullopt =
+  /// auto), echoed by the AdminTune RPC.
+  std::optional<size_t> forced_inter_groups_;
+  std::optional<size_t> forced_intra_clusters_;
 };
 
 }  // namespace vz::core

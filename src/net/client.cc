@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
+#include <unordered_map>
 
 namespace vz::net {
 
@@ -61,19 +65,110 @@ int64_t BackoffDelayMs(const ClientOptions& options, int64_t hint_ms,
   return delay;
 }
 
+struct Client::PendingCall {
+  bool done = false;
+  uint32_t type = 0;
+  std::string payload;
+};
+
+struct Client::ConnCore {
+  UniqueFd fd;
+  /// Set before the reader starts, immutable after: this connection speaks
+  /// v5 framing (correlation ids, reader-thread demux, pushes).
+  bool v5 = false;
+  int64_t io_timeout_ms = -1;
+  /// Serializes frame writes (requests from concurrent callers).
+  std::mutex write_mu;
+  /// Guards everything below.
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Terminal stream status once non-OK: the reader exited and every
+  /// current and future call on this connection fails with it.
+  Status broken = Status::OK();
+  uint64_t next_correlation = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending;
+  /// Correlation id of a Subscribe RPC -> its push callback.
+  std::unordered_map<uint64_t, PushCallback> push_callbacks;
+  /// Subscription id -> owning correlation, for Unsubscribe cleanup.
+  std::unordered_map<uint64_t, uint64_t> subscription_corr;
+  std::thread reader;
+
+  ~ConnCore() {
+    // Normal teardown joins via Client::DropConn; this is the backstop for
+    // a core torn down by destruction order (e.g. Connect failing late).
+    if (reader.joinable()) {
+      if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
+      reader.join();
+    }
+  }
+};
+
+struct Client::Shared {
+  /// Guards stats, the token sequence, the jitter stream, and the client's
+  /// `core_` pointer swap.
+  std::mutex mu;
+  /// Serializes handshakes among concurrent callers, so one dropped
+  /// connection produces one reconnect, not a thundering herd of them.
+  std::mutex reconnect_mu;
+  uint64_t next_sequence = 1;
+  int64_t last_shed_hint_ms = 0;
+  ClientCallStats stats;
+  Rng rng;
+
+  explicit Shared(uint64_t seed) : rng(seed) {}
+};
+
 Client::Client(std::string host, uint16_t port, const ClientOptions& options)
     : host_(std::move(host)),
       port_(port),
       options_(options),
       session_id_(options.session_id != 0 ? options.session_id
                                           : GenerateSessionId()),
-      backoff_rng_(options.backoff_seed != 0 ? options.backoff_seed
-                                             : SplitMix64(session_id_)) {}
+      shared_(std::make_unique<Shared>(options.backoff_seed != 0
+                                           ? options.backoff_seed
+                                           : SplitMix64(session_id_))) {}
+
+Client::~Client() {
+  if (shared_ != nullptr) Close();
+}
+
+// Out of line so `Shared`/`ConnCore` are complete where these instantiate.
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+void Client::Close() { DropConn(conn()); }
+
+std::shared_ptr<Client::ConnCore> Client::conn() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return core_;
+}
+
+void Client::DropConn(const std::shared_ptr<ConnCore>& core) {
+  if (core == nullptr) return;
+  std::shared_ptr<ConnCore> victim;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (core_ == core) victim = std::move(core_);
+  }
+  if (victim == nullptr) return;  // a racing caller already dropped it
+  // Shut the socket down first: that wakes a reader blocked in recv, which
+  // then fails all pending calls and exits, making the join below bounded.
+  if (victim->fd.valid()) ::shutdown(victim->fd.get(), SHUT_RDWR);
+  if (victim->reader.joinable()) victim->reader.join();
+}
+
+ClientCallStats Client::call_stats() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->stats;
+}
 
 void Client::SleepBackoff(int64_t hint_ms, size_t attempt) {
-  const int64_t delay =
-      BackoffDelayMs(options_, hint_ms, attempt, &backoff_rng_);
-  call_stats_.backoff_ms_total += delay;
+  int64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    delay = BackoffDelayMs(options_, hint_ms, attempt, &shared_->rng);
+    shared_->stats.backoff_ms_total += delay;
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(delay));
 }
 
@@ -91,12 +186,20 @@ StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
     // else is final.
     if (status.code() == StatusCode::kResourceExhausted) {
       if (shed_attempt >= options.max_shed_retries) return status;
-      client.call_stats_.shed_retries++;
-      client.SleepBackoff(client.last_shed_hint_ms_, shed_attempt++);
+      int64_t hint = 0;
+      {
+        std::lock_guard<std::mutex> lock(client.shared_->mu);
+        client.shared_->stats.shed_retries++;
+        hint = client.shared_->last_shed_hint_ms;
+      }
+      client.SleepBackoff(hint, shed_attempt++);
       continue;
     }
     if (IsTransportFailure(status.code())) {
-      client.call_stats_.transport_failures++;
+      {
+        std::lock_guard<std::mutex> lock(client.shared_->mu);
+        client.shared_->stats.transport_failures++;
+      }
       if (reconnects_used >= options.max_reconnects) return status;
       client.SleepBackoff(0, reconnects_used++);
       continue;
@@ -109,23 +212,23 @@ Status Client::Handshake() {
   const int64_t io_timeout =
       options_.io_timeout_ms > 0 ? options_.io_timeout_ms : -1;
   auto connected = TcpConnect(host_, port_, options_.connect_timeout_ms);
-  if (!connected.ok()) {
-    fd_.Reset();
-    return connected.status();
-  }
-  fd_ = std::move(*connected);
+  if (!connected.ok()) return connected.status();
+  auto core = std::make_shared<ConnCore>();
+  core->fd = std::move(*connected);
+  core->io_timeout_ms = io_timeout;
+  // The hello exchange ALWAYS uses the legacy framing, whatever version is
+  // being negotiated — that is what lets a v4 server read a v5 client's
+  // hello (and refuse it intelligibly) and vice versa.
   io::BinaryWriter hello;
-  hello.WriteU32(kProtocolVersion);
-  if (Status s = WriteFrame(fd_.get(),
+  hello.WriteU32(options_.protocol_version);
+  if (Status s = WriteFrame(core->fd.get(),
                             static_cast<uint32_t>(MsgType::kHello),
                             hello.buffer(), io_timeout);
       !s.ok()) {
-    fd_.Reset();
     return s;
   }
-  auto response = ReadFrame(fd_.get(), io_timeout);
+  auto response = ReadFrame(core->fd.get(), io_timeout);
   if (!response.ok()) {
-    fd_.Reset();
     // As on the Call path: an unreadable response frame is stream
     // corruption, whatever decode error it produced — retryable transport.
     return response.status().code() == StatusCode::kInvalidArgument
@@ -135,12 +238,10 @@ Status Client::Handshake() {
   }
   io::BinaryReader reader(response->payload);
   auto wire_status = DecodeWireStatus(&reader);
-  if (!wire_status.ok()) {
-    fd_.Reset();
-    return wire_status.status();
-  }
+  if (!wire_status.ok()) return wire_status.status();
   if (wire_status->status.code() == StatusCode::kResourceExhausted) {
-    last_shed_hint_ms_ = wire_status->retry_after_ms;
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->last_shed_hint_ms = wire_status->retry_after_ms;
   }
   // The server reports its own version after the status, on success and on
   // version mismatch alike (sheds carry no version).
@@ -149,7 +250,6 @@ Status Client::Handshake() {
     if (version.ok()) server_protocol_version_ = *version;
   }
   if (!wire_status->status.ok()) {
-    fd_.Reset();
     // The server answers an unreadable request frame with a hello-typed
     // error carrying the decode status: on the hello path that surfaces
     // here. kDataLoss/kInvalidArgument therefore mean our hello got
@@ -164,18 +264,108 @@ Status Client::Handshake() {
     }
     return wire_status->status;
   }
+  if (options_.protocol_version >= 5) {
+    // Both sides switch to v5 framing after a successful v5 hello; from
+    // here every frame on this connection carries a correlation id and the
+    // reader thread owns the receive side.
+    core->v5 = true;
+    core->reader = std::thread([core] { ReaderLoop(core); });
+  }
+  std::shared_ptr<ConnCore> old;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    old = std::move(core_);
+    core_ = std::move(core);
+  }
+  if (old != nullptr && old->fd.valid()) {
+    ::shutdown(old->fd.get(), SHUT_RDWR);
+  }
+  // `old`'s destructor joins its reader if one was running.
   return Status::OK();
 }
 
-StatusOr<std::string> Client::CallOnce(MsgType type,
+void Client::ReaderLoop(std::shared_ptr<ConnCore> core) {
+  for (;;) {
+    // Block without a deadline: per-call deadlines are enforced by the
+    // waiters (cv.wait_for), and teardown wakes this recv via shutdown.
+    auto frame = ReadFrameV5(core->fd.get(), /*timeout_ms=*/-1);
+    if (!frame.ok()) {
+      Status broken = frame.status();
+      if (broken.code() == StatusCode::kNotFound) {
+        broken = Status::DataLoss("connection closed by server");
+      } else if (broken.code() == StatusCode::kInvalidArgument) {
+        broken = Status::DataLoss("response stream corrupted: " +
+                                  broken.message());
+      }
+      std::lock_guard<std::mutex> lock(core->mu);
+      core->broken = std::move(broken);
+      core->cv.notify_all();
+      return;
+    }
+    if (frame->type == static_cast<uint32_t>(MsgType::kPushEvent)) {
+      io::BinaryReader event_reader(frame->payload);
+      auto event = DecodePushEvent(&event_reader);
+      // A push whose CRC passed but whose payload does not decode is from a
+      // future schema we half-understand: drop the event, keep the stream
+      // (framing is intact). Pushes are at-most-once anyway.
+      if (!event.ok()) continue;
+      PushCallback callback;
+      {
+        std::lock_guard<std::mutex> lock(core->mu);
+        auto it = core->push_callbacks.find(frame->correlation);
+        // Unknown correlation: a push racing an unsubscribe. Drop it.
+        if (it != core->push_callbacks.end()) callback = it->second;
+      }
+      // Invoked outside the lock so the callback may issue (read-only) RPCs.
+      if (callback) callback(*event);
+      continue;
+    }
+    if (frame->correlation == 0) {
+      // A correlation-less error frame: the server could not read one of
+      // our frames (it answers with a legacy-correlation-0 hello-typed
+      // error) and is closing. Connection-fatal — no way to tell which
+      // in-flight call it refers to.
+      std::lock_guard<std::mutex> lock(core->mu);
+      core->broken = Status::Unavailable("server rejected a request frame");
+      core->cv.notify_all();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(core->mu);
+    auto it = core->pending.find(frame->correlation);
+    // Unknown correlation: the waiter abandoned the slot (deadline expired)
+    // before the response arrived. Drop it.
+    if (it == core->pending.end()) continue;
+    it->second->done = true;
+    it->second->type = frame->type;
+    it->second->payload = std::move(frame->payload);
+    core->pending.erase(it);
+    core->cv.notify_all();
+  }
+}
+
+StatusOr<std::shared_ptr<Client::ConnCore>> Client::EnsureConn() {
+  std::shared_ptr<ConnCore> core = conn();
+  if (core != nullptr) return core;
+  std::lock_guard<std::mutex> reconnect_lock(shared_->reconnect_mu);
+  core = conn();
+  if (core != nullptr) return core;
+  VZ_RETURN_IF_ERROR(Handshake());
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stats.reconnects++;
+  }
+  return conn();
+}
+
+StatusOr<std::string> Client::CallOnce(const std::shared_ptr<ConnCore>& core,
+                                       MsgType type,
                                        const std::string& payload,
                                        WireStatus* wire_status) {
-  if (!fd_.valid()) return Status::FailedPrecondition("not connected");
-  const int64_t io_timeout =
-      options_.io_timeout_ms > 0 ? options_.io_timeout_ms : -1;
-  VZ_RETURN_IF_ERROR(
-      WriteFrame(fd_.get(), static_cast<uint32_t>(type), payload, io_timeout));
-  auto response = ReadFrame(fd_.get(), io_timeout);
+  if (!core->fd.valid()) return Status::FailedPrecondition("not connected");
+  const int64_t io_timeout = core->io_timeout_ms;
+  VZ_RETURN_IF_ERROR(WriteFrame(core->fd.get(), static_cast<uint32_t>(type),
+                                payload, io_timeout));
+  auto response = ReadFrame(core->fd.get(), io_timeout);
   if (!response.ok()) {
     if (response.status().code() == StatusCode::kNotFound) {
       return Status::DataLoss("connection closed by server");
@@ -212,13 +402,92 @@ StatusOr<std::string> Client::CallOnce(MsgType type,
   return response->payload.substr(reader.position());
 }
 
+StatusOr<std::string> Client::CallOnceV5(const std::shared_ptr<ConnCore>& core,
+                                         MsgType type,
+                                         const std::string& payload,
+                                         WireStatus* wire_status,
+                                         const PushCallback* push_callback,
+                                         uint64_t* correlation_out) {
+  if (!core->fd.valid()) return Status::FailedPrecondition("not connected");
+  auto slot = std::make_shared<PendingCall>();
+  uint64_t correlation = 0;
+  {
+    std::lock_guard<std::mutex> lock(core->mu);
+    if (!core->broken.ok()) return core->broken;
+    correlation = core->next_correlation++;
+    core->pending.emplace(correlation, slot);
+    // Registered before the request is on the wire, so the first push can
+    // never outrun the registration.
+    if (push_callback != nullptr) {
+      core->push_callbacks.emplace(correlation, *push_callback);
+    }
+  }
+  if (correlation_out != nullptr) *correlation_out = correlation;
+  auto abandon_pending = [&] {
+    std::lock_guard<std::mutex> lock(core->mu);
+    core->pending.erase(correlation);
+  };
+  {
+    std::lock_guard<std::mutex> write_lock(core->write_mu);
+    if (Status s = WriteFrameV5(core->fd.get(), static_cast<uint32_t>(type),
+                                correlation, payload, core->io_timeout_ms);
+        !s.ok()) {
+      abandon_pending();
+      return s;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(core->mu);
+    auto ready = [&] { return slot->done || !core->broken.ok(); };
+    if (core->io_timeout_ms > 0) {
+      core->cv.wait_for(lock, std::chrono::milliseconds(core->io_timeout_ms),
+                        ready);
+    } else {
+      core->cv.wait(lock, ready);
+    }
+    if (!slot->done) {
+      const Status broken = core->broken;
+      core->pending.erase(correlation);
+      // Same contract as a blocking-read deadline on the legacy path: a
+      // response that missed its deadline is a transport failure.
+      return broken.ok() ? Status::Unavailable("response deadline expired")
+                         : broken;
+    }
+  }
+  const uint32_t expected = static_cast<uint32_t>(type) | kResponseFlag;
+  const uint32_t hello_error =
+      static_cast<uint32_t>(MsgType::kHello) | kResponseFlag;
+  if (slot->type == hello_error && type != MsgType::kHello) {
+    // Correlated hello-typed error: the server read the frame (correlation
+    // intact) but refused to dispatch its payload. Never processed —
+    // reconnect-retry safe.
+    io::BinaryReader error_reader(slot->payload);
+    auto error_status = DecodeWireStatus(&error_reader);
+    return Status::Unavailable(
+        "server rejected the request frame: " +
+        (error_status.ok() ? error_status->status.message()
+                           : "unreadable error response"));
+  }
+  if (slot->type != expected) {
+    return Status::DataLoss("response type mismatch");
+  }
+  io::BinaryReader reader(slot->payload);
+  VZ_ASSIGN_OR_RETURN(*wire_status, DecodeWireStatus(&reader));
+  return slot->payload.substr(reader.position());
+}
+
 StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
   // One token per logical call: retries re-send the same (session, sequence)
   // pair, which is what lets the server recognise and deduplicate them.
   std::string wire_payload;
   if (IsMutatingType(static_cast<uint32_t>(type))) {
+    uint64_t sequence = 0;
+    {
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      sequence = shared_->next_sequence++;
+    }
     io::BinaryWriter writer;
-    EncodeIdempotencyToken(&writer, {session_id_, next_sequence_++});
+    EncodeIdempotencyToken(&writer, {session_id_, sequence});
     wire_payload = writer.buffer() + payload;
   } else {
     wire_payload = payload;
@@ -230,35 +499,49 @@ StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
   size_t reconnects_used = 0;
   size_t shed_attempt = 0;
   for (;;) {
-    if (!fd_.valid()) {
-      Status status = Handshake();
-      if (!status.ok()) {
-        if (status.code() == StatusCode::kResourceExhausted &&
-            shed_attempt < options_.max_shed_retries) {
-          call_stats_.shed_retries++;
-          SleepBackoff(last_shed_hint_ms_, shed_attempt++);
-          continue;
+    auto ensured = EnsureConn();
+    if (!ensured.ok()) {
+      const Status status = ensured.status();
+      if (status.code() == StatusCode::kResourceExhausted &&
+          shed_attempt < options_.max_shed_retries) {
+        int64_t hint = 0;
+        {
+          std::lock_guard<std::mutex> lock(shared_->mu);
+          shared_->stats.shed_retries++;
+          hint = shared_->last_shed_hint_ms;
         }
-        if (IsTransportFailure(status.code()) &&
-            reconnects_used < options_.max_reconnects) {
-          call_stats_.transport_failures++;
-          SleepBackoff(0, reconnects_used);
-          ++reconnects_used;
-          continue;
-        }
-        return status;
+        SleepBackoff(hint, shed_attempt++);
+        continue;
       }
-      call_stats_.reconnects++;
+      if (IsTransportFailure(status.code()) &&
+          reconnects_used < options_.max_reconnects) {
+        {
+          std::lock_guard<std::mutex> lock(shared_->mu);
+          shared_->stats.transport_failures++;
+        }
+        SleepBackoff(0, reconnects_used);
+        ++reconnects_used;
+        continue;
+      }
+      return status;
     }
+    std::shared_ptr<ConnCore> core = *ensured;
     WireStatus wire_status;
-    call_stats_.requests_sent++;
-    auto body = CallOnce(type, wire_payload, &wire_status);
+    {
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      shared_->stats.requests_sent++;
+    }
+    auto body = core->v5 ? CallOnceV5(core, type, wire_payload, &wire_status)
+                         : CallOnce(core, type, wire_payload, &wire_status);
     if (!body.ok()) {
       // Transport failure: the connection is unusable; reconnect within
       // budget. The retry is exactly-once for mutating requests (same
       // token) and inherently safe for read-only ones.
-      call_stats_.transport_failures++;
-      fd_.Reset();
+      {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        shared_->stats.transport_failures++;
+      }
+      DropConn(core);
       if (reconnects_used < options_.max_reconnects) {
         ++reconnects_used;
         continue;
@@ -268,7 +551,10 @@ StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
     if (wire_status.status.ok()) return body;
     if (wire_status.status.code() == StatusCode::kResourceExhausted &&
         shed_attempt < options_.max_shed_retries) {
-      call_stats_.shed_retries++;
+      {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        shared_->stats.shed_retries++;
+      }
       SleepBackoff(wire_status.retry_after_ms, shed_attempt++);
       continue;
     }
@@ -279,8 +565,11 @@ StatusOr<std::string> Client::Call(MsgType type, const std::string& payload) {
       // connection, and never an ack: the op may or may not have applied,
       // and the resend carries the same token, so it is exactly-once either
       // way. Reconnect — the endpoint may come back as a promoted standby.
-      call_stats_.transport_failures++;
-      fd_.Reset();
+      {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        shared_->stats.transport_failures++;
+      }
+      DropConn(core);
       SleepBackoff(0, reconnects_used);
       ++reconnects_used;
       continue;
@@ -307,12 +596,92 @@ Status Client::IngestFrame(const core::FrameObservation& frame) {
   return Call(MsgType::kIngestFrame, writer.buffer()).status();
 }
 
+StatusOr<IngestBatchReply> Client::IngestBatch(
+    const std::vector<core::FrameObservation>& frames) {
+  io::BinaryWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(frames.size()));
+  for (const auto& frame : frames) EncodeFrameObservation(&writer, frame);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kIngestBatch, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeIngestBatchReply(&reader);
+}
+
 Status Client::Flush() { return Call(MsgType::kFlush, "").status(); }
 
 Status Client::Ping() {
   Status status = Call(MsgType::kPing, "").status();
-  if (status.ok()) call_stats_.pings_sent++;
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stats.pings_sent++;
+  }
   return status;
+}
+
+StatusOr<uint64_t> Client::Subscribe(const SubscribeRequest& request,
+                                     PushCallback callback) {
+  auto ensured = EnsureConn();
+  if (!ensured.ok()) return ensured.status();
+  std::shared_ptr<ConnCore> core = *ensured;
+  if (!core->v5) {
+    return Status::FailedPrecondition(
+        "Subscribe requires a protocol v5 connection (client pinned to v" +
+        std::to_string(options_.protocol_version) + ")");
+  }
+  io::BinaryWriter writer;
+  EncodeSubscribeRequest(&writer, request);
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stats.requests_sent++;
+  }
+  WireStatus wire_status;
+  uint64_t correlation = 0;
+  auto body = CallOnceV5(core, MsgType::kSubscribe, writer.buffer(),
+                         &wire_status, &callback, &correlation);
+  const Status failure = !body.ok() ? body.status() : wire_status.status;
+  if (!failure.ok()) {
+    std::lock_guard<std::mutex> lock(core->mu);
+    core->push_callbacks.erase(correlation);
+    return failure;
+  }
+  io::BinaryReader reader(std::move(*body));
+  auto subscription_id = reader.ReadU64();
+  if (!subscription_id.ok()) {
+    std::lock_guard<std::mutex> lock(core->mu);
+    core->push_callbacks.erase(correlation);
+    return subscription_id.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(core->mu);
+    core->subscription_corr.emplace(*subscription_id, correlation);
+  }
+  return *subscription_id;
+}
+
+Status Client::Unsubscribe(uint64_t subscription_id) {
+  std::shared_ptr<ConnCore> core = conn();
+  if (core == nullptr || !core->v5) {
+    return Status::FailedPrecondition(
+        "no v5 connection (subscriptions are connection-scoped)");
+  }
+  io::BinaryWriter writer;
+  writer.WriteU64(subscription_id);
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stats.requests_sent++;
+  }
+  WireStatus wire_status;
+  auto body =
+      CallOnceV5(core, MsgType::kUnsubscribe, writer.buffer(), &wire_status);
+  if (!body.ok()) return body.status();
+  if (!wire_status.status.ok()) return wire_status.status;
+  std::lock_guard<std::mutex> lock(core->mu);
+  auto it = core->subscription_corr.find(subscription_id);
+  if (it != core->subscription_corr.end()) {
+    core->push_callbacks.erase(it->second);
+    core->subscription_corr.erase(it);
+  }
+  return Status::OK();
 }
 
 StatusOr<core::DirectQueryResult> Client::DirectQuery(
@@ -373,6 +742,15 @@ StatusOr<core::QueryLoadStats> Client::QueryLoadStats() {
   VZ_ASSIGN_OR_RETURN(std::string body, Call(MsgType::kQueryLoadStats, ""));
   io::BinaryReader reader(std::move(body));
   return DecodeQueryLoadStats(&reader);
+}
+
+StatusOr<AdminTuneReply> Client::AdminTune(const AdminTuneRequest& request) {
+  io::BinaryWriter writer;
+  EncodeAdminTuneRequest(&writer, request);
+  VZ_ASSIGN_OR_RETURN(std::string body,
+                      Call(MsgType::kAdminTune, writer.buffer()));
+  io::BinaryReader reader(std::move(body));
+  return DecodeAdminTuneReply(&reader);
 }
 
 StatusOr<WalShipReply> Client::WalShip(uint64_t from_lsn,

@@ -2,6 +2,8 @@
 #define VZ_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +50,11 @@ struct ClientOptions {
   /// process-unique id. Pin it in tests (or to resume a session's dedup
   /// window across client restarts).
   uint64_t session_id = 0;
+  /// Protocol version announced in the Hello (v5 by default). Pin to 4 to
+  /// interoperate with a v4-only server: the connection then uses the
+  /// legacy framing and the strictly synchronous call path — no correlation
+  /// ids, no reader thread, and `Subscribe` is refused.
+  uint32_t protocol_version = kProtocolVersion;
 };
 
 /// Per-client counters, mostly for tests and diagnostics.
@@ -74,11 +81,23 @@ struct ClientCallStats {
 int64_t BackoffDelayMs(const ClientOptions& options, int64_t hint_ms,
                        size_t attempt, Rng* rng);
 
-/// Synchronous RPC client for the Video-zilla serving layer: one TCP
-/// connection, one in-flight request at a time (run several clients for
-/// concurrency — the protocol has no interleaving). `Connect` performs the
-/// version handshake; every RPC mirrors the corresponding `VideoZilla`
-/// method, so call sites can swap between in-process and remote execution.
+/// Invoked by the client's reader thread for every push frame delivered on
+/// a subscription (see `Client::Subscribe`). Runs on the reader thread, so
+/// it must not block for long — a stalled callback stalls response demux
+/// for the whole connection — and must not call `Close` or any RPC method
+/// that could tear down the connection (it would join its own thread).
+/// Read-only RPCs issued from a callback are safe.
+using PushCallback = std::function<void(const PushEvent&)>;
+
+/// RPC client for the Video-zilla serving layer. One TCP connection; on a
+/// v5 connection a background reader demultiplexes responses by correlation
+/// id, so multiple threads may issue RPCs concurrently over the same
+/// connection, and server-pushed `kPushEvent` frames are dispatched to the
+/// callbacks registered by `Subscribe`. With `protocol_version` pinned to 4
+/// the client behaves exactly like the legacy synchronous client (one
+/// in-flight request, no pushes). `Connect` performs the version handshake;
+/// every RPC mirrors the corresponding `VideoZilla` method, so call sites
+/// can swap between in-process and remote execution.
 ///
 /// Overload handling: a `kResourceExhausted` response (a shed query or a
 /// shed connection) is retried up to `max_shed_retries` times with capped,
@@ -90,19 +109,30 @@ int64_t BackoffDelayMs(const ClientOptions& options, int64_t hint_ms,
 /// (session id + per-call sequence) so those retries are exactly-once: the
 /// server deduplicates and replays instead of re-applying. All other errors
 /// are returned as-is.
+///
+/// Subscriptions are connection-scoped and do NOT survive reconnects: a
+/// transport drop silently ends every standing query (the server reclaims
+/// them on disconnect). A subscriber that needs continuity re-subscribes
+/// after a drop and treats the discontinuity like a gap marker.
 class Client {
  public:
   /// Connects, negotiates the protocol version, and returns a ready client.
   static StatusOr<Client> Connect(const std::string& host, uint16_t port,
                                   const ClientOptions& options = {});
 
-  Client(Client&&) = default;
-  Client& operator=(Client&&) = default;
+  ~Client();
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
 
   // --- Ingestion (mirrors VideoZilla). ---
   Status CameraStart(const core::CameraId& camera);
   Status CameraTerminate(const core::CameraId& camera);
   Status IngestFrame(const core::FrameObservation& frame);
+  /// N frames in one RPC under one idempotency token (v5): one round trip,
+  /// one WAL record. Per-frame rejections (unknown camera, stale frame id)
+  /// are counted in the reply, not errors — the batch as a whole succeeds.
+  StatusOr<IngestBatchReply> IngestBatch(
+      const std::vector<core::FrameObservation>& frames);
   Status Flush();
 
   // --- Queries. Deadlines in `constraints` travel on the wire and bound
@@ -117,10 +147,31 @@ class Client {
       const core::QueryConstraints& constraints = {});
   StatusOr<core::SvsMetadata> GetMetaData(core::SvsId id);
 
+  // --- Standing queries (v5). ---
+
+  /// Registers a standing query; the server pushes `PushEvent`s for it as
+  /// ingestion finalizes matching segments — no polling. `callback` runs on
+  /// the reader thread for every push (see `PushCallback` for its
+  /// contract). Returns the subscription id. Requires a v5 connection; does
+  /// not retry or reconnect (a lost connection voids the subscription
+  /// anyway).
+  StatusOr<uint64_t> Subscribe(const SubscribeRequest& request,
+                               PushCallback callback);
+  /// Cancels a standing query registered on this connection. Pushes already
+  /// in flight may still arrive briefly after this returns.
+  Status Unsubscribe(uint64_t subscription_id);
+
   // --- Stats / health. ---
   StatusOr<MonitorStatsReply> MonitorStats();
   StatusOr<std::vector<CameraHealthEntry>> CameraHealthReport();
   StatusOr<core::QueryLoadStats> QueryLoadStats();
+
+  /// Live index tuning (v5): applies the knobs of the performance monitor's
+  /// adjustment ladder (index mode, boundary scale, OMD alpha, keyframe
+  /// selection, forced group/cluster counts) and returns the server's
+  /// post-apply settings. Carries an idempotency token (exactly-once) but
+  /// is never WAL-logged — operator state does not replay.
+  StatusOr<AdminTuneReply> AdminTune(const AdminTuneRequest& request);
 
   /// Log shipping (standby side): fetches up to `max_records` WAL records
   /// with LSNs strictly above `from_lsn`, acknowledging everything at or
@@ -163,40 +214,73 @@ class Client {
   /// pinned via options).
   uint64_t session_id() const { return session_id_; }
 
-  const ClientCallStats& call_stats() const { return call_stats_; }
+  /// Snapshot of the per-client counters (copied under the stats lock, so
+  /// safe against concurrent calls).
+  ClientCallStats call_stats() const;
 
-  /// Closes the connection (also done by the destructor).
-  void Close() { fd_.Reset(); }
+  /// Closes the connection (also done by the destructor): shuts the socket
+  /// down, joins the reader thread, and voids every subscription. Must not
+  /// be called from a push callback.
+  void Close();
 
  private:
+  /// Per-connection state, shared with the v5 reader thread. Lives behind a
+  /// `shared_ptr` so the reader can outlive a `Close` racing a call, and so
+  /// the Client object itself stays movable while the thread runs.
+  struct ConnCore;
+  /// One in-flight v5 call's completion slot.
+  struct PendingCall;
+  /// Client-lifetime mutable state (token sequence, stats, jitter stream)
+  /// behind a pointer so concurrent calls synchronize on stable addresses
+  /// and the Client stays movable.
+  struct Shared;
+
   Client(std::string host, uint16_t port, const ClientOptions& options);
 
-  /// Opens the TCP connection and runs the Hello exchange.
+  /// Opens the TCP connection and runs the Hello exchange (always in legacy
+  /// framing); on a successful v5 handshake, switches the new connection to
+  /// v5 framing and starts its reader thread. Installs the connection.
   Status Handshake();
+  /// The current connection (null when disconnected).
+  std::shared_ptr<ConnCore> conn() const;
+  /// Retires `core` if it is still the current connection: socket shutdown,
+  /// reader joined, pending calls failed.
+  void DropConn(const std::shared_ptr<ConnCore>& core);
+  /// The v5 reader thread: demultiplexes response frames to their pending
+  /// calls by correlation id and dispatches push frames to subscription
+  /// callbacks.
+  static void ReaderLoop(std::shared_ptr<ConnCore> core);
+  /// The current connection, handshaking first if disconnected (one
+  /// attempt, no retry loop).
+  StatusOr<std::shared_ptr<ConnCore>> EnsureConn();
   /// Sends one request and returns the response payload with its wire
   /// status decoded; handles shed-backoff and reconnects. Mutating requests
   /// get an idempotency token prepended (the same token across retries of
   /// one call).
   StatusOr<std::string> Call(MsgType type, const std::string& payload);
-  /// One send/receive without retry logic.
-  StatusOr<std::string> CallOnce(MsgType type, const std::string& payload,
+  /// One synchronous send/receive on a legacy (v4) connection.
+  StatusOr<std::string> CallOnce(const std::shared_ptr<ConnCore>& core,
+                                 MsgType type, const std::string& payload,
                                  WireStatus* wire_status);
+  /// One multiplexed send/await on a v5 connection. When `push_callback` is
+  /// non-null it is registered under the call's correlation id BEFORE the
+  /// request is sent (so no push can outrun the registration); the caller
+  /// unregisters it if the call fails. `correlation_out` reports the
+  /// correlation id used.
+  StatusOr<std::string> CallOnceV5(const std::shared_ptr<ConnCore>& core,
+                                   MsgType type, const std::string& payload,
+                                   WireStatus* wire_status,
+                                   const PushCallback* push_callback = nullptr,
+                                   uint64_t* correlation_out = nullptr);
   void SleepBackoff(int64_t hint_ms, size_t attempt);
 
   std::string host_;
   uint16_t port_ = 0;
   ClientOptions options_;
-  UniqueFd fd_;
   uint32_t server_protocol_version_ = 0;
-  /// Retry-after hint from the most recent connection-level shed; seeds the
-  /// reconnect backoff.
-  int64_t last_shed_hint_ms_ = 0;
   uint64_t session_id_ = 0;
-  /// Sequence of the next mutating call. Bumped once per logical call;
-  /// retries re-send the same value.
-  uint64_t next_sequence_ = 1;
-  Rng backoff_rng_;
-  ClientCallStats call_stats_;
+  std::unique_ptr<Shared> shared_;
+  std::shared_ptr<ConnCore> core_;  // guarded by shared_->mu
 };
 
 }  // namespace vz::net

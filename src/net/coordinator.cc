@@ -52,7 +52,8 @@ Coordinator::Coordinator(const CoordinatorOptions& options)
       omd_(options.omd),
       inter_(&omd_, options.inter, Rng(options.seed ^ 0x1357)),
       edge_entries_(options.edges.size()),
-      idle_clients_(options.edges.size()) {}
+      idle_clients_(options.edges.size()),
+      watch_clients_(options.edges.size()) {}
 
 Coordinator::~Coordinator() { Shutdown(); }
 
@@ -71,6 +72,7 @@ Status Coordinator::Start() {
   VZ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
   stopping_.store(false);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  forward_thread_ = std::thread([this] { ForwardLoop(); });
   // Prime the registry and the representative index before the first query
   // can arrive; edges that are down simply start their ladder early.
   (void)SyncPass(/*respect_backoff=*/false);
@@ -106,6 +108,25 @@ void Coordinator::Shutdown() {
   for (std::future<void>& f : futures) {
     if (f.valid()) f.wait();
   }
+  push_cv_.notify_all();
+  if (forward_thread_.joinable()) forward_thread_.join();
+  // Connection handlers tore their own subscriptions down on exit; anything
+  // left (a handler killed past the drain deadline) is reclaimed here.
+  std::vector<std::shared_ptr<ClientSub>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    for (auto& [id, sub] : subs_by_id_) leftovers.push_back(sub);
+    subs_by_id_.clear();
+    subs_by_conn_.clear();
+  }
+  for (const auto& sub : leftovers) TeardownSub(sub);
+  {
+    // Dropping a watcher joins its reader thread and voids its edge-side
+    // stats subscription.
+    std::lock_guard<std::mutex> lock(pass_mu_);
+    watch_clients_ =
+        std::vector<std::unique_ptr<Client>>(options_.edges.size());
+  }
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
     for (auto& pool : idle_clients_) pool.clear();
@@ -137,6 +158,14 @@ CoordinatorStats Coordinator::stats() const {
     std::shared_lock<std::shared_mutex> lock(index_mu_);
     stats.rep_entries = inter_.size();
   }
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    stats.subscriptions_active = subs_by_id_.size();
+  }
+  stats.subscriptions_total = subscriptions_total_.load();
+  stats.pushes_forwarded = pushes_forwarded_.load();
+  stats.push_gaps_forwarded = push_gaps_forwarded_.load();
+  stats.rep_push_wakeups = rep_push_wakeups_.load();
   return stats;
 }
 
@@ -167,66 +196,122 @@ void Coordinator::AcceptLoop() {
     }
     ++active_connections_;
     active_fds_.push_back(fd.get());
+    auto shared = std::make_shared<ConnShared>();
+    shared->id = next_conn_id_++;
+    shared->fd = fd.get();
+    conns_by_id_.emplace(shared->id, shared);
     std::erase_if(connection_futures_, [](std::future<void>& f) {
       return !f.valid() ||
              f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
     });
-    connection_futures_.push_back(pool_->Submit(
-        [this, raw = fd.Release()]() mutable { HandleConnection(UniqueFd(raw)); }));
+    connection_futures_.push_back(
+        pool_->Submit([this, raw = fd.Release(), shared]() mutable {
+          HandleConnection(UniqueFd(raw), std::move(shared));
+        }));
   }
 }
 
-void Coordinator::HandleConnection(UniqueFd fd) {
+void Coordinator::HandleConnection(UniqueFd fd,
+                                   std::shared_ptr<ConnShared> conn) {
   bool hello_done = false;
   while (!stopping_.load()) {
     auto readable = WaitReadable(fd.get(), options_.idle_poll_ms);
     if (!readable.ok()) break;
     if (!*readable) continue;  // idle; re-check the stop flag
-    if (!ServeOneRequest(fd.get(), &hello_done)) break;
+    if (!ServeOneRequest(conn, &hello_done)) break;
   }
+  // Push teardown BEFORE the socket closes: `closed` flips under
+  // `write_mu`, and the forwarder re-checks it under the same lock, so no
+  // forwarded push can land on a recycled fd number.
+  {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    conn->closed.store(true);
+  }
+  DropSubscriptionsOf(conn->id);
   std::lock_guard<std::mutex> lock(mu_);
+  conns_by_id_.erase(conn->id);
   std::erase(active_fds_, fd.get());
   if (active_connections_ > 0) --active_connections_;
   if (active_connections_ == 0) drained_cv_.notify_all();
 }
 
-bool Coordinator::ServeOneRequest(int fd, bool* hello_done) {
+bool Coordinator::ServeOneRequest(const std::shared_ptr<ConnShared>& conn,
+                                  bool* hello_done) {
+  const int fd = conn->fd;
   const int64_t read_timeout =
       options_.read_timeout_ms > 0 ? options_.read_timeout_ms : -1;
   const int64_t write_timeout =
       options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
+  // The framing is fixed per exchange: a v5 Hello's own response still
+  // travels in legacy framing (the flag flips after it is written).
+  const bool v5 = conn->v5.load(std::memory_order_acquire);
 
-  auto request = ReadFrame(fd, read_timeout);
-  if (!request.ok()) {
-    if (request.status().code() != StatusCode::kNotFound &&
-        request.status().code() != StatusCode::kUnavailable) {
+  auto write_response = [&](uint32_t type, uint64_t correlation,
+                            const std::string& payload) {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    return v5 ? WriteFrameV5(fd, type, correlation, payload, write_timeout)
+              : WriteFrame(fd, type, payload, write_timeout);
+  };
+
+  uint64_t correlation = 0;
+  WireFrame request;
+  Status read_status;
+  if (v5) {
+    auto framed = ReadFrameV5(fd, read_timeout);
+    if (framed.ok()) {
+      correlation = framed->correlation;
+      request.type = framed->type;
+      request.payload = std::move(framed->payload);
+    } else {
+      read_status = framed.status();
+    }
+  } else {
+    auto framed = ReadFrame(fd, read_timeout);
+    if (framed.ok()) {
+      request = std::move(*framed);
+    } else {
+      read_status = framed.status();
+    }
+  }
+  if (!read_status.ok()) {
+    if (read_status.code() != StatusCode::kNotFound &&
+        read_status.code() != StatusCode::kUnavailable) {
       request_errors_.fetch_add(1);
-      (void)WriteFrame(
-          fd, static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
-          StatusOnlyResponse(request.status(), 0), write_timeout);
+      // On a v5 connection the request's correlation never arrived intact,
+      // so the error rides correlation 0 — connection-fatal for the client.
+      (void)write_response(
+          static_cast<uint32_t>(MsgType::kHello) | kResponseFlag, 0,
+          StatusOnlyResponse(read_status, 0));
     }
     return false;
   }
-  if ((request->type & kResponseFlag) != 0) {
+  if ((request.type & kResponseFlag) != 0 ||
+      request.type == static_cast<uint32_t>(MsgType::kPushEvent)) {
     request_errors_.fetch_add(1);
-    (void)WriteFrame(fd, request->type,
-                     StatusOnlyResponse(Status::InvalidArgument(
-                                            "response frame sent as request"),
-                                        0),
-                     write_timeout);
+    (void)write_response(request.type | kResponseFlag, correlation,
+                         StatusOnlyResponse(
+                             Status::InvalidArgument(
+                                 "response or push frame sent as request"),
+                             0));
     return false;
   }
 
   Status failure;
-  const std::string response = DispatchRequest(*request, hello_done, &failure);
+  const std::string response = DispatchRequest(request, conn.get(),
+                                               correlation, hello_done,
+                                               &failure);
   if (failure.ok()) {
     requests_served_.fetch_add(1);
   } else {
     request_errors_.fetch_add(1);
   }
-  if (!WriteFrame(fd, request->type | kResponseFlag, response, write_timeout)
+  if (!write_response(request.type | kResponseFlag, correlation, response)
            .ok()) {
     return false;
+  }
+  // A successful v5 Hello switches the framing from here on.
+  if (!v5 && conn->negotiated_v5) {
+    conn->v5.store(true, std::memory_order_release);
   }
   // Like Server: a protocol-ordering violation closes the connection after
   // the error response; RPC-level failures keep it open.
@@ -238,6 +323,8 @@ bool Coordinator::ServeOneRequest(int fd, bool* hello_done) {
 }
 
 std::string Coordinator::DispatchRequest(const WireFrame& request,
+                                         ConnShared* conn,
+                                         uint64_t correlation,
                                          bool* hello_done, Status* failure) {
   io::BinaryReader reader(request.payload);
   const MsgType type = static_cast<MsgType>(request.type);
@@ -250,14 +337,18 @@ std::string Coordinator::DispatchRequest(const WireFrame& request,
       return StatusOnlyResponse(*failure, 0);
     }
     io::BinaryWriter writer;
-    if (*version != kProtocolVersion) {
+    if (*version < kMinProtocolVersion || *version > kProtocolVersion) {
       *failure = Status::FailedPrecondition(
           "protocol version mismatch: client speaks v" +
           std::to_string(*version) + ", coordinator speaks v" +
+          std::to_string(kMinProtocolVersion) + "-v" +
           std::to_string(kProtocolVersion));
       EncodeWireStatus(&writer, {*failure, 0});
     } else {
       *hello_done = true;
+      // A v4 client keeps legacy framing for the whole connection; a v5
+      // client switches after this response is written.
+      conn->negotiated_v5 = *version >= 5;
       EncodeWireStatus(&writer, {Status::OK(), 0});
     }
     writer.WriteU32(kProtocolVersion);
@@ -266,6 +357,17 @@ std::string Coordinator::DispatchRequest(const WireFrame& request,
   if (!*hello_done) {
     *failure = Status::FailedPrecondition("first message must be Hello");
     return StatusOnlyResponse(*failure, 0);
+  }
+  if (type == MsgType::kSubscribe) {
+    return HandleSubscribe(conn, correlation, &reader, failure);
+  }
+  if (type == MsgType::kUnsubscribe) {
+    return HandleUnsubscribe(conn, &reader, failure);
+  }
+  if (type == MsgType::kAdminTune) {
+    // The one mutating RPC the coordinator forwards: index tuning is
+    // fleet-wide operator state, so it fans out to every eligible shard.
+    return HandleAdminTune(&reader, failure);
   }
   if (IsMutatingType(request.type)) {
     // The coordinator holds no video state: ingest, camera lifecycle and
@@ -311,6 +413,315 @@ std::string Coordinator::ExecuteRequest(MsgType type,
       "unhandled message type " +
       std::to_string(static_cast<uint32_t>(type)));
   return StatusOnlyResponse(*failure, 0);
+}
+
+// --- Standing-query fan-out. ---
+
+std::string Coordinator::HandleSubscribe(ConnShared* conn,
+                                         uint64_t correlation,
+                                         io::BinaryReader* reader,
+                                         Status* failure) {
+  auto spec = DecodeSubscribeRequest(reader);
+  if (!spec.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       spec.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+  if (!conn->v5.load(std::memory_order_acquire)) {
+    *failure = Status::FailedPrecondition(
+        "Subscribe requires protocol v5: push frames are multiplexed by "
+        "correlation id, which v4 framing cannot carry");
+    return StatusOnlyResponse(*failure, 0);
+  }
+
+  auto sub = std::make_shared<ClientSub>();
+  {
+    // The id is assigned BEFORE any edge subscription goes live, so the
+    // first push (which can race this handler) already remaps to it.
+    std::lock_guard<std::mutex> lock(push_mu_);
+    sub->id = next_sub_id_++;
+  }
+  sub->correlation = correlation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_by_id_.find(conn->id);
+    if (it != conns_by_id_.end()) sub->conn = it->second;
+  }
+  sub->edge_clients.resize(registry_.size());
+
+  // One dedicated v5 connection per eligible edge: pushes arrive on the
+  // connection that subscribed, so pooled (shared) clients cannot carry
+  // them. Zero reconnect budget — a silently reconnected client would have
+  // silently lost its subscription.
+  size_t subscribed = 0;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    if (!registry_.Eligible(i)) continue;
+    const EdgeEndpoint endpoint = registry_.endpoint(i);
+    ClientOptions client_options;
+    client_options.connect_timeout_ms = options_.edge_connect_timeout_ms;
+    client_options.io_timeout_ms = options_.edge_io_timeout_ms;
+    client_options.max_shed_retries = 1;
+    client_options.max_reconnects = 0;
+    auto connected =
+        Client::Connect(endpoint.host, endpoint.port, client_options);
+    if (!connected.ok()) {
+      registry_.RecordFailure(i, NowMs());
+      continue;
+    }
+    auto client = std::make_unique<Client>(std::move(*connected));
+    std::weak_ptr<ClientSub> weak = sub;
+    auto result = client->Subscribe(
+        *spec, [this, weak, shard = i](const PushEvent& event) {
+          OnEdgePush(weak, shard, event);
+        });
+    if (!result.ok()) {
+      if (IsEdgeTransportFailure(result.status().code())) {
+        registry_.RecordFailure(i, NowMs());
+      }
+      continue;  // the client closes on scope exit
+    }
+    registry_.RecordSuccess(i, NowMs());
+    sub->edge_clients[i] = std::move(client);
+    ++subscribed;
+  }
+  if (subscribed == 0) {
+    TeardownSub(sub);
+    *failure = Status::Unavailable(
+        "no eligible shard accepted the subscription");
+    return StatusOnlyResponse(*failure, 0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    subs_by_id_.emplace(sub->id, sub);
+    subs_by_conn_[conn->id].push_back(sub->id);
+  }
+  subscriptions_total_.fetch_add(1);
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  writer.WriteU64(sub->id);
+  return writer.buffer();
+}
+
+std::string Coordinator::HandleUnsubscribe(ConnShared* conn,
+                                           io::BinaryReader* reader,
+                                           Status* failure) {
+  auto id = reader->ReadU64();
+  if (!id.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       id.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+  std::shared_ptr<ClientSub> victim;
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    auto it = subs_by_id_.find(*id);
+    // A connection may only cancel its own subscriptions.
+    if (it == subs_by_id_.end() || it->second->conn == nullptr ||
+        it->second->conn->id != conn->id) {
+      *failure = Status::NotFound("unknown subscription id " +
+                                  std::to_string(*id));
+      return StatusOnlyResponse(*failure, 0);
+    }
+    victim = it->second;
+    subs_by_id_.erase(it);
+    auto conn_it = subs_by_conn_.find(conn->id);
+    if (conn_it != subs_by_conn_.end()) {
+      std::erase(conn_it->second, *id);
+      if (conn_it->second.empty()) subs_by_conn_.erase(conn_it);
+    }
+  }
+  // Outside push_mu_: closing the edge clients joins their reader threads.
+  TeardownSub(victim);
+  return StatusOnlyResponse(Status::OK(), 0);
+}
+
+std::string Coordinator::HandleAdminTune(io::BinaryReader* reader,
+                                         Status* failure) {
+  // The client stamped an idempotency token (kAdminTune is mutating); the
+  // coordinator keeps no dedup state of its own — each fan-out leg below
+  // carries its own token, and the edges deduplicate those.
+  auto token = DecodeIdempotencyToken(reader);
+  if (!token.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       token.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+  auto request = DecodeAdminTuneRequest(reader);
+  if (!request.ok()) {
+    *failure = Status::InvalidArgument("malformed payload: " +
+                                       request.status().message());
+    return StatusOnlyResponse(*failure, 0);
+  }
+  auto legs = FanOut<AdminTuneReply>(
+      EligibleSet(),
+      [&](Client* client) { return client->AdminTune(*request); });
+  // Every shard gets the same knobs, so any echo serves; a shard that
+  // refused (invalid knob) surfaces its error rather than being papered
+  // over by a quieter sibling.
+  const AdminTuneReply* echo = nullptr;
+  Status first_error = Status::OK();
+  for (const auto& leg : legs) {
+    if (!leg.consulted) continue;
+    if (leg.status.ok()) {
+      if (echo == nullptr) echo = &leg.result;
+    } else if (first_error.ok() &&
+               !IsEdgeTransportFailure(leg.status.code())) {
+      first_error = leg.status;
+    }
+  }
+  if (!first_error.ok()) {
+    *failure = first_error;
+    return StatusOnlyResponse(*failure, 0);
+  }
+  if (echo == nullptr) {
+    *failure = Status::Unavailable("no eligible shard applied the tuning");
+    return StatusOnlyResponse(*failure, 0);
+  }
+  io::BinaryWriter writer;
+  EncodeWireStatus(&writer, {Status::OK(), 0});
+  EncodeAdminTuneReply(&writer, *echo);
+  return writer.buffer();
+}
+
+void Coordinator::TeardownSub(const std::shared_ptr<ClientSub>& sub) {
+  // Closing a dedicated edge client joins its reader thread and voids the
+  // edge-side subscription (the edge reclaims it on disconnect).
+  for (auto& client : sub->edge_clients) {
+    if (client != nullptr) client->Close();
+  }
+  sub->edge_clients.clear();
+}
+
+void Coordinator::DropSubscriptionsOf(uint64_t conn_id) {
+  std::vector<std::shared_ptr<ClientSub>> victims;
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    auto it = subs_by_conn_.find(conn_id);
+    if (it == subs_by_conn_.end()) return;
+    for (uint64_t id : it->second) {
+      auto sit = subs_by_id_.find(id);
+      if (sit != subs_by_id_.end()) {
+        victims.push_back(sit->second);
+        subs_by_id_.erase(sit);
+      }
+    }
+    subs_by_conn_.erase(it);
+  }
+  for (const auto& sub : victims) TeardownSub(sub);
+}
+
+void Coordinator::OnEdgePush(const std::weak_ptr<ClientSub>& weak,
+                             size_t shard, const PushEvent& event) {
+  // Runs on the edge client's reader thread; must stay non-blocking.
+  std::shared_ptr<ClientSub> sub = weak.lock();
+  if (sub == nullptr) return;
+  ClientSub::Buffered buffered;
+  buffered.shard = shard;
+  buffered.edge_sequence = event.sequence;
+  buffered.event = event;
+  buffered.event.subscription_id = sub->id;
+  if (event.kind == PushKind::kMatch) {
+    buffered.event.svs_id = GlobalSvsId(shard, event.svs_id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    if (sub->buffer.size() >= options_.subscription_queue_capacity) {
+      // Drop-oldest with gap accounting, exactly like the edge engine; a
+      // dropped gap marker folds its own count in.
+      const PushEvent& oldest = sub->buffer.front().event;
+      sub->dropped_pending +=
+          oldest.kind == PushKind::kGap ? oldest.dropped : 1;
+      sub->buffer.pop_front();
+    }
+    sub->buffer.push_back(std::move(buffered));
+  }
+  push_cv_.notify_all();
+}
+
+void Coordinator::DeliverPending(const std::shared_ptr<ClientSub>& sub,
+                                 int64_t write_timeout) {
+  const std::shared_ptr<ConnShared> conn = sub->conn;
+  if (conn == nullptr || !conn->v5.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    if (sub->buffer.empty() && sub->dropped_pending == 0) return;
+  }
+  // Zero-timeout writability probe: a slow client is skipped this round,
+  // its buffer keeps absorbing (drop-oldest) — backpressure stays on it
+  // alone, never on the edge connections or other subscribers.
+  auto writable = WaitWritable(conn->fd, 0);
+  if (!writable.ok() || !*writable) return;
+  std::vector<PushEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    size_t budget = options_.subscription_max_drain;
+    if (sub->dropped_pending > 0 && budget > 0) {
+      PushEvent gap;
+      gap.subscription_id = sub->id;
+      gap.kind = PushKind::kGap;
+      gap.dropped = sub->dropped_pending;
+      sub->dropped_pending = 0;
+      events.push_back(std::move(gap));
+      --budget;
+    }
+    // Merge order is (shard index, edge sequence) — a pure function of the
+    // per-edge streams, never of callback arrival interleaving.
+    std::stable_sort(sub->buffer.begin(), sub->buffer.end(),
+                     [](const ClientSub::Buffered& a,
+                        const ClientSub::Buffered& b) {
+                       return a.shard != b.shard
+                                  ? a.shard < b.shard
+                                  : a.edge_sequence < b.edge_sequence;
+                     });
+    while (!sub->buffer.empty() && budget > 0) {
+      events.push_back(std::move(sub->buffer.front().event));
+      sub->buffer.pop_front();
+      --budget;
+    }
+    // Coordinator-level sequences are dense as delivered, so a subscriber
+    // can prove it saw every frame the coordinator sent.
+    for (PushEvent& event : events) event.sequence = sub->next_sequence++;
+  }
+  if (events.empty()) return;
+  std::vector<std::string> frames;
+  frames.reserve(events.size());
+  uint64_t gaps = 0;
+  for (const PushEvent& event : events) {
+    io::BinaryWriter writer;
+    EncodePushEvent(&writer, event);
+    if (event.kind == PushKind::kGap) ++gaps;
+    frames.push_back(EncodeFrameV5(static_cast<uint32_t>(MsgType::kPushEvent),
+                                   sub->correlation, writer.buffer()));
+  }
+  {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    if (conn->closed.load()) return;  // events die with the connection
+    Status written = WriteEncodedFrames(conn->fd, frames, write_timeout);
+    if (!written.ok()) {
+      ::shutdown(conn->fd, SHUT_RDWR);  // the handler tears down
+      return;
+    }
+  }
+  pushes_forwarded_.fetch_add(events.size());
+  push_gaps_forwarded_.fetch_add(gaps);
+}
+
+void Coordinator::ForwardLoop() {
+  const int64_t write_timeout =
+      options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
+  const int64_t poll_ms = options_.push_poll_ms > 0 ? options_.push_poll_ms
+                                                    : 50;
+  std::unique_lock<std::mutex> lock(push_mu_);
+  while (!stopping_.load()) {
+    push_cv_.wait_for(lock, std::chrono::milliseconds(poll_ms));
+    if (stopping_.load()) return;
+    std::vector<std::shared_ptr<ClientSub>> subs;
+    subs.reserve(subs_by_id_.size());
+    for (const auto& [id, sub] : subs_by_id_) subs.push_back(sub);
+    lock.unlock();
+    for (const auto& sub : subs) DeliverPending(sub, write_timeout);
+    lock.lock();
+  }
 }
 
 // --- Edge connection pool. ---
@@ -797,6 +1208,10 @@ std::string Coordinator::HandleMonitorStats(Status* failure) {
   merged.serving.connections_shed = own.connections_shed;
   merged.serving.pings_served = 0;
   merged.serving.shards = registry_.HealthTable(NowMs());
+  merged.serving.subscriptions_active = own.subscriptions_active;
+  merged.serving.subscriptions_total = own.subscriptions_total;
+  merged.serving.pushes_sent = own.pushes_forwarded;
+  merged.serving.push_gaps_sent = own.push_gaps_forwarded;
   io::BinaryWriter writer;
   EncodeWireStatus(&writer, {Status::OK(), 0});
   EncodeMonitorStats(&writer, merged);
@@ -851,10 +1266,13 @@ size_t Coordinator::PollEdgesNow() { return SyncPass(false); }
 void Coordinator::SyncLoop() {
   std::unique_lock<std::mutex> lock(sync_mu_);
   while (!stopping_.load()) {
+    // Wake early when a rep-push watcher reports an edge's index moved;
+    // the interval remains as the fallback for edges without a watcher.
     sync_cv_.wait_for(lock,
                       std::chrono::milliseconds(options_.sync_interval_ms),
-                      [this] { return stopping_.load(); });
+                      [this] { return stopping_.load() || rep_dirty_.load(); });
     if (stopping_.load()) return;
+    if (rep_dirty_.exchange(false)) rep_push_wakeups_.fetch_add(1);
     lock.unlock();
     (void)SyncPass(/*respect_backoff=*/true);
     lock.lock();
@@ -908,6 +1326,39 @@ size_t Coordinator::SyncPass(bool respect_backoff) {
       registry_.RecordCameras(i, std::move(cameras));
     }
     CheckinClient(i, std::move(client));
+    // Rep-push: keep a dedicated stats subscription on this edge so the
+    // next index advance wakes the sync thread instead of waiting out the
+    // interval. A dead watcher is detected by its failed ping (its
+    // reconnect budget is zero, so the failure is honest — a silently
+    // reconnected watcher would have silently lost its subscription) and
+    // re-established here.
+    if (options_.rep_push) {
+      if (watch_clients_[i] != nullptr && !watch_clients_[i]->Ping().ok()) {
+        watch_clients_[i].reset();
+      }
+      if (watch_clients_[i] == nullptr) {
+        const EdgeEndpoint endpoint = registry_.endpoint(i);
+        ClientOptions watch_options;
+        watch_options.connect_timeout_ms = options_.edge_connect_timeout_ms;
+        watch_options.io_timeout_ms = options_.edge_io_timeout_ms;
+        watch_options.max_shed_retries = 0;
+        watch_options.max_reconnects = 0;
+        auto watch_conn = Client::Connect(endpoint.host, endpoint.port,
+                                          watch_options);
+        if (watch_conn.ok()) {
+          auto watcher = std::make_unique<Client>(std::move(*watch_conn));
+          SubscribeRequest watch_spec;
+          watch_spec.want_matches = false;
+          watch_spec.want_stats = true;
+          auto subscribed =
+              watcher->Subscribe(watch_spec, [this](const PushEvent&) {
+                rep_dirty_.store(true);
+                sync_cv_.notify_all();
+              });
+          if (subscribed.ok()) watch_clients_[i] = std::move(watcher);
+        }
+      }
+    }
   }
   if (changed) {
     std::unique_lock<std::shared_mutex> lock(index_mu_);

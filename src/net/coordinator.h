@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -85,6 +86,23 @@ struct CoordinatorOptions {
   /// edges' `VideoZillaOptions::boundary_scale`.
   double boundary_scale = 1.0;
 
+  // --- Standing-query fan-out (v5). ---
+
+  /// Bounded per-client-subscription forward buffer; drop-oldest with gap
+  /// accounting once full (mirrors the edge engine's contract).
+  size_t subscription_queue_capacity = 256;
+  /// Cap on pushes forwarded per subscription per delivery round.
+  size_t subscription_max_drain = 64;
+  /// Fallback poll of the forward-delivery thread.
+  int64_t push_poll_ms = 50;
+  /// Keep a per-edge stats subscription that wakes the rep-sync thread the
+  /// moment an edge's index version advances, instead of waiting out
+  /// `sync_interval_ms`. The interval poll stays as the fallback (and the
+  /// versioned "unchanged" RepSync fast path still bounds the cost of a
+  /// spurious wake). Requires v5 edges; edges that refuse simply stay on
+  /// the interval.
+  bool rep_push = true;
+
   // --- Representative sync / probing. ---
 
   /// Cadence of the background rep-sync/probe thread. <= 0 disables the
@@ -123,6 +141,15 @@ struct CoordinatorStats {
   uint64_t probes_sent = 0;
   /// Representative entries currently indexed (gauge).
   uint64_t rep_entries = 0;
+  /// Standing queries registered by clients (gauge / lifetime).
+  uint64_t subscriptions_active = 0;
+  uint64_t subscriptions_total = 0;
+  /// Push frames forwarded to clients (edge events, shard-merged).
+  uint64_t pushes_forwarded = 0;
+  /// Gap markers forwarded (edge-originated and coordinator-local alike).
+  uint64_t push_gaps_forwarded = 0;
+  /// Rep-sync passes triggered by an edge push rather than the interval.
+  uint64_t rep_push_wakeups = 0;
 };
 
 /// The coordinator of a sharded deployment (see DESIGN.md, "Sharded
@@ -150,7 +177,14 @@ struct CoordinatorStats {
 /// make transitions deterministic.
 ///
 /// Mutating RPCs are refused (`kFailedPrecondition`): ingest goes to the
-/// edges, the coordinator is a read-only query plane.
+/// edges, the coordinator is a read-only query plane. Two exceptions ride
+/// the v5 protocol: `kAdminTune` fans out to every eligible shard (tuning
+/// is fleet-wide operator state), and `kSubscribe` registers a standing
+/// query that the coordinator re-subscribes on every eligible edge over
+/// dedicated v5 connections — edge pushes are remapped into the global id
+/// space and forwarded to the client merged in (shard index, edge sequence)
+/// order, with the same bounded-queue / drop-oldest / gap-marker contract
+/// the edges themselves give slow subscribers.
 class Coordinator {
  public:
   explicit Coordinator(const CoordinatorOptions& options);
@@ -196,15 +230,78 @@ class Coordinator {
     Result result;
   };
 
+  /// Per-connection state shared between the serving thread and the push
+  /// forwarder (mirrors Server::ConnShared).
+  struct ConnShared {
+    uint64_t id = 0;
+    int fd = -1;
+    /// Serializes all frame writes (responses and forwarded pushes).
+    std::mutex write_mu;
+    /// v5 framing active (flipped after a successful v5 Hello response).
+    std::atomic<bool> v5{false};
+    bool negotiated_v5 = false;
+    /// Flipped under `write_mu` before the fd closes, so a forwarded push
+    /// can never land on a recycled descriptor.
+    std::atomic<bool> closed{false};
+  };
+
+  /// One client subscription and its fan-out: dedicated v5 edge clients
+  /// whose push callbacks feed a bounded merge buffer, drained by the
+  /// forward-delivery thread into the client connection.
+  struct ClientSub {
+    uint64_t id = 0;  // coordinator-assigned subscription id
+    std::shared_ptr<ConnShared> conn;
+    /// The client's Subscribe correlation — forwarded pushes ride it.
+    uint64_t correlation = 0;
+    std::mutex mu;  // guards the buffer below (leaf lock)
+    struct Buffered {
+      size_t shard = 0;
+      uint64_t edge_sequence = 0;
+      PushEvent event;  // already remapped to the global id space
+    };
+    std::deque<Buffered> buffer;
+    uint64_t dropped_pending = 0;
+    uint64_t next_sequence = 0;
+    /// One dedicated connection per subscribed edge (slot empty when that
+    /// edge was ineligible or refused at subscribe time).
+    std::vector<std::unique_ptr<Client>> edge_clients;
+  };
+
   static int64_t NowMs();
 
   void AcceptLoop();
-  void HandleConnection(UniqueFd fd);
-  bool ServeOneRequest(int fd, bool* hello_done);
-  std::string DispatchRequest(const WireFrame& request, bool* hello_done,
+  void HandleConnection(UniqueFd fd, std::shared_ptr<ConnShared> conn);
+  bool ServeOneRequest(const std::shared_ptr<ConnShared>& conn,
+                       bool* hello_done);
+  std::string DispatchRequest(const WireFrame& request, ConnShared* conn,
+                              uint64_t correlation, bool* hello_done,
                               Status* failure);
   std::string ExecuteRequest(MsgType type, io::BinaryReader* reader,
                              Status* failure);
+
+  /// kSubscribe: fan the standing query out over the eligible edges and
+  /// register the forwarding state. kUnsubscribe / connection teardown undo
+  /// it (closing the dedicated edge clients voids the edge subscriptions).
+  std::string HandleSubscribe(ConnShared* conn, uint64_t correlation,
+                              io::BinaryReader* reader, Status* failure);
+  std::string HandleUnsubscribe(ConnShared* conn, io::BinaryReader* reader,
+                                Status* failure);
+  std::string HandleAdminTune(io::BinaryReader* reader, Status* failure);
+  /// Tears down every subscription owned by `conn_id` (connection closed).
+  void DropSubscriptionsOf(uint64_t conn_id);
+  /// Closes a subscription's edge clients outside any coordinator lock.
+  static void TeardownSub(const std::shared_ptr<ClientSub>& sub);
+  /// Edge push callback (runs on an edge client's reader thread): remaps
+  /// the event into the global id space and enqueues it (drop-oldest).
+  void OnEdgePush(const std::weak_ptr<ClientSub>& weak, size_t shard,
+                  const PushEvent& event);
+  /// Drains one subscription's buffer (gap marker first, then events in
+  /// (shard, edge sequence) order) and writes the push frames.
+  void DeliverPending(const std::shared_ptr<ClientSub>& sub,
+                      int64_t write_timeout);
+  /// The forward-delivery thread: drains subscription buffers in (shard
+  /// index, edge sequence) order and writes push frames to clients.
+  void ForwardLoop();
 
   std::string HandleDirectQuery(io::BinaryReader* reader, Status* failure);
   std::string HandleClusteringQuery(MsgType type, io::BinaryReader* reader,
@@ -289,12 +386,29 @@ class Coordinator {
   std::condition_variable sync_cv_;
   /// Serializes sync passes (the background thread vs `PollEdgesNow`).
   std::mutex pass_mu_;
+  /// Per-edge rep-push watchers (guarded by `pass_mu_`): dedicated v5
+  /// clients holding a stats subscription whose callback sets `rep_dirty_`
+  /// and wakes the sync thread. Re-established by the next pass when an
+  /// edge connection dies (their reconnect budget is zero: a silently
+  /// reconnected watcher would have silently lost its subscription).
+  std::vector<std::unique_ptr<Client>> watch_clients_;
+  std::atomic<bool> rep_dirty_{false};
+
+  // --- Standing-query forwarding. ---
+  std::thread forward_thread_;
+  mutable std::mutex push_mu_;  // guards the two maps below
+  std::condition_variable push_cv_;
+  uint64_t next_sub_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<ClientSub>> subs_by_id_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> subs_by_conn_;
 
   mutable std::mutex mu_;  // guards the connection bookkeeping below
   std::condition_variable drained_cv_;
   std::vector<std::future<void>> connection_futures_;
   size_t active_connections_ = 0;
   std::vector<int> active_fds_;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<ConnShared>> conns_by_id_;
   uint64_t connections_accepted_ = 0;
   uint64_t connections_shed_ = 0;
 
@@ -306,6 +420,10 @@ class Coordinator {
   std::atomic<uint64_t> pruned_legs_{0};
   std::atomic<uint64_t> rep_sync_updates_{0};
   std::atomic<uint64_t> probes_sent_{0};
+  std::atomic<uint64_t> subscriptions_total_{0};
+  std::atomic<uint64_t> pushes_forwarded_{0};
+  std::atomic<uint64_t> push_gaps_forwarded_{0};
+  std::atomic<uint64_t> rep_push_wakeups_{0};
 };
 
 }  // namespace vz::net

@@ -36,10 +36,12 @@ int64_t ElapsedMs(const std::chrono::steady_clock::time_point& since,
 /// True for mutating RPCs whose request bytes go into the WAL. Exactly the
 /// state-changing ones: SnapshotSave carries a token (retrying it is
 /// ambiguous) but only reads state, so logging it would replay side-effect
-/// writes to operator-chosen paths for nothing.
+/// writes to operator-chosen paths for nothing. AdminTune is operator state
+/// (index mode, thresholds), not corpus state — replaying it would resurrect
+/// a long-dead tuning decision on every recovery.
 bool IsWalLoggedType(MsgType type) {
   return IsMutatingType(static_cast<uint32_t>(type)) &&
-         type != MsgType::kSnapshotSave;
+         type != MsgType::kSnapshotSave && type != MsgType::kAdminTune;
 }
 
 StatusOr<std::string> ReadWholeFile(const std::string& path) {
@@ -123,7 +125,11 @@ Status RemoveWalSegments(const std::string& dir) {
 }  // namespace
 
 Server::Server(core::VideoZilla* system, const ServerOptions& options)
-    : system_(system), options_(options) {}
+    : system_(system),
+      options_(options),
+      engine_(SubscriptionEngine::Options{
+          options.subscription_queue_capacity,
+          options.subscription_max_drain}) {}
 
 Server::~Server() { Shutdown(); }
 
@@ -146,6 +152,12 @@ Status Server::Start() {
   connection_cap_ =
       std::min(options_.max_connections, pool_->num_threads() - 1);
   if (connection_cap_ == 0) connection_cap_ = 1;
+
+  // The subscription engine taps segment finalization before recovery runs:
+  // replayed segments fire the observer too, but with no subscribers yet the
+  // calls are cheap no-ops.
+  system_->SetSegmentObserver(
+      [this](const core::Svs& svs) { engine_.OnSegment(svs); });
 
   if (!options_.wal_dir.empty()) {
     VZ_RETURN_IF_ERROR(RecoverFromWal());
@@ -170,6 +182,11 @@ Status Server::StartListener() {
                       TcpListen(options_.bind_address, options_.port));
   VZ_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  // The push-delivery thread lives exactly as long as the listener (a
+  // standby starts it at promotion, with the listener).
+  if (!delivery_thread_.joinable()) {
+    delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+  }
   return Status::OK();
 }
 
@@ -212,6 +229,8 @@ void Server::Shutdown() {
   for (std::future<void>& f : futures) {
     if (f.valid()) f.wait();
   }
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  system_->SetSegmentObserver(nullptr);
   started_ = false;
 }
 
@@ -239,6 +258,8 @@ void Server::Kill() {
   for (std::future<void>& f : futures) {
     if (f.valid()) f.wait();
   }
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  system_->SetSegmentObserver(nullptr);
   started_ = false;
 }
 
@@ -320,6 +341,13 @@ ServerStats Server::stats() const {
   stats.replication_errors = replication_errors_.load();
   stats.replication_reseeds = replication_reseeds_.load();
   stats.wal_epoch = wal_epoch_.load();
+  const SubscriptionEngine::Stats subs = engine_.stats();
+  stats.subscriptions_active = subs.subscriptions_active;
+  stats.subscriptions_total = subs.subscriptions_total;
+  stats.push_drops = subs.events_dropped;
+  stats.pushes_sent = pushes_sent_.load();
+  stats.push_gaps_sent = push_gaps_sent_.load();
+  stats.ingest_batches = ingest_batches_.load();
   return stats;
 }
 
@@ -374,15 +402,22 @@ void Server::AcceptLoop() {
     conn.id = ++next_connection_id_;
     conn.connected_at = SteadyClock::now();
     conn.last_activity = conn.connected_at;
+    auto shared = std::make_shared<ConnShared>();
+    shared->id = conn.id;
+    shared->fd = fd.get();
+    conn.shared = shared;
     active_conns_.emplace(fd.get(), conn);
+    conns_by_id_.emplace(shared->id, shared);
     // Completed connections leave stale ready futures behind; reap them
     // while we hold the lock anyway.
     std::erase_if(connection_futures_, [](std::future<void>& f) {
       return !f.valid() ||
              f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
     });
-    connection_futures_.push_back(pool_->Submit(
-        [this, raw = fd.Release()]() mutable { HandleConnection(UniqueFd(raw)); }));
+    connection_futures_.push_back(
+        pool_->Submit([this, raw = fd.Release(), shared]() mutable {
+          HandleConnection(UniqueFd(raw), std::move(shared));
+        }));
   }
 }
 
@@ -397,7 +432,7 @@ void Server::TouchConnection(int fd, uint64_t bytes_in, uint64_t bytes_out,
   if (completed_rpc) ++it->second.rpcs;
 }
 
-void Server::HandleConnection(UniqueFd fd) {
+void Server::HandleConnection(UniqueFd fd, std::shared_ptr<ConnShared> conn) {
   bool hello_done = false;
   // The idle clock: any completed request (including kPing) resets it.
   auto last_activity = SteadyClock::now();
@@ -413,65 +448,197 @@ void Server::HandleConnection(UniqueFd fd) {
       }
       continue;  // idle; re-check the stop flag
     }
-    if (!ServeOneRequest(fd.get(), &hello_done)) break;
+    if (!ServeOneRequest(conn, &hello_done)) break;
     last_activity = SteadyClock::now();
   }
+  // Push teardown BEFORE the socket closes: `closed` is flipped under
+  // `write_mu`, and every delivery write re-checks it under the same lock,
+  // so no push can land on a recycled fd number.
+  {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    conn->closed.store(true);
+  }
+  engine_.DropConnection(conn->id);
   std::lock_guard<std::mutex> lock(mu_);
+  conns_by_id_.erase(conn->id);
   active_conns_.erase(fd.get());
   if (active_conns_.empty()) drained_cv_.notify_all();
 }
 
-bool Server::ServeOneRequest(int fd, bool* hello_done) {
+void Server::DeliveryLoop() {
+  const int64_t write_timeout =
+      options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
+  while (!stopping_.load()) {
+    if (!engine_.WaitForWork(options_.push_poll_ms > 0 ? options_.push_poll_ms
+                                                       : 50)) {
+      continue;
+    }
+    for (const uint64_t conn_id : engine_.ConnectionsWithPending()) {
+      if (stopping_.load()) break;
+      std::shared_ptr<ConnShared> conn;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = conns_by_id_.find(conn_id);
+        if (it != conns_by_id_.end()) conn = it->second;
+      }
+      // A vanished connection is mid-teardown; its handler's DropConnection
+      // reclaims the queues.
+      if (conn == nullptr || !conn->v5.load(std::memory_order_acquire)) {
+        continue;
+      }
+      // Zero-timeout writability probe: a subscriber whose receive window
+      // is full is skipped this round. Its queues keep absorbing events
+      // (dropping oldest past capacity) — backpressure lands on the slow
+      // subscriber alone, never on ingest or on other connections.
+      auto writable = WaitWritable(conn->fd, 0);
+      if (!writable.ok() || !*writable) continue;
+      const std::vector<SubscriptionEngine::Delivery> deliveries =
+          engine_.Drain(conn_id);
+      if (deliveries.empty()) continue;
+      std::vector<std::string> frames;
+      frames.reserve(deliveries.size());
+      uint64_t gaps = 0;
+      uint64_t bytes_out = 0;
+      for (const SubscriptionEngine::Delivery& delivery : deliveries) {
+        io::BinaryWriter writer;
+        EncodePushEvent(&writer, delivery.event);
+        if (delivery.event.kind == PushKind::kGap) ++gaps;
+        frames.push_back(
+            EncodeFrameV5(static_cast<uint32_t>(MsgType::kPushEvent),
+                          delivery.correlation, writer.buffer()));
+        bytes_out += frames.back().size();
+      }
+      Status written = Status::OK();
+      bool conn_gone = false;
+      {
+        std::lock_guard<std::mutex> write_lock(conn->write_mu);
+        if (conn->closed.load()) {
+          conn_gone = true;  // drained events die with the connection
+        } else {
+          // The probe said writable, so this write normally completes
+          // without blocking; a peer that stalls mid-frame still runs into
+          // the write deadline and is evicted — never a torn frame.
+          written = WriteEncodedFrames(conn->fd, frames, write_timeout);
+          if (!written.ok()) ::shutdown(conn->fd, SHUT_RDWR);
+        }
+      }
+      if (conn_gone) continue;
+      if (!written.ok()) {
+        if (written.code() == StatusCode::kUnavailable) {
+          evicted_slow_.fetch_add(1);
+        }
+        continue;  // the handler notices the shutdown and tears down
+      }
+      pushes_sent_.fetch_add(deliveries.size());
+      push_gaps_sent_.fetch_add(gaps);
+      TouchConnection(conn->fd, 0, bytes_out, false);
+    }
+  }
+}
+
+bool Server::ServeOneRequest(const std::shared_ptr<ConnShared>& conn,
+                             bool* hello_done) {
+  const int fd = conn->fd;
   const int64_t read_timeout =
       options_.read_timeout_ms > 0 ? options_.read_timeout_ms : -1;
   const int64_t write_timeout =
       options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
+  // The framing is fixed for the whole request/response exchange: a v5
+  // Hello's own response still travels in legacy framing (the flag flips
+  // only after it is written).
+  const bool v5 = conn->v5.load(std::memory_order_acquire);
+
+  // All writes (responses here, pushes in DeliveryLoop) serialize on the
+  // connection's write lock so frames never interleave mid-frame.
+  auto write_response = [&](uint32_t type, uint64_t correlation,
+                            const std::string& payload) {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    return v5 ? WriteFrameV5(fd, type, correlation, payload, write_timeout)
+              : WriteFrame(fd, type, payload, write_timeout);
+  };
 
   // The caller saw the first byte, so the whole frame now has to arrive
   // within the read deadline — a sender trickling bytes is a slow client.
-  auto request = ReadFrame(fd, read_timeout);
-  if (!request.ok()) {
-    if (request.status().code() == StatusCode::kUnavailable) {
+  uint64_t correlation = 0;
+  WireFrame request;
+  Status read_status;
+  if (v5) {
+    auto framed = ReadFrameV5(fd, read_timeout);
+    if (framed.ok()) {
+      correlation = framed->correlation;
+      request.type = framed->type;
+      request.payload = std::move(framed->payload);
+    } else {
+      read_status = framed.status();
+    }
+  } else {
+    auto framed = ReadFrame(fd, read_timeout);
+    if (framed.ok()) {
+      request = std::move(*framed);
+    } else {
+      read_status = framed.status();
+    }
+  }
+  if (!read_status.ok()) {
+    if (read_status.code() == StatusCode::kUnavailable) {
       evicted_slow_.fetch_add(1);
       return false;  // no response: the peer is not keeping up anyway
     }
     // Clean disconnect between frames is the normal end of a connection;
     // everything else (torn frame, checksum mismatch, unknown type) gets a
-    // best-effort error response before the close.
-    if (request.status().code() != StatusCode::kNotFound) {
+    // best-effort error response before the close. On a v5 connection the
+    // request's correlation never arrived intact, so the error rides
+    // correlation 0 — the client treats that as connection-fatal.
+    if (read_status.code() != StatusCode::kNotFound) {
       request_errors_.fetch_add(1);
-      (void)WriteFrame(
-          fd, static_cast<uint32_t>(MsgType::kHello) | kResponseFlag,
-          StatusOnlyResponse(request.status(), 0), write_timeout);
+      (void)write_response(
+          static_cast<uint32_t>(MsgType::kHello) | kResponseFlag, 0,
+          StatusOnlyResponse(read_status, 0));
     }
     return false;
   }
-  if ((request->type & kResponseFlag) != 0) {
+  if ((request.type & kResponseFlag) != 0 ||
+      request.type == static_cast<uint32_t>(MsgType::kPushEvent)) {
     request_errors_.fetch_add(1);
-    (void)WriteFrame(fd, request->type,
-                     StatusOnlyResponse(Status::InvalidArgument(
-                                            "response frame sent as request"),
-                                        0),
-                     write_timeout);
+    (void)write_response(request.type | kResponseFlag, correlation,
+                         StatusOnlyResponse(
+                             Status::InvalidArgument(
+                                 "response or push frame sent as request"),
+                             0));
     return false;
   }
 
   Status failure;
-  const std::string response = DispatchRequest(*request, hello_done, &failure);
+  const std::string response =
+      DispatchRequest(request, conn.get(), correlation, hello_done, &failure);
   if (failure.ok()) {
     requests_served_.fetch_add(1);
   } else {
     request_errors_.fetch_add(1);
   }
-  TouchConnection(fd, WireFrameBytes(request->payload.size()),
-                  WireFrameBytes(response.size()), failure.ok());
-  if (Status s = WriteFrame(fd, request->type | kResponseFlag, response,
-                            write_timeout);
+  TouchConnection(fd,
+                  v5 ? WireFrameBytesV5(request.payload.size())
+                     : WireFrameBytes(request.payload.size()),
+                  v5 ? WireFrameBytesV5(response.size())
+                     : WireFrameBytes(response.size()),
+                  failure.ok());
+  if (Status s = write_response(request.type | kResponseFlag, correlation,
+                                response);
       !s.ok()) {
     // A reader that stopped draining its responses is as stuck as a writer
     // that stopped sending.
     if (s.code() == StatusCode::kUnavailable) evicted_slow_.fetch_add(1);
     return false;
+  }
+  // A successful v5 Hello switches the connection's framing from here on;
+  // the Hello exchange itself always uses the legacy layout.
+  if (!v5 && conn->negotiated_v5) {
+    conn->v5.store(true, std::memory_order_release);
+  }
+  // Wake stats subscriptions when a mutation may have advanced the index
+  // version (the segment observer already handled match subscriptions).
+  if (failure.ok() && IsMutatingType(request.type)) {
+    engine_.OnIndexVersion(system_->index_version());
   }
   // A protocol-ordering violation (RPC before Hello, bad version) closes the
   // connection after the error response; RPC-level failures (unknown camera,
@@ -483,8 +650,9 @@ bool Server::ServeOneRequest(int fd, bool* hello_done) {
   return true;
 }
 
-std::string Server::DispatchRequest(const WireFrame& request,
-                                    bool* hello_done, Status* failure) {
+std::string Server::DispatchRequest(const WireFrame& request, ConnShared* conn,
+                                    uint64_t correlation, bool* hello_done,
+                                    Status* failure) {
   io::BinaryReader reader(request.payload);
   const MsgType type = static_cast<MsgType>(request.type);
 
@@ -496,14 +664,18 @@ std::string Server::DispatchRequest(const WireFrame& request,
       return StatusOnlyResponse(*failure, 0);
     }
     io::BinaryWriter writer;
-    if (*version != kProtocolVersion) {
+    if (*version < kMinProtocolVersion || *version > kProtocolVersion) {
       *failure = Status::FailedPrecondition(
           "protocol version mismatch: client speaks v" +
           std::to_string(*version) + ", server speaks v" +
+          std::to_string(kMinProtocolVersion) + "-v" +
           std::to_string(kProtocolVersion));
       EncodeWireStatus(&writer, {*failure, 0});
     } else {
       *hello_done = true;
+      // A v4 client keeps the legacy framing for the whole connection; a
+      // v5 client switches after this response is written.
+      conn->negotiated_v5 = *version >= 5;
       EncodeWireStatus(&writer, {Status::OK(), 0});
     }
     writer.WriteU32(kProtocolVersion);
@@ -513,6 +685,41 @@ std::string Server::DispatchRequest(const WireFrame& request,
     *failure =
         Status::FailedPrecondition("first message must be Hello");
     return StatusOnlyResponse(*failure, 0);
+  }
+
+  // Subscription management is connection-scoped (no idempotency token: a
+  // lost reply costs nothing — subscriptions die with the connection and
+  // re-subscribing is cheap and exact).
+  if (type == MsgType::kSubscribe) {
+    auto spec = DecodeSubscribeRequest(&reader);
+    if (!spec.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         spec.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    if (!conn->v5.load(std::memory_order_acquire)) {
+      *failure = Status::FailedPrecondition(
+          "Subscribe requires protocol v5: push frames are multiplexed by "
+          "correlation id, which v4 framing cannot carry");
+      return StatusOnlyResponse(*failure, 0);
+    }
+    const uint64_t id = engine_.Subscribe(conn->id, correlation,
+                                          std::move(*spec));
+    io::BinaryWriter writer;
+    EncodeWireStatus(&writer, {Status::OK(), 0});
+    writer.WriteU64(id);
+    return writer.buffer();
+  }
+  if (type == MsgType::kUnsubscribe) {
+    auto id = reader.ReadU64();
+    if (!id.ok()) {
+      *failure = Status::InvalidArgument("malformed payload: " +
+                                         id.status().message());
+      return StatusOnlyResponse(*failure, 0);
+    }
+    const Status cancelled = engine_.Unsubscribe(conn->id, *id);
+    if (!cancelled.ok()) *failure = cancelled;
+    return StatusOnlyResponse(cancelled, 0);
   }
 
   if (IsMutatingType(request.type)) {
@@ -707,9 +914,11 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
     case MsgType::kCameraStart:
     case MsgType::kCameraTerminate:
     case MsgType::kIngestFrame:
+    case MsgType::kIngestBatch:
     case MsgType::kFlush:
     case MsgType::kSnapshotSave:
-    case MsgType::kSnapshotLoad: {
+    case MsgType::kSnapshotLoad:
+    case MsgType::kAdminTune: {
       // Mutating RPCs normally arrive through DispatchMutating (which
       // holds the state lock across execute + log); this path only serves
       // callers that bypass the token preamble.
@@ -811,6 +1020,12 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       stats.serving.replication_lag_records =
           serving.replication_lag_records;
       stats.serving.replication_reseeds = serving.replication_reseeds;
+      stats.serving.subscriptions_active = serving.subscriptions_active;
+      stats.serving.subscriptions_total = serving.subscriptions_total;
+      stats.serving.pushes_sent = serving.pushes_sent;
+      stats.serving.push_drops = serving.push_drops;
+      stats.serving.push_gaps_sent = serving.push_gaps_sent;
+      stats.serving.ingest_batches = serving.ingest_batches;
       stats.serving.connections = connection_stats();
       io::BinaryWriter writer;
       EncodeWireStatus(&writer, {Status::OK(), 0});
@@ -971,7 +1186,11 @@ std::string Server::ExecuteRequest(MsgType type, io::BinaryReader* reader_ptr,
       return StatusOnlyResponse(*failure, 0);
     }
     case MsgType::kHello:
-      break;  // handled before dispatch
+    case MsgType::kSubscribe:
+    case MsgType::kUnsubscribe:
+      break;  // handled before dispatch (they need connection identity)
+    case MsgType::kPushEvent:
+      break;  // server->client only; rejected before dispatch
   }
   *failure = Status::Unimplemented("unhandled message type " +
                                    std::to_string(static_cast<uint32_t>(type)));
@@ -1005,6 +1224,94 @@ std::string Server::ExecuteMutating(MsgType type, io::BinaryReader* reader_ptr,
       if (!frame.ok()) return malformed(frame.status());
       *failure = system_->IngestFrame(*frame);
       return StatusOnlyResponse(*failure, 0);
+    }
+    case MsgType::kIngestBatch: {
+      // N frames per RPC, one token, one WAL record. Per-frame failures
+      // (unknown camera, stale frame id) reject that frame and continue:
+      // the overall RPC succeeds with deterministic accept/reject counts,
+      // so WAL replay regenerates byte-identical state and response.
+      auto count = reader.ReadU32();
+      if (!count.ok()) return malformed(count.status());
+      IngestBatchReply result;
+      for (uint32_t i = 0; i < *count; ++i) {
+        auto frame = DecodeFrameObservation(&reader);
+        if (!frame.ok()) return malformed(frame.status());
+        if (system_->IngestFrame(*frame).ok()) {
+          ++result.accepted;
+        } else {
+          ++result.rejected;
+        }
+      }
+      ingest_batches_.fetch_add(1);
+      io::BinaryWriter writer;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeIngestBatchReply(&writer, result);
+      return writer.buffer();
+    }
+    case MsgType::kAdminTune: {
+      auto request = DecodeAdminTuneRequest(&reader);
+      if (!request.ok()) return malformed(request.status());
+      if (request->index_mode.has_value() &&
+          *request->index_mode >
+              static_cast<uint32_t>(core::IndexMode::kFlat)) {
+        *failure = Status::InvalidArgument(
+            "unknown index mode " + std::to_string(*request->index_mode));
+        return StatusOnlyResponse(*failure, 0);
+      }
+      if (request->boundary_scale.has_value() &&
+          !(*request->boundary_scale > 0.0)) {
+        *failure = Status::InvalidArgument("boundary scale must be > 0");
+        return StatusOnlyResponse(*failure, 0);
+      }
+      // Validation above, application below: a refused request changes
+      // nothing (the knobs apply atomically as a set or not at all, except
+      // for recluster failures, which report the partial apply loudly).
+      if (request->index_mode.has_value()) {
+        system_->SetIndexMode(
+            static_cast<core::IndexMode>(*request->index_mode));
+      }
+      if (request->boundary_scale.has_value()) {
+        system_->SetBoundaryScale(*request->boundary_scale);
+      }
+      if (request->omd_alpha.has_value()) {
+        system_->SetOmdAlpha(*request->omd_alpha);  // clamped internally
+      }
+      if (request->keyframe_selection.has_value()) {
+        system_->SetKeyframeSelection(*request->keyframe_selection);
+      }
+      if (request->inter_group_count.has_value()) {
+        std::optional<size_t> k;  // wire 0 = auto (silhouette-chosen)
+        if (*request->inter_group_count != 0) {
+          k = static_cast<size_t>(*request->inter_group_count);
+        }
+        if (Status s = system_->SetInterGroupCount(k); !s.ok()) {
+          *failure = s;
+          return StatusOnlyResponse(*failure, 0);
+        }
+      }
+      if (request->intra_cluster_count.has_value()) {
+        std::optional<size_t> k;
+        if (*request->intra_cluster_count != 0) {
+          k = static_cast<size_t>(*request->intra_cluster_count);
+        }
+        if (Status s = system_->SetIntraClusterCount(k); !s.ok()) {
+          *failure = s;
+          return StatusOnlyResponse(*failure, 0);
+        }
+      }
+      AdminTuneReply reply;
+      reply.index_mode = static_cast<uint32_t>(system_->index_mode());
+      reply.boundary_scale = system_->boundary_scale();
+      reply.omd_alpha = system_->omd_alpha();
+      reply.keyframe_selection = system_->keyframe_selection();
+      reply.inter_group_count =
+          system_->forced_inter_group_count().value_or(0);
+      reply.intra_cluster_count =
+          system_->forced_intra_cluster_count().value_or(0);
+      io::BinaryWriter writer;
+      EncodeWireStatus(&writer, {Status::OK(), 0});
+      EncodeAdminTuneReply(&writer, reply);
+      return writer.buffer();
     }
     case MsgType::kFlush: {
       *failure = system_->Flush();

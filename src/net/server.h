@@ -21,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "core/videozilla.h"
 #include "io/wal.h"
+#include "net/subscription.h"
 #include "net/wire.h"
 
 namespace vz::net {
@@ -63,6 +64,19 @@ struct ServerOptions {
   int64_t idle_timeout_ms = 0;
   /// Grace granted past the idle deadline before the connection is closed.
   int64_t eviction_grace_ms = 100;
+
+  // --- Standing-query push delivery (protocol v5; see DESIGN.md, "Standing
+  // --- queries and multiplexing"). ---
+
+  /// Bounded per-subscription event queue; when full the oldest event is
+  /// dropped and counted into the next `PushKind::kGap` marker. A slow
+  /// subscriber therefore loses events, never stalls ingest.
+  size_t subscription_queue_capacity = 256;
+  /// Events delivered per subscription per delivery round.
+  size_t subscription_max_drain = 64;
+  /// Delivery-thread wakeup cadence when idle (it is also woken eagerly by
+  /// enqueues).
+  int64_t push_poll_ms = 50;
 
   // --- Exactly-once dedup (idempotency tokens). ---
 
@@ -152,6 +166,15 @@ struct ServerStats {
   uint64_t replication_reseeds = 0;
   /// The promotion epoch this server serves under (1 = never failed over).
   uint64_t wal_epoch = 0;
+  /// Standing-query subscriptions (protocol v5 push path).
+  uint64_t subscriptions_active = 0;  // gauge
+  uint64_t subscriptions_total = 0;
+  uint64_t pushes_sent = 0;
+  /// Events lost to drop-oldest backpressure (each run of losses surfaces
+  /// to the subscriber as one gap marker).
+  uint64_t push_drops = 0;
+  uint64_t push_gaps_sent = 0;
+  uint64_t ingest_batches = 0;
 };
 
 /// TCP front end over one `VideoZilla` instance: an accept loop plus
@@ -238,6 +261,27 @@ class Server {
  private:
   using SteadyClock = std::chrono::steady_clock;
 
+  /// State shared between a connection's handler thread and the delivery
+  /// thread (protocol v5 push path). Held by `shared_ptr` so the delivery
+  /// thread can outlive the registry entry safely: the handler marks
+  /// `closed` under `write_mu` before its socket is destroyed, and every
+  /// delivery write re-checks `closed` under the same lock — a push can
+  /// never land on a recycled fd number.
+  struct ConnShared {
+    uint64_t id = 0;
+    int fd = -1;
+    /// Serializes response writes (handler) against push writes (delivery
+    /// thread). Never held while blocking on anything but the socket.
+    std::mutex write_mu;
+    /// Set once the v5 Hello response has been written; all subsequent
+    /// frames on this connection use v5 framing.
+    std::atomic<bool> v5{false};
+    /// Set by the Hello dispatch; ServeOneRequest flips `v5` after writing
+    /// the Hello response (which itself always uses legacy framing).
+    bool negotiated_v5 = false;
+    std::atomic<bool> closed{false};
+  };
+
   /// Registry entry of one live connection.
   struct ConnState {
     uint64_t id = 0;
@@ -246,6 +290,7 @@ class Server {
     uint64_t bytes_in = 0;
     uint64_t bytes_out = 0;
     uint64_t rpcs = 0;
+    std::shared_ptr<ConnShared> shared;
   };
 
   /// A cached mutating response plus the WAL LSN that made it durable (0
@@ -279,13 +324,23 @@ class Server {
   /// Binds `options().port` and spawns the accept thread.
   Status StartListener();
   void AcceptLoop();
-  void HandleConnection(UniqueFd fd);
+  void HandleConnection(UniqueFd fd, std::shared_ptr<ConnShared> conn);
   /// Serves one already-readable request; false when the connection should
   /// close (clean disconnect, torn frame, protocol violation, eviction).
-  bool ServeOneRequest(int fd, bool* hello_done);
-  /// Builds the response payload for one decoded request.
-  std::string DispatchRequest(const WireFrame& request, bool* hello_done,
+  bool ServeOneRequest(const std::shared_ptr<ConnShared>& conn,
+                       bool* hello_done);
+  /// Builds the response payload for one decoded request. `correlation` is
+  /// the v5 request's correlation id (0 on v4 connections); Subscribe
+  /// registers it as the push-routing key.
+  std::string DispatchRequest(const WireFrame& request, ConnShared* conn,
+                              uint64_t correlation, bool* hello_done,
                               Status* failure);
+  /// The delivery thread: waits on the subscription engine, probes each
+  /// pending connection for writability (a non-writable socket is simply
+  /// skipped — its queues drop oldest), and writes drained pushes as
+  /// gathered v5 frames. A write that overruns `write_timeout_ms` evicts
+  /// the subscriber as a slow client.
+  void DeliveryLoop();
   /// Runs a tokened mutating request exactly once: replays from the session
   /// window, waits out a concurrent execution of the same sequence, or
   /// executes, logs, caches the response, and waits for durability (and,
@@ -377,6 +432,9 @@ class Server {
   std::condition_variable drained_cv_;
   std::vector<std::future<void>> connection_futures_;
   std::unordered_map<int, ConnState> active_conns_;
+  /// Connection id -> shared state, for the delivery thread (which routes
+  /// by the engine's connection ids, not fds).
+  std::unordered_map<uint64_t, std::shared_ptr<ConnShared>> conns_by_id_;
   uint64_t next_connection_id_ = 0;
   uint64_t connections_accepted_ = 0;
   uint64_t connections_shed_ = 0;
@@ -387,6 +445,14 @@ class Server {
   std::atomic<uint64_t> duplicates_replayed_{0};
   std::atomic<uint64_t> pings_served_{0};
   std::atomic<uint64_t> sessions_evicted_{0};
+
+  // --- Standing-query push state (protocol v5). ---
+
+  SubscriptionEngine engine_;
+  std::thread delivery_thread_;
+  std::atomic<uint64_t> pushes_sent_{0};
+  std::atomic<uint64_t> push_gaps_sent_{0};
+  std::atomic<uint64_t> ingest_batches_{0};
 
   // --- Durability state. ---
 

@@ -84,6 +84,11 @@ bool IsKnownMessageType(uint32_t type) {
     case MsgType::kRepSync:
     case MsgType::kSvsFeatureMap:
     case MsgType::kCheckpointFetch:
+    case MsgType::kSubscribe:
+    case MsgType::kUnsubscribe:
+    case MsgType::kIngestBatch:
+    case MsgType::kAdminTune:
+    case MsgType::kPushEvent:
       return true;
   }
   return false;
@@ -97,6 +102,8 @@ bool IsMutatingType(uint32_t type) {
     case MsgType::kFlush:
     case MsgType::kSnapshotSave:
     case MsgType::kSnapshotLoad:
+    case MsgType::kIngestBatch:
+    case MsgType::kAdminTune:
       return true;
     default:
       return false;
@@ -281,6 +288,137 @@ StatusOr<WireFrame> ReadFrame(int fd, int64_t timeout_ms) {
   frame.type = type;
   frame.payload = std::move(payload);
   return frame;
+}
+
+std::string EncodeFrameV5(uint32_t type, uint64_t correlation,
+                          const std::string& payload) {
+  io::BinaryWriter writer;
+  writer.WriteU32(kWireMagicV5);
+  writer.WriteU32(type);
+  writer.WriteU64(correlation);
+  writer.WriteLengthPrefixedBytes(payload);
+  // As in the legacy layout, the CRC covers everything after the magic —
+  // type, correlation, length and payload — so a flipped bit in any framing
+  // field is detected.
+  writer.WriteU32(
+      Crc32(writer.buffer().data() + sizeof(uint32_t),
+            writer.buffer().size() - sizeof(uint32_t)));
+  return writer.buffer();
+}
+
+StatusOr<WireFrameV5> DecodeFrameV5(io::BinaryReader* reader) {
+  auto magic = reader->ReadU32();
+  if (!magic.ok()) return Status::DataLoss("truncated frame header");
+  if (*magic != kWireMagicV5) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const size_t crc_begin = reader->position();
+  auto type = reader->ReadU32();
+  if (!type.ok()) return Status::DataLoss("truncated frame header");
+  auto correlation = reader->ReadU64();
+  if (!correlation.ok()) return Status::DataLoss("truncated frame header");
+  auto length = reader->ReadU64();
+  if (!length.ok()) return Status::DataLoss("truncated frame header");
+  if (*length > kMaxPayloadBytes) {
+    return Status::InvalidArgument("oversized frame payload");
+  }
+  if (*length > reader->remaining()) {
+    return Status::DataLoss("truncated frame payload");
+  }
+  const size_t payload_begin = reader->position();
+  (void)reader->Skip(*length);  // bounds just checked
+  auto expected_crc = reader->ReadU32();
+  if (!expected_crc.ok()) return Status::DataLoss("truncated frame checksum");
+  const uint32_t actual_crc =
+      Crc32(reader->data().data() + crc_begin,
+            payload_begin - crc_begin + *length);
+  if (actual_crc != *expected_crc) {
+    return Status::DataLoss("frame checksum mismatch");
+  }
+  if (!IsKnownMessageType(*type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(*type));
+  }
+  WireFrameV5 frame;
+  frame.type = *type;
+  frame.correlation = *correlation;
+  frame.payload = reader->data().substr(payload_begin, *length);
+  return frame;
+}
+
+Status WriteFrameV5(int fd, uint32_t type, uint64_t correlation,
+                    const std::string& payload, int64_t timeout_ms) {
+  const std::string bytes = EncodeFrameV5(type, correlation, payload);
+  return SendAll(fd, bytes.data(), bytes.size(), timeout_ms);
+}
+
+StatusOr<WireFrameV5> ReadFrameV5(int fd, int64_t timeout_ms) {
+  // One deadline for the whole frame, exactly as in ReadFrame.
+  const auto start = std::chrono::steady_clock::now();
+  auto remaining = [&]() -> int64_t {
+    if (timeout_ms < 0) return -1;
+    const int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return std::max<int64_t>(0, timeout_ms - elapsed);
+  };
+  // Fixed-size prologue: magic, type, correlation, payload length.
+  char header[sizeof(uint32_t) * 2 + sizeof(uint64_t) * 2];
+  VZ_RETURN_IF_ERROR(RecvExact(fd, header, sizeof(header), remaining()));
+  uint32_t magic, type;
+  uint64_t correlation, length;
+  std::memcpy(&magic, header, sizeof(magic));
+  std::memcpy(&type, header + 4, sizeof(type));
+  std::memcpy(&correlation, header + 8, sizeof(correlation));
+  std::memcpy(&length, header + 16, sizeof(length));
+  if (magic != kWireMagicV5) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (length > kMaxPayloadBytes) {
+    return Status::InvalidArgument("oversized frame payload");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    Status s = RecvExact(fd, payload.data(), payload.size(), remaining());
+    if (!s.ok()) {
+      return s.code() == StatusCode::kNotFound
+                 ? Status::DataLoss("connection closed mid-frame")
+                 : s;
+    }
+  }
+  uint32_t expected_crc;
+  Status s = RecvExact(fd, &expected_crc, sizeof(expected_crc), remaining());
+  if (!s.ok()) {
+    return s.code() == StatusCode::kNotFound
+               ? Status::DataLoss("connection closed mid-frame")
+               : s;
+  }
+  uint32_t crc = Crc32Update(0, header + 4, sizeof(header) - 4);
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  if (crc != expected_crc) {
+    return Status::DataLoss("frame checksum mismatch");
+  }
+  if (!IsKnownMessageType(type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  WireFrameV5 frame;
+  frame.type = type;
+  frame.correlation = correlation;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+Status WriteEncodedFrames(int fd, const std::vector<std::string>& frames,
+                          int64_t timeout_ms) {
+  if (frames.empty()) return Status::OK();
+  std::vector<ConstBuffer> buffers;
+  buffers.reserve(frames.size());
+  for (const std::string& f : frames) {
+    buffers.push_back({f.data(), f.size()});
+  }
+  return SendAllV(fd, buffers.data(), buffers.size(), timeout_ms);
 }
 
 void EncodeFeatureVector(io::BinaryWriter* writer, const FeatureVector& v) {
@@ -598,6 +736,14 @@ void EncodeMonitorStats(io::BinaryWriter* writer,
     writer->WriteU64(shard.rep_entries);
     writer->WriteU64(shard.cameras);
   }
+  // v5 subscription counters ride at the very end so a v4-era decoder that
+  // stops after the shard table still parses everything it knows about.
+  writer->WriteU64(stats.serving.subscriptions_active);
+  writer->WriteU64(stats.serving.subscriptions_total);
+  writer->WriteU64(stats.serving.pushes_sent);
+  writer->WriteU64(stats.serving.push_drops);
+  writer->WriteU64(stats.serving.push_gaps_sent);
+  writer->WriteU64(stats.serving.ingest_batches);
 }
 
 StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
@@ -682,6 +828,15 @@ StatusOr<MonitorStatsReply> DecodeMonitorStats(io::BinaryReader* reader) {
     VZ_ASSIGN_OR_RETURN(shard.rep_entries, reader->ReadU64());
     VZ_ASSIGN_OR_RETURN(shard.cameras, reader->ReadU64());
     stats.serving.shards.push_back(std::move(shard));
+  }
+  // v5 tail: absent when the sender predates the subscription counters.
+  if (reader->remaining() > 0) {
+    VZ_ASSIGN_OR_RETURN(stats.serving.subscriptions_active, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(stats.serving.subscriptions_total, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(stats.serving.pushes_sent, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(stats.serving.push_drops, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(stats.serving.push_gaps_sent, reader->ReadU64());
+    VZ_ASSIGN_OR_RETURN(stats.serving.ingest_batches, reader->ReadU64());
   }
   return stats;
 }
@@ -890,6 +1045,185 @@ StatusOr<CheckpointFetchReply> DecodeCheckpointFetchReply(
   VZ_ASSIGN_OR_RETURN(reply.epoch, reader->ReadU64());
   VZ_ASSIGN_OR_RETURN(reply.snapshot_bytes, reader->ReadLengthPrefixedBytes());
   VZ_ASSIGN_OR_RETURN(reply.meta_bytes, reader->ReadLengthPrefixedBytes());
+  return reply;
+}
+
+void EncodeSubscribeRequest(io::BinaryWriter* writer,
+                            const SubscribeRequest& request) {
+  EncodeFeatureVector(writer, request.query);
+  writer->WriteF64(request.threshold);
+  writer->WriteU8(request.has_camera_filter ? 1 : 0);
+  if (request.has_camera_filter) {
+    EncodeStringList(writer, request.cameras);
+  }
+  writer->WriteU8(request.want_matches ? 1 : 0);
+  writer->WriteU8(request.want_stats ? 1 : 0);
+}
+
+StatusOr<SubscribeRequest> DecodeSubscribeRequest(io::BinaryReader* reader) {
+  SubscribeRequest request;
+  VZ_ASSIGN_OR_RETURN(request.query, DecodeFeatureVector(reader));
+  VZ_ASSIGN_OR_RETURN(request.threshold, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(uint8_t has_filter, reader->ReadU8());
+  request.has_camera_filter = has_filter != 0;
+  if (request.has_camera_filter) {
+    VZ_RETURN_IF_ERROR(DecodeStringList(reader, &request.cameras));
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t want_matches, reader->ReadU8());
+  request.want_matches = want_matches != 0;
+  VZ_ASSIGN_OR_RETURN(uint8_t want_stats, reader->ReadU8());
+  request.want_stats = want_stats != 0;
+  if (!request.want_matches && !request.want_stats) {
+    return Status::InvalidArgument("subscription wants neither matches nor "
+                                   "stats");
+  }
+  if (request.want_matches && request.query.dim() == 0) {
+    return Status::InvalidArgument("match subscription with an empty query");
+  }
+  return request;
+}
+
+void EncodePushEvent(io::BinaryWriter* writer, const PushEvent& event) {
+  writer->WriteU64(event.subscription_id);
+  writer->WriteU64(event.sequence);
+  writer->WriteU32(static_cast<uint32_t>(event.kind));
+  switch (event.kind) {
+    case PushKind::kMatch:
+      writer->WriteI64(event.svs_id);
+      writer->WriteString(event.camera);
+      writer->WriteI64(event.start_ms);
+      writer->WriteI64(event.end_ms);
+      writer->WriteF64(event.distance);
+      break;
+    case PushKind::kIndexUpdate:
+      writer->WriteU64(event.index_version);
+      break;
+    case PushKind::kGap:
+      writer->WriteU64(event.dropped);
+      break;
+  }
+}
+
+StatusOr<PushEvent> DecodePushEvent(io::BinaryReader* reader) {
+  PushEvent event;
+  VZ_ASSIGN_OR_RETURN(event.subscription_id, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(event.sequence, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(uint32_t kind, reader->ReadU32());
+  if (kind > static_cast<uint32_t>(PushKind::kGap)) {
+    return Status::InvalidArgument("invalid push event kind");
+  }
+  event.kind = static_cast<PushKind>(kind);
+  switch (event.kind) {
+    case PushKind::kMatch: {
+      VZ_ASSIGN_OR_RETURN(event.svs_id, reader->ReadI64());
+      VZ_ASSIGN_OR_RETURN(event.camera, reader->ReadString());
+      VZ_ASSIGN_OR_RETURN(event.start_ms, reader->ReadI64());
+      VZ_ASSIGN_OR_RETURN(event.end_ms, reader->ReadI64());
+      VZ_ASSIGN_OR_RETURN(event.distance, reader->ReadF64());
+      break;
+    }
+    case PushKind::kIndexUpdate: {
+      VZ_ASSIGN_OR_RETURN(event.index_version, reader->ReadU64());
+      break;
+    }
+    case PushKind::kGap: {
+      VZ_ASSIGN_OR_RETURN(event.dropped, reader->ReadU64());
+      if (event.dropped == 0) {
+        return Status::InvalidArgument("gap marker with zero dropped events");
+      }
+      break;
+    }
+  }
+  return event;
+}
+
+void EncodeIngestBatchReply(io::BinaryWriter* writer,
+                            const IngestBatchReply& reply) {
+  writer->WriteU64(reply.accepted);
+  writer->WriteU64(reply.rejected);
+}
+
+StatusOr<IngestBatchReply> DecodeIngestBatchReply(io::BinaryReader* reader) {
+  IngestBatchReply reply;
+  VZ_ASSIGN_OR_RETURN(reply.accepted, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(reply.rejected, reader->ReadU64());
+  return reply;
+}
+
+void EncodeAdminTuneRequest(io::BinaryWriter* writer,
+                            const AdminTuneRequest& request) {
+  writer->WriteU8(request.index_mode.has_value() ? 1 : 0);
+  if (request.index_mode) writer->WriteU32(*request.index_mode);
+  writer->WriteU8(request.boundary_scale.has_value() ? 1 : 0);
+  if (request.boundary_scale) writer->WriteF64(*request.boundary_scale);
+  writer->WriteU8(request.omd_alpha.has_value() ? 1 : 0);
+  if (request.omd_alpha) writer->WriteF64(*request.omd_alpha);
+  writer->WriteU8(request.keyframe_selection.has_value() ? 1 : 0);
+  if (request.keyframe_selection) {
+    writer->WriteU8(*request.keyframe_selection ? 1 : 0);
+  }
+  writer->WriteU8(request.inter_group_count.has_value() ? 1 : 0);
+  if (request.inter_group_count) writer->WriteU64(*request.inter_group_count);
+  writer->WriteU8(request.intra_cluster_count.has_value() ? 1 : 0);
+  if (request.intra_cluster_count) {
+    writer->WriteU64(*request.intra_cluster_count);
+  }
+}
+
+StatusOr<AdminTuneRequest> DecodeAdminTuneRequest(io::BinaryReader* reader) {
+  AdminTuneRequest request;
+  VZ_ASSIGN_OR_RETURN(uint8_t has_mode, reader->ReadU8());
+  if (has_mode != 0) {
+    VZ_ASSIGN_OR_RETURN(uint32_t mode, reader->ReadU32());
+    request.index_mode = mode;
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t has_scale, reader->ReadU8());
+  if (has_scale != 0) {
+    VZ_ASSIGN_OR_RETURN(double scale, reader->ReadF64());
+    request.boundary_scale = scale;
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t has_alpha, reader->ReadU8());
+  if (has_alpha != 0) {
+    VZ_ASSIGN_OR_RETURN(double alpha, reader->ReadF64());
+    request.omd_alpha = alpha;
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t has_keyframe, reader->ReadU8());
+  if (has_keyframe != 0) {
+    VZ_ASSIGN_OR_RETURN(uint8_t keyframe, reader->ReadU8());
+    request.keyframe_selection = keyframe != 0;
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t has_inter, reader->ReadU8());
+  if (has_inter != 0) {
+    VZ_ASSIGN_OR_RETURN(uint64_t inter, reader->ReadU64());
+    request.inter_group_count = inter;
+  }
+  VZ_ASSIGN_OR_RETURN(uint8_t has_intra, reader->ReadU8());
+  if (has_intra != 0) {
+    VZ_ASSIGN_OR_RETURN(uint64_t intra, reader->ReadU64());
+    request.intra_cluster_count = intra;
+  }
+  return request;
+}
+
+void EncodeAdminTuneReply(io::BinaryWriter* writer,
+                          const AdminTuneReply& reply) {
+  writer->WriteU32(reply.index_mode);
+  writer->WriteF64(reply.boundary_scale);
+  writer->WriteF64(reply.omd_alpha);
+  writer->WriteU8(reply.keyframe_selection ? 1 : 0);
+  writer->WriteU64(reply.inter_group_count);
+  writer->WriteU64(reply.intra_cluster_count);
+}
+
+StatusOr<AdminTuneReply> DecodeAdminTuneReply(io::BinaryReader* reader) {
+  AdminTuneReply reply;
+  VZ_ASSIGN_OR_RETURN(reply.index_mode, reader->ReadU32());
+  VZ_ASSIGN_OR_RETURN(reply.boundary_scale, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(reply.omd_alpha, reader->ReadF64());
+  VZ_ASSIGN_OR_RETURN(uint8_t keyframe, reader->ReadU8());
+  reply.keyframe_selection = keyframe != 0;
+  VZ_ASSIGN_OR_RETURN(reply.inter_group_count, reader->ReadU64());
+  VZ_ASSIGN_OR_RETURN(reply.intra_cluster_count, reader->ReadU64());
   return reply;
 }
 

@@ -2,6 +2,7 @@
 #define VZ_NET_WIRE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,12 @@ namespace vz::net {
 
 inline constexpr uint32_t kWireMagic = 0x565A5250;  // "VZRP"
 
+/// Magic of the v5 multiplexed frame layout (see below). A distinct magic
+/// keeps the two layouts unambiguous at the byte level: a buffer can never
+/// parse as both, so the fuzzer and any frame-level tooling need no
+/// out-of-band framing hint.
+inline constexpr uint32_t kWireMagicV5 = 0x565A5235;  // "VZR5"
+
 /// Protocol version, negotiated by the Hello exchange: the client announces
 /// its version, the server accepts only an exact match and always reports
 /// its own version in the HelloAck so mismatched clients can print a useful
@@ -67,7 +74,26 @@ inline constexpr uint32_t kWireMagic = 0x565A5250;  // "VZRP"
 /// epoch in both directions — the fencing token that refuses a demoted
 /// primary — and the Monitor reply's serving stats carry a coordinator's
 /// per-shard health table.
-inline constexpr uint32_t kProtocolVersion = 4;
+///
+/// v5: multiplexed framing and server push. After a v5 Hello (which still
+/// travels in the legacy layout, so negotiation itself is
+/// version-independent) both sides switch to the v5 frame layout:
+///
+///   u32 magic ("VZR5") | u32 type | u64 correlation | u64+bytes payload |
+///   u32 crc
+///
+/// The correlation id ties a response to its request, so one connection can
+/// carry concurrent in-flight RPCs; `kPushEvent` frames arrive
+/// asynchronously, tagged with the correlation id of the `kSubscribe` call
+/// that registered the standing query. New RPCs: `kSubscribe` /
+/// `kUnsubscribe` (standing queries with server-push match and stats
+/// delivery), `kIngestBatch` (N frames per RPC), and `kAdminTune` (live
+/// index-mode administration). A server accepts v4 *or* v5 Hellos and keeps
+/// the legacy one-frame-at-a-time layout for v4 peers.
+inline constexpr uint32_t kProtocolVersion = 5;
+
+/// The oldest client protocol version a v5 server still serves.
+inline constexpr uint32_t kMinProtocolVersion = 4;
 
 /// Upper bound on a frame payload; a length field beyond this is rejected
 /// before any allocation (it is either corruption the CRC would also catch
@@ -114,6 +140,28 @@ enum class MsgType : uint32_t {
   /// a WAL-backed server (v4) — the standby re-seed path once compaction
   /// has outrun its replication cursor. Token-free.
   kCheckpointFetch = 19,
+  /// Register a standing query (v5): the server pushes `kPushEvent` frames
+  /// — tagged with this request's correlation id — as ingestion finalizes
+  /// matching segments. Token-free: subscription state is connection-scoped
+  /// and dies with the connection, so a retry after reconnect re-registers
+  /// rather than duplicating.
+  kSubscribe = 20,
+  /// Cancel a standing query by subscription id (v5). Token-free (cancelling
+  /// twice is harmless).
+  kUnsubscribe = 21,
+  /// Batched ingest (v5): N frame observations in one RPC, acknowledged with
+  /// per-batch accept/reject counts. Mutating and tokened — the batch is the
+  /// exactly-once unit, and it rides the WAL like `kIngestFrame`.
+  kIngestBatch = 22,
+  /// Live administration (v5): apply the performance monitor's adjustment
+  /// ladder (OMD mode, boundary scale, keyframe toggles, clustering counts)
+  /// over the wire. Mutating and tokened, but NOT WAL-logged: tuning knobs
+  /// are operator state, not corpus state, and must not replay into a
+  /// recovered server that the operator never retuned.
+  kAdminTune = 23,
+  /// Asynchronous server→client push (v5 only): a match, stats update, or
+  /// gap marker for one subscription. Never a request; never acknowledged.
+  kPushEvent = 24,
 };
 
 inline constexpr uint32_t kResponseFlag = 0x80000000u;
@@ -190,6 +238,44 @@ StatusOr<WireFrame> ReadFrame(int fd, int64_t timeout_ms = -1);
 inline constexpr uint64_t WireFrameBytes(uint64_t payload_bytes) {
   return sizeof(uint32_t) * 2 + sizeof(uint64_t) + payload_bytes +
          sizeof(uint32_t);
+}
+
+// --- v5 multiplexed framing. ---
+
+/// One decoded v5 frame: type, correlation id, payload. For responses the
+/// correlation id echoes the request's; for `kPushEvent` it names the
+/// subscription's originating `kSubscribe` call.
+struct WireFrameV5 {
+  uint32_t type = 0;
+  uint64_t correlation = 0;
+  std::string payload;
+};
+
+/// Encodes one v5 frame (magic "VZR5", type, correlation, length-prefixed
+/// payload, CRC over everything after the magic).
+std::string EncodeFrameV5(uint32_t type, uint64_t correlation,
+                          const std::string& payload);
+
+/// Decodes exactly one v5 frame from `reader`. Same failure taxonomy as
+/// `DecodeFrame`; a legacy "VZRP" magic is `kInvalidArgument` (whole but
+/// alien), not data loss.
+StatusOr<WireFrameV5> DecodeFrameV5(io::BinaryReader* reader);
+
+/// Socket-level v5 frame I/O, with the same deadline and error semantics as
+/// `WriteFrame`/`ReadFrame`.
+Status WriteFrameV5(int fd, uint32_t type, uint64_t correlation,
+                    const std::string& payload, int64_t timeout_ms = -1);
+StatusOr<WireFrameV5> ReadFrameV5(int fd, int64_t timeout_ms = -1);
+
+/// Gathered write of pre-encoded frames (v4 or v5 — the bytes already carry
+/// their layout): one sendmsg-backed burst instead of one syscall per frame.
+/// The push-delivery path drains a subscriber's queue through this.
+Status WriteEncodedFrames(int fd, const std::vector<std::string>& frames,
+                          int64_t timeout_ms = -1);
+
+/// Bytes `EncodeFrameV5` produces for a payload of `payload_bytes`.
+inline constexpr uint64_t WireFrameBytesV5(uint64_t payload_bytes) {
+  return WireFrameBytes(payload_bytes) + sizeof(uint64_t);
 }
 
 // --- Payload codecs. Every request/response body used by the RPCs. ---
@@ -314,6 +400,18 @@ struct ServingStats {
   std::vector<ConnectionInfo> connections;
   /// Coordinator only (v4): the per-shard health table (empty on edges).
   std::vector<ShardHealthInfo> shards;
+  // v5 subscription counters (appended at the end of the encoding so v4
+  // decoders that stop after `shards` still parse the prefix).
+  uint64_t subscriptions_active = 0;
+  uint64_t subscriptions_total = 0;
+  /// Push frames written to subscribers.
+  uint64_t pushes_sent = 0;
+  /// Events dropped from full subscriber queues (each run of drops is
+  /// summarized by one gap marker).
+  uint64_t push_drops = 0;
+  uint64_t push_gaps_sent = 0;
+  /// kIngestBatch requests served.
+  uint64_t ingest_batches = 0;
 };
 
 /// Body of the Monitor RPC: the system-wide gauges an operator dashboard
@@ -429,6 +527,107 @@ void EncodeCheckpointFetchReply(io::BinaryWriter* writer,
                                 const CheckpointFetchReply& reply);
 StatusOr<CheckpointFetchReply> DecodeCheckpointFetchReply(
     io::BinaryReader* reader);
+
+// --- Standing queries and server push (v5). See DESIGN.md, "Standing
+// queries and multiplexing". ---
+
+/// Body of the Subscribe RPC: the standing query. A subscriber may ask for
+/// match pushes (query vector + distance threshold, optional camera filter),
+/// stats pushes (index-version updates as ingestion advances), or both.
+struct SubscribeRequest {
+  /// The query feature vector; may be empty for a stats-only subscription.
+  FeatureVector query;
+  /// Match when the minimum Euclidean distance from `query` to any row of a
+  /// finalized segment's feature map is <= threshold.
+  double threshold = 0.0;
+  /// Restrict match evaluation to these cameras (empty + has_camera_filter
+  /// false = all cameras).
+  bool has_camera_filter = false;
+  std::vector<std::string> cameras;
+  bool want_matches = true;
+  bool want_stats = false;
+};
+
+void EncodeSubscribeRequest(io::BinaryWriter* writer,
+                            const SubscribeRequest& request);
+StatusOr<SubscribeRequest> DecodeSubscribeRequest(io::BinaryReader* reader);
+
+/// What one push frame announces.
+enum class PushKind : uint32_t {
+  /// A finalized segment matched the standing query.
+  kMatch = 0,
+  /// The server's index version advanced (stats subscription).
+  kIndexUpdate = 1,
+  /// `dropped` events were discarded from this subscription's queue while
+  /// the subscriber was slow — the at-most-once delivery contract's honest
+  /// marker. Sequence numbers stay dense as delivered; the gap marker is
+  /// the only record of the loss.
+  kGap = 2,
+};
+
+/// Body of a `kPushEvent` frame. `sequence` increases by one per event
+/// actually delivered on the subscription (gap markers included), so a
+/// subscriber can assert it never silently missed a push.
+struct PushEvent {
+  uint64_t subscription_id = 0;
+  uint64_t sequence = 0;
+  PushKind kind = PushKind::kMatch;
+  // kMatch fields.
+  core::SvsId svs_id = 0;
+  std::string camera;
+  int64_t start_ms = 0;
+  int64_t end_ms = 0;
+  /// Minimum distance from the standing query to the segment's feature map.
+  double distance = 0.0;
+  // kIndexUpdate fields.
+  uint64_t index_version = 0;
+  // kGap fields.
+  uint64_t dropped = 0;
+};
+
+void EncodePushEvent(io::BinaryWriter* writer, const PushEvent& event);
+StatusOr<PushEvent> DecodePushEvent(io::BinaryReader* reader);
+
+/// Reply body of `kIngestBatch` (after the WireStatus): deterministic
+/// accept/reject counts, so replaying the batch from the WAL or the dedup
+/// window reproduces the identical response bytes.
+struct IngestBatchReply {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+};
+
+void EncodeIngestBatchReply(io::BinaryWriter* writer,
+                            const IngestBatchReply& reply);
+StatusOr<IngestBatchReply> DecodeIngestBatchReply(io::BinaryReader* reader);
+
+/// Body of the AdminTune RPC: each knob optional, applied atomically in
+/// declaration order. The reply echoes the server's post-apply settings.
+struct AdminTuneRequest {
+  std::optional<uint32_t> index_mode;       // core::IndexMode wire value
+  std::optional<double> boundary_scale;
+  std::optional<double> omd_alpha;
+  std::optional<bool> keyframe_selection;
+  std::optional<uint64_t> inter_group_count;   // 0 = auto (sqrt heuristic)
+  std::optional<uint64_t> intra_cluster_count; // 0 = auto
+};
+
+void EncodeAdminTuneRequest(io::BinaryWriter* writer,
+                            const AdminTuneRequest& request);
+StatusOr<AdminTuneRequest> DecodeAdminTuneRequest(io::BinaryReader* reader);
+
+/// The server's settings after applying an AdminTune request.
+struct AdminTuneReply {
+  uint32_t index_mode = 0;
+  double boundary_scale = 1.0;
+  double omd_alpha = 0.0;
+  bool keyframe_selection = true;
+  uint64_t inter_group_count = 0;
+  uint64_t intra_cluster_count = 0;
+};
+
+void EncodeAdminTuneReply(io::BinaryWriter* writer,
+                          const AdminTuneReply& reply);
+StatusOr<AdminTuneReply> DecodeAdminTuneReply(io::BinaryReader* reader);
 
 }  // namespace vz::net
 

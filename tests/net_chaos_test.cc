@@ -14,10 +14,15 @@
 // it down to stay within the ctest timeout).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -244,6 +249,240 @@ TEST(NetChaosTest, FaultFreeProxyIsFullyTransparent) {
   EXPECT_EQ(stats.ledger.chunks_clean, stats.ledger.chunks_seen);
   EXPECT_GE(stats.connections_relayed, 1u);
   client->Close();
+  proxy.Shutdown();
+  server.Shutdown();
+}
+
+// --- Protocol-v5 multiplexed framing under chaos. ---
+
+// The batched-ingest drill: the same chaos mix, but frames travel in
+// kIngestBatch RPCs. A retried batch after a reconnect must be answered
+// from the dedup window with the identical accept/reject counts, never
+// re-applied — exactly-once holds at batch granularity too.
+void RunBatchedChaosDrill(uint64_t seed, sim::Deployment& deployment,
+                          size_t num_frames) {
+  VideoZilla system(SmallSystemOptions());
+  ServerOptions server_options;
+  server_options.idle_poll_ms = 5;
+  server_options.read_timeout_ms = 500;
+  server_options.write_timeout_ms = 500;
+  Server server(&system, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.upstream_port = server.port();
+  proxy_options.chunk_bytes = 512;
+  proxy_options.idle_poll_ms = 5;
+  proxy_options.faults = DrillFaults(seed);
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  // A batch request spans several proxy chunks (a 4-frame batch with busy
+  // frames is ~4KB, i.e. ~8 fault rolls per attempt versus ~1 for a
+  // per-frame RPC), so per-attempt survival is far lower than in the
+  // per-frame drill. The retry budget scales up to match; exactly-once must
+  // still hold however many retries the mix forces.
+  ClientOptions client_options = ChaosClientOptions(seed);
+  client_options.max_reconnects = 400;
+  auto client_or =
+      Client::Connect("127.0.0.1", proxy.port(), client_options);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  Client client = std::move(*client_or);
+
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(client.CameraStart(info.camera).ok());
+  }
+  const auto& observations = deployment.observations();
+  const size_t count = std::min(num_frames, observations.size());
+  uint64_t accepted_total = 0;
+  const size_t kBatch = 4;
+  for (size_t begin = 0; begin < count; begin += kBatch) {
+    const size_t end = std::min(begin + kBatch, count);
+    std::vector<core::FrameObservation> batch(observations.begin() + begin,
+                                              observations.begin() + end);
+    auto reply = client.IngestBatch(batch);
+    ASSERT_TRUE(reply.ok())
+        << "batch at " << begin << ": " << reply.status().ToString();
+    accepted_total += reply->accepted;
+    EXPECT_EQ(reply->rejected, 0u) << "batch at " << begin;
+  }
+  ASSERT_TRUE(client.Flush().ok());
+
+  // Exactly-once despite chaos-retried batches: every frame applied once.
+  EXPECT_EQ(accepted_total, count) << "seed " << seed;
+  const core::IngestStats& ingest = system.ingest_stats();
+  EXPECT_EQ(ingest.frames_offered, count) << "seed " << seed;
+  EXPECT_EQ(ingest.duplicates_dropped, 0u) << "seed " << seed;
+  EXPECT_EQ(ingest.out_of_order_dropped, 0u) << "seed " << seed;
+
+  client.Close();
+  proxy.Shutdown();
+  server.Shutdown();
+}
+
+TEST(NetChaosTest, BatchedIngestChaosSweepIsExactlyOnce) {
+  sim::Deployment deployment(SmallDeployment());
+  (void)deployment.observations();
+  const size_t seeds = NumChaosSeeds();
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    RunBatchedChaosDrill(seed, deployment, /*num_frames=*/40);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// A subscriber on a clean connection while chaos-retried ingest runs
+// through the proxy: double-applied ingest would finalize extra segments
+// and surface as extra pushes, and any demux slip would break the dense
+// as-delivered sequence. The subscriber is the exactly-once witness.
+TEST(NetChaosTest, SubscriberSeesEachSegmentOnceThroughChaoticIngest) {
+  sim::Deployment deployment(SmallDeployment());
+  (void)deployment.observations();
+  const size_t seeds = std::min<size_t>(NumChaosSeeds(), 8);
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    VideoZilla system(SmallSystemOptions());
+    ServerOptions server_options;
+    server_options.idle_poll_ms = 5;
+    server_options.read_timeout_ms = 500;
+    server_options.write_timeout_ms = 500;
+    Server server(&system, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    ChaosProxyOptions proxy_options;
+    proxy_options.upstream_port = server.port();
+    proxy_options.chunk_bytes = 512;
+    proxy_options.idle_poll_ms = 5;
+    proxy_options.faults = DrillFaults(seed + 500);
+    ChaosProxy proxy(proxy_options);
+    ASSERT_TRUE(proxy.Start().ok());
+
+    // Subscriber on a direct connection (its standing query must survive
+    // the whole drill; a connection-scoped subscription through the proxy
+    // would die at the first reset).
+    auto subscriber = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(subscriber.ok());
+    SubscribeRequest match_all;
+    match_all.query = FeatureVector(std::vector<float>(32, 0.0f));
+    match_all.threshold = 1e12;
+    std::mutex mu;
+    std::vector<PushEvent> events;
+    auto sub_id = subscriber->Subscribe(
+        match_all, [&](const PushEvent& event) {
+          std::lock_guard<std::mutex> lock(mu);
+          events.push_back(event);
+        });
+    ASSERT_TRUE(sub_id.ok()) << sub_id.status().ToString();
+
+    auto ingester =
+        Client::Connect("127.0.0.1", proxy.port(), ChaosClientOptions(seed));
+    ASSERT_TRUE(ingester.ok());
+    for (const auto& info : deployment.cameras()) {
+      ASSERT_TRUE(ingester->CameraStart(info.camera).ok());
+    }
+    const auto& observations = deployment.observations();
+    const size_t count = std::min<size_t>(40, observations.size());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(ingester->IngestFrame(observations[i]).ok()) << i;
+    }
+    ASSERT_TRUE(ingester->Flush().ok());
+
+    const uint64_t segments = system.ingest_stats().svs_created;
+    EXPECT_EQ(system.ingest_stats().frames_offered, count);
+    for (int waited = 0; waited < 2'000; ++waited) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (events.size() >= segments) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    // One push per finalized segment — a duplicate would mean a retried
+    // frame was double-applied somewhere behind the dedup window.
+    ASSERT_EQ(events.size(), segments) << "seed " << seed;
+    uint64_t expected_sequence = 0;
+    for (const PushEvent& event : events) {
+      EXPECT_EQ(event.subscription_id, *sub_id);
+      EXPECT_EQ(event.sequence, expected_sequence++);
+      EXPECT_EQ(event.kind, PushKind::kMatch);
+    }
+
+    subscriber->Close();
+    ingester->Close();
+    proxy.Shutdown();
+    server.Shutdown();
+  }
+}
+
+// A subscription through the chaos proxy is connection-scoped: a reset
+// kills it silently (at-most-once, no resurrections). The client's contract
+// is that a re-subscribe on the healed connection gets a *fresh* id with a
+// fresh dense sequence — (subscription id, sequence) pairs never repeat, so
+// nothing can be double-applied downstream.
+TEST(NetChaosTest, ResubscribeAfterResetNeverRepeatsAnIdSequencePair) {
+  sim::Deployment deployment(SmallDeployment());
+  (void)deployment.observations();
+  VideoZilla system(SmallSystemOptions());
+  ServerOptions server_options;
+  server_options.idle_poll_ms = 5;
+  Server server(&system, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  ChaosProxyOptions proxy_options;
+  proxy_options.upstream_port = server.port();
+  proxy_options.idle_poll_ms = 5;
+  proxy_options.faults.seed = 77;
+  proxy_options.faults.reset_probability = 0.08;
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  auto client_or =
+      Client::Connect("127.0.0.1", proxy.port(), ChaosClientOptions(77));
+  ASSERT_TRUE(client_or.ok());
+  Client client = std::move(*client_or);
+  for (const auto& info : deployment.cameras()) {
+    ASSERT_TRUE(client.CameraStart(info.camera).ok());
+  }
+
+  std::mutex mu;
+  std::set<std::pair<uint64_t, uint64_t>> seen;  // (subscription id, seq)
+  bool duplicate = false;
+  SubscribeRequest match_all;
+  match_all.query = FeatureVector(std::vector<float>(32, 0.0f));
+  match_all.threshold = 1e12;
+  auto record = [&](const PushEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!seen.insert({event.subscription_id, event.sequence}).second) {
+      duplicate = true;
+    }
+  };
+
+  std::set<uint64_t> subscription_ids;
+  const auto& observations = deployment.observations();
+  const size_t count = std::min<size_t>(60, observations.size());
+  size_t next_frame = 0;
+  // Interleave ingest with subscribe attempts; resets will kill some
+  // subscriptions mid-stream and the re-subscribes must mint fresh ids.
+  for (int round = 0; round < 6; ++round) {
+    auto sub_id = client.Subscribe(match_all, record);
+    if (sub_id.ok()) {
+      EXPECT_TRUE(subscription_ids.insert(*sub_id).second)
+          << "subscription id " << *sub_id << " reused";
+    }
+    const size_t until = std::min(count, next_frame + count / 6 + 1);
+    for (; next_frame < until; ++next_frame) {
+      ASSERT_TRUE(client.IngestFrame(observations[next_frame]).ok())
+          << next_frame;
+    }
+  }
+  ASSERT_TRUE(client.Flush().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_FALSE(duplicate) << "a (subscription, sequence) pair repeated";
+  }
+  // Exactly-once ingest held throughout the reset storm.
+  EXPECT_EQ(system.ingest_stats().frames_offered, count);
+  EXPECT_EQ(system.ingest_stats().duplicates_dropped, 0u);
+
+  client.Close();
   proxy.Shutdown();
   server.Shutdown();
 }

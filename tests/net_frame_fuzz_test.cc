@@ -97,7 +97,9 @@ TEST(FrameFuzzTest, HeavyCorruptionNeverCrashes) {
     }
     io::BinaryReader reader(corrupt);
     auto frame = DecodeFrame(&reader);
-    if (!frame.ok()) EXPECT_TRUE(IsFuzzStatus(frame.status()));
+    if (!frame.ok()) {
+      EXPECT_TRUE(IsFuzzStatus(frame.status()));
+    }
   }
 }
 
@@ -166,6 +168,16 @@ TEST(FrameFuzzTest, RandomPayloadsAgainstEveryCodec) {
         [](io::BinaryReader* r) { return DecodeCameraHealthReport(r); });
     with_reader(
         [](io::BinaryReader* r) { return DecodeIdempotencyToken(r); });
+    // v5 payload codecs.
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeSubscribeRequest(r); });
+    with_reader([](io::BinaryReader* r) { return DecodePushEvent(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeIngestBatchReply(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeAdminTuneRequest(r); });
+    with_reader(
+        [](io::BinaryReader* r) { return DecodeAdminTuneReply(r); });
   }
 }
 
@@ -260,6 +272,12 @@ TEST(FrameFuzzTest, MonitorStatsV2RoundTripsAndFailsCleanlyWhenTorn) {
   stats.serving.sessions_evicted = 1;
   stats.serving.connections.push_back({11, 5'000, 40, 1'024, 2'048, 17});
   stats.serving.connections.push_back({12, 100, 0, 64, 96, 1});
+  stats.serving.subscriptions_active = 3;
+  stats.serving.subscriptions_total = 7;
+  stats.serving.pushes_sent = 99;
+  stats.serving.push_drops = 4;
+  stats.serving.push_gaps_sent = 2;
+  stats.serving.ingest_batches = 13;
   io::BinaryWriter writer;
   EncodeMonitorStats(&writer, stats);
 
@@ -282,13 +300,33 @@ TEST(FrameFuzzTest, MonitorStatsV2RoundTripsAndFailsCleanlyWhenTorn) {
   EXPECT_EQ(decoded->serving.connections[0].bytes_out, 2'048u);
   EXPECT_EQ(decoded->serving.connections[0].rpcs, 17u);
   EXPECT_EQ(decoded->serving.connections[1].id, 12u);
+  EXPECT_EQ(decoded->serving.subscriptions_active, 3u);
+  EXPECT_EQ(decoded->serving.subscriptions_total, 7u);
+  EXPECT_EQ(decoded->serving.pushes_sent, 99u);
+  EXPECT_EQ(decoded->serving.push_drops, 4u);
+  EXPECT_EQ(decoded->serving.push_gaps_sent, 2u);
+  EXPECT_EQ(decoded->serving.ingest_batches, 13u);
 
+  // The v5 subscription counters are a prefix-compatible tail: cutting the
+  // payload exactly at the v4 boundary is a valid v4 payload (counters
+  // decode as zero); every other truncation is an error.
   const std::string bytes = writer.buffer();
+  const size_t v5_tail_bytes = 6 * sizeof(uint64_t);
+  ASSERT_GT(bytes.size(), v5_tail_bytes);
+  const size_t v4_boundary = bytes.size() - v5_tail_bytes;
   for (size_t keep = 0; keep < bytes.size(); ++keep) {
     std::string torn = bytes;
     ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
     io::BinaryReader torn_reader(torn);
-    EXPECT_FALSE(DecodeMonitorStats(&torn_reader).ok()) << keep;
+    auto torn_stats = DecodeMonitorStats(&torn_reader);
+    if (keep == v4_boundary) {
+      ASSERT_TRUE(torn_stats.ok()) << keep;
+      EXPECT_EQ(torn_stats->serving.pings_served, 5u);
+      EXPECT_EQ(torn_stats->serving.subscriptions_active, 0u);
+      EXPECT_EQ(torn_stats->serving.ingest_batches, 0u);
+    } else {
+      EXPECT_FALSE(torn_stats.ok()) << keep;
+    }
   }
 }
 
@@ -305,6 +343,261 @@ TEST(FrameFuzzTest, StreamStaysFramedUpToTheCorruption) {
   auto corrupt = DecodeFrame(&reader);
   ASSERT_FALSE(corrupt.ok());
   EXPECT_TRUE(IsFuzzStatus(corrupt.status()));
+}
+
+// --- Protocol-v5 framing: correlation-id multiplexing and push frames. ---
+
+std::string SamplePushFrame(uint64_t correlation) {
+  PushEvent event;
+  event.subscription_id = 3;
+  event.sequence = 12;
+  event.kind = PushKind::kMatch;
+  event.svs_id = 99;
+  event.camera = "cam-harbor";
+  event.start_ms = 10'000;
+  event.end_ms = 30'000;
+  event.distance = 1.25;
+  io::BinaryWriter payload;
+  EncodePushEvent(&payload, event);
+  return EncodeFrameV5(static_cast<uint32_t>(MsgType::kPushEvent),
+                       correlation, payload.buffer());
+}
+
+TEST(FrameFuzzV5Test, IntactFrameRoundTripsWithCorrelation) {
+  io::BinaryWriter payload;
+  EncodeSubscribeRequest(&payload, {});
+  const std::string bytes = EncodeFrameV5(
+      static_cast<uint32_t>(MsgType::kSubscribe), 0x1122334455667788ULL,
+      payload.buffer());
+  EXPECT_EQ(bytes.size(), WireFrameBytesV5(payload.buffer().size()));
+  io::BinaryReader reader(bytes);
+  auto frame = DecodeFrameV5(&reader);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, static_cast<uint32_t>(MsgType::kSubscribe));
+  EXPECT_EQ(frame->correlation, 0x1122334455667788ULL);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(FrameFuzzV5Test, EveryTruncationIsDataLoss) {
+  const std::string bytes = SamplePushFrame(42);
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::string torn = bytes;
+    ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+    io::BinaryReader reader(torn);
+    auto frame = DecodeFrameV5(&reader);
+    ASSERT_FALSE(frame.ok()) << "prefix of " << keep << " bytes decoded";
+    EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss)
+        << "prefix " << keep << ": " << frame.status().ToString();
+  }
+}
+
+TEST(FrameFuzzV5Test, BitFlipsNeverDecodeQuietly) {
+  const std::string bytes = SamplePushFrame(7);
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    for (size_t flips = 1; flips <= 3; ++flips) {
+      std::string corrupt = bytes;
+      ASSERT_TRUE(FaultInjector::FlipBits(&corrupt, flips, seed).ok());
+      io::BinaryReader reader(corrupt);
+      auto frame = DecodeFrameV5(&reader);
+      ASSERT_FALSE(frame.ok())
+          << "seed " << seed << ", " << flips << " flips decoded quietly";
+      EXPECT_TRUE(IsFuzzStatus(frame.status())) << frame.status().ToString();
+    }
+  }
+}
+
+TEST(FrameFuzzV5Test, HostileLengthAndBadMagicAreRejected) {
+  {
+    io::BinaryWriter writer;
+    writer.WriteU32(kWireMagicV5);
+    writer.WriteU32(static_cast<uint32_t>(MsgType::kPushEvent));
+    writer.WriteU64(1);  // correlation
+    writer.WriteU64(kMaxPayloadBytes + 1);
+    writer.WriteU32(0xDEADBEEF);
+    io::BinaryReader reader(writer.buffer());
+    EXPECT_EQ(DecodeFrameV5(&reader).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  // The two framings never decode each other's bytes as a whole frame —
+  // the magics are the negotiation boundary's enforcement.
+  {
+    const std::string legacy = SampleFrame();
+    io::BinaryReader reader(legacy);
+    EXPECT_EQ(DecodeFrameV5(&reader).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    const std::string v5 = SamplePushFrame(1);
+    io::BinaryReader reader(v5);
+    EXPECT_EQ(DecodeFrame(&reader).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+// A multiplexed stream: a response frame, an asynchronous push with an
+// unrelated correlation id, another response. Each decode consumes exactly
+// one frame and carries its own correlation — the demux loop's ground truth.
+TEST(FrameFuzzV5Test, InterleavedPushFramesStayFramed) {
+  io::BinaryWriter status_payload;
+  EncodeWireStatus(&status_payload, {Status::OK(), 0});
+  const uint32_t response_type =
+      static_cast<uint32_t>(MsgType::kPing) | kResponseFlag;
+  const std::string first =
+      EncodeFrameV5(response_type, 5, status_payload.buffer());
+  const std::string push = SamplePushFrame(0xFEEDFACE);  // unknown to nobody
+  const std::string second =
+      EncodeFrameV5(response_type, 6, status_payload.buffer());
+  const std::string stream = first + push + second;
+
+  io::BinaryReader reader(stream);
+  auto a = DecodeFrameV5(&reader);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->correlation, 5u);
+  EXPECT_EQ(reader.position(), first.size());
+  auto b = DecodeFrameV5(&reader);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->type, static_cast<uint32_t>(MsgType::kPushEvent));
+  EXPECT_EQ(b->correlation, 0xFEEDFACEu);
+  auto c = DecodeFrameV5(&reader);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->correlation, 6u);
+  EXPECT_EQ(reader.remaining(), 0u);
+
+  // Corruption in the push frame must not desync the response before it.
+  std::string corrupt_push = push;
+  ASSERT_TRUE(FaultInjector::FlipBits(&corrupt_push, 2, 3).ok());
+  io::BinaryReader torn_reader(first + corrupt_push + second);
+  ASSERT_TRUE(DecodeFrameV5(&torn_reader).ok());
+  auto torn = DecodeFrameV5(&torn_reader);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(IsFuzzStatus(torn.status()));
+}
+
+// A well-framed push frame (CRC valid) whose payload is a torn PushEvent
+// encoding: the framing layer accepts it, the payload codec must fail with
+// a status — the demux loop then drops the push and keeps the stream.
+TEST(FrameFuzzV5Test, TornPushPayloadFailsCleanlyInsideAValidFrame) {
+  PushEvent event;
+  event.subscription_id = 1;
+  event.kind = PushKind::kGap;
+  event.dropped = 17;
+  io::BinaryWriter payload;
+  EncodePushEvent(&payload, event);
+  const std::string intact = payload.buffer();
+  for (size_t keep = 0; keep < intact.size(); ++keep) {
+    std::string torn = intact;
+    ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+    const std::string framed = EncodeFrameV5(
+        static_cast<uint32_t>(MsgType::kPushEvent), 9, torn);
+    io::BinaryReader reader(framed);
+    auto frame = DecodeFrameV5(&reader);
+    ASSERT_TRUE(frame.ok()) << "framing must accept a valid CRC";
+    io::BinaryReader payload_reader(frame->payload);
+    EXPECT_FALSE(DecodePushEvent(&payload_reader).ok()) << keep;
+  }
+}
+
+// The codec encodes only the fields of the announced kind — a push frame
+// carries no dead weight from the other variants.
+TEST(FrameFuzzV5Test, PushEventRoundTripsEveryKind) {
+  for (PushKind kind :
+       {PushKind::kMatch, PushKind::kIndexUpdate, PushKind::kGap}) {
+    PushEvent event;
+    event.subscription_id = 8;
+    event.sequence = 21;
+    event.kind = kind;
+    event.svs_id = 5;
+    event.camera = "cam-x";
+    event.start_ms = -10;
+    event.end_ms = 40;
+    event.distance = 0.5;
+    event.index_version = 33;
+    event.dropped = 2;
+    io::BinaryWriter writer;
+    EncodePushEvent(&writer, event);
+    io::BinaryReader reader(writer.buffer());
+    auto decoded = DecodePushEvent(&reader);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(reader.remaining(), 0u);
+    EXPECT_EQ(decoded->subscription_id, 8u);
+    EXPECT_EQ(decoded->sequence, 21u);
+    EXPECT_EQ(decoded->kind, kind);
+    switch (kind) {
+      case PushKind::kMatch:
+        EXPECT_EQ(decoded->svs_id, 5);
+        EXPECT_EQ(decoded->camera, "cam-x");
+        EXPECT_EQ(decoded->start_ms, -10);
+        EXPECT_EQ(decoded->end_ms, 40);
+        EXPECT_EQ(decoded->distance, 0.5);
+        break;
+      case PushKind::kIndexUpdate:
+        EXPECT_EQ(decoded->index_version, 33u);
+        break;
+      case PushKind::kGap:
+        EXPECT_EQ(decoded->dropped, 2u);
+        break;
+    }
+  }
+  // A gap marker claiming zero drops is well-formed-but-alien.
+  PushEvent empty_gap;
+  empty_gap.kind = PushKind::kGap;
+  empty_gap.dropped = 0;
+  io::BinaryWriter writer;
+  EncodePushEvent(&writer, empty_gap);
+  io::BinaryReader reader(writer.buffer());
+  EXPECT_EQ(DecodePushEvent(&reader).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FrameFuzzV5Test, SubscribeAndAdminTunePayloadsRoundTrip) {
+  SubscribeRequest request;
+  request.query = FeatureVector({0.5f, 1.5f});
+  request.threshold = 2.75;
+  request.has_camera_filter = true;
+  request.cameras = {"cam-a", "cam-b"};
+  request.want_matches = true;
+  request.want_stats = true;
+  io::BinaryWriter writer;
+  EncodeSubscribeRequest(&writer, request);
+  io::BinaryReader reader(writer.buffer());
+  auto decoded = DecodeSubscribeRequest(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(decoded->threshold, 2.75);
+  EXPECT_TRUE(decoded->has_camera_filter);
+  EXPECT_EQ(decoded->cameras, request.cameras);
+  EXPECT_TRUE(decoded->want_stats);
+
+  AdminTuneRequest tune;
+  tune.boundary_scale = 1.5;
+  tune.keyframe_selection = false;
+  io::BinaryWriter tune_writer;
+  EncodeAdminTuneRequest(&tune_writer, tune);
+  io::BinaryReader tune_reader(tune_writer.buffer());
+  auto tuned = DecodeAdminTuneRequest(&tune_reader);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+  EXPECT_EQ(tune_reader.remaining(), 0u);
+  ASSERT_TRUE(tuned->boundary_scale.has_value());
+  EXPECT_EQ(*tuned->boundary_scale, 1.5);
+  ASSERT_TRUE(tuned->keyframe_selection.has_value());
+  EXPECT_FALSE(*tuned->keyframe_selection);
+  EXPECT_FALSE(tuned->index_mode.has_value());
+  EXPECT_FALSE(tuned->omd_alpha.has_value());
+
+  // Truncation sweeps over both payloads: never a crash, never a success.
+  for (const std::string& bytes :
+       {writer.buffer(), tune_writer.buffer()}) {
+    for (size_t keep = 0; keep < bytes.size(); ++keep) {
+      std::string torn = bytes;
+      ASSERT_TRUE(FaultInjector::Truncate(&torn, keep).ok());
+      io::BinaryReader torn_reader(torn);
+      if (bytes == writer.buffer()) {
+        EXPECT_FALSE(DecodeSubscribeRequest(&torn_reader).ok()) << keep;
+      } else {
+        EXPECT_FALSE(DecodeAdminTuneRequest(&torn_reader).ok()) << keep;
+      }
+    }
+  }
 }
 
 // --- The length-prefixed-bytes primitives the frame codec is built on. ---

@@ -531,8 +531,11 @@ TEST(NetTest, MalformedPayloadKeepsConnectionUsable) {
 
   auto fd = TcpConnect("127.0.0.1", server.port(), 2'000);
   ASSERT_TRUE(fd.ok());
+  // This test speaks legacy framing throughout, so it must negotiate the
+  // lock-step v4 protocol — advertising v5 would switch the server to
+  // correlation-id framing after the Hello.
   io::BinaryWriter hello;
-  hello.WriteU32(kProtocolVersion);
+  hello.WriteU32(kMinProtocolVersion);
   ASSERT_TRUE(WriteFrame(fd->get(), static_cast<uint32_t>(MsgType::kHello),
                          hello.buffer())
                   .ok());
@@ -649,10 +652,13 @@ TEST(BackoffTest, JitterShrinksWithinBoundsAndIsSeedDeterministic) {
 
 // --- Idempotency tokens: exactly-once over raw sockets. ---
 
-// Performs the client side of the Hello exchange on a raw socket.
+// Performs the client side of the Hello exchange on a raw socket. The raw
+// tests speak legacy framing throughout, so they negotiate the lock-step
+// v4 protocol — advertising v5 would switch the server to correlation-id
+// framing after the Hello.
 void RawHello(int fd) {
   io::BinaryWriter hello;
-  hello.WriteU32(kProtocolVersion);
+  hello.WriteU32(kMinProtocolVersion);
   ASSERT_TRUE(WriteFrame(fd, static_cast<uint32_t>(MsgType::kHello),
                          hello.buffer())
                   .ok());
